@@ -1,0 +1,332 @@
+package otpdb_test
+
+// One benchmark per paper artifact (see DESIGN.md §4 for the experiment
+// index) plus micro-benchmarks for the ablations called out in DESIGN.md
+// §5. The macro benchmarks wrap the experiment harness with reduced
+// parameters and export the headline quantity via b.ReportMetric; run
+// cmd/otpbench for the full tables.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"otpdb"
+	"otpdb/internal/abcast"
+	"otpdb/internal/consensus"
+	"otpdb/internal/experiments"
+	"otpdb/internal/netsim"
+	"otpdb/internal/otp"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// BenchmarkFigure1SpontaneousOrder regenerates one point of Figure 1 per
+// iteration and reports the spontaneous-order percentage at the paper's
+// 4 ms anchor.
+func BenchmarkFigure1SpontaneousOrder(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		st := netsim.SpontaneousExperiment{
+			Sites:    4,
+			PerSite:  200,
+			Interval: 4 * time.Millisecond,
+			Seed:     int64(i),
+		}.Run()
+		last = st.Percent()
+	}
+	b.ReportMetric(last, "%ordered@4ms")
+}
+
+// BenchmarkAbortRate regenerates E2 cells: abort rate per committed
+// transaction under 25% adjacent-swap mismatch, by class count. The
+// paper's §3.2 claim is visible in the falling aborts/commit metric.
+func BenchmarkAbortRate(b *testing.B) {
+	for _, classes := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("classes=%d", classes), func(b *testing.B) {
+			var aborts, commits uint64
+			for i := 0; i < b.N; i++ {
+				st := experiments.AbortRateCell(500, classes, 0.25, int64(i))
+				aborts += st.Aborts
+				commits += st.Commits
+			}
+			b.ReportMetric(100*float64(aborts)/float64(commits), "aborts%")
+		})
+	}
+}
+
+// BenchmarkOTPManager measures the raw event-processing throughput of the
+// core scheduler: one Opt+TO+execution cycle per iteration.
+func BenchmarkOTPManager(b *testing.B) {
+	exec := &autoExec{}
+	mgr := otp.NewManager(exec, otp.Hooks{})
+	exec.mgr = mgr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := abcast.MsgID{Origin: 0, Seq: uint64(i + 1)}
+		if err := mgr.OnOptDeliver(id, "c", nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.OnTODeliver(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if mgr.Pending() != 0 {
+		b.Fatal("transactions stuck")
+	}
+}
+
+// autoExec completes executions synchronously.
+type autoExec struct{ mgr *otp.Manager }
+
+func (e *autoExec) Submit(tx *otp.Txn, epoch int) { e.mgr.OnExecuted(tx.ID, epoch) }
+func (e *autoExec) Abort(*otp.Txn)                {}
+func (e *autoExec) Commit(*otp.Txn)               {}
+
+// BenchmarkOTPManagerWithMismatch measures the scheduler including the
+// abort/reorder path: every other TO confirmation contradicts the
+// tentative order.
+func BenchmarkOTPManagerWithMismatch(b *testing.B) {
+	exec := &autoExec{}
+	mgr := otp.NewManager(exec, otp.Hooks{})
+	exec.mgr = mgr
+	b.ResetTimer()
+	seq := uint64(0)
+	for i := 0; i < b.N; i++ {
+		a := abcast.MsgID{Origin: 0, Seq: seq + 1}
+		c := abcast.MsgID{Origin: 0, Seq: seq + 2}
+		seq += 2
+		if err := mgr.OnOptDeliver(a, "c", nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.OnOptDeliver(c, "c", nil); err != nil {
+			b.Fatal(err)
+		}
+		// Definitive order reverses the tentative one.
+		if err := mgr.OnTODeliver(c); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.OnTODeliver(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := mgr.Stats()
+	b.ReportMetric(float64(st.Aborts)/float64(b.N), "aborts/op")
+}
+
+// BenchmarkStorageCommit is the write-strategy ablation: buffered
+// write-at-commit versus in-place writes with undo logs.
+func BenchmarkStorageCommit(b *testing.B) {
+	for _, mode := range []storage.Mode{storage.Buffered, storage.InPlaceUndo} {
+		name := "buffered"
+		if mode == storage.InPlaceUndo {
+			name = "inplace-undo"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := storage.NewStore()
+			val := storage.Int64Value(42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := s.Begin("p", mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < 4; k++ {
+					_ = tx.Write(storage.Key(fmt.Sprintf("k%d", k)), val)
+				}
+				if err := tx.Commit(int64(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStorageAbort is the undo-cost ablation: rolling back a
+// transaction under each write strategy.
+func BenchmarkStorageAbort(b *testing.B) {
+	for _, mode := range []storage.Mode{storage.Buffered, storage.InPlaceUndo} {
+		name := "buffered"
+		if mode == storage.InPlaceUndo {
+			name = "inplace-undo"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := storage.NewStore()
+			for k := 0; k < 4; k++ {
+				s.Load("p", storage.Key(fmt.Sprintf("k%d", k)), storage.Int64Value(0))
+			}
+			val := storage.Int64Value(42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := s.Begin("p", mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < 4; k++ {
+					_ = tx.Write(storage.Key(fmt.Sprintf("k%d", k)), val)
+				}
+				if err := tx.Abort(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotRead measures Section 5 snapshot reads against a deep
+// version chain.
+func BenchmarkSnapshotRead(b *testing.B) {
+	s := storage.NewStore()
+	for i := int64(1); i <= 1000; i++ {
+		tx, _ := s.Begin("p", storage.Buffered)
+		_ = tx.Write("k", storage.Int64Value(i))
+		if err := tx.Commit(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SnapshotRead("p", "k", int64(i%1000)+1); !ok {
+			b.Fatal("missing version")
+		}
+	}
+}
+
+// BenchmarkConsensusDecide measures end-to-end decision latency of the
+// Chandra–Toueg engine on a 3-node in-memory network.
+func BenchmarkConsensusDecide(b *testing.B) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	engines := make([]*consensus.Engine, 3)
+	for i := range engines {
+		engines[i] = consensus.New(consensus.Config{
+			Endpoint:     h.Endpoint(transport.NodeID(i)),
+			RoundTimeout: 100 * time.Millisecond,
+		})
+		engines[i].Start()
+		defer engines[i].Stop()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := uint64(i + 1)
+		for _, e := range engines {
+			if err := e.Propose(inst, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Wait for the local decision at engine 0.
+		for d := range engines[0].Decisions() {
+			if d.Instance == inst {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkEndToEndCommit measures full-stack commit latency on a
+// 3-replica cluster: broadcast, optimistic execution, consensus
+// confirmation, commit.
+func BenchmarkEndToEndCommit(b *testing.B) {
+	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Stop()
+	cluster.MustRegisterUpdate(otpdb.Update{
+		Name:  "bump",
+		Class: "c",
+		Fn: func(ctx otpdb.UpdateCtx) error {
+			v, _ := ctx.Read("k")
+			return ctx.Write("k", otpdb.Int64(otpdb.AsInt64(v)+1))
+		},
+	})
+	if err := cluster.Start(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cluster.Exec(ctx, i%3, "bump"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndQuery measures local snapshot queries on the same
+// cluster shape.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Stop()
+	cluster.MustRegisterUpdate(otpdb.Update{
+		Name:  "bump",
+		Class: "c",
+		Fn: func(ctx otpdb.UpdateCtx) error {
+			v, _ := ctx.Read("k")
+			return ctx.Write("k", otpdb.Int64(otpdb.AsInt64(v)+1))
+		},
+	})
+	cluster.MustRegisterQuery(otpdb.Query{
+		Name: "read",
+		Fn: func(ctx otpdb.QueryCtx) (otpdb.Value, error) {
+			v, _ := ctx.Read("c", "k")
+			return v, nil
+		},
+	})
+	if err := cluster.Start(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cluster.Exec(ctx, 0, "bump"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.QueryAt(ctx, i%3, "read"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverlapLatency regenerates one E3 cell per ordering mode and
+// reports the measured commit latency (model: OTP ~= max(E,D),
+// conservative ~= E+D with E = D = 2ms).
+func BenchmarkOverlapLatency(b *testing.B) {
+	experimentsOverlap := func(optimistic bool) time.Duration {
+		p := experiments.OverlapParams{
+			ExecTime:      2 * time.Millisecond,
+			ConfirmDelays: []time.Duration{2 * time.Millisecond},
+			Txns:          10,
+		}
+		t, err := experiments.Overlap(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := 1 // OTP mean column
+		if !optimistic {
+			col = 2
+		}
+		d, err := time.ParseDuration(t.Rows[0][col])
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	b.Run("otp", func(b *testing.B) {
+		var last time.Duration
+		for i := 0; i < b.N; i++ {
+			last = experimentsOverlap(true)
+		}
+		b.ReportMetric(float64(last.Microseconds()), "µs/commit")
+	})
+	b.Run("conservative", func(b *testing.B) {
+		var last time.Duration
+		for i := 0; i < b.N; i++ {
+			last = experimentsOverlap(false)
+		}
+		b.ReportMetric(float64(last.Microseconds()), "µs/commit")
+	})
+}

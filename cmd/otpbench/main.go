@@ -1,0 +1,109 @@
+// Command otpbench regenerates the paper's figure and the quantitative
+// claims of Kemme et al. (ICDCS'99) as plain-text tables. See DESIGN.md
+// for the experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	otpbench [-quick] [experiment ...]
+//
+// Experiments: figure1, abortrate, overlap, async, queries, ordering.
+// With no arguments every experiment runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"otpdb/internal/experiments"
+	"otpdb/internal/netsim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller parameter sweeps (seconds instead of minutes)")
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"figure1", "abortrate", "overlap", "async", "queries", "ordering"}
+	}
+	if err := run(targets, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "otpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(targets []string, quick bool) error {
+	for _, target := range targets {
+		switch target {
+		case "figure1":
+			p := experiments.DefaultFigure1Params()
+			if quick {
+				p.PerSite = 150
+				p.Intervals = []time.Duration{
+					100 * time.Microsecond, 500 * time.Microsecond,
+					1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+				}
+			}
+			t := experiments.Figure1(p)
+			t.Render(os.Stdout)
+		case "abortrate":
+			p := experiments.DefaultAbortRateParams()
+			if quick {
+				p.Txns = 500
+			}
+			t := experiments.AbortRate(p)
+			t.Render(os.Stdout)
+		case "overlap":
+			p := experiments.DefaultOverlapParams()
+			if quick {
+				p.Txns = 15
+			}
+			t, err := experiments.Overlap(p)
+			if err != nil {
+				return fmt.Errorf("overlap: %w", err)
+			}
+			t.Render(os.Stdout)
+		case "async":
+			p := experiments.DefaultVsAsyncParams()
+			if quick {
+				p.IncrementsPerSite = 25
+			}
+			t, err := experiments.VsAsync(p)
+			if err != nil {
+				return fmt.Errorf("async: %w", err)
+			}
+			t.Render(os.Stdout)
+		case "queries":
+			p := experiments.DefaultQueriesParams()
+			if quick {
+				p.TransfersPerSite = 50
+				p.Queries = 20
+			}
+			t, err := experiments.Queries(p)
+			if err != nil {
+				return fmt.Errorf("queries: %w", err)
+			}
+			t.Render(os.Stdout)
+		case "ordering":
+			p := experiments.DefaultOrderingParams()
+			if quick {
+				p.Messages = 25
+			}
+			t, err := experiments.Ordering(p)
+			if err != nil {
+				return fmt.Errorf("ordering: %w", err)
+			}
+			t.Render(os.Stdout)
+		case "calibrate":
+			// Hidden helper: print the raw Figure 1 model curve densely.
+			pts := netsim.Figure1Curve(4, 400, netsim.DefaultFigure1Intervals(), 42)
+			for _, pt := range pts {
+				fmt.Printf("%8v  %6.2f%%\n", pt.Interval, pt.Percent)
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Command otpcli sends one command to an otpd replica and prints the
+// reply. See cmd/otpd for the protocol and an example cluster.
+//
+//	otpcli -addr :7070 EXEC add-p0 mykey 5
+//	otpcli -addr :7071 QUERY get p0 mykey
+//	otpcli -addr :7072 STATS
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "otpd client address")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: otpcli [-addr host:port] COMMAND [args...]")
+		os.Exit(2)
+	}
+	if err := run(*addr, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "otpcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, args []string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := fmt.Fprintln(conn, strings.Join(args, " ")); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		return fmt.Errorf("no reply: %v", sc.Err())
+	}
+	fmt.Println(sc.Text())
+	return nil
+}

@@ -1,0 +1,245 @@
+// Command otpd runs one replica of the replicated database over TCP — the
+// multi-process deployment of the paper's architecture. Every replica
+// serves a small line protocol for clients (see cmd/otpcli):
+//
+//	EXEC <procedure> [arg ...]   -> OK | ERR <message>
+//	QUERY <procedure> [arg ...]  -> VALUE <int64> | ERR <message>
+//	STATS                        -> STATS commits=<n> aborts=<n> reorders=<n> pending=<n>
+//	DIGEST                       -> DIGEST <hex>
+//
+// The demo schema partitions an integer keyspace into -classes conflict
+// classes with procedures add-p<i>(key, delta) and the cross-class query
+// get(p<i>, key) / sum(p<i>).
+//
+// Example 3-replica cluster on one machine:
+//
+//	otpd -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7070 &
+//	otpd -id 1 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7071 &
+//	otpd -id 2 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7072 &
+//	otpcli -addr :7070 EXEC add-p0 mykey 5
+//	otpcli -addr :7071 QUERY get p0 mykey
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"otpdb/internal/abcast"
+	"otpdb/internal/consensus"
+	"otpdb/internal/db"
+	"otpdb/internal/fd"
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 0, "replica id (index into -peers)")
+		peers   = flag.String("peers", "", "comma-separated replica addresses, index = id")
+		client  = flag.String("client", ":7070", "client listen address")
+		classes = flag.Int("classes", 8, "number of conflict classes")
+	)
+	flag.Parse()
+	if err := run(*id, *peers, *client, *classes); err != nil {
+		fmt.Fprintln(os.Stderr, "otpd:", err)
+		os.Exit(1)
+	}
+}
+
+// demoRegistry builds the keyspace schema: add-p<i>(key, delta) per
+// class, plus get(class, key) and sum(class) queries.
+func demoRegistry(classes int) (*sproc.Registry, error) {
+	reg := sproc.NewRegistry()
+	for c := 0; c < classes; c++ {
+		class := sproc.ClassID(fmt.Sprintf("p%d", c))
+		err := reg.RegisterUpdate(sproc.Update{
+			Name:  "add-" + string(class),
+			Class: class,
+			Fn: func(ctx sproc.UpdateCtx) error {
+				args := ctx.Args()
+				if len(args) < 2 {
+					return fmt.Errorf("add needs key and delta")
+				}
+				key := storage.Key(storage.ValueString(args[0]))
+				delta := storage.ValueInt64(args[1])
+				cur, _ := ctx.Read(key)
+				return ctx.Write(key, storage.Int64Value(storage.ValueInt64(cur)+delta))
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := reg.RegisterQuery(sproc.Query{
+		Name: "get",
+		Fn: func(ctx sproc.QueryCtx) (storage.Value, error) {
+			args := ctx.Args()
+			if len(args) < 2 {
+				return nil, fmt.Errorf("get needs class and key")
+			}
+			class := sproc.ClassID(storage.ValueString(args[0]))
+			v, _ := ctx.Read(class, storage.Key(storage.ValueString(args[1])))
+			return v, nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+func run(id int, peerList, clientAddr string, classes int) error {
+	if peerList == "" {
+		return fmt.Errorf("-peers is required")
+	}
+	parts := strings.Split(peerList, ",")
+	addrs := make(map[transport.NodeID]string, len(parts))
+	for i, addr := range parts {
+		addrs[transport.NodeID(i)] = strings.TrimSpace(addr)
+	}
+	if id < 0 || id >= len(parts) {
+		return fmt.Errorf("-id %d out of range for %d peers", id, len(parts))
+	}
+
+	// Wire registration for the gob codec.
+	fd.RegisterWire()
+	consensus.RegisterWire()
+	abcast.RegisterWire()
+	db.RegisterWire()
+
+	node, err := transport.ListenTCP(transport.TCPConfig{
+		ID:    transport.NodeID(id),
+		Addrs: addrs,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+
+	detector := fd.New(node, fd.Config{Interval: 100 * time.Millisecond})
+	detector.Start()
+	defer detector.Stop()
+
+	cons := consensus.New(consensus.Config{
+		Endpoint:     node,
+		Suspector:    detector,
+		RoundTimeout: 250 * time.Millisecond,
+	})
+	cons.Start()
+	defer cons.Stop()
+
+	bc := abcast.NewOptimistic(node, cons)
+	if err := bc.Start(); err != nil {
+		return err
+	}
+	defer func() { _ = bc.Stop() }()
+
+	reg, err := demoRegistry(classes)
+	if err != nil {
+		return err
+	}
+	rep, err := db.New(db.Config{
+		ID:        transport.NodeID(id),
+		Broadcast: bc,
+		Registry:  reg,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Start()
+	defer rep.Stop()
+
+	ln, err := net.Listen("tcp", clientAddr)
+	if err != nil {
+		return fmt.Errorf("client listen: %w", err)
+	}
+	defer func() { _ = ln.Close() }()
+	fmt.Printf("otpd: replica %d up — peers %s, clients on %s\n", id, peerList, ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		_ = ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil // shutting down
+		}
+		go serveClient(conn, rep)
+	}
+}
+
+// serveClient speaks the line protocol on one client connection.
+func serveClient(conn net.Conn, rep *db.Replica) {
+	defer func() { _ = conn.Close() }()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		reply := handleCommand(strings.Fields(sc.Text()), rep)
+		_, _ = w.WriteString(reply + "\n")
+		_ = w.Flush()
+	}
+}
+
+func handleCommand(fields []string, rep *db.Replica) string {
+	if len(fields) == 0 {
+		return "ERR empty command"
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "EXEC":
+		if len(fields) < 2 {
+			return "ERR EXEC needs a procedure"
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := rep.Exec(ctx, fields[1], parseArgs(fields[2:])...); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "QUERY":
+		if len(fields) < 2 {
+			return "ERR QUERY needs a procedure"
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		v, err := rep.Query(ctx, fields[1], parseArgs(fields[2:])...)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("VALUE %d", storage.ValueInt64(v))
+	case "STATS":
+		st := rep.Manager().Stats()
+		return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d",
+			st.Commits, st.Aborts, st.Reorders, rep.Manager().Pending())
+	case "DIGEST":
+		return fmt.Sprintf("DIGEST %016x", rep.Store().Digest())
+	default:
+		return "ERR unknown command " + fields[0]
+	}
+}
+
+// parseArgs converts protocol arguments: decimal integers become Int64
+// values, everything else a string value.
+func parseArgs(args []string) []storage.Value {
+	out := make([]storage.Value, len(args))
+	for i, a := range args {
+		if n, err := strconv.ParseInt(a, 10, 64); err == nil && i > 0 {
+			out[i] = storage.Int64Value(n)
+			continue
+		}
+		out[i] = storage.StringValue(a)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Command quickstart is the smallest possible otpdb program: a 3-replica
+// cluster with one update procedure and one query. Run it with
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"otpdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(3))
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	// An update stored procedure: bound to conflict class "accounts",
+	// broadcast to every replica, executed in the same definitive order
+	// everywhere.
+	cluster.MustRegisterUpdate(otpdb.Update{
+		Name:  "credit",
+		Class: "accounts",
+		Fn: func(ctx otpdb.UpdateCtx) error {
+			account := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
+			amount := otpdb.AsInt64(ctx.Args()[1])
+			balance, _ := ctx.Read(account)
+			return ctx.Write(account, otpdb.Int64(otpdb.AsInt64(balance)+amount))
+		},
+	})
+	// A read-only query: runs locally at one replica against a
+	// consistent snapshot, never blocking updates.
+	cluster.MustRegisterQuery(otpdb.Query{
+		Name: "balance",
+		Fn: func(ctx otpdb.QueryCtx) (otpdb.Value, error) {
+			v, _ := ctx.Read("accounts", otpdb.Key(otpdb.AsString(ctx.Args()[0])))
+			return v, nil
+		},
+	})
+	if err := cluster.Start(); err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	// Submit updates at different replicas; the atomic broadcast puts
+	// them in one global order.
+	for site := 0; site < cluster.Size(); site++ {
+		if err := cluster.Exec(ctx, site, "credit",
+			otpdb.String("alice"), otpdb.Int64(100)); err != nil {
+			return err
+		}
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := cluster.WaitForCommits(wctx, 3); err != nil {
+		return err
+	}
+
+	// Every replica answers the same balance.
+	for site := 0; site < cluster.Size(); site++ {
+		v, err := cluster.QueryAt(ctx, site, "balance", otpdb.String("alice"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("site %d: alice = %d\n", site, otpdb.AsInt64(v))
+	}
+	ok, err := cluster.Converged()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replicas converged: %v\n", ok)
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package abcast implements Atomic Broadcast with Optimistic Delivery as
+// specified in Section 2.1 of Kemme et al. (ICDCS'99), with the primitives
+//
+//	TO-broadcast(m) — Broadcast
+//	Opt-deliver(m)  — Event{Kind: Opt}, the tentative order (raw reception)
+//	TO-deliver(m)   — Event{Kind: TO}, the definitive total order
+//
+// and the properties Termination, Global Agreement, Local Agreement,
+// Global Order and Local Order.
+//
+// Three engines are provided:
+//
+//   - Optimistic: the OPT-ABcast realization. Messages are multicast to
+//     all sites and Opt-delivered the instant they are received; the
+//     definitive order is agreed in stages, one consensus instance per
+//     stage, each site proposing its tentative order. With spontaneous
+//     total order all proposals match and consensus terminates in one
+//     round-trip; mismatches cost extra rounds but deliveries are never
+//     wrong (commitment waits for TO).
+//   - Sequencer: a conservative baseline. A fixed sequencer assigns the
+//     definitive order and Opt/TO are emitted together at definitive
+//     time — i.e. classic atomic broadcast with no optimism and no
+//     execution overlap.
+//   - Scripted: a test double whose delivery schedule is fully under the
+//     caller's control.
+package abcast
+
+import (
+	"fmt"
+
+	"otpdb/internal/transport"
+)
+
+// Streams used on the transport.
+const (
+	// StreamData carries the message bodies (TO-broadcast payloads).
+	StreamData = "ab.data"
+	// StreamOrder carries the sequencer's ordering decisions.
+	StreamOrder = "ab.order"
+)
+
+// MsgID identifies a TO-broadcast message network-wide: the originating
+// site plus a per-origin sequence number.
+type MsgID struct {
+	Origin transport.NodeID
+	Seq    uint64
+}
+
+func (m MsgID) String() string { return fmt.Sprintf("m%d.%d", m.Origin, m.Seq) }
+
+// EventKind distinguishes the two delivery primitives.
+type EventKind int
+
+// Delivery kinds.
+const (
+	// Opt is a tentative (optimistic) delivery carrying the payload.
+	Opt EventKind = iota + 1
+	// TO is the definitive delivery; per the paper it carries only the
+	// confirmation (the message identifier), the body having been
+	// Opt-delivered already.
+	TO
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Opt:
+		return "Opt"
+	case TO:
+		return "TO"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a delivery at one site. The single event stream preserves the
+// relative order of Opt and TO deliveries exactly as the protocol emitted
+// them, which the transaction manager depends on.
+type Event struct {
+	Kind    EventKind
+	ID      MsgID
+	Payload any // set on Opt events only
+}
+
+// Broadcaster is one site's attachment to the atomic broadcast.
+type Broadcaster interface {
+	// Broadcast TO-broadcasts a payload and returns its message ID.
+	Broadcast(payload any) (MsgID, error)
+	// Deliveries is the ordered stream of Opt and TO events at this site.
+	Deliveries() <-chan Event
+	// Start launches the engine.
+	Start() error
+	// Stop terminates the engine and closes Deliveries.
+	Stop() error
+}
+
+// DataMsg is the wire form of a TO-broadcast payload.
+type DataMsg struct {
+	ID      MsgID
+	Payload any
+}
+
+// OrderMsg is the sequencer's ordering announcement: global sequence
+// number Seq is assigned to message ID.
+type OrderMsg struct {
+	Seq uint64
+	ID  MsgID
+}
+
+// RegisterWire registers broadcast message types with the gob codec used
+// by the TCP transport. Payload types must be registered separately.
+func RegisterWire() {
+	transport.Register(DataMsg{}, OrderMsg{}, MsgID{}, []MsgID(nil))
+}
+
+// Stats are cumulative engine counters, exposed for the experiment
+// harness.
+type Stats struct {
+	// Broadcasts counts locally TO-broadcast messages.
+	Broadcasts uint64
+	// OptDelivered counts Opt events emitted.
+	OptDelivered uint64
+	// TODelivered counts TO events emitted.
+	TODelivered uint64
+	// Stages counts decided consensus stages (Optimistic engine only).
+	Stages uint64
+	// FastStages counts stages whose decision equalled this site's own
+	// proposal — the spontaneous-order fast path.
+	FastStages uint64
+}

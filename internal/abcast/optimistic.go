@@ -1,0 +1,307 @@
+package abcast
+
+import (
+	"fmt"
+	"sync"
+
+	"otpdb/internal/consensus"
+	"otpdb/internal/queue"
+	"otpdb/internal/transport"
+)
+
+// Optimistic is the OPT-ABcast engine. Every site Opt-delivers messages in
+// raw reception order; the definitive order is agreed in numbered stages,
+// one consensus instance per stage, where each site proposes its own
+// tentative order of not-yet-decided messages. Spontaneous total order
+// makes all proposals equal and the stage decides in one round-trip.
+//
+// Properties (under a majority of correct sites and ◇S):
+//
+//	Termination      — reliable data dissemination puts every message into
+//	                   every site's proposals until some decision, which
+//	                   must then contain it, is reached.
+//	Global Agreement — consensus decisions are identical everywhere and
+//	                   stages are processed in stage order.
+//	Local Agreement  — every Opt-delivered message enters the undecided
+//	                   list and is eventually decided.
+//	Global Order     — TO events follow the concatenation of stage
+//	                   decisions, the same at all sites.
+//	Local Order      — a TO event is withheld until the message body has
+//	                   arrived and been Opt-delivered.
+type Optimistic struct {
+	ep   transport.Endpoint
+	cons *consensus.Engine
+	out  *queue.Q[Event]
+
+	mu      sync.Mutex
+	nextSeq uint64
+	started bool
+	closed  bool
+	stats   Stats
+
+	stop   chan struct{}
+	done   chan struct{}
+	dumpCh chan chan string
+
+	// Engine-goroutine state (no locking needed).
+	payloads    map[MsgID]any
+	optDone     map[MsgID]bool
+	decided     map[MsgID]bool
+	undecided   []MsgID
+	pendingTO   []MsgID
+	stage       uint64 // next stage to propose
+	inFlight    bool
+	nextProcess uint64 // next stage decision to process
+	decisionBuf map[uint64][]MsgID
+	lastProp    []MsgID // this site's proposal for the in-flight stage
+}
+
+var _ Broadcaster = (*Optimistic)(nil)
+
+// NewOptimistic creates an OPT-ABcast engine bound to ep and using cons
+// for definitive ordering. The consensus engine must be dedicated to this
+// broadcaster (instance numbers are the stage numbers) and must be started
+// and stopped by the caller.
+func NewOptimistic(ep transport.Endpoint, cons *consensus.Engine) *Optimistic {
+	return &Optimistic{
+		ep:          ep,
+		cons:        cons,
+		out:         queue.New[Event](),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		dumpCh:      make(chan chan string),
+		payloads:    make(map[MsgID]any),
+		optDone:     make(map[MsgID]bool),
+		decided:     make(map[MsgID]bool),
+		stage:       1,
+		nextProcess: 1,
+		decisionBuf: make(map[uint64][]MsgID),
+	}
+}
+
+// Start implements Broadcaster.
+func (o *Optimistic) Start() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.started {
+		return nil
+	}
+	o.started = true
+	go o.run()
+	return nil
+}
+
+// Stop implements Broadcaster.
+func (o *Optimistic) Stop() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	o.mu.Unlock()
+	close(o.stop)
+	<-o.done
+	o.out.Close()
+	return nil
+}
+
+// Broadcast implements Broadcaster.
+func (o *Optimistic) Broadcast(payload any) (MsgID, error) {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return MsgID{}, transport.ErrClosed
+	}
+	o.nextSeq++
+	id := MsgID{Origin: o.ep.ID(), Seq: o.nextSeq}
+	o.stats.Broadcasts++
+	o.mu.Unlock()
+	if err := o.ep.Broadcast(StreamData, DataMsg{ID: id, Payload: payload}); err != nil {
+		return MsgID{}, err
+	}
+	return id, nil
+}
+
+// Deliveries implements Broadcaster.
+func (o *Optimistic) Deliveries() <-chan Event { return o.out.Chan() }
+
+// Stats returns a snapshot of the engine counters.
+func (o *Optimistic) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+func (o *Optimistic) run() {
+	defer close(o.done)
+	data := o.ep.Subscribe(StreamData)
+	decisions := o.cons.Decisions()
+	for {
+		select {
+		case env, ok := <-data:
+			if !ok {
+				return
+			}
+			if m, ok := env.Msg.(DataMsg); ok {
+				o.onData(m)
+			}
+		case d, ok := <-decisions:
+			if !ok {
+				return
+			}
+			o.onDecision(d)
+		case reply := <-o.dumpCh:
+			reply <- o.dumpLocked()
+		case <-o.stop:
+			return
+		}
+	}
+}
+
+// onData Opt-delivers a newly received message and schedules it for
+// definitive ordering.
+func (o *Optimistic) onData(m DataMsg) {
+	if o.optDone[m.ID] {
+		return // duplicate (transport retransmission)
+	}
+	o.optDone[m.ID] = true
+	o.payloads[m.ID] = m.Payload
+	o.emit(Event{Kind: Opt, ID: m.ID, Payload: m.Payload})
+
+	if o.decided[m.ID] {
+		// Already definitively ordered (another site's proposal won the
+		// stage before our copy arrived): the TO event may now be
+		// releasable.
+		o.flushPendingTO()
+		return
+	}
+	o.undecided = append(o.undecided, m.ID)
+	o.maybePropose()
+}
+
+// onDecision buffers out-of-order stage decisions and processes them in
+// stage order.
+func (o *Optimistic) onDecision(d consensus.Decision) {
+	ids, ok := d.Value.([]MsgID)
+	if !ok {
+		// Consensus validity guarantees the decision is some site's
+		// proposal, which is always []MsgID. Anything else means the
+		// ordering layer is broken; dropping it silently would wedge
+		// every later stage.
+		panic(fmt.Sprintf("abcast: stage %d decided non-proposal value %T", d.Instance, d.Value))
+	}
+	o.decisionBuf[d.Instance] = ids
+	for {
+		ids, ok := o.decisionBuf[o.nextProcess]
+		if !ok {
+			return
+		}
+		delete(o.decisionBuf, o.nextProcess)
+		o.processStage(o.nextProcess, ids)
+		o.nextProcess++
+	}
+}
+
+func (o *Optimistic) processStage(stage uint64, ids []MsgID) {
+	o.mu.Lock()
+	o.stats.Stages++
+	if stage == o.stage && sameIDs(ids, o.lastProp) {
+		o.stats.FastStages++
+	}
+	o.mu.Unlock()
+
+	decidedSet := make(map[MsgID]bool, len(ids))
+	for _, id := range ids {
+		if o.decided[id] {
+			continue // defensive: never TO-deliver twice
+		}
+		o.decided[id] = true
+		decidedSet[id] = true
+		o.pendingTO = append(o.pendingTO, id)
+	}
+	// Drop decided messages from our own tentative list.
+	if len(decidedSet) > 0 {
+		kept := o.undecided[:0]
+		for _, id := range o.undecided {
+			if !decidedSet[id] {
+				kept = append(kept, id)
+			}
+		}
+		o.undecided = kept
+	}
+	o.flushPendingTO()
+
+	if stage >= o.stage {
+		o.stage = stage + 1
+	}
+	o.inFlight = false
+	o.lastProp = nil
+	o.maybePropose()
+}
+
+// flushPendingTO emits TO events for the decided prefix whose bodies have
+// arrived. Definitive order is never violated: a missing body blocks the
+// tail (Global Order), and bodies are Opt-delivered first (Local Order).
+func (o *Optimistic) flushPendingTO() {
+	for len(o.pendingTO) > 0 && o.optDone[o.pendingTO[0]] {
+		id := o.pendingTO[0]
+		o.pendingTO = o.pendingTO[1:]
+		delete(o.payloads, id)
+		o.emit(Event{Kind: TO, ID: id})
+	}
+}
+
+// maybePropose opens the next stage when there are unordered messages and
+// no stage in flight.
+func (o *Optimistic) maybePropose() {
+	if o.inFlight || len(o.undecided) == 0 {
+		return
+	}
+	proposal := make([]MsgID, len(o.undecided))
+	copy(proposal, o.undecided)
+	o.inFlight = true
+	o.lastProp = proposal
+	_ = o.cons.Propose(o.stage, proposal)
+}
+
+func (o *Optimistic) emit(ev Event) {
+	o.mu.Lock()
+	switch ev.Kind {
+	case Opt:
+		o.stats.OptDelivered++
+	case TO:
+		o.stats.TODelivered++
+	}
+	o.mu.Unlock()
+	o.out.Push(ev)
+}
+
+// Dump returns a snapshot of the engine's ordering state, for debugging.
+// It is served by the engine goroutine.
+func (o *Optimistic) Dump() string {
+	reply := make(chan string, 1)
+	select {
+	case o.dumpCh <- reply:
+		return <-reply
+	case <-o.stop:
+		return "engine stopped"
+	}
+}
+
+func (o *Optimistic) dumpLocked() string {
+	return fmt.Sprintf("abcast(%v): stage=%d nextProcess=%d inFlight=%v undecided=%v pendingTO=%v bufDecisions=%d",
+		o.ep.ID(), o.stage, o.nextProcess, o.inFlight, o.undecided, o.pendingTO, len(o.decisionBuf))
+}
+
+func sameIDs(a, b []MsgID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package abcast
+
+import (
+	"sync"
+
+	"otpdb/internal/queue"
+	"otpdb/internal/transport"
+)
+
+// Scripted is a Broadcaster test double whose delivery schedule is fully
+// under the caller's control. It backs the deterministic experiments
+// (mismatch-rate sweeps) and the transaction-manager integration tests,
+// where the tentative/definitive interleaving must be exact.
+type Scripted struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	closed  bool
+	// OnBroadcast, when set, is invoked for every Broadcast call instead
+	// of the default immediate Opt+TO delivery. The callback typically
+	// records the ID and injects deliveries later.
+	onBroadcast func(id MsgID, payload any)
+	out         *queue.Q[Event]
+	origin      transport.NodeID
+}
+
+var _ Broadcaster = (*Scripted)(nil)
+
+// NewScripted creates a scripted broadcaster. Without a handler, every
+// Broadcast is Opt- and then TO-delivered immediately, in broadcast order.
+func NewScripted(origin transport.NodeID, onBroadcast func(id MsgID, payload any)) *Scripted {
+	return &Scripted{
+		onBroadcast: onBroadcast,
+		out:         queue.New[Event](),
+		origin:      origin,
+	}
+}
+
+// Start implements Broadcaster.
+func (s *Scripted) Start() error { return nil }
+
+// Stop implements Broadcaster.
+func (s *Scripted) Stop() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.out.Close()
+	return nil
+}
+
+// Broadcast implements Broadcaster.
+func (s *Scripted) Broadcast(payload any) (MsgID, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return MsgID{}, transport.ErrClosed
+	}
+	s.nextSeq++
+	id := MsgID{Origin: s.origin, Seq: s.nextSeq}
+	handler := s.onBroadcast
+	s.mu.Unlock()
+	if handler != nil {
+		handler(id, payload)
+		return id, nil
+	}
+	s.InjectOpt(id, payload)
+	s.InjectTO(id)
+	return id, nil
+}
+
+// Deliveries implements Broadcaster.
+func (s *Scripted) Deliveries() <-chan Event { return s.out.Chan() }
+
+// InjectOpt emits an Opt event.
+func (s *Scripted) InjectOpt(id MsgID, payload any) {
+	s.out.Push(Event{Kind: Opt, ID: id, Payload: payload})
+}
+
+// InjectTO emits a TO event.
+func (s *Scripted) InjectTO(id MsgID) {
+	s.out.Push(Event{Kind: TO, ID: id})
+}

@@ -1,0 +1,182 @@
+package abcast
+
+import (
+	"sync"
+
+	"otpdb/internal/queue"
+	"otpdb/internal/transport"
+)
+
+// Sequencer is the conservative atomic broadcast baseline: a fixed
+// sequencer site assigns the definitive order, and each site emits the
+// Opt and TO events together once the definitive position of a message is
+// known. There is no optimism and therefore no opportunity to overlap
+// transaction execution with the ordering coordination — exactly the
+// classic-ABcast processing model the paper improves upon.
+//
+// The sequencer site is node 0. The engine assumes the sequencer is
+// correct; fault tolerance is the Optimistic engine's job.
+type Sequencer struct {
+	ep  transport.Endpoint
+	out *queue.Q[Event]
+
+	mu      sync.Mutex
+	nextSeq uint64
+	started bool
+	closed  bool
+	stats   Stats
+
+	stop chan struct{}
+	done chan struct{}
+
+	// Engine-goroutine state.
+	payloads    map[MsgID]any
+	orderBuf    map[uint64]MsgID
+	nextAssign  uint64 // sequencer only: next global sequence to hand out
+	nextDeliver uint64
+	seen        map[MsgID]bool
+}
+
+var _ Broadcaster = (*Sequencer)(nil)
+
+// SequencerNode is the node that assigns the total order.
+const SequencerNode transport.NodeID = 0
+
+// NewSequencer creates a conservative broadcaster bound to ep.
+func NewSequencer(ep transport.Endpoint) *Sequencer {
+	return &Sequencer{
+		ep:       ep,
+		out:      queue.New[Event](),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		payloads: make(map[MsgID]any),
+		orderBuf: make(map[uint64]MsgID),
+		seen:     make(map[MsgID]bool),
+	}
+}
+
+// Start implements Broadcaster.
+func (s *Sequencer) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return nil
+	}
+	s.started = true
+	go s.run()
+	return nil
+}
+
+// Stop implements Broadcaster.
+func (s *Sequencer) Stop() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	s.out.Close()
+	return nil
+}
+
+// Broadcast implements Broadcaster.
+func (s *Sequencer) Broadcast(payload any) (MsgID, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return MsgID{}, transport.ErrClosed
+	}
+	s.nextSeq++
+	id := MsgID{Origin: s.ep.ID(), Seq: s.nextSeq}
+	s.stats.Broadcasts++
+	s.mu.Unlock()
+	if err := s.ep.Broadcast(StreamData, DataMsg{ID: id, Payload: payload}); err != nil {
+		return MsgID{}, err
+	}
+	return id, nil
+}
+
+// Deliveries implements Broadcaster.
+func (s *Sequencer) Deliveries() <-chan Event { return s.out.Chan() }
+
+// Stats returns a snapshot of the engine counters.
+func (s *Sequencer) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Sequencer) run() {
+	defer close(s.done)
+	data := s.ep.Subscribe(StreamData)
+	order := s.ep.Subscribe(StreamOrder)
+	for {
+		select {
+		case env, ok := <-data:
+			if !ok {
+				return
+			}
+			if m, ok := env.Msg.(DataMsg); ok {
+				s.onData(m)
+			}
+		case env, ok := <-order:
+			if !ok {
+				return
+			}
+			if m, ok := env.Msg.(OrderMsg); ok {
+				s.onOrder(m)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Sequencer) onData(m DataMsg) {
+	if s.seen[m.ID] {
+		return // duplicate
+	}
+	s.seen[m.ID] = true
+	s.payloads[m.ID] = m.Payload
+	if s.ep.ID() == SequencerNode {
+		s.nextAssign++
+		_ = s.ep.Broadcast(StreamOrder, OrderMsg{Seq: s.nextAssign, ID: m.ID})
+	}
+	s.flush()
+}
+
+func (s *Sequencer) onOrder(m OrderMsg) {
+	if _, dup := s.orderBuf[m.Seq]; dup {
+		return
+	}
+	s.orderBuf[m.Seq] = m.ID
+	s.flush()
+}
+
+// flush emits Opt immediately followed by TO for every message whose
+// definitive position is next and whose body has arrived. Head-of-line
+// blocking on a missing body or order is what total order requires.
+func (s *Sequencer) flush() {
+	for {
+		id, ok := s.orderBuf[s.nextDeliver+1]
+		if !ok {
+			return
+		}
+		payload, have := s.payloads[id]
+		if !have {
+			return
+		}
+		s.nextDeliver++
+		delete(s.orderBuf, s.nextDeliver)
+		delete(s.payloads, id)
+		s.mu.Lock()
+		s.stats.OptDelivered++
+		s.stats.TODelivered++
+		s.mu.Unlock()
+		s.out.Push(Event{Kind: Opt, ID: id, Payload: payload})
+		s.out.Push(Event{Kind: TO, ID: id})
+	}
+}

@@ -1,0 +1,486 @@
+// Package consensus implements the Chandra–Toueg ◇S consensus algorithm
+// with a rotating coordinator, the agreement substrate referenced by the
+// paper's atomic broadcast layer ([6] in Kemme et al., ICDCS'99).
+//
+// The engine runs an unbounded sequence of independent consensus instances
+// (one per OPT-ABcast stage). For each instance:
+//
+//	round r: coordinator = r mod n
+//	 phase 1: every process sends its (estimate, ts) to the coordinator
+//	 phase 2: the coordinator gathers a majority and broadcasts the
+//	          estimate with the highest ts as its proposal
+//	 phase 3: processes adopt the proposal and ack, or — after suspecting
+//	          the coordinator — nack and move to round r+1
+//	 phase 4: a majority of acks lets the coordinator reliably broadcast
+//	          DECIDE
+//
+// Safety (agreement, validity) holds under arbitrary failure-detector
+// mistakes; termination needs a majority of correct processes and ◇S.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"otpdb/internal/fd"
+	"otpdb/internal/queue"
+	"otpdb/internal/transport"
+)
+
+// Stream is the transport stream used by the engine.
+const Stream = "cons"
+
+// Wire messages. Values proposed through the engine must themselves be
+// registered with transport.Register when running over TCP.
+type (
+	// MsgEstimate is a phase 1 message carrying a process's current
+	// estimate and the round in which it was last updated.
+	MsgEstimate struct {
+		Inst  uint64
+		Round int
+		Est   any
+		TS    int
+	}
+	// MsgPropose is the phase 2 coordinator proposal.
+	MsgPropose struct {
+		Inst  uint64
+		Round int
+		Val   any
+	}
+	// MsgAck is the phase 3 reply: OK reports adoption, !OK is a nack
+	// after suspecting the coordinator.
+	MsgAck struct {
+		Inst  uint64
+		Round int
+		OK    bool
+	}
+	// MsgDecide is the reliably broadcast decision.
+	MsgDecide struct {
+		Inst uint64
+		Val  any
+	}
+)
+
+// RegisterWire registers the engine's message types with the gob codec
+// used by the TCP transport.
+func RegisterWire() {
+	transport.Register(MsgEstimate{}, MsgPropose{}, MsgAck{}, MsgDecide{})
+}
+
+// Decision is an output of the engine.
+type Decision struct {
+	Instance uint64
+	Value    any
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Endpoint is the node's transport attachment.
+	Endpoint transport.Endpoint
+	// Suspector drives coordinator rotation. Defaults to never-suspect
+	// (rounds then advance on RoundTimeout alone).
+	Suspector fd.Suspector
+	// RoundTimeout bounds how long a process waits for the coordinator's
+	// proposal before nacking, in addition to failure-detector suspicion.
+	// Defaults to 100 ms.
+	RoundTimeout time.Duration
+	// TickEvery is the deadline-check granularity. Defaults to
+	// RoundTimeout/4.
+	TickEvery time.Duration
+}
+
+// Engine executes consensus instances. Create with New, then Start.
+type Engine struct {
+	ep        transport.Endpoint
+	susp      fd.Suspector
+	timeout   time.Duration
+	tickEvery time.Duration
+
+	proposeCh chan proposeReq
+	dumpCh    chan chan string
+	decisions *queue.Q[Decision]
+
+	instances map[uint64]*instance
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+type proposeReq struct {
+	inst uint64
+	val  any
+}
+
+// instance is the per-consensus-instance state machine.
+type instance struct {
+	id        uint64
+	round     int
+	estimate  any
+	ts        int
+	started   bool // local Propose seen
+	waiting   bool // in phase 3, waiting for the coordinator's proposal
+	deadline  time.Time
+	decided   bool
+	decision  any
+	relayed   bool
+	announced bool
+
+	// Per-round coordinator state. Any process may become coordinator of
+	// some round — even of instances it never locally started — so every
+	// instance tracks these.
+	estimates map[int]map[transport.NodeID]MsgEstimate
+	acks      map[int]map[transport.NodeID]bool
+	proposals map[int]MsgPropose // buffered proposals from future rounds
+	sentVal   map[int]any        // values we proposed, by round
+	decideFor map[int]bool       // rounds for which we already decided
+}
+
+// New creates an engine. Call Start before proposing.
+func New(cfg Config) *Engine {
+	if cfg.Endpoint == nil {
+		panic("consensus: Config.Endpoint is required")
+	}
+	if cfg.Suspector == nil {
+		cfg.Suspector = fd.StaticSuspector{}
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 100 * time.Millisecond
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = cfg.RoundTimeout / 4
+	}
+	return &Engine{
+		ep:        cfg.Endpoint,
+		susp:      cfg.Suspector,
+		timeout:   cfg.RoundTimeout,
+		tickEvery: cfg.TickEvery,
+		proposeCh: make(chan proposeReq),
+		dumpCh:    make(chan chan string),
+		decisions: queue.New[Decision](),
+		instances: make(map[uint64]*instance),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Decisions returns the channel of decided instances. Each instance is
+// announced exactly once, in decision order at this node.
+func (e *Engine) Decisions() <-chan Decision { return e.decisions.Chan() }
+
+// Start launches the engine goroutine.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	go e.run()
+}
+
+// Stop terminates the engine and waits for its goroutine.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stop)
+	<-e.done
+	e.decisions.Close()
+}
+
+// ErrStopped is returned by Propose on a stopped engine.
+var ErrStopped = errors.New("consensus: engine stopped")
+
+// Propose submits this node's initial value for an instance. Proposing
+// twice for the same instance is a no-op; different nodes may propose
+// different values (validity guarantees the decision is one of them).
+func (e *Engine) Propose(inst uint64, val any) error {
+	select {
+	case e.proposeCh <- proposeReq{inst: inst, val: val}:
+		return nil
+	case <-e.stop:
+		return ErrStopped
+	}
+}
+
+func (e *Engine) run() {
+	defer close(e.done)
+	in := e.ep.Subscribe(Stream)
+	ticker := time.NewTicker(e.tickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case req := <-e.proposeCh:
+			e.handlePropose(req.inst, req.val)
+		case env, ok := <-in:
+			if !ok {
+				return
+			}
+			e.handleEnvelope(env)
+		case <-ticker.C:
+			e.checkDeadlines()
+		case reply := <-e.dumpCh:
+			reply <- e.dumpLocked()
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Engine) get(inst uint64) *instance {
+	st, ok := e.instances[inst]
+	if !ok {
+		st = &instance{
+			id:        inst,
+			round:     -1,
+			estimates: make(map[int]map[transport.NodeID]MsgEstimate),
+			acks:      make(map[int]map[transport.NodeID]bool),
+			proposals: make(map[int]MsgPropose),
+			sentVal:   make(map[int]any),
+			decideFor: make(map[int]bool),
+		}
+		e.instances[inst] = st
+	}
+	return st
+}
+
+func (e *Engine) majority() int { return e.ep.N()/2 + 1 }
+
+func (e *Engine) coord(round int) transport.NodeID {
+	return transport.NodeID(round % e.ep.N())
+}
+
+func (e *Engine) handlePropose(inst uint64, val any) {
+	st := e.get(inst)
+	if st.decided || st.started {
+		return
+	}
+	st.started = true
+	if st.estimate == nil {
+		st.estimate = val
+		st.ts = 0
+	}
+	e.startRound(st, 0)
+}
+
+// startRound enters round r: phase 1 (send estimate to the coordinator)
+// and phase 3 setup (arm the proposal wait). The proposal timeout backs
+// off exponentially with the round number so that, even when the
+// configured timeout undershoots the actual message delay, some round is
+// eventually long enough for the coordinator to be heard — the practical
+// realization of the ◇S eventual-timeliness assumption that CT's
+// termination proof needs.
+func (e *Engine) startRound(st *instance, r int) {
+	st.round = r
+	st.waiting = true
+	backoff := r
+	if backoff > 6 {
+		backoff = 6
+	}
+	st.deadline = time.Now().Add(e.timeout << uint(backoff))
+	_ = e.ep.Send(e.coord(r), Stream, MsgEstimate{
+		Inst:  st.id,
+		Round: r,
+		Est:   st.estimate,
+		TS:    st.ts,
+	})
+	// A proposal for this round may have arrived before we entered it.
+	if p, ok := st.proposals[r]; ok {
+		delete(st.proposals, r)
+		e.adoptProposal(st, p)
+	}
+}
+
+func (e *Engine) handleEnvelope(env transport.Envelope) {
+	switch m := env.Msg.(type) {
+	case MsgEstimate:
+		e.onEstimate(env.From, m)
+	case MsgPropose:
+		e.onPropose(m)
+	case MsgAck:
+		e.onAck(env.From, m)
+	case MsgDecide:
+		e.onDecide(m)
+	}
+}
+
+// onEstimate is coordinator phase 2: with a majority of estimates for a
+// round we coordinate, propose the one with the highest timestamp.
+func (e *Engine) onEstimate(from transport.NodeID, m MsgEstimate) {
+	st := e.get(m.Inst)
+	if st.decided || e.coord(m.Round) != e.ep.ID() {
+		return
+	}
+	if _, already := st.sentVal[m.Round]; already {
+		return
+	}
+	byNode, ok := st.estimates[m.Round]
+	if !ok {
+		byNode = make(map[transport.NodeID]MsgEstimate)
+		st.estimates[m.Round] = byNode
+	}
+	byNode[from] = m
+	if len(byNode) < e.majority() {
+		return
+	}
+	best := MsgEstimate{TS: -1}
+	for _, est := range byNode {
+		if est.TS > best.TS {
+			best = est
+		}
+	}
+	// Remember the proposed value: phase 4 must decide exactly this
+	// value, not whatever the coordinator's own estimate happens to be
+	// (the coordinator may not even participate in the instance).
+	st.sentVal[m.Round] = best.Est
+	_ = e.ep.Broadcast(Stream, MsgPropose{Inst: m.Inst, Round: m.Round, Val: best.Est})
+}
+
+// onPropose is participant phase 3: adopt the coordinator's proposal for
+// the current round; buffer proposals from rounds we have not reached.
+func (e *Engine) onPropose(m MsgPropose) {
+	st := e.get(m.Inst)
+	if st.decided {
+		return
+	}
+	switch {
+	case m.Round == st.round && st.waiting:
+		e.adoptProposal(st, m)
+	case m.Round > st.round:
+		st.proposals[m.Round] = m
+	}
+}
+
+func (e *Engine) adoptProposal(st *instance, m MsgPropose) {
+	st.estimate = m.Val
+	// The adoption timestamp must dominate the never-adopted initial
+	// estimates (ts 0) even in round 0, otherwise a later coordinator
+	// could propose a value different from one already locked by a
+	// round-0 majority — the classic CT locking argument.
+	st.ts = m.Round + 1
+	st.waiting = false
+	_ = e.ep.Send(e.coord(m.Round), Stream, MsgAck{Inst: st.id, Round: m.Round, OK: true})
+	// Proceed to the next round; a DECIDE will normally arrive first and
+	// halt the instance.
+	e.startRound(st, m.Round+1)
+}
+
+// onAck is coordinator phase 4: a majority of positive acks decides.
+func (e *Engine) onAck(from transport.NodeID, m MsgAck) {
+	st := e.get(m.Inst)
+	if st.decided || e.coord(m.Round) != e.ep.ID() || st.decideFor[m.Round] {
+		return
+	}
+	byNode, ok := st.acks[m.Round]
+	if !ok {
+		byNode = make(map[transport.NodeID]bool)
+		st.acks[m.Round] = byNode
+	}
+	byNode[from] = m.OK
+	positive := 0
+	for _, ok := range byNode {
+		if ok {
+			positive++
+		}
+	}
+	if positive >= e.majority() {
+		val, proposed := st.sentVal[m.Round]
+		if !proposed {
+			// Acks for a round we never proposed in: stale traffic.
+			return
+		}
+		st.decideFor[m.Round] = true
+		_ = e.ep.Broadcast(Stream, MsgDecide{Inst: m.Inst, Val: val})
+	}
+}
+
+// onDecide is the reliable-broadcast delivery: decide once, relay once.
+func (e *Engine) onDecide(m MsgDecide) {
+	st := e.get(m.Inst)
+	if !st.relayed {
+		st.relayed = true
+		_ = e.ep.Broadcast(Stream, MsgDecide{Inst: m.Inst, Val: m.Val})
+	}
+	if st.decided {
+		return
+	}
+	st.decided = true
+	st.decision = m.Val
+	st.waiting = false
+	if !st.announced {
+		st.announced = true
+		e.decisions.Push(Decision{Instance: m.Inst, Value: m.Val})
+	}
+	// Release per-round state; only the decision tombstone remains.
+	st.estimates = nil
+	st.acks = nil
+	st.proposals = nil
+	st.sentVal = nil
+}
+
+// checkDeadlines implements the "coordinator suspected" branch of phase 3:
+// nack and move on when the proposal did not arrive in time or the
+// failure detector suspects the coordinator.
+func (e *Engine) checkDeadlines() {
+	now := time.Now()
+	for _, st := range e.instances {
+		if st.decided || !st.started || !st.waiting {
+			continue
+		}
+		if now.Before(st.deadline) && !e.susp.Suspected(e.coord(st.round)) {
+			continue
+		}
+		r := st.round
+		st.waiting = false
+		_ = e.ep.Send(e.coord(r), Stream, MsgAck{Inst: st.id, Round: r, OK: false})
+		e.startRound(st, r+1)
+	}
+}
+
+// String aids debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("consensus.Engine(%v)", e.ep.ID())
+}
+
+// Dump returns a human-readable snapshot of all undecided instances, for
+// debugging stuck protocols. It is served by the engine goroutine.
+func (e *Engine) Dump() string {
+	reply := make(chan string, 1)
+	select {
+	case e.dumpCh <- reply:
+		return <-reply
+	case <-e.stop:
+		return "engine stopped"
+	}
+}
+
+func (e *Engine) dumpLocked() string {
+	out := fmt.Sprintf("%v:", e)
+	undecided := 0
+	for inst, st := range e.instances {
+		if st.decided {
+			continue
+		}
+		undecided++
+		ests := 0
+		for _, byNode := range st.estimates {
+			ests += len(byNode)
+		}
+		out += fmt.Sprintf(" [inst=%d round=%d started=%v waiting=%v est=%d]",
+			inst, st.round, st.started, st.waiting, ests)
+	}
+	if undecided == 0 {
+		out += " all-decided"
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"otpdb/internal/fd"
+	"otpdb/internal/transport"
+)
+
+// collectDecision waits for the decision of a given instance on one engine.
+func collectDecision(t *testing.T, e *Engine, inst uint64, timeout time.Duration) any {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case d, ok := <-e.Decisions():
+			if !ok {
+				t.Fatal("decisions channel closed")
+			}
+			if d.Instance == inst {
+				return d.Value
+			}
+		case <-deadline:
+			t.Fatalf("engine %v: no decision for instance %d within %v", e, inst, timeout)
+		}
+	}
+}
+
+func startEngines(t *testing.T, h *transport.Hub, n int, susp fd.Suspector) []*Engine {
+	t.Helper()
+	engines := make([]*Engine, n)
+	for i := 0; i < n; i++ {
+		engines[i] = New(Config{
+			Endpoint:     h.Endpoint(transport.NodeID(i)),
+			Suspector:    susp,
+			RoundTimeout: 50 * time.Millisecond,
+		})
+		engines[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, e := range engines {
+			e.Stop()
+		}
+	})
+	return engines
+}
+
+func TestAgreementAndValiditySameProposal(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	engines := startEngines(t, h, 3, nil)
+	for _, e := range engines {
+		if err := e.Propose(1, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range engines {
+		if got := collectDecision(t, e, 1, 5*time.Second); got != "v" {
+			t.Fatalf("decided %v, want v", got)
+		}
+	}
+}
+
+func TestAgreementDifferentProposals(t *testing.T) {
+	h := transport.NewHub(5)
+	defer h.Close()
+	engines := startEngines(t, h, 5, nil)
+	proposed := make(map[string]bool)
+	for i, e := range engines {
+		v := fmt.Sprintf("val-%d", i)
+		proposed[v] = true
+		if err := e.Propose(7, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := collectDecision(t, engines[0], 7, 5*time.Second)
+	s, ok := first.(string)
+	if !ok || !proposed[s] {
+		t.Fatalf("decision %v was never proposed (validity)", first)
+	}
+	for _, e := range engines[1:] {
+		if got := collectDecision(t, e, 7, 5*time.Second); got != first {
+			t.Fatalf("disagreement: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestTerminationWithCrashedCoordinator(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	// Node 0 coordinates round 0; crash it before anything happens.
+	h.Crash(0)
+	susp := fd.StaticSuspector{0: true}
+	engines := make([]*Engine, 3)
+	for i := 1; i < 3; i++ {
+		engines[i] = New(Config{
+			Endpoint:     h.Endpoint(transport.NodeID(i)),
+			Suspector:    susp,
+			RoundTimeout: 50 * time.Millisecond,
+		})
+		engines[i].Start()
+		defer engines[i].Stop()
+	}
+	for i := 1; i < 3; i++ {
+		if err := engines[i].Propose(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got1 := collectDecision(t, engines[1], 1, 5*time.Second)
+	got2 := collectDecision(t, engines[2], 1, 5*time.Second)
+	if got1 != got2 {
+		t.Fatalf("disagreement after coordinator crash: %v vs %v", got1, got2)
+	}
+}
+
+func TestTerminationWithCrashedParticipantMinority(t *testing.T) {
+	h := transport.NewHub(5)
+	defer h.Close()
+	h.Crash(3)
+	h.Crash(4)
+	susp := fd.StaticSuspector{3: true, 4: true}
+	engines := make([]*Engine, 3)
+	for i := 0; i < 3; i++ {
+		engines[i] = New(Config{
+			Endpoint:     h.Endpoint(transport.NodeID(i)),
+			Suspector:    susp,
+			RoundTimeout: 50 * time.Millisecond,
+		})
+		engines[i].Start()
+		defer engines[i].Stop()
+	}
+	for _, e := range engines {
+		if err := e.Propose(3, "alive"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range engines {
+		if got := collectDecision(t, e, 3, 5*time.Second); got != "alive" {
+			t.Fatalf("decided %v", got)
+		}
+	}
+}
+
+// A node can coordinate an instance it never locally proposed (node 0
+// coordinates round 0 of every instance). The decision must then be the
+// value it proposed from the gathered estimates — never its own (absent)
+// estimate. Regression test for a wedge where DECIDE(nil) was broadcast.
+func TestDecisionWithNonParticipatingCoordinator(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	engines := startEngines(t, h, 3, nil)
+	// Engines 1 and 2 propose; engine 0 (round-0 coordinator) does not.
+	if err := engines[1].Propose(1, "fromN1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := engines[2].Propose(1, "fromN2"); err != nil {
+		t.Fatal(err)
+	}
+	v1 := collectDecision(t, engines[1], 1, 5*time.Second)
+	v2 := collectDecision(t, engines[2], 1, 5*time.Second)
+	if v1 == nil || v1 != v2 {
+		t.Fatalf("decisions %v / %v; want equal non-nil proposed value", v1, v2)
+	}
+	if v1 != "fromN1" && v1 != "fromN2" {
+		t.Fatalf("decision %v was never proposed (validity)", v1)
+	}
+}
+
+func TestManyInstancesConcurrently(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	engines := startEngines(t, h, 3, nil)
+	const instances = 20
+	for inst := uint64(0); inst < instances; inst++ {
+		for i, e := range engines {
+			if err := e.Propose(inst, fmt.Sprintf("i%d-n%d", inst, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Collect all decisions per engine and compare.
+	decided := make([]map[uint64]any, len(engines))
+	for i, e := range engines {
+		decided[i] = make(map[uint64]any, instances)
+		deadline := time.After(10 * time.Second)
+		for len(decided[i]) < instances {
+			select {
+			case d := <-e.Decisions():
+				decided[i][d.Instance] = d.Value
+			case <-deadline:
+				t.Fatalf("engine %d decided only %d/%d", i, len(decided[i]), instances)
+			}
+		}
+	}
+	for inst := uint64(0); inst < instances; inst++ {
+		v := decided[0][inst]
+		for i := 1; i < len(engines); i++ {
+			if decided[i][inst] != v {
+				t.Fatalf("instance %d: %v vs %v", inst, decided[i][inst], v)
+			}
+		}
+	}
+}
+
+func TestDecisionAnnouncedExactlyOnce(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	engines := startEngines(t, h, 3, nil)
+	for _, e := range engines {
+		if err := e.Propose(1, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collectDecision(t, engines[0], 1, 5*time.Second)
+	select {
+	case d := <-engines[0].Decisions():
+		t.Fatalf("duplicate decision announced: %+v", d)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestProposeTwiceIsNoop(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	engines := startEngines(t, h, 3, nil)
+	for _, e := range engines {
+		if err := e.Propose(1, "first"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engines[0].Propose(1, "second"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range engines {
+		if got := collectDecision(t, e, 1, 5*time.Second); got != "first" {
+			t.Fatalf("decided %v, want first", got)
+		}
+	}
+}
+
+func TestStopRejectsPropose(t *testing.T) {
+	h := transport.NewHub(1)
+	defer h.Close()
+	e := New(Config{Endpoint: h.Endpoint(0), RoundTimeout: 20 * time.Millisecond})
+	e.Start()
+	e.Stop()
+	if err := e.Propose(1, "x"); err != ErrStopped {
+		t.Fatalf("Propose after stop = %v, want ErrStopped", err)
+	}
+	e.Stop() // idempotent
+}
+
+func TestSingleNodeDecidesAlone(t *testing.T) {
+	h := transport.NewHub(1)
+	defer h.Close()
+	e := New(Config{Endpoint: h.Endpoint(0), RoundTimeout: 20 * time.Millisecond})
+	e.Start()
+	defer e.Stop()
+	if err := e.Propose(1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectDecision(t, e, 1, 5*time.Second); got != 99 {
+		t.Fatalf("decided %v, want 99", got)
+	}
+}
+
+// Round timeouts far below the message delay force nacks and multi-round
+// instances on every decision — the regime that exposes locking bugs in
+// the coordinator's estimate selection (a round-0 adoption must dominate
+// initial estimates, see adoptProposal).
+func TestAgreementUnderConstantRoundRotation(t *testing.T) {
+	h := transport.NewHub(3, transport.WithDelay(4*time.Millisecond),
+		transport.WithJitter(8*time.Millisecond), transport.WithSeed(23))
+	defer h.Close()
+	engines := make([]*Engine, 3)
+	for i := 0; i < 3; i++ {
+		engines[i] = New(Config{
+			Endpoint:     h.Endpoint(transport.NodeID(i)),
+			RoundTimeout: 3 * time.Millisecond, // below one network delay
+		})
+		engines[i].Start()
+		defer engines[i].Stop()
+	}
+	const instances = 30
+	for inst := uint64(0); inst < instances; inst++ {
+		for i, e := range engines {
+			if err := e.Propose(inst, fmt.Sprintf("i%d-n%d", inst, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	decided := make([]map[uint64]any, len(engines))
+	for i, e := range engines {
+		decided[i] = make(map[uint64]any, instances)
+		deadline := time.After(30 * time.Second)
+		for len(decided[i]) < instances {
+			select {
+			case d := <-e.Decisions():
+				decided[i][d.Instance] = d.Value
+			case <-deadline:
+				t.Fatalf("engine %d decided only %d/%d", i, len(decided[i]), instances)
+			}
+		}
+	}
+	for inst := uint64(0); inst < instances; inst++ {
+		if decided[0][inst] != decided[1][inst] || decided[1][inst] != decided[2][inst] {
+			t.Fatalf("SAFETY: instance %d decided %v / %v / %v",
+				inst, decided[0][inst], decided[1][inst], decided[2][inst])
+		}
+	}
+}
+
+func TestAgreementUnderMessageJitter(t *testing.T) {
+	h := transport.NewHub(3, transport.WithJitter(3*time.Millisecond), transport.WithSeed(9))
+	defer h.Close()
+	engines := startEngines(t, h, 3, nil)
+	const instances = 10
+	for inst := uint64(0); inst < instances; inst++ {
+		for i, e := range engines {
+			if err := e.Propose(inst, int(inst)*10+i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	decided := make([]map[uint64]any, len(engines))
+	for i, e := range engines {
+		decided[i] = make(map[uint64]any, instances)
+		deadline := time.After(15 * time.Second)
+		for len(decided[i]) < instances {
+			select {
+			case d := <-e.Decisions():
+				decided[i][d.Instance] = d.Value
+			case <-deadline:
+				t.Fatalf("engine %d decided only %d/%d", i, len(decided[i]), instances)
+			}
+		}
+	}
+	for inst := uint64(0); inst < instances; inst++ {
+		if decided[0][inst] != decided[1][inst] || decided[1][inst] != decided[2][inst] {
+			t.Fatalf("instance %d: %v %v %v",
+				inst, decided[0][inst], decided[1][inst], decided[2][inst])
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package db_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"otpdb/internal/abcast"
+	"otpdb/internal/consensus"
+	"otpdb/internal/db"
+	"otpdb/internal/history"
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// bankRegistry builds the test schema: `classes` conflict classes, each a
+// partition holding `accounts` integer accounts, with deposit and
+// transfer procedures per class and cross-class queries.
+func bankRegistry(t *testing.T, classes, accounts int) *sproc.Registry {
+	t.Helper()
+	reg := sproc.NewRegistry()
+	for c := 0; c < classes; c++ {
+		class := sproc.ClassID(fmt.Sprintf("c%d", c))
+		// deposit-<class>(account, amount)
+		if err := reg.RegisterUpdate(sproc.Update{
+			Name:  "deposit-" + string(class),
+			Class: class,
+			Fn: func(ctx sproc.UpdateCtx) error {
+				acct := storage.Key(storage.ValueString(ctx.Args()[0]))
+				amount := storage.ValueInt64(ctx.Args()[1])
+				cur, _ := ctx.Read(acct)
+				return ctx.Write(acct, storage.Int64Value(storage.ValueInt64(cur)+amount))
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// transfer-<class>(from, to, amount): conserves the class total.
+		if err := reg.RegisterUpdate(sproc.Update{
+			Name:  "transfer-" + string(class),
+			Class: class,
+			Fn: func(ctx sproc.UpdateCtx) error {
+				from := storage.Key(storage.ValueString(ctx.Args()[0]))
+				to := storage.Key(storage.ValueString(ctx.Args()[1]))
+				amount := storage.ValueInt64(ctx.Args()[2])
+				fv, _ := ctx.Read(from)
+				tv, _ := ctx.Read(to)
+				if err := ctx.Write(from, storage.Int64Value(storage.ValueInt64(fv)-amount)); err != nil {
+					return err
+				}
+				return ctx.Write(to, storage.Int64Value(storage.ValueInt64(tv)+amount))
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// total(class...): sums every account of the given classes from one
+	// consistent snapshot.
+	if err := reg.RegisterQuery(sproc.Query{
+		Name: "total",
+		Fn: func(ctx sproc.QueryCtx) (storage.Value, error) {
+			var sum int64
+			for _, arg := range ctx.Args() {
+				class := sproc.ClassID(storage.ValueString(arg))
+				for a := 0; a < accounts; a++ {
+					v, _ := ctx.Read(class, storage.Key(fmt.Sprintf("acct%d", a)))
+					sum += storage.ValueInt64(v)
+				}
+			}
+			return storage.Int64Value(sum), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// get(class, account): single-key read.
+	if err := reg.RegisterQuery(sproc.Query{
+		Name: "get",
+		Fn: func(ctx sproc.QueryCtx) (storage.Value, error) {
+			class := sproc.ClassID(storage.ValueString(ctx.Args()[0]))
+			v, _ := ctx.Read(class, storage.Key(storage.ValueString(ctx.Args()[1])))
+			return v, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// cluster is an in-process replicated database over the optimistic
+// atomic broadcast.
+type cluster struct {
+	hub  *transport.Hub
+	reps []*db.Replica
+	rec  *history.Recorder
+}
+
+type clusterOpts struct {
+	jitter  time.Duration
+	queries db.QueryMode
+	mode    storage.Mode
+	seed    func(s *storage.Store)
+}
+
+func newCluster(t *testing.T, n int, reg *sproc.Registry, o clusterOpts) *cluster {
+	t.Helper()
+	var hubOpts []transport.MemOption
+	if o.jitter > 0 {
+		hubOpts = append(hubOpts, transport.WithJitter(o.jitter), transport.WithSeed(42))
+	}
+	hub := transport.NewHub(n, hubOpts...)
+	rec := history.NewRecorder()
+	c := &cluster{hub: hub, rec: rec}
+	for i := 0; i < n; i++ {
+		ep := hub.Endpoint(transport.NodeID(i))
+		cons := consensus.New(consensus.Config{Endpoint: ep, RoundTimeout: 50 * time.Millisecond})
+		cons.Start()
+		bc := abcast.NewOptimistic(ep, cons)
+		if err := bc.Start(); err != nil {
+			t.Fatal(err)
+		}
+		store := storage.NewStore()
+		if o.seed != nil {
+			o.seed(store)
+		}
+		rep, err := db.New(db.Config{
+			ID:        transport.NodeID(i),
+			Broadcast: bc,
+			Registry:  reg,
+			Store:     store,
+			WriteMode: o.mode,
+			Queries:   o.queries,
+			History:   rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Start()
+		c.reps = append(c.reps, rep)
+		t.Cleanup(func() {
+			rep.Stop()
+			_ = bc.Stop()
+			cons.Stop()
+		})
+	}
+	t.Cleanup(hub.Close)
+	return c
+}
+
+// quiesce waits until every replica has committed `want` transactions.
+func (c *cluster) quiesce(t *testing.T, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for _, rep := range c.reps {
+			if len(rep.Manager().Committed()) < want || rep.Manager().Pending() > 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, rep := range c.reps {
+				t.Logf("replica %d: committed=%d pending=%d",
+					i, len(rep.Manager().Committed()), rep.Manager().Pending())
+			}
+			t.Fatalf("cluster did not quiesce at %d commits", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (c *cluster) checkConvergence(t *testing.T) {
+	t.Helper()
+	d0 := c.reps[0].Store().Digest()
+	for i, rep := range c.reps[1:] {
+		if rep.Store().Digest() != d0 {
+			t.Fatalf("replica %d diverged from replica 0", i+1)
+		}
+	}
+	for i, rep := range c.reps {
+		if err := rep.Manager().CheckInvariants(); err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
+	if err := c.rec.Check(); err != nil {
+		t.Fatalf("history check: %v", err)
+	}
+}
+
+func TestExecSingleReplica(t *testing.T) {
+	reg := bankRegistry(t, 1, 4)
+	c := newCluster(t, 1, reg, clusterOpts{})
+	ctx := context.Background()
+	if err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(100)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.reps[0].Store().Get("c0", "acct0")
+	if !ok || storage.ValueInt64(v) != 100 {
+		t.Fatalf("acct0 = %v,%v", storage.ValueInt64(v), ok)
+	}
+	c.checkConvergence(t)
+}
+
+func TestClusterConvergesAndIsSerializable(t *testing.T) {
+	reg := bankRegistry(t, 3, 4)
+	c := newCluster(t, 3, reg, clusterOpts{})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const perReplica = 20
+	for i, rep := range c.reps {
+		wg.Add(1)
+		go func(i int, rep *db.Replica) {
+			defer wg.Done()
+			for j := 0; j < perReplica; j++ {
+				class := fmt.Sprintf("c%d", (i+j)%3)
+				acct := fmt.Sprintf("acct%d", j%4)
+				if err := rep.Exec(ctx, "deposit-"+class,
+					storage.StringValue(acct), storage.Int64Value(1)); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+	c.quiesce(t, 3*perReplica, 30*time.Second)
+	c.checkConvergence(t)
+}
+
+func TestClusterConvergesUnderJitter(t *testing.T) {
+	reg := bankRegistry(t, 2, 4)
+	c := newCluster(t, 3, reg, clusterOpts{jitter: 2 * time.Millisecond})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const perReplica = 15
+	for i, rep := range c.reps {
+		wg.Add(1)
+		go func(i int, rep *db.Replica) {
+			defer wg.Done()
+			for j := 0; j < perReplica; j++ {
+				class := fmt.Sprintf("c%d", j%2)
+				if err := rep.Exec(ctx, "deposit-"+class,
+					storage.StringValue("acct0"), storage.Int64Value(1)); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+	c.quiesce(t, 3*perReplica, 30*time.Second)
+	c.checkConvergence(t)
+	// Final balance must equal the total number of deposits at every site.
+	for i, rep := range c.reps {
+		var sum int64
+		for _, class := range []storage.Partition{"c0", "c1"} {
+			v, _ := rep.Store().Get(class, "acct0")
+			sum += storage.ValueInt64(v)
+		}
+		if sum != 3*perReplica {
+			t.Fatalf("replica %d: sum = %d, want %d", i, sum, 3*perReplica)
+		}
+	}
+}
+
+func TestSnapshotQueriesSeeConsistentTotals(t *testing.T) {
+	reg := bankRegistry(t, 2, 2)
+	seed := func(s *storage.Store) {
+		for _, class := range []storage.Partition{"c0", "c1"} {
+			s.Load(class, "acct0", storage.Int64Value(500))
+			s.Load(class, "acct1", storage.Int64Value(500))
+		}
+	}
+	c := newCluster(t, 2, reg, clusterOpts{seed: seed})
+	ctx := context.Background()
+
+	stopUpdates := make(chan struct{})
+	var updWG sync.WaitGroup
+	updWG.Add(1)
+	go func() {
+		defer updWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopUpdates:
+				return
+			default:
+			}
+			class := fmt.Sprintf("c%d", i%2)
+			_ = c.reps[i%2].Exec(ctx, "transfer-"+class,
+				storage.StringValue("acct0"), storage.StringValue("acct1"), storage.Int64Value(7))
+		}
+	}()
+
+	// Transfers conserve per-class totals, so any consistent snapshot
+	// reads exactly 1000 per class (2000 for both).
+	for i := 0; i < 50; i++ {
+		rep := c.reps[i%2]
+		v, err := rep.Query(ctx, "total", storage.StringValue("c0"), storage.StringValue("c1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := storage.ValueInt64(v); got != 2000 {
+			t.Fatalf("query %d: total = %d, want 2000 (inconsistent snapshot)", i, got)
+		}
+	}
+	close(stopUpdates)
+	updWG.Wait()
+	committed := len(c.reps[0].Manager().Committed())
+	c.quiesce(t, committed, 30*time.Second)
+	c.checkConvergence(t)
+}
+
+func TestQueryDoesNotBlockUpdates(t *testing.T) {
+	reg := bankRegistry(t, 1, 2)
+	c := newCluster(t, 1, reg, clusterOpts{})
+	ctx := context.Background()
+	// A query takes its snapshot, then updates proceed immediately; the
+	// query result is unaffected by them.
+	if err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(10)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.reps[0].Query(ctx, "get", storage.StringValue("c0"), storage.StringValue("acct0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storage.ValueInt64(v) != 10 {
+		t.Fatalf("get = %d", storage.ValueInt64(v))
+	}
+	if err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(5)); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.reps[0].Query(ctx, "get", storage.StringValue("c0"), storage.StringValue("acct0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storage.ValueInt64(v2) != 15 {
+		t.Fatalf("get after second deposit = %d", storage.ValueInt64(v2))
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	reg := bankRegistry(t, 1, 1)
+	c := newCluster(t, 1, reg, clusterOpts{})
+	ctx := context.Background()
+	if err := c.reps[0].Exec(ctx, "no-such-proc"); !errors.Is(err, sproc.ErrUnknownProc) {
+		t.Fatalf("unknown proc err = %v", err)
+	}
+	if err := c.reps[0].Exec(ctx, "total"); !errors.Is(err, db.ErrNotUpdate) {
+		t.Fatalf("query-as-update err = %v", err)
+	}
+	if _, err := c.reps[0].Query(ctx, "deposit-c0"); !errors.Is(err, sproc.ErrUnknownProc) {
+		t.Fatalf("update-as-query err = %v", err)
+	}
+}
+
+func TestFailingProcedureReportsButStaysLive(t *testing.T) {
+	reg := bankRegistry(t, 1, 1)
+	boom := errors.New("boom")
+	if err := reg.RegisterUpdate(sproc.Update{
+		Name:  "failing",
+		Class: "c0",
+		Fn:    func(sproc.UpdateCtx) error { return boom },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, 1, reg, clusterOpts{})
+	ctx := context.Background()
+	if err := c.reps[0].Exec(ctx, "failing"); !errors.Is(err, boom) {
+		t.Fatalf("failing proc err = %v", err)
+	}
+	// The class queue must not be stuck.
+	if err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecContextCancellation(t *testing.T) {
+	reg := bankRegistry(t, 1, 1)
+	if err := reg.RegisterUpdate(sproc.Update{
+		Name:  "slow",
+		Class: "c0",
+		Cost:  200 * time.Millisecond,
+		Fn:    func(sproc.UpdateCtx) error { return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, 1, reg, clusterOpts{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := c.reps[0].Exec(ctx, "slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// The broadcast is irrevocable: the transaction still commits.
+	c.quiesce(t, 1, 10*time.Second)
+}
+
+func TestInPlaceUndoModeConverges(t *testing.T) {
+	reg := bankRegistry(t, 2, 2)
+	c := newCluster(t, 2, reg, clusterOpts{mode: storage.InPlaceUndo, jitter: time.Millisecond})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const perReplica = 10
+	for i, rep := range c.reps {
+		wg.Add(1)
+		go func(i int, rep *db.Replica) {
+			defer wg.Done()
+			for j := 0; j < perReplica; j++ {
+				class := fmt.Sprintf("c%d", j%2)
+				if err := rep.Exec(ctx, "deposit-"+class,
+					storage.StringValue("acct0"), storage.Int64Value(2)); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+	c.quiesce(t, 2*perReplica, 30*time.Second)
+	c.checkConvergence(t)
+}
+
+func TestStopUnblocksWaiters(t *testing.T) {
+	reg := bankRegistry(t, 1, 1)
+	if err := reg.RegisterUpdate(sproc.Update{
+		Name:  "verySlow",
+		Class: "c0",
+		Cost:  5 * time.Second,
+		Fn:    func(sproc.UpdateCtx) error { return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, 1, reg, clusterOpts{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- c.reps[0].Exec(context.Background(), "verySlow")
+	}()
+	time.Sleep(50 * time.Millisecond)
+	c.reps[0].Stop()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, db.ErrStopped) {
+			t.Fatalf("err = %v, want ErrStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not released on Stop")
+	}
+}

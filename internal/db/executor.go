@@ -1,0 +1,289 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"otpdb/internal/abcast"
+	"otpdb/internal/otp"
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+)
+
+// executor runs stored procedures on behalf of the OTP scheduler: one
+// goroutine per in-flight transaction. Single-class procedures (the
+// paper's model) and multi-class procedures (the [13] extension) share
+// the same machinery; the storage transaction simply spans one or more
+// partitions. The tricky part is the abort path: the scheduler may abort
+// a transaction while its goroutine is mid-procedure, so every data
+// access is guarded by the attempt's lock and an aborted flag, and
+// completions of superseded attempts are fenced by epochs both here and
+// in the scheduler.
+type executor struct {
+	r *Replica
+
+	mu           sync.Mutex
+	running      map[abcast.MsgID]*attempt
+	abortedBelow map[abcast.MsgID]int // min acceptable epoch per transaction
+}
+
+var _ otp.MultiExecutor = (*executor)(nil)
+
+// attempt is one execution attempt of a transaction.
+type attempt struct {
+	epoch   int
+	abortCh chan struct{}
+
+	mu      sync.Mutex
+	stx     *storage.MultiTxn
+	aborted bool
+}
+
+func newExecutor(r *Replica) *executor {
+	return &executor{
+		r:            r,
+		running:      make(map[abcast.MsgID]*attempt),
+		abortedBelow: make(map[abcast.MsgID]int),
+	}
+}
+
+// Submit implements otp.MultiExecutor.
+func (e *executor) Submit(tx *otp.MultiTxn, epoch int) {
+	e.mu.Lock()
+	if epoch < e.abortedBelow[tx.ID] {
+		// A racing abort already superseded this submission; the
+		// scheduler will resubmit with a fresh epoch.
+		e.mu.Unlock()
+		return
+	}
+	att := &attempt{epoch: epoch, abortCh: make(chan struct{})}
+	e.running[tx.ID] = att
+	e.mu.Unlock()
+	go e.runTxn(tx, att, epoch)
+}
+
+// Abort implements otp.MultiExecutor: it undoes the transaction's effects
+// and fences the attempt so a still-running procedure stops at its next
+// data access. tx.Epoch() is already the post-abort epoch.
+func (e *executor) Abort(tx *otp.MultiTxn) {
+	e.mu.Lock()
+	if tx.Epoch() > e.abortedBelow[tx.ID] {
+		e.abortedBelow[tx.ID] = tx.Epoch()
+	}
+	att := e.running[tx.ID]
+	delete(e.running, tx.ID)
+	e.mu.Unlock()
+	if att == nil {
+		return
+	}
+	att.mu.Lock()
+	if !att.aborted {
+		att.aborted = true
+		close(att.abortCh)
+		if att.stx != nil {
+			_ = att.stx.Abort()
+		}
+	}
+	att.mu.Unlock()
+}
+
+// Commit implements otp.MultiExecutor: the procedure has finished and the
+// definitive order is confirmed, so install the writes as versions
+// labelled with the transaction's TO index.
+func (e *executor) Commit(tx *otp.MultiTxn) {
+	e.mu.Lock()
+	att := e.running[tx.ID]
+	delete(e.running, tx.ID)
+	delete(e.abortedBelow, tx.ID)
+	e.mu.Unlock()
+	if att == nil || att.stx == nil {
+		// Protocol invariant: commit follows a completed execution.
+		panic(fmt.Sprintf("db: commit of %v without a completed attempt", tx.ID))
+	}
+	readSet, writeSet := att.stx.ReadSet(), att.stx.WriteSet()
+	if err := att.stx.Commit(tx.TOIndex()); err != nil {
+		panic(fmt.Sprintf("db: commit of %v: %v", tx.ID, err))
+	}
+	if e.r.hist != nil {
+		classes := make([]sproc.ClassID, len(tx.Classes))
+		for i, c := range tx.Classes {
+			classes[i] = sproc.ClassID(c)
+		}
+		e.r.hist.RecordUpdate(e.r.id, tx.ID, classes, tx.TOIndex(), readSet, writeSet)
+	}
+}
+
+// runTxn executes one attempt of a stored procedure.
+func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
+	req, ok := tx.Payload.(sproc.Request)
+	if !ok {
+		e.r.failWaiter(tx.ID, fmt.Errorf("db: malformed payload %T", tx.Payload))
+		return
+	}
+	parts := make([]storage.Partition, len(tx.Classes))
+	for i, c := range tx.Classes {
+		parts[i] = storage.Partition(c)
+	}
+
+	// Resolve the procedure body and its simulated cost.
+	var cost time.Duration
+	var runBody func(att *attempt, args []storage.Value) error
+	if up, err := e.r.reg.Update(req.Proc); err == nil {
+		cost = up.Cost
+		class := storage.Partition(up.Class)
+		runBody = func(att *attempt, args []storage.Value) error {
+			uc := &updateCtx{att: att, class: class, args: args}
+			if perr := up.Fn(uc); perr != nil {
+				return perr
+			}
+			return uc.err
+		}
+	} else if mu, merr := e.r.reg.Multi(req.Proc); merr == nil {
+		cost = mu.Cost
+		runBody = func(att *attempt, args []storage.Value) error {
+			mc := &multiUpdateCtx{att: att, args: args}
+			if perr := mu.Fn(mc); perr != nil {
+				return perr
+			}
+			return mc.err
+		}
+	} else {
+		e.r.failWaiter(tx.ID, err)
+		return
+	}
+
+	// Acquire the partitions. A superseded attempt of an overlapping
+	// class may still hold one for a moment while its abort races; spin
+	// briefly.
+	var stx *storage.MultiTxn
+	for {
+		var berr error
+		stx, berr = e.r.store.BeginMulti(parts, e.r.mode)
+		if berr == nil {
+			break
+		}
+		select {
+		case <-att.abortCh:
+			return
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+	att.mu.Lock()
+	if att.aborted {
+		att.mu.Unlock()
+		_ = stx.Abort()
+		return
+	}
+	att.stx = stx
+	att.mu.Unlock()
+
+	// Simulated service time, interruptible by abort.
+	if cost > 0 {
+		select {
+		case <-time.After(cost):
+		case <-att.abortCh:
+			return
+		}
+	}
+
+	if perr := runBody(att, req.Args); perr != nil {
+		if perr == errAborted {
+			// Aborted mid-procedure; the scheduler already knows.
+			return
+		}
+		// A failing procedure is a programming error (procedures must be
+		// deterministic and total). Keep the protocol live: commit an
+		// empty transaction and report the error to the submitter.
+		att.mu.Lock()
+		if !att.aborted {
+			_ = att.stx.Abort()
+			for {
+				fresh, berr := e.r.store.BeginMulti(parts, e.r.mode)
+				if berr == nil {
+					att.stx = fresh
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		att.mu.Unlock()
+		e.r.failWaiter(tx.ID, perr)
+	}
+
+	att.mu.Lock()
+	aborted := att.aborted
+	att.mu.Unlock()
+	if !aborted {
+		e.r.mgr.OnExecuted(tx.ID, epoch)
+	}
+}
+
+// errAborted is the sentinel recorded when an access hits an aborted
+// attempt; the procedure should return promptly (writes fail).
+var errAborted = fmt.Errorf("db: transaction aborted by correctness check")
+
+// updateCtx implements sproc.UpdateCtx (single class, unqualified keys)
+// with abort fencing.
+type updateCtx struct {
+	att   *attempt
+	class storage.Partition
+	args  []storage.Value
+	err   error
+}
+
+var _ sproc.UpdateCtx = (*updateCtx)(nil)
+
+func (c *updateCtx) Args() []storage.Value { return c.args }
+
+func (c *updateCtx) Read(key storage.Key) (storage.Value, bool) {
+	c.att.mu.Lock()
+	defer c.att.mu.Unlock()
+	if c.att.aborted {
+		c.err = errAborted
+		return nil, false
+	}
+	return c.att.stx.Read(c.class, key)
+}
+
+func (c *updateCtx) Write(key storage.Key, v storage.Value) error {
+	c.att.mu.Lock()
+	defer c.att.mu.Unlock()
+	if c.att.aborted {
+		c.err = errAborted
+		return errAborted
+	}
+	return c.att.stx.Write(c.class, key, v)
+}
+
+// multiUpdateCtx implements sproc.MultiUpdateCtx (class-qualified keys)
+// with abort fencing.
+type multiUpdateCtx struct {
+	att  *attempt
+	args []storage.Value
+	err  error
+}
+
+var _ sproc.MultiUpdateCtx = (*multiUpdateCtx)(nil)
+
+func (c *multiUpdateCtx) Args() []storage.Value { return c.args }
+
+func (c *multiUpdateCtx) Read(class sproc.ClassID, key storage.Key) (storage.Value, bool) {
+	c.att.mu.Lock()
+	defer c.att.mu.Unlock()
+	if c.att.aborted {
+		c.err = errAborted
+		return nil, false
+	}
+	return c.att.stx.Read(storage.Partition(class), key)
+}
+
+func (c *multiUpdateCtx) Write(class sproc.ClassID, key storage.Key, v storage.Value) error {
+	c.att.mu.Lock()
+	defer c.att.mu.Unlock()
+	if c.att.aborted {
+		c.err = errAborted
+		return errAborted
+	}
+	return c.att.stx.Write(storage.Partition(class), key, v)
+}

@@ -1,0 +1,453 @@
+// Package db assembles one replica of the replicated database: the atomic
+// broadcast with optimistic delivery below, the OTP transaction manager in
+// the middle, and the versioned storage engine with stored procedures on
+// top (Figure 3 of the paper).
+//
+// Replica control follows Section 2.4 (read-one/write-all): update
+// transactions are TO-broadcast and executed at every site; read-only
+// queries execute locally against multi-version snapshots (Section 5).
+package db
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"otpdb/internal/abcast"
+	"otpdb/internal/otp"
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// QueryRead is one key observation of a read-only query: the query saw
+// the version of Key (in Class) written by the update with TO index
+// Version (0 = initial database state).
+type QueryRead struct {
+	Class   sproc.ClassID
+	Key     storage.Key
+	Version int64
+}
+
+// HistorySink receives committed-transaction and query observations for
+// offline serializability checking. Implementations must be safe for
+// concurrent use. internal/history provides the standard recorder.
+type HistorySink interface {
+	// RecordUpdate is called once per committed update transaction, with
+	// its full class set and partition-qualified read/write sets.
+	RecordUpdate(site transport.NodeID, id abcast.MsgID, classes []sproc.ClassID,
+		toIndex int64, readSet, writeSet []storage.ClassKey)
+	// RecordQuery is called once per completed read-only query with all
+	// the versioned reads it performed. queryIndex is the query's
+	// Section 5 index i (the query logically runs at i+0.5).
+	RecordQuery(site transport.NodeID, queryIndex int64, reads []QueryRead)
+}
+
+// QueryMode selects how queries read (Section 5 vs the broken baseline).
+type QueryMode int
+
+// Query modes.
+const (
+	// SnapshotQueries is the paper's Section 5 design: a query receives
+	// index i+0.5 (i = last TO-delivered transaction) and reads, per
+	// class, the latest version with index <= i, waiting for that
+	// version's transaction to commit if necessary.
+	SnapshotQueries QueryMode = iota + 1
+	// DirtyQueries reads the latest committed value with no index
+	// discipline — the baseline Section 5 shows violates
+	// 1-copy-serializability. Provided for the E5 ablation only.
+	DirtyQueries
+)
+
+// Config assembles a Replica.
+type Config struct {
+	// ID is the site identifier (must match the broadcaster's).
+	ID transport.NodeID
+	// Broadcast is the atomic broadcast attachment. The replica consumes
+	// its Deliveries; the caller owns Start/Stop of the engine itself.
+	Broadcast abcast.Broadcaster
+	// Registry holds the stored procedures (shared across the cluster).
+	Registry *sproc.Registry
+	// Store is the local storage engine; nil creates an empty one.
+	Store *storage.Store
+	// WriteMode selects the executor's write strategy (default Buffered).
+	WriteMode storage.Mode
+	// Queries selects the query strategy (default SnapshotQueries).
+	Queries QueryMode
+	// History, when non-nil, receives commit and query observations.
+	History HistorySink
+}
+
+// Replica is one site of the replicated database.
+type Replica struct {
+	id    transport.NodeID
+	bcast abcast.Broadcaster
+	reg   *sproc.Registry
+	store *storage.Store
+	mode  storage.Mode
+	qmode QueryMode
+	hist  HistorySink
+	mgr   *otp.MultiManager
+
+	mu         sync.Mutex
+	waiters    map[abcast.MsgID]chan error
+	classLast  map[sproc.ClassID]int64 // largest TO index seen per class
+	lastTO     int64                   // largest TO index seen overall
+	commitCond *sync.Cond
+	stopped    bool
+
+	exec *executor
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Errors returned by the replica.
+var (
+	// ErrStopped is returned after Stop.
+	ErrStopped = errors.New("db: replica stopped")
+	// ErrNotUpdate is returned by Exec for a name registered as a query.
+	ErrNotUpdate = errors.New("db: procedure is not an update")
+)
+
+// New creates a replica. Call Start to begin processing deliveries.
+func New(cfg Config) (*Replica, error) {
+	if cfg.Broadcast == nil {
+		return nil, fmt.Errorf("db: Config.Broadcast is required")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("db: Config.Registry is required")
+	}
+	if cfg.Store == nil {
+		cfg.Store = storage.NewStore()
+	}
+	if cfg.WriteMode == 0 {
+		cfg.WriteMode = storage.Buffered
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = SnapshotQueries
+	}
+	r := &Replica{
+		id:        cfg.ID,
+		bcast:     cfg.Broadcast,
+		reg:       cfg.Registry,
+		store:     cfg.Store,
+		mode:      cfg.WriteMode,
+		qmode:     cfg.Queries,
+		hist:      cfg.History,
+		waiters:   make(map[abcast.MsgID]chan error),
+		classLast: make(map[sproc.ClassID]int64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	r.commitCond = sync.NewCond(&r.mu)
+	r.exec = newExecutor(r)
+	r.mgr = otp.NewMultiManager(r.exec, otp.MultiHooks{
+		OnCommit:      r.onCommit,
+		OnTODelivered: r.onTODelivered,
+	})
+	return r, nil
+}
+
+// onTODelivered tracks the largest definitive index, globally and per
+// conflict class; Section 5 queries capture the pair atomically under
+// r.mu. Invoked under the scheduler lock, so it must not call back into
+// the scheduler (Query reads r.lastTO instead of the scheduler's
+// LastTOIndex for the same reason: lock ordering is always mgr.mu ->
+// r.mu).
+func (r *Replica) onTODelivered(_ abcast.MsgID, classes []otp.ClassID, toIndex int64) {
+	r.mu.Lock()
+	for _, class := range classes {
+		if toIndex > r.classLast[sproc.ClassID(class)] {
+			r.classLast[sproc.ClassID(class)] = toIndex
+		}
+	}
+	if toIndex > r.lastTO {
+		r.lastTO = toIndex
+	}
+	r.mu.Unlock()
+}
+
+// Start launches the delivery loop.
+func (r *Replica) Start() {
+	go r.run()
+}
+
+// Stop halts the delivery loop. The broadcaster is not stopped (the
+// caller owns it). Outstanding Exec waiters receive ErrStopped.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+	r.mu.Lock()
+	for id, ch := range r.waiters {
+		ch <- ErrStopped
+		delete(r.waiters, id)
+	}
+	r.commitCond.Broadcast()
+	r.mu.Unlock()
+}
+
+// ID returns the site identifier.
+func (r *Replica) ID() transport.NodeID { return r.id }
+
+// Store returns the local storage engine (for inspection and seeding).
+func (r *Replica) Store() *storage.Store { return r.store }
+
+// Manager exposes the OTP scheduler (stats, queue snapshots, invariants).
+// Single-class procedures schedule exactly as the paper's Manager; the
+// MultiManager generalization also admits multi-class procedures.
+func (r *Replica) Manager() *otp.MultiManager { return r.mgr }
+
+// run is the delivery loop: the Tentative/Definitive Atomic Broadcast
+// modules of Figure 3 feeding the Serialization and Correctness Check
+// modules.
+func (r *Replica) run() {
+	defer close(r.done)
+	for {
+		select {
+		case ev, ok := <-r.bcast.Deliveries():
+			if !ok {
+				return
+			}
+			r.onDelivery(ev)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+func (r *Replica) onDelivery(ev abcast.Event) {
+	switch ev.Kind {
+	case abcast.Opt:
+		req, ok := ev.Payload.(sproc.Request)
+		if !ok {
+			r.failWaiter(ev.ID, fmt.Errorf("db: malformed payload %T", ev.Payload))
+			return
+		}
+		classes, err := r.reg.UpdateClasses(req.Proc)
+		if err != nil {
+			r.failWaiter(ev.ID, err)
+			return
+		}
+		otpClasses := make([]otp.ClassID, len(classes))
+		for i, c := range classes {
+			otpClasses[i] = otp.ClassID(c)
+		}
+		if err := r.mgr.OnOptDeliver(ev.ID, otpClasses, req); err != nil {
+			r.failWaiter(ev.ID, err)
+		}
+	case abcast.TO:
+		// Record the class's definitive index for query snapshots before
+		// the manager processes the confirmation (queries capture the
+		// pair atomically under r.mu).
+		if err := r.mgr.OnTODeliver(ev.ID); err != nil {
+			// Unknown transaction: the payload was malformed at Opt time
+			// and never entered a queue. Already reported.
+			return
+		}
+	}
+}
+
+// onCommit resolves the submitting client's waiter and signals snapshot
+// waiters.
+func (r *Replica) onCommit(tx *otp.MultiTxn) {
+	r.mu.Lock()
+	ch, ok := r.waiters[tx.ID]
+	if ok {
+		delete(r.waiters, tx.ID)
+	}
+	r.commitCond.Broadcast()
+	r.mu.Unlock()
+	if ok {
+		ch <- nil
+	}
+}
+
+func (r *Replica) failWaiter(id abcast.MsgID, err error) {
+	r.mu.Lock()
+	ch, ok := r.waiters[id]
+	if ok {
+		delete(r.waiters, id)
+	}
+	r.mu.Unlock()
+	if ok {
+		ch <- err
+	}
+}
+
+// Submit TO-broadcasts an update transaction without waiting for its
+// commit. The returned ID can be observed via the scheduler's commit log.
+func (r *Replica) Submit(proc string, args ...storage.Value) (abcast.MsgID, error) {
+	if _, err := r.reg.UpdateClasses(proc); err != nil {
+		return abcast.MsgID{}, err
+	}
+	return r.bcast.Broadcast(sproc.Request{Proc: proc, Args: args})
+}
+
+// Exec TO-broadcasts an update transaction and waits until it commits
+// locally (or ctx is cancelled; the transaction still commits everywhere
+// in that case — broadcast is irrevocable).
+func (r *Replica) Exec(ctx context.Context, proc string, args ...storage.Value) error {
+	if _, err := r.reg.UpdateClasses(proc); err != nil {
+		if errors.Is(err, sproc.ErrUnknownProc) {
+			if _, qerr := r.reg.Query(proc); qerr == nil {
+				return fmt.Errorf("%w: %s", ErrNotUpdate, proc)
+			}
+		}
+		return err
+	}
+	ch := make(chan error, 1)
+	req := sproc.Request{Proc: proc, Args: args}
+	// Register the waiter before broadcasting: the commit can race the
+	// return of Broadcast on a fast in-process transport. The ID is only
+	// known after Broadcast, so park the channel under the lock first.
+	id, err := func() (abcast.MsgID, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.stopped {
+			return abcast.MsgID{}, ErrStopped
+		}
+		id, err := r.bcast.Broadcast(req)
+		if err != nil {
+			return abcast.MsgID{}, err
+		}
+		r.waiters[id] = ch
+		return id, nil
+	}()
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		r.mu.Lock()
+		delete(r.waiters, id)
+		r.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Query runs a read-only stored procedure locally (Section 5). The query
+// receives index i+0.5 where i is the index of the last TO-delivered
+// transaction at this site; every class it touches is read at the latest
+// version with index <= i, waiting for in-flight committable transactions
+// of that class when necessary.
+func (r *Replica) Query(ctx context.Context, name string, args ...storage.Value) (storage.Value, error) {
+	q, err := r.reg.Query(name)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return nil, ErrStopped
+	}
+	qIndex := r.lastTO
+	// Per-class wait targets: the largest class index <= qIndex, captured
+	// atomically with qIndex.
+	targets := make(map[sproc.ClassID]int64, len(r.classLast))
+	for c, idx := range r.classLast {
+		targets[c] = idx
+	}
+	r.mu.Unlock()
+
+	qc := &queryCtx{r: r, ctx: ctx, qIndex: qIndex, targets: targets, args: args}
+	res, err := q.Fn(qc)
+	if err != nil {
+		return nil, err
+	}
+	if qc.err != nil {
+		return nil, qc.err
+	}
+	if r.hist != nil {
+		r.hist.RecordQuery(r.id, qIndex, qc.reads)
+	}
+	return res, nil
+}
+
+// queryCtx implements sproc.QueryCtx over the replica's snapshot rules.
+type queryCtx struct {
+	r       *Replica
+	ctx     context.Context
+	qIndex  int64
+	targets map[sproc.ClassID]int64
+	args    []storage.Value
+	reads   []QueryRead
+	err     error
+}
+
+var _ sproc.QueryCtx = (*queryCtx)(nil)
+
+func (q *queryCtx) Args() []storage.Value { return q.args }
+
+func (q *queryCtx) Read(class sproc.ClassID, key storage.Key) (storage.Value, bool) {
+	if q.err != nil {
+		return nil, false
+	}
+	part := storage.Partition(class)
+	if q.r.qmode == DirtyQueries {
+		v, ver, ok := q.r.store.GetVersioned(part, key)
+		q.reads = append(q.reads, QueryRead{Class: class, Key: key, Version: ver})
+		return v, ok
+	}
+	// Section 5: wait until the last TO-delivered transaction of this
+	// class with index <= qIndex has committed, then read its version.
+	target := q.targets[class]
+	if target > q.qIndex {
+		target = q.qIndex
+	}
+	if err := q.r.waitCommitted(q.ctx, part, target); err != nil {
+		q.err = err
+		return nil, false
+	}
+	v, ver, ok := q.r.store.SnapshotReadVersion(part, key, q.qIndex)
+	q.reads = append(q.reads, QueryRead{Class: class, Key: key, Version: ver})
+	return v, ok
+}
+
+// waitCommitted blocks until the partition's last committed index reaches
+// target. Starvation freedom (Theorem 4.1) guarantees progress.
+func (r *Replica) waitCommitted(ctx context.Context, part storage.Partition, target int64) error {
+	if target == 0 || r.store.LastCommitted(part) >= target {
+		return nil
+	}
+	done := make(chan struct{})
+	defer close(done)
+	if d := ctx.Done(); d != nil {
+		go func() {
+			select {
+			case <-d:
+				r.commitCond.Broadcast()
+			case <-done:
+			}
+		}()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.store.LastCommitted(part) < target && !r.stopped {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.commitCond.Wait()
+	}
+	if r.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// RegisterWire registers the payload types the replica broadcasts with
+// the gob codec used by the TCP transport.
+func RegisterWire() {
+	transport.Register(sproc.Request{}, storage.Value(nil), []storage.Value(nil))
+}

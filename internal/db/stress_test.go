@@ -1,0 +1,128 @@
+package db_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"otpdb/internal/abcast"
+	"otpdb/internal/consensus"
+	"otpdb/internal/db"
+	"otpdb/internal/otp"
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// deadlineDump makes stress rounds run without per-Exec timeouts so a
+// wedge survives until the 60s diagnostic dump fires. Toggled manually
+// while debugging liveness.
+const deadlineDump = false
+
+// TestClusterStressWithDiagnostics repeats the converge workload many
+// times; on a hang it dumps the broadcast, consensus and scheduler state
+// of every site. This is the regression harness for the ordering-layer
+// liveness bugs found during development.
+func TestClusterStressWithDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rounds := 20
+	if deadlineDump {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		runStressRound(t, round)
+	}
+}
+
+func runStressRound(t *testing.T, round int) {
+	t.Helper()
+	reg := sproc.NewRegistry()
+	for c := 0; c < 3; c++ {
+		class := sproc.ClassID(fmt.Sprintf("c%d", c))
+		if err := reg.RegisterUpdate(sproc.Update{
+			Name:  "bump-" + string(class),
+			Class: class,
+			Fn: func(ctx sproc.UpdateCtx) error {
+				v, _ := ctx.Read("k")
+				return ctx.Write("k", storage.Int64Value(storage.ValueInt64(v)+1))
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub := transport.NewHub(3, transport.WithSeed(int64(round)))
+	defer hub.Close()
+	type site struct {
+		rep  *db.Replica
+		bc   *abcast.Optimistic
+		cons *consensus.Engine
+	}
+	sites := make([]site, 3)
+	for i := 0; i < 3; i++ {
+		ep := hub.Endpoint(transport.NodeID(i))
+		cons := consensus.New(consensus.Config{Endpoint: ep, RoundTimeout: 50 * time.Millisecond})
+		cons.Start()
+		bc := abcast.NewOptimistic(ep, cons)
+		if err := bc.Start(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := db.New(db.Config{ID: transport.NodeID(i), Broadcast: bc, Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Start()
+		sites[i] = site{rep: rep, bc: bc, cons: cons}
+	}
+	defer func() {
+		for _, s := range sites {
+			s.rep.Stop()
+			_ = s.bc.Stop()
+			s.cons.Stop()
+		}
+	}()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const perSite = 15
+	for i := range sites {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perSite; j++ {
+				ectx := ctx
+				cancel := context.CancelFunc(func() {})
+				if !deadlineDump {
+					ectx, cancel = context.WithTimeout(ctx, 30*time.Second)
+				}
+				err := sites[i].rep.Exec(ectx, fmt.Sprintf("bump-c%d", (i+j)%3))
+				cancel()
+				if err != nil {
+					t.Errorf("round %d site %d txn %d: %v", round, i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		for i, s := range sites {
+			t.Logf("site %d abcast: %s", i, s.bc.Dump())
+			t.Logf("site %d consensus: %s", i, s.cons.Dump())
+			t.Logf("site %d stats: %+v pending=%d", i, s.rep.Manager().Stats(), s.rep.Manager().Pending())
+			for c := 0; c < 3; c++ {
+				q := s.rep.Manager().QueueSnapshot(otp.ClassID(fmt.Sprintf("c%d", c)))
+				if len(q) > 0 {
+					t.Logf("site %d queue c%d: %v", i, c, q)
+				}
+			}
+		}
+		t.Fatalf("round %d: cluster wedged", round)
+	}
+}

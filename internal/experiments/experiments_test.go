@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"col1", "c2"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("v1", "longer-value")
+	tab.AddRow("v2", "x")
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "col1", "longer-value", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1SmallRunHasPaperShape(t *testing.T) {
+	tab := Figure1(Figure1Params{
+		Sites:     4,
+		PerSite:   150,
+		Intervals: []time.Duration{100 * time.Microsecond, 4 * time.Millisecond},
+		Seed:      3,
+	})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[1][1], "9") { // 9x% at 4ms
+		t.Fatalf("4ms cell = %q, want 9x%%", tab.Rows[1][1])
+	}
+}
+
+func TestAbortRateCellMonotoneInClasses(t *testing.T) {
+	one := AbortRateCell(800, 1, 0.25, 11)
+	many := AbortRateCell(800, 16, 0.25, 11)
+	if one.Commits != 800 || many.Commits != 800 {
+		t.Fatalf("commits = %d/%d", one.Commits, many.Commits)
+	}
+	if one.Aborts <= many.Aborts {
+		t.Fatalf("aborts(1 class)=%d should exceed aborts(16 classes)=%d",
+			one.Aborts, many.Aborts)
+	}
+}
+
+func TestAbortRateTableShape(t *testing.T) {
+	tab := AbortRate(AbortRateParams{
+		Txns:          300,
+		Classes:       []int{1, 8},
+		MismatchProbs: []float64{0.1},
+		Seed:          5,
+	})
+	if len(tab.Rows) != 2 || len(tab.Rows[0]) != 2 {
+		t.Fatalf("table shape = %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+}
+
+func TestOverlapOTPBeatsConservative(t *testing.T) {
+	tab, err := Overlap(OverlapParams{
+		ExecTime:      2 * time.Millisecond,
+		ConfirmDelays: []time.Duration{2 * time.Millisecond},
+		Txns:          8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optMean, err := time.ParseDuration(tab.Rows[0][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	consMean, err := time.ParseDuration(tab.Rows[0][2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optMean >= consMean {
+		t.Fatalf("OTP %v not faster than conservative %v at D=E", optMean, consMean)
+	}
+}
+
+func TestVsAsyncShapes(t *testing.T) {
+	tab, err := VsAsync(VsAsyncParams{Sites: 2, IncrementsPerSite: 10, NetDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// OTP row loses nothing.
+	if !strings.HasPrefix(tab.Rows[0][3], "0/") {
+		t.Fatalf("OTP lost updates: %q", tab.Rows[0][3])
+	}
+}
+
+func TestOrderingShapes(t *testing.T) {
+	tab, err := Ordering(OrderingParams{
+		Sites:    3,
+		Messages: 10,
+		NetDelay: time.Millisecond,
+		Jitter:   200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestQueriesSnapshotRowIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	tab, err := Queries(QueriesParams{Sites: 2, Classes: 2, TransfersPerSite: 30, Queries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot row: zero torn totals, serializable.
+	if tab.Rows[0][4] != "0" || tab.Rows[0][5] != "true" {
+		t.Fatalf("snapshot row = %v", tab.Rows[0])
+	}
+}

@@ -1,0 +1,196 @@
+// Package fd implements a heartbeat failure detector of class ◇S (eventually
+// strong): after some time, every crashed node is permanently suspected and
+// at least one correct node is no longer suspected by anyone. The consensus
+// engine (internal/consensus) uses it to rotate coordinators, which is all
+// the OPT-ABcast fallback path needs for liveness.
+//
+// In an asynchronous system the detector is necessarily unreliable: a slow
+// node may be suspected and later rehabilitated. The protocols above are
+// safe under arbitrary suspicion mistakes; the detector affects liveness
+// only.
+package fd
+
+import (
+	"sync"
+	"time"
+
+	"otpdb/internal/transport"
+)
+
+// Stream is the transport stream used for heartbeats.
+const Stream = "fd.hb"
+
+// Heartbeat is the wire message. It carries no payload: reception alone
+// refreshes the sender's lease.
+type Heartbeat struct{}
+
+// RegisterWire registers the detector's message types with the gob codec
+// used by the TCP transport. Call once per process before ListenTCP nodes
+// exchange traffic.
+func RegisterWire() { transport.Register(Heartbeat{}) }
+
+// Suspector reports suspicion. It is the read interface consumed by the
+// consensus engine; tests substitute scripted implementations.
+type Suspector interface {
+	// Suspected reports whether the node is currently suspected.
+	Suspected(transport.NodeID) bool
+}
+
+// StaticSuspector is a fixed suspicion set, useful in tests and in
+// deterministic simulations where no real failure detection is wanted.
+type StaticSuspector map[transport.NodeID]bool
+
+var _ Suspector = StaticSuspector{}
+
+// Suspected implements Suspector.
+func (s StaticSuspector) Suspected(n transport.NodeID) bool { return s[n] }
+
+// Config parameterises a Detector.
+type Config struct {
+	// Interval is the heartbeat period. Defaults to 25 ms.
+	Interval time.Duration
+	// Timeout is the silence threshold after which a node is suspected.
+	// Defaults to 4x Interval.
+	Timeout time.Duration
+}
+
+// Detector broadcasts heartbeats and tracks peer liveness.
+type Detector struct {
+	ep       transport.Endpoint
+	interval time.Duration
+	timeout  time.Duration
+
+	mu        sync.Mutex
+	lastSeen  map[transport.NodeID]time.Time
+	suspected map[transport.NodeID]bool
+	onChange  []func(node transport.NodeID, suspected bool)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+var _ Suspector = (*Detector)(nil)
+
+// New creates a detector attached to ep. Call Start to begin monitoring.
+func New(ep transport.Endpoint, cfg Config) *Detector {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 25 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 4 * cfg.Interval
+	}
+	return &Detector{
+		ep:        ep,
+		interval:  cfg.Interval,
+		timeout:   cfg.Timeout,
+		lastSeen:  make(map[transport.NodeID]time.Time),
+		suspected: make(map[transport.NodeID]bool),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// OnChange registers a callback invoked (from the detector goroutine) when
+// a node's suspicion status flips. Register before Start.
+func (d *Detector) OnChange(fn func(node transport.NodeID, suspected bool)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onChange = append(d.onChange, fn)
+}
+
+// Start begins heartbeating and monitoring.
+func (d *Detector) Start() {
+	now := time.Now()
+	d.mu.Lock()
+	for i := 0; i < d.ep.N(); i++ {
+		d.lastSeen[transport.NodeID(i)] = now
+	}
+	d.mu.Unlock()
+	go d.run()
+}
+
+// Stop halts the detector and waits for its goroutine.
+func (d *Detector) Stop() {
+	close(d.stop)
+	<-d.done
+}
+
+// Suspected implements Suspector.
+func (d *Detector) Suspected(n transport.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspected[n]
+}
+
+// SuspectedSet returns a snapshot of all currently suspected nodes.
+func (d *Detector) SuspectedSet() []transport.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []transport.NodeID
+	for n, s := range d.suspected {
+		if s {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (d *Detector) run() {
+	defer close(d.done)
+	in := d.ep.Subscribe(Stream)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	_ = d.ep.Broadcast(Stream, Heartbeat{})
+	for {
+		select {
+		case env, ok := <-in:
+			if !ok {
+				return
+			}
+			d.refresh(env.From)
+		case <-ticker.C:
+			_ = d.ep.Broadcast(Stream, Heartbeat{})
+			d.sweep()
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+func (d *Detector) refresh(n transport.NodeID) {
+	d.mu.Lock()
+	d.lastSeen[n] = time.Now()
+	flipped := d.suspected[n]
+	if flipped {
+		d.suspected[n] = false
+	}
+	callbacks := d.onChange
+	d.mu.Unlock()
+	if flipped {
+		for _, fn := range callbacks {
+			fn(n, false)
+		}
+	}
+}
+
+func (d *Detector) sweep() {
+	now := time.Now()
+	d.mu.Lock()
+	var newly []transport.NodeID
+	for n, seen := range d.lastSeen {
+		if n == d.ep.ID() {
+			continue
+		}
+		if !d.suspected[n] && now.Sub(seen) > d.timeout {
+			d.suspected[n] = true
+			newly = append(newly, n)
+		}
+	}
+	callbacks := d.onChange
+	d.mu.Unlock()
+	for _, n := range newly {
+		for _, fn := range callbacks {
+			fn(n, true)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package fd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"otpdb/internal/transport"
+)
+
+func startDetectors(t *testing.T, h *transport.Hub, n int, cfg Config) []*Detector {
+	t.Helper()
+	ds := make([]*Detector, n)
+	for i := 0; i < n; i++ {
+		ds[i] = New(h.Endpoint(transport.NodeID(i)), cfg)
+		ds[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, d := range ds {
+			d.Stop()
+		}
+	})
+	return ds
+}
+
+func eventually(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestNoFalseSuspicionWhenAllAlive(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	ds := startDetectors(t, h, 3, Config{Interval: 10 * time.Millisecond})
+	time.Sleep(150 * time.Millisecond)
+	for i, d := range ds {
+		for j := 0; j < 3; j++ {
+			if d.Suspected(transport.NodeID(j)) {
+				t.Fatalf("detector %d falsely suspects %d", i, j)
+			}
+		}
+	}
+}
+
+func TestCrashedNodeEventuallySuspected(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	ds := startDetectors(t, h, 3, Config{Interval: 10 * time.Millisecond})
+	h.Crash(2)
+	eventually(t, 2*time.Second, func() bool {
+		return ds[0].Suspected(2) && ds[1].Suspected(2)
+	}, "crashed node 2 never suspected")
+	if ds[0].Suspected(1) {
+		t.Fatal("live node 1 suspected")
+	}
+}
+
+func TestPartitionedNodeSuspectedThenRehabilitated(t *testing.T) {
+	h := transport.NewHub(2)
+	defer h.Close()
+	ds := startDetectors(t, h, 2, Config{Interval: 10 * time.Millisecond})
+	h.Partition(0, 1)
+	eventually(t, 2*time.Second, func() bool { return ds[0].Suspected(1) },
+		"partitioned node never suspected")
+	h.Heal(0, 1)
+	eventually(t, 2*time.Second, func() bool { return !ds[0].Suspected(1) },
+		"healed node never rehabilitated")
+}
+
+func TestOnChangeCallbacks(t *testing.T) {
+	h := transport.NewHub(2)
+	defer h.Close()
+	d := New(h.Endpoint(0), Config{Interval: 10 * time.Millisecond})
+	var mu sync.Mutex
+	events := make(map[bool]int)
+	d.OnChange(func(n transport.NodeID, suspected bool) {
+		mu.Lock()
+		events[suspected]++
+		mu.Unlock()
+	})
+	d.Start()
+	defer d.Stop()
+	d2 := New(h.Endpoint(1), Config{Interval: 10 * time.Millisecond})
+	d2.Start()
+	time.Sleep(50 * time.Millisecond)
+	h.Crash(1)
+	d2.Stop()
+	eventually(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return events[true] >= 1
+	}, "suspicion callback never fired")
+}
+
+func TestSuspectedSetSnapshot(t *testing.T) {
+	h := transport.NewHub(3)
+	defer h.Close()
+	ds := startDetectors(t, h, 3, Config{Interval: 10 * time.Millisecond})
+	h.Crash(1)
+	h.Crash(2)
+	eventually(t, 2*time.Second, func() bool {
+		return len(ds[0].SuspectedSet()) == 2
+	}, "suspected set never reached 2")
+}
+
+func TestStaticSuspector(t *testing.T) {
+	s := StaticSuspector{1: true}
+	if !s.Suspected(1) || s.Suspected(0) {
+		t.Fatal("static suspector wrong")
+	}
+}
+
+func TestSelfNeverSuspected(t *testing.T) {
+	h := transport.NewHub(2)
+	defer h.Close()
+	ds := startDetectors(t, h, 2, Config{Interval: 10 * time.Millisecond})
+	h.Crash(1) // node 0 still must not suspect itself
+	time.Sleep(150 * time.Millisecond)
+	if ds[0].Suspected(0) {
+		t.Fatal("node suspects itself")
+	}
+}

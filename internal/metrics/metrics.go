@@ -1,0 +1,178 @@
+// Package metrics provides the small measurement toolkit used by the
+// benchmark harness: latency histograms with percentile queries, counters
+// and throughput windows. Everything is safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations and answers mean/percentile queries. It
+// stores raw samples (the experiments record at most a few hundred
+// thousand), trading memory for exact percentiles.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sum     time.Duration
+	max     time.Duration
+	min     time.Duration
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if d < h.min {
+		h.min = d
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean reports the average duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Min reports the smallest sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile reports the p-th percentile (0 < p <= 100) by
+// nearest-rank on the sorted samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// Summary is a formatted snapshot of a histogram.
+type Summary struct {
+	Count          int
+	Mean, P50, P95 time.Duration
+	P99, Min, Max  time.Duration
+}
+
+// Summarize computes all headline statistics in one pass.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}
+
+// Counter is a concurrent event counter.
+type Counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Throughput measures events per second over a wall-clock window.
+type Throughput struct {
+	mu    sync.Mutex
+	start time.Time
+	n     uint64
+}
+
+// NewThroughput starts a window at now.
+func NewThroughput() *Throughput {
+	return &Throughput{start: time.Now()}
+}
+
+// Inc records one event.
+func (t *Throughput) Inc() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+// PerSecond reports the rate since the window started.
+func (t *Throughput) PerSecond() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.n) / elapsed
+}

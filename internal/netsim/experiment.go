@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"time"
+
+	"otpdb/internal/sim"
+)
+
+// SpontaneousExperiment reproduces the Figure 1 measurement: every site
+// multicasts one message each Interval, all sites sending concurrently,
+// and the per-site reception orders are compared.
+type SpontaneousExperiment struct {
+	// Sites is the number of sites (the paper used 4).
+	Sites int
+	// PerSite is the number of messages each site broadcasts.
+	PerSite int
+	// Interval is the gap between two consecutive messages on each site.
+	Interval time.Duration
+	// Seed makes the run reproducible.
+	Seed int64
+	// Config overrides the LAN model; zero-value Sites means "use
+	// DefaultLANConfig(Sites)".
+	Config Config
+}
+
+// Run executes the experiment and returns the spontaneous-order statistics.
+//
+// Each site sends with an independent random phase in [0, Interval) and a
+// ±10% jittered gap, matching unsynchronised real hosts: the paper's sites
+// sent "simultaneously" in the sense of concurrently, not clock-aligned.
+func (e SpontaneousExperiment) Run() SpontaneousOrderStats {
+	if e.Sites <= 0 {
+		e.Sites = 4
+	}
+	if e.PerSite <= 0 {
+		e.PerSite = 500
+	}
+	cfg := e.Config
+	if cfg.Sites == 0 {
+		cfg = DefaultLANConfig(e.Sites)
+	}
+	cfg.Sites = e.Sites
+
+	k := sim.New(e.Seed)
+	n := New(k, cfg)
+	n.EnableReceiveLog()
+
+	rng := k.Rand()
+	for s := 0; s < e.Sites; s++ {
+		site := SiteID(s)
+		at := time.Duration(rng.Int63n(int64(e.Interval) + 1))
+		for i := 0; i < e.PerSite; i++ {
+			sendAt := sim.Time(at)
+			k.At(sendAt, func() { n.Multicast(site, nil) })
+			gap := e.Interval
+			if gap > 0 {
+				// ±10% send-process jitter.
+				spread := int64(gap) / 5
+				if spread > 0 {
+					gap += time.Duration(rng.Int63n(spread)) - time.Duration(spread/2)
+				}
+			}
+			at += gap
+		}
+	}
+	k.Run()
+
+	st := SpontaneousOrder(n.ReceiveLog())
+	st.InterSend = e.Interval
+	return st
+}
+
+// Figure1Point is one x/y sample of the Figure 1 curve.
+type Figure1Point struct {
+	Interval time.Duration
+	Percent  float64
+	Messages int
+}
+
+// Figure1Curve sweeps the inter-send interval and returns the spontaneous
+// order percentage for each point, reproducing Figure 1 of the paper.
+func Figure1Curve(sites, perSite int, intervals []time.Duration, seed int64) []Figure1Point {
+	points := make([]Figure1Point, 0, len(intervals))
+	for i, iv := range intervals {
+		st := SpontaneousExperiment{
+			Sites:    sites,
+			PerSite:  perSite,
+			Interval: iv,
+			Seed:     seed + int64(i),
+		}.Run()
+		points = append(points, Figure1Point{
+			Interval: iv,
+			Percent:  st.Percent(),
+			Messages: st.Messages,
+		})
+	}
+	return points
+}
+
+// DefaultFigure1Intervals mirrors the x axis of Figure 1 (0 to 5 ms).
+func DefaultFigure1Intervals() []time.Duration {
+	return []time.Duration{
+		50 * time.Microsecond,
+		100 * time.Microsecond,
+		250 * time.Microsecond,
+		500 * time.Microsecond,
+		750 * time.Microsecond,
+		1 * time.Millisecond,
+		1500 * time.Microsecond,
+		2 * time.Millisecond,
+		2500 * time.Microsecond,
+		3 * time.Millisecond,
+		3500 * time.Microsecond,
+		4 * time.Millisecond,
+		4500 * time.Microsecond,
+		5 * time.Millisecond,
+	}
+}

@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"otpdb/internal/sim"
+)
+
+func newTestNet(t *testing.T, sites int, cfg Config) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.New(11)
+	cfg.Sites = sites
+	return k, New(k, cfg)
+}
+
+func TestMulticastReachesAllSites(t *testing.T) {
+	k, n := newTestNet(t, 4, Config{
+		Propagation: sim.Constant{D: 100 * time.Microsecond},
+		Jitter:      sim.Constant{},
+	})
+	got := make(map[SiteID]int)
+	for s := 0; s < 4; s++ {
+		site := SiteID(s)
+		n.Handle(site, func(at SiteID, pkt Packet, _ sim.Time) { got[at]++ })
+	}
+	n.Multicast(0, "hello")
+	k.Run()
+	for s := 0; s < 4; s++ {
+		if got[SiteID(s)] != 1 {
+			t.Fatalf("site %d received %d packets, want 1", s, got[SiteID(s)])
+		}
+	}
+}
+
+func TestUnicastReachesOnlyDestination(t *testing.T) {
+	k, n := newTestNet(t, 3, Config{})
+	got := make(map[SiteID]int)
+	for s := 0; s < 3; s++ {
+		site := SiteID(s)
+		n.Handle(site, func(at SiteID, pkt Packet, _ sim.Time) { got[at]++ })
+	}
+	n.Unicast(0, 2, "direct")
+	k.Run()
+	if got[2] != 1 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("unexpected deliveries: %v", got)
+	}
+}
+
+func TestSequenceNumbersIncrease(t *testing.T) {
+	k, n := newTestNet(t, 2, Config{})
+	var seqs []uint64
+	n.Handle(1, func(_ SiteID, pkt Packet, _ sim.Time) { seqs = append(seqs, pkt.Seq) })
+	for i := 0; i < 5; i++ {
+		n.Unicast(0, 1, i)
+	}
+	k.Run()
+	if len(seqs) != 5 {
+		t.Fatalf("got %d packets, want 5", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("seq[%d] = %d, want %d", i, s, i)
+		}
+	}
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	k, n := newTestNet(t, 2, Config{})
+	received := 0
+	n.Handle(1, func(_ SiteID, _ Packet, _ sim.Time) { received++ })
+
+	n.Partition(0, 1)
+	n.Unicast(0, 1, "lost")
+	k.Run()
+	if received != 0 {
+		t.Fatalf("partitioned delivery arrived")
+	}
+
+	n.Heal(0, 1)
+	n.Unicast(0, 1, "found")
+	k.Run()
+	if received != 1 {
+		t.Fatalf("healed delivery missing, received=%d", received)
+	}
+}
+
+func TestDropRateLosesRoughlyExpectedFraction(t *testing.T) {
+	k, n := newTestNet(t, 2, Config{DropRate: 0.5})
+	received := 0
+	n.Handle(1, func(_ SiteID, _ Packet, _ sim.Time) { received++ })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Unicast(0, 1, i)
+	}
+	k.Run()
+	if received < total/3 || received > 2*total/3 {
+		t.Fatalf("drop rate 0.5 delivered %d of %d", received, total)
+	}
+}
+
+func TestReceiveLogRecordsArrivalOrder(t *testing.T) {
+	k, n := newTestNet(t, 2, Config{
+		Propagation: sim.Constant{D: time.Millisecond},
+	})
+	n.EnableReceiveLog()
+	n.Multicast(0, "a")
+	n.Multicast(1, "b")
+	k.Run()
+	logs := n.ReceiveLog()
+	if len(logs[0]) != 2 || len(logs[1]) != 2 {
+		t.Fatalf("logs incomplete: %v", logs)
+	}
+	// With constant delays and FIFO tie-break both sites see m0.0 then m1.0.
+	if logs[0][0] != (MsgID{From: 0, Seq: 0}) || logs[1][0] != (MsgID{From: 0, Seq: 0}) {
+		t.Fatalf("unexpected first arrivals: %v", logs)
+	}
+}
+
+func TestSpontaneousOrderPerfectAgreement(t *testing.T) {
+	a := MsgID{From: 0, Seq: 0}
+	b := MsgID{From: 1, Seq: 0}
+	c := MsgID{From: 2, Seq: 0}
+	logs := [][]MsgID{{a, b, c}, {a, b, c}, {a, b, c}}
+	st := SpontaneousOrder(logs)
+	if st.Messages != 3 || st.Ordered != 3 {
+		t.Fatalf("stats = %+v, want 3/3", st)
+	}
+	if st.Percent() != 100 {
+		t.Fatalf("percent = %v, want 100", st.Percent())
+	}
+}
+
+func TestSpontaneousOrderDetectsSwap(t *testing.T) {
+	a := MsgID{From: 0, Seq: 0}
+	b := MsgID{From: 1, Seq: 0}
+	c := MsgID{From: 2, Seq: 0}
+	d := MsgID{From: 3, Seq: 0}
+	logs := [][]MsgID{{a, b, c, d}, {a, c, b, d}}
+	st := SpontaneousOrder(logs)
+	if st.Messages != 4 {
+		t.Fatalf("messages = %d, want 4", st.Messages)
+	}
+	// b and c disagree; a and d agree with everything.
+	if st.Ordered != 2 {
+		t.Fatalf("ordered = %d, want 2", st.Ordered)
+	}
+}
+
+func TestSpontaneousOrderSamePositionStillUnordered(t *testing.T) {
+	a := MsgID{From: 0, Seq: 0}
+	b := MsgID{From: 1, Seq: 0}
+	m := MsgID{From: 2, Seq: 0}
+	// m holds position 1 at both sites yet its order w.r.t. a and b flips.
+	logs := [][]MsgID{{a, m, b}, {b, m, a}}
+	st := SpontaneousOrder(logs)
+	if st.Ordered != 0 {
+		t.Fatalf("ordered = %d, want 0 (pairwise metric)", st.Ordered)
+	}
+}
+
+func TestSpontaneousOrderIgnoresPartialMessages(t *testing.T) {
+	a := MsgID{From: 0, Seq: 0}
+	b := MsgID{From: 1, Seq: 0}
+	late := MsgID{From: 2, Seq: 0}
+	logs := [][]MsgID{{a, b, late}, {a, b}}
+	st := SpontaneousOrder(logs)
+	if st.Messages != 2 || st.Ordered != 2 {
+		t.Fatalf("stats = %+v, want 2/2", st)
+	}
+}
+
+func TestMatchedPrefixLen(t *testing.T) {
+	a := MsgID{From: 0, Seq: 0}
+	b := MsgID{From: 1, Seq: 0}
+	c := MsgID{From: 2, Seq: 0}
+	cases := []struct {
+		logs [][]MsgID
+		want int
+	}{
+		{[][]MsgID{{a, b, c}, {a, b, c}}, 3},
+		{[][]MsgID{{a, b, c}, {a, c, b}}, 1},
+		{[][]MsgID{{a, b}, {a, b, c}}, 2},
+		{[][]MsgID{{b}, {a}}, 0},
+		{nil, 0},
+	}
+	for i, tc := range cases {
+		if got := MatchedPrefixLen(tc.logs); got != tc.want {
+			t.Fatalf("case %d: prefix = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestSpontaneousOrderImprovesWithInterval(t *testing.T) {
+	run := func(interval time.Duration) float64 {
+		st := SpontaneousExperiment{
+			Sites:    4,
+			PerSite:  300,
+			Interval: interval,
+			Seed:     99,
+		}.Run()
+		return st.Percent()
+	}
+	fast := run(100 * time.Microsecond)
+	slow := run(4 * time.Millisecond)
+	if slow < 95 {
+		t.Fatalf("4ms interval spontaneous order = %.1f%%, want >= 95%% (paper: ~99%%)", slow)
+	}
+	if fast >= slow {
+		t.Fatalf("expected degradation at high rate: fast=%.1f%% slow=%.1f%%", fast, slow)
+	}
+	if fast < 60 || fast > 97 {
+		t.Fatalf("saturation spontaneous order = %.1f%%, want low-to-mid 80s band (60..97)", fast)
+	}
+}
+
+func TestFigure1CurveMonotoneTrend(t *testing.T) {
+	pts := Figure1Curve(4, 200, []time.Duration{
+		100 * time.Microsecond, 1 * time.Millisecond, 4 * time.Millisecond,
+	}, 7)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	if !(pts[0].Percent <= pts[1].Percent+2 && pts[1].Percent <= pts[2].Percent+2) {
+		t.Fatalf("curve not rising: %.1f %.1f %.1f", pts[0].Percent, pts[1].Percent, pts[2].Percent)
+	}
+}
+
+func TestWireSerializationOrdersConcurrentSends(t *testing.T) {
+	// With zero receiver jitter, the shared medium alone must produce
+	// identical reception orders everywhere even for simultaneous sends.
+	k := sim.New(3)
+	n := New(k, Config{
+		Sites:       4,
+		TxTime:      100 * time.Microsecond,
+		Propagation: sim.Constant{D: 5 * time.Microsecond},
+		Jitter:      sim.Constant{},
+	})
+	n.EnableReceiveLog()
+	for s := 0; s < 4; s++ {
+		site := SiteID(s)
+		k.At(0, func() { n.Multicast(site, nil) })
+	}
+	k.Run()
+	st := SpontaneousOrder(n.ReceiveLog())
+	if st.Messages != 4 || st.Ordered != 4 {
+		t.Fatalf("wire serialization broken: %+v", st)
+	}
+}

@@ -1,0 +1,106 @@
+package netsim
+
+import "time"
+
+// SpontaneousOrderStats summarises how well reception orders agree across
+// sites, the metric plotted in Figure 1 of the paper.
+type SpontaneousOrderStats struct {
+	// Messages is the number of messages every site received.
+	Messages int
+	// Ordered is the number of messages whose relative order with respect
+	// to every other message is identical at all sites.
+	Ordered int
+	// InterSend is the per-site interval between consecutive broadcasts.
+	InterSend time.Duration
+}
+
+// Percent reports the share of spontaneously ordered messages, 0–100.
+func (s SpontaneousOrderStats) Percent() float64 {
+	if s.Messages == 0 {
+		return 100
+	}
+	return 100 * float64(s.Ordered) / float64(s.Messages)
+}
+
+// SpontaneousOrder analyses per-site reception logs. A message m counts as
+// spontaneously totally ordered when, for every other message m', all sites
+// agree on whether m arrived before m'. This is the strict pairwise
+// definition: position equality alone is not sufficient (sites may agree on
+// m's index while disagreeing on what preceded it).
+//
+// Only messages present in every site's log are considered; trailing
+// messages still in flight when the measurement window closed are excluded
+// by the caller.
+func SpontaneousOrder(logs [][]MsgID) SpontaneousOrderStats {
+	if len(logs) == 0 {
+		return SpontaneousOrderStats{}
+	}
+	// Position of each message at each site.
+	positions := make([]map[MsgID]int, len(logs))
+	for s, log := range logs {
+		positions[s] = make(map[MsgID]int, len(log))
+		for i, id := range log {
+			positions[s][id] = i
+		}
+	}
+	// Messages received everywhere.
+	var common []MsgID
+	for id := range positions[0] {
+		everywhere := true
+		for s := 1; s < len(positions); s++ {
+			if _, ok := positions[s][id]; !ok {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			common = append(common, id)
+		}
+	}
+
+	stats := SpontaneousOrderStats{Messages: len(common)}
+	for i, m := range common {
+		ordered := true
+	pairs:
+		for j, m2 := range common {
+			if i == j {
+				continue
+			}
+			before := positions[0][m] < positions[0][m2]
+			for s := 1; s < len(positions); s++ {
+				if (positions[s][m] < positions[s][m2]) != before {
+					ordered = false
+					break pairs
+				}
+			}
+		}
+		if ordered {
+			stats.Ordered++
+		}
+	}
+	return stats
+}
+
+// MatchedPrefixLen returns the length of the longest common prefix of the
+// given per-site logs. OPT-ABcast uses prefix agreement as its fast path;
+// this helper is shared by its tests and the experiment harness.
+func MatchedPrefixLen(logs [][]MsgID) int {
+	if len(logs) == 0 {
+		return 0
+	}
+	n := len(logs[0])
+	for _, l := range logs[1:] {
+		if len(l) < n {
+			n = len(l)
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := logs[0][i]
+		for _, l := range logs[1:] {
+			if l[i] != id {
+				return i
+			}
+		}
+	}
+	return n
+}

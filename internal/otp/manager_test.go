@@ -1,0 +1,442 @@
+package otp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"otpdb/internal/abcast"
+)
+
+// recordingExec is a test Executor. In auto mode every submission
+// completes synchronously (exercising the manager's reentrancy); in
+// manual mode the test calls complete() explicitly.
+type recordingExec struct {
+	mgr  *Manager
+	auto bool
+
+	mu      sync.Mutex
+	running map[abcast.MsgID]int
+	submits []abcast.MsgID
+	aborts  []abcast.MsgID
+	commits []abcast.MsgID
+}
+
+func newRecordingExec(auto bool) *recordingExec {
+	return &recordingExec{auto: auto, running: make(map[abcast.MsgID]int)}
+}
+
+func (e *recordingExec) Submit(tx *Txn, epoch int) {
+	e.mu.Lock()
+	e.submits = append(e.submits, tx.ID)
+	e.running[tx.ID] = epoch
+	e.mu.Unlock()
+	if e.auto {
+		e.mgr.OnExecuted(tx.ID, epoch)
+	}
+}
+
+func (e *recordingExec) Abort(tx *Txn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.aborts = append(e.aborts, tx.ID)
+	delete(e.running, tx.ID)
+}
+
+func (e *recordingExec) Commit(tx *Txn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.commits = append(e.commits, tx.ID)
+	delete(e.running, tx.ID)
+}
+
+// complete finishes a manually controlled execution.
+func (e *recordingExec) complete(id abcast.MsgID) {
+	e.mu.Lock()
+	epoch, ok := e.running[id]
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.mgr.OnExecuted(id, epoch)
+}
+
+func newManager(auto bool) (*Manager, *recordingExec) {
+	exec := newRecordingExec(auto)
+	mgr := NewManager(exec, Hooks{})
+	exec.mgr = mgr
+	return mgr, exec
+}
+
+func id(n uint64) abcast.MsgID { return abcast.MsgID{Origin: 0, Seq: n} }
+
+func mustOpt(t *testing.T, m *Manager, n uint64, class ClassID) {
+	t.Helper()
+	if err := m.OnOptDeliver(id(n), class, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustTO(t *testing.T, m *Manager, n uint64) {
+	t.Helper()
+	if err := m.OnTODeliver(id(n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertInvariants(t *testing.T, m *Manager) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+// --- Serialization module (Figure 4) ---
+
+func TestS1ToS4FirstTxnSubmitted(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C")
+	if len(exec.submits) != 1 || exec.submits[0] != id(1) {
+		t.Fatalf("submits = %v, want [m0.1]", exec.submits)
+	}
+	q := m.QueueSnapshot("C")
+	if len(q) != 1 || q[0].Exec != Active || q[0].Deliv != Pending || !q[0].Running {
+		t.Fatalf("queue = %v", q)
+	}
+	assertInvariants(t, m)
+}
+
+func TestS3QueuedTxnWaits(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C")
+	mustOpt(t, m, 2, "C")
+	if len(exec.submits) != 1 {
+		t.Fatalf("second conflicting txn submitted early: %v", exec.submits)
+	}
+	q := m.QueueSnapshot("C")
+	if q[1].Running {
+		t.Fatal("queued txn marked running")
+	}
+	assertInvariants(t, m)
+}
+
+func TestDifferentClassesRunConcurrently(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "X")
+	mustOpt(t, m, 2, "Y")
+	if len(exec.submits) != 2 {
+		t.Fatalf("submits = %v, want both heads", exec.submits)
+	}
+	assertInvariants(t, m)
+}
+
+// --- Execution module (Figure 5) ---
+
+func TestE5ExecutedBeforeTODeliveryWaits(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C")
+	exec.complete(id(1))
+	if len(exec.commits) != 0 {
+		t.Fatal("committed before TO-delivery")
+	}
+	q := m.QueueSnapshot("C")
+	if q[0].Exec != Executed || q[0].Deliv != Pending {
+		t.Fatalf("state = %v, want executed/pending", q[0])
+	}
+	assertInvariants(t, m)
+}
+
+func TestE1E3CommitAfterExecutionWhenCommittable(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C")
+	mustOpt(t, m, 2, "C")
+	mustTO(t, m, 1) // head still executing: marked committable
+	if len(exec.commits) != 0 {
+		t.Fatal("committed before execution finished")
+	}
+	exec.complete(id(1)) // E1: executed and committable -> commit
+	if len(exec.commits) != 1 || exec.commits[0] != id(1) {
+		t.Fatalf("commits = %v", exec.commits)
+	}
+	// E3: next transaction started.
+	if len(exec.submits) != 2 || exec.submits[1] != id(2) {
+		t.Fatalf("submits = %v", exec.submits)
+	}
+	assertInvariants(t, m)
+}
+
+// --- Correctness check module (Figure 6) ---
+
+func TestCC2CC4ExecutedHeadCommitsOnTODelivery(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C")
+	mustOpt(t, m, 2, "C")
+	exec.complete(id(1))
+	mustTO(t, m, 1)
+	if len(exec.commits) != 1 || exec.commits[0] != id(1) {
+		t.Fatalf("commits = %v", exec.commits)
+	}
+	if len(exec.submits) != 2 || exec.submits[1] != id(2) {
+		t.Fatalf("submits = %v", exec.submits)
+	}
+	assertInvariants(t, m)
+}
+
+func TestCC7CC8MismatchAbortsPendingHead(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C") // tentative order: T1 then T2
+	mustOpt(t, m, 2, "C")
+	exec.complete(id(1)) // T1 executed, still pending
+	mustTO(t, m, 2)      // definitive order says T2 first
+	if len(exec.aborts) != 1 || exec.aborts[0] != id(1) {
+		t.Fatalf("aborts = %v, want [m0.1]", exec.aborts)
+	}
+	// T2 rescheduled to the head and submitted.
+	q := m.QueueSnapshot("C")
+	if q[0].ID != id(2) || q[0].Deliv != Committable || !q[0].Running {
+		t.Fatalf("head = %v, want committable running m0.2", q[0])
+	}
+	if q[1].ID != id(1) || q[1].Exec != Active || q[1].Deliv != Pending || q[1].Running {
+		t.Fatalf("second = %v, want active pending m0.1", q[1])
+	}
+	// Finish T2: it commits, T1 re-runs, TO for T1 arrives, T1 commits.
+	exec.complete(id(2))
+	mustTO(t, m, 1)
+	exec.complete(id(1))
+	want := []abcast.MsgID{id(2), id(1)}
+	if len(exec.commits) != 2 || exec.commits[0] != want[0] || exec.commits[1] != want[1] {
+		t.Fatalf("commits = %v, want %v", exec.commits, want)
+	}
+	st := m.Stats()
+	if st.Aborts != 1 || st.Reorders != 1 {
+		t.Fatalf("stats = %+v, want 1 abort 1 reorder", st)
+	}
+	assertInvariants(t, m)
+}
+
+// Worked example 1 of Section 3.3:
+// CQ = T1[a,c], T2[a,p], T3[a,p]; T3 is TO-delivered next.
+// Expected: CQ = T1[a,c], T3[a,c], T2[a,p]; T1 not aborted.
+func TestPaperExample1CommittableHeadNotAborted(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C")
+	mustOpt(t, m, 2, "C")
+	mustOpt(t, m, 3, "C")
+	mustTO(t, m, 1) // T1 committable, still executing
+
+	mustTO(t, m, 3) // mismatch, but head is committable
+	if len(exec.aborts) != 0 {
+		t.Fatalf("committable head aborted: %v", exec.aborts)
+	}
+	q := m.QueueSnapshot("C")
+	wantIDs := []abcast.MsgID{id(1), id(3), id(2)}
+	wantDeliv := []DeliveryState{Committable, Committable, Pending}
+	for i := range wantIDs {
+		if q[i].ID != wantIDs[i] || q[i].Deliv != wantDeliv[i] || q[i].Exec != Active {
+			t.Fatalf("queue[%d] = %v, want %v[a,%v]", i, q[i], wantIDs[i], wantDeliv[i])
+		}
+	}
+	assertInvariants(t, m)
+}
+
+// Worked example 2 of Section 3.3:
+// CQ = T1[e,p], T2[a,p], T3[a,p]; T3 is TO-delivered first.
+// Expected: T1 aborted; CQ = T3[a,c], T1[a,p], T2[a,p].
+func TestPaperExample2PendingExecutedHeadAborted(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C")
+	mustOpt(t, m, 2, "C")
+	mustOpt(t, m, 3, "C")
+	exec.complete(id(1)) // T1 executed, pending
+
+	mustTO(t, m, 3)
+	if len(exec.aborts) != 1 || exec.aborts[0] != id(1) {
+		t.Fatalf("aborts = %v, want [m0.1]", exec.aborts)
+	}
+	q := m.QueueSnapshot("C")
+	wantIDs := []abcast.MsgID{id(3), id(1), id(2)}
+	wantDeliv := []DeliveryState{Committable, Pending, Pending}
+	for i := range wantIDs {
+		if q[i].ID != wantIDs[i] || q[i].Deliv != wantDeliv[i] || q[i].Exec != Active {
+			t.Fatalf("queue[%d] = %v, want %v[a,%v]", i, q[i], wantIDs[i], wantDeliv[i])
+		}
+	}
+	if !q[0].Running || q[1].Running {
+		t.Fatalf("running flags wrong: %v", q)
+	}
+	assertInvariants(t, m)
+}
+
+// The full Section 3.2 scenario at site N': tentative order
+// T1,T3,T2,T4,T6,T5 with classes Cx={T1,T2}, Cy={T3,T4}, Cz={T5,T6} and
+// definitive order T1..T6. Only the T5/T6 mismatch conflicts; T2/T3 do not.
+func TestPaperSection32SiteNPrime(t *testing.T) {
+	m, exec := newManager(true) // executions finish instantly
+	classOf := map[uint64]ClassID{1: "x", 2: "x", 3: "y", 4: "y", 5: "z", 6: "z"}
+	for _, n := range []uint64{1, 3, 2, 4, 6, 5} { // tentative order at N'
+		mustOpt(t, m, n, classOf[n])
+	}
+	for n := uint64(1); n <= 6; n++ { // definitive order
+		mustTO(t, m, n)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("%d transactions never committed", m.Pending())
+	}
+	st := m.Stats()
+	if st.Aborts != 1 {
+		t.Fatalf("aborts = %d, want exactly 1 (T6)", st.Aborts)
+	}
+	if len(exec.aborts) != 1 || exec.aborts[0] != id(6) {
+		t.Fatalf("aborted %v, want T6", exec.aborts)
+	}
+	// Lemma 4.1: per class, commits follow the definitive order.
+	pos := make(map[abcast.MsgID]int)
+	for i, c := range exec.commits {
+		pos[c] = i
+	}
+	if pos[id(5)] > pos[id(6)] {
+		t.Fatal("T6 committed before T5 despite definitive order")
+	}
+	if pos[id(1)] > pos[id(2)] || pos[id(3)] > pos[id(4)] {
+		t.Fatal("per-class commit order violated")
+	}
+	assertInvariants(t, m)
+}
+
+// The same scenario at site N (tentative == definitive): no aborts at all,
+// including the non-conflicting T2/T3 discrepancy case.
+func TestPaperSection32SiteNNoAborts(t *testing.T) {
+	m, exec := newManager(true)
+	classOf := map[uint64]ClassID{1: "x", 2: "x", 3: "y", 4: "y", 5: "z", 6: "z"}
+	for _, n := range []uint64{1, 2, 3, 4, 5, 6} {
+		mustOpt(t, m, n, classOf[n])
+	}
+	for n := uint64(1); n <= 6; n++ {
+		mustTO(t, m, n)
+	}
+	if st := m.Stats(); st.Aborts != 0 || st.Reorders != 0 {
+		t.Fatalf("stats = %+v, want no aborts/reorders", st)
+	}
+	if len(exec.commits) != 6 {
+		t.Fatalf("commits = %v", exec.commits)
+	}
+	assertInvariants(t, m)
+}
+
+// Non-conflicting mismatches (different classes) must not cause aborts.
+func TestMismatchAcrossClassesIsFree(t *testing.T) {
+	m, _ := newManager(true)
+	mustOpt(t, m, 1, "X")
+	mustOpt(t, m, 2, "Y")
+	// Definitive order reversed relative to tentative.
+	mustTO(t, m, 2)
+	mustTO(t, m, 1)
+	if st := m.Stats(); st.Aborts != 0 {
+		t.Fatalf("aborts = %d for cross-class mismatch", st.Aborts)
+	}
+	if m.Pending() != 0 {
+		t.Fatal("transactions stuck")
+	}
+}
+
+// --- epochs and staleness ---
+
+func TestStaleCompletionAfterAbortIgnored(t *testing.T) {
+	m, exec := newManager(false)
+	mustOpt(t, m, 1, "C")
+	mustOpt(t, m, 2, "C")
+	// Capture T1's running epoch, then abort it via a mismatching TO.
+	exec.mu.Lock()
+	staleEpoch := exec.running[id(1)]
+	exec.mu.Unlock()
+	mustTO(t, m, 2) // aborts T1, submits T2
+	m.OnExecuted(id(1), staleEpoch)
+	q := m.QueueSnapshot("C")
+	for _, s := range q {
+		if s.ID == id(1) && s.Exec != Active {
+			t.Fatalf("stale completion applied: %v", s)
+		}
+	}
+	assertInvariants(t, m)
+}
+
+func TestCompletionForUnknownTxnIgnored(t *testing.T) {
+	m, _ := newManager(false)
+	m.OnExecuted(id(99), 0) // must not panic
+}
+
+// --- error paths ---
+
+func TestTODeliveryForUnknownTxnErrors(t *testing.T) {
+	m, _ := newManager(false)
+	err := m.OnTODeliver(id(1))
+	if !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("err = %v, want ErrUnknownTxn", err)
+	}
+}
+
+func TestDuplicateDeliveriesError(t *testing.T) {
+	m, _ := newManager(true)
+	mustOpt(t, m, 1, "C")
+	if err := m.OnOptDeliver(id(1), "C", nil); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate opt err = %v", err)
+	}
+	mustTO(t, m, 1)
+	// T1 has committed; a second TO-delivery is unknown now.
+	if err := m.OnTODeliver(id(1)); err == nil {
+		t.Fatal("duplicate TO accepted")
+	}
+}
+
+// --- hooks, indexes, stats ---
+
+func TestHooksFire(t *testing.T) {
+	var commits, aborts []abcast.MsgID
+	exec := newRecordingExec(false)
+	m := NewManager(exec, Hooks{
+		OnCommit: func(tx *Txn) { commits = append(commits, tx.ID) },
+		OnAbort:  func(tx *Txn) { aborts = append(aborts, tx.ID) },
+	})
+	exec.mgr = m
+	mustOpt(t, m, 1, "C")
+	mustOpt(t, m, 2, "C")
+	exec.complete(id(1))
+	mustTO(t, m, 2) // abort T1
+	exec.complete(id(2))
+	if len(aborts) != 1 || aborts[0] != id(1) {
+		t.Fatalf("abort hook = %v", aborts)
+	}
+	if len(commits) != 1 || commits[0] != id(2) {
+		t.Fatalf("commit hook = %v", commits)
+	}
+}
+
+func TestTOIndexAssignmentSequential(t *testing.T) {
+	m, _ := newManager(true)
+	mustOpt(t, m, 1, "X")
+	mustOpt(t, m, 2, "Y")
+	mustTO(t, m, 2)
+	mustTO(t, m, 1)
+	recs := m.Committed()
+	idxByID := make(map[abcast.MsgID]int64)
+	for _, r := range recs {
+		idxByID[r.ID] = r.TOIndex
+	}
+	if idxByID[id(2)] != 1 || idxByID[id(1)] != 2 {
+		t.Fatalf("TO indexes = %v", idxByID)
+	}
+	if m.LastTOIndex() != 2 {
+		t.Fatalf("LastTOIndex = %d", m.LastTOIndex())
+	}
+}
+
+func TestCommittedReturnsCopy(t *testing.T) {
+	m, _ := newManager(true)
+	mustOpt(t, m, 1, "C")
+	mustTO(t, m, 1)
+	recs := m.Committed()
+	recs[0].TOIndex = 999
+	if m.Committed()[0].TOIndex == 999 {
+		t.Fatal("Committed exposes internal slice")
+	}
+}

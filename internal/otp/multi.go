@@ -1,0 +1,404 @@
+package otp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"otpdb/internal/abcast"
+)
+
+// This file implements the generalization the paper defers to its
+// companion report ([13], referenced in Sections 2.3 and 6): transactions
+// whose conflict specification is a *set* of classes rather than exactly
+// one. A multi-class transaction enters the FIFO queue of every class it
+// declares, starts executing when it heads all of them, and commits when
+// it is executed and TO-delivered. The Correctness Check applies per
+// queue: on TO-delivery the transaction is rescheduled before the first
+// pending transaction of each of its queues, aborting displaced pending
+// heads.
+//
+// Deadlock freedom is inherited from the insertion discipline: pending
+// transactions appear in every queue in tentative-delivery order and
+// committable ones in definitive order, so the orders of any two queues
+// never disagree and the uncommitted transaction with the smallest
+// definitive index heads all of its queues.
+
+// MultiTxn is the bookkeeping for a transaction over a set of classes.
+type MultiTxn struct {
+	// ID is the broadcast message identifier.
+	ID abcast.MsgID
+	// Classes is the sorted set of conflict classes the transaction may
+	// touch.
+	Classes []ClassID
+	// Payload is the opaque request.
+	Payload any
+
+	exec    ExecState
+	deliv   DeliveryState
+	running bool
+	epoch   int
+	toIndex int64
+}
+
+// TOIndex returns the definitive index (0 before TO-delivery).
+func (t *MultiTxn) TOIndex() int64 { return t.toIndex }
+
+// Epoch returns the abort epoch for Executor fencing.
+func (t *MultiTxn) Epoch() int { return t.epoch }
+
+// MultiExecutor mirrors Executor for multi-class transactions.
+type MultiExecutor interface {
+	Submit(tx *MultiTxn, epoch int)
+	Abort(tx *MultiTxn)
+	Commit(tx *MultiTxn)
+}
+
+// MultiHooks mirror Hooks.
+type MultiHooks struct {
+	OnCommit      func(tx *MultiTxn)
+	OnAbort       func(tx *MultiTxn)
+	OnTODelivered func(id abcast.MsgID, classes []ClassID, toIndex int64)
+}
+
+// ErrNoClasses is returned for transactions declaring no conflict class.
+var ErrNoClasses = errors.New("otp: transaction declares no conflict class")
+
+// MultiManager schedules multi-class transactions. The single-class
+// Manager remains the faithful implementation of the paper's pseudocode;
+// this type is the [13]-style generalization.
+type MultiManager struct {
+	mu     sync.Mutex
+	exec   MultiExecutor
+	hooks  MultiHooks
+	queues map[ClassID][]*MultiTxn
+	index  map[abcast.MsgID]*MultiTxn
+
+	nextTOIndex int64
+	committed   []CommitRecord
+	stats       Stats
+}
+
+type multiAction struct {
+	kind  actionKind
+	tx    *MultiTxn
+	epoch int
+}
+
+// NewMultiManager creates a manager driving exec.
+func NewMultiManager(exec MultiExecutor, hooks MultiHooks) *MultiManager {
+	return &MultiManager{
+		exec:   exec,
+		hooks:  hooks,
+		queues: make(map[ClassID][]*MultiTxn),
+		index:  make(map[abcast.MsgID]*MultiTxn),
+	}
+}
+
+// OnOptDeliver is the generalized Serialization module: the transaction
+// joins every declared class queue in tentative order and starts if it
+// heads all of them.
+func (m *MultiManager) OnOptDeliver(id abcast.MsgID, classes []ClassID, payload any) error {
+	if len(classes) == 0 {
+		return ErrNoClasses
+	}
+	sorted := normalizeClasses(classes)
+	m.mu.Lock()
+	if _, dup := m.index[id]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %v Opt-delivered twice", ErrDuplicate, id)
+	}
+	tx := &MultiTxn{
+		ID:      id,
+		Classes: sorted,
+		Payload: payload,
+		exec:    Active,
+		deliv:   Pending,
+	}
+	m.index[id] = tx
+	for _, class := range sorted {
+		m.queues[class] = append(m.queues[class], tx)
+	}
+	m.stats.OptDelivered++
+	var acts []multiAction
+	acts = m.trySubmitLocked(tx, acts)
+	m.mu.Unlock()
+	m.perform(acts)
+	return nil
+}
+
+// OnExecuted is the generalized Execution module.
+func (m *MultiManager) OnExecuted(id abcast.MsgID, epoch int) {
+	m.mu.Lock()
+	tx, ok := m.index[id]
+	if !ok || tx.epoch != epoch || !tx.running {
+		m.mu.Unlock()
+		return
+	}
+	tx.running = false
+	var acts []multiAction
+	if tx.deliv == Committable {
+		acts = m.commitLocked(tx, acts)
+	} else {
+		tx.exec = Executed
+	}
+	m.mu.Unlock()
+	m.perform(acts)
+}
+
+// OnTODeliver is the generalized Correctness Check module: the
+// rescheduling of CC7–CC12 is applied in every one of the transaction's
+// class queues.
+func (m *MultiManager) OnTODeliver(id abcast.MsgID) error {
+	m.mu.Lock()
+	tx, ok := m.index[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrUnknownTxn, id)
+	}
+	if tx.deliv == Committable {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %v TO-delivered twice", ErrDuplicate, id)
+	}
+	m.nextTOIndex++
+	tx.toIndex = m.nextTOIndex
+	m.stats.TODelivered++
+	if m.hooks.OnTODelivered != nil {
+		m.hooks.OnTODelivered(tx.ID, tx.Classes, tx.toIndex)
+	}
+
+	var acts []multiAction
+	if tx.exec == Executed { // executed implies heading all queues
+		tx.deliv = Committable
+		acts = m.commitLocked(tx, acts)
+		m.mu.Unlock()
+		m.perform(acts)
+		return nil
+	}
+
+	tx.deliv = Committable
+	aborted := make(map[*MultiTxn]bool)
+	for _, class := range tx.Classes {
+		q := m.queues[class]
+		head := q[0]
+		// Generalized CC7/CC8: a pending head that has optimistically
+		// started (or finished) must be undone before the confirmed
+		// transaction overtakes it. A pending head that never started
+		// needs no undo — its queue entry simply shifts.
+		if head != tx && head.deliv == Pending && (head.running || head.exec == Executed) && !aborted[head] {
+			aborted[head] = true
+			acts = m.abortLocked(head, acts)
+		}
+		m.rescheduleInClassLocked(tx, class)
+	}
+	acts = m.trySubmitLocked(tx, acts)
+	m.mu.Unlock()
+	m.perform(acts)
+	return nil
+}
+
+// trySubmitLocked starts tx if it is active, idle, and heads every one of
+// its queues.
+func (m *MultiManager) trySubmitLocked(tx *MultiTxn, acts []multiAction) []multiAction {
+	if tx.running || tx.exec != Active {
+		return acts
+	}
+	for _, class := range tx.Classes {
+		q := m.queues[class]
+		if len(q) == 0 || q[0] != tx {
+			return acts
+		}
+	}
+	tx.running = true
+	m.stats.Submits++
+	return append(acts, multiAction{kind: actSubmit, tx: tx, epoch: tx.epoch})
+}
+
+// commitLocked removes tx from all its queues and wakes the new heads.
+func (m *MultiManager) commitLocked(tx *MultiTxn, acts []multiAction) []multiAction {
+	for _, class := range tx.Classes {
+		q := m.queues[class]
+		if len(q) == 0 || q[0] != tx {
+			panic(fmt.Sprintf("otp: multi commit of %v while not heading %s", tx.ID, class))
+		}
+		m.queues[class] = q[1:]
+	}
+	delete(m.index, tx.ID)
+	m.committed = append(m.committed, CommitRecord{ID: tx.ID, Class: tx.Classes[0], TOIndex: tx.toIndex})
+	m.stats.Commits++
+	acts = append(acts, multiAction{kind: actCommit, tx: tx})
+	// New heads of the vacated queues may now be runnable.
+	tried := make(map[*MultiTxn]bool)
+	for _, class := range tx.Classes {
+		q := m.queues[class]
+		if len(q) == 0 || tried[q[0]] {
+			continue
+		}
+		tried[q[0]] = true
+		acts = m.trySubmitLocked(q[0], acts)
+	}
+	return acts
+}
+
+func (m *MultiManager) abortLocked(tx *MultiTxn, acts []multiAction) []multiAction {
+	tx.epoch++
+	tx.running = false
+	tx.exec = Active
+	m.stats.Aborts++
+	return append(acts, multiAction{kind: actAbort, tx: tx})
+}
+
+// rescheduleInClassLocked moves tx before the first pending transaction
+// of one class queue (committable transactions form a prefix per queue).
+func (m *MultiManager) rescheduleInClassLocked(tx *MultiTxn, class ClassID) {
+	q := m.queues[class]
+	pos := -1
+	for i, cur := range q {
+		if cur == tx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("otp: %v missing from class %s", tx.ID, class))
+	}
+	q = append(q[:pos], q[pos+1:]...)
+	ins := 0
+	for ins < len(q) && q[ins].deliv == Committable {
+		ins++
+	}
+	q = append(q, nil)
+	copy(q[ins+1:], q[ins:])
+	q[ins] = tx
+	m.queues[class] = q
+	if pos != ins {
+		m.stats.Reorders++
+	}
+}
+
+func (m *MultiManager) perform(acts []multiAction) {
+	for _, a := range acts {
+		switch a.kind {
+		case actAbort:
+			m.exec.Abort(a.tx)
+			if m.hooks.OnAbort != nil {
+				m.hooks.OnAbort(a.tx)
+			}
+		case actCommit:
+			m.exec.Commit(a.tx)
+			if m.hooks.OnCommit != nil {
+				m.hooks.OnCommit(a.tx)
+			}
+		case actSubmit:
+			m.exec.Submit(a.tx, a.epoch)
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (m *MultiManager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Committed returns a copy of the commit log in commit order. The Class
+// field holds the transaction's first declared class.
+func (m *MultiManager) Committed() []CommitRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]CommitRecord, len(m.committed))
+	copy(out, m.committed)
+	return out
+}
+
+// Pending reports delivered-but-uncommitted transactions.
+func (m *MultiManager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.index)
+}
+
+// LastTOIndex returns the most recent definitive index.
+func (m *MultiManager) LastTOIndex() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextTOIndex
+}
+
+// QueueSnapshot returns one class queue head-first.
+func (m *MultiManager) QueueSnapshot(class ClassID) []State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.queues[class]
+	out := make([]State, len(q))
+	for i, tx := range q {
+		out[i] = State{
+			ID:      tx.ID,
+			Class:   class,
+			Exec:    tx.exec,
+			Deliv:   tx.deliv,
+			Running: tx.running,
+			TOIndex: tx.toIndex,
+		}
+	}
+	return out
+}
+
+// CheckInvariants validates the multi-class structural invariants:
+// committable transactions form a prefix of every queue in ascending
+// definitive order, pending suffixes share a consistent relative order
+// across queues, and a running or executed transaction heads every one of
+// its queues.
+func (m *MultiManager) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for class, q := range m.queues {
+		inPrefix := true
+		lastTO := int64(0)
+		for _, tx := range q {
+			if m.index[tx.ID] != tx {
+				return fmt.Errorf("class %s: %v not indexed", class, tx.ID)
+			}
+			switch tx.deliv {
+			case Committable:
+				if !inPrefix {
+					return fmt.Errorf("class %s: committable %v after pending", class, tx.ID)
+				}
+				if tx.toIndex <= lastTO {
+					return fmt.Errorf("class %s: committable prefix not in definitive order", class)
+				}
+				lastTO = tx.toIndex
+			case Pending:
+				inPrefix = false
+			}
+		}
+	}
+	for _, tx := range m.index {
+		if tx.running || tx.exec == Executed {
+			for _, class := range tx.Classes {
+				q := m.queues[class]
+				if len(q) == 0 || q[0] != tx {
+					return fmt.Errorf("%v is %v/running=%v but not heading %s",
+						tx.ID, tx.exec, tx.running, class)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// normalizeClasses sorts and dedupes a class set.
+func normalizeClasses(classes []ClassID) []ClassID {
+	out := make([]ClassID, 0, len(classes))
+	seen := make(map[ClassID]bool, len(classes))
+	for _, c := range classes {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

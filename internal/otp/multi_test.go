@@ -1,0 +1,384 @@
+package otp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"otpdb/internal/abcast"
+)
+
+// recordingMultiExec mirrors recordingExec for MultiManager.
+type recordingMultiExec struct {
+	mgr  *MultiManager
+	auto bool
+
+	mu      sync.Mutex
+	running map[abcast.MsgID]int
+	submits []abcast.MsgID
+	aborts  []abcast.MsgID
+	commits []abcast.MsgID
+}
+
+func newMultiExec(auto bool) *recordingMultiExec {
+	return &recordingMultiExec{auto: auto, running: make(map[abcast.MsgID]int)}
+}
+
+func (e *recordingMultiExec) Submit(tx *MultiTxn, epoch int) {
+	e.mu.Lock()
+	e.submits = append(e.submits, tx.ID)
+	e.running[tx.ID] = epoch
+	e.mu.Unlock()
+	if e.auto {
+		e.mgr.OnExecuted(tx.ID, epoch)
+	}
+}
+
+func (e *recordingMultiExec) Abort(tx *MultiTxn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.aborts = append(e.aborts, tx.ID)
+	delete(e.running, tx.ID)
+}
+
+func (e *recordingMultiExec) Commit(tx *MultiTxn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.commits = append(e.commits, tx.ID)
+	delete(e.running, tx.ID)
+}
+
+func (e *recordingMultiExec) complete(id abcast.MsgID) {
+	e.mu.Lock()
+	epoch, ok := e.running[id]
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.mgr.OnExecuted(id, epoch)
+}
+
+func newMulti(auto bool) (*MultiManager, *recordingMultiExec) {
+	exec := newMultiExec(auto)
+	mgr := NewMultiManager(exec, MultiHooks{})
+	exec.mgr = mgr
+	return mgr, exec
+}
+
+func mustOptM(t *testing.T, m *MultiManager, n uint64, classes ...ClassID) {
+	t.Helper()
+	if err := m.OnOptDeliver(id(n), classes, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustTOM(t *testing.T, m *MultiManager, n uint64) {
+	t.Helper()
+	if err := m.OnTODeliver(id(n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertMultiInvariants(t *testing.T, m *MultiManager) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+func TestMultiRejectsEmptyClassSet(t *testing.T) {
+	m, _ := newMulti(false)
+	if err := m.OnOptDeliver(id(1), nil, nil); !errors.Is(err, ErrNoClasses) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultiSingleClassBehavesLikeManager(t *testing.T) {
+	m, exec := newMulti(false)
+	mustOptM(t, m, 1, "C")
+	mustOptM(t, m, 2, "C")
+	if len(exec.submits) != 1 {
+		t.Fatalf("submits = %v", exec.submits)
+	}
+	exec.complete(id(1))
+	mustTOM(t, m, 1)
+	mustTOM(t, m, 2)
+	exec.complete(id(2))
+	if len(exec.commits) != 2 || exec.commits[0] != id(1) {
+		t.Fatalf("commits = %v", exec.commits)
+	}
+	assertMultiInvariants(t, m)
+}
+
+func TestMultiWaitsForAllHeads(t *testing.T) {
+	m, exec := newMulti(false)
+	mustOptM(t, m, 1, "A")      // heads A, runs
+	mustOptM(t, m, 2, "A", "B") // behind T1 in A: must wait
+	if len(exec.submits) != 1 || exec.submits[0] != id(1) {
+		t.Fatalf("submits = %v", exec.submits)
+	}
+	q := m.QueueSnapshot("B")
+	if len(q) != 1 || q[0].Running {
+		t.Fatalf("B queue = %v; cross-class txn must not run", q)
+	}
+	// T1 commits; T2 heads both queues and starts.
+	exec.complete(id(1))
+	mustTOM(t, m, 1)
+	if len(exec.submits) != 2 || exec.submits[1] != id(2) {
+		t.Fatalf("submits = %v", exec.submits)
+	}
+	assertMultiInvariants(t, m)
+}
+
+func TestMultiClassTxnBlocksBothQueues(t *testing.T) {
+	m, exec := newMulti(false)
+	mustOptM(t, m, 1, "A", "B") // heads both, runs
+	mustOptM(t, m, 2, "A")
+	mustOptM(t, m, 3, "B")
+	if len(exec.submits) != 1 {
+		t.Fatalf("submits = %v", exec.submits)
+	}
+	exec.complete(id(1))
+	mustTOM(t, m, 1) // commit T1; both T2 and T3 become runnable
+	if len(exec.submits) != 3 {
+		t.Fatalf("submits = %v; want T2 and T3 released", exec.submits)
+	}
+	assertMultiInvariants(t, m)
+}
+
+func TestMultiMismatchAbortsRunningHead(t *testing.T) {
+	m, exec := newMulti(false)
+	mustOptM(t, m, 1, "A", "B") // tentative first, starts
+	mustOptM(t, m, 2, "B", "C")
+	exec.complete(id(1)) // T1 executed, pending
+	mustTOM(t, m, 2)     // definitive order favours T2: T1 must be undone
+	if len(exec.aborts) != 1 || exec.aborts[0] != id(1) {
+		t.Fatalf("aborts = %v", exec.aborts)
+	}
+	// T2 now heads B and C and runs; T1 waits behind it in B.
+	q := m.QueueSnapshot("B")
+	if q[0].ID != id(2) || !q[0].Running {
+		t.Fatalf("B head = %v", q[0])
+	}
+	exec.complete(id(2))
+	mustTOM(t, m, 1)
+	exec.complete(id(1))
+	want := []abcast.MsgID{id(2), id(1)}
+	for i := range want {
+		if exec.commits[i] != want[i] {
+			t.Fatalf("commits = %v, want %v", exec.commits, want)
+		}
+	}
+	assertMultiInvariants(t, m)
+}
+
+func TestMultiIdleHeadNotAbortedOnDisplacement(t *testing.T) {
+	m, exec := newMulti(false)
+	mustOptM(t, m, 1, "A")      // runs in A
+	mustOptM(t, m, 2, "A", "B") // waits behind T1; heads B but idle
+	mustOptM(t, m, 3, "B")      // behind T2 in B
+	// T3 confirmed first: T2 (B's head) is pending but never started, so
+	// no executor abort is needed — it just shifts.
+	mustTOM(t, m, 3)
+	if len(exec.aborts) != 0 {
+		t.Fatalf("aborted idle transaction: %v", exec.aborts)
+	}
+	q := m.QueueSnapshot("B")
+	if q[0].ID != id(3) || q[1].ID != id(2) {
+		t.Fatalf("B queue = %v", q)
+	}
+	// T3 heads B and runs immediately.
+	if !q[0].Running {
+		t.Fatalf("confirmed head not running: %v", q[0])
+	}
+	assertMultiInvariants(t, m)
+}
+
+func TestMultiDuplicateClassesNormalized(t *testing.T) {
+	m, _ := newMulti(true)
+	mustOptM(t, m, 1, "B", "A", "B")
+	mustTOM(t, m, 1)
+	if m.Pending() != 0 {
+		t.Fatal("txn with duplicate classes stuck")
+	}
+	if len(m.Committed()) != 1 || m.Committed()[0].Class != "A" {
+		t.Fatalf("committed = %v", m.Committed())
+	}
+}
+
+func TestMultiErrorsMirrorManager(t *testing.T) {
+	m, _ := newMulti(true)
+	mustOptM(t, m, 1, "C")
+	if err := m.OnOptDeliver(id(1), []ClassID{"C"}, nil); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup opt err = %v", err)
+	}
+	if err := m.OnTODeliver(id(9)); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("unknown TO err = %v", err)
+	}
+	m.OnExecuted(id(9), 0) // must not panic
+}
+
+func TestMultiHooksFire(t *testing.T) {
+	exec := newMultiExec(false)
+	var commits, toDelivs int
+	m := NewMultiManager(exec, MultiHooks{
+		OnCommit:      func(*MultiTxn) { commits++ },
+		OnTODelivered: func(_ abcast.MsgID, classes []ClassID, _ int64) { toDelivs += len(classes) },
+	})
+	exec.mgr = m
+	if err := m.OnOptDeliver(id(1), []ClassID{"A", "B"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	exec.complete(id(1))
+	if err := m.OnTODeliver(id(1)); err != nil {
+		t.Fatal(err)
+	}
+	if commits != 1 || toDelivs != 2 {
+		t.Fatalf("commits=%d toDelivs=%d", commits, toDelivs)
+	}
+}
+
+// multiSchedule drives a MultiManager through a random adversarial
+// schedule: random class sets, mismatched tentative order, interleaved
+// completions. Mirrors the single-class property harness.
+func runMultiSchedule(t *testing.T, numTxns, numClasses int, displacement int, seed int64) (*MultiManager, *recordingMultiExec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, exec := newMulti(false)
+
+	classSets := make(map[uint64][]ClassID, numTxns)
+	for i := 1; i <= numTxns; i++ {
+		n := 1 + rng.Intn(3) // 1-3 classes per txn
+		set := make([]ClassID, 0, n)
+		for j := 0; j < n; j++ {
+			set = append(set, ClassID(fmt.Sprintf("c%d", rng.Intn(numClasses))))
+		}
+		classSets[uint64(i)] = set
+	}
+	tentative := boundedShuffle(numTxns, displacement, rng)
+	oi, ti := 0, 0
+	opted := make(map[uint64]bool)
+	for oi < len(tentative) || ti < numTxns || m.Pending() > 0 {
+		progressed := false
+		switch rng.Intn(3) {
+		case 0:
+			if oi < len(tentative) {
+				n := tentative[oi]
+				oi++
+				opted[n] = true
+				if err := m.OnOptDeliver(id(n), classSets[n], nil); err != nil {
+					t.Fatal(err)
+				}
+				progressed = true
+			}
+		case 1:
+			next := uint64(ti + 1)
+			if ti < numTxns && opted[next] {
+				ti++
+				if err := m.OnTODeliver(id(next)); err != nil {
+					t.Fatal(err)
+				}
+				progressed = true
+			}
+		case 2:
+			exec.mu.Lock()
+			var runnable []abcast.MsgID
+			for rid := range exec.running {
+				runnable = append(runnable, rid)
+			}
+			exec.mu.Unlock()
+			if len(runnable) > 0 {
+				exec.complete(runnable[rng.Intn(len(runnable))])
+				progressed = true
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("invariant violated mid-schedule: %v", err)
+		}
+		if !progressed && oi == len(tentative) && ti == numTxns {
+			exec.mu.Lock()
+			var runnable []abcast.MsgID
+			for rid := range exec.running {
+				runnable = append(runnable, rid)
+			}
+			exec.mu.Unlock()
+			if len(runnable) == 0 && m.Pending() > 0 {
+				t.Fatalf("deadlock: %d pending, nothing running (seed %d)", m.Pending(), seed)
+			}
+			for _, rid := range runnable {
+				exec.complete(rid)
+			}
+		}
+	}
+	return m, exec
+}
+
+// Starvation freedom and deadlock freedom for multi-class transactions.
+func TestQuickMultiStarvationFreedom(t *testing.T) {
+	f := func(seed int64, txns, classes, disp uint8) bool {
+		n := int(txns%25) + 5
+		m, _ := runMultiSchedule(t, n, int(classes%5)+2, int(disp%6), seed)
+		return m.Pending() == 0 && len(m.Committed()) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Commit order respects the definitive order for every pair of
+// transactions sharing a class (the generalized Lemma 4.1).
+func TestQuickMultiConflictingCommitsFollowTOOrder(t *testing.T) {
+	f := func(seed int64, txns, classes, disp uint8) bool {
+		n := int(txns%25) + 5
+		m, exec := runMultiSchedule(t, n, int(classes%5)+2, int(disp%6), seed)
+		_ = m
+		// Reconstruct commit positions and class sets.
+		pos := make(map[abcast.MsgID]int)
+		for i, cid := range exec.commits {
+			pos[cid] = i
+		}
+		toIdx := make(map[abcast.MsgID]int64)
+		for _, rec := range m.Committed() {
+			toIdx[rec.ID] = rec.TOIndex
+		}
+		// For every committed pair sharing a class, commit order must
+		// follow definitive order. We recover class sets from the
+		// schedule's deterministic RNG replay.
+		rng := rand.New(rand.NewSource(seed))
+		classSets := make(map[uint64]map[ClassID]bool, n)
+		for i := 1; i <= n; i++ {
+			cnt := 1 + rng.Intn(3)
+			set := make(map[ClassID]bool, cnt)
+			for j := 0; j < cnt; j++ {
+				set[ClassID(fmt.Sprintf("c%d", rng.Intn(int(classes%5)+2)))] = true
+			}
+			classSets[uint64(i)] = set
+		}
+		share := func(a, b uint64) bool {
+			for c := range classSets[a] {
+				if classSets[b][c] {
+					return true
+				}
+			}
+			return false
+		}
+		for a := uint64(1); a <= uint64(n); a++ {
+			for b := a + 1; b <= uint64(n); b++ {
+				if !share(a, b) {
+					continue
+				}
+				ia, ib := id(a), id(b)
+				if (toIdx[ia] < toIdx[ib]) != (pos[ia] < pos[ib]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

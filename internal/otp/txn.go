@@ -1,0 +1,163 @@
+// Package otp implements the paper's core contribution: the OTP algorithm
+// for optimistic transaction processing over an atomic broadcast with
+// optimistic delivery (Kemme, Pedone, Alonso, Schiper — ICDCS'99,
+// Section 3).
+//
+// Transactions are partitioned into disjoint conflict classes; each class
+// has a FIFO class queue (Figure 2). Opt-delivery appends a transaction to
+// its queue and starts it when it reaches the head (Serialization module,
+// Figure 4). Completion is recorded, or the transaction commits if its
+// definitive order is already known (Execution module, Figure 5).
+// TO-delivery confirms the definitive position: matching tentative
+// executions commit; mismatches abort the head and reorder the confirmed
+// transaction before all unconfirmed ones (Correctness Check module,
+// Figure 6).
+//
+// The Manager is a synchronous state machine: its On* methods are driven
+// by the broadcast layer (live engine) or directly by tests and the
+// deterministic simulation. Actual data access is delegated to an
+// Executor.
+package otp
+
+import (
+	"fmt"
+
+	"otpdb/internal/abcast"
+)
+
+// ClassID names a conflict class (a database partition; Section 2.3).
+type ClassID string
+
+// ExecState is the execution state of a transaction (Section 3.3):
+// active until its stored procedure has run to completion, executed
+// afterwards.
+type ExecState int
+
+// Execution states.
+const (
+	// Active means the transaction has not finished executing (it may be
+	// running or waiting in its class queue).
+	Active ExecState = iota + 1
+	// Executed means the stored procedure ran to completion but the
+	// transaction has not committed.
+	Executed
+)
+
+func (s ExecState) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Executed:
+		return "executed"
+	default:
+		return fmt.Sprintf("ExecState(%d)", int(s))
+	}
+}
+
+// DeliveryState is the delivery state of a transaction (Section 3.3):
+// pending after Opt-delivery, committable after TO-delivery.
+type DeliveryState int
+
+// Delivery states.
+const (
+	// Pending means only the tentative position is known.
+	Pending DeliveryState = iota + 1
+	// Committable means the definitive position is confirmed.
+	Committable
+)
+
+func (s DeliveryState) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Committable:
+		return "committable"
+	default:
+		return fmt.Sprintf("DeliveryState(%d)", int(s))
+	}
+}
+
+// Txn is the manager's bookkeeping for one update transaction. ID, Class
+// and Payload are immutable after Opt-delivery; the state fields are owned
+// by the Manager and must be read through snapshots (State) by outsiders.
+type Txn struct {
+	// ID is the atomic broadcast message identifier of the transaction
+	// request.
+	ID abcast.MsgID
+	// Class is the transaction's conflict class.
+	Class ClassID
+	// Payload is the opaque transaction request (stored procedure name
+	// and arguments at the database layer).
+	Payload any
+
+	exec    ExecState
+	deliv   DeliveryState
+	running bool
+	epoch   int
+	toIndex int64 // definitive index, assigned at TO-delivery (1-based)
+}
+
+// TOIndex returns the definitive (TO-delivery) index of the transaction,
+// or 0 if it has not been TO-delivered yet. Transaction T_i of the paper's
+// Section 5 has TOIndex i.
+func (t *Txn) TOIndex() int64 { return t.toIndex }
+
+// Epoch returns the abort epoch passed to Executor.Submit; completions
+// from stale epochs are ignored by the manager.
+func (t *Txn) Epoch() int { return t.epoch }
+
+// State is an externally visible snapshot of a transaction's state.
+type State struct {
+	ID      abcast.MsgID
+	Class   ClassID
+	Exec    ExecState
+	Deliv   DeliveryState
+	Running bool
+	TOIndex int64
+}
+
+func (s State) String() string {
+	return fmt.Sprintf("%v[%s;%s]", s.ID, s.Exec, s.Deliv)
+}
+
+// CommitRecord is one entry of the local commit log.
+type CommitRecord struct {
+	ID      abcast.MsgID
+	Class   ClassID
+	TOIndex int64
+}
+
+// Executor performs the data work on behalf of the manager. Submit must
+// not block: it starts asynchronous execution (a goroutine in the live
+// engine, a scheduled event in simulations) and the executor later calls
+// Manager.OnExecuted with the same epoch. Synchronous executors may call
+// OnExecuted from within Submit; the manager tolerates reentrancy.
+//
+// Abort undoes every effect of a partially or fully executed transaction
+// and cancels an in-flight execution (completions with stale epochs are
+// discarded by the manager as well). Commit makes the transaction's
+// effects permanent and visible, labelled with the definitive index
+// tx.TOIndex() for the multi-version snapshot reads of Section 5.
+type Executor interface {
+	Submit(tx *Txn, epoch int)
+	Abort(tx *Txn)
+	Commit(tx *Txn)
+}
+
+// Stats counts manager events; the experiment harness reads them.
+type Stats struct {
+	// OptDelivered counts Opt-delivered transactions (queue appends).
+	OptDelivered uint64
+	// TODelivered counts TO-delivered confirmations.
+	TODelivered uint64
+	// Commits counts committed transactions.
+	Commits uint64
+	// Aborts counts CC8 aborts (tentative execution undone and redone).
+	Aborts uint64
+	// Reorders counts CC10 repositionings that actually moved the
+	// transaction (a tentative/definitive mismatch on conflicting
+	// transactions).
+	Reorders uint64
+	// Submits counts executor submissions (first runs and re-runs).
+	Submits uint64
+}

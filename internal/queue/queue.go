@@ -1,0 +1,103 @@
+// Package queue provides an unbounded FIFO with channel-based consumption.
+//
+// Protocol engines must never block on a slow consumer (a blocked engine
+// stops acknowledging the network and is indistinguishable from a crashed
+// one), so their mailboxes and delivery paths are unbounded queues drained
+// by a pump goroutine into an ordinary channel that callers can select on.
+package queue
+
+import "sync"
+
+// Q is an unbounded FIFO of T. Construct with New; the zero value is not
+// usable. Push never blocks. Consumers receive from Chan in push order.
+type Q[T any] struct {
+	mu       sync.Mutex
+	items    []T
+	wake     chan struct{}
+	out      chan T
+	closed   bool
+	closedCh chan struct{}
+	done     chan struct{}
+}
+
+// New creates a queue and starts its pump goroutine. The caller must Close
+// the queue to release the goroutine.
+func New[T any]() *Q[T] {
+	q := &Q[T]{
+		wake:     make(chan struct{}, 1),
+		out:      make(chan T),
+		closedCh: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go q.pump()
+	return q
+}
+
+// Push appends v. It reports false when the queue is closed.
+func (q *Q[T]) Push(v T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Chan returns the consumption channel. It is closed after Close.
+func (q *Q[T]) Chan() <-chan T { return q.out }
+
+// Len reports the number of queued (not yet consumed) items.
+func (q *Q[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close stops the queue and waits for the pump goroutine to exit. Items
+// not yet handed to the consumer are dropped. Close is idempotent.
+func (q *Q[T]) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.done
+		return
+	}
+	q.closed = true
+	close(q.closedCh)
+	q.mu.Unlock()
+	<-q.done
+}
+
+func (q *Q[T]) pump() {
+	defer close(q.done)
+	defer close(q.out)
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.mu.Unlock()
+			select {
+			case <-q.wake:
+			case <-q.closedCh:
+			}
+			q.mu.Lock()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		v := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		select {
+		case q.out <- v:
+		case <-q.closedCh:
+			return
+		}
+	}
+}

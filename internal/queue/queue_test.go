@@ -1,0 +1,105 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]()
+	defer q.Close()
+	for i := 0; i < 100; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got := <-q.Chan()
+		if got != i {
+			t.Fatalf("item %d = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestPushNeverBlocks(t *testing.T) {
+	q := New[int]()
+	defer q.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100000; i++ {
+			q.Push(i)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("push blocked with no consumer")
+	}
+}
+
+func TestCloseUnblocksConsumerAndRejectsPush(t *testing.T) {
+	q := New[int]()
+	got := make(chan bool, 1)
+	go func() {
+		_, ok := <-q.Chan()
+		got <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if ok := <-got; ok {
+		t.Fatal("consumer received item from empty closed queue")
+	}
+	if q.Push(1) {
+		t.Fatal("push accepted after close")
+	}
+}
+
+func TestCloseIsIdempotentAndConcurrent(t *testing.T) {
+	q := New[int]()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentProducersAllItemsArrive(t *testing.T) {
+	q := New[int]()
+	defer q.Close()
+	const producers, perProducer = 8, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < producers*perProducer; i++ {
+		select {
+		case <-q.Chan():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d items arrived", i, producers*perProducer)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New[int]()
+	defer q.Close()
+	q.Push(1)
+	q.Push(2)
+	// The pump may have moved up to one item into the channel buffer slot.
+	if n := q.Len(); n < 1 || n > 2 {
+		t.Fatalf("Len = %d, want 1 or 2", n)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Dist is a distribution over durations, used to model network latency,
+// transaction service times and workload interarrival gaps.
+//
+// Implementations must be safe to share across simulated entities as long
+// as Sample is always invoked from the kernel goroutine.
+type Dist interface {
+	// Sample draws one duration using the supplied random source.
+	Sample(r *rand.Rand) time.Duration
+	// Mean reports the distribution mean.
+	Mean() time.Duration
+}
+
+// Constant is a degenerate distribution that always returns D.
+type Constant struct{ D time.Duration }
+
+var _ Dist = Constant{}
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) time.Duration { return c.D }
+
+// Mean implements Dist.
+func (c Constant) Mean() time.Duration { return c.D }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%v)", c.D) }
+
+// Uniform draws uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+var _ Dist = Uniform{}
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() time.Duration { return (u.Min + u.Max) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%v,%v)", u.Min, u.Max) }
+
+// Normal draws from a normal distribution with the given mean and standard
+// deviation, truncated below at Floor (defaults to zero) so latencies are
+// never negative.
+type Normal struct {
+	Mu    time.Duration
+	Sigma time.Duration
+	Floor time.Duration
+}
+
+var _ Dist = Normal{}
+
+// Sample implements Dist.
+func (n Normal) Sample(r *rand.Rand) time.Duration {
+	d := time.Duration(r.NormFloat64()*float64(n.Sigma)) + n.Mu
+	if d < n.Floor {
+		return n.Floor
+	}
+	return d
+}
+
+// Mean implements Dist.
+func (n Normal) Mean() time.Duration { return n.Mu }
+
+func (n Normal) String() string { return fmt.Sprintf("normal(%v,%v)", n.Mu, n.Sigma) }
+
+// Exponential draws from an exponential distribution with the given mean,
+// shifted by Shift. It models interarrival gaps of Poisson processes and
+// heavy network-jitter tails.
+type Exponential struct {
+	MeanD time.Duration
+	Shift time.Duration
+}
+
+var _ Dist = Exponential{}
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *rand.Rand) time.Duration {
+	return e.Shift + time.Duration(r.ExpFloat64()*float64(e.MeanD))
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return e.Shift + e.MeanD }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(%v)+%v", e.MeanD, e.Shift) }

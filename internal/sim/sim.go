@@ -1,0 +1,148 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order, which —
+// together with a seeded random source — makes every simulation run fully
+// reproducible. The kernel is intentionally single-threaded: all events run
+// on the goroutine that calls Run/Step, so simulated protocol code needs no
+// locking of its own.
+//
+// The network simulator (internal/netsim) and the Figure 1 experiment are
+// built on this kernel.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant of virtual time, expressed as a duration since the
+// start of the simulation.
+type Time time.Duration
+
+// Duration converts a virtual instant to the duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the virtual instant in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a deterministic discrete-event scheduler.
+//
+// The zero value is not usable; construct with New.
+type Kernel struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	events uint64 // total events executed
+}
+
+// New returns a kernel whose random source is seeded with seed.
+// Two kernels created with the same seed and fed the same schedule
+// produce identical executions.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// EventsExecuted reports how many events have fired so far.
+func (k *Kernel) EventsExecuted() uint64 { return k.events }
+
+// At schedules fn to run at virtual instant t. Scheduling in the past is
+// clamped to the current instant, preserving causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual instant.
+// Negative d is clamped to zero.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+Time(d), fn)
+}
+
+// Step executes the next pending event, advancing the clock to its instant.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if k.queue.Len() == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&k.queue).(*event)
+	if !ok {
+		return false
+	}
+	k.now = ev.at
+	k.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is drained.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with instants <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (k *Kernel) RunUntil(deadline Time) {
+	for k.queue.Len() > 0 && k.queue[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return k.queue.Len() }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.At(Time(30*time.Millisecond), func() { got = append(got, 3) })
+	k.At(Time(10*time.Millisecond), func() { got = append(got, 1) })
+	k.At(Time(20*time.Millisecond), func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != Time(30*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 30ms", k.Now().Duration())
+	}
+}
+
+func TestKernelSameInstantIsFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Time(5*time.Millisecond), func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestKernelAfterIsRelative(t *testing.T) {
+	k := New(1)
+	var at Time
+	k.At(Time(time.Second), func() {
+		k.After(time.Second, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != Time(2*time.Second) {
+		t.Fatalf("nested After fired at %v, want 2s", at.Duration())
+	}
+}
+
+func TestKernelPastSchedulingClamps(t *testing.T) {
+	k := New(1)
+	var fired Time
+	k.At(Time(time.Second), func() {
+		k.At(0, func() { fired = k.Now() })
+	})
+	k.Run()
+	if fired != Time(time.Second) {
+		t.Fatalf("past event fired at %v, want clamp to 1s", fired.Duration())
+	}
+}
+
+func TestKernelRunUntilLeavesFutureEvents(t *testing.T) {
+	k := New(1)
+	ran := 0
+	k.At(Time(time.Second), func() { ran++ })
+	k.At(Time(3*time.Second), func() { ran++ })
+	k.RunUntil(Time(2 * time.Second))
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if k.Now() != Time(2*time.Second) {
+		t.Fatalf("Now() = %v, want 2s", k.Now().Duration())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		k := New(seed)
+		var out []time.Duration
+		d := Exponential{MeanD: time.Millisecond}
+		for i := 0; i < 100; i++ {
+			k.After(d.Sample(k.Rand()), func() { out = append(out, k.Now().Duration()) })
+		}
+		k.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDistributionsNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	dists := []Dist{
+		Constant{D: time.Millisecond},
+		Uniform{Min: 0, Max: time.Millisecond},
+		Normal{Mu: time.Millisecond, Sigma: 2 * time.Millisecond},
+		Exponential{MeanD: time.Millisecond},
+	}
+	for _, d := range dists {
+		for i := 0; i < 1000; i++ {
+			if v := d.Sample(r); v < 0 {
+				t.Fatalf("%v sampled negative duration %v", d, v)
+			}
+		}
+	}
+}
+
+func TestUniformWithinBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	u := Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(r)
+		if v < u.Min || v > u.Max {
+			t.Fatalf("uniform sample %v out of [%v,%v]", v, u.Min, u.Max)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	u := Uniform{Min: time.Millisecond, Max: time.Millisecond}
+	if v := u.Sample(r); v != time.Millisecond {
+		t.Fatalf("degenerate uniform = %v, want 1ms", v)
+	}
+}
+
+func TestNormalFloor(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := Normal{Mu: 0, Sigma: 10 * time.Millisecond, Floor: time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if v := n.Sample(r); v < time.Millisecond {
+			t.Fatalf("normal sample %v below floor", v)
+		}
+	}
+}
+
+func TestExponentialMeanApprox(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	e := Exponential{MeanD: time.Millisecond}
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(r)
+	}
+	mean := sum / n
+	if mean < 900*time.Microsecond || mean > 1100*time.Microsecond {
+		t.Fatalf("empirical mean %v too far from 1ms", mean)
+	}
+}
+
+func TestQuickSchedulingNeverLosesEvents(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := New(3)
+		fired := 0
+		for _, d := range delays {
+			k.After(time.Duration(d)*time.Microsecond, func() { fired++ })
+		}
+		k.Run()
+		return fired == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClockMonotone(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := New(5)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			k.After(time.Duration(d)*time.Microsecond, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiTxn is an update transaction spanning several partitions — the
+// storage side of the multi-class transactions of the companion report
+// [13]. It composes one single-partition Txn per partition; the OTP
+// scheduler guarantees the transaction heads every class queue before it
+// runs, so partition acquisition cannot deadlock (and failure to acquire
+// is a scheduler bug, reported as ErrPartitionBusy).
+type MultiTxn struct {
+	parts map[Partition]*Txn
+	order []Partition
+	done  bool
+}
+
+// ClassKey qualifies a key with its partition, for read/write-set
+// reporting across partitions.
+type ClassKey struct {
+	Partition Partition
+	Key       Key
+}
+
+// BeginMulti starts a transaction over the given set of partitions
+// (deduplicated; acquisition in sorted order). On any failure the already
+// acquired partitions are released.
+func (s *Store) BeginMulti(parts []Partition, mode Mode) (*MultiTxn, error) {
+	uniq := make([]Partition, 0, len(parts))
+	seen := make(map[Partition]bool, len(parts))
+	for _, p := range parts {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("storage: BeginMulti needs at least one partition")
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	mt := &MultiTxn{parts: make(map[Partition]*Txn, len(uniq)), order: uniq}
+	for _, p := range uniq {
+		tx, err := s.Begin(p, mode)
+		if err != nil {
+			_ = mt.Abort()
+			return nil, err
+		}
+		mt.parts[p] = tx
+	}
+	return mt, nil
+}
+
+// Read returns the value of a key in one of the transaction's partitions.
+func (t *MultiTxn) Read(p Partition, k Key) (Value, bool) {
+	tx, ok := t.parts[p]
+	if !ok {
+		return nil, false
+	}
+	return tx.Read(k)
+}
+
+// Write sets a key in one of the transaction's partitions.
+func (t *MultiTxn) Write(p Partition, k Key, v Value) error {
+	tx, ok := t.parts[p]
+	if !ok {
+		return fmt.Errorf("storage: partition %s not part of this transaction", p)
+	}
+	return tx.Write(k, v)
+}
+
+// ReadSet returns the qualified keys read so far, in partition order.
+func (t *MultiTxn) ReadSet() []ClassKey {
+	var out []ClassKey
+	for _, p := range t.order {
+		for _, k := range t.parts[p].ReadSet() {
+			out = append(out, ClassKey{Partition: p, Key: k})
+		}
+	}
+	return out
+}
+
+// WriteSet returns the qualified keys written so far, in partition order.
+func (t *MultiTxn) WriteSet() []ClassKey {
+	var out []ClassKey
+	for _, p := range t.order {
+		for _, k := range t.parts[p].WriteSet() {
+			out = append(out, ClassKey{Partition: p, Key: k})
+		}
+	}
+	return out
+}
+
+// Abort rolls back every partition's transaction. Safe on partially
+// constructed transactions.
+func (t *MultiTxn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	var first error
+	for _, p := range t.order {
+		if tx, ok := t.parts[p]; ok {
+			if err := tx.Abort(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Commit installs the writes of every partition with the same definitive
+// index. Conflicting transactions commit in definitive order in every
+// class they share, so per-partition indexes remain ascending.
+func (t *MultiTxn) Commit(toIndex int64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	for _, p := range t.order {
+		if err := t.parts[p].Commit(toIndex); err != nil {
+			return fmt.Errorf("storage: multi commit, partition %s: %w", p, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,500 @@
+// Package storage is the replicated database's local storage engine: an
+// in-memory key-value store partitioned by conflict class, with
+// multi-version history for the snapshot queries of Section 5 of the
+// paper and undo support for the OTP abort path.
+//
+// The engine supports two write strategies (the ablation DESIGN.md calls
+// out):
+//
+//   - Buffered: transaction writes go to a private buffer and are applied
+//     at commit. Aborting discards the buffer. This is the default; it
+//     matches the paper's execution model exactly because a transaction
+//     never sees another's uncommitted data (only the head of a class
+//     queue executes).
+//   - InPlaceUndo: writes are applied immediately and an undo log of
+//     before-images is kept; aborting restores the before-images in
+//     reverse order ("traditional recovery techniques", Section 3.2).
+//
+// Committed versions are labelled with the transaction's definitive
+// (TO-delivery) index. A query with index q reads, per partition, the
+// latest version with index <= q — exactly the snapshot rule of Section 5.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Partition names a storage partition. Partitions correspond one-to-one
+// to conflict classes (Section 2.3: different classes access disjoint
+// parts of the database).
+type Partition string
+
+// Key identifies an object within a partition.
+type Key string
+
+// Value is an immutable byte string. The store copies values at its
+// boundaries, so callers may reuse buffers.
+type Value []byte
+
+// clone copies a value; nil stays nil.
+func (v Value) clone() Value {
+	if v == nil {
+		return nil
+	}
+	out := make(Value, len(v))
+	copy(out, v)
+	return out
+}
+
+// Int64Value encodes an int64 as a Value.
+func Int64Value(n int64) Value {
+	buf := make(Value, 8)
+	binary.BigEndian.PutUint64(buf, uint64(n))
+	return buf
+}
+
+// ValueInt64 decodes a Value written by Int64Value. Missing or short
+// values decode to 0.
+func ValueInt64(v Value) int64 {
+	if len(v) < 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(v))
+}
+
+// StringValue encodes a string as a Value.
+func StringValue(s string) Value { return Value(s) }
+
+// ValueString decodes a Value as a string.
+func ValueString(v Value) string { return string(v) }
+
+// Mode selects the write strategy of a transaction.
+type Mode int
+
+// Write strategies.
+const (
+	// Buffered applies writes at commit time from a private buffer.
+	Buffered Mode = iota + 1
+	// InPlaceUndo applies writes immediately, keeping undo records.
+	InPlaceUndo
+)
+
+// Version is one committed version of a key.
+type Version struct {
+	// TOIndex is the definitive index of the transaction that wrote it.
+	TOIndex int64
+	// Value is the committed value.
+	Value Value
+}
+
+// entry is the version chain of one key.
+type entry struct {
+	current  Value
+	versions []Version // ascending TOIndex
+}
+
+// partition holds one conflict class's keys.
+type partition struct {
+	keys          map[Key]*entry
+	lastCommitted int64 // TO index of the last committed transaction
+	active        *Txn  // at most one writer (OTP head) at a time
+}
+
+// Store is the local storage engine. Safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	parts map[Partition]*partition
+}
+
+// Errors returned by the engine.
+var (
+	// ErrPartitionBusy is returned by Begin when the partition already
+	// has an active transaction — the OTP scheduler must never let two
+	// transactions of one class run concurrently.
+	ErrPartitionBusy = errors.New("storage: partition has an active transaction")
+	// ErrTxnDone is returned by operations on a committed/aborted txn.
+	ErrTxnDone = errors.New("storage: transaction already finished")
+)
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{parts: make(map[Partition]*partition)}
+}
+
+func (s *Store) part(p Partition) *partition {
+	pt, ok := s.parts[p]
+	if !ok {
+		pt = &partition{keys: make(map[Key]*entry)}
+		s.parts[p] = pt
+	}
+	return pt
+}
+
+// Load seeds initial data (version index 0), bypassing transactions. Use
+// before the replica starts processing.
+func (s *Store) Load(p Partition, k Key, v Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pt := s.part(p)
+	e, ok := pt.keys[k]
+	if !ok {
+		e = &entry{}
+		pt.keys[k] = e
+	}
+	e.current = v.clone()
+	e.versions = []Version{{TOIndex: 0, Value: v.clone()}}
+}
+
+// Get reads the latest committed value of a key.
+func (s *Store) Get(p Partition, k Key) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pt, ok := s.parts[p]
+	if !ok {
+		return nil, false
+	}
+	e, ok := pt.keys[k]
+	if !ok || e.current == nil {
+		return nil, false
+	}
+	return e.current.clone(), true
+}
+
+// SnapshotRead returns the value of the latest version of k with
+// TOIndex <= maxIndex — the Section 5 snapshot rule. The boolean reports
+// whether such a version exists.
+func (s *Store) SnapshotRead(p Partition, k Key, maxIndex int64) (Value, bool) {
+	v, _, ok := s.SnapshotReadVersion(p, k, maxIndex)
+	return v, ok
+}
+
+// SnapshotReadVersion is SnapshotRead returning additionally the TO index
+// of the version observed; the serializability checker uses it to verify
+// that every query saw exactly the snapshot Section 5 prescribes.
+func (s *Store) SnapshotReadVersion(p Partition, k Key, maxIndex int64) (Value, int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pt, ok := s.parts[p]
+	if !ok {
+		return nil, 0, false
+	}
+	e, ok := pt.keys[k]
+	if !ok {
+		return nil, 0, false
+	}
+	vs := e.versions
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].TOIndex > maxIndex })
+	if i == 0 {
+		return nil, 0, false
+	}
+	return vs[i-1].Value.clone(), vs[i-1].TOIndex, true
+}
+
+// GetVersioned reads the latest committed value of a key together with
+// the TO index of the transaction that wrote it. It backs the "dirty
+// query" baseline used to demonstrate why Section 5 needs snapshots.
+func (s *Store) GetVersioned(p Partition, k Key) (Value, int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pt, ok := s.parts[p]
+	if !ok {
+		return nil, 0, false
+	}
+	e, ok := pt.keys[k]
+	if !ok || e.current == nil {
+		return nil, 0, false
+	}
+	idx := int64(0)
+	if n := len(e.versions); n > 0 {
+		idx = e.versions[n-1].TOIndex
+	}
+	return e.current.clone(), idx, true
+}
+
+// LastCommitted reports the TO index of the last transaction committed in
+// the partition (0 if none). The query layer uses it to decide whether a
+// snapshot at a given index is complete yet.
+func (s *Store) LastCommitted(p Partition) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pt, ok := s.parts[p]
+	if !ok {
+		return 0
+	}
+	return pt.lastCommitted
+}
+
+// Keys lists the keys of a partition in sorted order.
+func (s *Store) Keys(p Partition) []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pt, ok := s.parts[p]
+	if !ok {
+		return nil
+	}
+	out := make([]Key, 0, len(pt.keys))
+	for k := range pt.keys {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Partitions lists all partitions in sorted order.
+func (s *Store) Partitions() []Partition {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Partition, 0, len(s.parts))
+	for p := range s.parts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Digest hashes the committed state (partition, key, current value) so
+// replica convergence can be asserted cheaply.
+func (s *Store) Digest() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := fnv.New64a()
+	parts := make([]Partition, 0, len(s.parts))
+	for p := range s.parts {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	for _, p := range parts {
+		pt := s.parts[p]
+		keys := make([]Key, 0, len(pt.keys))
+		for k := range pt.keys {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			_, _ = h.Write([]byte(p))
+			_, _ = h.Write([]byte{0})
+			_, _ = h.Write([]byte(k))
+			_, _ = h.Write([]byte{0})
+			_, _ = h.Write(pt.keys[k].current)
+			_, _ = h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+// Vacuum drops, for every key, all versions strictly older than the
+// newest version with TOIndex <= horizon (which must be retained to serve
+// snapshot reads at the horizon). It returns the number of versions
+// removed.
+func (s *Store) Vacuum(horizon int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, pt := range s.parts {
+		for _, e := range pt.keys {
+			vs := e.versions
+			i := sort.Search(len(vs), func(i int) bool { return vs[i].TOIndex > horizon })
+			// Keep vs[i-1:] — the last version at or before the horizon
+			// plus everything newer.
+			if i > 1 {
+				removed += i - 1
+				e.versions = append([]Version(nil), vs[i-1:]...)
+			}
+		}
+	}
+	return removed
+}
+
+// VersionCount reports the total number of stored versions (for GC tests).
+func (s *Store) VersionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, pt := range s.parts {
+		for _, e := range pt.keys {
+			n += len(e.versions)
+		}
+	}
+	return n
+}
+
+// undoRecord is a before-image for InPlaceUndo transactions.
+type undoRecord struct {
+	key    Key
+	value  Value // nil means the key did not exist
+	wasSet bool
+}
+
+// Txn is a single-partition update transaction. It is not safe for
+// concurrent use (one stored procedure runs in one goroutine).
+type Txn struct {
+	store *Store
+	p     Partition
+	mode  Mode
+	done  bool
+
+	buffer   map[Key]Value // Buffered mode
+	undo     []undoRecord  // InPlaceUndo mode
+	readSet  []Key
+	writeSet []Key
+}
+
+// Begin starts an update transaction on partition p. At most one
+// transaction may be active per partition; the OTP scheduler guarantees
+// this, and the store enforces it.
+func (s *Store) Begin(p Partition, mode Mode) (*Txn, error) {
+	if mode != Buffered && mode != InPlaceUndo {
+		return nil, fmt.Errorf("storage: invalid mode %d", mode)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pt := s.part(p)
+	if pt.active != nil {
+		return nil, fmt.Errorf("%w: %s", ErrPartitionBusy, p)
+	}
+	tx := &Txn{store: s, p: p, mode: mode}
+	if mode == Buffered {
+		tx.buffer = make(map[Key]Value)
+	}
+	pt.active = tx
+	return tx, nil
+}
+
+// Read returns the value of k as seen by the transaction (its own writes
+// first, then the committed state).
+func (t *Txn) Read(k Key) (Value, bool) {
+	if t.done {
+		return nil, false
+	}
+	t.readSet = append(t.readSet, k)
+	t.store.mu.RLock()
+	defer t.store.mu.RUnlock()
+	if t.mode == Buffered {
+		if v, ok := t.buffer[k]; ok {
+			return v.clone(), v != nil
+		}
+	}
+	e, ok := t.store.parts[t.p].keys[k]
+	if !ok || e.current == nil {
+		return nil, false
+	}
+	return e.current.clone(), true
+}
+
+// Write sets k to v within the transaction.
+func (t *Txn) Write(k Key, v Value) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.writeSet = append(t.writeSet, k)
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	if t.mode == Buffered {
+		t.buffer[k] = v.clone()
+		return nil
+	}
+	// InPlaceUndo: apply now, remember the before-image.
+	pt := t.store.parts[t.p]
+	e, ok := pt.keys[k]
+	if !ok {
+		e = &entry{}
+		pt.keys[k] = e
+	}
+	t.undo = append(t.undo, undoRecord{key: k, value: e.current, wasSet: e.current != nil})
+	e.current = v.clone()
+	return nil
+}
+
+// ReadSet returns the keys read so far (duplicates preserved, in order).
+func (t *Txn) ReadSet() []Key { return append([]Key(nil), t.readSet...) }
+
+// WriteSet returns the keys written so far (duplicates preserved, in order).
+func (t *Txn) WriteSet() []Key { return append([]Key(nil), t.writeSet...) }
+
+// Partition returns the transaction's partition.
+func (t *Txn) Partition() Partition { return t.p }
+
+// Abort rolls the transaction back: buffered writes are discarded,
+// in-place writes are undone from the before-images in reverse order.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	t.done = true
+	pt := t.store.parts[t.p]
+	pt.active = nil
+	if t.mode == Buffered {
+		t.buffer = nil
+		return nil
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		rec := t.undo[i]
+		e := pt.keys[rec.key]
+		if rec.wasSet {
+			e.current = rec.value
+		} else {
+			e.current = nil
+		}
+	}
+	// Remove phantom entries for keys the transaction created: they must
+	// not linger (they would be visible in Keys and perturb Digest).
+	for _, rec := range t.undo {
+		if e, ok := pt.keys[rec.key]; ok && e.current == nil && len(e.versions) == 0 {
+			delete(pt.keys, rec.key)
+		}
+	}
+	t.undo = nil
+	return nil
+}
+
+// Commit installs the transaction's writes as committed versions labelled
+// with the definitive index toIndex. Conflicting transactions commit in
+// TO order (Lemma 4.1), so version chains are append-only and ascending.
+func (t *Txn) Commit(toIndex int64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	t.done = true
+	pt := t.store.parts[t.p]
+	pt.active = nil
+	if toIndex <= pt.lastCommitted {
+		return fmt.Errorf("storage: commit index %d not after last committed %d in %s",
+			toIndex, pt.lastCommitted, t.p)
+	}
+	switch t.mode {
+	case Buffered:
+		for k, v := range t.buffer {
+			e, ok := pt.keys[k]
+			if !ok {
+				e = &entry{}
+				pt.keys[k] = e
+			}
+			e.current = v
+			e.versions = append(e.versions, Version{TOIndex: toIndex, Value: v.clone()})
+		}
+	case InPlaceUndo:
+		// Current values are already in place; record versions for the
+		// written keys (last write wins per key).
+		seen := make(map[Key]bool, len(t.writeSet))
+		for i := len(t.writeSet) - 1; i >= 0; i-- {
+			k := t.writeSet[i]
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			e := pt.keys[k]
+			e.versions = append(e.versions, Version{TOIndex: toIndex, Value: e.current.clone()})
+		}
+	}
+	pt.lastCommitted = toIndex
+	return nil
+}

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"sync"
+
+	"otpdb/internal/queue"
+)
+
+// mailbox demultiplexes received envelopes into per-stream unbounded
+// queues. Messages arriving before the first Subscribe for their stream
+// are buffered so protocol start-up order never loses traffic.
+type mailbox struct {
+	mu     sync.Mutex
+	subs   map[string]*queue.Q[Envelope]
+	early  map[string][]Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{
+		subs:  make(map[string]*queue.Q[Envelope]),
+		early: make(map[string][]Envelope),
+	}
+}
+
+func (m *mailbox) subscribe(stream string) <-chan Envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q, ok := m.subs[stream]; ok {
+		return q.Chan()
+	}
+	q := queue.New[Envelope]()
+	m.subs[stream] = q
+	for _, env := range m.early[stream] {
+		q.Push(env)
+	}
+	delete(m.early, stream)
+	return q.Chan()
+}
+
+func (m *mailbox) enqueue(env Envelope) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if q, ok := m.subs[env.Stream]; ok {
+		m.mu.Unlock()
+		q.Push(env)
+		return
+	}
+	m.early[env.Stream] = append(m.early[env.Stream], env)
+	m.mu.Unlock()
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	subs := make([]*queue.Q[Envelope], 0, len(m.subs))
+	for _, q := range m.subs {
+		subs = append(subs, q)
+	}
+	m.mu.Unlock()
+	for _, q := range subs {
+		q.Close()
+	}
+}

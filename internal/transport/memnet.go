@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemOption configures a Hub.
+type MemOption func(*Hub)
+
+// WithDelay adds a fixed delivery delay to every message.
+func WithDelay(d time.Duration) MemOption {
+	return func(h *Hub) { h.baseDelay = d }
+}
+
+// WithJitter adds a uniformly random extra delay in [0, d) per message,
+// which can reorder messages from different senders (and, when larger than
+// the base delay, even from the same sender — useful for stressing
+// protocols beyond the FIFO guarantee they rely on from TCP).
+func WithJitter(d time.Duration) MemOption {
+	return func(h *Hub) { h.jitter = d }
+}
+
+// WithSeed seeds the hub's random source (jitter, drop decisions).
+func WithSeed(seed int64) MemOption {
+	return func(h *Hub) { h.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// Hub is an in-process transport connecting n endpoints. It provides
+// reliable FIFO channels by default; delay and jitter options can weaken
+// timing (never reliability) and Partition/Crash inject failures.
+type Hub struct {
+	mu        sync.Mutex
+	nodes     []*memEndpoint
+	baseDelay time.Duration
+	jitter    time.Duration
+	rng       *rand.Rand
+	parted    [][]bool
+	crashed   []bool
+	timers    sync.WaitGroup
+	closed    bool
+}
+
+// NewHub creates a hub with n endpoints.
+func NewHub(n int, opts ...MemOption) *Hub {
+	h := &Hub{
+		rng:     rand.New(rand.NewSource(1)),
+		parted:  make([][]bool, n),
+		crashed: make([]bool, n),
+	}
+	for i := range h.parted {
+		h.parted[i] = make([]bool, n)
+	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	h.nodes = make([]*memEndpoint, n)
+	for i := 0; i < n; i++ {
+		h.nodes[i] = &memEndpoint{
+			hub: h,
+			id:  NodeID(i),
+			box: newMailbox(),
+		}
+	}
+	return h
+}
+
+// Endpoint returns node i's endpoint.
+func (h *Hub) Endpoint(i NodeID) Endpoint { return h.nodes[i] }
+
+// Endpoints returns all endpoints in node order.
+func (h *Hub) Endpoints() []Endpoint {
+	out := make([]Endpoint, len(h.nodes))
+	for i, n := range h.nodes {
+		out[i] = n
+	}
+	return out
+}
+
+// Partition disconnects a and b in both directions.
+func (h *Hub) Partition(a, b NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.parted[a][b] = true
+	h.parted[b][a] = true
+}
+
+// Heal reconnects a and b.
+func (h *Hub) Heal(a, b NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.parted[a][b] = false
+	h.parted[b][a] = false
+}
+
+// Crash makes a node silently drop all traffic, modelling a crash-stop
+// failure.
+func (h *Hub) Crash(n NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashed[n] = true
+}
+
+// Close shuts down every endpoint and waits for in-flight deliveries.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.timers.Wait()
+	for _, n := range h.nodes {
+		_ = n.Close()
+	}
+}
+
+// route delivers an envelope from -> to, applying failures and delay.
+func (h *Hub) route(from, to NodeID, env Envelope) {
+	h.mu.Lock()
+	if h.closed || h.crashed[from] || h.crashed[to] || h.parted[from][to] {
+		h.mu.Unlock()
+		return
+	}
+	delay := h.baseDelay
+	if h.jitter > 0 {
+		delay += time.Duration(h.rng.Int63n(int64(h.jitter)))
+	}
+	dst := h.nodes[to]
+	if delay == 0 {
+		h.mu.Unlock()
+		dst.enqueue(env)
+		return
+	}
+	h.timers.Add(1)
+	h.mu.Unlock()
+	time.AfterFunc(delay, func() {
+		defer h.timers.Done()
+		h.mu.Lock()
+		dead := h.closed || h.crashed[to]
+		h.mu.Unlock()
+		if !dead {
+			dst.enqueue(env)
+		}
+	})
+}
+
+// memEndpoint is one node's attachment to a Hub.
+type memEndpoint struct {
+	hub *Hub
+	id  NodeID
+	box *mailbox
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+func (e *memEndpoint) ID() NodeID { return e.id }
+
+func (e *memEndpoint) N() int { return len(e.hub.nodes) }
+
+func (e *memEndpoint) Send(to NodeID, stream string, msg any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	e.hub.route(e.id, to, Envelope{From: e.id, Stream: stream, Msg: msg})
+	return nil
+}
+
+func (e *memEndpoint) Broadcast(stream string, msg any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	env := Envelope{From: e.id, Stream: stream, Msg: msg}
+	for i := range e.hub.nodes {
+		e.hub.route(e.id, NodeID(i), env)
+	}
+	return nil
+}
+
+func (e *memEndpoint) Subscribe(stream string) <-chan Envelope {
+	return e.box.subscribe(stream)
+}
+
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.box.close()
+	return nil
+}
+
+func (e *memEndpoint) enqueue(env Envelope) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	e.box.enqueue(env)
+}

@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func recvOne(t *testing.T, ch <-chan Envelope) Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed")
+		}
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for envelope")
+	}
+	return Envelope{}
+}
+
+func TestMemSendAndReceive(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	a, b := h.Endpoint(0), h.Endpoint(1)
+	in := b.Subscribe("s")
+	if err := a.Send(1, "s", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, in)
+	if env.From != 0 || env.Msg != "hello" || env.Stream != "s" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestMemBroadcastIncludesSelf(t *testing.T) {
+	h := NewHub(3)
+	defer h.Close()
+	chans := make([]<-chan Envelope, 3)
+	for i := 0; i < 3; i++ {
+		chans[i] = h.Endpoint(NodeID(i)).Subscribe("s")
+	}
+	if err := h.Endpoint(0).Broadcast("s", 42); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		env := recvOne(t, ch)
+		if env.Msg != 42 {
+			t.Fatalf("node %d got %+v", i, env)
+		}
+	}
+}
+
+func TestMemEarlyMessagesBuffered(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	if err := h.Endpoint(0).Send(1, "late", "first"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	in := h.Endpoint(1).Subscribe("late")
+	env := recvOne(t, in)
+	if env.Msg != "first" {
+		t.Fatalf("buffered message lost: %+v", env)
+	}
+}
+
+func TestMemFIFOPerSenderStream(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	in := h.Endpoint(1).Subscribe("s")
+	for i := 0; i < 100; i++ {
+		if err := h.Endpoint(0).Send(1, "s", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		env := recvOne(t, in)
+		if env.Msg != i {
+			t.Fatalf("message %d = %v, want %d", i, env.Msg, i)
+		}
+	}
+}
+
+func TestMemStreamsAreIsolated(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	sa := h.Endpoint(1).Subscribe("a")
+	sb := h.Endpoint(1).Subscribe("b")
+	if err := h.Endpoint(0).Send(1, "b", "forB"); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, sb)
+	if env.Msg != "forB" {
+		t.Fatalf("stream b got %+v", env)
+	}
+	select {
+	case env := <-sa:
+		t.Fatalf("stream a leaked %+v", env)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestMemPartitionDropsTraffic(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	in := h.Endpoint(1).Subscribe("s")
+	h.Partition(0, 1)
+	_ = h.Endpoint(0).Send(1, "s", "lost")
+	select {
+	case env := <-in:
+		t.Fatalf("partition leaked %+v", env)
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.Heal(0, 1)
+	_ = h.Endpoint(0).Send(1, "s", "found")
+	env := recvOne(t, in)
+	if env.Msg != "found" {
+		t.Fatalf("got %+v after heal", env)
+	}
+}
+
+func TestMemCrashSilencesNode(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	in := h.Endpoint(1).Subscribe("s")
+	h.Crash(0)
+	_ = h.Endpoint(0).Send(1, "s", "fromGhost")
+	select {
+	case env := <-in:
+		t.Fatalf("crashed node delivered %+v", env)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestMemClosedEndpointErrors(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	e := h.Endpoint(0)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Send(1, "s", 1); err != ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+	if err := e.Broadcast("s", 1); err != ErrClosed {
+		t.Fatalf("Broadcast after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemDelayedDeliveryStillArrives(t *testing.T) {
+	h := NewHub(2, WithDelay(5*time.Millisecond), WithJitter(5*time.Millisecond), WithSeed(3))
+	defer h.Close()
+	in := h.Endpoint(1).Subscribe("s")
+	start := time.Now()
+	_ = h.Endpoint(0).Send(1, "s", "slow")
+	env := recvOne(t, in)
+	if env.Msg != "slow" {
+		t.Fatalf("got %+v", env)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+}

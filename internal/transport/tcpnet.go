@@ -1,0 +1,404 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"otpdb/internal/queue"
+)
+
+// Register makes concrete message types known to the gob codec used by the
+// TCP transport. Every type sent through Endpoint.Send/Broadcast as the
+// dynamic value of Envelope.Msg must be registered by both ends.
+func Register(values ...any) {
+	for _, v := range values {
+		gob.Register(v)
+	}
+}
+
+// TCPConfig configures one node of a TCP mesh.
+type TCPConfig struct {
+	// ID is this node's identifier.
+	ID NodeID
+	// Addrs maps every node (including this one) to its listen address.
+	Addrs map[NodeID]string
+	// DialRetry is the back-off between reconnection attempts.
+	// Defaults to 250 ms.
+	DialRetry time.Duration
+}
+
+// tcpFrame is the wire unit. Data frames (IsAck false) flow from the
+// connection initiator to the acceptor; cumulative acknowledgements flow
+// back on the same connection. Sequence numbers are per directed link and
+// let the receiver deduplicate retransmissions.
+type tcpFrame struct {
+	IsAck bool
+	Seq   uint64 // data sequence number (IsAck false)
+	Ack   uint64 // cumulative acknowledged sequence (IsAck true)
+	Env   Envelope
+}
+
+// TCPNode is a transport endpoint over a full TCP mesh. Frames are gob
+// encoded. Outbound messages are buffered, acknowledged end-to-end, and
+// retransmitted across reconnects, giving reliable FIFO delivery to every
+// peer that stays up or restarts on the same address (crash-stop peers
+// simply never acknowledge). Duplicate deliveries are filtered by
+// per-sender sequence numbers.
+type TCPNode struct {
+	cfg  TCPConfig
+	ln   net.Listener
+	box  *mailbox
+	out  map[NodeID]*peerLink
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	lastSeq map[NodeID]uint64 // highest data seq delivered per sender
+	closed  bool
+}
+
+var _ Endpoint = (*TCPNode)(nil)
+
+// ListenTCP starts a node listening on its configured address and begins
+// connecting to its peers in the background.
+func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
+	addr, ok := cfg.Addrs[cfg.ID]
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address configured for %v", cfg.ID)
+	}
+	if cfg.DialRetry <= 0 {
+		cfg.DialRetry = 250 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		cfg:     cfg,
+		ln:      ln,
+		box:     newMailbox(),
+		out:     make(map[NodeID]*peerLink),
+		stop:    make(chan struct{}),
+		lastSeq: make(map[NodeID]uint64),
+	}
+	for id, peerAddr := range cfg.Addrs {
+		if id == cfg.ID {
+			continue
+		}
+		n.out[id] = newPeerLink(n, peerAddr)
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address (useful with ":0").
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// ID implements Endpoint.
+func (n *TCPNode) ID() NodeID { return n.cfg.ID }
+
+// N implements Endpoint.
+func (n *TCPNode) N() int { return len(n.cfg.Addrs) }
+
+// Send implements Endpoint.
+func (n *TCPNode) Send(to NodeID, stream string, msg any) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	env := Envelope{From: n.cfg.ID, Stream: stream, Msg: msg}
+	if to == n.cfg.ID {
+		n.box.enqueue(env)
+		return nil
+	}
+	link, ok := n.out[to]
+	if !ok {
+		return fmt.Errorf("tcpnet: unknown peer %v", to)
+	}
+	link.send(env)
+	return nil
+}
+
+// Broadcast implements Endpoint.
+func (n *TCPNode) Broadcast(stream string, msg any) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	env := Envelope{From: n.cfg.ID, Stream: stream, Msg: msg}
+	n.box.enqueue(env)
+	for _, link := range n.out {
+		link.send(env)
+	}
+	return nil
+}
+
+// Subscribe implements Endpoint.
+func (n *TCPNode) Subscribe(stream string) <-chan Envelope {
+	return n.box.subscribe(stream)
+}
+
+// Close implements Endpoint.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.stop)
+	_ = n.ln.Close()
+	for _, link := range n.out {
+		link.close()
+	}
+	n.wg.Wait()
+	n.box.close()
+	return nil
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			continue
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound connection: data frames in, cumulative
+// acks out on the same connection.
+func (n *TCPNode) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() { _ = conn.Close() }()
+	// Unblock the decoder on shutdown.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-n.stop:
+			_ = conn.Close()
+		case <-done:
+		}
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var f tcpFrame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		if f.IsAck {
+			continue // acks are never expected inbound on accepted conns
+		}
+		n.mu.Lock()
+		fresh := f.Seq > n.lastSeq[f.Env.From]
+		if fresh {
+			n.lastSeq[f.Env.From] = f.Seq
+		}
+		n.mu.Unlock()
+		if fresh {
+			n.box.enqueue(f.Env)
+		}
+		// Acknowledge regardless: duplicates mean the ack was lost.
+		if err := enc.Encode(tcpFrame{IsAck: true, Ack: f.Seq}); err != nil {
+			return
+		}
+	}
+}
+
+// peerLink owns the outbound traffic to one peer: an unbounded send queue
+// plus a retransmission buffer of unacknowledged frames, drained by a
+// writer goroutine that dials (and redials) the peer.
+type peerLink struct {
+	node *TCPNode
+	addr string
+	q    *queue.Q[Envelope]
+	done chan struct{}
+
+	mu      sync.Mutex
+	pending []tcpFrame // sent but not yet acknowledged, ascending seq
+	nextSeq uint64
+
+	connErr chan struct{} // signalled by the ack reader on conn failure
+}
+
+func newPeerLink(n *TCPNode, addr string) *peerLink {
+	l := &peerLink{
+		node:    n,
+		addr:    addr,
+		q:       queue.New[Envelope](),
+		done:    make(chan struct{}),
+		connErr: make(chan struct{}, 1),
+	}
+	go l.writeLoop()
+	return l
+}
+
+func (l *peerLink) send(env Envelope) { l.q.Push(env) }
+
+func (l *peerLink) close() {
+	l.q.Close()
+	<-l.done
+}
+
+func (l *peerLink) ackUpTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for i < len(l.pending) && l.pending[i].Seq <= seq {
+		i++
+	}
+	l.pending = l.pending[i:]
+}
+
+func (l *peerLink) signalConnErr() {
+	select {
+	case l.connErr <- struct{}{}:
+	default:
+	}
+}
+
+func (l *peerLink) writeLoop() {
+	defer close(l.done)
+	var conn net.Conn
+	var enc *gob.Encoder
+	disconnect := func() {
+		if conn != nil {
+			_ = conn.Close()
+			conn, enc = nil, nil
+		}
+	}
+	defer disconnect()
+
+	// connect dials and replays the retransmission buffer. It returns
+	// false when the node is shutting down.
+	connect := func() bool {
+		for {
+			disconnect()
+			c, err := l.dial()
+			if err != nil {
+				return false
+			}
+			conn = c
+			enc = gob.NewEncoder(conn)
+			// Drain any stale failure signal from the previous conn.
+			select {
+			case <-l.connErr:
+			default:
+			}
+			go l.readAcks(c)
+			l.mu.Lock()
+			resend := make([]tcpFrame, len(l.pending))
+			copy(resend, l.pending)
+			l.mu.Unlock()
+			ok := true
+			for _, f := range resend {
+				if err := enc.Encode(f); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+			if !l.backoff() {
+				return false
+			}
+		}
+	}
+
+	for {
+		select {
+		case env, open := <-l.q.Chan():
+			if !open {
+				return
+			}
+			l.mu.Lock()
+			l.nextSeq++
+			f := tcpFrame{Seq: l.nextSeq, Env: env}
+			l.pending = append(l.pending, f)
+			l.mu.Unlock()
+			for {
+				if conn == nil && !connect() {
+					return
+				}
+				if err := enc.Encode(f); err == nil {
+					break
+				}
+				disconnect()
+				if !l.backoff() {
+					return
+				}
+			}
+		case <-l.connErr:
+			// Connection died while idle: reconnect so pending frames
+			// are retransmitted promptly.
+			l.mu.Lock()
+			hasPending := len(l.pending) > 0
+			l.mu.Unlock()
+			disconnect()
+			if hasPending {
+				if !connect() {
+					return
+				}
+			}
+		case <-l.node.stop:
+			return
+		}
+	}
+}
+
+// readAcks consumes acknowledgement frames from an outbound connection and
+// releases the retransmission buffer.
+func (l *peerLink) readAcks(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var f tcpFrame
+		if err := dec.Decode(&f); err != nil {
+			l.signalConnErr()
+			return
+		}
+		if f.IsAck {
+			l.ackUpTo(f.Ack)
+		}
+	}
+}
+
+func (l *peerLink) backoff() bool {
+	select {
+	case <-l.node.stop:
+		return false
+	case <-time.After(l.node.cfg.DialRetry):
+		return true
+	}
+}
+
+// dial connects to the peer, retrying until success or node shutdown.
+func (l *peerLink) dial() (net.Conn, error) {
+	for {
+		conn, err := net.DialTimeout("tcp", l.addr, 2*time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if !l.backoff() {
+			return nil, ErrClosed
+		}
+	}
+}

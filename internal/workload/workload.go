@@ -1,0 +1,163 @@
+// Package workload generates the transaction mixes used by the experiment
+// harness: conflict-class selection (uniform or Zipf-skewed), Poisson or
+// uniform arrival processes, and update/query mixes. All generators are
+// deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Kind distinguishes generated requests.
+type Kind int
+
+// Request kinds.
+const (
+	// Update is a read-write transaction (TO-broadcast to all sites).
+	Update Kind = iota + 1
+	// Query is a read-only transaction (executed locally).
+	Query
+)
+
+// Request is one generated operation.
+type Request struct {
+	// Kind says whether this is an update or a query.
+	Kind Kind
+	// Class is the conflict class index for updates ([0, Classes)).
+	Class int
+	// Site is the submitting site index ([0, Sites)).
+	Site int
+	// Think is the gap to wait after the previous request at this site.
+	Think time.Duration
+}
+
+// Config parameterises a generator.
+type Config struct {
+	// Sites is the number of submitting sites.
+	Sites int
+	// Classes is the number of conflict classes.
+	Classes int
+	// QueryFraction in [0,1] is the share of queries in the mix.
+	QueryFraction float64
+	// ZipfS is the Zipf skew parameter for class selection; values
+	// <= 1 mean uniform selection. (The Zipf exponent must exceed 1 for
+	// math/rand's generator.)
+	ZipfS float64
+	// MeanInterarrival is the average gap between requests per site.
+	// Zero means no pacing (closed loop).
+	MeanInterarrival time.Duration
+	// Poisson draws exponential gaps (Poisson arrivals) instead of
+	// constant ones.
+	Poisson bool
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// New creates a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Sites <= 0 {
+		return nil, fmt.Errorf("workload: Sites must be positive, got %d", cfg.Sites)
+	}
+	if cfg.Classes <= 0 {
+		return nil, fmt.Errorf("workload: Classes must be positive, got %d", cfg.Classes)
+	}
+	if cfg.QueryFraction < 0 || cfg.QueryFraction > 1 {
+		return nil, fmt.Errorf("workload: QueryFraction %f out of [0,1]", cfg.QueryFraction)
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.ZipfS > 1 {
+		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, uint64(cfg.Classes-1))
+	}
+	return g, nil
+}
+
+// Next returns the next request for the given site.
+func (g *Generator) Next(site int) Request {
+	req := Request{Site: site % g.cfg.Sites}
+	if g.rng.Float64() < g.cfg.QueryFraction {
+		req.Kind = Query
+	} else {
+		req.Kind = Update
+	}
+	if g.zipf != nil {
+		req.Class = int(g.zipf.Uint64())
+	} else {
+		req.Class = g.rng.Intn(g.cfg.Classes)
+	}
+	if g.cfg.MeanInterarrival > 0 {
+		if g.cfg.Poisson {
+			req.Think = time.Duration(g.rng.ExpFloat64() * float64(g.cfg.MeanInterarrival))
+		} else {
+			req.Think = g.cfg.MeanInterarrival
+		}
+	}
+	return req
+}
+
+// Stream returns n requests for a site.
+func (g *Generator) Stream(site, n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = g.Next(site)
+	}
+	return out
+}
+
+// ClassHistogram counts class occurrences over n draws, for skew tests.
+func (g *Generator) ClassHistogram(n int) []int {
+	counts := make([]int, g.cfg.Classes)
+	for i := 0; i < n; i++ {
+		counts[g.Next(0).Class]++
+	}
+	return counts
+}
+
+// TheoreticalConflictRate returns the probability that two independently
+// drawn transactions share a conflict class under uniform selection —
+// the knob the abort-rate experiment (E2) sweeps.
+func TheoreticalConflictRate(classes int) float64 {
+	if classes <= 0 {
+		return 1
+	}
+	return 1 / float64(classes)
+}
+
+// MismatchedOrder produces a permutation of 0..n-1 where each adjacent
+// pair is swapped with probability p — the standard model for tentative
+// orders diverging from the definitive order by spontaneous-order misses.
+func MismatchedOrder(n int, p float64, rng *rand.Rand) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for i := 0; i+1 < n; i++ {
+		if rng.Float64() < p {
+			out[i], out[i+1] = out[i+1], out[i]
+		}
+	}
+	return out
+}
+
+// DisplacementStats reports the mean absolute displacement of a
+// permutation from identity, a measure of how disordered a tentative
+// order is.
+func DisplacementStats(perm []int) float64 {
+	if len(perm) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, v := range perm {
+		total += math.Abs(float64(i - v))
+	}
+	return total / float64(len(perm))
+}

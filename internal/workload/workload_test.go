@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Sites: 0, Classes: 1}); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+	if _, err := New(Config{Sites: 1, Classes: 0}); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+	if _, err := New(Config{Sites: 1, Classes: 1, QueryFraction: 1.5}); err == nil {
+		t.Fatal("bad query fraction accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []Request {
+		g, err := New(Config{Sites: 3, Classes: 8, QueryFraction: 0.3, Seed: 7,
+			MeanInterarrival: time.Millisecond, Poisson: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Stream(1, 100)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClassesInRange(t *testing.T) {
+	g, err := New(Config{Sites: 2, Classes: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range g.Stream(0, 1000) {
+		if req.Class < 0 || req.Class >= 5 {
+			t.Fatalf("class %d out of range", req.Class)
+		}
+	}
+}
+
+func TestQueryFraction(t *testing.T) {
+	g, err := New(Config{Sites: 1, Classes: 2, QueryFraction: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := 0
+	const n = 10000
+	for _, req := range g.Stream(0, n) {
+		if req.Kind == Query {
+			queries++
+		}
+	}
+	if queries < n*4/10 || queries > n*6/10 {
+		t.Fatalf("query share %d/%d far from 0.5", queries, n)
+	}
+}
+
+func TestZipfSkewsClasses(t *testing.T) {
+	uniform, err := New(Config{Sites: 1, Classes: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := New(Config{Sites: 1, Classes: 16, ZipfS: 2.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	hu := uniform.ClassHistogram(n)
+	hz := skewed.ClassHistogram(n)
+	if float64(hz[0])/float64(n) < 0.4 {
+		t.Fatalf("zipf class 0 share %d/%d too small", hz[0], n)
+	}
+	if float64(hu[0])/float64(n) > 0.2 {
+		t.Fatalf("uniform class 0 share %d/%d too large", hu[0], n)
+	}
+}
+
+func TestInterarrivalPacing(t *testing.T) {
+	g, err := New(Config{Sites: 1, Classes: 1, MeanInterarrival: time.Millisecond, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range g.Stream(0, 100) {
+		if req.Think != time.Millisecond {
+			t.Fatalf("constant pacing produced %v", req.Think)
+		}
+	}
+	gp, err := New(Config{Sites: 1, Classes: 1, MeanInterarrival: time.Millisecond, Poisson: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum time.Duration
+	const n = 5000
+	for _, req := range gp.Stream(0, n) {
+		sum += req.Think
+	}
+	mean := sum / n
+	if mean < 800*time.Microsecond || mean > 1200*time.Microsecond {
+		t.Fatalf("poisson mean %v far from 1ms", mean)
+	}
+}
+
+func TestTheoreticalConflictRate(t *testing.T) {
+	if TheoreticalConflictRate(4) != 0.25 {
+		t.Fatal("conflict rate wrong")
+	}
+	if TheoreticalConflictRate(0) != 1 {
+		t.Fatal("degenerate conflict rate wrong")
+	}
+}
+
+func TestMismatchedOrderZeroProbabilityIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	perm := MismatchedOrder(50, 0, rng)
+	for i, v := range perm {
+		if v != i {
+			t.Fatalf("p=0 permuted: perm[%d]=%d", i, v)
+		}
+	}
+	if DisplacementStats(perm) != 0 {
+		t.Fatal("identity displacement not 0")
+	}
+}
+
+func TestMismatchedOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	perm := MismatchedOrder(100, 0.5, rng)
+	seen := make([]bool, 100)
+	for _, v := range perm {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[v] = true
+	}
+	if DisplacementStats(perm) == 0 {
+		t.Fatal("p=0.5 produced identity (suspicious)")
+	}
+}
+
+func TestSiteWrapsModulo(t *testing.T) {
+	g, err := New(Config{Sites: 3, Classes: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req := g.Next(5); req.Site != 2 {
+		t.Fatalf("site = %d, want 2", req.Site)
+	}
+}

@@ -1,0 +1,312 @@
+package otpdb_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"otpdb"
+)
+
+// crossBranchCluster registers per-branch deposits plus a cross-branch
+// transfer — the multi-class procedure of the [13] extension.
+func crossBranchCluster(t *testing.T, opts ...otpdb.Option) *otpdb.Cluster {
+	t.Helper()
+	c, err := otpdb.NewCluster(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, branch := range []otpdb.Class{"east", "west"} {
+		branch := branch
+		c.MustRegisterUpdate(otpdb.Update{
+			Name:  "deposit-" + string(branch),
+			Class: branch,
+			Fn: func(ctx otpdb.UpdateCtx) error {
+				acct := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
+				v, _ := ctx.Read(acct)
+				return ctx.Write(acct, otpdb.Int64(otpdb.AsInt64(v)+otpdb.AsInt64(ctx.Args()[1])))
+			},
+		})
+	}
+	// moveFunds(fromBranch, fromAcct, toBranch, toAcct, amount): a single
+	// atomic transaction across two conflict classes.
+	c.MustRegisterMultiUpdate(otpdb.MultiUpdate{
+		Name:    "moveFunds",
+		Classes: []otpdb.Class{"east", "west"},
+		Fn: func(ctx otpdb.MultiUpdateCtx) error {
+			from := otpdb.Class(otpdb.AsString(ctx.Args()[0]))
+			fromAcct := otpdb.Key(otpdb.AsString(ctx.Args()[1]))
+			to := otpdb.Class(otpdb.AsString(ctx.Args()[2]))
+			toAcct := otpdb.Key(otpdb.AsString(ctx.Args()[3]))
+			amount := otpdb.AsInt64(ctx.Args()[4])
+			fv, _ := ctx.Read(from, fromAcct)
+			tv, _ := ctx.Read(to, toAcct)
+			if err := ctx.Write(from, fromAcct, otpdb.Int64(otpdb.AsInt64(fv)-amount)); err != nil {
+				return err
+			}
+			return ctx.Write(to, toAcct, otpdb.Int64(otpdb.AsInt64(tv)+amount))
+		},
+	})
+	c.MustRegisterQuery(otpdb.Query{
+		Name: "bothTotals",
+		Fn: func(ctx otpdb.QueryCtx) (otpdb.Value, error) {
+			var sum int64
+			for _, branch := range []otpdb.Class{"east", "west"} {
+				v, _ := ctx.Read(branch, "acct")
+				sum += otpdb.AsInt64(v)
+			}
+			return otpdb.Int64(sum), nil
+		},
+	})
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestMultiClassTransferIsAtomic(t *testing.T) {
+	c := crossBranchCluster(t, otpdb.WithReplicas(3), otpdb.WithHistoryRecording())
+	if err := c.Seed("east", "acct", otpdb.Int64(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seed("west", "acct", otpdb.Int64(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Exec(ctx, 0, "moveFunds",
+		otpdb.String("east"), otpdb.String("acct"),
+		otpdb.String("west"), otpdb.String("acct"),
+		otpdb.Int64(250)); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := c.WaitForCommits(wctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < 3; site++ {
+		east, _, _ := c.Read(site, "east", "acct")
+		west, _, _ := c.Read(site, "west", "acct")
+		if otpdb.AsInt64(east) != 750 || otpdb.AsInt64(west) != 1250 {
+			t.Fatalf("site %d: east=%d west=%d", site, otpdb.AsInt64(east), otpdb.AsInt64(west))
+		}
+	}
+	if err := c.CheckHistory(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiClassMixedLoadConvergesAndIsSerializable(t *testing.T) {
+	c := crossBranchCluster(t, otpdb.WithReplicas(3),
+		otpdb.WithHistoryRecording(), otpdb.WithNetworkJitter(time.Millisecond))
+	if err := c.Seed("east", "acct", otpdb.Int64(10000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seed("west", "acct", otpdb.Int64(10000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const perSite = 12
+	for site := 0; site < 3; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for i := 0; i < perSite; i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					err = c.Exec(ctx, site, "deposit-east", otpdb.String("acct"), otpdb.Int64(5))
+				case 1:
+					err = c.Exec(ctx, site, "deposit-west", otpdb.String("acct"), otpdb.Int64(5))
+				case 2:
+					err = c.Exec(ctx, site, "moveFunds",
+						otpdb.String("east"), otpdb.String("acct"),
+						otpdb.String("west"), otpdb.String("acct"), otpdb.Int64(7))
+				}
+				if err != nil {
+					t.Errorf("site %d txn %d: %v", site, i, err)
+					return
+				}
+			}
+		}(site)
+	}
+	// Cross-class snapshot queries run against the mixed load; transfers
+	// conserve the combined total, deposits raise it deterministically by
+	// commit count, so every snapshot total must be 20000 + 5*deposits
+	// for some deposit count between 0 and 24.
+	for i := 0; i < 15; i++ {
+		v, err := c.QueryAt(ctx, i%3, "bothTotals")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := otpdb.AsInt64(v)
+		if total < 20000 || total > 20000+5*24 || (total-20000)%5 != 0 {
+			t.Fatalf("query %d: inconsistent snapshot total %d", i, total)
+		}
+	}
+	wg.Wait()
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.WaitForCommits(wctx, 3*perSite); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Converged()
+	if err != nil || !ok {
+		t.Fatalf("converged = %v, %v", ok, err)
+	}
+	if err := c.CheckHistory(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic final state: 12 deposits of 5 per branch... 3 sites
+	// each did 4 east-deposits, 4 west-deposits, 4 transfers of 7.
+	wantEast := int64(10000 + 3*4*5 - 3*4*7)
+	wantWest := int64(10000 + 3*4*5 + 3*4*7)
+	for site := 0; site < 3; site++ {
+		east, _, _ := c.Read(site, "east", "acct")
+		west, _, _ := c.Read(site, "west", "acct")
+		if otpdb.AsInt64(east) != wantEast || otpdb.AsInt64(west) != wantWest {
+			t.Fatalf("site %d: east=%d west=%d, want %d/%d",
+				site, otpdb.AsInt64(east), otpdb.AsInt64(west), wantEast, wantWest)
+		}
+	}
+}
+
+func TestMultiClassNameCollisionRejected(t *testing.T) {
+	c := crossBranchCluster(t)
+	err := c.RegisterMultiUpdate(otpdb.MultiUpdate{
+		Name:    "moveFunds",
+		Classes: []otpdb.Class{"east"},
+		Fn:      func(otpdb.MultiUpdateCtx) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("duplicate multi-update accepted")
+	}
+}
+
+func TestMultiClassRegistrationAfterStartRejected(t *testing.T) {
+	c := crossBranchCluster(t)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err := c.RegisterMultiUpdate(otpdb.MultiUpdate{
+		Name:    "late",
+		Classes: []otpdb.Class{"east"},
+		Fn:      func(otpdb.MultiUpdateCtx) error { return nil },
+	})
+	if err != otpdb.ErrStarted {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultiClassWriteOutsideDeclaredClassesFails(t *testing.T) {
+	c := crossBranchCluster(t)
+	writeErr := make(chan error, 1)
+	c.MustRegisterMultiUpdate(otpdb.MultiUpdate{
+		Name:    "rogue",
+		Classes: []otpdb.Class{"east"},
+		Fn: func(ctx otpdb.MultiUpdateCtx) error {
+			err := ctx.Write("west", "acct", otpdb.Int64(1)) // undeclared class
+			select {
+			case writeErr <- err:
+			default:
+			}
+			return nil
+		},
+	})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Exec(ctx, 0, "rogue"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-writeErr:
+		if err == nil {
+			t.Fatal("write outside declared classes succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("procedure never ran")
+	}
+}
+
+func TestManyCrossClassTransfersNoDeadlock(t *testing.T) {
+	c, err := otpdb.NewCluster(otpdb.WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	const classes = 4
+	for i := 0; i < classes; i++ {
+		for j := 0; j < classes; j++ {
+			if i == j {
+				continue
+			}
+			ci, cj := otpdb.Class(fmt.Sprintf("c%d", i)), otpdb.Class(fmt.Sprintf("c%d", j))
+			c.MustRegisterMultiUpdate(otpdb.MultiUpdate{
+				Name:    fmt.Sprintf("mv-%d-%d", i, j),
+				Classes: []otpdb.Class{ci, cj},
+				Fn: func(ctx otpdb.MultiUpdateCtx) error {
+					a, _ := ctx.Read(ci, "k")
+					b, _ := ctx.Read(cj, "k")
+					if err := ctx.Write(ci, "k", otpdb.Int64(otpdb.AsInt64(a)-1)); err != nil {
+						return err
+					}
+					return ctx.Write(cj, "k", otpdb.Int64(otpdb.AsInt64(b)+1))
+				},
+			})
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const perSite = 18
+	for site := 0; site < 2; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for n := 0; n < perSite; n++ {
+				i := (site + n) % classes
+				j := (i + 1 + n%(classes-1)) % classes
+				if i == j {
+					j = (j + 1) % classes
+				}
+				if err := c.Exec(ctx, site, fmt.Sprintf("mv-%d-%d", i, j)); err != nil {
+					t.Errorf("site %d: %v", site, err)
+					return
+				}
+			}
+		}(site)
+	}
+	wg.Wait()
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.WaitForCommits(wctx, 2*perSite); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Converged()
+	if err != nil || !ok {
+		t.Fatalf("converged = %v, %v", ok, err)
+	}
+	// Conservation: the sum over all classes is zero-delta.
+	var sum int64
+	for i := 0; i < classes; i++ {
+		v, _, _ := c.Read(0, otpdb.Class(fmt.Sprintf("c%d", i)), "k")
+		sum += otpdb.AsInt64(v)
+	}
+	if sum != 0 {
+		t.Fatalf("transfers not conserving: sum = %d", sum)
+	}
+}

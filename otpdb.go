@@ -1,0 +1,531 @@
+// Package otpdb is a replicated in-memory database that processes
+// transactions over an atomic broadcast with optimistic delivery,
+// reproducing Kemme, Pedone, Alonso and Schiper, "Processing Transactions
+// over Optimistic Atomic Broadcast Protocols" (ICDCS 1999).
+//
+// A Cluster runs n database replicas in one process, connected by an
+// in-memory network. Update transactions are stored procedures bound to a
+// conflict class; they are TO-broadcast, optimistically executed in
+// tentative delivery order at every site, and committed once the
+// definitive total order confirms the tentative one (transactions are
+// undone and redone when it does not). Read-only queries execute locally
+// against consistent multi-version snapshots and never block updates.
+//
+//	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(3))
+//	...
+//	cluster.MustRegisterUpdate(otpdb.Update{
+//	    Name:  "credit",
+//	    Class: "accounts",
+//	    Fn: func(ctx otpdb.UpdateCtx) error {
+//	        v, _ := ctx.Read("balance")
+//	        return ctx.Write("balance", otpdb.Int64(otpdb.AsInt64(v)+10))
+//	    },
+//	})
+//	if err := cluster.Start(); err != nil { ... }
+//	defer cluster.Stop()
+//	err = cluster.Exec(context.Background(), 0, "credit")
+//
+// Multi-process deployments over TCP are provided by cmd/otpd; the
+// experiment harness reproducing the paper's figures by cmd/otpbench.
+package otpdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"otpdb/internal/abcast"
+	"otpdb/internal/consensus"
+	"otpdb/internal/db"
+	"otpdb/internal/history"
+	"otpdb/internal/otp"
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// Re-exported data types. Values are immutable byte strings; helpers
+// below convert to and from Go types.
+type (
+	// Value is a database value.
+	Value = storage.Value
+	// Key identifies an object within a conflict class.
+	Key = storage.Key
+	// Class names a conflict class (Section 2.3 of the paper): the unit
+	// of conflict detection and of storage partitioning.
+	Class = sproc.ClassID
+	// UpdateCtx is the data access interface of update procedures.
+	UpdateCtx = sproc.UpdateCtx
+	// QueryCtx is the data access interface of read-only queries.
+	QueryCtx = sproc.QueryCtx
+	// Update declares an update stored procedure.
+	Update = sproc.Update
+	// MultiUpdate declares an update procedure spanning several conflict
+	// classes — the finer-granularity model of the paper's companion
+	// report [13] (Sections 2.3 and 6).
+	MultiUpdate = sproc.MultiUpdate
+	// MultiUpdateCtx is the data access interface of multi-class updates.
+	MultiUpdateCtx = sproc.MultiUpdateCtx
+	// Query declares a read-only stored procedure.
+	Query = sproc.Query
+)
+
+// Int64 encodes an int64 as a Value.
+func Int64(n int64) Value { return storage.Int64Value(n) }
+
+// AsInt64 decodes a Value produced by Int64 (missing values decode to 0).
+func AsInt64(v Value) int64 { return storage.ValueInt64(v) }
+
+// String encodes a string as a Value.
+func String(s string) Value { return storage.StringValue(s) }
+
+// AsString decodes a Value as a string.
+func AsString(v Value) string { return storage.ValueString(v) }
+
+// Ordering selects the atomic broadcast engine.
+type Ordering int
+
+// Ordering engines.
+const (
+	// OptimisticOrdering is the paper's OPT-ABcast: tentative delivery on
+	// reception, definitive order via consensus stages. The default.
+	OptimisticOrdering Ordering = iota + 1
+	// ConservativeOrdering is the classic fixed-sequencer baseline:
+	// execution starts only when the definitive order is known.
+	ConservativeOrdering
+)
+
+// config collects the cluster options.
+type config struct {
+	replicas     int
+	netDelay     time.Duration
+	netJitter    time.Duration
+	seed         int64
+	ordering     Ordering
+	writeMode    storage.Mode
+	queryMode    db.QueryMode
+	roundTimeout time.Duration
+	recordHist   bool
+}
+
+// Option configures NewCluster.
+type Option func(*config)
+
+// WithReplicas sets the number of replicas (default 3).
+func WithReplicas(n int) Option { return func(c *config) { c.replicas = n } }
+
+// WithNetworkDelay adds a fixed delivery delay between replicas.
+func WithNetworkDelay(d time.Duration) Option { return func(c *config) { c.netDelay = d } }
+
+// WithNetworkJitter adds a random delivery delay in [0, d), which causes
+// tentative/definitive order mismatches — useful for exercising the
+// abort/reorder path.
+func WithNetworkJitter(d time.Duration) Option { return func(c *config) { c.netJitter = d } }
+
+// WithSeed seeds the network randomness (default 1).
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithOrdering selects the broadcast engine (default OptimisticOrdering).
+func WithOrdering(o Ordering) Option { return func(c *config) { c.ordering = o } }
+
+// WithInPlaceWrites switches the storage engine to in-place writes with
+// undo logs (the paper's "traditional recovery techniques") instead of
+// buffered writes.
+func WithInPlaceWrites() Option {
+	return func(c *config) { c.writeMode = storage.InPlaceUndo }
+}
+
+// WithDirtyQueries disables the Section 5 snapshot rule — queries read
+// the latest committed values with no index discipline. Provided only to
+// demonstrate the anomaly the snapshot rule prevents.
+func WithDirtyQueries() Option {
+	return func(c *config) { c.queryMode = db.DirtyQueries }
+}
+
+// WithHistoryRecording enables recording of commits and query reads so
+// CheckHistory can verify 1-copy-serializability after a run.
+func WithHistoryRecording() Option { return func(c *config) { c.recordHist = true } }
+
+// WithConsensusRoundTimeout tunes the consensus coordinator timeout
+// (default 100 ms; lower values recover faster from crashed coordinators
+// at the cost of spurious rounds).
+func WithConsensusRoundTimeout(d time.Duration) Option {
+	return func(c *config) { c.roundTimeout = d }
+}
+
+// Cluster is an in-process group of database replicas.
+type Cluster struct {
+	cfg      config
+	registry *sproc.Registry
+	hub      *transport.Hub
+	replicas []*db.Replica
+	stops    []func()
+	recorder *history.Recorder
+	seeds    []func(*storage.Store)
+	crashed  map[int]bool
+	started  bool
+	stopped  bool
+}
+
+// Errors returned by the cluster.
+var (
+	// ErrStarted is returned by configuration methods after Start.
+	ErrStarted = errors.New("otpdb: cluster already started")
+	// ErrNotStarted is returned by data methods before Start.
+	ErrNotStarted = errors.New("otpdb: cluster not started")
+	// ErrBadSite is returned for an out-of-range site index.
+	ErrBadSite = errors.New("otpdb: no such site")
+)
+
+// NewCluster creates an unstarted cluster.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	cfg := config{
+		replicas:     3,
+		seed:         1,
+		ordering:     OptimisticOrdering,
+		writeMode:    storage.Buffered,
+		queryMode:    db.SnapshotQueries,
+		roundTimeout: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.replicas <= 0 {
+		return nil, fmt.Errorf("otpdb: replicas must be positive, got %d", cfg.replicas)
+	}
+	c := &Cluster{cfg: cfg, registry: sproc.NewRegistry()}
+	if cfg.recordHist {
+		c.recorder = history.NewRecorder()
+	}
+	return c, nil
+}
+
+// RegisterUpdate adds an update stored procedure. Must be called before
+// Start; procedures must be deterministic (they re-execute at every
+// replica).
+func (c *Cluster) RegisterUpdate(u Update) error {
+	if c.started {
+		return ErrStarted
+	}
+	return c.registry.RegisterUpdate(u)
+}
+
+// MustRegisterUpdate is RegisterUpdate that panics on error, for
+// program-initialization use.
+func (c *Cluster) MustRegisterUpdate(u Update) {
+	if err := c.RegisterUpdate(u); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterMultiUpdate adds a multi-class update procedure. The
+// transaction conflicts with every transaction sharing any of its classes
+// and runs only when it heads all of their queues. Must be called before
+// Start.
+func (c *Cluster) RegisterMultiUpdate(u MultiUpdate) error {
+	if c.started {
+		return ErrStarted
+	}
+	return c.registry.RegisterMulti(u)
+}
+
+// MustRegisterMultiUpdate is RegisterMultiUpdate that panics on error.
+func (c *Cluster) MustRegisterMultiUpdate(u MultiUpdate) {
+	if err := c.RegisterMultiUpdate(u); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterQuery adds a read-only stored procedure. Must be called before
+// Start.
+func (c *Cluster) RegisterQuery(q Query) error {
+	if c.started {
+		return ErrStarted
+	}
+	return c.registry.RegisterQuery(q)
+}
+
+// MustRegisterQuery is RegisterQuery that panics on error.
+func (c *Cluster) MustRegisterQuery(q Query) {
+	if err := c.RegisterQuery(q); err != nil {
+		panic(err)
+	}
+}
+
+// Seed loads an initial value into every replica's copy of a class before
+// the cluster starts (version index 0).
+func (c *Cluster) Seed(class Class, key Key, value Value) error {
+	if c.started {
+		return ErrStarted
+	}
+	v := value
+	c.seeds = append(c.seeds, func(s *storage.Store) {
+		s.Load(storage.Partition(class), key, v)
+	})
+	return nil
+}
+
+// Start builds the network, broadcast engines and replicas, and begins
+// processing.
+func (c *Cluster) Start() error {
+	if c.started {
+		return ErrStarted
+	}
+	c.started = true
+	var hubOpts []transport.MemOption
+	hubOpts = append(hubOpts, transport.WithSeed(c.cfg.seed))
+	if c.cfg.netDelay > 0 {
+		hubOpts = append(hubOpts, transport.WithDelay(c.cfg.netDelay))
+	}
+	if c.cfg.netJitter > 0 {
+		hubOpts = append(hubOpts, transport.WithJitter(c.cfg.netJitter))
+	}
+	c.hub = transport.NewHub(c.cfg.replicas, hubOpts...)
+	for i := 0; i < c.cfg.replicas; i++ {
+		ep := c.hub.Endpoint(transport.NodeID(i))
+		var bc abcast.Broadcaster
+		var stopEngine func()
+		switch c.cfg.ordering {
+		case ConservativeOrdering:
+			seq := abcast.NewSequencer(ep)
+			bc, stopEngine = seq, func() { _ = seq.Stop() }
+		default:
+			cons := consensus.New(consensus.Config{
+				Endpoint:     ep,
+				RoundTimeout: c.cfg.roundTimeout,
+			})
+			cons.Start()
+			opt := abcast.NewOptimistic(ep, cons)
+			bc, stopEngine = opt, func() { _ = opt.Stop(); cons.Stop() }
+		}
+		if err := bc.Start(); err != nil {
+			return fmt.Errorf("otpdb: start broadcast %d: %w", i, err)
+		}
+		store := storage.NewStore()
+		for _, seed := range c.seeds {
+			seed(store)
+		}
+		cfg := db.Config{
+			ID:        transport.NodeID(i),
+			Broadcast: bc,
+			Registry:  c.registry,
+			Store:     store,
+			WriteMode: c.cfg.writeMode,
+			Queries:   c.cfg.queryMode,
+		}
+		if c.recorder != nil {
+			cfg.History = c.recorder
+		}
+		rep, err := db.New(cfg)
+		if err != nil {
+			return fmt.Errorf("otpdb: replica %d: %w", i, err)
+		}
+		rep.Start()
+		c.replicas = append(c.replicas, rep)
+		c.stops = append(c.stops, func() {
+			rep.Stop()
+			stopEngine()
+		})
+	}
+	return nil
+}
+
+// Stop shuts the cluster down. It is idempotent.
+func (c *Cluster) Stop() {
+	if !c.started || c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, stop := range c.stops {
+		stop()
+	}
+	c.hub.Close()
+}
+
+// Size reports the number of replicas.
+func (c *Cluster) Size() int { return c.cfg.replicas }
+
+func (c *Cluster) replica(site int) (*db.Replica, error) {
+	if !c.started {
+		return nil, ErrNotStarted
+	}
+	if site < 0 || site >= len(c.replicas) {
+		return nil, fmt.Errorf("%w: %d", ErrBadSite, site)
+	}
+	return c.replicas[site], nil
+}
+
+// Exec submits an update transaction at the given site and waits until it
+// commits there. Committing at the submitting site implies the definitive
+// order is fixed; all other sites commit the same transaction in the same
+// relative order.
+func (c *Cluster) Exec(ctx context.Context, site int, proc string, args ...Value) error {
+	rep, err := c.replica(site)
+	if err != nil {
+		return err
+	}
+	return rep.Exec(ctx, proc, args...)
+}
+
+// Submit broadcasts an update transaction without waiting for its commit.
+func (c *Cluster) Submit(site int, proc string, args ...Value) error {
+	rep, err := c.replica(site)
+	if err != nil {
+		return err
+	}
+	_, err = rep.Submit(proc, args...)
+	return err
+}
+
+// QueryAt runs a read-only stored procedure locally at the given site,
+// against a consistent snapshot (Section 5).
+func (c *Cluster) QueryAt(ctx context.Context, site int, proc string, args ...Value) (Value, error) {
+	rep, err := c.replica(site)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Query(ctx, proc, args...)
+}
+
+// Read returns the latest committed value of a key at a site, outside any
+// snapshot (a debugging convenience, not a transaction).
+func (c *Cluster) Read(site int, class Class, key Key) (Value, bool, error) {
+	rep, err := c.replica(site)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := rep.Store().Get(storage.Partition(class), key)
+	return v, ok, nil
+}
+
+// Stats aggregates per-site protocol counters.
+type Stats struct {
+	// Site is the replica index.
+	Site int
+	// Commits, Aborts, Reorders mirror the OTP manager counters.
+	Commits, Aborts, Reorders uint64
+	// Pending is the number of delivered but uncommitted transactions.
+	Pending int
+}
+
+// SiteStats returns one site's counters.
+func (c *Cluster) SiteStats(site int) (Stats, error) {
+	rep, err := c.replica(site)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := rep.Manager().Stats()
+	return Stats{
+		Site:     site,
+		Commits:  st.Commits,
+		Aborts:   st.Aborts,
+		Reorders: st.Reorders,
+		Pending:  rep.Manager().Pending(),
+	}, nil
+}
+
+// WaitForCommits blocks until every live replica has committed at least n
+// update transactions, or the context is cancelled. Crashed sites are
+// skipped.
+func (c *Cluster) WaitForCommits(ctx context.Context, n int) error {
+	if !c.started {
+		return ErrNotStarted
+	}
+	for {
+		done := true
+		for i, rep := range c.replicas {
+			if c.crashed[i] {
+				continue
+			}
+			if len(rep.Manager().Committed()) < n || rep.Manager().Pending() > 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Converged reports whether all live replicas currently hold identical
+// committed state. Crashed sites are skipped.
+func (c *Cluster) Converged() (bool, error) {
+	if !c.started {
+		return false, ErrNotStarted
+	}
+	first := -1
+	for i, rep := range c.replicas {
+		if c.crashed[i] {
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue
+		}
+		if rep.Store().Digest() != c.replicas[first].Store().Digest() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CrashSite silences a replica at the network level, modelling a
+// crash-stop failure (Section 2: sites fail by crashing). With the
+// optimistic ordering the cluster keeps committing as long as a majority
+// of sites remains alive.
+func (c *Cluster) CrashSite(site int) error {
+	if _, err := c.replica(site); err != nil {
+		return err
+	}
+	if c.crashed == nil {
+		c.crashed = make(map[int]bool)
+	}
+	c.crashed[site] = true
+	c.hub.Crash(transport.NodeID(site))
+	return nil
+}
+
+// DigestAt returns a hash of a site's committed state, for convergence
+// comparisons across sites.
+func (c *Cluster) DigestAt(site int) (uint64, error) {
+	rep, err := c.replica(site)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Store().Digest(), nil
+}
+
+// CheckHistory verifies 1-copy-serializability of everything executed so
+// far. It requires WithHistoryRecording.
+func (c *Cluster) CheckHistory() error {
+	if c.recorder == nil {
+		return errors.New("otpdb: history recording not enabled (use WithHistoryRecording)")
+	}
+	return c.recorder.Check()
+}
+
+// CheckInvariants validates the OTP scheduler invariants at every site.
+func (c *Cluster) CheckInvariants() error {
+	if !c.started {
+		return ErrNotStarted
+	}
+	for i, rep := range c.replicas {
+		if err := rep.Manager().CheckInvariants(); err != nil {
+			return fmt.Errorf("site %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// compile-time checks that re-exported internals stay assignable.
+var (
+	_ = otp.ClassID("")
+	_ = abcast.MsgID{}
+)

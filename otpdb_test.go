@@ -1,0 +1,247 @@
+package otpdb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"otpdb"
+)
+
+// accountsCluster registers a small banking schema on a fresh cluster.
+func accountsCluster(t *testing.T, opts ...otpdb.Option) *otpdb.Cluster {
+	t.Helper()
+	c, err := otpdb.NewCluster(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustRegisterUpdate(otpdb.Update{
+		Name:  "credit",
+		Class: "accounts",
+		Fn: func(ctx otpdb.UpdateCtx) error {
+			acct := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
+			amount := otpdb.AsInt64(ctx.Args()[1])
+			v, _ := ctx.Read(acct)
+			return ctx.Write(acct, otpdb.Int64(otpdb.AsInt64(v)+amount))
+		},
+	})
+	c.MustRegisterQuery(otpdb.Query{
+		Name: "balance",
+		Fn: func(ctx otpdb.QueryCtx) (otpdb.Value, error) {
+			v, _ := ctx.Read("accounts", otpdb.Key(otpdb.AsString(ctx.Args()[0])))
+			return v, nil
+		},
+	})
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); !errors.Is(err, otpdb.ErrStarted) {
+		t.Fatalf("second Start = %v", err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}
+
+func TestExecAndReadBack(t *testing.T) {
+	c := accountsCluster(t)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Exec(ctx, 0, "credit", otpdb.String("alice"), otpdb.Int64(100)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.QueryAt(ctx, 0, "balance", otpdb.String("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otpdb.AsInt64(v) != 100 {
+		t.Fatalf("balance = %d", otpdb.AsInt64(v))
+	}
+}
+
+func TestAllReplicasConverge(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3), otpdb.WithHistoryRecording(),
+		otpdb.WithNetworkJitter(time.Millisecond))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const perSite = 10
+	for site := 0; site < 3; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for i := 0; i < perSite; i++ {
+				acct := fmt.Sprintf("acct%d", i%2)
+				if err := c.Exec(ctx, site, "credit", otpdb.String(acct), otpdb.Int64(1)); err != nil {
+					t.Errorf("site %d: %v", site, err)
+					return
+				}
+			}
+		}(site)
+	}
+	wg.Wait()
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.WaitForCommits(wctx, 3*perSite); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Converged()
+	if err != nil || !ok {
+		t.Fatalf("converged = %v, %v", ok, err)
+	}
+	if err := c.CheckHistory(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Each account credited 3*perSite/2 times at every site.
+	for site := 0; site < 3; site++ {
+		for a := 0; a < 2; a++ {
+			v, okRead, err := c.Read(site, "accounts", otpdb.Key(fmt.Sprintf("acct%d", a)))
+			if err != nil || !okRead {
+				t.Fatal(err)
+			}
+			if otpdb.AsInt64(v) != 3*perSite/2 {
+				t.Fatalf("site %d acct%d = %d", site, a, otpdb.AsInt64(v))
+			}
+		}
+	}
+}
+
+func TestConservativeOrderingWorksToo(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(2), otpdb.WithOrdering(otpdb.ConservativeOrdering))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := c.Exec(ctx, i%2, "credit", otpdb.String("x"), otpdb.Int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := c.WaitForCommits(wctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Converged()
+	if err != nil || !ok {
+		t.Fatalf("converged = %v, %v", ok, err)
+	}
+}
+
+func TestSeedLoadsInitialState(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(2))
+	if err := c.Seed("accounts", "alice", otpdb.Int64(500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < 2; site++ {
+		v, ok, err := c.Read(site, "accounts", "alice")
+		if err != nil || !ok || otpdb.AsInt64(v) != 500 {
+			t.Fatalf("site %d: %v %v %v", site, otpdb.AsInt64(v), ok, err)
+		}
+	}
+	if err := c.Seed("accounts", "late", nil); !errors.Is(err, otpdb.ErrStarted) {
+		t.Fatalf("late seed = %v", err)
+	}
+}
+
+func TestRegistrationAfterStartRejected(t *testing.T) {
+	c := accountsCluster(t)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err := c.RegisterUpdate(otpdb.Update{Name: "late", Class: "c", Fn: func(otpdb.UpdateCtx) error { return nil }})
+	if !errors.Is(err, otpdb.ErrStarted) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.RegisterQuery(otpdb.Query{Name: "lateq", Fn: func(otpdb.QueryCtx) (otpdb.Value, error) { return nil, nil }}); !errors.Is(err, otpdb.ErrStarted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadSiteErrors(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(2))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Exec(ctx, 9, "credit", otpdb.String("a"), otpdb.Int64(1)); !errors.Is(err, otpdb.ErrBadSite) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.QueryAt(ctx, -1, "balance", otpdb.String("a")); !errors.Is(err, otpdb.ErrBadSite) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNotStartedErrors(t *testing.T) {
+	c := accountsCluster(t)
+	ctx := context.Background()
+	if err := c.Exec(ctx, 0, "credit"); !errors.Is(err, otpdb.ErrNotStarted) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Converged(); !errors.Is(err, otpdb.ErrNotStarted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSiteStatsExposesCounters(t *testing.T) {
+	c := accountsCluster(t)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Exec(ctx, 0, "credit", otpdb.String("a"), otpdb.Int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := c.WaitForCommits(wctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SiteStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits != 1 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckHistoryRequiresOption(t *testing.T) {
+	c := accountsCluster(t)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckHistory(); err == nil {
+		t.Fatal("CheckHistory without recording succeeded")
+	}
+}
+
+func TestValueHelpersRoundTrip(t *testing.T) {
+	if otpdb.AsInt64(otpdb.Int64(-7)) != -7 {
+		t.Fatal("int64 round trip")
+	}
+	if otpdb.AsString(otpdb.String("hello")) != "hello" {
+		t.Fatal("string round trip")
+	}
+}
