@@ -236,9 +236,10 @@ func BenchmarkEndToEndCommit(b *testing.B) {
 	cluster.MustRegisterUpdate(otpdb.Update{
 		Name:  "bump",
 		Class: "c",
-		Fn: func(ctx otpdb.UpdateCtx) error {
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
 			v, _ := ctx.Read("k")
-			return ctx.Write("k", otpdb.Int64(otpdb.AsInt64(v)+1))
+			next := otpdb.Int64(otpdb.AsInt64(v) + 1)
+			return next, ctx.Write("k", next)
 		},
 	})
 	if err := cluster.Start(); err != nil {
@@ -264,9 +265,10 @@ func BenchmarkEndToEndQuery(b *testing.B) {
 	cluster.MustRegisterUpdate(otpdb.Update{
 		Name:  "bump",
 		Class: "c",
-		Fn: func(ctx otpdb.UpdateCtx) error {
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
 			v, _ := ctx.Read("k")
-			return ctx.Write("k", otpdb.Int64(otpdb.AsInt64(v)+1))
+			next := otpdb.Int64(otpdb.AsInt64(v) + 1)
+			return next, ctx.Write("k", next)
 		},
 	})
 	cluster.MustRegisterQuery(otpdb.Query{

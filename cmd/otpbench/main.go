@@ -6,8 +6,8 @@
 //
 //	otpbench [-quick] [experiment ...]
 //
-// Experiments: figure1, abortrate, overlap, async, queries, ordering.
-// With no arguments every experiment runs.
+// Experiments: figure1, abortrate, overlap, async, queries, ordering,
+// pipeline. With no arguments every experiment runs.
 package main
 
 import (
@@ -25,7 +25,7 @@ func main() {
 	flag.Parse()
 	targets := flag.Args()
 	if len(targets) == 0 {
-		targets = []string{"figure1", "abortrate", "overlap", "async", "queries", "ordering"}
+		targets = []string{"figure1", "abortrate", "overlap", "async", "queries", "ordering", "pipeline"}
 	}
 	if err := run(targets, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "otpbench:", err)
@@ -93,6 +93,17 @@ func run(targets []string, quick bool) error {
 			t, err := experiments.Ordering(p)
 			if err != nil {
 				return fmt.Errorf("ordering: %w", err)
+			}
+			t.Render(os.Stdout)
+		case "pipeline":
+			p := experiments.DefaultPipelineParams()
+			if quick {
+				p.Txns = 300
+				p.Depths = []int{1, 8, 32}
+			}
+			t, err := experiments.Pipeline(p)
+			if err != nil {
+				return fmt.Errorf("pipeline: %w", err)
 			}
 			t.Render(os.Stdout)
 		case "calibrate":

@@ -1,9 +1,19 @@
-// Command otpcli sends one command to an otpd replica and prints the
-// reply. See cmd/otpd for the protocol and an example cluster.
+// Command otpcli talks to an otpd replica and prints the replies. See
+// cmd/otpd for the protocol and an example cluster.
+//
+// One-shot mode sends a single command:
 //
 //	otpcli -addr :7070 EXEC add-p0 mykey 5
 //	otpcli -addr :7071 QUERY get p0 mykey
 //	otpcli -addr :7072 STATS
+//
+// Pipelined mode (-stdin) keeps one connection open and sends every line
+// read from standard input, printing one reply per line. Because SUBMIT
+// handles are per-connection, this is how WAIT is used — and how many
+// transactions are kept in flight at once:
+//
+//	printf 'SUBMIT add-p0 k 1\nSUBMIT add-p0 k 2\nWAIT 0.1\nWAIT 0.2\n' \
+//	    | otpcli -addr :7070 -stdin
 package main
 
 import (
@@ -18,12 +28,20 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7070", "otpd client address")
+	stdin := flag.Bool("stdin", false, "read newline-separated commands from stdin over one connection")
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if !*stdin && flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: otpcli [-addr host:port] COMMAND [args...]")
+		fmt.Fprintln(os.Stderr, "       otpcli [-addr host:port] -stdin < commands.txt")
 		os.Exit(2)
 	}
-	if err := run(*addr, flag.Args()); err != nil {
+	var err error
+	if *stdin {
+		err = runStdin(*addr)
+	} else {
+		err = run(*addr, flag.Args())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "otpcli:", err)
 		os.Exit(1)
 	}
@@ -44,4 +62,51 @@ func run(addr string, args []string) error {
 	}
 	fmt.Println(sc.Text())
 	return nil
+}
+
+// runStdin streams commands from stdin over one connection and prints
+// each reply. Commands are sent as they are read (a goroutine keeps the
+// pipe full while replies are consumed), and the write side is closed at
+// EOF so the server hangs up once every reply is out.
+func runStdin(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	sendErr := make(chan error, 1)
+	sendDone := make(chan struct{})
+	go func() {
+		defer close(sendDone) // sendErr is always populated first
+		in := bufio.NewScanner(os.Stdin)
+		for in.Scan() {
+			line := strings.TrimSpace(in.Text())
+			if line == "" {
+				continue
+			}
+			if _, err := fmt.Fprintln(conn, line); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		sendErr <- in.Err()
+	}()
+	replies := bufio.NewScanner(conn)
+	for replies.Scan() {
+		fmt.Println(replies.Text())
+	}
+	// Don't block on the sender: if the server hung up mid-session the
+	// sender may still be parked reading stdin.
+	select {
+	case <-sendDone:
+		if err := <-sendErr; err != nil {
+			return err
+		}
+		return replies.Err()
+	default:
+		return fmt.Errorf("connection closed by server: %v", replies.Err())
+	}
 }

@@ -1,15 +1,24 @@
 // Command otpd runs one replica of the replicated database over TCP — the
 // multi-process deployment of the paper's architecture. Every replica
-// serves a small line protocol for clients (see cmd/otpcli):
+// serves a small line protocol for clients (see cmd/otpcli), the TCP
+// incarnation of the in-process Session API: EXEC is Session.Exec with
+// its typed result, SUBMIT/WAIT are Session.SubmitAsync plus Handle
+// resolution, so clients pipeline many transactions per connection.
 //
-//	EXEC <procedure> [arg ...]   -> OK | ERR <message>
+//	EXEC <procedure> [arg ...]   -> OK value=<int64> to=<idx> outcome=<fastpath|reordered|retried> latency=<dur>
+//	                              | ERR <message>
+//	SUBMIT <procedure> [arg ...] -> ID <origin>.<seq> | ERR <message>
+//	WAIT <origin>.<seq>          -> OK ... (as EXEC) | ERR <message>
 //	QUERY <procedure> [arg ...]  -> VALUE <int64> | ERR <message>
 //	STATS                        -> STATS commits=<n> aborts=<n> reorders=<n> pending=<n>
 //	DIGEST                       -> DIGEST <hex>
 //
+// SUBMIT handles are per-connection: WAIT resolves an ID submitted on the
+// same connection (pipeline SUBMITs first, then WAIT each ID).
+//
 // The demo schema partitions an integer keyspace into -classes conflict
-// classes with procedures add-p<i>(key, delta) and the cross-class query
-// get(p<i>, key) / sum(p<i>).
+// classes with procedures add-p<i>(key, delta) — returning the key's new
+// value — and the cross-class query get(p<i>, key).
 //
 // Example 3-replica cluster on one machine:
 //
@@ -57,7 +66,7 @@ func main() {
 }
 
 // demoRegistry builds the keyspace schema: add-p<i>(key, delta) per
-// class, plus get(class, key) and sum(class) queries.
+// class — returning the key's new value — plus the get(class, key) query.
 func demoRegistry(classes int) (*sproc.Registry, error) {
 	reg := sproc.NewRegistry()
 	for c := 0; c < classes; c++ {
@@ -65,15 +74,16 @@ func demoRegistry(classes int) (*sproc.Registry, error) {
 		err := reg.RegisterUpdate(sproc.Update{
 			Name:  "add-" + string(class),
 			Class: class,
-			Fn: func(ctx sproc.UpdateCtx) error {
+			Fn: func(ctx sproc.UpdateCtx) (storage.Value, error) {
 				args := ctx.Args()
 				if len(args) < 2 {
-					return fmt.Errorf("add needs key and delta")
+					return nil, fmt.Errorf("add needs key and delta")
 				}
 				key := storage.Key(storage.ValueString(args[0]))
 				delta := storage.ValueInt64(args[1])
 				cur, _ := ctx.Read(key)
-				return ctx.Write(key, storage.Int64Value(storage.ValueInt64(cur)+delta))
+				next := storage.Int64Value(storage.ValueInt64(cur) + delta)
+				return next, ctx.Write(key, next)
 			},
 		})
 		if err != nil {
@@ -181,19 +191,49 @@ func run(id int, peerList, clientAddr string, classes int) error {
 	}
 }
 
+// srvHandle is one in-flight SUBMIT on a client connection: the
+// server-side analogue of an otpdb.Handle, resolved by the replica's
+// commit notification.
+type srvHandle struct {
+	start time.Time
+	ch    chan db.CommitResult // buffered, resolved exactly once
+}
+
+// clientSession is the per-connection state: pending SUBMIT handles
+// awaiting WAIT.
+type clientSession struct {
+	rep     *db.Replica
+	pending map[string]*srvHandle
+}
+
 // serveClient speaks the line protocol on one client connection.
 func serveClient(conn net.Conn, rep *db.Replica) {
 	defer func() { _ = conn.Close() }()
+	cs := &clientSession{rep: rep, pending: make(map[string]*srvHandle)}
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		reply := handleCommand(strings.Fields(sc.Text()), rep)
+		reply := cs.handle(strings.Fields(sc.Text()))
 		_, _ = w.WriteString(reply + "\n")
 		_ = w.Flush()
 	}
 }
 
-func handleCommand(fields []string, rep *db.Replica) string {
+// fmtCommit renders a commit outcome in the EXEC/WAIT reply shape.
+func fmtCommit(info db.CommitInfo, latency time.Duration) string {
+	outcome := "fastpath"
+	switch {
+	case info.Retried:
+		outcome = "retried"
+	case info.Reordered:
+		outcome = "reordered"
+	}
+	return fmt.Sprintf("OK value=%d to=%d outcome=%s latency=%s",
+		storage.ValueInt64(info.Value), info.TOIndex, outcome,
+		latency.Round(time.Microsecond))
+}
+
+func (cs *clientSession) handle(fields []string) string {
 	if len(fields) == 0 {
 		return "ERR empty command"
 	}
@@ -204,27 +244,62 @@ func handleCommand(fields []string, rep *db.Replica) string {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		if err := rep.Exec(ctx, fields[1], parseArgs(fields[2:])...); err != nil {
+		start := time.Now()
+		info, err := cs.rep.Exec(ctx, fields[1], parseArgs(fields[2:])...)
+		if err != nil {
 			return "ERR " + err.Error()
 		}
-		return "OK"
+		return fmtCommit(info, time.Since(start))
+	case "SUBMIT":
+		if len(fields) < 2 {
+			return "ERR SUBMIT needs a procedure"
+		}
+		h := &srvHandle{start: time.Now(), ch: make(chan db.CommitResult, 1)}
+		id, err := cs.rep.SubmitNotify(fields[1], parseArgs(fields[2:]),
+			func(res db.CommitResult) { h.ch <- res })
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		key := fmt.Sprintf("%d.%d", id.Origin, id.Seq)
+		cs.pending[key] = h
+		return "ID " + key
+	case "WAIT":
+		if len(fields) != 2 {
+			return "ERR WAIT needs an id"
+		}
+		h, ok := cs.pending[fields[1]]
+		if !ok {
+			return "ERR unknown handle " + fields[1] + " (SUBMIT on this connection first)"
+		}
+		select {
+		case res := <-h.ch:
+			delete(cs.pending, fields[1])
+			if res.Err != nil {
+				return "ERR " + res.Err.Error()
+			}
+			return fmtCommit(res.Info, time.Since(h.start))
+		case <-time.After(30 * time.Second):
+			// Keep the handle: the result channel is buffered, so a
+			// retried WAIT can still collect the commit when it lands.
+			return "ERR timeout waiting for " + fields[1]
+		}
 	case "QUERY":
 		if len(fields) < 2 {
 			return "ERR QUERY needs a procedure"
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		v, err := rep.Query(ctx, fields[1], parseArgs(fields[2:])...)
+		v, err := cs.rep.Query(ctx, fields[1], parseArgs(fields[2:])...)
 		if err != nil {
 			return "ERR " + err.Error()
 		}
 		return fmt.Sprintf("VALUE %d", storage.ValueInt64(v))
 	case "STATS":
-		st := rep.Manager().Stats()
+		st := cs.rep.Manager().Stats()
 		return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d",
-			st.Commits, st.Aborts, st.Reorders, rep.Manager().Pending())
+			st.Commits, st.Aborts, st.Reorders, cs.rep.Manager().Pending())
 	case "DIGEST":
-		return fmt.Sprintf("DIGEST %016x", rep.Store().Digest())
+		return fmt.Sprintf("DIGEST %016x", cs.rep.Store().Digest())
 	default:
 		return "ERR unknown command " + fields[0]
 	}

@@ -3,7 +3,9 @@
 // (and are serialized by the class queue); transfers in different
 // branches run concurrently. Network jitter makes tentative and
 // definitive orders disagree, exercising the abort/reorder machinery of
-// the Correctness Check module — watch the per-site abort counters.
+// the Correctness Check module — each site pipelines its transfers with
+// SubmitAsync and the resolved handles report per-transaction outcomes
+// (fastpath / reordered / retried).
 //
 //	go run ./examples/banking
 package main
@@ -24,6 +26,7 @@ const (
 	initialBalance  = 1000
 	transfersPerSit = 50
 	sites           = 3
+	pipelineDepth   = 8 // in-flight transactions per site
 )
 
 func main() {
@@ -52,16 +55,18 @@ func run() error {
 		cluster.MustRegisterUpdate(otpdb.Update{
 			Name:  fmt.Sprintf("transfer-%d", b),
 			Class: class,
-			Fn: func(ctx otpdb.UpdateCtx) error {
+			Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
 				from := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
 				to := otpdb.Key(otpdb.AsString(ctx.Args()[1]))
 				amount := otpdb.AsInt64(ctx.Args()[2])
 				fv, _ := ctx.Read(from)
 				tv, _ := ctx.Read(to)
 				if err := ctx.Write(from, otpdb.Int64(otpdb.AsInt64(fv)-amount)); err != nil {
-					return err
+					return nil, err
 				}
-				return ctx.Write(to, otpdb.Int64(otpdb.AsInt64(tv)+amount))
+				// Return the sender's new balance to the client.
+				return otpdb.Int64(otpdb.AsInt64(fv) - amount),
+					ctx.Write(to, otpdb.Int64(otpdb.AsInt64(tv)+amount))
 			},
 		})
 		for a := 0; a < accountsPer; a++ {
@@ -94,25 +99,57 @@ func run() error {
 	ctx := context.Background()
 	expected := int64(branches * accountsPer * initialBalance)
 
-	// Load: every site fires transfers at random branches, concurrently
-	// with audits.
+	// Load: every site pipelines transfers at random branches through
+	// its session, keeping pipelineDepth in flight, concurrently with
+	// audits. Outcome counters show how often the optimistic order held.
+	var omu sync.Mutex
+	outcomeCount := map[otpdb.Outcome]int{}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for site := 0; site < sites; site++ {
+		sess, err := cluster.Session(site)
+		if err != nil {
+			return err
+		}
 		wg.Add(1)
-		go func(site int) {
+		go func(site int, sess *otpdb.Session) {
 			defer wg.Done()
+			resolve := func(h *otpdb.Handle) bool {
+				res, err := h.Result()
+				if err != nil {
+					log.Printf("site %d transfer %v: %v", site, h.ID(), err)
+					return false
+				}
+				omu.Lock()
+				outcomeCount[res.Outcome]++
+				omu.Unlock()
+				return true
+			}
+			window := make([]*otpdb.Handle, 0, pipelineDepth)
 			for i := 0; i < transfersPerSit; i++ {
+				if len(window) == pipelineDepth {
+					if !resolve(window[0]) {
+						return
+					}
+					window = window[1:]
+				}
 				b := (site + i) % branches
 				from := fmt.Sprintf("acct%d", i%accountsPer)
 				to := fmt.Sprintf("acct%d", (i+1)%accountsPer)
-				if err := cluster.Exec(ctx, site, fmt.Sprintf("transfer-%d", b),
-					otpdb.String(from), otpdb.String(to), otpdb.Int64(5)); err != nil {
-					log.Printf("site %d transfer: %v", site, err)
+				h, err := sess.SubmitAsync(fmt.Sprintf("transfer-%d", b),
+					otpdb.String(from), otpdb.String(to), otpdb.Int64(5))
+				if err != nil {
+					log.Printf("site %d submit: %v", site, err)
+					return
+				}
+				window = append(window, h)
+			}
+			for _, h := range window {
+				if !resolve(h) {
 					return
 				}
 			}
-		}(site)
+		}(site, sess)
 	}
 	auditFailures := 0
 	for i := 0; i < 20; i++ {
@@ -140,8 +177,10 @@ func run() error {
 		return fmt.Errorf("serializability check: %w", err)
 	}
 
-	fmt.Printf("committed %d transfers across %d sites in %v\n",
-		sites*transfersPerSit, sites, elapsed.Round(time.Millisecond))
+	fmt.Printf("committed %d transfers across %d sites in %v (pipeline depth %d)\n",
+		sites*transfersPerSit, sites, elapsed.Round(time.Millisecond), pipelineDepth)
+	fmt.Printf("outcomes: fastpath=%d reordered=%d retried=%d\n",
+		outcomeCount[otpdb.FastPath], outcomeCount[otpdb.Reordered], outcomeCount[otpdb.Retried])
 	fmt.Printf("audits during load: 20, inconsistent: %d (must be 0)\n", auditFailures)
 	fmt.Printf("replicas converged: %v; history 1-copy-serializable\n", ok)
 	for site := 0; site < sites; site++ {

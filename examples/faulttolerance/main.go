@@ -42,9 +42,10 @@ func run() error {
 	cluster.MustRegisterUpdate(otpdb.Update{
 		Name:  "append",
 		Class: "log",
-		Fn: func(ctx otpdb.UpdateCtx) error {
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
 			n, _ := ctx.Read("count")
-			return ctx.Write("count", otpdb.Int64(otpdb.AsInt64(n)+1))
+			next := otpdb.Int64(otpdb.AsInt64(n) + 1)
+			return next, ctx.Write("count", next)
 		},
 	})
 	if err := cluster.Start(); err != nil {
@@ -52,13 +53,22 @@ func run() error {
 	}
 	ctx := context.Background()
 
-	// Phase 1: all sites healthy.
+	// Phase 1: all sites healthy. Sessions return typed results: the
+	// count after each append and the definitive order index.
+	var lastTO int64
 	for i := 0; i < beforeCrash; i++ {
-		if err := cluster.Exec(ctx, i%sites, "append"); err != nil {
+		sess, err := cluster.Session(i % sites)
+		if err != nil {
+			return err
+		}
+		res, err := sess.Exec(ctx, "append")
+		if err != nil {
 			return fmt.Errorf("pre-crash append %d: %w", i, err)
 		}
+		lastTO = res.TOIndex
 	}
-	fmt.Printf("phase 1: %d transactions committed on %d healthy sites\n", beforeCrash, sites)
+	fmt.Printf("phase 1: %d transactions committed on %d healthy sites (last TO index %d)\n",
+		beforeCrash, sites, lastTO)
 
 	// Phase 2: crash a minority.
 	for v := 0; v < crashVictims; v++ {
@@ -73,15 +83,20 @@ func run() error {
 	// submitting sites must be survivors.
 	survivors := sites - crashVictims
 	for i := 0; i < afterCrash; i++ {
+		sess, err := cluster.Session(i % survivors)
+		if err != nil {
+			return err
+		}
 		ectx, cancel := context.WithTimeout(ctx, 30*time.Second)
-		err := cluster.Exec(ectx, i%survivors, "append")
+		res, err := sess.Exec(ectx, "append")
 		cancel()
 		if err != nil {
 			return fmt.Errorf("post-crash append %d: %w", i, err)
 		}
+		lastTO = res.TOIndex
 	}
-	fmt.Printf("phase 3: %d more transactions committed with %d/%d sites alive\n",
-		afterCrash, survivors, sites)
+	fmt.Printf("phase 3: %d more transactions committed with %d/%d sites alive (last TO index %d)\n",
+		afterCrash, survivors, sites, lastTO)
 
 	// Verify the survivors agree and hold the full history.
 	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)

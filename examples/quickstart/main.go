@@ -1,5 +1,6 @@
 // Command quickstart is the smallest possible otpdb program: a 3-replica
-// cluster with one update procedure and one query. Run it with
+// cluster with one update procedure and one query, driven through the
+// Session API. Run it with
 //
 //	go run ./examples/quickstart
 package main
@@ -28,15 +29,17 @@ func run() error {
 
 	// An update stored procedure: bound to conflict class "accounts",
 	// broadcast to every replica, executed in the same definitive order
-	// everywhere.
+	// everywhere. It returns the new balance, which the submitting
+	// client receives in Result.Value.
 	cluster.MustRegisterUpdate(otpdb.Update{
 		Name:  "credit",
 		Class: "accounts",
-		Fn: func(ctx otpdb.UpdateCtx) error {
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
 			account := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
 			amount := otpdb.AsInt64(ctx.Args()[1])
 			balance, _ := ctx.Read(account)
-			return ctx.Write(account, otpdb.Int64(otpdb.AsInt64(balance)+amount))
+			next := otpdb.Int64(otpdb.AsInt64(balance) + amount)
+			return next, ctx.Write(account, next)
 		},
 	})
 	// A read-only query: runs locally at one replica against a
@@ -53,13 +56,21 @@ func run() error {
 	}
 
 	ctx := context.Background()
-	// Submit updates at different replicas; the atomic broadcast puts
-	// them in one global order.
+	// Open a session per replica and submit updates; the atomic
+	// broadcast puts them in one global order, and every Result reports
+	// the value, the definitive position and the protocol path taken.
 	for site := 0; site < cluster.Size(); site++ {
-		if err := cluster.Exec(ctx, site, "credit",
-			otpdb.String("alice"), otpdb.Int64(100)); err != nil {
+		sess, err := cluster.Session(site)
+		if err != nil {
 			return err
 		}
+		res, err := sess.Exec(ctx, "credit", otpdb.String("alice"), otpdb.Int64(100))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("site %d: credited -> balance %d (to=%d, %s, %v)\n",
+			site, otpdb.AsInt64(res.Value), res.TOIndex, res.Outcome,
+			res.Latency.Round(time.Microsecond))
 	}
 	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
@@ -69,7 +80,11 @@ func run() error {
 
 	// Every replica answers the same balance.
 	for site := 0; site < cluster.Size(); site++ {
-		v, err := cluster.QueryAt(ctx, site, "balance", otpdb.String("alice"))
+		sess, err := cluster.Session(site)
+		if err != nil {
+			return err
+		}
+		v, err := sess.Query(ctx, "balance", otpdb.String("alice"))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module otpdb
+
+go 1.24

@@ -143,7 +143,7 @@ func (r *AsyncReplica) Exec(proc string, args ...storage.Value) error {
 		time.Sleep(up.Cost)
 	}
 	uc := &asyncCtx{stx: stx, args: args}
-	if perr := up.Fn(uc); perr != nil {
+	if _, perr := up.Fn(uc); perr != nil {
 		_ = stx.Abort()
 		return perr
 	}

@@ -15,9 +15,10 @@ func incrReg(t *testing.T) *sproc.Registry {
 	if err := reg.RegisterUpdate(sproc.Update{
 		Name:  "incr",
 		Class: "c",
-		Fn: func(ctx sproc.UpdateCtx) error {
+		Fn: func(ctx sproc.UpdateCtx) (storage.Value, error) {
 			v, _ := ctx.Read("n")
-			return ctx.Write("n", storage.Int64Value(storage.ValueInt64(v)+1))
+			next := storage.Int64Value(storage.ValueInt64(v) + 1)
+			return next, ctx.Write("n", next)
 		},
 	}); err != nil {
 		t.Fatal(err)

@@ -29,11 +29,12 @@ func bankRegistry(t *testing.T, classes, accounts int) *sproc.Registry {
 		if err := reg.RegisterUpdate(sproc.Update{
 			Name:  "deposit-" + string(class),
 			Class: class,
-			Fn: func(ctx sproc.UpdateCtx) error {
+			Fn: func(ctx sproc.UpdateCtx) (storage.Value, error) {
 				acct := storage.Key(storage.ValueString(ctx.Args()[0]))
 				amount := storage.ValueInt64(ctx.Args()[1])
 				cur, _ := ctx.Read(acct)
-				return ctx.Write(acct, storage.Int64Value(storage.ValueInt64(cur)+amount))
+				next := storage.Int64Value(storage.ValueInt64(cur) + amount)
+				return next, ctx.Write(acct, next)
 			},
 		}); err != nil {
 			t.Fatal(err)
@@ -42,16 +43,16 @@ func bankRegistry(t *testing.T, classes, accounts int) *sproc.Registry {
 		if err := reg.RegisterUpdate(sproc.Update{
 			Name:  "transfer-" + string(class),
 			Class: class,
-			Fn: func(ctx sproc.UpdateCtx) error {
+			Fn: func(ctx sproc.UpdateCtx) (storage.Value, error) {
 				from := storage.Key(storage.ValueString(ctx.Args()[0]))
 				to := storage.Key(storage.ValueString(ctx.Args()[1]))
 				amount := storage.ValueInt64(ctx.Args()[2])
 				fv, _ := ctx.Read(from)
 				tv, _ := ctx.Read(to)
 				if err := ctx.Write(from, storage.Int64Value(storage.ValueInt64(fv)-amount)); err != nil {
-					return err
+					return nil, err
 				}
-				return ctx.Write(to, storage.Int64Value(storage.ValueInt64(tv)+amount))
+				return nil, ctx.Write(to, storage.Int64Value(storage.ValueInt64(tv)+amount))
 			},
 		}); err != nil {
 			t.Fatal(err)
@@ -152,26 +153,16 @@ func newCluster(t *testing.T, n int, reg *sproc.Registry, o clusterOpts) *cluste
 // quiesce waits until every replica has committed `want` transactions.
 func (c *cluster) quiesce(t *testing.T, want int, timeout time.Duration) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		done := true
-		for _, rep := range c.reps {
-			if len(rep.Manager().Committed()) < want || rep.Manager().Pending() > 0 {
-				done = false
-				break
-			}
-		}
-		if done {
-			return
-		}
-		if time.Now().After(deadline) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	for _, rep := range c.reps {
+		if err := rep.WaitCommits(ctx, want); err != nil {
 			for i, rep := range c.reps {
 				t.Logf("replica %d: committed=%d pending=%d",
 					i, len(rep.Manager().Committed()), rep.Manager().Pending())
 			}
-			t.Fatalf("cluster did not quiesce at %d commits", want)
+			t.Fatalf("cluster did not quiesce at %d commits: %v", want, err)
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -197,7 +188,7 @@ func TestExecSingleReplica(t *testing.T) {
 	reg := bankRegistry(t, 1, 4)
 	c := newCluster(t, 1, reg, clusterOpts{})
 	ctx := context.Background()
-	if err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(100)); err != nil {
+	if _, err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(100)); err != nil {
 		t.Fatal(err)
 	}
 	v, ok := c.reps[0].Store().Get("c0", "acct0")
@@ -220,7 +211,7 @@ func TestClusterConvergesAndIsSerializable(t *testing.T) {
 			for j := 0; j < perReplica; j++ {
 				class := fmt.Sprintf("c%d", (i+j)%3)
 				acct := fmt.Sprintf("acct%d", j%4)
-				if err := rep.Exec(ctx, "deposit-"+class,
+				if _, err := rep.Exec(ctx, "deposit-"+class,
 					storage.StringValue(acct), storage.Int64Value(1)); err != nil {
 					t.Errorf("exec: %v", err)
 					return
@@ -245,7 +236,7 @@ func TestClusterConvergesUnderJitter(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < perReplica; j++ {
 				class := fmt.Sprintf("c%d", j%2)
-				if err := rep.Exec(ctx, "deposit-"+class,
+				if _, err := rep.Exec(ctx, "deposit-"+class,
 					storage.StringValue("acct0"), storage.Int64Value(1)); err != nil {
 					t.Errorf("exec: %v", err)
 					return
@@ -292,7 +283,7 @@ func TestSnapshotQueriesSeeConsistentTotals(t *testing.T) {
 			default:
 			}
 			class := fmt.Sprintf("c%d", i%2)
-			_ = c.reps[i%2].Exec(ctx, "transfer-"+class,
+			_, _ = c.reps[i%2].Exec(ctx, "transfer-"+class,
 				storage.StringValue("acct0"), storage.StringValue("acct1"), storage.Int64Value(7))
 		}
 	}()
@@ -322,7 +313,7 @@ func TestQueryDoesNotBlockUpdates(t *testing.T) {
 	ctx := context.Background()
 	// A query takes its snapshot, then updates proceed immediately; the
 	// query result is unaffected by them.
-	if err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(10)); err != nil {
+	if _, err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(10)); err != nil {
 		t.Fatal(err)
 	}
 	v, err := c.reps[0].Query(ctx, "get", storage.StringValue("c0"), storage.StringValue("acct0"))
@@ -332,7 +323,7 @@ func TestQueryDoesNotBlockUpdates(t *testing.T) {
 	if storage.ValueInt64(v) != 10 {
 		t.Fatalf("get = %d", storage.ValueInt64(v))
 	}
-	if err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(5)); err != nil {
+	if _, err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(5)); err != nil {
 		t.Fatal(err)
 	}
 	v2, err := c.reps[0].Query(ctx, "get", storage.StringValue("c0"), storage.StringValue("acct0"))
@@ -348,10 +339,10 @@ func TestExecErrors(t *testing.T) {
 	reg := bankRegistry(t, 1, 1)
 	c := newCluster(t, 1, reg, clusterOpts{})
 	ctx := context.Background()
-	if err := c.reps[0].Exec(ctx, "no-such-proc"); !errors.Is(err, sproc.ErrUnknownProc) {
+	if _, err := c.reps[0].Exec(ctx, "no-such-proc"); !errors.Is(err, sproc.ErrUnknownProc) {
 		t.Fatalf("unknown proc err = %v", err)
 	}
-	if err := c.reps[0].Exec(ctx, "total"); !errors.Is(err, db.ErrNotUpdate) {
+	if _, err := c.reps[0].Exec(ctx, "total"); !errors.Is(err, db.ErrNotUpdate) {
 		t.Fatalf("query-as-update err = %v", err)
 	}
 	if _, err := c.reps[0].Query(ctx, "deposit-c0"); !errors.Is(err, sproc.ErrUnknownProc) {
@@ -365,17 +356,17 @@ func TestFailingProcedureReportsButStaysLive(t *testing.T) {
 	if err := reg.RegisterUpdate(sproc.Update{
 		Name:  "failing",
 		Class: "c0",
-		Fn:    func(sproc.UpdateCtx) error { return boom },
+		Fn:    func(sproc.UpdateCtx) (storage.Value, error) { return nil, boom },
 	}); err != nil {
 		t.Fatal(err)
 	}
 	c := newCluster(t, 1, reg, clusterOpts{})
 	ctx := context.Background()
-	if err := c.reps[0].Exec(ctx, "failing"); !errors.Is(err, boom) {
+	if _, err := c.reps[0].Exec(ctx, "failing"); !errors.Is(err, boom) {
 		t.Fatalf("failing proc err = %v", err)
 	}
 	// The class queue must not be stuck.
-	if err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(1)); err != nil {
+	if _, err := c.reps[0].Exec(ctx, "deposit-c0", storage.StringValue("acct0"), storage.Int64Value(1)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -386,14 +377,14 @@ func TestExecContextCancellation(t *testing.T) {
 		Name:  "slow",
 		Class: "c0",
 		Cost:  200 * time.Millisecond,
-		Fn:    func(sproc.UpdateCtx) error { return nil },
+		Fn:    func(sproc.UpdateCtx) (storage.Value, error) { return nil, nil },
 	}); err != nil {
 		t.Fatal(err)
 	}
 	c := newCluster(t, 1, reg, clusterOpts{})
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	err := c.reps[0].Exec(ctx, "slow")
+	_, err := c.reps[0].Exec(ctx, "slow")
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
@@ -413,7 +404,7 @@ func TestInPlaceUndoModeConverges(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < perReplica; j++ {
 				class := fmt.Sprintf("c%d", j%2)
-				if err := rep.Exec(ctx, "deposit-"+class,
+				if _, err := rep.Exec(ctx, "deposit-"+class,
 					storage.StringValue("acct0"), storage.Int64Value(2)); err != nil {
 					t.Errorf("exec: %v", err)
 					return
@@ -432,14 +423,15 @@ func TestStopUnblocksWaiters(t *testing.T) {
 		Name:  "verySlow",
 		Class: "c0",
 		Cost:  5 * time.Second,
-		Fn:    func(sproc.UpdateCtx) error { return nil },
+		Fn:    func(sproc.UpdateCtx) (storage.Value, error) { return nil, nil },
 	}); err != nil {
 		t.Fatal(err)
 	}
 	c := newCluster(t, 1, reg, clusterOpts{})
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- c.reps[0].Exec(context.Background(), "verySlow")
+		_, err := c.reps[0].Exec(context.Background(), "verySlow")
+		errCh <- err
 	}()
 	time.Sleep(50 * time.Millisecond)
 	c.reps[0].Stop()

@@ -37,6 +37,7 @@ type attempt struct {
 
 	mu      sync.Mutex
 	stx     *storage.MultiTxn
+	result  storage.Value // procedure return value, set when the body completes
 	aborted bool
 }
 
@@ -112,6 +113,15 @@ func (e *executor) Commit(tx *otp.MultiTxn) {
 		}
 		e.r.hist.RecordUpdate(e.r.id, tx.ID, classes, tx.TOIndex(), readSet, writeSet)
 	}
+	// Hand the submitting client its typed outcome now that the writes
+	// are installed. (A failing procedure already resolved the waiter
+	// with its error; resolveWaiter is then a no-op.)
+	e.r.resolveWaiter(tx.ID, CommitResult{Info: CommitInfo{
+		Value:     att.result,
+		TOIndex:   tx.TOIndex(),
+		Retried:   tx.Aborts() > 0,
+		Reordered: tx.Reordered(),
+	}})
 }
 
 // runTxn executes one attempt of a stored procedure.
@@ -128,25 +138,27 @@ func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
 
 	// Resolve the procedure body and its simulated cost.
 	var cost time.Duration
-	var runBody func(att *attempt, args []storage.Value) error
+	var runBody func(att *attempt, args []storage.Value) (storage.Value, error)
 	if up, err := e.r.reg.Update(req.Proc); err == nil {
 		cost = up.Cost
 		class := storage.Partition(up.Class)
-		runBody = func(att *attempt, args []storage.Value) error {
+		runBody = func(att *attempt, args []storage.Value) (storage.Value, error) {
 			uc := &updateCtx{att: att, class: class, args: args}
-			if perr := up.Fn(uc); perr != nil {
-				return perr
+			v, perr := up.Fn(uc)
+			if perr != nil {
+				return nil, perr
 			}
-			return uc.err
+			return v, uc.err
 		}
 	} else if mu, merr := e.r.reg.Multi(req.Proc); merr == nil {
 		cost = mu.Cost
-		runBody = func(att *attempt, args []storage.Value) error {
+		runBody = func(att *attempt, args []storage.Value) (storage.Value, error) {
 			mc := &multiUpdateCtx{att: att, args: args}
-			if perr := mu.Fn(mc); perr != nil {
-				return perr
+			v, perr := mu.Fn(mc)
+			if perr != nil {
+				return nil, perr
 			}
-			return mc.err
+			return v, mc.err
 		}
 	} else {
 		e.r.failWaiter(tx.ID, err)
@@ -187,7 +199,8 @@ func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
 		}
 	}
 
-	if perr := runBody(att, req.Args); perr != nil {
+	val, perr := runBody(att, req.Args)
+	if perr != nil {
 		if perr == errAborted {
 			// Aborted mid-procedure; the scheduler already knows.
 			return
@@ -212,6 +225,7 @@ func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
 	}
 
 	att.mu.Lock()
+	att.result = val
 	aborted := att.aborted
 	att.mu.Unlock()
 	if !aborted {

@@ -44,6 +44,29 @@ type HistorySink interface {
 	RecordQuery(site transport.NodeID, queryIndex int64, reads []QueryRead)
 }
 
+// CommitInfo describes one update transaction as committed at this site:
+// the procedure's return value, its definitive total-order position, and
+// how the optimistic protocol treated it on the way there.
+type CommitInfo struct {
+	// Value is the stored procedure's return value (may be nil).
+	Value storage.Value
+	// TOIndex is the definitive (TO-delivery) index of the transaction.
+	TOIndex int64
+	// Retried reports that the tentative execution was undone by the
+	// Correctness Check and redone (CC8: tentative order contradicted).
+	Retried bool
+	// Reordered reports that TO-delivery moved the transaction ahead of
+	// pending transactions in one of its class queues (CC10).
+	Reordered bool
+}
+
+// CommitResult is what a commit waiter receives: the commit info, or a
+// terminal error (failed procedure, malformed request, replica stopped).
+type CommitResult struct {
+	Info CommitInfo
+	Err  error
+}
+
 // QueryMode selects how queries read (Section 5 vs the broken baseline).
 type QueryMode int
 
@@ -91,9 +114,11 @@ type Replica struct {
 	mgr   *otp.MultiManager
 
 	mu         sync.Mutex
-	waiters    map[abcast.MsgID]chan error
+	waiters    map[abcast.MsgID]func(CommitResult)
 	classLast  map[sproc.ClassID]int64 // largest TO index seen per class
 	lastTO     int64                   // largest TO index seen overall
+	optCount   uint64                  // transactions admitted by the scheduler
+	commits    uint64                  // transactions committed locally
 	commitCond *sync.Cond
 	stopped    bool
 
@@ -136,7 +161,7 @@ func New(cfg Config) (*Replica, error) {
 		mode:      cfg.WriteMode,
 		qmode:     cfg.Queries,
 		hist:      cfg.History,
-		waiters:   make(map[abcast.MsgID]chan error),
+		waiters:   make(map[abcast.MsgID]func(CommitResult)),
 		classLast: make(map[sproc.ClassID]int64),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -188,12 +213,16 @@ func (r *Replica) Stop() {
 	close(r.stop)
 	<-r.done
 	r.mu.Lock()
-	for id, ch := range r.waiters {
-		ch <- ErrStopped
+	orphans := make([]func(CommitResult), 0, len(r.waiters))
+	for id, fn := range r.waiters {
+		orphans = append(orphans, fn)
 		delete(r.waiters, id)
 	}
 	r.commitCond.Broadcast()
 	r.mu.Unlock()
+	for _, fn := range orphans {
+		fn(CommitResult{Err: ErrStopped})
+	}
 }
 
 // ID returns the site identifier.
@@ -244,7 +273,14 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 		}
 		if err := r.mgr.OnOptDeliver(ev.ID, otpClasses, req); err != nil {
 			r.failWaiter(ev.ID, err)
+			return
 		}
+		// Count scheduler admissions for WaitCommits: optCount - commits
+		// equals the manager's pending set, and both counters live under
+		// r.mu so the commit condition can be re-checked race-free.
+		r.mu.Lock()
+		r.optCount++
+		r.mu.Unlock()
 	case abcast.TO:
 		// Record the class's definitive index for query snapshots before
 		// the manager processes the confirmation (queries capture the
@@ -257,84 +293,134 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 	}
 }
 
-// onCommit resolves the submitting client's waiter and signals snapshot
-// waiters.
+// onCommit tracks the commit counter and signals snapshot and WaitCommits
+// waiters. The submitting client's waiter is resolved by the executor
+// (which holds the procedure's return value) just before this hook runs.
 func (r *Replica) onCommit(tx *otp.MultiTxn) {
 	r.mu.Lock()
-	ch, ok := r.waiters[tx.ID]
-	if ok {
-		delete(r.waiters, tx.ID)
-	}
+	r.commits++
 	r.commitCond.Broadcast()
 	r.mu.Unlock()
-	if ok {
-		ch <- nil
-	}
 }
 
-func (r *Replica) failWaiter(id abcast.MsgID, err error) {
+// resolveWaiter pops the waiter registered for id, if any, and invokes it
+// outside the replica lock. Each waiter fires at most once.
+func (r *Replica) resolveWaiter(id abcast.MsgID, res CommitResult) {
 	r.mu.Lock()
-	ch, ok := r.waiters[id]
+	fn, ok := r.waiters[id]
 	if ok {
 		delete(r.waiters, id)
 	}
 	r.mu.Unlock()
 	if ok {
-		ch <- err
+		fn(res)
 	}
+}
+
+func (r *Replica) failWaiter(id abcast.MsgID, err error) {
+	r.resolveWaiter(id, CommitResult{Err: err})
 }
 
 // Submit TO-broadcasts an update transaction without waiting for its
 // commit. The returned ID can be observed via the scheduler's commit log.
 func (r *Replica) Submit(proc string, args ...storage.Value) (abcast.MsgID, error) {
-	if _, err := r.reg.UpdateClasses(proc); err != nil {
-		return abcast.MsgID{}, err
-	}
-	return r.bcast.Broadcast(sproc.Request{Proc: proc, Args: args})
+	return r.SubmitNotify(proc, args, nil)
 }
 
-// Exec TO-broadcasts an update transaction and waits until it commits
-// locally (or ctx is cancelled; the transaction still commits everywhere
-// in that case — broadcast is irrevocable).
-func (r *Replica) Exec(ctx context.Context, proc string, args ...storage.Value) error {
+// SubmitNotify TO-broadcasts an update transaction and registers fn to be
+// called exactly once with the local commit outcome (or a terminal
+// error). fn may be nil for fire-and-forget submission. fn runs on a
+// protocol goroutine and must not block; hand the result off through a
+// buffered channel or by closing a done channel.
+//
+// The waiter is registered before the broadcast is handed to the network,
+// so the commit cannot race past it on a fast in-process transport.
+func (r *Replica) SubmitNotify(proc string, args []storage.Value, fn func(CommitResult)) (abcast.MsgID, error) {
 	if _, err := r.reg.UpdateClasses(proc); err != nil {
 		if errors.Is(err, sproc.ErrUnknownProc) {
 			if _, qerr := r.reg.Query(proc); qerr == nil {
-				return fmt.Errorf("%w: %s", ErrNotUpdate, proc)
+				return abcast.MsgID{}, fmt.Errorf("%w: %s", ErrNotUpdate, proc)
 			}
 		}
-		return err
+		return abcast.MsgID{}, err
 	}
-	ch := make(chan error, 1)
 	req := sproc.Request{Proc: proc, Args: args}
-	// Register the waiter before broadcasting: the commit can race the
-	// return of Broadcast on a fast in-process transport. The ID is only
-	// known after Broadcast, so park the channel under the lock first.
-	id, err := func() (abcast.MsgID, error) {
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		if r.stopped {
-			return abcast.MsgID{}, ErrStopped
-		}
-		id, err := r.bcast.Broadcast(req)
-		if err != nil {
-			return abcast.MsgID{}, err
-		}
-		r.waiters[id] = ch
-		return id, nil
-	}()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return abcast.MsgID{}, ErrStopped
+	}
+	id, err := r.bcast.Broadcast(req)
 	if err != nil {
-		return err
+		return abcast.MsgID{}, err
+	}
+	if fn != nil {
+		r.waiters[id] = fn
+	}
+	return id, nil
+}
+
+// Forget deregisters the commit waiter of id, if still pending. The
+// transaction itself is unaffected (broadcast is irrevocable); only the
+// notification is dropped.
+func (r *Replica) Forget(id abcast.MsgID) {
+	r.mu.Lock()
+	delete(r.waiters, id)
+	r.mu.Unlock()
+}
+
+// Exec TO-broadcasts an update transaction and waits until it commits
+// locally, returning the procedure's value and ordering metadata. On ctx
+// cancellation the wait is abandoned but the transaction still commits
+// everywhere — broadcast is irrevocable.
+func (r *Replica) Exec(ctx context.Context, proc string, args ...storage.Value) (CommitInfo, error) {
+	ch := make(chan CommitResult, 1)
+	id, err := r.SubmitNotify(proc, args, func(res CommitResult) { ch <- res })
+	if err != nil {
+		return CommitInfo{}, err
 	}
 	select {
-	case err := <-ch:
-		return err
+	case res := <-ch:
+		return res.Info, res.Err
 	case <-ctx.Done():
-		r.mu.Lock()
-		delete(r.waiters, id)
-		r.mu.Unlock()
-		return ctx.Err()
+		r.Forget(id)
+		return CommitInfo{}, ctx.Err()
 	}
+}
+
+// WaitCommits blocks until this replica has committed at least n update
+// transactions and has none pending, or ctx is cancelled. It is driven by
+// commit notifications (no polling): every local commit broadcasts the
+// replica's condition variable and the predicate is re-checked.
+func (r *Replica) WaitCommits(ctx context.Context, n int) error {
+	done := make(chan struct{})
+	defer close(done)
+	if d := ctx.Done(); d != nil {
+		go func() {
+			select {
+			case <-d:
+				// Broadcast under r.mu: a lockless broadcast can land
+				// between a waiter's predicate check and its re-entry
+				// into Wait, and be lost forever.
+				r.mu.Lock()
+				r.commitCond.Broadcast()
+				r.mu.Unlock()
+			case <-done:
+			}
+		}()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !(r.commits >= uint64(n) && r.optCount == r.commits) && !r.stopped {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.commitCond.Wait()
+	}
+	if r.stopped {
+		return ErrStopped
+	}
+	return nil
 }
 
 // Query runs a read-only stored procedure locally (Section 5). The query
@@ -427,7 +513,11 @@ func (r *Replica) waitCommitted(ctx context.Context, part storage.Partition, tar
 		go func() {
 			select {
 			case <-d:
+				// Broadcast under r.mu (see WaitCommits): a lockless
+				// broadcast can be lost against a waiter about to Wait.
+				r.mu.Lock()
 				r.commitCond.Broadcast()
+				r.mu.Unlock()
 			case <-done:
 			}
 		}()

@@ -46,9 +46,10 @@ func runStressRound(t *testing.T, round int) {
 		if err := reg.RegisterUpdate(sproc.Update{
 			Name:  "bump-" + string(class),
 			Class: class,
-			Fn: func(ctx sproc.UpdateCtx) error {
+			Fn: func(ctx sproc.UpdateCtx) (storage.Value, error) {
 				v, _ := ctx.Read("k")
-				return ctx.Write("k", storage.Int64Value(storage.ValueInt64(v)+1))
+				next := storage.Int64Value(storage.ValueInt64(v) + 1)
+				return next, ctx.Write("k", next)
 			},
 		}); err != nil {
 			t.Fatal(err)
@@ -98,7 +99,7 @@ func runStressRound(t *testing.T, round int) {
 				if !deadlineDump {
 					ectx, cancel = context.WithTimeout(ctx, 30*time.Second)
 				}
-				err := sites[i].rep.Exec(ectx, fmt.Sprintf("bump-c%d", (i+j)%3))
+				_, err := sites[i].rep.Exec(ectx, fmt.Sprintf("bump-c%d", (i+j)%3))
 				cancel()
 				if err != nil {
 					t.Errorf("round %d site %d txn %d: %v", round, i, j, err)

@@ -10,6 +10,7 @@ import (
 	"otpdb/internal/db"
 	"otpdb/internal/metrics"
 	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
 )
 
 // OverlapParams configures the Section 1 headline experiment: overlapping
@@ -69,7 +70,7 @@ func overlapCell(execTime, confirm time.Duration, txns int, optimistic bool) (ti
 		Name:  "work",
 		Class: "c",
 		Cost:  execTime,
-		Fn:    func(sproc.UpdateCtx) error { return nil },
+		Fn:    func(sproc.UpdateCtx) (storage.Value, error) { return nil, nil },
 	}); err != nil {
 		return 0, err
 	}
@@ -88,7 +89,7 @@ func overlapCell(execTime, confirm time.Duration, txns int, optimistic bool) (ti
 	ctx := context.Background()
 	for i := 0; i < txns; i++ {
 		start := time.Now()
-		if err := rep.Exec(ctx, "work"); err != nil {
+		if _, err := rep.Exec(ctx, "work"); err != nil {
 			return 0, err
 		}
 		hist.Observe(time.Since(start))

@@ -47,13 +47,13 @@ func queriesRegistry(classes int) (*sproc.Registry, error) {
 		err := reg.RegisterUpdate(sproc.Update{
 			Name:  "transfer-" + string(class),
 			Class: class,
-			Fn: func(ctx sproc.UpdateCtx) error {
+			Fn: func(ctx sproc.UpdateCtx) (storage.Value, error) {
 				a, _ := ctx.Read("a")
 				b, _ := ctx.Read("b")
 				if err := ctx.Write("a", storage.Int64Value(storage.ValueInt64(a)-1)); err != nil {
-					return err
+					return nil, err
 				}
-				return ctx.Write("b", storage.Int64Value(storage.ValueInt64(b)+1))
+				return nil, ctx.Write("b", storage.Int64Value(storage.ValueInt64(b)+1))
 			},
 		})
 		if err != nil {
@@ -148,7 +148,7 @@ func queriesCell(p QueriesParams, mode db.QueryMode) (qLat metrics.Summary, updP
 			defer wg.Done()
 			for j := 0; j < p.TransfersPerSite; j++ {
 				class := fmt.Sprintf("c%d", (i+j)%p.Classes)
-				if err := rep.Exec(ctx, "transfer-"+class); err != nil {
+				if _, err := rep.Exec(ctx, "transfer-"+class); err != nil {
 					return
 				}
 				tput.Inc()
@@ -182,20 +182,13 @@ func queriesCell(p QueriesParams, mode db.QueryMode) (qLat metrics.Summary, updP
 
 	// Quiesce before the final history check.
 	total := p.Sites * p.TransfersPerSite
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		done := true
-		for _, rep := range reps {
-			if len(rep.Manager().Committed()) < total {
-				done = false
-				break
-			}
-		}
-		if done || time.Now().After(deadline) {
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	for _, rep := range reps {
+		if err := rep.WaitCommits(wctx, total); err != nil {
 			break
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
+	cancel()
 	serializable = rec.Check() == nil
 	return qHist.Summarize(), updRate, inconsistentCount, serializable, nil
 }

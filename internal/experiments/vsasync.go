@@ -38,9 +38,10 @@ func incrRegistry() (*sproc.Registry, error) {
 	err := reg.RegisterUpdate(sproc.Update{
 		Name:  "incr",
 		Class: "counter",
-		Fn: func(ctx sproc.UpdateCtx) error {
+		Fn: func(ctx sproc.UpdateCtx) (storage.Value, error) {
 			cur, _ := ctx.Read("n")
-			return ctx.Write("n", storage.Int64Value(storage.ValueInt64(cur)+1))
+			next := storage.Int64Value(storage.ValueInt64(cur) + 1)
+			return next, ctx.Write("n", next)
 		},
 	})
 	return reg, err
@@ -96,7 +97,7 @@ func runOTPSide(p VsAsyncParams) (vsAsyncResult, error) {
 			defer wg.Done()
 			for i := 0; i < p.IncrementsPerSite; i++ {
 				start := time.Now()
-				if err := rep.Exec(ctx, "incr"); err != nil {
+				if _, err := rep.Exec(ctx, "incr"); err != nil {
 					errOnce.Do(func() { execErr = err })
 					return
 				}
@@ -110,20 +111,13 @@ func runOTPSide(p VsAsyncParams) (vsAsyncResult, error) {
 	}
 	// Quiesce: every replica commits every transaction.
 	total := p.Sites * p.IncrementsPerSite
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		done := true
-		for _, rep := range reps {
-			if len(rep.Manager().Committed()) < total {
-				done = false
-				break
-			}
-		}
-		if done || time.Now().After(deadline) {
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	for _, rep := range reps {
+		if err := rep.WaitCommits(wctx, total); err != nil {
 			break
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
+	cancel()
 
 	res := vsAsyncResult{meanLatency: hist.Mean(), p95Latency: hist.Percentile(95)}
 	expected := int64(total)

@@ -35,11 +35,12 @@ type MultiTxn struct {
 	// Payload is the opaque request.
 	Payload any
 
-	exec    ExecState
-	deliv   DeliveryState
-	running bool
-	epoch   int
-	toIndex int64
+	exec      ExecState
+	deliv     DeliveryState
+	running   bool
+	epoch     int
+	toIndex   int64
+	reordered bool
 }
 
 // TOIndex returns the definitive index (0 before TO-delivery).
@@ -47,6 +48,16 @@ func (t *MultiTxn) TOIndex() int64 { return t.toIndex }
 
 // Epoch returns the abort epoch for Executor fencing.
 func (t *MultiTxn) Epoch() int { return t.epoch }
+
+// Aborts returns how many times the transaction's optimistic execution
+// was undone by the Correctness Check (each abort bumps the epoch). A
+// committed transaction with Aborts() > 0 took the retry path.
+func (t *MultiTxn) Aborts() int { return t.epoch }
+
+// Reordered reports whether TO-delivery moved the transaction ahead of
+// pending transactions in at least one of its class queues — i.e. its
+// definitive position contradicted the tentative one (CC10).
+func (t *MultiTxn) Reordered() bool { return t.reordered }
 
 // MultiExecutor mirrors Executor for multi-class transactions.
 type MultiExecutor interface {
@@ -274,6 +285,7 @@ func (m *MultiManager) rescheduleInClassLocked(tx *MultiTxn, class ClassID) {
 	m.queues[class] = q
 	if pos != ins {
 		m.stats.Reorders++
+		tx.reordered = true
 	}
 }
 

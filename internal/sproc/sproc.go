@@ -41,10 +41,14 @@ type QueryCtx interface {
 	Args() []storage.Value
 }
 
-// UpdateFn is the body of an update procedure. Returning an error aborts
-// nothing at the replication level — updates are deterministic and must
-// not fail on valid input; an error is reported as a programming bug.
-type UpdateFn func(ctx UpdateCtx) error
+// UpdateFn is the body of an update procedure. The returned Value is the
+// procedure's result: it is computed deterministically at every site, and
+// the submitting site hands it back to the client through its transaction
+// handle (Result.Value at the otpdb layer). A nil Value is fine for
+// procedures with nothing to report. Returning an error aborts nothing at
+// the replication level — updates are deterministic and must not fail on
+// valid input; an error is reported as a programming bug.
+type UpdateFn func(ctx UpdateCtx) (storage.Value, error)
 
 // QueryFn is the body of a read-only query; it returns the query result.
 type QueryFn func(ctx QueryCtx) (storage.Value, error)
@@ -85,8 +89,10 @@ type MultiUpdateCtx interface {
 	Args() []storage.Value
 }
 
-// MultiUpdateFn is the body of a multi-class update procedure.
-type MultiUpdateFn func(ctx MultiUpdateCtx) error
+// MultiUpdateFn is the body of a multi-class update procedure. Like
+// UpdateFn, the returned Value is the procedure's result, delivered to
+// the submitting client.
+type MultiUpdateFn func(ctx MultiUpdateCtx) (storage.Value, error)
 
 // MultiUpdate declares an update procedure spanning several conflict
 // classes. It conflicts with every transaction sharing any of its

@@ -7,8 +7,8 @@ import (
 	"otpdb/internal/storage"
 )
 
-func noopUpdate(UpdateCtx) error                { return nil }
-func noopQuery(QueryCtx) (storage.Value, error) { return nil, nil }
+func noopUpdate(UpdateCtx) (storage.Value, error) { return nil, nil }
+func noopQuery(QueryCtx) (storage.Value, error)   { return nil, nil }
 
 func TestRegisterAndLookupUpdate(t *testing.T) {
 	r := NewRegistry()

@@ -23,10 +23,11 @@ func crossBranchCluster(t *testing.T, opts ...otpdb.Option) *otpdb.Cluster {
 		c.MustRegisterUpdate(otpdb.Update{
 			Name:  "deposit-" + string(branch),
 			Class: branch,
-			Fn: func(ctx otpdb.UpdateCtx) error {
+			Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
 				acct := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
 				v, _ := ctx.Read(acct)
-				return ctx.Write(acct, otpdb.Int64(otpdb.AsInt64(v)+otpdb.AsInt64(ctx.Args()[1])))
+				next := otpdb.Int64(otpdb.AsInt64(v) + otpdb.AsInt64(ctx.Args()[1]))
+				return next, ctx.Write(acct, next)
 			},
 		})
 	}
@@ -35,7 +36,7 @@ func crossBranchCluster(t *testing.T, opts ...otpdb.Option) *otpdb.Cluster {
 	c.MustRegisterMultiUpdate(otpdb.MultiUpdate{
 		Name:    "moveFunds",
 		Classes: []otpdb.Class{"east", "west"},
-		Fn: func(ctx otpdb.MultiUpdateCtx) error {
+		Fn: func(ctx otpdb.MultiUpdateCtx) (otpdb.Value, error) {
 			from := otpdb.Class(otpdb.AsString(ctx.Args()[0]))
 			fromAcct := otpdb.Key(otpdb.AsString(ctx.Args()[1]))
 			to := otpdb.Class(otpdb.AsString(ctx.Args()[2]))
@@ -44,9 +45,10 @@ func crossBranchCluster(t *testing.T, opts ...otpdb.Option) *otpdb.Cluster {
 			fv, _ := ctx.Read(from, fromAcct)
 			tv, _ := ctx.Read(to, toAcct)
 			if err := ctx.Write(from, fromAcct, otpdb.Int64(otpdb.AsInt64(fv)-amount)); err != nil {
-				return err
+				return nil, err
 			}
-			return ctx.Write(to, toAcct, otpdb.Int64(otpdb.AsInt64(tv)+amount))
+			return otpdb.Int64(otpdb.AsInt64(fv) - amount),
+				ctx.Write(to, toAcct, otpdb.Int64(otpdb.AsInt64(tv)+amount))
 		},
 	})
 	c.MustRegisterQuery(otpdb.Query{
@@ -186,7 +188,7 @@ func TestMultiClassNameCollisionRejected(t *testing.T) {
 	err := c.RegisterMultiUpdate(otpdb.MultiUpdate{
 		Name:    "moveFunds",
 		Classes: []otpdb.Class{"east"},
-		Fn:      func(otpdb.MultiUpdateCtx) error { return nil },
+		Fn:      func(otpdb.MultiUpdateCtx) (otpdb.Value, error) { return nil, nil },
 	})
 	if err == nil {
 		t.Fatal("duplicate multi-update accepted")
@@ -201,7 +203,7 @@ func TestMultiClassRegistrationAfterStartRejected(t *testing.T) {
 	err := c.RegisterMultiUpdate(otpdb.MultiUpdate{
 		Name:    "late",
 		Classes: []otpdb.Class{"east"},
-		Fn:      func(otpdb.MultiUpdateCtx) error { return nil },
+		Fn:      func(otpdb.MultiUpdateCtx) (otpdb.Value, error) { return nil, nil },
 	})
 	if err != otpdb.ErrStarted {
 		t.Fatalf("err = %v", err)
@@ -214,13 +216,13 @@ func TestMultiClassWriteOutsideDeclaredClassesFails(t *testing.T) {
 	c.MustRegisterMultiUpdate(otpdb.MultiUpdate{
 		Name:    "rogue",
 		Classes: []otpdb.Class{"east"},
-		Fn: func(ctx otpdb.MultiUpdateCtx) error {
+		Fn: func(ctx otpdb.MultiUpdateCtx) (otpdb.Value, error) {
 			err := ctx.Write("west", "acct", otpdb.Int64(1)) // undeclared class
 			select {
 			case writeErr <- err:
 			default:
 			}
-			return nil
+			return nil, nil
 		},
 	})
 	if err := c.Start(); err != nil {
@@ -256,13 +258,13 @@ func TestManyCrossClassTransfersNoDeadlock(t *testing.T) {
 			c.MustRegisterMultiUpdate(otpdb.MultiUpdate{
 				Name:    fmt.Sprintf("mv-%d-%d", i, j),
 				Classes: []otpdb.Class{ci, cj},
-				Fn: func(ctx otpdb.MultiUpdateCtx) error {
+				Fn: func(ctx otpdb.MultiUpdateCtx) (otpdb.Value, error) {
 					a, _ := ctx.Read(ci, "k")
 					b, _ := ctx.Read(cj, "k")
 					if err := ctx.Write(ci, "k", otpdb.Int64(otpdb.AsInt64(a)-1)); err != nil {
-						return err
+						return nil, err
 					}
-					return ctx.Write(cj, "k", otpdb.Int64(otpdb.AsInt64(b)+1))
+					return nil, ctx.Write(cj, "k", otpdb.Int64(otpdb.AsInt64(b)+1))
 				},
 			})
 		}

@@ -11,19 +11,43 @@
 // undone and redone when it does not). Read-only queries execute locally
 // against consistent multi-version snapshots and never block updates.
 //
+// Clients talk to the cluster through a Session bound to one site.
+// Session.Exec returns a typed Result — the procedure's return value, the
+// definitive total-order index, the commit latency, and an Outcome
+// reporting whether the transaction took the optimistic fast path or was
+// reordered/retried by the Correctness Check. Session.SubmitAsync returns
+// a Handle future so many transactions can be pipelined per client, which
+// is where optimistic atomic broadcast earns its throughput:
+//
 //	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(3))
 //	...
 //	cluster.MustRegisterUpdate(otpdb.Update{
 //	    Name:  "credit",
 //	    Class: "accounts",
-//	    Fn: func(ctx otpdb.UpdateCtx) error {
+//	    Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
 //	        v, _ := ctx.Read("balance")
-//	        return ctx.Write("balance", otpdb.Int64(otpdb.AsInt64(v)+10))
+//	        next := otpdb.Int64(otpdb.AsInt64(v) + 10)
+//	        return next, ctx.Write("balance", next)
 //	    },
 //	})
 //	if err := cluster.Start(); err != nil { ... }
 //	defer cluster.Stop()
-//	err = cluster.Exec(context.Background(), 0, "credit")
+//
+//	sess, _ := cluster.Session(0)
+//	res, err := sess.Exec(context.Background(), "credit")
+//	// res.Value is the new balance; res.Outcome is otpdb.FastPath when
+//	// the tentative order held.
+//
+//	// Pipelined submission: keep many transactions in flight.
+//	var handles []*otpdb.Handle
+//	for i := 0; i < 100; i++ {
+//	    h, _ := sess.SubmitAsync("credit")
+//	    handles = append(handles, h)
+//	}
+//	for _, h := range handles {
+//	    res, _ := h.Result() // resolves at local commit
+//	    _ = res.TOIndex
+//	}
 //
 // Multi-process deployments over TCP are provided by cmd/otpd; the
 // experiment harness reproducing the paper's figures by cmd/otpbench.
@@ -160,6 +184,7 @@ type Cluster struct {
 	registry *sproc.Registry
 	hub      *transport.Hub
 	replicas []*db.Replica
+	sessions []*Session
 	stops    []func()
 	recorder *history.Recorder
 	seeds    []func(*storage.Store)
@@ -323,6 +348,7 @@ func (c *Cluster) Start() error {
 		}
 		rep.Start()
 		c.replicas = append(c.replicas, rep)
+		c.sessions = append(c.sessions, &Session{rep: rep, site: i})
 		c.stops = append(c.stops, func() {
 			rep.Stop()
 			stopEngine()
@@ -359,33 +385,38 @@ func (c *Cluster) replica(site int) (*db.Replica, error) {
 // Exec submits an update transaction at the given site and waits until it
 // commits there. Committing at the submitting site implies the definitive
 // order is fixed; all other sites commit the same transaction in the same
-// relative order.
+// relative order. It is a thin wrapper over the site's Session; use
+// Session.Exec to also receive the typed Result.
 func (c *Cluster) Exec(ctx context.Context, site int, proc string, args ...Value) error {
-	rep, err := c.replica(site)
+	sess, err := c.Session(site)
 	if err != nil {
 		return err
 	}
-	return rep.Exec(ctx, proc, args...)
-}
-
-// Submit broadcasts an update transaction without waiting for its commit.
-func (c *Cluster) Submit(site int, proc string, args ...Value) error {
-	rep, err := c.replica(site)
-	if err != nil {
-		return err
-	}
-	_, err = rep.Submit(proc, args...)
+	_, err = sess.Exec(ctx, proc, args...)
 	return err
 }
 
-// QueryAt runs a read-only stored procedure locally at the given site,
-// against a consistent snapshot (Section 5).
-func (c *Cluster) QueryAt(ctx context.Context, site int, proc string, args ...Value) (Value, error) {
-	rep, err := c.replica(site)
+// Submit broadcasts an update transaction without waiting for its commit
+// and returns its Handle, so fire-and-forget callers can still correlate
+// the transaction (Handle.ID) or collect its Result later. It is a thin
+// wrapper over the site's Session.
+func (c *Cluster) Submit(site int, proc string, args ...Value) (*Handle, error) {
+	sess, err := c.Session(site)
 	if err != nil {
 		return nil, err
 	}
-	return rep.Query(ctx, proc, args...)
+	return sess.SubmitAsync(proc, args...)
+}
+
+// QueryAt runs a read-only stored procedure locally at the given site,
+// against a consistent snapshot (Section 5). It is a thin wrapper over
+// the site's Session.
+func (c *Cluster) QueryAt(ctx context.Context, site int, proc string, args ...Value) (Value, error) {
+	sess, err := c.Session(site)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Query(ctx, proc, args...)
 }
 
 // Read returns the latest committed value of a key at a site, outside any
@@ -426,32 +457,22 @@ func (c *Cluster) SiteStats(site int) (Stats, error) {
 }
 
 // WaitForCommits blocks until every live replica has committed at least n
-// update transactions, or the context is cancelled. Crashed sites are
-// skipped.
+// update transactions and has none pending, or the context is cancelled.
+// Crashed sites are skipped. The wait is driven by the replicas' commit
+// notifications — no polling.
 func (c *Cluster) WaitForCommits(ctx context.Context, n int) error {
 	if !c.started {
 		return ErrNotStarted
 	}
-	for {
-		done := true
-		for i, rep := range c.replicas {
-			if c.crashed[i] {
-				continue
-			}
-			if len(rep.Manager().Committed()) < n || rep.Manager().Pending() > 0 {
-				done = false
-				break
-			}
+	for i, rep := range c.replicas {
+		if c.crashed[i] {
+			continue
 		}
-		if done {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(2 * time.Millisecond):
+		if err := rep.WaitCommits(ctx, n); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // Converged reports whether all live replicas currently hold identical

@@ -21,11 +21,12 @@ func accountsCluster(t *testing.T, opts ...otpdb.Option) *otpdb.Cluster {
 	c.MustRegisterUpdate(otpdb.Update{
 		Name:  "credit",
 		Class: "accounts",
-		Fn: func(ctx otpdb.UpdateCtx) error {
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
 			acct := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
 			amount := otpdb.AsInt64(ctx.Args()[1])
 			v, _ := ctx.Read(acct)
-			return ctx.Write(acct, otpdb.Int64(otpdb.AsInt64(v)+amount))
+			next := otpdb.Int64(otpdb.AsInt64(v) + amount)
+			return next, ctx.Write(acct, next)
 		},
 	})
 	c.MustRegisterQuery(otpdb.Query{
@@ -170,7 +171,7 @@ func TestRegistrationAfterStartRejected(t *testing.T) {
 	if err := c.Start(); err != nil {
 		t.Fatal(err)
 	}
-	err := c.RegisterUpdate(otpdb.Update{Name: "late", Class: "c", Fn: func(otpdb.UpdateCtx) error { return nil }})
+	err := c.RegisterUpdate(otpdb.Update{Name: "late", Class: "c", Fn: func(otpdb.UpdateCtx) (otpdb.Value, error) { return nil, nil }})
 	if !errors.Is(err, otpdb.ErrStarted) {
 		t.Fatalf("err = %v", err)
 	}

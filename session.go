@@ -1,0 +1,221 @@
+package otpdb
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"otpdb/internal/abcast"
+	"otpdb/internal/db"
+)
+
+// TxnID identifies a submitted update transaction network-wide: the
+// originating site plus a per-origin sequence number.
+type TxnID = abcast.MsgID
+
+// Outcome classifies how the optimistic protocol handled a committed
+// transaction at the submitting site.
+type Outcome int
+
+// Outcomes.
+const (
+	// FastPath means the tentative order was confirmed as-is: the
+	// transaction executed once, in the position it was Opt-delivered,
+	// and committed the moment the definitive order arrived. This is the
+	// common case the paper's throughput argument rests on.
+	FastPath Outcome = iota + 1
+	// Reordered means TO-delivery moved the transaction ahead of pending
+	// transactions in one of its class queues — its definitive position
+	// contradicted the tentative one (Correctness Check, CC10).
+	Reordered
+	// Retried means the transaction's optimistic execution was undone by
+	// the Correctness Check and redone in the definitive order (CC8).
+	Retried
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case FastPath:
+		return "fastpath"
+	case Reordered:
+		return "reordered"
+	case Retried:
+		return "retried"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result is the typed outcome of a committed update transaction.
+type Result struct {
+	// Value is the stored procedure's return value (may be nil).
+	Value Value
+	// TOIndex is the transaction's definitive total-order index; every
+	// site commits conflicting transactions in ascending TOIndex order.
+	TOIndex int64
+	// Outcome reports which protocol path the transaction took.
+	Outcome Outcome
+	// Latency is the submit-to-local-commit time observed by the session.
+	Latency time.Duration
+}
+
+// Handle is the future of an in-flight update transaction submitted with
+// Session.SubmitAsync. It resolves when the transaction commits at the
+// submitting site (which fixes its definitive order everywhere) or when
+// it terminally fails. Handles are safe for concurrent use.
+type Handle struct {
+	id   TxnID
+	site int
+
+	done     chan struct{}
+	res      Result
+	err      error
+	resolved atomic.Bool
+}
+
+// ID returns the transaction's broadcast identifier, usable to correlate
+// the transaction across sites (e.g. in commit logs and histories).
+func (h *Handle) ID() TxnID { return h.id }
+
+// Site returns the submitting site.
+func (h *Handle) Site() int { return h.site }
+
+// Done returns a channel closed when the handle is resolved. After Done
+// is closed, Result returns immediately.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Resolved reports whether the handle has already resolved (non-blocking).
+func (h *Handle) Resolved() bool { return h.resolved.Load() }
+
+// Result blocks until the transaction commits locally (or terminally
+// fails) and returns its typed outcome. Use Wait to bound the block with
+// a context.
+func (h *Handle) Result() (Result, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// Wait blocks until the handle resolves or ctx is cancelled. Abandoning
+// the wait does not affect the transaction — broadcast is irrevocable and
+// the handle can still be waited on again later.
+func (h *Handle) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-h.done:
+		return h.res, h.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// resolve is the commit callback; the replica invokes it exactly once.
+func (h *Handle) resolve(start time.Time, cr db.CommitResult) {
+	h.err = cr.Err
+	if cr.Err == nil {
+		outcome := FastPath
+		switch {
+		case cr.Info.Retried:
+			outcome = Retried
+		case cr.Info.Reordered:
+			outcome = Reordered
+		}
+		h.res = Result{
+			Value:   cr.Info.Value,
+			TOIndex: cr.Info.TOIndex,
+			Outcome: outcome,
+			Latency: time.Since(start),
+		}
+	}
+	h.resolved.Store(true)
+	close(h.done)
+}
+
+// Call names one procedure invocation of a batch.
+type Call struct {
+	// Proc is the registered update procedure name.
+	Proc string
+	// Args are the invocation arguments.
+	Args []Value
+}
+
+// Session is a client attachment to one site of the cluster. It is the
+// primary data interface: synchronous Exec with typed results, pipelined
+// SubmitAsync returning transaction handles, amortized ExecBatch, and
+// local snapshot queries. Sessions are safe for concurrent use and cheap
+// to share; all sessions of a site observe the same replica.
+type Session struct {
+	rep  *db.Replica
+	site int
+}
+
+// Session returns the client session bound to the given site. The cluster
+// must be started.
+func (c *Cluster) Session(site int) (*Session, error) {
+	if _, err := c.replica(site); err != nil {
+		return nil, err
+	}
+	return c.sessions[site], nil
+}
+
+// Site returns the session's site index.
+func (s *Session) Site() int { return s.site }
+
+// SubmitAsync TO-broadcasts an update transaction and returns its handle
+// without waiting for the commit. Clients pipeline by keeping many
+// handles in flight and resolving them later; the broadcast layer orders
+// all of them regardless of when (or whether) the handles are awaited.
+func (s *Session) SubmitAsync(proc string, args ...Value) (*Handle, error) {
+	h := &Handle{site: s.site, done: make(chan struct{})}
+	start := time.Now()
+	id, err := s.rep.SubmitNotify(proc, args, func(cr db.CommitResult) { h.resolve(start, cr) })
+	if err != nil {
+		return nil, err
+	}
+	h.id = id
+	return h, nil
+}
+
+// Exec submits an update transaction and waits until it commits at this
+// session's site, returning the procedure's value and ordering metadata.
+// Committing at the submitting site implies the definitive order is
+// fixed; all other sites commit the same transaction in the same relative
+// order. On ctx cancellation the wait is abandoned but the transaction
+// still commits everywhere — broadcast is irrevocable.
+func (s *Session) Exec(ctx context.Context, proc string, args ...Value) (Result, error) {
+	h, err := s.SubmitAsync(proc, args...)
+	if err != nil {
+		return Result{}, err
+	}
+	return h.Wait(ctx)
+}
+
+// ExecBatch submits every call before resolving any of them, amortizing
+// the broadcast round-trips over the whole batch, then waits for all
+// commits. Results are returned in call order. On error (including ctx
+// cancellation) the already-broadcast tail still commits everywhere.
+func (s *Session) ExecBatch(ctx context.Context, calls []Call) ([]Result, error) {
+	handles := make([]*Handle, 0, len(calls))
+	for i, call := range calls {
+		h, err := s.SubmitAsync(call.Proc, call.Args...)
+		if err != nil {
+			return nil, fmt.Errorf("otpdb: batch call %d (%s): %w", i, call.Proc, err)
+		}
+		handles = append(handles, h)
+	}
+	results := make([]Result, len(handles))
+	for i, h := range handles {
+		res, err := h.Wait(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("otpdb: batch call %d (%s): %w", i, calls[i].Proc, err)
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// Query runs a read-only stored procedure locally at the session's site,
+// against a consistent multi-version snapshot (Section 5). Queries never
+// block updates.
+func (s *Session) Query(ctx context.Context, proc string, args ...Value) (Value, error) {
+	return s.rep.Query(ctx, proc, args...)
+}

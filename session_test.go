@@ -1,0 +1,353 @@
+package otpdb_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"otpdb"
+)
+
+// counterCluster registers a single-class increment procedure that
+// returns the counter's new value, so result plumbing is observable.
+func counterCluster(t *testing.T, opts ...otpdb.Option) *otpdb.Cluster {
+	t.Helper()
+	c, err := otpdb.NewCluster(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustRegisterUpdate(otpdb.Update{
+		Name:  "incr",
+		Class: "counter",
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+			v, _ := ctx.Read("n")
+			next := otpdb.Int64(otpdb.AsInt64(v) + 1)
+			return next, ctx.Write("n", next)
+		},
+	})
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func startedSession(t *testing.T, c *otpdb.Cluster, site int) *otpdb.Session {
+	t.Helper()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Session(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestSessionExecReturnsTypedResult(t *testing.T) {
+	c := counterCluster(t, otpdb.WithReplicas(3))
+	sess := startedSession(t, c, 0)
+	ctx := context.Background()
+	for want := int64(1); want <= 5; want++ {
+		res, err := sess.Exec(ctx, "incr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := otpdb.AsInt64(res.Value); got != want {
+			t.Fatalf("Result.Value = %d, want %d", got, want)
+		}
+		if res.TOIndex != want {
+			t.Fatalf("Result.TOIndex = %d, want %d", res.TOIndex, want)
+		}
+		if res.Outcome != otpdb.FastPath {
+			t.Fatalf("Result.Outcome = %v, want FastPath (no jitter, no contention)", res.Outcome)
+		}
+		if res.Latency <= 0 {
+			t.Fatalf("Result.Latency = %v, want > 0", res.Latency)
+		}
+	}
+}
+
+// TestSubmitAsyncPipelining is the headline pipelining scenario: at least
+// 100 transactions are submitted through one session before any handle is
+// resolved; every handle then resolves with the correct return value and
+// strictly increasing TO indexes (the in-memory transport without jitter
+// is FIFO, so the definitive order follows submission order), and the
+// recorded history stays 1-copy-serializable.
+func TestSubmitAsyncPipelining(t *testing.T) {
+	const txns = 120
+	c := counterCluster(t, otpdb.WithReplicas(3), otpdb.WithHistoryRecording())
+	sess := startedSession(t, c, 0)
+	ctx := context.Background()
+
+	handles := make([]*otpdb.Handle, 0, txns)
+	for i := 0; i < txns; i++ {
+		h, err := sess.SubmitAsync("incr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// All submitted before any resolution.
+	lastTO := int64(0)
+	for i, h := range handles {
+		res, err := h.Wait(ctx)
+		if err != nil {
+			t.Fatalf("handle %d: %v", i, err)
+		}
+		if got := otpdb.AsInt64(res.Value); got != int64(i+1) {
+			t.Fatalf("handle %d: value = %d, want %d", i, got, i+1)
+		}
+		if res.TOIndex <= lastTO {
+			t.Fatalf("handle %d: TOIndex %d not monotone (previous %d)", i, res.TOIndex, lastTO)
+		}
+		lastTO = res.TOIndex
+		if !h.Resolved() {
+			t.Fatalf("handle %d: Resolved() = false after Wait", i)
+		}
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.WaitForCommits(wctx, txns); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckHistory(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Converged(); err != nil || !ok {
+		t.Fatalf("converged = %v, %v", ok, err)
+	}
+}
+
+// TestOutcomeReorderedUnderJitter drives a conflicting load from every
+// site under network jitter until some transaction reports a non-fastpath
+// outcome, proving outcome metadata reaches the handles. With jitter the
+// tentative order regularly contradicts the definitive one, producing
+// Reordered (the confirmed transaction moved up) and Retried (the
+// displaced optimistic execution redone) outcomes.
+func TestOutcomeReorderedUnderJitter(t *testing.T) {
+	c := counterCluster(t, otpdb.WithReplicas(3),
+		otpdb.WithNetworkJitter(2*time.Millisecond), otpdb.WithSeed(7))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	counts := map[otpdb.Outcome]int{}
+	deadline := time.Now().Add(60 * time.Second)
+	for round := 0; ; round++ {
+		var wg sync.WaitGroup
+		for site := 0; site < 3; site++ {
+			sess, err := c.Session(site)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(sess *otpdb.Session) {
+				defer wg.Done()
+				var handles []*otpdb.Handle
+				for i := 0; i < 20; i++ {
+					h, err := sess.SubmitAsync("incr")
+					if err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					handles = append(handles, h)
+				}
+				for _, h := range handles {
+					res, err := h.Result()
+					if err != nil {
+						t.Errorf("result: %v", err)
+						return
+					}
+					mu.Lock()
+					counts[res.Outcome]++
+					mu.Unlock()
+				}
+			}(sess)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		mu.Lock()
+		reordered := counts[otpdb.Reordered]
+		retried := counts[otpdb.Retried]
+		mu.Unlock()
+		if reordered > 0 {
+			t.Logf("after %d rounds: fastpath=%d reordered=%d retried=%d",
+				round+1, counts[otpdb.FastPath], reordered, retried)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no Reordered outcome after %d rounds (fastpath=%d retried=%d)",
+				round+1, counts[otpdb.FastPath], retried)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandleContextCancellation cancels the wait on a pending handle; the
+// transaction still commits (broadcast is irrevocable) and the same
+// handle resolves normally afterwards.
+func TestHandleContextCancellation(t *testing.T) {
+	c := counterCluster(t)
+	c.MustRegisterUpdate(otpdb.Update{
+		Name:  "slow",
+		Class: "counter",
+		Cost:  300 * time.Millisecond,
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+			return otpdb.Int64(42), nil
+		},
+	})
+	sess := startedSession(t, c, 0)
+
+	h, err := sess.SubmitAsync("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := h.Wait(wctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under cancelled ctx = %v, want deadline exceeded", err)
+	}
+	if h.Resolved() {
+		t.Fatal("handle resolved before the slow procedure could finish")
+	}
+	// The handle is still live: it resolves once the commit lands.
+	res, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otpdb.AsInt64(res.Value) != 42 {
+		t.Fatalf("value after late resolution = %d, want 42", otpdb.AsInt64(res.Value))
+	}
+}
+
+func TestExecBatchOrdering(t *testing.T) {
+	const batch = 40
+	c := counterCluster(t, otpdb.WithReplicas(2))
+	sess := startedSession(t, c, 0)
+	calls := make([]otpdb.Call, batch)
+	for i := range calls {
+		calls[i] = otpdb.Call{Proc: "incr"}
+	}
+	results, err := sess.ExecBatch(context.Background(), calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != batch {
+		t.Fatalf("len(results) = %d, want %d", len(results), batch)
+	}
+	lastTO := int64(0)
+	for i, res := range results {
+		if got := otpdb.AsInt64(res.Value); got != int64(i+1) {
+			t.Fatalf("call %d: value = %d, want %d (batch results out of order)", i, got, i+1)
+		}
+		if res.TOIndex <= lastTO {
+			t.Fatalf("call %d: TOIndex %d not monotone", i, res.TOIndex)
+		}
+		lastTO = res.TOIndex
+	}
+}
+
+// TestClusterSubmitReturnsHandle covers the fire-and-forget wrapper: the
+// returned handle carries the broadcast ID and can still be resolved.
+func TestClusterSubmitReturnsHandle(t *testing.T) {
+	c := counterCluster(t)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Submit(0, "incr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (h.ID() == otpdb.TxnID{}) {
+		t.Fatal("Submit handle has zero TxnID")
+	}
+	res, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otpdb.AsInt64(res.Value) != 1 {
+		t.Fatalf("value = %d, want 1", otpdb.AsInt64(res.Value))
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	c := counterCluster(t)
+	if _, err := c.Session(0); !errors.Is(err, otpdb.ErrNotStarted) {
+		t.Fatalf("Session before Start = %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Session(9); !errors.Is(err, otpdb.ErrBadSite) {
+		t.Fatalf("Session(9) = %v", err)
+	}
+	sess, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SubmitAsync("no-such-proc"); err == nil {
+		t.Fatal("SubmitAsync of unknown procedure succeeded")
+	}
+}
+
+// TestPipeliningAcrossSessions floods the cluster from every site at once
+// and checks values, convergence and serializability under contention.
+func TestPipeliningAcrossSessions(t *testing.T) {
+	const perSite = 40
+	c := counterCluster(t, otpdb.WithReplicas(3),
+		otpdb.WithHistoryRecording(), otpdb.WithNetworkJitter(500*time.Microsecond))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for site := 0; site < 3; site++ {
+		sess, err := c.Session(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(site int, sess *otpdb.Session) {
+			defer wg.Done()
+			var handles []*otpdb.Handle
+			for i := 0; i < perSite; i++ {
+				h, err := sess.SubmitAsync("incr")
+				if err != nil {
+					t.Errorf("site %d: %v", site, err)
+					return
+				}
+				handles = append(handles, h)
+			}
+			for i, h := range handles {
+				if _, err := h.Result(); err != nil {
+					t.Errorf("site %d handle %d: %v", site, i, err)
+					return
+				}
+			}
+		}(site, sess)
+	}
+	wg.Wait()
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.WaitForCommits(wctx, 3*perSite); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := c.Read(0, "counter", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otpdb.AsInt64(v) != 3*perSite {
+		t.Fatalf("final counter = %d, want %d", otpdb.AsInt64(v), 3*perSite)
+	}
+	if err := c.CheckHistory(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Converged(); err != nil || !ok {
+		t.Fatalf("converged = %v, %v", ok, err)
+	}
+}
