@@ -1,13 +1,19 @@
 // Command otpbench regenerates the paper's figure and the quantitative
 // claims of Kemme et al. (ICDCS'99) as plain-text tables. See DESIGN.md
-// for the experiment index and EXPERIMENTS.md for recorded results.
+// §4 for the experiment index.
 //
 // Usage:
 //
-//	otpbench [-quick] [experiment ...]
+//	otpbench [-quick] [-json] [-out file] [experiment ...]
 //
 // Experiments: figure1, abortrate, overlap, async, queries, ordering,
-// pipeline. With no arguments every experiment runs.
+// pipeline, commit. With no arguments every experiment runs.
+//
+// The commit experiment is the tracked commit-path benchmark: with
+// -json it also writes its report (throughput and p50/p99 commit
+// latency for the end-to-end, pipeline and snapshot-read workloads) to
+// BENCH_commit.json (or -out), the perf trajectory every performance PR
+// regenerates and must not regress.
 package main
 
 import (
@@ -22,18 +28,20 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller parameter sweeps (seconds instead of minutes)")
+	jsonOut := flag.Bool("json", false, "write the commit benchmark report to -out as JSON")
+	outPath := flag.String("out", "BENCH_commit.json", "output path for the -json report")
 	flag.Parse()
 	targets := flag.Args()
 	if len(targets) == 0 {
-		targets = []string{"figure1", "abortrate", "overlap", "async", "queries", "ordering", "pipeline"}
+		targets = []string{"figure1", "abortrate", "overlap", "async", "queries", "ordering", "pipeline", "commit"}
 	}
-	if err := run(targets, *quick); err != nil {
+	if err := run(targets, *quick, *jsonOut, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "otpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(targets []string, quick bool) error {
+func run(targets []string, quick, jsonOut bool, outPath string) error {
 	for _, target := range targets {
 		switch target {
 		case "figure1":
@@ -106,6 +114,27 @@ func run(targets []string, quick bool) error {
 				return fmt.Errorf("pipeline: %w", err)
 			}
 			t.Render(os.Stdout)
+		case "commit":
+			p := experiments.DefaultCommitBenchParams()
+			if quick {
+				p = experiments.QuickCommitBenchParams()
+			}
+			rep, err := experiments.CommitBench(p, quick)
+			if err != nil {
+				return fmt.Errorf("commit: %w", err)
+			}
+			t := rep.Table()
+			t.Render(os.Stdout)
+			if jsonOut {
+				data, err := rep.JSON()
+				if err != nil {
+					return fmt.Errorf("commit: %w", err)
+				}
+				if err := os.WriteFile(outPath, data, 0o644); err != nil {
+					return fmt.Errorf("commit: %w", err)
+				}
+				fmt.Printf("wrote %s\n", outPath)
+			}
 		case "calibrate":
 			// Hidden helper: print the raw Figure 1 model curve densely.
 			pts := netsim.Figure1Curve(4, 400, netsim.DefaultFigure1Intervals(), 42)

@@ -129,15 +129,11 @@ func (r *AsyncReplica) Exec(proc string, args ...storage.Value) error {
 	}
 	part := storage.Partition(up.Class)
 
-	// Local execution. Retry Begin: a remote apply may hold the
-	// partition briefly.
-	var stx *storage.Txn
-	for {
-		stx, err = r.store.Begin(part, storage.Buffered)
-		if err == nil {
-			break
-		}
-		time.Sleep(20 * time.Microsecond)
+	// Local execution. A remote apply may hold the partition briefly;
+	// park on its release channel instead of spinning.
+	stx, err := r.store.BeginWait(part, storage.Buffered, nil)
+	if err != nil {
+		return err
 	}
 	if up.Cost > 0 {
 		time.Sleep(up.Cost)
@@ -207,14 +203,9 @@ func (r *AsyncReplica) run() {
 // order) — concurrent conflicting local updates are overwritten, which is
 // how asynchronous replication loses updates.
 func (r *AsyncReplica) apply(ws WriteSet) {
-	var stx *storage.Txn
-	var err error
-	for {
-		stx, err = r.store.Begin(ws.Partition, storage.Buffered)
-		if err == nil {
-			break
-		}
-		time.Sleep(20 * time.Microsecond)
+	stx, err := r.store.BeginWait(ws.Partition, storage.Buffered, nil)
+	if err != nil {
+		return
 	}
 	for i, k := range ws.Keys {
 		_ = stx.Write(k, ws.Values[i])

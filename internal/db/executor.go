@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"otpdb/internal/abcast"
@@ -20,6 +21,11 @@ import (
 // access is guarded by the attempt's lock and an aborted flag, and
 // completions of superseded attempts are fenced by epochs both here and
 // in the scheduler.
+//
+// The scheduler recycles MultiTxn structs after commit, so the executor
+// copies everything an attempt needs (ID, classes, payload) out of the
+// transaction while Submit holds it live; the execution goroutine never
+// dereferences the MultiTxn.
 type executor struct {
 	r *Replica
 
@@ -30,15 +36,52 @@ type executor struct {
 
 var _ otp.MultiExecutor = (*executor)(nil)
 
-// attempt is one execution attempt of a transaction.
+// attempt is one execution attempt of a transaction. Attempts are
+// pooled: the executor map and the execution goroutine each hold one
+// reference, and the last release returns the struct to the pool.
 type attempt struct {
+	id      abcast.MsgID
+	parts   []storage.Partition
+	req     sproc.Request
 	epoch   int
 	abortCh chan struct{}
+	refs    atomic.Int32
 
 	mu      sync.Mutex
 	stx     *storage.MultiTxn
 	result  storage.Value // procedure return value, set when the body completes
 	aborted bool
+}
+
+// attemptPool recycles attempt structs across transactions and retries.
+var attemptPool = sync.Pool{New: func() any { return new(attempt) }}
+
+// newAttempt prepares a pooled attempt for one execution, with two
+// references (executor map + goroutine).
+func newAttempt(id abcast.MsgID, parts []storage.Partition, req sproc.Request, epoch int) *attempt {
+	att := attemptPool.Get().(*attempt)
+	att.id = id
+	att.parts = parts
+	att.req = req
+	att.epoch = epoch
+	att.abortCh = make(chan struct{})
+	att.refs.Store(2)
+	att.stx = nil
+	att.result = nil
+	att.aborted = false
+	return att
+}
+
+// release drops one reference and recycles the attempt when both the
+// executor map and the goroutine are done with it.
+func (a *attempt) release() {
+	if a.refs.Add(-1) == 0 {
+		a.req = sproc.Request{}
+		a.result = nil
+		a.stx = nil
+		a.parts = nil
+		attemptPool.Put(a)
+	}
 }
 
 func newExecutor(r *Replica) *executor {
@@ -49,8 +92,22 @@ func newExecutor(r *Replica) *executor {
 	}
 }
 
-// Submit implements otp.MultiExecutor.
+// Submit implements otp.MultiExecutor. It captures everything the
+// execution goroutine needs out of tx before returning (the scheduler
+// may recycle tx once the transaction commits).
 func (e *executor) Submit(tx *otp.MultiTxn, epoch int) {
+	req, ok := tx.Payload.(sproc.Request)
+	if !ok {
+		e.r.failWaiter(tx.ID, fmt.Errorf("db: malformed payload %T", tx.Payload))
+		// The transaction stays queued but never reports execution; the
+		// protocol treats malformed payloads as fatal to the submitter
+		// only (matches the previous behaviour).
+		return
+	}
+	parts := make([]storage.Partition, len(tx.Classes))
+	for i, c := range tx.Classes {
+		parts[i] = storage.Partition(c)
+	}
 	e.mu.Lock()
 	if epoch < e.abortedBelow[tx.ID] {
 		// A racing abort already superseded this submission; the
@@ -58,10 +115,10 @@ func (e *executor) Submit(tx *otp.MultiTxn, epoch int) {
 		e.mu.Unlock()
 		return
 	}
-	att := &attempt{epoch: epoch, abortCh: make(chan struct{})}
+	att := newAttempt(tx.ID, parts, req, epoch)
 	e.running[tx.ID] = att
 	e.mu.Unlock()
-	go e.runTxn(tx, att, epoch)
+	go e.runTxn(att)
 }
 
 // Abort implements otp.MultiExecutor: it undoes the transaction's effects
@@ -87,6 +144,7 @@ func (e *executor) Abort(tx *otp.MultiTxn) {
 		}
 	}
 	att.mu.Unlock()
+	att.release()
 }
 
 // Commit implements otp.MultiExecutor: the procedure has finished and the
@@ -116,30 +174,26 @@ func (e *executor) Commit(tx *otp.MultiTxn) {
 	// Hand the submitting client its typed outcome now that the writes
 	// are installed. (A failing procedure already resolved the waiter
 	// with its error; resolveWaiter is then a no-op.)
+	result := att.result
+	att.release()
 	e.r.resolveWaiter(tx.ID, CommitResult{Info: CommitInfo{
-		Value:     att.result,
+		Value:     result,
 		TOIndex:   tx.TOIndex(),
 		Retried:   tx.Aborts() > 0,
 		Reordered: tx.Reordered(),
 	}})
 }
 
-// runTxn executes one attempt of a stored procedure.
-func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
-	req, ok := tx.Payload.(sproc.Request)
-	if !ok {
-		e.r.failWaiter(tx.ID, fmt.Errorf("db: malformed payload %T", tx.Payload))
-		return
-	}
-	parts := make([]storage.Partition, len(tx.Classes))
-	for i, c := range tx.Classes {
-		parts[i] = storage.Partition(c)
-	}
+// runTxn executes one attempt of a stored procedure. It works purely
+// from the attempt's captured state — never from the scheduler's
+// (recyclable) MultiTxn.
+func (e *executor) runTxn(att *attempt) {
+	defer att.release()
 
 	// Resolve the procedure body and its simulated cost.
 	var cost time.Duration
 	var runBody func(att *attempt, args []storage.Value) (storage.Value, error)
-	if up, err := e.r.reg.Update(req.Proc); err == nil {
+	if up, err := e.r.reg.Update(att.req.Proc); err == nil {
 		cost = up.Cost
 		class := storage.Partition(up.Class)
 		runBody = func(att *attempt, args []storage.Value) (storage.Value, error) {
@@ -150,7 +204,7 @@ func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
 			}
 			return v, uc.err
 		}
-	} else if mu, merr := e.r.reg.Multi(req.Proc); merr == nil {
+	} else if mu, merr := e.r.reg.Multi(att.req.Proc); merr == nil {
 		cost = mu.Cost
 		runBody = func(att *attempt, args []storage.Value) (storage.Value, error) {
 			mc := &multiUpdateCtx{att: att, args: args}
@@ -161,25 +215,17 @@ func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
 			return v, mc.err
 		}
 	} else {
-		e.r.failWaiter(tx.ID, err)
+		e.r.failWaiter(att.id, err)
 		return
 	}
 
 	// Acquire the partitions. A superseded attempt of an overlapping
-	// class may still hold one for a moment while its abort races; spin
-	// briefly.
-	var stx *storage.MultiTxn
-	for {
-		var berr error
-		stx, berr = e.r.store.BeginMulti(parts, e.r.mode)
-		if berr == nil {
-			break
-		}
-		select {
-		case <-att.abortCh:
-			return
-		case <-time.After(50 * time.Microsecond):
-		}
+	// class may hold one for a moment while its abort races; park on the
+	// partition's release channel until it frees (or this attempt is
+	// itself aborted) — no polling.
+	stx, berr := e.r.store.BeginMultiWait(att.parts, e.r.mode, att.abortCh)
+	if berr != nil {
+		return // canceled: the scheduler aborted this attempt
 	}
 	att.mu.Lock()
 	if att.aborted {
@@ -199,7 +245,7 @@ func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
 		}
 	}
 
-	val, perr := runBody(att, req.Args)
+	val, perr := runBody(att, att.req.Args)
 	if perr != nil {
 		if perr == errAborted {
 			// Aborted mid-procedure; the scheduler already knows.
@@ -207,21 +253,31 @@ func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
 		}
 		// A failing procedure is a programming error (procedures must be
 		// deterministic and total). Keep the protocol live: commit an
-		// empty transaction and report the error to the submitter.
+		// empty transaction and report the error to the submitter. The
+		// wait for fresh partitions runs outside att.mu — a racing Abort
+		// must be able to close abortCh while we park.
 		att.mu.Lock()
-		if !att.aborted {
+		failed := !att.aborted
+		if failed {
 			_ = att.stx.Abort()
-			for {
-				fresh, berr := e.r.store.BeginMulti(parts, e.r.mode)
-				if berr == nil {
-					att.stx = fresh
-					break
-				}
-				time.Sleep(50 * time.Microsecond)
-			}
+			att.stx = nil
 		}
 		att.mu.Unlock()
-		e.r.failWaiter(tx.ID, perr)
+		if failed {
+			fresh, berr := e.r.store.BeginMultiWait(att.parts, e.r.mode, att.abortCh)
+			if berr != nil {
+				return // aborted while waiting
+			}
+			att.mu.Lock()
+			if att.aborted {
+				att.mu.Unlock()
+				_ = fresh.Abort()
+				return
+			}
+			att.stx = fresh
+			att.mu.Unlock()
+		}
+		e.r.failWaiter(att.id, perr)
 	}
 
 	att.mu.Lock()
@@ -229,7 +285,7 @@ func (e *executor) runTxn(tx *otp.MultiTxn, att *attempt, epoch int) {
 	aborted := att.aborted
 	att.mu.Unlock()
 	if !aborted {
-		e.r.mgr.OnExecuted(tx.ID, epoch)
+		e.r.mgr.OnExecuted(att.id, att.epoch)
 	}
 }
 

@@ -100,7 +100,17 @@ type Config struct {
 	Queries QueryMode
 	// History, when non-nil, receives commit and query observations.
 	History HistorySink
+	// PruneInterval is the number of local commits between version-prune
+	// passes: every interval the store's watermark advances to the oldest
+	// active query snapshot (or the last TO index when no query is
+	// active) and versions below it are discarded. 0 selects the default
+	// (1024); negative disables pruning.
+	PruneInterval int
 }
+
+// defaultPruneInterval is the commit count between prune passes when
+// Config.PruneInterval is 0.
+const defaultPruneInterval = 1024
 
 // Replica is one site of the replicated database.
 type Replica struct {
@@ -121,6 +131,13 @@ type Replica struct {
 	commits    uint64                  // transactions committed locally
 	commitCond *sync.Cond
 	stopped    bool
+
+	// Version pruning: active query snapshots pin the versions they may
+	// still read; every pruneEvery commits the store's watermark advances
+	// to the oldest pinned snapshot (or lastTO when none is active).
+	activeSnaps map[int64]int // qIndex -> active query count
+	pruneEvery  int           // <=0 disables
+	sincePrune  int
 
 	exec *executor
 
@@ -153,18 +170,24 @@ func New(cfg Config) (*Replica, error) {
 	if cfg.Queries == 0 {
 		cfg.Queries = SnapshotQueries
 	}
+	pruneEvery := cfg.PruneInterval
+	if pruneEvery == 0 {
+		pruneEvery = defaultPruneInterval
+	}
 	r := &Replica{
-		id:        cfg.ID,
-		bcast:     cfg.Broadcast,
-		reg:       cfg.Registry,
-		store:     cfg.Store,
-		mode:      cfg.WriteMode,
-		qmode:     cfg.Queries,
-		hist:      cfg.History,
-		waiters:   make(map[abcast.MsgID]func(CommitResult)),
-		classLast: make(map[sproc.ClassID]int64),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		id:          cfg.ID,
+		bcast:       cfg.Broadcast,
+		reg:         cfg.Registry,
+		store:       cfg.Store,
+		mode:        cfg.WriteMode,
+		qmode:       cfg.Queries,
+		hist:        cfg.History,
+		waiters:     make(map[abcast.MsgID]func(CommitResult)),
+		classLast:   make(map[sproc.ClassID]int64),
+		activeSnaps: make(map[int64]int),
+		pruneEvery:  pruneEvery,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	r.commitCond = sync.NewCond(&r.mu)
 	r.exec = newExecutor(r)
@@ -296,11 +319,39 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 // onCommit tracks the commit counter and signals snapshot and WaitCommits
 // waiters. The submitting client's waiter is resolved by the executor
 // (which holds the procedure's return value) just before this hook runs.
+// Every pruneEvery commits the version store is pruned up to the oldest
+// snapshot any active query can still read.
 func (r *Replica) onCommit(tx *otp.MultiTxn) {
 	r.mu.Lock()
 	r.commits++
 	r.commitCond.Broadcast()
+	horizon := int64(0)
+	if r.pruneEvery > 0 {
+		r.sincePrune++
+		if r.sincePrune >= r.pruneEvery {
+			r.sincePrune = 0
+			horizon = r.pruneHorizonLocked()
+		}
+	}
 	r.mu.Unlock()
+	if horizon > 0 {
+		// Outside r.mu: pruning walks every partition under its lock.
+		r.store.Prune(horizon)
+	}
+}
+
+// pruneHorizonLocked computes the oldest snapshot index still reachable:
+// the minimum over active query snapshots, or the last TO-delivered
+// index when no query is active (new queries always start at or above
+// it). Callers hold r.mu.
+func (r *Replica) pruneHorizonLocked() int64 {
+	horizon := r.lastTO
+	for idx := range r.activeSnaps {
+		if idx < horizon {
+			horizon = idx
+		}
+	}
+	return horizon
 }
 
 // resolveWaiter pops the waiter registered for id, if any, and invokes it
@@ -439,6 +490,9 @@ func (r *Replica) Query(ctx context.Context, name string, args ...storage.Value)
 		return nil, ErrStopped
 	}
 	qIndex := r.lastTO
+	// Pin the snapshot: versions at or above qIndex survive pruning for
+	// as long as this query runs.
+	r.activeSnaps[qIndex]++
 	// Per-class wait targets: the largest class index <= qIndex, captured
 	// atomically with qIndex.
 	targets := make(map[sproc.ClassID]int64, len(r.classLast))
@@ -446,6 +500,15 @@ func (r *Replica) Query(ctx context.Context, name string, args ...storage.Value)
 		targets[c] = idx
 	}
 	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		if r.activeSnaps[qIndex] <= 1 {
+			delete(r.activeSnaps, qIndex)
+		} else {
+			r.activeSnaps[qIndex]--
+		}
+		r.mu.Unlock()
+	}()
 
 	qc := &queryCtx{r: r, ctx: ctx, qIndex: qIndex, targets: targets, args: args}
 	res, err := q.Fn(qc)
@@ -496,7 +559,14 @@ func (q *queryCtx) Read(class sproc.ClassID, key storage.Key) (storage.Value, bo
 		q.err = err
 		return nil, false
 	}
-	v, ver, ok := q.r.store.SnapshotReadVersion(part, key, q.qIndex)
+	v, ver, ok, err := q.r.store.SnapshotReadAt(part, key, q.qIndex)
+	if err != nil {
+		// ErrSnapshotPruned: the versions this query needs were discarded
+		// (the query outlived its pin, a replica-level bug). Fail loudly
+		// rather than serve an incomplete snapshot.
+		q.err = err
+		return nil, false
+	}
 	q.reads = append(q.reads, QueryRead{Class: class, Key: key, Version: ver})
 	return v, ok
 }

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"otpdb"
+	"otpdb/internal/metrics"
+	"otpdb/internal/storage"
+)
+
+// This file is the tracked commit-path benchmark (DESIGN.md §4, E8): the
+// three workloads whose numbers every performance PR must not regress —
+// end-to-end commit latency, pipelined throughput by depth, and snapshot
+// reads against a deep version chain. `otpbench -json` serializes the
+// report to BENCH_commit.json so the repository carries its own
+// performance trajectory.
+
+// CommitBenchParams sizes the tracked commit-path benchmark.
+type CommitBenchParams struct {
+	// Sites is the cluster size for the end-to-end and pipeline cells.
+	Sites int
+	// Txns is the transaction count per cluster cell.
+	Txns int
+	// Depths is the pipeline sweep.
+	Depths []int
+	// SnapshotVersions is the version-chain depth for the snapshot cell.
+	SnapshotVersions int
+	// SnapshotReads is the number of snapshot reads measured.
+	SnapshotReads int
+}
+
+// DefaultCommitBenchParams is the tracked configuration.
+func DefaultCommitBenchParams() CommitBenchParams {
+	return CommitBenchParams{
+		Sites:            3,
+		Txns:             2000,
+		Depths:           []int{1, 8, 32, 128},
+		SnapshotVersions: 1000,
+		SnapshotReads:    2_000_000,
+	}
+}
+
+// QuickCommitBenchParams shrinks the sweep for CI smoke runs.
+func QuickCommitBenchParams() CommitBenchParams {
+	return CommitBenchParams{
+		Sites:            3,
+		Txns:             400,
+		Depths:           []int{1, 8, 32},
+		SnapshotVersions: 1000,
+		SnapshotReads:    200_000,
+	}
+}
+
+// LatencyStats is one workload's headline numbers. Latencies are
+// microseconds; P50/P99 come from the metrics histogram's exact
+// nearest-rank percentiles.
+type LatencyStats struct {
+	Count            int     `json:"count"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	MeanMicros       float64 `json:"mean_us"`
+	P50Micros        float64 `json:"p50_us"`
+	P99Micros        float64 `json:"p99_us"`
+	MaxMicros        float64 `json:"max_us"`
+}
+
+func latencyStats(s metrics.Summary, perSec float64) LatencyStats {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return LatencyStats{
+		Count:            s.Count,
+		ThroughputPerSec: perSec,
+		MeanMicros:       us(s.Mean),
+		P50Micros:        us(s.P50),
+		P99Micros:        us(s.P99),
+		MaxMicros:        us(s.Max),
+	}
+}
+
+// PipelineStats is one pipeline-depth cell.
+type PipelineStats struct {
+	Depth int `json:"depth"`
+	LatencyStats
+}
+
+// SnapshotStats is the snapshot-read cell. Latency percentiles are
+// measured over batches of BatchSize reads (one clock read per batch:
+// per-read timing would cost more than the read itself) and reported
+// per read.
+type SnapshotStats struct {
+	Versions  int `json:"versions"`
+	BatchSize int `json:"batch_size"`
+	LatencyStats
+}
+
+// CommitBenchReport is the serialized BENCH_commit.json payload.
+type CommitBenchReport struct {
+	Schema   string          `json:"schema"`
+	Go       string          `json:"go"`
+	CPUs     int             `json:"cpus"`
+	Quick    bool            `json:"quick"`
+	EndToEnd LatencyStats    `json:"end_to_end_commit"`
+	Pipeline []PipelineStats `json:"pipeline"`
+	Snapshot SnapshotStats   `json:"snapshot_read"`
+}
+
+// CommitBench runs the tracked commit-path benchmark.
+func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
+	rep := CommitBenchReport{
+		Schema: "otpdb-bench-commit/v1",
+		Go:     runtime.Version(),
+		CPUs:   runtime.NumCPU(),
+		Quick:  quick,
+	}
+
+	e2e, err := endToEndCommitCell(p)
+	if err != nil {
+		return rep, fmt.Errorf("end-to-end: %w", err)
+	}
+	rep.EndToEnd = e2e
+
+	for _, depth := range p.Depths {
+		perSec, lat, _, _, _, err := pipelineCell(PipelineParams{
+			Sites: p.Sites, Txns: p.Txns, Depths: p.Depths,
+		}, depth)
+		if err != nil {
+			return rep, fmt.Errorf("pipeline depth %d: %w", depth, err)
+		}
+		rep.Pipeline = append(rep.Pipeline, PipelineStats{
+			Depth:        depth,
+			LatencyStats: latencyStats(lat, perSec),
+		})
+	}
+
+	rep.Snapshot = snapshotReadCell(p)
+	return rep, nil
+}
+
+// endToEndCommitCell measures synchronous full-stack commits: broadcast,
+// optimistic execution, consensus confirmation, local commit.
+func endToEndCommitCell(p CommitBenchParams) (LatencyStats, error) {
+	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(p.Sites))
+	if err != nil {
+		return LatencyStats{}, err
+	}
+	defer cluster.Stop()
+	cluster.MustRegisterUpdate(otpdb.Update{
+		Name:  "bump",
+		Class: "c",
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+			v, _ := ctx.Read("k")
+			next := otpdb.Int64(otpdb.AsInt64(v) + 1)
+			return next, ctx.Write("k", next)
+		},
+	})
+	if err := cluster.Start(); err != nil {
+		return LatencyStats{}, err
+	}
+	sess, err := cluster.Session(0)
+	if err != nil {
+		return LatencyStats{}, err
+	}
+	ctx := context.Background()
+	hist := metrics.NewHistogram()
+	start := time.Now()
+	for i := 0; i < p.Txns; i++ {
+		res, err := sess.Exec(ctx, "bump")
+		if err != nil {
+			return LatencyStats{}, err
+		}
+		hist.Observe(res.Latency)
+	}
+	elapsed := time.Since(start)
+	return latencyStats(hist.Summarize(), float64(p.Txns)/elapsed.Seconds()), nil
+}
+
+// snapshotReadCell measures Section 5 snapshot reads against a deep
+// version chain, timed in batches.
+func snapshotReadCell(p CommitBenchParams) SnapshotStats {
+	const batch = 128
+	s := storage.NewStore()
+	for i := int64(1); i <= int64(p.SnapshotVersions); i++ {
+		tx, _ := s.Begin("p", storage.Buffered)
+		_ = tx.Write("k", storage.Int64Value(i))
+		_ = tx.Commit(i)
+	}
+	hist := metrics.NewHistogram()
+	reads := p.SnapshotReads / batch * batch
+	start := time.Now()
+	for done := 0; done < reads; done += batch {
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			idx := int64((done+i)%p.SnapshotVersions) + 1
+			if _, ok := s.SnapshotRead("p", "k", idx); !ok {
+				panic("commitbench: missing version")
+			}
+		}
+		hist.Observe(time.Since(t0) / batch)
+	}
+	elapsed := time.Since(start)
+	return SnapshotStats{
+		Versions:  p.SnapshotVersions,
+		BatchSize: batch,
+		LatencyStats: latencyStats(hist.Summarize(),
+			float64(reads)/elapsed.Seconds()),
+	}
+}
+
+// Table renders the report as the plain-text table otpbench prints.
+func (r CommitBenchReport) Table() Table {
+	t := Table{
+		Title: "E8 — Commit-path benchmark (tracked in BENCH_commit.json)",
+		Columns: []string{
+			"workload", "n", "txn/s", "mean", "p50", "p99",
+		},
+		Notes: []string{
+			fmt.Sprintf("%s, %d CPU(s); regenerate with: go run ./cmd/otpbench -json commit", r.Go, r.CPUs),
+		},
+	}
+	row := func(name string, s LatencyStats) {
+		us := func(f float64) string { return fmt.Sprintf("%.1fµs", f) }
+		t.AddRow(name, fmt.Sprintf("%d", s.Count), fmt.Sprintf("%.0f", s.ThroughputPerSec),
+			us(s.MeanMicros), us(s.P50Micros), us(s.P99Micros))
+	}
+	row("end-to-end commit", r.EndToEnd)
+	for _, p := range r.Pipeline {
+		row(fmt.Sprintf("pipeline depth=%d", p.Depth), p.LatencyStats)
+	}
+	row(fmt.Sprintf("snapshot read (%d versions)", r.Snapshot.Versions), r.Snapshot.LatencyStats)
+	return t
+}
+
+// JSON serializes the report (indented, trailing newline) for
+// BENCH_commit.json.
+func (r CommitBenchReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"otpdb/internal/abcast"
 )
@@ -38,6 +39,11 @@ type Hooks struct {
 // queues. All methods are safe for concurrent use; the executor callbacks
 // triggered by a method run after its internal lock is released, in
 // protocol order (aborts, then commits, then submissions of that step).
+//
+// Txn structs are recycled after commit: executors and hooks must not
+// retain a *Txn past the return of the callback that received it (copy
+// the fields needed instead). Every implementation in this repository
+// already follows that discipline.
 type Manager struct {
 	mu     sync.Mutex
 	exec   Executor
@@ -46,8 +52,42 @@ type Manager struct {
 	index  map[abcast.MsgID]*Txn
 
 	nextTOIndex int64
-	committed   []CommitRecord
+	committed   commitLog
 	stats       Stats
+}
+
+// txnPool recycles Txn bookkeeping structs: the scheduler allocates one
+// per transaction and the commit hot path is allocation-sensitive.
+var txnPool = sync.Pool{New: func() any { return new(Txn) }}
+
+// commitLogCap bounds the in-memory commit log. An unbounded log is a
+// slow memory leak on a long-running replica (and its reallocation
+// dominated the commit hot path); callers needing the full history
+// should consume the OnCommit hook instead.
+const commitLogCap = 1 << 16
+
+// commitLog is a bounded ring of the most recent commit records.
+type commitLog struct {
+	recs []CommitRecord
+	next int // write position once the ring is full
+}
+
+// add appends a record, evicting the oldest once the ring is full.
+func (l *commitLog) add(rec CommitRecord) {
+	if len(l.recs) < commitLogCap {
+		l.recs = append(l.recs, rec)
+		return
+	}
+	l.recs[l.next] = rec
+	l.next = (l.next + 1) % commitLogCap
+}
+
+// snapshot returns the retained records in commit order.
+func (l *commitLog) snapshot() []CommitRecord {
+	out := make([]CommitRecord, 0, len(l.recs))
+	out = append(out, l.recs[l.next:]...)
+	out = append(out, l.recs[:l.next]...)
+	return out
 }
 
 // actionKind orders deferred executor calls.
@@ -84,7 +124,8 @@ func (m *Manager) OnOptDeliver(id abcast.MsgID, class ClassID, payload any) erro
 		m.mu.Unlock()
 		return fmt.Errorf("%w: %v Opt-delivered twice", ErrDuplicate, id)
 	}
-	tx := &Txn{
+	tx := txnPool.Get().(*Txn)
+	*tx = Txn{
 		ID:      id,
 		Class:   class,
 		Payload: payload,
@@ -95,7 +136,8 @@ func (m *Manager) OnOptDeliver(id abcast.MsgID, class ClassID, payload any) erro
 	q := append(m.queues[class], tx) // S1
 	m.queues[class] = q
 	m.stats.OptDelivered++
-	var acts []action
+	var actsBuf [4]action
+	acts := actsBuf[:0]
 	if len(q) == 1 { // S3
 		acts = m.submitLocked(tx, acts) // S4
 	}
@@ -115,7 +157,8 @@ func (m *Manager) OnExecuted(id abcast.MsgID, epoch int) {
 		return
 	}
 	tx.running = false
-	var acts []action
+	var actsBuf [4]action
+	acts := actsBuf[:0]
 	if tx.deliv == Committable { // E1
 		acts = m.commitLocked(tx, acts) // E2–E3
 	} else {
@@ -148,7 +191,8 @@ func (m *Manager) OnTODeliver(id abcast.MsgID) error {
 		m.hooks.OnTODelivered(tx.ID, tx.Class, tx.toIndex)
 	}
 
-	var acts []action
+	var actsBuf [4]action
+	acts := actsBuf[:0]
 	if tx.exec == Executed { // CC2: can only be the head of its queue
 		tx.deliv = Committable
 		acts = m.commitLocked(tx, acts) // CC3–CC4
@@ -173,6 +217,7 @@ func (m *Manager) OnTODeliver(id abcast.MsgID) error {
 func (m *Manager) submitLocked(tx *Txn, acts []action) []action {
 	tx.running = true
 	m.stats.Submits++
+	atomic.AddInt32(&tx.refs, 1)
 	return append(acts, action{kind: actSubmit, tx: tx, epoch: tx.epoch})
 }
 
@@ -186,8 +231,10 @@ func (m *Manager) commitLocked(tx *Txn, acts []action) []action {
 	}
 	m.queues[tx.Class] = q[1:]
 	delete(m.index, tx.ID)
-	m.committed = append(m.committed, CommitRecord{ID: tx.ID, Class: tx.Class, TOIndex: tx.toIndex})
+	m.committed.add(CommitRecord{ID: tx.ID, Class: tx.Class, TOIndex: tx.toIndex})
 	m.stats.Commits++
+	atomic.AddInt32(&tx.refs, 1)
+	atomic.StoreInt32(&tx.committed, 1)
 	acts = append(acts, action{kind: actCommit, tx: tx})
 	if next := m.queues[tx.Class]; len(next) > 0 { // E3/CC4
 		if next[0].exec == Executed {
@@ -206,6 +253,7 @@ func (m *Manager) abortLocked(tx *Txn, acts []action) []action {
 	tx.running = false
 	tx.exec = Active
 	m.stats.Aborts++
+	atomic.AddInt32(&tx.refs, 1)
 	return append(acts, action{kind: actAbort, tx: tx})
 }
 
@@ -246,7 +294,10 @@ func (m *Manager) rescheduleLocked(tx *Txn, acts []action) []action {
 }
 
 // perform executes deferred executor calls outside the lock, in protocol
-// order.
+// order. A committed transaction is recycled once its last deferred
+// action drains — never earlier, so a stale submit superseded by a
+// racing abort still reads the original struct and is rejected by the
+// executor's epoch fence (see the Manager retention contract).
 func (m *Manager) perform(acts []action) {
 	for _, a := range acts {
 		switch a.kind {
@@ -263,6 +314,16 @@ func (m *Manager) perform(acts []action) {
 		case actSubmit:
 			m.exec.Submit(a.tx, a.epoch)
 		}
+		// Read the committed flag BEFORE the decrement: the decrement is
+		// the release point ordering this iteration before a recycle by
+		// whichever goroutine drains the last reference — a load after
+		// it would race with the pool reuse's reset. If this drainer
+		// observes a stale 0 here the struct is simply left to the GC
+		// (missed reuse, not a leak).
+		committed := atomic.LoadInt32(&a.tx.committed) == 1
+		if atomic.AddInt32(&a.tx.refs, -1) == 0 && committed {
+			txnPool.Put(a.tx)
+		}
 	}
 }
 
@@ -273,13 +334,13 @@ func (m *Manager) Stats() Stats {
 	return m.stats
 }
 
-// Committed returns a copy of the local commit log, in commit order.
+// Committed returns a copy of the local commit log, in commit order. The
+// log retains the most recent commitLogCap records; callers needing the
+// full history of a long run should consume the OnCommit hook.
 func (m *Manager) Committed() []CommitRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]CommitRecord, len(m.committed))
-	copy(out, m.committed)
-	return out
+	return m.committed.snapshot()
 }
 
 // LastTOIndex returns the index of the most recent TO-delivered

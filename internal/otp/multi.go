@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"otpdb/internal/abcast"
 )
@@ -41,6 +42,12 @@ type MultiTxn struct {
 	epoch     int
 	toIndex   int64
 	reordered bool
+
+	// refs/committed gate pool recycling exactly as on Txn: the struct
+	// is reused only when committed and every deferred action has
+	// drained. Accessed atomically.
+	refs      int32
+	committed int32
 }
 
 // TOIndex returns the definitive index (0 before TO-delivery).
@@ -79,6 +86,11 @@ var ErrNoClasses = errors.New("otp: transaction declares no conflict class")
 // MultiManager schedules multi-class transactions. The single-class
 // Manager remains the faithful implementation of the paper's pseudocode;
 // this type is the [13]-style generalization.
+//
+// MultiTxn structs are recycled after commit: executors and hooks must
+// not retain a *MultiTxn past the return of the callback that received
+// it (copy the fields needed instead — the db executor captures ID,
+// Classes and Payload into its attempt struct at Submit time).
 type MultiManager struct {
 	mu     sync.Mutex
 	exec   MultiExecutor
@@ -87,7 +99,7 @@ type MultiManager struct {
 	index  map[abcast.MsgID]*MultiTxn
 
 	nextTOIndex int64
-	committed   []CommitRecord
+	committed   commitLog
 	stats       Stats
 }
 
@@ -96,6 +108,10 @@ type multiAction struct {
 	tx    *MultiTxn
 	epoch int
 }
+
+// multiTxnPool recycles MultiTxn bookkeeping structs (one per
+// transaction on the commit hot path).
+var multiTxnPool = sync.Pool{New: func() any { return new(MultiTxn) }}
 
 // NewMultiManager creates a manager driving exec.
 func NewMultiManager(exec MultiExecutor, hooks MultiHooks) *MultiManager {
@@ -120,7 +136,8 @@ func (m *MultiManager) OnOptDeliver(id abcast.MsgID, classes []ClassID, payload 
 		m.mu.Unlock()
 		return fmt.Errorf("%w: %v Opt-delivered twice", ErrDuplicate, id)
 	}
-	tx := &MultiTxn{
+	tx := multiTxnPool.Get().(*MultiTxn)
+	*tx = MultiTxn{
 		ID:      id,
 		Classes: sorted,
 		Payload: payload,
@@ -132,8 +149,8 @@ func (m *MultiManager) OnOptDeliver(id abcast.MsgID, classes []ClassID, payload 
 		m.queues[class] = append(m.queues[class], tx)
 	}
 	m.stats.OptDelivered++
-	var acts []multiAction
-	acts = m.trySubmitLocked(tx, acts)
+	var actsBuf [4]multiAction
+	acts := m.trySubmitLocked(tx, actsBuf[:0])
 	m.mu.Unlock()
 	m.perform(acts)
 	return nil
@@ -148,7 +165,8 @@ func (m *MultiManager) OnExecuted(id abcast.MsgID, epoch int) {
 		return
 	}
 	tx.running = false
-	var acts []multiAction
+	var actsBuf [4]multiAction
+	acts := actsBuf[:0]
 	if tx.deliv == Committable {
 		acts = m.commitLocked(tx, acts)
 	} else {
@@ -179,7 +197,8 @@ func (m *MultiManager) OnTODeliver(id abcast.MsgID) error {
 		m.hooks.OnTODelivered(tx.ID, tx.Classes, tx.toIndex)
 	}
 
-	var acts []multiAction
+	var actsBuf [8]multiAction
+	acts := actsBuf[:0]
 	if tx.exec == Executed { // executed implies heading all queues
 		tx.deliv = Committable
 		acts = m.commitLocked(tx, acts)
@@ -223,6 +242,7 @@ func (m *MultiManager) trySubmitLocked(tx *MultiTxn, acts []multiAction) []multi
 	}
 	tx.running = true
 	m.stats.Submits++
+	atomic.AddInt32(&tx.refs, 1)
 	return append(acts, multiAction{kind: actSubmit, tx: tx, epoch: tx.epoch})
 }
 
@@ -236,8 +256,10 @@ func (m *MultiManager) commitLocked(tx *MultiTxn, acts []multiAction) []multiAct
 		m.queues[class] = q[1:]
 	}
 	delete(m.index, tx.ID)
-	m.committed = append(m.committed, CommitRecord{ID: tx.ID, Class: tx.Classes[0], TOIndex: tx.toIndex})
+	m.committed.add(CommitRecord{ID: tx.ID, Class: tx.Classes[0], TOIndex: tx.toIndex})
 	m.stats.Commits++
+	atomic.AddInt32(&tx.refs, 1)
+	atomic.StoreInt32(&tx.committed, 1)
 	acts = append(acts, multiAction{kind: actCommit, tx: tx})
 	// New heads of the vacated queues may now be runnable.
 	tried := make(map[*MultiTxn]bool)
@@ -257,6 +279,7 @@ func (m *MultiManager) abortLocked(tx *MultiTxn, acts []multiAction) []multiActi
 	tx.running = false
 	tx.exec = Active
 	m.stats.Aborts++
+	atomic.AddInt32(&tx.refs, 1)
 	return append(acts, multiAction{kind: actAbort, tx: tx})
 }
 
@@ -289,6 +312,11 @@ func (m *MultiManager) rescheduleInClassLocked(tx *MultiTxn, class ClassID) {
 	}
 }
 
+// perform executes deferred executor calls outside the lock, in protocol
+// order. A committed transaction is recycled once its last deferred
+// action drains — never earlier, so a stale submit superseded by a
+// racing abort still reads the original struct and is rejected by the
+// executor's epoch fence (see the MultiManager retention contract).
 func (m *MultiManager) perform(acts []multiAction) {
 	for _, a := range acts {
 		switch a.kind {
@@ -305,6 +333,12 @@ func (m *MultiManager) perform(acts []multiAction) {
 		case actSubmit:
 			m.exec.Submit(a.tx, a.epoch)
 		}
+		// Flag load BEFORE the decrement — see Manager.perform for the
+		// ordering argument.
+		committed := atomic.LoadInt32(&a.tx.committed) == 1
+		if atomic.AddInt32(&a.tx.refs, -1) == 0 && committed {
+			multiTxnPool.Put(a.tx)
+		}
 	}
 }
 
@@ -316,13 +350,13 @@ func (m *MultiManager) Stats() Stats {
 }
 
 // Committed returns a copy of the commit log in commit order. The Class
-// field holds the transaction's first declared class.
+// field holds the transaction's first declared class. The log retains
+// the most recent commitLogCap records; callers needing the full history
+// of a long run should consume the OnCommit hook.
 func (m *MultiManager) Committed() []CommitRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]CommitRecord, len(m.committed))
-	copy(out, m.committed)
-	return out
+	return m.committed.snapshot()
 }
 
 // Pending reports delivered-but-uncommitted transactions.
@@ -401,13 +435,23 @@ func (m *MultiManager) CheckInvariants() error {
 	return nil
 }
 
-// normalizeClasses sorts and dedupes a class set.
+// normalizeClasses sorts and dedupes a class set. Class sets are tiny
+// (usually one or two entries), so linear dedup beats a map and the
+// single-class case allocates just the one-element slice.
 func normalizeClasses(classes []ClassID) []ClassID {
+	if len(classes) == 1 {
+		return []ClassID{classes[0]}
+	}
 	out := make([]ClassID, 0, len(classes))
-	seen := make(map[ClassID]bool, len(classes))
 	for _, c := range classes {
-		if !seen[c] {
-			seen[c] = true
+		dup := false
+		for _, u := range out {
+			if u == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, c)
 		}
 	}

@@ -95,6 +95,15 @@ type Txn struct {
 	running bool
 	epoch   int
 	toIndex int64 // definitive index, assigned at TO-delivery (1-based)
+
+	// refs counts deferred perform() actions still referencing this
+	// struct; committed is set when the commit action is enqueued. The
+	// manager recycles the struct only when it is committed AND every
+	// action (including stale submits superseded by an abort) has
+	// drained — a stale action must keep observing the original ID so
+	// the executor's epoch fence rejects it. Accessed atomically.
+	refs      int32
+	committed int32
 }
 
 // TOIndex returns the definitive (TO-delivery) index of the transaction,

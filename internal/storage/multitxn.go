@@ -11,9 +11,13 @@ import (
 // scheduler guarantees the transaction heads every class queue before it
 // runs, so partition acquisition cannot deadlock (and failure to acquire
 // is a scheduler bug, reported as ErrPartitionBusy).
+//
+// Partitions are kept in a small sorted slice with linear lookup:
+// transactions declare at most a handful of classes, and the slice saves
+// a map allocation per attempt on the commit hot path.
 type MultiTxn struct {
-	parts map[Partition]*Txn
 	order []Partition
+	txs   []*Txn // parallel to order
 	done  bool
 }
 
@@ -24,15 +28,18 @@ type ClassKey struct {
 	Key       Key
 }
 
-// BeginMulti starts a transaction over the given set of partitions
-// (deduplicated; acquisition in sorted order). On any failure the already
-// acquired partitions are released.
-func (s *Store) BeginMulti(parts []Partition, mode Mode) (*MultiTxn, error) {
+// dedupSortParts returns the sorted, deduplicated partition set.
+func dedupSortParts(parts []Partition) ([]Partition, error) {
 	uniq := make([]Partition, 0, len(parts))
-	seen := make(map[Partition]bool, len(parts))
 	for _, p := range parts {
-		if !seen[p] {
-			seen[p] = true
+		dup := false
+		for _, u := range uniq {
+			if u == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			uniq = append(uniq, p)
 		}
 	}
@@ -40,22 +47,99 @@ func (s *Store) BeginMulti(parts []Partition, mode Mode) (*MultiTxn, error) {
 		return nil, fmt.Errorf("storage: BeginMulti needs at least one partition")
 	}
 	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
-	mt := &MultiTxn{parts: make(map[Partition]*Txn, len(uniq)), order: uniq}
+	return uniq, nil
+}
+
+// BeginMulti starts a transaction over the given set of partitions
+// (deduplicated; acquisition in sorted order). On any failure the already
+// acquired partitions are released.
+func (s *Store) BeginMulti(parts []Partition, mode Mode) (*MultiTxn, error) {
+	uniq, err := dedupSortParts(parts)
+	if err != nil {
+		return nil, err
+	}
+	mt := &MultiTxn{order: uniq, txs: make([]*Txn, 0, len(uniq))}
 	for _, p := range uniq {
 		tx, err := s.Begin(p, mode)
 		if err != nil {
 			_ = mt.Abort()
 			return nil, err
 		}
-		mt.parts[p] = tx
+		mt.txs = append(mt.txs, tx)
 	}
 	return mt, nil
 }
 
+// BeginMultiWait is BeginMulti that blocks until every partition is free
+// instead of returning ErrPartitionBusy. Acquisition is all-or-nothing:
+// on a busy partition the already acquired ones are released and the
+// caller parks on the busy partition's release channel — no polling.
+// cancel, when non-nil, aborts the wait with ErrCanceled.
+func (s *Store) BeginMultiWait(parts []Partition, mode Mode, cancel <-chan struct{}) (*MultiTxn, error) {
+	if mode != Buffered && mode != InPlaceUndo {
+		return nil, fmt.Errorf("storage: invalid mode %d", mode)
+	}
+	uniq, err := dedupSortParts(parts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		mt := &MultiTxn{order: uniq, txs: make([]*Txn, 0, len(uniq))}
+		var busy Partition
+		for _, p := range uniq {
+			tx, err := s.Begin(p, mode)
+			if err != nil {
+				busy = p
+				break
+			}
+			mt.txs = append(mt.txs, tx)
+		}
+		if len(mt.txs) == len(uniq) {
+			return mt, nil
+		}
+		// Release what we hold (all-or-nothing avoids deadlock against a
+		// racing abort that still owns a later partition), then wait for
+		// the busy partition to free up.
+		mt.order = mt.order[:len(mt.txs)]
+		_ = mt.Abort()
+		pt := s.part(busy)
+		pt.mu.Lock()
+		if pt.active == nil {
+			// Freed between the failed Begin and here; retry immediately.
+			pt.mu.Unlock()
+			continue
+		}
+		ch := pt.waitChLocked()
+		pt.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			pt.mu.Lock()
+			pt.waiters--
+			pt.mu.Unlock()
+			return nil, ErrCanceled
+		}
+		pt.mu.Lock()
+		pt.waiters--
+		pt.mu.Unlock()
+	}
+}
+
+// lookup returns the partition's txn or nil.
+func (t *MultiTxn) lookup(p Partition) *Txn {
+	for i, q := range t.order {
+		if q == p {
+			return t.txs[i]
+		}
+	}
+	return nil
+}
+
 // Read returns the value of a key in one of the transaction's partitions.
+// The returned Value must not be modified.
 func (t *MultiTxn) Read(p Partition, k Key) (Value, bool) {
-	tx, ok := t.parts[p]
-	if !ok {
+	tx := t.lookup(p)
+	if tx == nil {
 		return nil, false
 	}
 	return tx.Read(k)
@@ -63,8 +147,8 @@ func (t *MultiTxn) Read(p Partition, k Key) (Value, bool) {
 
 // Write sets a key in one of the transaction's partitions.
 func (t *MultiTxn) Write(p Partition, k Key, v Value) error {
-	tx, ok := t.parts[p]
-	if !ok {
+	tx := t.lookup(p)
+	if tx == nil {
 		return fmt.Errorf("storage: partition %s not part of this transaction", p)
 	}
 	return tx.Write(k, v)
@@ -73,8 +157,8 @@ func (t *MultiTxn) Write(p Partition, k Key, v Value) error {
 // ReadSet returns the qualified keys read so far, in partition order.
 func (t *MultiTxn) ReadSet() []ClassKey {
 	var out []ClassKey
-	for _, p := range t.order {
-		for _, k := range t.parts[p].ReadSet() {
+	for i, p := range t.order {
+		for _, k := range t.txs[i].readSet {
 			out = append(out, ClassKey{Partition: p, Key: k})
 		}
 	}
@@ -84,8 +168,8 @@ func (t *MultiTxn) ReadSet() []ClassKey {
 // WriteSet returns the qualified keys written so far, in partition order.
 func (t *MultiTxn) WriteSet() []ClassKey {
 	var out []ClassKey
-	for _, p := range t.order {
-		for _, k := range t.parts[p].WriteSet() {
+	for i, p := range t.order {
+		for _, k := range t.txs[i].writeSet {
 			out = append(out, ClassKey{Partition: p, Key: k})
 		}
 	}
@@ -100,11 +184,9 @@ func (t *MultiTxn) Abort() error {
 	}
 	t.done = true
 	var first error
-	for _, p := range t.order {
-		if tx, ok := t.parts[p]; ok {
-			if err := tx.Abort(); err != nil && first == nil {
-				first = err
-			}
+	for _, tx := range t.txs {
+		if err := tx.Abort(); err != nil && first == nil {
+			first = err
 		}
 	}
 	return first
@@ -118,9 +200,9 @@ func (t *MultiTxn) Commit(toIndex int64) error {
 		return ErrTxnDone
 	}
 	t.done = true
-	for _, p := range t.order {
-		if err := t.parts[p].Commit(toIndex); err != nil {
-			return fmt.Errorf("storage: multi commit, partition %s: %w", p, err)
+	for i, tx := range t.txs {
+		if err := tx.Commit(toIndex); err != nil {
+			return fmt.Errorf("storage: multi commit, partition %s: %w", t.order[i], err)
 		}
 	}
 	return nil

@@ -3,8 +3,8 @@
 // multi-version history for the snapshot queries of Section 5 of the
 // paper and undo support for the OTP abort path.
 //
-// The engine supports two write strategies (the ablation DESIGN.md calls
-// out):
+// The engine supports two write strategies (the ablation DESIGN.md §5
+// calls out):
 //
 //   - Buffered: transaction writes go to a private buffer and are applied
 //     at commit. Aborting discards the buffer. This is the default; it
@@ -18,6 +18,38 @@
 // Committed versions are labelled with the transaction's definitive
 // (TO-delivery) index. A query with index q reads, per partition, the
 // latest version with index <= q — exactly the snapshot rule of Section 5.
+//
+// # Concurrency
+//
+// The engine is sharded by partition (= conflict class, Section 2.3:
+// different classes access disjoint parts of the database), and the read
+// path is lock-free:
+//
+//   - The partition directory is an atomic copy-on-write map (partitions
+//     are created once and live forever).
+//   - Each key's version chain is an immutable versionState published
+//     through an atomic pointer; writers build the next state and swap
+//     it in at commit.
+//   - Keys live in an atomic copy-on-write native map (one plain map
+//     lookup on the hot path), fronted by a small sync.Map overflow for
+//     recently created keys; the overflow is merged into a fresh base
+//     map geometrically, so key creation — including bulk seeding via
+//     Load — stays amortized O(1) instead of O(keys) per insert.
+//
+// Writers — at most one update transaction per partition, enforced via
+// the partition's active slot — serialize against each other and against
+// Prune on the partition mutex. Readers (Get, SnapshotRead, queries)
+// never take a lock, so snapshot queries cost no coordination and never
+// block updates, sharpening the paper's Section 5 property.
+//
+// # Value immutability
+//
+// Values handed to the store (Load, Write) are copied at the boundary,
+// so callers may reuse buffers. Values handed OUT of the store
+// (Get, SnapshotRead, Txn.Read, ...) are NOT copied: they alias the
+// committed version, which is immutable by contract. Callers must treat
+// returned Values as read-only. This removes one allocation per read
+// from the commit and query hot paths.
 package storage
 
 import (
@@ -27,6 +59,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Partition names a storage partition. Partitions correspond one-to-one
@@ -38,7 +71,9 @@ type Partition string
 type Key string
 
 // Value is an immutable byte string. The store copies values at its
-// boundaries, so callers may reuse buffers.
+// boundaries on the way in (callers may reuse buffers) and returns
+// aliases of committed versions on the way out (callers must not
+// mutate them).
 type Value []byte
 
 // clone copies a value; nil stays nil.
@@ -92,23 +127,190 @@ type Version struct {
 	Value Value
 }
 
-// entry is the version chain of one key.
-type entry struct {
-	current  Value
-	versions []Version // ascending TOIndex
+// versionState is the immutable published state of one key: the current
+// value plus the version chain as parallel slices (ascending TOIndex).
+// The index column is separate from the value column so the snapshot
+// binary search walks a dense []int64 — 8-byte strides instead of
+// 24-byte Version structs, which matters on deep chains where the search
+// is cache-miss bound. Writers build the successor state and publish it
+// atomically; readers load and use it without coordination. Appends may
+// share the columns' backing arrays with older states — older states
+// never index past their own length, so the sharing is invisible to
+// them.
+type versionState struct {
+	current Value
+	idx     []int64 // version TO indexes, ascending
+	vals    []Value // parallel committed values
 }
 
-// partition holds one conflict class's keys.
+// appendVersion derives the successor state with one more version.
+func (st *versionState) appendVersion(current Value, toIndex int64, v Value) *versionState {
+	return &versionState{
+		current: current,
+		idx:     append(st.idx, toIndex),
+		vals:    append(st.vals, v),
+	}
+}
+
+// entry is one key's slot: an atomic pointer to its published state.
+type entry struct {
+	state atomic.Pointer[versionState]
+}
+
+// load returns the entry's current state (never nil for a published
+// entry).
+func (e *entry) load() *versionState { return e.state.Load() }
+
+// keyMap is the COW key directory of one partition: readers use a plain
+// (native, string-specialized) map lookup on the published snapshot.
+type keyMap = map[Key]*entry
+
+// partition holds one conflict class's keys. Readers are lock-free; the
+// mutex serializes writers (the active update transaction, Load, Prune)
+// and the Begin wait list.
+//
+// Key layout: `keys` is the merged base map, published whole via the
+// atomic pointer. New keys first land in the `overflow` sync.Map (O(1)
+// insert); once the overflow outgrows a quarter of the base it is
+// merged into a fresh base in one pass, keeping key creation amortized
+// O(1) while the hot read path stays a single native map lookup (the
+// overflow is consulted only on a base miss while overflowN != 0).
 type partition struct {
-	keys          map[Key]*entry
-	lastCommitted int64 // TO index of the last committed transaction
-	active        *Txn  // at most one writer (OTP head) at a time
+	mu            sync.Mutex
+	keys          atomic.Pointer[keyMap]
+	overflow      sync.Map // Key -> *entry, recently created
+	overflowN     atomic.Int32
+	lastCommitted atomic.Int64
+	pruned        atomic.Int64 // snapshot watermark: reads below fail
+	active        *Txn         // at most one writer (OTP head) at a time
+
+	// freeCh signals Begin waiters when the active transaction releases
+	// the partition. It is allocated lazily by the first waiter and
+	// closed (then cleared) by the releasing transaction, so uncontended
+	// commits never touch it.
+	waiters int
+	freeCh  chan struct{}
+}
+
+// release marks the partition free and wakes any Begin waiters. Callers
+// hold pt.mu.
+func (pt *partition) release() {
+	pt.active = nil
+	if pt.waiters > 0 && pt.freeCh != nil {
+		close(pt.freeCh)
+		pt.freeCh = nil
+	}
+}
+
+// waitChLocked registers the caller as a Begin waiter and returns the
+// channel closed at the next release. Callers hold pt.mu and must
+// decrement pt.waiters after the wait resolves.
+func (pt *partition) waitChLocked() chan struct{} {
+	pt.waiters++
+	if pt.freeCh == nil {
+		pt.freeCh = make(chan struct{})
+	}
+	return pt.freeCh
+}
+
+// getEntry returns the key's entry, or nil. Lock-free.
+func (pt *partition) getEntry(k Key) *entry {
+	if e := (*pt.keys.Load())[k]; e != nil {
+		return e
+	}
+	if pt.overflowN.Load() != 0 {
+		if v, ok := pt.overflow.Load(k); ok {
+			return v.(*entry)
+		}
+	}
+	// A concurrent merge may have moved the key from the overflow into a
+	// fresh base between the two lookups; re-check the base.
+	if e := (*pt.keys.Load())[k]; e != nil {
+		return e
+	}
+	return nil
+}
+
+// ensureEntry returns the key's entry, creating one if needed. New keys
+// go to the overflow; the overflow is folded into a fresh base once it
+// reaches a quarter of the base size (amortized O(1) per creation).
+// Callers hold pt.mu.
+func (pt *partition) ensureEntry(k Key) *entry {
+	if e := pt.getEntry(k); e != nil {
+		return e
+	}
+	e := &entry{}
+	e.state.Store(&versionState{})
+	pt.overflow.Store(k, e)
+	n := int(pt.overflowN.Add(1))
+	if 4*n > len(*pt.keys.Load()) {
+		pt.mergeOverflowLocked()
+	}
+	return e
+}
+
+// mergeOverflowLocked folds the overflow into a fresh base map and
+// publishes it. Callers hold pt.mu.
+func (pt *partition) mergeOverflowLocked() {
+	base := *pt.keys.Load()
+	next := make(keyMap, len(base)+int(pt.overflowN.Load()))
+	for k, v := range base {
+		next[k] = v
+	}
+	var moved []Key
+	pt.overflow.Range(func(k, v any) bool {
+		next[k.(Key)] = v.(*entry)
+		moved = append(moved, k.(Key))
+		return true
+	})
+	pt.keys.Store(&next)
+	for _, k := range moved {
+		pt.overflow.Delete(k)
+	}
+	pt.overflowN.Store(0)
+}
+
+// deleteEntry removes a key. Callers hold pt.mu.
+func (pt *partition) deleteEntry(k Key) {
+	if _, ok := pt.overflow.Load(k); ok {
+		pt.overflow.Delete(k)
+		pt.overflowN.Add(-1)
+	}
+	old := *pt.keys.Load()
+	if _, ok := old[k]; !ok {
+		return
+	}
+	next := make(keyMap, len(old))
+	for kk, vv := range old {
+		if kk != k {
+			next[kk] = vv
+		}
+	}
+	pt.keys.Store(&next)
+}
+
+// forEachEntry visits every key (base + overflow, deduplicated). The
+// iteration order is unspecified; callers needing a stable view hold
+// pt.mu (as Digest and Prune do).
+func (pt *partition) forEachEntry(fn func(Key, *entry)) {
+	base := *pt.keys.Load()
+	for k, e := range base {
+		fn(k, e)
+	}
+	if pt.overflowN.Load() != 0 {
+		pt.overflow.Range(func(k, v any) bool {
+			if _, dup := base[k.(Key)]; !dup {
+				fn(k.(Key), v.(*entry))
+			}
+			return true
+		})
+	}
 }
 
 // Store is the local storage engine. Safe for concurrent use.
 type Store struct {
-	mu    sync.RWMutex
-	parts map[Partition]*partition
+	mu  sync.Mutex // guards directory copy-on-write only
+	dir atomic.Pointer[map[Partition]*partition]
 }
 
 // Errors returned by the engine.
@@ -119,55 +321,107 @@ var (
 	ErrPartitionBusy = errors.New("storage: partition has an active transaction")
 	// ErrTxnDone is returned by operations on a committed/aborted txn.
 	ErrTxnDone = errors.New("storage: transaction already finished")
+	// ErrCanceled is returned by BeginWait/BeginMultiWait when the
+	// caller's cancel channel fires before the partitions free up.
+	ErrCanceled = errors.New("storage: begin wait canceled")
+	// ErrSnapshotPruned is returned by SnapshotReadAt for indexes below
+	// the partition's prune watermark: the versions needed to answer the
+	// read exactly may have been discarded, so the read fails loudly
+	// instead of returning an incomplete snapshot.
+	ErrSnapshotPruned = errors.New("storage: snapshot index below prune watermark")
 )
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{parts: make(map[Partition]*partition)}
+	s := &Store{}
+	dir := make(map[Partition]*partition)
+	s.dir.Store(&dir)
+	return s
 }
 
+// lookup returns the partition or nil, lock-free.
+func (s *Store) lookup(p Partition) *partition {
+	return (*s.dir.Load())[p]
+}
+
+// part returns the partition, creating it if needed (copy-on-write on
+// the directory; creation happens once per conflict class).
 func (s *Store) part(p Partition) *partition {
-	pt, ok := s.parts[p]
-	if !ok {
-		pt = &partition{keys: make(map[Key]*entry)}
-		s.parts[p] = pt
+	if pt := s.lookup(p); pt != nil {
+		return pt
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.dir.Load()
+	if pt, ok := old[p]; ok {
+		return pt
+	}
+	next := make(map[Partition]*partition, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	pt := &partition{}
+	empty := make(keyMap)
+	pt.keys.Store(&empty)
+	next[p] = pt
+	s.dir.Store(&next)
 	return pt
 }
 
 // Load seeds initial data (version index 0), bypassing transactions. Use
 // before the replica starts processing.
 func (s *Store) Load(p Partition, k Key, v Value) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	pt := s.part(p)
-	e, ok := pt.keys[k]
-	if !ok {
-		e = &entry{}
-		pt.keys[k] = e
-	}
-	e.current = v.clone()
-	e.versions = []Version{{TOIndex: 0, Value: v.clone()}}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	e := pt.ensureEntry(k)
+	stored := v.clone()
+	e.state.Store(&versionState{
+		current: stored,
+		idx:     []int64{0},
+		vals:    []Value{stored},
+	})
 }
 
-// Get reads the latest committed value of a key.
+// Get reads the latest committed value of a key, lock-free. The returned
+// Value aliases the committed version and must not be modified.
 func (s *Store) Get(p Partition, k Key) (Value, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pt, ok := s.parts[p]
-	if !ok {
+	pt := s.lookup(p)
+	if pt == nil {
 		return nil, false
 	}
-	e, ok := pt.keys[k]
-	if !ok || e.current == nil {
+	e := pt.getEntry(k)
+	if e == nil {
 		return nil, false
 	}
-	return e.current.clone(), true
+	st := e.load()
+	if st.current == nil {
+		return nil, false
+	}
+	return st.current, true
+}
+
+// searchVersions returns the position of the first version index
+// > maxIndex in the ascending index column (manual binary search: the
+// closure-free equivalent of sort.Search, which costs one indirect call
+// per probe on this very hot path).
+func searchVersions(idx []int64, maxIndex int64) int {
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if idx[mid] <= maxIndex {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // SnapshotRead returns the value of the latest version of k with
 // TOIndex <= maxIndex — the Section 5 snapshot rule. The boolean reports
-// whether such a version exists.
+// whether such a version exists (reads below the prune watermark report
+// false; use SnapshotReadAt to distinguish them loudly).
 func (s *Store) SnapshotRead(p Partition, k Key, maxIndex int64) (Value, bool) {
 	v, _, ok := s.SnapshotReadVersion(p, k, maxIndex)
 	return v, ok
@@ -177,80 +431,112 @@ func (s *Store) SnapshotRead(p Partition, k Key, maxIndex int64) (Value, bool) {
 // of the version observed; the serializability checker uses it to verify
 // that every query saw exactly the snapshot Section 5 prescribes.
 func (s *Store) SnapshotReadVersion(p Partition, k Key, maxIndex int64) (Value, int64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pt, ok := s.parts[p]
-	if !ok {
+	v, idx, ok, err := s.SnapshotReadAt(p, k, maxIndex)
+	if err != nil {
 		return nil, 0, false
 	}
-	e, ok := pt.keys[k]
-	if !ok {
-		return nil, 0, false
+	return v, idx, ok
+}
+
+// SnapshotReadAt is the error-reporting snapshot read: it returns
+// ErrSnapshotPruned when maxIndex is below the partition's prune
+// watermark (the exact snapshot may have been discarded), and ok=false
+// when no version at or below maxIndex exists. Lock-free.
+func (s *Store) SnapshotReadAt(p Partition, k Key, maxIndex int64) (Value, int64, bool, error) {
+	pt := s.lookup(p)
+	if pt == nil {
+		return nil, 0, false, nil
 	}
-	vs := e.versions
-	i := sort.Search(len(vs), func(i int) bool { return vs[i].TOIndex > maxIndex })
-	if i == 0 {
-		return nil, 0, false
+	if w := pt.pruned.Load(); maxIndex < w {
+		return nil, 0, false, fmt.Errorf("%w: read at %d, watermark %d in %s",
+			ErrSnapshotPruned, maxIndex, w, p)
 	}
-	return vs[i-1].Value.clone(), vs[i-1].TOIndex, true
+	e := pt.getEntry(k)
+	if e == nil {
+		return nil, 0, false, nil
+	}
+	st := e.load()
+	// Fast path: reads at or past the chain tip take the newest version
+	// without searching (the common case for fresh snapshots).
+	n := len(st.idx)
+	if n > 0 && st.idx[n-1] <= maxIndex {
+		return st.vals[n-1], st.idx[n-1], true, nil
+	}
+	if i := searchVersions(st.idx, maxIndex); i > 0 {
+		return st.vals[i-1], st.idx[i-1], true, nil
+	}
+	// No version at or below maxIndex. A Prune racing this read may have
+	// advanced the watermark past maxIndex after the check above and
+	// dropped the versions we needed — re-check so such a read still
+	// fails loudly instead of reporting the key absent.
+	if w := pt.pruned.Load(); maxIndex < w {
+		return nil, 0, false, fmt.Errorf("%w: read at %d, watermark %d in %s",
+			ErrSnapshotPruned, maxIndex, w, p)
+	}
+	return nil, 0, false, nil
 }
 
 // GetVersioned reads the latest committed value of a key together with
 // the TO index of the transaction that wrote it. It backs the "dirty
 // query" baseline used to demonstrate why Section 5 needs snapshots.
 func (s *Store) GetVersioned(p Partition, k Key) (Value, int64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pt, ok := s.parts[p]
-	if !ok {
+	pt := s.lookup(p)
+	if pt == nil {
 		return nil, 0, false
 	}
-	e, ok := pt.keys[k]
-	if !ok || e.current == nil {
+	e := pt.getEntry(k)
+	if e == nil {
+		return nil, 0, false
+	}
+	st := e.load()
+	if st.current == nil {
 		return nil, 0, false
 	}
 	idx := int64(0)
-	if n := len(e.versions); n > 0 {
-		idx = e.versions[n-1].TOIndex
+	if n := len(st.idx); n > 0 {
+		idx = st.idx[n-1]
 	}
-	return e.current.clone(), idx, true
+	return st.current, idx, true
 }
 
 // LastCommitted reports the TO index of the last transaction committed in
 // the partition (0 if none). The query layer uses it to decide whether a
 // snapshot at a given index is complete yet.
 func (s *Store) LastCommitted(p Partition) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pt, ok := s.parts[p]
-	if !ok {
+	pt := s.lookup(p)
+	if pt == nil {
 		return 0
 	}
-	return pt.lastCommitted
+	return pt.lastCommitted.Load()
+}
+
+// PruneWatermark reports the partition's prune watermark: snapshot reads
+// strictly below it fail (0 = never pruned).
+func (s *Store) PruneWatermark(p Partition) int64 {
+	pt := s.lookup(p)
+	if pt == nil {
+		return 0
+	}
+	return pt.pruned.Load()
 }
 
 // Keys lists the keys of a partition in sorted order.
 func (s *Store) Keys(p Partition) []Key {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pt, ok := s.parts[p]
-	if !ok {
+	pt := s.lookup(p)
+	if pt == nil {
 		return nil
 	}
-	out := make([]Key, 0, len(pt.keys))
-	for k := range pt.keys {
-		out = append(out, k)
-	}
+	var out []Key
+	pt.forEachEntry(func(k Key, _ *entry) { out = append(out, k) })
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Partitions lists all partitions in sorted order.
 func (s *Store) Partitions() []Partition {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Partition, 0, len(s.parts))
-	for p := range s.parts {
+	dir := *s.dir.Load()
+	out := make([]Partition, 0, len(dir))
+	for p := range dir {
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -258,67 +544,82 @@ func (s *Store) Partitions() []Partition {
 }
 
 // Digest hashes the committed state (partition, key, current value) so
-// replica convergence can be asserted cheaply.
+// replica convergence can be asserted cheaply. Partitions are hashed one
+// at a time under their writer locks; for a stable digest, quiesce
+// writers first (as the convergence checks do).
 func (s *Store) Digest() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	h := fnv.New64a()
-	parts := make([]Partition, 0, len(s.parts))
-	for p := range s.parts {
-		parts = append(parts, p)
-	}
-	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
-	for _, p := range parts {
-		pt := s.parts[p]
-		keys := make([]Key, 0, len(pt.keys))
-		for k := range pt.keys {
+	for _, p := range s.Partitions() {
+		pt := s.lookup(p)
+		pt.mu.Lock()
+		var keys []Key
+		entries := make(keyMap)
+		pt.forEachEntry(func(k Key, e *entry) {
 			keys = append(keys, k)
-		}
+			entries[k] = e
+		})
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		for _, k := range keys {
 			_, _ = h.Write([]byte(p))
 			_, _ = h.Write([]byte{0})
 			_, _ = h.Write([]byte(k))
 			_, _ = h.Write([]byte{0})
-			_, _ = h.Write(pt.keys[k].current)
+			_, _ = h.Write(entries[k].load().current)
 			_, _ = h.Write([]byte{0})
 		}
+		pt.mu.Unlock()
 	}
 	return h.Sum64()
 }
 
-// Vacuum drops, for every key, all versions strictly older than the
-// newest version with TOIndex <= horizon (which must be retained to serve
-// snapshot reads at the horizon). It returns the number of versions
-// removed.
-func (s *Store) Vacuum(horizon int64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Prune advances the snapshot watermark to minSnapshot and drops, for
+// every key, all versions strictly older than the newest version with
+// TOIndex <= minSnapshot (which must be retained to serve snapshot reads
+// at the watermark). The replica calls it with the oldest active query
+// snapshot, so every read that can still be issued remains answerable
+// exactly; reads below the watermark fail loudly (ErrSnapshotPruned).
+// It returns the number of versions removed.
+func (s *Store) Prune(minSnapshot int64) int {
+	if minSnapshot <= 0 {
+		return 0
+	}
 	removed := 0
-	for _, pt := range s.parts {
-		for _, e := range pt.keys {
-			vs := e.versions
-			i := sort.Search(len(vs), func(i int) bool { return vs[i].TOIndex > horizon })
-			// Keep vs[i-1:] — the last version at or before the horizon
-			// plus everything newer.
+	for _, p := range s.Partitions() {
+		pt := s.lookup(p)
+		pt.mu.Lock()
+		if minSnapshot > pt.pruned.Load() {
+			pt.pruned.Store(minSnapshot)
+		}
+		pt.forEachEntry(func(_ Key, e *entry) {
+			st := e.load()
+			i := searchVersions(st.idx, minSnapshot)
+			// Keep suffix [i-1:] — the last version at or before the
+			// horizon plus everything newer.
 			if i > 1 {
 				removed += i - 1
-				e.versions = append([]Version(nil), vs[i-1:]...)
+				e.state.Store(&versionState{
+					current: st.current,
+					idx:     append([]int64(nil), st.idx[i-1:]...),
+					vals:    append([]Value(nil), st.vals[i-1:]...),
+				})
 			}
-		}
+		})
+		pt.mu.Unlock()
 	}
 	return removed
 }
 
+// Vacuum is the historical name of Prune, kept for compatibility.
+func (s *Store) Vacuum(horizon int64) int { return s.Prune(horizon) }
+
 // VersionCount reports the total number of stored versions (for GC tests).
 func (s *Store) VersionCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, pt := range s.parts {
-		for _, e := range pt.keys {
-			n += len(e.versions)
-		}
+	for _, p := range s.Partitions() {
+		pt := s.lookup(p)
+		pt.forEachEntry(func(_ Key, e *entry) {
+			n += len(e.load().idx)
+		})
 	}
 	return n
 }
@@ -334,6 +635,7 @@ type undoRecord struct {
 // concurrent use (one stored procedure runs in one goroutine).
 type Txn struct {
 	store *Store
+	pt    *partition
 	p     Partition
 	mode  Mode
 	done  bool
@@ -344,6 +646,17 @@ type Txn struct {
 	writeSet []Key
 }
 
+// newTxnLocked constructs a transaction for a free partition. Callers
+// hold pt.mu and have checked pt.active == nil.
+func (s *Store) newTxnLocked(pt *partition, p Partition, mode Mode) *Txn {
+	tx := &Txn{store: s, pt: pt, p: p, mode: mode}
+	if mode == Buffered {
+		tx.buffer = make(map[Key]Value)
+	}
+	pt.active = tx
+	return tx
+}
+
 // Begin starts an update transaction on partition p. At most one
 // transaction may be active per partition; the OTP scheduler guarantees
 // this, and the store enforces it.
@@ -351,62 +664,92 @@ func (s *Store) Begin(p Partition, mode Mode) (*Txn, error) {
 	if mode != Buffered && mode != InPlaceUndo {
 		return nil, fmt.Errorf("storage: invalid mode %d", mode)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	pt := s.part(p)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
 	if pt.active != nil {
 		return nil, fmt.Errorf("%w: %s", ErrPartitionBusy, p)
 	}
-	tx := &Txn{store: s, p: p, mode: mode}
-	if mode == Buffered {
-		tx.buffer = make(map[Key]Value)
+	return s.newTxnLocked(pt, p, mode), nil
+}
+
+// BeginWait is Begin that blocks until the partition is free instead of
+// returning ErrPartitionBusy. A release of the partition (commit or
+// abort) wakes waiters through a channel — no polling. cancel, when
+// non-nil, aborts the wait with ErrCanceled.
+func (s *Store) BeginWait(p Partition, mode Mode, cancel <-chan struct{}) (*Txn, error) {
+	if mode != Buffered && mode != InPlaceUndo {
+		return nil, fmt.Errorf("storage: invalid mode %d", mode)
 	}
-	pt.active = tx
-	return tx, nil
+	pt := s.part(p)
+	for {
+		pt.mu.Lock()
+		if pt.active == nil {
+			tx := s.newTxnLocked(pt, p, mode)
+			pt.mu.Unlock()
+			return tx, nil
+		}
+		ch := pt.waitChLocked()
+		pt.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			pt.mu.Lock()
+			pt.waiters--
+			pt.mu.Unlock()
+			return nil, ErrCanceled
+		}
+		pt.mu.Lock()
+		pt.waiters--
+		pt.mu.Unlock()
+	}
 }
 
 // Read returns the value of k as seen by the transaction (its own writes
-// first, then the committed state).
+// first, then the committed state). The returned Value must not be
+// modified.
 func (t *Txn) Read(k Key) (Value, bool) {
 	if t.done {
 		return nil, false
 	}
 	t.readSet = append(t.readSet, k)
-	t.store.mu.RLock()
-	defer t.store.mu.RUnlock()
 	if t.mode == Buffered {
+		// The buffer is private to the transaction's goroutine.
 		if v, ok := t.buffer[k]; ok {
-			return v.clone(), v != nil
+			return v, v != nil
 		}
 	}
-	e, ok := t.store.parts[t.p].keys[k]
-	if !ok || e.current == nil {
+	e := t.pt.getEntry(k)
+	if e == nil {
 		return nil, false
 	}
-	return e.current.clone(), true
+	st := e.load()
+	if st.current == nil {
+		return nil, false
+	}
+	return st.current, true
 }
 
-// Write sets k to v within the transaction.
+// Write sets k to v within the transaction. v is copied; the caller may
+// reuse its buffer.
 func (t *Txn) Write(k Key, v Value) error {
 	if t.done {
 		return ErrTxnDone
 	}
 	t.writeSet = append(t.writeSet, k)
-	t.store.mu.Lock()
-	defer t.store.mu.Unlock()
 	if t.mode == Buffered {
+		// Private buffer: no lock needed.
 		t.buffer[k] = v.clone()
 		return nil
 	}
-	// InPlaceUndo: apply now, remember the before-image.
-	pt := t.store.parts[t.p]
-	e, ok := pt.keys[k]
-	if !ok {
-		e = &entry{}
-		pt.keys[k] = e
-	}
-	t.undo = append(t.undo, undoRecord{key: k, value: e.current, wasSet: e.current != nil})
-	e.current = v.clone()
+	// InPlaceUndo: apply now (dirty values become visible, which is the
+	// point of the ablation), remember the before-image.
+	t.pt.mu.Lock()
+	defer t.pt.mu.Unlock()
+	e := t.pt.ensureEntry(k)
+	st := e.load()
+	t.undo = append(t.undo, undoRecord{key: k, value: st.current, wasSet: st.current != nil})
+	e.state.Store(&versionState{current: v.clone(), idx: st.idx, vals: st.vals})
 	return nil
 }
 
@@ -425,32 +768,36 @@ func (t *Txn) Abort() error {
 	if t.done {
 		return ErrTxnDone
 	}
-	t.store.mu.Lock()
-	defer t.store.mu.Unlock()
 	t.done = true
-	pt := t.store.parts[t.p]
-	pt.active = nil
+	pt := t.pt
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
 	if t.mode == Buffered {
 		t.buffer = nil
+		pt.release()
 		return nil
 	}
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		rec := t.undo[i]
-		e := pt.keys[rec.key]
-		if rec.wasSet {
-			e.current = rec.value
-		} else {
-			e.current = nil
+		e := pt.getEntry(rec.key)
+		st := e.load()
+		cur := rec.value
+		if !rec.wasSet {
+			cur = nil
 		}
+		e.state.Store(&versionState{current: cur, idx: st.idx, vals: st.vals})
 	}
 	// Remove phantom entries for keys the transaction created: they must
 	// not linger (they would be visible in Keys and perturb Digest).
 	for _, rec := range t.undo {
-		if e, ok := pt.keys[rec.key]; ok && e.current == nil && len(e.versions) == 0 {
-			delete(pt.keys, rec.key)
+		if e := pt.getEntry(rec.key); e != nil {
+			if st := e.load(); st.current == nil && len(st.idx) == 0 {
+				pt.deleteEntry(rec.key)
+			}
 		}
 	}
 	t.undo = nil
+	pt.release()
 	return nil
 }
 
@@ -461,25 +808,23 @@ func (t *Txn) Commit(toIndex int64) error {
 	if t.done {
 		return ErrTxnDone
 	}
-	t.store.mu.Lock()
-	defer t.store.mu.Unlock()
 	t.done = true
-	pt := t.store.parts[t.p]
-	pt.active = nil
-	if toIndex <= pt.lastCommitted {
+	pt := t.pt
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if toIndex <= pt.lastCommitted.Load() {
+		pt.release()
 		return fmt.Errorf("storage: commit index %d not after last committed %d in %s",
-			toIndex, pt.lastCommitted, t.p)
+			toIndex, pt.lastCommitted.Load(), t.p)
 	}
 	switch t.mode {
 	case Buffered:
 		for k, v := range t.buffer {
-			e, ok := pt.keys[k]
-			if !ok {
-				e = &entry{}
-				pt.keys[k] = e
-			}
-			e.current = v
-			e.versions = append(e.versions, Version{TOIndex: toIndex, Value: v.clone()})
+			e := pt.ensureEntry(k)
+			// The buffered value was cloned on the way in and becomes the
+			// immutable committed version: current and the version chain
+			// share it.
+			e.state.Store(e.load().appendVersion(v, toIndex, v))
 		}
 	case InPlaceUndo:
 		// Current values are already in place; record versions for the
@@ -491,10 +836,14 @@ func (t *Txn) Commit(toIndex int64) error {
 				continue
 			}
 			seen[k] = true
-			e := pt.keys[k]
-			e.versions = append(e.versions, Version{TOIndex: toIndex, Value: e.current.clone()})
+			e := pt.getEntry(k)
+			st := e.load()
+			e.state.Store(st.appendVersion(st.current, toIndex, st.current))
 		}
 	}
-	pt.lastCommitted = toIndex
+	// Publish the commit index last: a reader that observes it sees every
+	// version state published above.
+	pt.lastCommitted.Store(toIndex)
+	pt.release()
 	return nil
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -183,7 +184,11 @@ func (n *TCPNode) acceptLoop() {
 }
 
 // serveConn handles one inbound connection: data frames in, cumulative
-// acks out on the same connection.
+// acks out on the same connection. Acks are coalesced: the decoder posts
+// the latest sequence into a one-slot mailbox and a dedicated writer
+// acknowledges whatever is newest, so a burst of inbound frames costs
+// one ack syscall instead of one per frame (acks are cumulative, so
+// acknowledging only the newest is lossless).
 func (n *TCPNode) serveConn(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() { _ = conn.Close() }()
@@ -198,7 +203,9 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 		}
 	}()
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	ackCh := make(chan uint64, 1)
+	defer close(ackCh)
+	go n.writeAcks(conn, ackCh)
 	for {
 		var f tcpFrame
 		if err := dec.Decode(&f); err != nil {
@@ -217,8 +224,40 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 			n.box.enqueue(f.Env)
 		}
 		// Acknowledge regardless: duplicates mean the ack was lost.
-		if err := enc.Encode(tcpFrame{IsAck: true, Ack: f.Seq}); err != nil {
+		// Replace any unsent older ack — the newest covers it.
+		select {
+		case ackCh <- f.Seq:
+		default:
+			select {
+			case <-ackCh:
+			default:
+			}
+			select {
+			case ackCh <- f.Seq:
+			default:
+			}
+		}
+	}
+}
+
+// writeAcks drains the ack mailbox onto the connection, flushing only
+// when no newer ack is already pending. A write failure closes the
+// connection so the decoder in serveConn notices too — a half-broken
+// link (readable but unwritable) must tear down fully, or the sender's
+// retransmission buffer would grow forever waiting for acks.
+func (n *TCPNode) writeAcks(conn net.Conn, ackCh <-chan uint64) {
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
+	for seq := range ackCh {
+		if err := enc.Encode(tcpFrame{IsAck: true, Ack: seq}); err != nil {
+			_ = conn.Close()
 			return
+		}
+		if len(ackCh) == 0 {
+			if err := bw.Flush(); err != nil {
+				_ = conn.Close()
+				return
+			}
 		}
 	}
 }
@@ -275,20 +314,26 @@ func (l *peerLink) signalConnErr() {
 	}
 }
 
+// maxWriteBatch bounds how many queued envelopes one writeLoop drain
+// coalesces into a single encode+flush.
+const maxWriteBatch = 128
+
 func (l *peerLink) writeLoop() {
 	defer close(l.done)
 	var conn net.Conn
+	var bw *bufio.Writer
 	var enc *gob.Encoder
 	disconnect := func() {
 		if conn != nil {
 			_ = conn.Close()
-			conn, enc = nil, nil
+			conn, bw, enc = nil, nil, nil
 		}
 	}
 	defer disconnect()
 
-	// connect dials and replays the retransmission buffer. It returns
-	// false when the node is shutting down.
+	// connect dials and replays the retransmission buffer (which already
+	// contains any batch being sent, so a reconnect completes the send).
+	// It returns false when the node is shutting down.
 	connect := func() bool {
 		for {
 			disconnect()
@@ -297,7 +342,8 @@ func (l *peerLink) writeLoop() {
 				return false
 			}
 			conn = c
-			enc = gob.NewEncoder(conn)
+			bw = bufio.NewWriter(conn)
+			enc = gob.NewEncoder(bw)
 			// Drain any stale failure signal from the previous conn.
 			select {
 			case <-l.connErr:
@@ -315,7 +361,7 @@ func (l *peerLink) writeLoop() {
 					break
 				}
 			}
-			if ok {
+			if ok && bw.Flush() == nil {
 				return true
 			}
 			if !l.backoff() {
@@ -324,28 +370,68 @@ func (l *peerLink) writeLoop() {
 		}
 	}
 
+	// sendBatch encodes the frames and flushes once. On a connection
+	// error it reconnects; connect() replays the retransmission buffer,
+	// which includes the batch, so the send completes either way. It
+	// returns false when the node is shutting down.
+	sendBatch := func(frames []tcpFrame) bool {
+		for {
+			if conn == nil {
+				return connect()
+			}
+			ok := true
+			for _, f := range frames {
+				if err := enc.Encode(f); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok && bw.Flush() == nil {
+				return true
+			}
+			disconnect()
+			if !l.backoff() {
+				return false
+			}
+		}
+	}
+
+	batch := make([]tcpFrame, 0, maxWriteBatch)
 	for {
 		select {
 		case env, open := <-l.q.Chan():
 			if !open {
 				return
 			}
+			// Coalesce: greedily drain whatever else is queued so the
+			// whole burst shares one encoder flush (one syscall) —
+			// consensus votes and data messages ride together.
+			batch = batch[:0]
+			closed := false
 			l.mu.Lock()
 			l.nextSeq++
-			f := tcpFrame{Seq: l.nextSeq, Env: env}
-			l.pending = append(l.pending, f)
+			batch = append(batch, tcpFrame{Seq: l.nextSeq, Env: env})
+		drain:
+			for len(batch) < maxWriteBatch {
+				select {
+				case env2, open2 := <-l.q.Chan():
+					if !open2 {
+						closed = true
+						break drain
+					}
+					l.nextSeq++
+					batch = append(batch, tcpFrame{Seq: l.nextSeq, Env: env2})
+				default:
+					break drain
+				}
+			}
+			l.pending = append(l.pending, batch...)
 			l.mu.Unlock()
-			for {
-				if conn == nil && !connect() {
-					return
-				}
-				if err := enc.Encode(f); err == nil {
-					break
-				}
-				disconnect()
-				if !l.backoff() {
-					return
-				}
+			if !sendBatch(batch) {
+				return
+			}
+			if closed {
+				return
 			}
 		case <-l.connErr:
 			// Connection died while idle: reconnect so pending frames

@@ -72,7 +72,14 @@ import (
 // Re-exported data types. Values are immutable byte strings; helpers
 // below convert to and from Go types.
 type (
-	// Value is a database value.
+	// Value is a database value: an immutable byte string. Values passed
+	// INTO the database (procedure arguments, Write) are copied at the
+	// storage boundary, so callers may reuse their buffers. Values
+	// handed OUT (Read, Query results, procedure reads) alias the
+	// committed version and MUST NOT be modified — mutating one corrupts
+	// the store's version history in place. Build a new Value (e.g. via
+	// Int64/String or append to a nil slice) instead of editing in
+	// place.
 	Value = storage.Value
 	// Key identifies an object within a conflict class.
 	Key = storage.Key
@@ -131,6 +138,7 @@ type config struct {
 	queryMode    db.QueryMode
 	roundTimeout time.Duration
 	recordHist   bool
+	pruneEvery   int
 }
 
 // Option configures NewCluster.
@@ -176,6 +184,16 @@ func WithHistoryRecording() Option { return func(c *config) { c.recordHist = tru
 // at the cost of spurious rounds).
 func WithConsensusRoundTimeout(d time.Duration) Option {
 	return func(c *config) { c.roundTimeout = d }
+}
+
+// WithPruneInterval sets how many local commits pass between version
+// prune passes (default 1024). Each pass advances the storage watermark
+// to the oldest active query snapshot and discards versions below it,
+// bounding version-chain growth under sustained update load. Negative
+// disables pruning (version chains grow without bound, as in the
+// paper's model).
+func WithPruneInterval(n int) Option {
+	return func(c *config) { c.pruneEvery = n }
 }
 
 // Cluster is an in-process group of database replicas.
@@ -332,12 +350,13 @@ func (c *Cluster) Start() error {
 			seed(store)
 		}
 		cfg := db.Config{
-			ID:        transport.NodeID(i),
-			Broadcast: bc,
-			Registry:  c.registry,
-			Store:     store,
-			WriteMode: c.cfg.writeMode,
-			Queries:   c.cfg.queryMode,
+			ID:            transport.NodeID(i),
+			Broadcast:     bc,
+			Registry:      c.registry,
+			Store:         store,
+			WriteMode:     c.cfg.writeMode,
+			Queries:       c.cfg.queryMode,
+			PruneInterval: c.cfg.pruneEvery,
 		}
 		if c.recorder != nil {
 			cfg.History = c.recorder
@@ -420,7 +439,8 @@ func (c *Cluster) QueryAt(ctx context.Context, site int, proc string, args ...Va
 }
 
 // Read returns the latest committed value of a key at a site, outside any
-// snapshot (a debugging convenience, not a transaction).
+// snapshot (a debugging convenience, not a transaction). The returned
+// Value aliases the committed version and must not be modified.
 func (c *Cluster) Read(site int, class Class, key Key) (Value, bool, error) {
 	rep, err := c.replica(site)
 	if err != nil {
