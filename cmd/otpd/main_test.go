@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestKill9Recovery is the acceptance test for process-crash durability:
+// a real otpd process is driven over its TCP client protocol, killed
+// with SIGKILL mid-load, restarted on the same data directory, and must
+// recover every acknowledged commit and keep committing.
+func TestKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "otpd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	peerAddr := freeAddr(t)
+	clientAddr := freeAddr(t)
+	dataDir := filepath.Join(tmp, "data")
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-id", "0",
+			"-peers", peerAddr,
+			"-client", clientAddr,
+			"-data", dataDir,
+			"-fsync", "commit",
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start otpd: %v", err)
+		}
+		return cmd
+	}
+
+	proc := start()
+	defer func() { _ = proc.Process.Kill() }()
+	conn := dialRetry(t, clientAddr)
+
+	// Phase 1: synchronous committed load — every OK reply is an
+	// acknowledged (and, under -fsync commit, durable) transaction.
+	const acked = 40
+	var lastVal int64
+	for i := 0; i < acked; i++ {
+		lastVal = execAdd(t, conn, "k", 1)
+	}
+	if lastVal != acked {
+		t.Fatalf("counter after %d acked commits = %d", acked, lastVal)
+	}
+	// Phase 2: fire-and-forget load so transactions are genuinely in
+	// flight when the process dies (their fate is unconstrained).
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(conn, "SUBMIT add-p0 k 1\n")
+	}
+
+	// Kill -9 mid-load and restart on the same directory.
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = proc.Wait()
+	_ = conn.Close()
+
+	proc2 := start()
+	defer func() { _ = proc2.Process.Kill() }()
+	conn2 := dialRetry(t, clientAddr)
+	defer func() { _ = conn2.Close() }()
+
+	recovered := queryGet(t, conn2, "p0", "k")
+	if recovered < acked || recovered > acked+10 {
+		t.Fatalf("recovered counter = %d, want >= %d (acked) and <= %d", recovered, acked, acked+10)
+	}
+	// The restarted replica keeps committing, continuing from the
+	// recovered state.
+	if got := execAdd(t, conn2, "k", 1); got != recovered+1 {
+		t.Fatalf("post-restart commit = %d, want %d", got, recovered+1)
+	}
+}
+
+// freeAddr grabs an ephemeral 127.0.0.1 port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// dialRetry connects to the otpd client port, retrying while the
+// process boots (and, after a restart, recovers).
+func dialRetry(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// execAdd runs EXEC add-p0 <key> <delta> and returns the new value.
+func execAdd(t *testing.T, conn net.Conn, key string, delta int) int64 {
+	t.Helper()
+	reply := roundTrip(t, conn, fmt.Sprintf("EXEC add-p0 %s %d", key, delta))
+	if !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("EXEC reply: %q", reply)
+	}
+	for _, field := range strings.Fields(reply) {
+		if v, ok := strings.CutPrefix(field, "value="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				t.Fatalf("EXEC value %q: %v", v, err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("EXEC reply without value: %q", reply)
+	return 0
+}
+
+// queryGet runs QUERY get <class> <key> and returns the value.
+func queryGet(t *testing.T, conn net.Conn, class, key string) int64 {
+	t.Helper()
+	reply := roundTrip(t, conn, fmt.Sprintf("QUERY get %s %s", class, key))
+	val, ok := strings.CutPrefix(reply, "VALUE ")
+	if !ok {
+		t.Fatalf("QUERY reply: %q", reply)
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		t.Fatalf("QUERY value %q: %v", val, err)
+	}
+	return n
+}
+
+// roundTrip sends one protocol line and reads one reply line.
+func roundTrip(t *testing.T, conn net.Conn, line string) string {
+	t.Helper()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		t.Fatalf("send %q: %v", line, err)
+	}
+	r := bufio.NewReader(conn)
+	reply, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply to %q: %v", line, err)
+	}
+	return strings.TrimSpace(reply)
+}

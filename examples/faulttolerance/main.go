@@ -1,8 +1,10 @@
 // Command faulttolerance crashes a minority of replicas in the middle of
-// a run and shows that the cluster keeps committing: the optimistic
-// atomic broadcast's consensus stages need only a majority, and the
-// survivors converge to identical state (Section 2: crash failures,
-// Section 2.1: the broadcast properties hold at every correct site).
+// a run, shows that the cluster keeps committing (the optimistic atomic
+// broadcast's consensus stages need only a majority), then brings the
+// victims back with RestartSite: each rejoins from a peer checkpoint
+// plus the definitive deliveries it missed, submits new transactions of
+// its own, and all five sites reconverge to identical state (Section 2:
+// crash failures; Section 3.2: recovery).
 //
 //	go run ./examples/faulttolerance
 package main
@@ -20,6 +22,7 @@ const (
 	sites        = 5
 	beforeCrash  = 20
 	afterCrash   = 20
+	afterRejoin  = 10
 	crashVictims = 2 // a minority of 5
 )
 
@@ -98,23 +101,52 @@ func run() error {
 	fmt.Printf("phase 3: %d more transactions committed with %d/%d sites alive (last TO index %d)\n",
 		afterCrash, survivors, sites, lastTO)
 
-	// Verify the survivors agree and hold the full history.
+	// Phase 4: bring the victims back. Each rejoins live — a peer
+	// checkpoint plus the missed definitive deliveries — and then
+	// submits new transactions of its own.
+	rctx, rcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer rcancel()
+	for v := 0; v < crashVictims; v++ {
+		victim := sites - 1 - v
+		if err := cluster.RestartSite(rctx, victim); err != nil {
+			return fmt.Errorf("restart site %d: %w", victim, err)
+		}
+		fmt.Printf("restarted site %d\n", victim)
+	}
+	for i := 0; i < afterRejoin; i++ {
+		sess, err := cluster.Session(i % sites) // all five sites submit again
+		if err != nil {
+			return err
+		}
+		ectx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		res, err := sess.Exec(ectx, "append")
+		cancel()
+		if err != nil {
+			return fmt.Errorf("post-rejoin append %d: %w", i, err)
+		}
+		lastTO = res.TOIndex
+	}
+	total := beforeCrash + afterCrash + afterRejoin
+	fmt.Printf("phase 4: %d more transactions committed with all %d sites alive (last TO index %d)\n",
+		afterRejoin, sites, lastTO)
+
+	// Verify ALL five sites agree and hold the full history.
 	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	if err := cluster.WaitForCommits(wctx, beforeCrash+afterCrash); err != nil {
+	if err := cluster.WaitForCommits(wctx, total); err != nil {
 		return err
 	}
 	ok, err := cluster.Converged()
 	if err != nil {
 		return err
 	}
-	v, _, err := cluster.Read(0, "log", "count")
+	v, _, err := cluster.Read(sites-1, "log", "count") // read at a restarted site
 	if err != nil {
 		return err
 	}
-	fmt.Printf("survivors converged: %v; count = %d (want %d)\n",
-		ok, otpdb.AsInt64(v), beforeCrash+afterCrash)
-	if !ok || otpdb.AsInt64(v) != beforeCrash+afterCrash {
+	fmt.Printf("all %d sites converged: %v; count = %d (want %d)\n",
+		sites, ok, otpdb.AsInt64(v), total)
+	if !ok || otpdb.AsInt64(v) != int64(total) {
 		return fmt.Errorf("fault tolerance demonstration failed")
 	}
 	return nil

@@ -106,10 +106,31 @@ type OrderMsg struct {
 	ID  MsgID
 }
 
+// BodyReq asks peers to retransmit the bodies (DataMsg) of the given
+// messages. A rejoining site needs it for messages that were decided in
+// the stages it resumes at but whose bodies were broadcast while it was
+// down; peers serve from their retained definitive history.
+type BodyReq struct {
+	IDs []MsgID
+}
+
+// DefEntry is one definitive delivery in a site's retained history: the
+// message's global definitive position (1-based, identical at every
+// site), its identifier, and — once the body has arrived — its payload.
+// The retained history is what checkpoint-based recovery streams to a
+// rejoining replica to close the gap between the checkpoint index and
+// the consensus stage it re-enters at.
+type DefEntry struct {
+	Seq     uint64
+	ID      MsgID
+	Payload any
+	HasBody bool
+}
+
 // RegisterWire registers broadcast message types with the gob codec used
 // by the TCP transport. Payload types must be registered separately.
 func RegisterWire() {
-	transport.Register(DataMsg{}, OrderMsg{}, MsgID{}, []MsgID(nil))
+	transport.Register(DataMsg{}, OrderMsg{}, MsgID{}, []MsgID(nil), BodyReq{}, DefEntry{}, []DefEntry(nil))
 }
 
 // Stats are cumulative engine counters, exposed for the experiment

@@ -42,6 +42,7 @@ type Optimistic struct {
 	stop   chan struct{}
 	done   chan struct{}
 	dumpCh chan chan string
+	defCh  chan defLogQuery
 
 	// Engine-goroutine state (no locking needed).
 	payloads    map[MsgID]any
@@ -54,29 +55,95 @@ type Optimistic struct {
 	nextProcess uint64 // next stage decision to process
 	decisionBuf map[uint64][]MsgID
 	lastProp    []MsgID // this site's proposal for the in-flight stage
+
+	// Definitive-history retention (recovery/rejoin support): every
+	// decided message is assigned the next global definitive position and
+	// retained — ID, position, and body once available — so this site can
+	// serve a rejoining replica the deliveries it missed since a peer
+	// checkpoint, and retransmit bodies on request. Bounded to defLogCap
+	// entries (rejoin fails loudly when asked for pruned history).
+	defSeq    uint64 // last assigned definitive position
+	defLog    []*DefEntry
+	defByID   map[MsgID]*DefEntry
+	defLogCap int
+	join      *JoinState
+}
+
+// JoinState primes a fresh engine to rejoin a running group (see
+// Cluster.RestartSite): skip the consensus stages already processed
+// elsewhere, replay the definitive backlog a peer served, and resume
+// this origin's broadcast numbering past everything the group has seen.
+type JoinState struct {
+	// StartStage is the first consensus stage to process; decisions of
+	// earlier stages are covered by Backlog.
+	StartStage uint64
+	// ResumeSeq is the last broadcast sequence number of this origin the
+	// group may have seen; new broadcasts number from ResumeSeq+1 so
+	// message IDs stay unique across the crash.
+	ResumeSeq uint64
+	// Backlog is the definitive history to pre-deliver at Start, in
+	// ascending Seq order (the gap between the state-transfer checkpoint
+	// and StartStage). Entries without bodies are requested from peers.
+	Backlog []DefEntry
+}
+
+// Option configures an Optimistic engine.
+type Option func(*Optimistic)
+
+// WithJoin makes the engine start in rejoin mode.
+func WithJoin(js JoinState) Option {
+	return func(o *Optimistic) { o.join = &js }
+}
+
+// WithDefLogCap bounds the retained definitive history (default 64Ki
+// entries). Rejoin requests below the retained window fail.
+func WithDefLogCap(n int) Option {
+	return func(o *Optimistic) { o.defLogCap = n }
+}
+
+// WithDefBase presets the definitive position counter: after a cold
+// restart from durable state the first new decision is assigned base+1,
+// keeping engine positions aligned with the replica's recovered commit
+// index.
+func WithDefBase(base uint64) Option {
+	return func(o *Optimistic) {
+		if base > o.defSeq {
+			o.defSeq = base
+		}
+	}
 }
 
 var _ Broadcaster = (*Optimistic)(nil)
+
+// defaultDefLogCap bounds the retained definitive history.
+const defaultDefLogCap = 64 << 10
 
 // NewOptimistic creates an OPT-ABcast engine bound to ep and using cons
 // for definitive ordering. The consensus engine must be dedicated to this
 // broadcaster (instance numbers are the stage numbers) and must be started
 // and stopped by the caller.
-func NewOptimistic(ep transport.Endpoint, cons *consensus.Engine) *Optimistic {
-	return &Optimistic{
+func NewOptimistic(ep transport.Endpoint, cons *consensus.Engine, opts ...Option) *Optimistic {
+	o := &Optimistic{
 		ep:          ep,
 		cons:        cons,
 		out:         queue.New[Event](),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 		dumpCh:      make(chan chan string),
+		defCh:       make(chan defLogQuery),
 		payloads:    make(map[MsgID]any),
 		optDone:     make(map[MsgID]bool),
 		decided:     make(map[MsgID]bool),
 		stage:       1,
 		nextProcess: 1,
 		decisionBuf: make(map[uint64][]MsgID),
+		defByID:     make(map[MsgID]*DefEntry),
+		defLogCap:   defaultDefLogCap,
 	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
 }
 
 // Start implements Broadcaster.
@@ -137,25 +204,117 @@ func (o *Optimistic) run() {
 	defer close(o.done)
 	data := o.ep.Subscribe(StreamData)
 	decisions := o.cons.Decisions()
+	if o.join != nil {
+		o.applyJoin()
+	}
 	for {
 		select {
 		case env, ok := <-data:
 			if !ok {
 				return
 			}
-			if m, ok := env.Msg.(DataMsg); ok {
+			switch m := env.Msg.(type) {
+			case DataMsg:
 				o.onData(m)
+			case BodyReq:
+				o.onBodyReq(env.From, m)
 			}
 		case d, ok := <-decisions:
 			if !ok {
 				return
 			}
 			o.onDecision(d)
+		case q := <-o.defCh:
+			q.reply <- o.serveDefLog(q)
 		case reply := <-o.dumpCh:
 			reply <- o.dumpLocked()
 		case <-o.stop:
 			return
 		}
+	}
+}
+
+// applyJoin replays the peer-served backlog: every entry is already
+// definitively ordered, so it is marked decided, Opt-delivered (when its
+// body is known) and queued for TO release in seq order; missing bodies
+// are requested from the group. Runs in the engine goroutine before any
+// live traffic is processed, so the replica sees the backlog exactly as
+// if it had been delivered normally.
+func (o *Optimistic) applyJoin() {
+	j := o.join
+	if j.StartStage > o.stage {
+		o.stage = j.StartStage
+		o.nextProcess = j.StartStage
+	}
+	o.mu.Lock()
+	if j.ResumeSeq > o.nextSeq {
+		o.nextSeq = j.ResumeSeq
+	}
+	o.mu.Unlock()
+	for _, src := range j.Backlog {
+		ent := &DefEntry{Seq: src.Seq, ID: src.ID, Payload: src.Payload, HasBody: src.HasBody}
+		o.decided[ent.ID] = true
+		if ent.Seq > o.defSeq {
+			o.defSeq = ent.Seq
+		}
+		o.retain(ent)
+		if ent.HasBody {
+			o.optDone[ent.ID] = true
+			o.payloads[ent.ID] = ent.Payload
+			o.emit(Event{Kind: Opt, ID: ent.ID, Payload: ent.Payload})
+		}
+		o.pendingTO = append(o.pendingTO, ent.ID)
+	}
+	o.flushPendingTO()
+	o.requestMissingBodies()
+}
+
+// requestMissingBodies asks the group to retransmit bodies the pending
+// definitive queue is blocked on. Only meaningful on rejoined sites (a
+// site that never crashed receives every body through the original
+// reliable dissemination); re-invoked at every processed stage, so a
+// peer that itself lacked the body at request time is asked again.
+func (o *Optimistic) requestMissingBodies() {
+	if o.join == nil {
+		return
+	}
+	var missing []MsgID
+	for _, id := range o.pendingTO {
+		if !o.optDone[id] {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		_ = o.ep.Broadcast(StreamData, BodyReq{IDs: missing})
+	}
+}
+
+// onBodyReq retransmits retained bodies to a catching-up peer.
+func (o *Optimistic) onBodyReq(from transport.NodeID, m BodyReq) {
+	for _, id := range m.IDs {
+		if ent, ok := o.defByID[id]; ok && ent.HasBody {
+			_ = o.ep.Send(from, StreamData, DataMsg{ID: id, Payload: ent.Payload})
+			continue
+		}
+		if pl, ok := o.payloads[id]; ok && o.optDone[id] {
+			_ = o.ep.Send(from, StreamData, DataMsg{ID: id, Payload: pl})
+		}
+	}
+}
+
+// retain appends one definitive entry to the bounded history.
+func (o *Optimistic) retain(ent *DefEntry) {
+	o.defLog = append(o.defLog, ent)
+	o.defByID[ent.ID] = ent
+	if len(o.defLog) > o.defLogCap {
+		drop := len(o.defLog) - o.defLogCap/2 // halve, amortizing the copy
+		if drop > len(o.defLog) {
+			drop = len(o.defLog)
+		}
+		for _, old := range o.defLog[:drop] {
+			delete(o.defByID, old.ID)
+		}
+		o.defLog = append([]*DefEntry(nil), o.defLog[drop:]...)
 	}
 }
 
@@ -167,6 +326,12 @@ func (o *Optimistic) onData(m DataMsg) {
 	}
 	o.optDone[m.ID] = true
 	o.payloads[m.ID] = m.Payload
+	if ent, ok := o.defByID[m.ID]; ok && !ent.HasBody {
+		// A retransmitted body for an already-decided entry: complete the
+		// retained history so this site can serve it onward.
+		ent.Payload = m.Payload
+		ent.HasBody = true
+	}
 	o.emit(Event{Kind: Opt, ID: m.ID, Payload: m.Payload})
 
 	if o.decided[m.ID] {
@@ -218,6 +383,16 @@ func (o *Optimistic) processStage(stage uint64, ids []MsgID) {
 		}
 		o.decided[id] = true
 		decidedSet[id] = true
+		// Assign the message its global definitive position and retain it
+		// (every site processes the same stage decisions in the same
+		// order, so positions agree everywhere).
+		o.defSeq++
+		ent := &DefEntry{Seq: o.defSeq, ID: id}
+		if o.optDone[id] {
+			ent.Payload = o.payloads[id]
+			ent.HasBody = true
+		}
+		o.retain(ent)
 		o.pendingTO = append(o.pendingTO, id)
 	}
 	// Drop decided messages from our own tentative list.
@@ -237,6 +412,7 @@ func (o *Optimistic) processStage(stage uint64, ids []MsgID) {
 	}
 	o.inFlight = false
 	o.lastProp = nil
+	o.requestMissingBodies()
 	o.maybePropose()
 }
 
@@ -275,6 +451,77 @@ func (o *Optimistic) emit(ev Event) {
 	}
 	o.mu.Unlock()
 	o.out.Push(ev)
+}
+
+// defLogQuery is a DefinitiveLog request served by the engine goroutine.
+type defLogQuery struct {
+	from   uint64
+	origin transport.NodeID
+	reply  chan defLogReply
+}
+
+type defLogReply struct {
+	entries   []DefEntry
+	nextStage uint64
+	resumeSeq uint64
+	err       error
+}
+
+// ErrHistoryPruned is returned by DefinitiveLog when the requested range
+// reaches below the retained definitive history.
+var ErrHistoryPruned = fmt.Errorf("abcast: definitive history pruned past request")
+
+// DefinitiveLog returns this site's definitive history from position
+// `from` (inclusive) through the last processed stage, together with the
+// next stage number a rejoining engine should resume at and the largest
+// broadcast sequence number this site has seen from `origin` (so the
+// rejoiner can renumber past its own pre-crash messages). The triple is
+// captured atomically in the engine goroutine: the entries cover exactly
+// the decisions of every stage below the returned stage number.
+func (o *Optimistic) DefinitiveLog(from uint64, origin transport.NodeID) ([]DefEntry, uint64, uint64, error) {
+	reply := make(chan defLogReply, 1)
+	select {
+	case o.defCh <- defLogQuery{from: from, origin: origin, reply: reply}:
+		r := <-reply
+		return r.entries, r.nextStage, r.resumeSeq, r.err
+	case <-o.stop:
+		return nil, 0, 0, transport.ErrClosed
+	}
+}
+
+// serveDefLog runs in the engine goroutine.
+func (o *Optimistic) serveDefLog(q defLogQuery) defLogReply {
+	r := defLogReply{nextStage: o.nextProcess}
+	// Oldest position this site can vouch for: the head of the retained
+	// history, or the position right after the counter when nothing is
+	// retained (fresh or fully pruned).
+	oldest := o.defSeq + 1
+	if len(o.defLog) > 0 {
+		oldest = o.defLog[0].Seq
+	}
+	if q.from < oldest {
+		r.err = fmt.Errorf("%w: want from %d, oldest retained %d", ErrHistoryPruned, q.from, oldest)
+		return r
+	}
+	for _, ent := range o.defLog {
+		if ent.Seq >= q.from {
+			r.entries = append(r.entries, *ent)
+		}
+	}
+	// Largest sequence number seen from origin, across everything this
+	// site ever received (optDone spans delivered bodies; decided spans
+	// ordered messages whose bodies may still be pending).
+	for id := range o.optDone {
+		if id.Origin == q.origin && id.Seq > r.resumeSeq {
+			r.resumeSeq = id.Seq
+		}
+	}
+	for id := range o.decided {
+		if id.Origin == q.origin && id.Seq > r.resumeSeq {
+			r.resumeSeq = id.Seq
+		}
+	}
+	return r
 }
 
 // Dump returns a snapshot of the engine's ordering state, for debugging.

@@ -61,12 +61,20 @@ type (
 		Inst uint64
 		Val  any
 	}
+	// MsgDecideReq asks peers to retransmit the decisions of every
+	// instance >= From they know of — the catch-up primitive a restarted
+	// site uses to close the gap between the instance it rejoined at and
+	// the instances decided while it was down. Decisions are tombstoned
+	// forever (onDecide), so any correct peer can serve the request.
+	MsgDecideReq struct {
+		From uint64
+	}
 )
 
 // RegisterWire registers the engine's message types with the gob codec
 // used by the TCP transport.
 func RegisterWire() {
-	transport.Register(MsgEstimate{}, MsgPropose{}, MsgAck{}, MsgDecide{})
+	transport.Register(MsgEstimate{}, MsgPropose{}, MsgAck{}, MsgDecide{}, MsgDecideReq{})
 }
 
 // Decision is an output of the engine.
@@ -89,6 +97,13 @@ type Config struct {
 	// TickEvery is the deadline-check granularity. Defaults to
 	// RoundTimeout/4.
 	TickEvery time.Duration
+	// CatchUpFrom, when positive, makes the engine broadcast a decision
+	// retransmission request for instances >= CatchUpFrom as soon as it
+	// starts — the rejoin path of a restarted site. Decisions made at
+	// peers after they serve the request arrive through the normal
+	// DECIDE broadcast (the endpoint is live by then), so the two
+	// channels together cover every instance >= CatchUpFrom.
+	CatchUpFrom uint64
 }
 
 // Engine executes consensus instances. Create with New, then Start.
@@ -97,6 +112,7 @@ type Engine struct {
 	susp      fd.Suspector
 	timeout   time.Duration
 	tickEvery time.Duration
+	catchUp   uint64
 
 	proposeCh chan proposeReq
 	dumpCh    chan chan string
@@ -160,6 +176,7 @@ func New(cfg Config) *Engine {
 		susp:      cfg.Suspector,
 		timeout:   cfg.RoundTimeout,
 		tickEvery: cfg.TickEvery,
+		catchUp:   cfg.CatchUpFrom,
 		proposeCh: make(chan proposeReq),
 		dumpCh:    make(chan chan string),
 		decisions: queue.New[Decision](),
@@ -216,6 +233,13 @@ func (e *Engine) Propose(inst uint64, val any) error {
 func (e *Engine) run() {
 	defer close(e.done)
 	in := e.ep.Subscribe(Stream)
+	if e.catchUp > 0 {
+		// Subscribe first, then ask: every decision a peer makes after
+		// serving the request reaches us through its normal DECIDE
+		// broadcast (the transport buffers messages from subscription
+		// time), so the reply and the live stream overlap with no gap.
+		_ = e.ep.Broadcast(Stream, MsgDecideReq{From: e.catchUp})
+	}
 	ticker := time.NewTicker(e.tickEvery)
 	defer ticker.Stop()
 	for {
@@ -311,6 +335,17 @@ func (e *Engine) handleEnvelope(env transport.Envelope) {
 		e.onAck(env.From, m)
 	case MsgDecide:
 		e.onDecide(m)
+	case MsgDecideReq:
+		e.onDecideReq(env.From, m)
+	}
+}
+
+// onDecideReq retransmits known decisions to a catching-up peer.
+func (e *Engine) onDecideReq(from transport.NodeID, m MsgDecideReq) {
+	for inst, st := range e.instances {
+		if st.decided && inst >= m.From {
+			_ = e.ep.Send(from, Stream, MsgDecide{Inst: inst, Val: st.decision})
+		}
 	}
 }
 

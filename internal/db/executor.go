@@ -10,6 +10,7 @@ import (
 	"otpdb/internal/otp"
 	"otpdb/internal/sproc"
 	"otpdb/internal/storage"
+	"otpdb/internal/wal"
 )
 
 // executor runs stored procedures on behalf of the OTP scheduler: one
@@ -161,6 +162,22 @@ func (e *executor) Commit(tx *otp.MultiTxn) {
 		panic(fmt.Sprintf("db: commit of %v without a completed attempt", tx.ID))
 	}
 	readSet, writeSet := att.stx.ReadSet(), att.stx.WriteSet()
+	if d := e.r.dur; d != nil {
+		// Write-ahead: the commit record reaches the log (and, under the
+		// per-commit sync policy, stable storage) before the writes are
+		// installed and before the submitting client is acknowledged.
+		rec := wal.Record{TOIndex: tx.TOIndex(), Writes: att.stx.PendingWrites()}
+		if err := d.Append(rec); err != nil {
+			e.r.mu.Lock()
+			stopped := e.r.stopped
+			e.r.mu.Unlock()
+			if !stopped {
+				panic(fmt.Sprintf("db: WAL append of %v: %v", tx.ID, err))
+			}
+			// Racing shutdown closed the log; the in-memory commit still
+			// proceeds so the scheduler's invariants hold.
+		}
+	}
 	if err := att.stx.Commit(tx.TOIndex()); err != nil {
 		panic(fmt.Sprintf("db: commit of %v: %v", tx.ID, err))
 	}

@@ -16,6 +16,7 @@ import (
 
 	"otpdb/internal/abcast"
 	"otpdb/internal/otp"
+	"otpdb/internal/recovery"
 	"otpdb/internal/sproc"
 	"otpdb/internal/storage"
 	"otpdb/internal/transport"
@@ -106,6 +107,17 @@ type Config struct {
 	// active) and versions below it are discarded. 0 selects the default
 	// (1024); negative disables pruning.
 	PruneInterval int
+	// Durability, when non-nil, makes the replica durable: every
+	// definitive commit is appended to the write-ahead log before the
+	// submitting client is acknowledged, and a checkpoint is taken every
+	// Durability.CheckpointEvery() commits to bound replay. The replica
+	// takes ownership: Stop flushes and closes it.
+	Durability *recovery.Durability
+	// InitialTOIndex resumes the definitive index counter after
+	// recovery: the next TO delivery is assigned InitialTOIndex+1. The
+	// store must hold exactly the committed state at that index (as
+	// Durability.Recover and Cluster.RestartSite arrange).
+	InitialTOIndex int64
 }
 
 // defaultPruneInterval is the commit count between prune passes when
@@ -138,6 +150,16 @@ type Replica struct {
 	activeSnaps map[int64]int // qIndex -> active query count
 	pruneEvery  int           // <=0 disables
 	sincePrune  int
+
+	// Durability: every commit is WAL-logged by the executor before the
+	// client ack; every ckptEvery commits a background checkpoint bounds
+	// replay (at most one in flight, extra triggers dropped; Stop joins
+	// it via ckptWG before closing the directory, so no checkpoint
+	// writer outlives the replica).
+	dur       *recovery.Durability
+	ckptEvery int
+	sinceCkpt int
+	ckptWG    sync.WaitGroup
 
 	exec *executor
 
@@ -195,6 +217,28 @@ func New(cfg Config) (*Replica, error) {
 		OnCommit:      r.onCommit,
 		OnTODelivered: r.onTODelivered,
 	})
+	if cfg.Durability != nil {
+		r.dur = cfg.Durability
+		r.ckptEvery = cfg.Durability.CheckpointEvery()
+	}
+	if cfg.InitialTOIndex > 0 {
+		// Resume after recovery: the definitive counter continues past
+		// the recovered index, and the per-class snapshot targets reflect
+		// the committed floors the recovered store carries. The admission
+		// and commit counters also resume there (each TO delivery commits
+		// exactly once, so at quiescence commits == lastTO), keeping
+		// WaitCommits thresholds comparable across recovered and
+		// never-crashed replicas.
+		r.lastTO = cfg.InitialTOIndex
+		r.optCount = uint64(cfg.InitialTOIndex)
+		r.commits = uint64(cfg.InitialTOIndex)
+		r.mgr.StartAt(cfg.InitialTOIndex)
+		for _, p := range r.store.Partitions() {
+			if lc := r.store.LastCommitted(p); lc > 0 {
+				r.classLast[sproc.ClassID(p)] = lc
+			}
+		}
+	}
 	return r, nil
 }
 
@@ -245,6 +289,15 @@ func (r *Replica) Stop() {
 	r.mu.Unlock()
 	for _, fn := range orphans {
 		fn(CommitResult{Err: ErrStopped})
+	}
+	if r.dur != nil {
+		// Join any in-flight background checkpoint (its waits resolve
+		// with ErrStopped now that stopped is set), then flush the WAL
+		// tail so a clean shutdown loses nothing even under the grouped
+		// or OS-driven sync policies — and no writer outlives the
+		// replica's claim on the data directory (RestartSite reopens it).
+		r.ckptWG.Wait()
+		_ = r.dur.Close()
 	}
 }
 
@@ -333,11 +386,86 @@ func (r *Replica) onCommit(tx *otp.MultiTxn) {
 			horizon = r.pruneHorizonLocked()
 		}
 	}
+	ckpt := false
+	if r.dur != nil && r.ckptEvery > 0 && !r.stopped {
+		r.sinceCkpt++
+		if r.sinceCkpt >= r.ckptEvery {
+			r.sinceCkpt = 0
+			// Registered under r.mu: Stop flips stopped under the same
+			// lock before joining ckptWG, so no checkpoint goroutine is
+			// added after the join begins.
+			if r.dur.TryBeginCheckpoint() {
+				ckpt = true
+				r.ckptWG.Add(1)
+			}
+		}
+	}
 	r.mu.Unlock()
 	if horizon > 0 {
 		// Outside r.mu: pruning walks every partition under its lock.
 		r.store.Prune(horizon)
 	}
+	if ckpt {
+		// Background: a checkpoint waits for the commit frontier and
+		// walks the whole store; the commit path must not.
+		go r.backgroundCheckpoint()
+	}
+}
+
+// backgroundCheckpoint takes a consistent checkpoint at the current
+// definitive frontier and hands it to the durability layer, which bounds
+// the WAL against it. Failures are non-fatal (the log alone still
+// recovers everything); the claimed checkpoint slot is always released.
+func (r *Replica) backgroundCheckpoint() {
+	defer r.ckptWG.Done()
+	ck, err := r.Checkpoint(context.Background())
+	if err != nil {
+		r.dur.ReleaseCheckpoint()
+		return
+	}
+	_ = r.dur.Checkpoint(ck)
+}
+
+// Checkpoint captures a consistent snapshot of the committed state at
+// this replica's current definitive index: it waits (exactly as a
+// Section 5 query would) until every transaction at or below that index
+// has committed locally, pins the index against version pruning, and
+// serializes the per-key state. The same snapshot serves cold-restart
+// checkpoints and live replica catch-up (Cluster.RestartSite streams it
+// to the rejoining site).
+func (r *Replica) Checkpoint(ctx context.Context) (*storage.Checkpoint, error) {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return nil, ErrStopped
+	}
+	q := r.lastTO
+	targets := make(map[sproc.ClassID]int64, len(r.classLast))
+	for c, idx := range r.classLast {
+		targets[c] = idx
+	}
+	// Pin the snapshot against pruning, exactly as queries do.
+	r.activeSnaps[q]++
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		if r.activeSnaps[q] <= 1 {
+			delete(r.activeSnaps, q)
+		} else {
+			r.activeSnaps[q]--
+		}
+		r.mu.Unlock()
+	}()
+	for _, p := range r.store.Partitions() {
+		target := targets[sproc.ClassID(p)]
+		if target > q {
+			target = q
+		}
+		if err := r.waitCommitted(ctx, p, target); err != nil {
+			return nil, err
+		}
+	}
+	return r.store.CheckpointAt(q), nil
 }
 
 // pruneHorizonLocked computes the oldest snapshot index still reachable:

@@ -104,12 +104,15 @@ type CommitBenchReport struct {
 	EndToEnd LatencyStats    `json:"end_to_end_commit"`
 	Pipeline []PipelineStats `json:"pipeline"`
 	Snapshot SnapshotStats   `json:"snapshot_read"`
+	// Recovery is E9: recovery time vs log length and the fsync-policy
+	// throughput cost of durability.
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
 }
 
 // CommitBench runs the tracked commit-path benchmark.
 func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 	rep := CommitBenchReport{
-		Schema: "otpdb-bench-commit/v1",
+		Schema: "otpdb-bench-commit/v2",
 		Go:     runtime.Version(),
 		CPUs:   runtime.NumCPU(),
 		Quick:  quick,
@@ -135,6 +138,16 @@ func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 	}
 
 	rep.Snapshot = snapshotReadCell(p)
+
+	rp := DefaultRecoveryParams()
+	if quick {
+		rp = QuickRecoveryParams()
+	}
+	rec, err := RecoveryBench(rp)
+	if err != nil {
+		return rep, fmt.Errorf("recovery: %w", err)
+	}
+	rep.Recovery = &rec
 	return rep, nil
 }
 
@@ -229,6 +242,11 @@ func (r CommitBenchReport) Table() Table {
 		row(fmt.Sprintf("pipeline depth=%d", p.Depth), p.LatencyStats)
 	}
 	row(fmt.Sprintf("snapshot read (%d versions)", r.Snapshot.Versions), r.Snapshot.LatencyStats)
+	if r.Recovery != nil {
+		for _, c := range r.Recovery.FsyncPolicy {
+			row("durable commit fsync="+c.Policy, c.LatencyStats)
+		}
+	}
 	return t
 }
 

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"otpdb"
+	"otpdb/internal/metrics"
+	"otpdb/internal/recovery"
+	"otpdb/internal/storage"
+	"otpdb/internal/wal"
+)
+
+// This file is E9 (DESIGN.md §4): the durability benchmark. Two
+// quantities the recovery subsystem trades in:
+//
+//   - recovery time as a function of log length, with and without a
+//     checkpoint bounding replay — the knob WithCheckpointEvery turns;
+//   - commit throughput under each WAL fsync policy against the
+//     non-durable baseline — the price of WithDurability.
+//
+// Both are serialized into BENCH_commit.json by `otpbench -json commit`.
+
+// RecoveryParams sizes E9.
+type RecoveryParams struct {
+	// LogLengths is the sweep of WAL record counts to recover from.
+	LogLengths []int
+	// WritesPerTxn is the number of key writes per logged commit.
+	WritesPerTxn int
+	// ValueBytes is the value size per write.
+	ValueBytes int
+	// FsyncTxns is the transaction count per fsync-policy cell.
+	FsyncTxns int
+}
+
+// DefaultRecoveryParams is the tracked configuration.
+func DefaultRecoveryParams() RecoveryParams {
+	return RecoveryParams{
+		LogLengths:   []int{5_000, 20_000, 50_000},
+		WritesPerTxn: 2,
+		ValueBytes:   64,
+		FsyncTxns:    2000,
+	}
+}
+
+// QuickRecoveryParams shrinks the sweep for CI smoke runs.
+func QuickRecoveryParams() RecoveryParams {
+	return RecoveryParams{
+		LogLengths:   []int{2_000, 5_000},
+		WritesPerTxn: 2,
+		ValueBytes:   64,
+		FsyncTxns:    400,
+	}
+}
+
+// RecoveryCell is one recovery-time measurement.
+type RecoveryCell struct {
+	// Records is the number of committed transactions on disk.
+	Records int `json:"records"`
+	// Checkpointed reports whether a checkpoint at half the log bounded
+	// the replay (the WithCheckpointEvery effect).
+	Checkpointed bool `json:"checkpointed"`
+	// RecoveryMillis is the wall time of Open + Recover.
+	RecoveryMillis float64 `json:"recovery_ms"`
+	// RecordsPerSec is Records / recovery time.
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// FsyncCell is one fsync-policy throughput measurement.
+type FsyncCell struct {
+	// Policy is "none" (durability off), "off", "group" or "commit".
+	Policy string `json:"policy"`
+	LatencyStats
+}
+
+// RecoveryReport is the E9 payload inside BENCH_commit.json.
+type RecoveryReport struct {
+	RecoveryTime []RecoveryCell `json:"recovery_time"`
+	FsyncPolicy  []FsyncCell    `json:"fsync_policy"`
+}
+
+// RecoveryBench runs E9.
+func RecoveryBench(p RecoveryParams) (RecoveryReport, error) {
+	var rep RecoveryReport
+	for _, n := range p.LogLengths {
+		for _, checkpointed := range []bool{false, true} {
+			cell, err := recoveryTimeCell(p, n, checkpointed)
+			if err != nil {
+				return rep, fmt.Errorf("recovery time (%d records): %w", n, err)
+			}
+			rep.RecoveryTime = append(rep.RecoveryTime, cell)
+		}
+	}
+	for _, policy := range []string{"none", "off", "group", "commit"} {
+		cell, err := fsyncPolicyCell(p, policy)
+		if err != nil {
+			return rep, fmt.Errorf("fsync policy %s: %w", policy, err)
+		}
+		rep.FsyncPolicy = append(rep.FsyncPolicy, cell)
+	}
+	return rep, nil
+}
+
+// recoveryTimeCell builds a data directory holding n committed
+// transactions (optionally checkpointed halfway) and measures a cold
+// Open + Recover into a fresh store.
+func recoveryTimeCell(p RecoveryParams, n int, checkpointed bool) (RecoveryCell, error) {
+	dir, err := os.MkdirTemp("", "otpdb-e9-*")
+	if err != nil {
+		return RecoveryCell{}, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	d, err := recovery.Open(dir, recovery.Options{Sync: wal.SyncNever})
+	if err != nil {
+		return RecoveryCell{}, err
+	}
+	live := storage.NewStore()
+	value := make(storage.Value, p.ValueBytes)
+	for i := 1; i <= n; i++ {
+		writes := make([]storage.ClassKeyValue, p.WritesPerTxn)
+		for w := range writes {
+			writes[w] = storage.ClassKeyValue{
+				Partition: storage.Partition(fmt.Sprintf("p%d", w)),
+				Key:       storage.Key(fmt.Sprintf("key-%d", i%512)),
+				Value:     value,
+			}
+		}
+		rec := wal.Record{TOIndex: int64(i), Writes: writes}
+		if err := d.Append(rec); err != nil {
+			return RecoveryCell{}, err
+		}
+		live.InstallCommit(rec.TOIndex, rec.Writes)
+		if checkpointed && i == n/2 {
+			if !d.TryBeginCheckpoint() {
+				return RecoveryCell{}, fmt.Errorf("checkpoint slot busy")
+			}
+			if err := d.Checkpoint(live.CheckpointAt(int64(i))); err != nil {
+				return RecoveryCell{}, err
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		return RecoveryCell{}, err
+	}
+
+	start := time.Now()
+	d2, err := recovery.Open(dir, recovery.Options{})
+	if err != nil {
+		return RecoveryCell{}, err
+	}
+	store := storage.NewStore()
+	base, err := d2.Recover(store)
+	elapsed := time.Since(start)
+	_ = d2.Close()
+	if err != nil {
+		return RecoveryCell{}, err
+	}
+	if base != int64(n) {
+		return RecoveryCell{}, fmt.Errorf("recovered to %d, want %d", base, n)
+	}
+	return RecoveryCell{
+		Records:        n,
+		Checkpointed:   checkpointed,
+		RecoveryMillis: float64(elapsed.Nanoseconds()) / 1e6,
+		RecordsPerSec:  float64(n) / elapsed.Seconds(),
+	}, nil
+}
+
+// fsyncPolicyCell measures end-to-end commit throughput of a single-site
+// durable cluster under one fsync policy ("none" = durability off).
+func fsyncPolicyCell(p RecoveryParams, policy string) (FsyncCell, error) {
+	opts := []otpdb.Option{otpdb.WithReplicas(1)}
+	if policy != "none" {
+		dir, err := os.MkdirTemp("", "otpdb-e9-fsync-*")
+		if err != nil {
+			return FsyncCell{}, err
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		sync, err := wal.ParseSyncPolicy(policy)
+		if err != nil {
+			return FsyncCell{}, err
+		}
+		opts = append(opts, otpdb.WithDurability(dir), otpdb.WithSyncPolicy(sync))
+	}
+	cluster, err := otpdb.NewCluster(opts...)
+	if err != nil {
+		return FsyncCell{}, err
+	}
+	defer cluster.Stop()
+	cluster.MustRegisterUpdate(otpdb.Update{
+		Name:  "bump",
+		Class: "c",
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+			v, _ := ctx.Read("k")
+			next := otpdb.Int64(otpdb.AsInt64(v) + 1)
+			return next, ctx.Write("k", next)
+		},
+	})
+	if err := cluster.Start(); err != nil {
+		return FsyncCell{}, err
+	}
+	sess, err := cluster.Session(0)
+	if err != nil {
+		return FsyncCell{}, err
+	}
+	ctx := context.Background()
+	hist := metrics.NewHistogram()
+	start := time.Now()
+	for i := 0; i < p.FsyncTxns; i++ {
+		res, err := sess.Exec(ctx, "bump")
+		if err != nil {
+			return FsyncCell{}, err
+		}
+		hist.Observe(res.Latency)
+	}
+	elapsed := time.Since(start)
+	return FsyncCell{
+		Policy:       policy,
+		LatencyStats: latencyStats(hist.Summarize(), float64(p.FsyncTxns)/elapsed.Seconds()),
+	}, nil
+}
+
+// Table renders E9 as the otpbench plain-text tables.
+func (r RecoveryReport) Table() Table {
+	t := Table{
+		Title: "E9 — Durability & recovery (tracked in BENCH_commit.json)",
+		Columns: []string{
+			"cell", "n", "txn/s or ms", "detail",
+		},
+	}
+	for _, c := range r.RecoveryTime {
+		kind := "full log replay"
+		if c.Checkpointed {
+			kind = "checkpoint + tail"
+		}
+		t.AddRow("recovery", fmt.Sprintf("%d", c.Records),
+			fmt.Sprintf("%.1fms", c.RecoveryMillis),
+			fmt.Sprintf("%s, %.0f rec/s", kind, c.RecordsPerSec))
+	}
+	for _, c := range r.FsyncPolicy {
+		t.AddRow("fsync="+c.Policy, fmt.Sprintf("%d", c.Count),
+			fmt.Sprintf("%.0f txn/s", c.ThroughputPerSec),
+			fmt.Sprintf("mean %.1fµs p99 %.1fµs", c.MeanMicros, c.P99Micros))
+	}
+	return t
+}

@@ -123,6 +123,17 @@ func NewMultiManager(exec MultiExecutor, hooks MultiHooks) *MultiManager {
 	}
 }
 
+// StartAt presets the definitive index counter so the next TO delivery
+// is assigned base+1 — the recovery resume point. Call before the first
+// delivery; the counter never moves backwards.
+func (m *MultiManager) StartAt(base int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if base > m.nextTOIndex {
+		m.nextTOIndex = base
+	}
+}
+
 // OnOptDeliver is the generalized Serialization module: the transaction
 // joins every declared class queue in tentative order and starts if it
 // heads all of them.

@@ -176,6 +176,18 @@ func (t *MultiTxn) WriteSet() []ClassKey {
 	return out
 }
 
+// PendingWrites captures the qualified writes as they will commit (last
+// write wins per key), in partition order — the payload of one
+// write-ahead log record. Call before Commit; the returned values alias
+// the transaction's buffers, which are immutable from here to commit.
+func (t *MultiTxn) PendingWrites() []ClassKeyValue {
+	var out []ClassKeyValue
+	for _, tx := range t.txs {
+		out = tx.pendingWrites(out)
+	}
+	return out
+}
+
 // Abort rolls back every partition's transaction. Safe on partially
 // constructed transactions.
 func (t *MultiTxn) Abort() error {

@@ -847,3 +847,180 @@ func (t *Txn) Commit(toIndex int64) error {
 	pt.release()
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Durability: checkpoints and replay application.
+//
+// A Checkpoint is a consistent cross-partition snapshot of the committed
+// state at one definitive index: for every key, the latest version with
+// TOIndex <= Index. Because versions are immutable once committed and
+// conflicting transactions commit in definitive order, a checkpoint taken
+// after all transactions <= Index have committed is exactly the state the
+// paper's Section 5 snapshot rule would let a query observe at Index —
+// the same mechanism serves recovery (serialize the checkpoint to disk)
+// and live replica catch-up (stream it to a rejoining site).
+
+// KeyVersion is one key's surviving version in a checkpoint.
+type KeyVersion struct {
+	// Key is the object identifier within its partition.
+	Key Key
+	// TOIndex is the definitive index of the version retained.
+	TOIndex int64
+	// Value is the committed value (nil preserved).
+	Value Value
+}
+
+// PartitionCheckpoint is one partition's slice of a checkpoint.
+type PartitionCheckpoint struct {
+	// Partition names the conflict class.
+	Partition Partition
+	// LastCommitted is the partition's committed floor at the checkpoint
+	// index: replayed records at or below it are already reflected in
+	// Keys and must be skipped.
+	LastCommitted int64
+	// Keys holds, per key, the latest version with TOIndex <= the
+	// checkpoint index.
+	Keys []KeyVersion
+}
+
+// Checkpoint is a consistent snapshot of the whole store at Index.
+type Checkpoint struct {
+	// Index is the definitive commit index the snapshot is consistent at.
+	Index int64
+	// Partitions are the per-class slices, in sorted partition order.
+	Partitions []PartitionCheckpoint
+}
+
+// ClassKeyValue is one write of a committed transaction, qualified by
+// partition — the unit the write-ahead log records.
+type ClassKeyValue struct {
+	Partition Partition
+	Key       Key
+	Value     Value
+}
+
+// CheckpointAt captures a checkpoint of the committed state at maxIndex.
+// The caller must ensure every transaction with definitive index <=
+// maxIndex has committed (the replica waits on its per-class commit
+// targets, exactly as Section 5 queries do) and that versions at maxIndex
+// are pinned against pruning for the duration of the call.
+func (s *Store) CheckpointAt(maxIndex int64) *Checkpoint {
+	ck := &Checkpoint{Index: maxIndex}
+	for _, p := range s.Partitions() {
+		pt := s.lookup(p)
+		pt.mu.Lock()
+		pc := PartitionCheckpoint{Partition: p}
+		if lc := pt.lastCommitted.Load(); lc <= maxIndex {
+			pc.LastCommitted = lc
+		} else {
+			// Commits beyond the snapshot index may already have landed
+			// (they are excluded below); the floor the checkpoint vouches
+			// for is capped at its own index.
+			pc.LastCommitted = maxIndex
+		}
+		pt.forEachEntry(func(k Key, e *entry) {
+			st := e.load()
+			if i := searchVersions(st.idx, maxIndex); i > 0 {
+				pc.Keys = append(pc.Keys, KeyVersion{
+					Key:     k,
+					TOIndex: st.idx[i-1],
+					Value:   st.vals[i-1],
+				})
+			}
+		})
+		pt.mu.Unlock()
+		sort.Slice(pc.Keys, func(i, j int) bool { return pc.Keys[i].Key < pc.Keys[j].Key })
+		ck.Partitions = append(ck.Partitions, pc)
+	}
+	return ck
+}
+
+// InstallCheckpoint loads a checkpoint into the store, replacing any
+// overlapping keys: each key gets a single-version chain at its
+// checkpointed index, the partition's committed floor is restored, and
+// the prune watermark advances to the checkpoint index (state below it
+// was never transferred, so snapshot reads below it fail loudly, exactly
+// as after a Prune). Intended for empty or freshly seeded stores during
+// recovery and rejoin.
+func (s *Store) InstallCheckpoint(ck *Checkpoint) {
+	for _, pc := range ck.Partitions {
+		pt := s.part(pc.Partition)
+		pt.mu.Lock()
+		for _, kv := range pc.Keys {
+			e := pt.ensureEntry(kv.Key)
+			e.state.Store(&versionState{
+				current: kv.Value,
+				idx:     []int64{kv.TOIndex},
+				vals:    []Value{kv.Value},
+			})
+		}
+		if pc.LastCommitted > pt.lastCommitted.Load() {
+			pt.lastCommitted.Store(pc.LastCommitted)
+		}
+		if ck.Index > pt.pruned.Load() {
+			pt.pruned.Store(ck.Index)
+		}
+		pt.mu.Unlock()
+	}
+}
+
+// InstallCommit applies one logged commit during replay: the writes of
+// the transaction with definitive index toIndex, grouped by partition.
+// Application is idempotent per partition — a partition whose committed
+// floor already covers toIndex is skipped, so replaying a log over a
+// checkpoint (or replaying twice) converges to the same state. It
+// reports whether any partition applied the writes.
+func (s *Store) InstallCommit(toIndex int64, writes []ClassKeyValue) bool {
+	applied := false
+	for i := 0; i < len(writes); {
+		p := writes[i].Partition
+		j := i
+		for j < len(writes) && writes[j].Partition == p {
+			j++
+		}
+		pt := s.part(p)
+		pt.mu.Lock()
+		if toIndex > pt.lastCommitted.Load() {
+			applied = true
+			for _, w := range writes[i:j] {
+				e := pt.ensureEntry(w.Key)
+				v := w.Value.clone()
+				e.state.Store(e.load().appendVersion(v, toIndex, v))
+			}
+			pt.lastCommitted.Store(toIndex)
+		}
+		pt.mu.Unlock()
+		i = j
+	}
+	return applied
+}
+
+// pendingWrites captures the transaction's writes as they will commit
+// (last write wins per key), for write-ahead logging. Call before
+// Commit; the returned values alias the transaction's buffers.
+func (t *Txn) pendingWrites(out []ClassKeyValue) []ClassKeyValue {
+	switch t.mode {
+	case Buffered:
+		for k, v := range t.buffer {
+			out = append(out, ClassKeyValue{Partition: t.p, Key: k, Value: v})
+		}
+	case InPlaceUndo:
+		// Writes are already in place; the committed value is the entry's
+		// current one. Only this transaction writes the partition, so the
+		// values are stable until commit.
+		seen := make(map[Key]bool, len(t.writeSet))
+		for i := len(t.writeSet) - 1; i >= 0; i-- {
+			k := t.writeSet[i]
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			var v Value
+			if e := t.pt.getEntry(k); e != nil {
+				v = e.load().current
+			}
+			out = append(out, ClassKeyValue{Partition: t.p, Key: k, Value: v})
+		}
+	}
+	return out
+}

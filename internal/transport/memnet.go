@@ -102,6 +102,22 @@ func (h *Hub) Crash(n NodeID) {
 	h.crashed[n] = true
 }
 
+// Restart revives a crashed node with a fresh endpoint (fresh mailbox) —
+// the transport-level model of a process restart. Messages sent while
+// the node was down are gone for good; the returned endpoint receives
+// only traffic routed after the restart. The old endpoint is closed;
+// in-flight deliveries addressed to it are dropped.
+func (h *Hub) Restart(n NodeID) Endpoint {
+	h.mu.Lock()
+	old := h.nodes[n]
+	fresh := &memEndpoint{hub: h, id: n, box: newMailbox()}
+	h.nodes[n] = fresh
+	h.crashed[n] = false
+	h.mu.Unlock()
+	_ = old.Close()
+	return fresh
+}
+
 // Close shuts down every endpoint and waits for in-flight deliveries.
 func (h *Hub) Close() {
 	h.mu.Lock()

@@ -57,6 +57,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"otpdb/internal/abcast"
@@ -64,9 +66,11 @@ import (
 	"otpdb/internal/db"
 	"otpdb/internal/history"
 	"otpdb/internal/otp"
+	"otpdb/internal/recovery"
 	"otpdb/internal/sproc"
 	"otpdb/internal/storage"
 	"otpdb/internal/transport"
+	"otpdb/internal/wal"
 )
 
 // Re-exported data types. Values are immutable byte strings; helpers
@@ -127,6 +131,23 @@ const (
 	ConservativeOrdering
 )
 
+// SyncPolicy selects when write-ahead log appends reach stable storage
+// (see WithDurability).
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies.
+const (
+	// SyncEveryCommit fsyncs before a commit is acknowledged: durable
+	// against machine crashes, at per-commit fsync cost.
+	SyncEveryCommit = wal.SyncEveryCommit
+	// SyncGrouped fsyncs on a short background timer: a bounded window
+	// of acknowledged commits may be lost on machine crash, none on
+	// process crash. The default.
+	SyncGrouped = wal.SyncGrouped
+	// SyncNever leaves flushing to the operating system.
+	SyncNever = wal.SyncNever
+)
+
 // config collects the cluster options.
 type config struct {
 	replicas     int
@@ -139,6 +160,9 @@ type config struct {
 	roundTimeout time.Duration
 	recordHist   bool
 	pruneEvery   int
+	durDir       string
+	syncPolicy   SyncPolicy
+	ckptEvery    int
 }
 
 // Option configures NewCluster.
@@ -196,16 +220,51 @@ func WithPruneInterval(n int) Option {
 	return func(c *config) { c.pruneEvery = n }
 }
 
+// WithDurability makes every replica durable under dir (one
+// subdirectory per site): definitive commits are written ahead to a
+// segmented, CRC-framed log and periodic checkpoints bound replay. On
+// Start each replica recovers its committed state from its directory
+// and resumes at the recovered definitive index — the "traditional
+// recovery techniques" the paper assumes each site has (Section 3.2).
+//
+// Restarting a whole multi-site cluster from durable state requires
+// every site to have recovered the same index (stop the cluster
+// cleanly); a single crashed site instead rejoins a running cluster
+// with RestartSite, which transfers a peer checkpoint and the missed
+// definitive deliveries regardless of local state.
+func WithDurability(dir string) Option {
+	return func(c *config) { c.durDir = dir }
+}
+
+// WithSyncPolicy selects the WAL fsync policy (default SyncGrouped).
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(c *config) { c.syncPolicy = p }
+}
+
+// WithCheckpointEvery sets how many local commits pass between durable
+// checkpoints (default 4096; negative disables periodic checkpoints, so
+// recovery replays the whole log).
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) { c.ckptEvery = n }
+}
+
 // Cluster is an in-process group of database replicas.
 type Cluster struct {
 	cfg      config
 	registry *sproc.Registry
 	hub      *transport.Hub
-	replicas []*db.Replica
-	sessions []*Session
-	stops    []func()
 	recorder *history.Recorder
 	seeds    []func(*storage.Store)
+
+	// mu guards the per-site state below: RestartSite swaps a site's
+	// whole stack while sessions and cluster methods resolve replicas
+	// through it.
+	mu       sync.RWMutex
+	replicas []*db.Replica
+	engines  []*abcast.Optimistic // per-site OPT-ABcast engine; nil under ConservativeOrdering
+	sessions []*Session
+	stops    []func()
+	bases    []int64 // recovered definitive index per site (durability)
 	crashed  map[int]bool
 	started  bool
 	stopped  bool
@@ -220,6 +279,22 @@ var (
 	// ErrBadSite is returned for an out-of-range site index.
 	ErrBadSite = errors.New("otpdb: no such site")
 )
+
+// Open creates an unstarted single-replica durable database rooted at
+// dir — the embedded, store-like entry point. Register procedures, then
+// Start: the replica replays its checkpoint and write-ahead log tail
+// and resumes at the recovered commit index (RecoveredIndex(0) reports
+// it). Stop flushes the log; a killed process recovers on the next
+// Open/Start.
+//
+//	db, _ := otpdb.Open(dir)
+//	db.MustRegisterUpdate(...)
+//	_ = db.Start()
+//	defer db.Stop()
+func Open(dir string, opts ...Option) (*Cluster, error) {
+	all := append([]Option{WithReplicas(1), WithDurability(dir)}, opts...)
+	return NewCluster(all...)
+}
 
 // NewCluster creates an unstarted cluster.
 func NewCluster(opts ...Option) (*Cluster, error) {
@@ -309,8 +384,75 @@ func (c *Cluster) Seed(class Class, key Key, value Value) error {
 	return nil
 }
 
+// siteDir is one site's durability directory under the cluster's.
+func (c *Cluster) siteDir(i int) string {
+	return filepath.Join(c.cfg.durDir, fmt.Sprintf("site-%d", i))
+}
+
+// buildSite assembles one site's full stack — broadcast engine (with
+// optional rejoin state), replica, stop function — on the given
+// endpoint. The caller provides the store (recovered or fresh) and the
+// definitive index it is consistent at.
+func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState,
+	store *storage.Store, base int64, dur *recovery.Durability) (*db.Replica, *abcast.Optimistic, func(), error) {
+	var bc abcast.Broadcaster
+	var opt *abcast.Optimistic
+	var stopEngine func()
+	switch c.cfg.ordering {
+	case ConservativeOrdering:
+		seq := abcast.NewSequencer(ep)
+		bc, stopEngine = seq, func() { _ = seq.Stop() }
+	default:
+		ccfg := consensus.Config{
+			Endpoint:     ep,
+			RoundTimeout: c.cfg.roundTimeout,
+		}
+		if join != nil {
+			ccfg.CatchUpFrom = join.StartStage
+		}
+		cons := consensus.New(ccfg)
+		cons.Start()
+		aopts := []abcast.Option{abcast.WithDefBase(uint64(base))}
+		if join != nil {
+			aopts = append(aopts, abcast.WithJoin(*join))
+		}
+		o := abcast.NewOptimistic(ep, cons, aopts...)
+		opt = o
+		bc, stopEngine = o, func() { _ = o.Stop(); cons.Stop() }
+	}
+	if err := bc.Start(); err != nil {
+		return nil, nil, nil, fmt.Errorf("otpdb: start broadcast %d: %w", i, err)
+	}
+	cfg := db.Config{
+		ID:             transport.NodeID(i),
+		Broadcast:      bc,
+		Registry:       c.registry,
+		Store:          store,
+		WriteMode:      c.cfg.writeMode,
+		Queries:        c.cfg.queryMode,
+		PruneInterval:  c.cfg.pruneEvery,
+		Durability:     dur,
+		InitialTOIndex: base,
+	}
+	if c.recorder != nil {
+		cfg.History = c.recorder
+	}
+	rep, err := db.New(cfg)
+	if err != nil {
+		stopEngine()
+		return nil, nil, nil, fmt.Errorf("otpdb: replica %d: %w", i, err)
+	}
+	rep.Start()
+	return rep, opt, func() {
+		rep.Stop()
+		stopEngine()
+	}, nil
+}
+
 // Start builds the network, broadcast engines and replicas, and begins
-// processing.
+// processing. With durability enabled, every replica first recovers its
+// committed state from its data directory and resumes at the recovered
+// definitive index.
 func (c *Cluster) Start() error {
 	if c.started {
 		return ErrStarted
@@ -327,62 +469,65 @@ func (c *Cluster) Start() error {
 	c.hub = transport.NewHub(c.cfg.replicas, hubOpts...)
 	for i := 0; i < c.cfg.replicas; i++ {
 		ep := c.hub.Endpoint(transport.NodeID(i))
-		var bc abcast.Broadcaster
-		var stopEngine func()
-		switch c.cfg.ordering {
-		case ConservativeOrdering:
-			seq := abcast.NewSequencer(ep)
-			bc, stopEngine = seq, func() { _ = seq.Stop() }
-		default:
-			cons := consensus.New(consensus.Config{
-				Endpoint:     ep,
-				RoundTimeout: c.cfg.roundTimeout,
-			})
-			cons.Start()
-			opt := abcast.NewOptimistic(ep, cons)
-			bc, stopEngine = opt, func() { _ = opt.Stop(); cons.Stop() }
-		}
-		if err := bc.Start(); err != nil {
-			return fmt.Errorf("otpdb: start broadcast %d: %w", i, err)
-		}
 		store := storage.NewStore()
 		for _, seed := range c.seeds {
 			seed(store)
 		}
-		cfg := db.Config{
-			ID:            transport.NodeID(i),
-			Broadcast:     bc,
-			Registry:      c.registry,
-			Store:         store,
-			WriteMode:     c.cfg.writeMode,
-			Queries:       c.cfg.queryMode,
-			PruneInterval: c.cfg.pruneEvery,
+		var dur *recovery.Durability
+		base := int64(0)
+		if c.cfg.durDir != "" {
+			d, err := recovery.Open(c.siteDir(i), recovery.Options{
+				Sync:            c.cfg.syncPolicy,
+				CheckpointEvery: c.cfg.ckptEvery,
+			})
+			if err != nil {
+				return fmt.Errorf("otpdb: durability %d: %w", i, err)
+			}
+			b, err := d.Recover(store)
+			if err != nil {
+				_ = d.Close()
+				return fmt.Errorf("otpdb: recover %d: %w", i, err)
+			}
+			dur, base = d, b
 		}
-		if c.recorder != nil {
-			cfg.History = c.recorder
+		if i > 0 && c.cfg.durDir != "" && base != c.bases[0] {
+			// Sites that recovered different definitive indexes would
+			// assign different TOIndexes to the same decisions and diverge
+			// silently. This happens after an unclean multi-site shutdown
+			// under the grouped/off sync policies; the crashed-site path
+			// is RestartSite against a running majority, not a cold
+			// restart. Fail loudly instead.
+			_ = dur.Close()
+			return fmt.Errorf("otpdb: durable sites recovered to different indexes (site 0: %d, site %d: %d); restart lagging sites into a running cluster with RestartSite",
+				c.bases[0], i, base)
 		}
-		rep, err := db.New(cfg)
+		rep, opt, stop, err := c.buildSite(i, ep, nil, store, base, dur)
 		if err != nil {
-			return fmt.Errorf("otpdb: replica %d: %w", i, err)
+			if dur != nil {
+				_ = dur.Close()
+			}
+			return err
 		}
-		rep.Start()
 		c.replicas = append(c.replicas, rep)
-		c.sessions = append(c.sessions, &Session{rep: rep, site: i})
-		c.stops = append(c.stops, func() {
-			rep.Stop()
-			stopEngine()
-		})
+		c.engines = append(c.engines, opt)
+		c.sessions = append(c.sessions, &Session{c: c, site: i})
+		c.stops = append(c.stops, stop)
+		c.bases = append(c.bases, base)
 	}
 	return nil
 }
 
-// Stop shuts the cluster down. It is idempotent.
+// Stop shuts the cluster down, flushing durable state. It is idempotent.
 func (c *Cluster) Stop() {
+	c.mu.Lock()
 	if !c.started || c.stopped {
+		c.mu.Unlock()
 		return
 	}
 	c.stopped = true
-	for _, stop := range c.stops {
+	stops := append([]func(){}, c.stops...)
+	c.mu.Unlock()
+	for _, stop := range stops {
 		stop()
 	}
 	c.hub.Close()
@@ -391,7 +536,24 @@ func (c *Cluster) Stop() {
 // Size reports the number of replicas.
 func (c *Cluster) Size() int { return c.cfg.replicas }
 
+// RecoveredIndex reports the definitive index a durable site resumed at
+// on Start (0 for a fresh or non-durable site).
+func (c *Cluster) RecoveredIndex(site int) (int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, err := c.replicaLocked(site); err != nil {
+		return 0, err
+	}
+	return c.bases[site], nil
+}
+
 func (c *Cluster) replica(site int) (*db.Replica, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.replicaLocked(site)
+}
+
+func (c *Cluster) replicaLocked(site int) (*db.Replica, error) {
 	if !c.started {
 		return nil, ErrNotStarted
 	}
@@ -481,13 +643,19 @@ func (c *Cluster) SiteStats(site int) (Stats, error) {
 // Crashed sites are skipped. The wait is driven by the replicas' commit
 // notifications — no polling.
 func (c *Cluster) WaitForCommits(ctx context.Context, n int) error {
+	c.mu.RLock()
 	if !c.started {
+		c.mu.RUnlock()
 		return ErrNotStarted
 	}
+	var live []*db.Replica
 	for i, rep := range c.replicas {
-		if c.crashed[i] {
-			continue
+		if !c.crashed[i] {
+			live = append(live, rep)
 		}
+	}
+	c.mu.RUnlock()
+	for _, rep := range live {
 		if err := rep.WaitCommits(ctx, n); err != nil {
 			return err
 		}
@@ -498,6 +666,8 @@ func (c *Cluster) WaitForCommits(ctx context.Context, n int) error {
 // Converged reports whether all live replicas currently hold identical
 // committed state. Crashed sites are skipped.
 func (c *Cluster) Converged() (bool, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if !c.started {
 		return false, ErrNotStarted
 	}
@@ -522,7 +692,9 @@ func (c *Cluster) Converged() (bool, error) {
 // optimistic ordering the cluster keeps committing as long as a majority
 // of sites remains alive.
 func (c *Cluster) CrashSite(site int) error {
-	if _, err := c.replica(site); err != nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.replicaLocked(site); err != nil {
 		return err
 	}
 	if c.crashed == nil {
@@ -530,6 +702,118 @@ func (c *Cluster) CrashSite(site int) error {
 	}
 	c.crashed[site] = true
 	c.hub.Crash(transport.NodeID(site))
+	return nil
+}
+
+// RestartSite brings a crashed site back into the running cluster — the
+// live-rejoin half of the durability story (the paper's Section 3.2
+// defers both to "traditional recovery techniques"). The rejoin
+// protocol:
+//
+//  1. A live peer replica produces a consistent checkpoint at its
+//     current definitive index C (the same MVCC snapshot Section 5
+//     queries read, so no site pauses).
+//  2. The peer's broadcast engine serves its retained definitive
+//     history above C together with the consensus stage to resume at —
+//     captured atomically, so checkpoint + backlog + live stages cover
+//     the definitive order with no gap and no overlap.
+//  3. The site gets a fresh transport endpoint, installs the
+//     checkpoint, replays the backlog through a fresh engine primed
+//     with the join state, and re-enters consensus at the current
+//     stage; missed stage decisions and message bodies are
+//     retransmitted by peers on request.
+//
+// The restarted site then executes and commits new transactions in
+// agreement with the survivors. With durability enabled its data
+// directory is reset to the transferred checkpoint, so a later cold
+// restart recovers from local state again.
+//
+// RestartSite requires OptimisticOrdering and at least one live site.
+// Sessions bound to the site transparently observe the new replica;
+// waiters pending from before the crash fail with ErrStopped.
+func (c *Cluster) RestartSite(ctx context.Context, site int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.replicaLocked(site); err != nil {
+		return err
+	}
+	if !c.crashed[site] {
+		return fmt.Errorf("otpdb: site %d is not crashed", site)
+	}
+	if c.cfg.ordering != OptimisticOrdering {
+		return errors.New("otpdb: RestartSite requires OptimisticOrdering")
+	}
+	peer := -1
+	for i := range c.replicas {
+		if !c.crashed[i] {
+			peer = i
+			break
+		}
+	}
+	if peer < 0 {
+		return errors.New("otpdb: no live peer to rejoin from")
+	}
+
+	// 1. Consistent peer checkpoint at its definitive index C.
+	ck, err := c.replicas[peer].Checkpoint(ctx)
+	if err != nil {
+		return fmt.Errorf("otpdb: peer checkpoint: %w", err)
+	}
+
+	// 2. The definitive deliveries above C, the resume stage, and the
+	// crashed origin's highest used broadcast sequence number.
+	backlog, startStage, resumeSeq, err := c.engines[peer].DefinitiveLog(
+		uint64(ck.Index)+1, transport.NodeID(site))
+	if err != nil {
+		return fmt.Errorf("otpdb: peer definitive log: %w", err)
+	}
+
+	// 3. Tear down the dead stack, revive the endpoint, and build the
+	// new one primed with the join state. If any step fails the endpoint
+	// is re-crashed, so peers do not flood a mailbox nobody drains and a
+	// retry starts from a clean "crashed" state.
+	c.stops[site]()
+	ep := c.hub.Restart(transport.NodeID(site))
+	fail := func(err error) error {
+		c.hub.Crash(transport.NodeID(site))
+		return err
+	}
+	store := storage.NewStore()
+	store.InstallCheckpoint(ck)
+	var dur *recovery.Durability
+	if c.cfg.durDir != "" {
+		d, derr := recovery.Open(c.siteDir(site), recovery.Options{
+			Sync:            c.cfg.syncPolicy,
+			CheckpointEvery: c.cfg.ckptEvery,
+		})
+		if derr != nil {
+			return fail(fmt.Errorf("otpdb: reopen durability %d: %w", site, derr))
+		}
+		// The store content now comes from the peer; reset the local
+		// directory to it so cold restarts recover from here on.
+		if rerr := d.ResetTo(ck); rerr != nil {
+			_ = d.Close()
+			return fail(fmt.Errorf("otpdb: reset durability %d: %w", site, rerr))
+		}
+		dur = d
+	}
+	join := &abcast.JoinState{
+		StartStage: startStage,
+		ResumeSeq:  resumeSeq,
+		Backlog:    backlog,
+	}
+	rep, opt, stop, err := c.buildSite(site, ep, join, store, ck.Index, dur)
+	if err != nil {
+		if dur != nil {
+			_ = dur.Close()
+		}
+		return fail(err)
+	}
+	c.replicas[site] = rep
+	c.engines[site] = opt
+	c.stops[site] = stop
+	c.bases[site] = ck.Index
+	delete(c.crashed, site)
 	return nil
 }
 
@@ -554,6 +838,8 @@ func (c *Cluster) CheckHistory() error {
 
 // CheckInvariants validates the OTP scheduler invariants at every site.
 func (c *Cluster) CheckInvariants() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if !c.started {
 		return ErrNotStarted
 	}

@@ -142,19 +142,31 @@ type Call struct {
 // primary data interface: synchronous Exec with typed results, pipelined
 // SubmitAsync returning transaction handles, amortized ExecBatch, and
 // local snapshot queries. Sessions are safe for concurrent use and cheap
-// to share; all sessions of a site observe the same replica.
+// to share; all sessions of a site observe the same replica. A session
+// is bound to the site, not to one incarnation of it: after
+// Cluster.RestartSite the same session transparently talks to the
+// site's new replica.
 type Session struct {
-	rep  *db.Replica
+	c    *Cluster
 	site int
 }
 
 // Session returns the client session bound to the given site. The cluster
 // must be started.
 func (c *Cluster) Session(site int) (*Session, error) {
-	if _, err := c.replica(site); err != nil {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, err := c.replicaLocked(site); err != nil {
 		return nil, err
 	}
 	return c.sessions[site], nil
+}
+
+// rep resolves the site's current replica.
+func (s *Session) rep() *db.Replica {
+	s.c.mu.RLock()
+	defer s.c.mu.RUnlock()
+	return s.c.replicas[s.site]
 }
 
 // Site returns the session's site index.
@@ -167,7 +179,7 @@ func (s *Session) Site() int { return s.site }
 func (s *Session) SubmitAsync(proc string, args ...Value) (*Handle, error) {
 	h := &Handle{site: s.site, done: make(chan struct{})}
 	start := time.Now()
-	id, err := s.rep.SubmitNotify(proc, args, func(cr db.CommitResult) { h.resolve(start, cr) })
+	id, err := s.rep().SubmitNotify(proc, args, func(cr db.CommitResult) { h.resolve(start, cr) })
 	if err != nil {
 		return nil, err
 	}
@@ -217,5 +229,5 @@ func (s *Session) ExecBatch(ctx context.Context, calls []Call) ([]Result, error)
 // against a consistent multi-version snapshot (Section 5). Queries never
 // block updates.
 func (s *Session) Query(ctx context.Context, proc string, args ...Value) (Value, error) {
-	return s.rep.Query(ctx, proc, args...)
+	return s.rep().Query(ctx, proc, args...)
 }
