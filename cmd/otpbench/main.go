@@ -7,7 +7,8 @@
 //	otpbench [-quick] [-json] [-out file] [experiment ...]
 //
 // Experiments: figure1, abortrate, overlap, async, queries, ordering,
-// pipeline, commit, recovery. With no arguments every experiment runs.
+// pipeline, commit, recovery, rejoin. With no arguments every
+// experiment runs.
 //
 // The commit experiment is the tracked commit-path benchmark: with
 // -json it also writes its report (throughput and p50/p99 commit
@@ -33,10 +34,10 @@ func main() {
 	flag.Parse()
 	targets := flag.Args()
 	if len(targets) == 0 {
-		// "recovery" is not listed: the commit benchmark already embeds
-		// the full E9 sweep in its report, and running it twice would
-		// double the slowest cells of the suite. It remains available as
-		// an explicit target.
+		// "recovery" and "rejoin" are not listed: the commit benchmark
+		// already embeds the full E9 and E10 sweeps in its report, and
+		// running them twice would double the slowest cells of the
+		// suite. Both remain available as explicit targets.
 		targets = []string{"figure1", "abortrate", "overlap", "async", "queries", "ordering", "pipeline", "commit"}
 	}
 	if err := run(targets, *quick, *jsonOut, *outPath); err != nil {
@@ -147,6 +148,17 @@ func run(targets []string, quick, jsonOut bool, outPath string) error {
 			rep, err := experiments.RecoveryBench(p)
 			if err != nil {
 				return fmt.Errorf("recovery: %w", err)
+			}
+			t := rep.Table()
+			t.Render(os.Stdout)
+		case "rejoin":
+			p := experiments.DefaultRejoinParams()
+			if quick {
+				p = experiments.QuickRejoinParams()
+			}
+			rep, err := experiments.RejoinBench(p)
+			if err != nil {
+				return fmt.Errorf("rejoin: %w", err)
 			}
 			t := rep.Table()
 			t.Render(os.Stdout)

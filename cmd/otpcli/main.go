@@ -7,6 +7,17 @@
 //	otpcli -addr :7071 QUERY get p0 mykey
 //	otpcli -addr :7072 STATS
 //
+// STATUS is the operator's convenience view: the same counters as
+// STATS, rendered one per line — including the replica's definitive
+// index (to), its locally recovered index, and its current role
+// (joining while a state transfer catches it up, serving, or donor
+// while it streams state to another joiner):
+//
+//	$ otpcli -addr :7072 STATUS
+//	commits:   1042
+//	...
+//	role:      serving
+//
 // Pipelined mode (-stdin) keeps one connection open and sends every line
 // read from standard input, printing one reply per line. Because SUBMIT
 // handles are per-connection, this is how WAIT is used — and how many
@@ -60,8 +71,30 @@ func run(addr string, args []string) error {
 	if !sc.Scan() {
 		return fmt.Errorf("no reply: %v", sc.Err())
 	}
+	if len(args) > 0 && strings.EqualFold(args[0], "STATUS") {
+		printStatus(sc.Text())
+		return nil
+	}
 	fmt.Println(sc.Text())
 	return nil
+}
+
+// printStatus renders a STATS reply one field per line. Anything
+// unexpected (an ERR, an older server) is printed verbatim.
+func printStatus(reply string) {
+	fields := strings.Fields(reply)
+	if len(fields) < 2 || fields[0] != "STATS" {
+		fmt.Println(reply)
+		return
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			fmt.Println(f)
+			continue
+		}
+		fmt.Printf("%-10s %s\n", k+":", v)
+	}
 }
 
 // runStdin streams commands from stdin over one connection and prints

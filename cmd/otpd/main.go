@@ -10,11 +10,16 @@
 //	SUBMIT <procedure> [arg ...] -> ID <origin>.<seq> | ERR <message>
 //	WAIT <origin>.<seq>          -> OK ... (as EXEC) | ERR <message>
 //	QUERY <procedure> [arg ...]  -> VALUE <int64> | ERR <message>
-//	STATS                        -> STATS commits=<n> aborts=<n> reorders=<n> pending=<n>
+//	STATS (alias STATUS)         -> STATS commits=<n> aborts=<n> reorders=<n> pending=<n> to=<idx> recovered=<idx> role=<joining|serving|donor>
 //	DIGEST                       -> DIGEST <hex>
 //
 // SUBMIT handles are per-connection: WAIT resolves an ID submitted on the
-// same connection (pipeline SUBMITs first, then WAIT each ID).
+// same connection (pipeline SUBMITs first, then WAIT each ID). STATS is
+// answered in every phase of the replica's life: role=joining while a
+// state transfer is catching the replica up (to/recovered report the
+// locally recovered index), serving once it processes transactions, and
+// donor while it streams state to another joiner. Commands that need the
+// replica (EXEC, QUERY, ...) wait for it to come up.
 //
 // The demo schema partitions an integer keyspace into -classes conflict
 // classes with procedures add-p<i>(key, delta) — returning the key's new
@@ -27,13 +32,26 @@
 // -9 — recovers its committed state and resumes at the recovered
 // definitive index.
 //
+// A durable replica that recovered committed state automatically rejoins
+// a running cluster through the statex state-transfer service: it
+// advertises its recovered index to a live peer (unsuspected peers
+// first, failing over down the list) and receives either the definitive
+// backlog it missed or, when the peers' retained history no longer
+// covers the gap, a full checkpoint plus the tail — then re-enters
+// consensus at the current stage. -join forces the same path for a
+// replica with no usable local state. When no peer answers (for
+// instance, a whole-cluster restart where every process comes up at
+// once), the replica falls back to a cold start from local state alone.
+//
 // Example 3-replica cluster on one machine:
 //
-//	otpd -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7070 &
-//	otpd -id 1 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7071 &
-//	otpd -id 2 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7072 &
+//	otpd -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7070 -data data/0 &
+//	otpd -id 1 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7071 -data data/1 &
+//	otpd -id 2 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7072 -data data/2 &
 //	otpcli -addr :7070 EXEC add-p0 mykey 5
 //	otpcli -addr :7071 QUERY get p0 mykey
+//	kill -9 <pid of replica 2>; otpd -id 2 ... -data data/2 &   # rejoins live
+//	otpcli -addr :7072 STATUS
 package main
 
 import (
@@ -46,6 +64,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,6 +74,7 @@ import (
 	"otpdb/internal/fd"
 	"otpdb/internal/recovery"
 	"otpdb/internal/sproc"
+	"otpdb/internal/statex"
 	"otpdb/internal/storage"
 	"otpdb/internal/transport"
 	"otpdb/internal/wal"
@@ -68,9 +88,10 @@ func main() {
 		classes = flag.Int("classes", 8, "number of conflict classes")
 		dataDir = flag.String("data", "", "durability directory (empty = in-memory only)")
 		fsync   = flag.String("fsync", "group", "WAL fsync policy: commit|group|off (with -data)")
+		join    = flag.Bool("join", false, "force a state transfer from a live peer before serving")
 	)
 	flag.Parse()
-	if err := run(*id, *peers, *client, *classes, *dataDir, *fsync); err != nil {
+	if err := run(*id, *peers, *client, *classes, *dataDir, *fsync, *join); err != nil {
 		fmt.Fprintln(os.Stderr, "otpd:", err)
 		os.Exit(1)
 	}
@@ -118,7 +139,62 @@ func demoRegistry(classes int) (*sproc.Registry, error) {
 	return reg, nil
 }
 
-func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string) error {
+// server is the per-process state the client protocol serves from. The
+// replica appears only once recovery and any state transfer finish;
+// STATS answers in every phase so operators (and tests) can watch a
+// joiner catch up.
+type server struct {
+	rep   atomic.Pointer[db.Replica]
+	xs    atomic.Pointer[statex.Server]
+	base  atomic.Int64  // locally recovered definitive index
+	ready chan struct{} // closed when rep is published
+}
+
+// waitReady blocks until the replica is up (recovery and state transfer
+// done) or the timeout expires.
+func (s *server) waitReady(d time.Duration) *db.Replica {
+	select {
+	case <-s.ready:
+		return s.rep.Load()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// role reports the replica's current life-cycle phase.
+func (s *server) role() string {
+	select {
+	case <-s.ready:
+	default:
+		return "joining"
+	}
+	if xs := s.xs.Load(); xs != nil && xs.Serving() > 0 {
+		return "donor"
+	}
+	return "serving"
+}
+
+// donorOrder lists candidate state-transfer donors: every peer but
+// ourselves, unsuspected ones first. Right after startup the detector
+// has heard nobody, so the order degenerates to id order and Fetch's
+// per-donor timeout skims past dead peers.
+func donorOrder(d *fd.Detector, self transport.NodeID, n int) []transport.NodeID {
+	var live, suspect []transport.NodeID
+	for i := 0; i < n; i++ {
+		id := transport.NodeID(i)
+		if id == self {
+			continue
+		}
+		if d.Suspected(id) {
+			suspect = append(suspect, id)
+		} else {
+			live = append(live, id)
+		}
+	}
+	return append(live, suspect...)
+}
+
+func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string, forceJoin bool) error {
 	if peerList == "" {
 		return fmt.Errorf("-peers is required")
 	}
@@ -130,12 +206,16 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	if id < 0 || id >= len(parts) {
 		return fmt.Errorf("-id %d out of range for %d peers", id, len(parts))
 	}
+	if forceJoin && len(parts) < 2 {
+		return fmt.Errorf("-join needs at least one peer to join from")
+	}
 
 	// Wire registration for the gob codec.
 	fd.RegisterWire()
 	consensus.RegisterWire()
 	abcast.RegisterWire()
 	db.RegisterWire()
+	statex.RegisterWire()
 
 	node, err := transport.ListenTCP(transport.TCPConfig{
 		ID:    transport.NodeID(id),
@@ -150,60 +230,158 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	detector.Start()
 	defer detector.Stop()
 
-	cons := consensus.New(consensus.Config{
+	// The client listener comes up before the replica so STATS can
+	// report the joining phase; commands that need the replica wait.
+	srv := &server{ready: make(chan struct{})}
+	ln, err := net.Listen("tcp", clientAddr)
+	if err != nil {
+		return fmt.Errorf("client listen: %w", err)
+	}
+	defer func() { _ = ln.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		cancel()
+		_ = ln.Close()
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-ctx.Done():
+					return // shutting down
+				default:
+				}
+				// Transient failure (e.g. fd exhaustion): keep the
+				// replica's client port alive rather than silently
+				// refusing all future connections.
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			go serveClient(conn, srv)
+		}
+	}()
+
+	// Local recovery: a durable replica replays checkpoint + WAL tail
+	// and resumes at the recovered definitive index.
+	reg, err := demoRegistry(classes)
+	if err != nil {
+		return err
+	}
+	store := storage.NewStore()
+	base := int64(0)
+	var dur *recovery.Durability
+	if dataDir != "" {
+		policy, perr := wal.ParseSyncPolicy(fsync)
+		if perr != nil {
+			return perr
+		}
+		d, derr := recovery.Open(dataDir, recovery.Options{Sync: policy})
+		if derr != nil {
+			return derr
+		}
+		b, rerr := d.Recover(store)
+		if rerr != nil {
+			_ = d.Close()
+			return rerr
+		}
+		dur, base = d, b
+		fmt.Printf("otpd: replica %d recovered to commit index %d (fsync=%s)\n", id, base, policy)
+	}
+	srv.base.Store(base)
+
+	// State transfer: a durable replica that recovered committed state
+	// assumes the cluster kept running and catches up from a live peer;
+	// -join forces the same for a replica with no local state. A cluster
+	// where every process restarts together has no donor to answer, so
+	// the probe times out and the replica falls back to a cold start.
+	var joinState *abcast.JoinState
+	if len(parts) > 1 && (forceJoin || base > 0) {
+		fmt.Printf("otpd: replica %d joining: advertising recovered index %d to peers\n", id, base)
+		// Two probe rounds: the second catches a staggered restart where
+		// the first round raced the donors' own startup.
+		var xfer *statex.Transfer
+		var jerr error
+		for attempt := 0; attempt < 2; attempt++ {
+			xfer, jerr = statex.Fetch(ctx, node, base, donorOrder(detector, transport.NodeID(id), len(parts)),
+				statex.Options{RespTimeout: 3 * time.Second})
+			if jerr == nil || ctx.Err() != nil {
+				break
+			}
+		}
+		switch {
+		case jerr == nil:
+			if xfer.Mode == statex.CheckpointTail {
+				store = storage.NewStore()
+				store.InstallCheckpoint(xfer.Checkpoint)
+				base = xfer.Base
+				srv.base.Store(base)
+				if dur != nil {
+					// Local history is obsolete below the transferred
+					// checkpoint; reset the directory to it.
+					if rerr := dur.ResetTo(xfer.Checkpoint); rerr != nil {
+						_ = dur.Close()
+						return rerr
+					}
+				}
+			}
+			joinState = &xfer.Join
+			fmt.Printf("otpd: replica %d state transfer from %v: %s, base %d, backlog %d, resume stage %d\n",
+				id, xfer.Donor, xfer.Mode, base, len(xfer.Join.Backlog), xfer.Join.StartStage)
+		case forceJoin:
+			if dur != nil {
+				_ = dur.Close()
+			}
+			return fmt.Errorf("join: %w", jerr)
+		default:
+			// Correct for a whole-cluster restart (nobody was serving,
+			// every replica cold-starts from the same index); wrong if
+			// the cluster actually kept running — this replica would
+			// re-enter ordering misaligned with the survivors. Make the
+			// fallback loud so the operator can tell which one happened.
+			fmt.Printf("otpd: WARNING: replica %d found no live donor; cold-starting from local state.\n", id)
+			fmt.Printf("otpd: WARNING: safe only if all replicas restart together — if the cluster is still running, stop this replica and restart it with -join\n")
+			fmt.Printf("otpd: (join error: %v)\n", jerr)
+		}
+	}
+
+	ccfg := consensus.Config{
 		Endpoint:     node,
 		Suspector:    detector,
 		RoundTimeout: 250 * time.Millisecond,
-	})
+	}
+	if joinState != nil {
+		ccfg.CatchUpFrom = joinState.StartStage
+	}
+	cons := consensus.New(ccfg)
 	cons.Start()
 	defer cons.Stop()
 
-	bc := abcast.NewOptimistic(node, cons)
+	aopts := []abcast.Option{abcast.WithDefBase(uint64(base))}
+	if joinState != nil {
+		aopts = append(aopts, abcast.WithJoin(*joinState))
+	}
+	bc := abcast.NewOptimistic(node, cons, aopts...)
 	if err := bc.Start(); err != nil {
 		return err
 	}
 	defer func() { _ = bc.Stop() }()
 
-	reg, err := demoRegistry(classes)
-	if err != nil {
-		return err
-	}
 	cfg := db.Config{
 		ID:        transport.NodeID(id),
 		Broadcast: bc,
 		Registry:  reg,
+		Store:     store,
 	}
-	if dataDir != "" {
-		// Durable replica: recover checkpoint + WAL tail and resume at
-		// the recovered definitive index. The replica owns the handle and
-		// flushes/closes the WAL on Stop, so the SIGINT/SIGTERM path
-		// below never drops the log tail.
-		policy, perr := wal.ParseSyncPolicy(fsync)
-		if perr != nil {
-			return perr
-		}
-		dur, derr := recovery.Open(dataDir, recovery.Options{Sync: policy})
-		if derr != nil {
-			return derr
-		}
-		store := storage.NewStore()
-		base, rerr := dur.Recover(store)
-		if rerr != nil {
-			_ = dur.Close()
-			return rerr
-		}
-		cfg.Store = store
+	if dur != nil {
+		// The replica owns the handle and flushes/closes the WAL on
+		// Stop, so the SIGINT/SIGTERM path never drops the log tail.
 		cfg.Durability = dur
 		cfg.InitialTOIndex = base
-		fmt.Printf("otpd: replica %d recovered to commit index %d (fsync=%s)\n", id, base, policy)
-		if base > 0 && len(parts) > 1 {
-			// A recovered replica rejoining peers that kept running would
-			// need the live-rejoin protocol (peer checkpoint + definitive
-			// backlog, see otpdb.Cluster.RestartSite); over TCP only
-			// whole-cluster restarts resume today. Recovered state is
-			// served to queries either way.
-			fmt.Printf("otpd: note: multi-peer restart resumes ordering only when all replicas restart together\n")
-		}
 	}
 	rep, err := db.New(cfg)
 	if err != nil {
@@ -212,27 +390,18 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	rep.Start()
 	defer rep.Stop()
 
-	ln, err := net.Listen("tcp", clientAddr)
-	if err != nil {
-		return fmt.Errorf("client listen: %w", err)
-	}
-	defer func() { _ = ln.Close() }()
+	// Serve state transfers to future joiners.
+	xs := statex.NewServer(node, statex.ReplicaSource{Replica: rep, Engine: bc})
+	xs.Start()
+	defer xs.Stop()
+
+	srv.rep.Store(rep)
+	srv.xs.Store(xs)
+	close(srv.ready)
 	fmt.Printf("otpd: replica %d up — peers %s, clients on %s\n", id, peerList, ln.Addr())
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-stop
-		_ = ln.Close()
-	}()
-
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return nil // shutting down
-		}
-		go serveClient(conn, rep)
-	}
+	<-ctx.Done()
+	return nil
 }
 
 // srvHandle is one in-flight SUBMIT on a client connection: the
@@ -246,14 +415,14 @@ type srvHandle struct {
 // clientSession is the per-connection state: pending SUBMIT handles
 // awaiting WAIT.
 type clientSession struct {
-	rep     *db.Replica
+	srv     *server
 	pending map[string]*srvHandle
 }
 
 // serveClient speaks the line protocol on one client connection.
-func serveClient(conn net.Conn, rep *db.Replica) {
+func serveClient(conn net.Conn, srv *server) {
 	defer func() { _ = conn.Close() }()
-	cs := &clientSession{rep: rep, pending: make(map[string]*srvHandle)}
+	cs := &clientSession{srv: srv, pending: make(map[string]*srvHandle)}
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
@@ -281,7 +450,27 @@ func (cs *clientSession) handle(fields []string) string {
 	if len(fields) == 0 {
 		return "ERR empty command"
 	}
-	switch strings.ToUpper(fields[0]) {
+	cmd := strings.ToUpper(fields[0])
+	if cmd == "STATS" || cmd == "STATUS" {
+		// Answered in every phase: a joiner reports its progress before
+		// the replica exists.
+		srv := cs.srv
+		base := srv.base.Load()
+		rep := srv.rep.Load()
+		if rep == nil {
+			return fmt.Sprintf("STATS commits=0 aborts=0 reorders=0 pending=0 to=%d recovered=%d role=%s",
+				base, base, srv.role())
+		}
+		st := rep.Manager().Stats()
+		return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d role=%s",
+			st.Commits, st.Aborts, st.Reorders, rep.Manager().Pending(),
+			rep.LastTO(), base, srv.role())
+	}
+	rep := cs.srv.waitReady(30 * time.Second)
+	if rep == nil {
+		return "ERR replica still joining"
+	}
+	switch cmd {
 	case "EXEC":
 		if len(fields) < 2 {
 			return "ERR EXEC needs a procedure"
@@ -289,7 +478,7 @@ func (cs *clientSession) handle(fields []string) string {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		start := time.Now()
-		info, err := cs.rep.Exec(ctx, fields[1], parseArgs(fields[2:])...)
+		info, err := rep.Exec(ctx, fields[1], parseArgs(fields[2:])...)
 		if err != nil {
 			return "ERR " + err.Error()
 		}
@@ -299,7 +488,7 @@ func (cs *clientSession) handle(fields []string) string {
 			return "ERR SUBMIT needs a procedure"
 		}
 		h := &srvHandle{start: time.Now(), ch: make(chan db.CommitResult, 1)}
-		id, err := cs.rep.SubmitNotify(fields[1], parseArgs(fields[2:]),
+		id, err := rep.SubmitNotify(fields[1], parseArgs(fields[2:]),
 			func(res db.CommitResult) { h.ch <- res })
 		if err != nil {
 			return "ERR " + err.Error()
@@ -333,17 +522,13 @@ func (cs *clientSession) handle(fields []string) string {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		v, err := cs.rep.Query(ctx, fields[1], parseArgs(fields[2:])...)
+		v, err := rep.Query(ctx, fields[1], parseArgs(fields[2:])...)
 		if err != nil {
 			return "ERR " + err.Error()
 		}
 		return fmt.Sprintf("VALUE %d", storage.ValueInt64(v))
-	case "STATS":
-		st := cs.rep.Manager().Stats()
-		return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d",
-			st.Commits, st.Aborts, st.Reorders, cs.rep.Manager().Pending())
 	case "DIGEST":
-		return fmt.Sprintf("DIGEST %016x", cs.rep.Store().Digest())
+		return fmt.Sprintf("DIGEST %016x", rep.Store().Digest())
 	default:
 		return "ERR unknown command " + fields[0]
 	}

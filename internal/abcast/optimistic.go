@@ -492,6 +492,15 @@ func (o *Optimistic) DefinitiveLog(from uint64, origin transport.NodeID) ([]DefE
 // serveDefLog runs in the engine goroutine.
 func (o *Optimistic) serveDefLog(q defLogQuery) defLogReply {
 	r := defLogReply{nextStage: o.nextProcess}
+	if q.from > o.defSeq+1 {
+		// The requester is ahead of this site: serving a backlog from
+		// here would make it re-enter consensus with misaligned
+		// definitive positions. Refuse, so a state-transfer client fails
+		// over to a more advanced donor.
+		r.err = fmt.Errorf("abcast: definitive log requested from %d but this site is at %d (donor behind joiner)",
+			q.from, o.defSeq)
+		return r
+	}
 	// Oldest position this site can vouch for: the head of the retained
 	// history, or the position right after the counter when nothing is
 	// retained (fresh or fully pruned).

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"otpdb/internal/abcast"
 	"otpdb/internal/otp"
@@ -304,6 +305,15 @@ func (r *Replica) Stop() {
 // ID returns the site identifier.
 func (r *Replica) ID() transport.NodeID { return r.id }
 
+// LastTO reports the largest definitive (TO-delivery) index this
+// replica has seen — the `to=` field operators read in otpd's STATS
+// line to watch a joiner catch up.
+func (r *Replica) LastTO() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastTO
+}
+
 // Store returns the local storage engine (for inspection and seeding).
 func (r *Replica) Store() *storage.Store { return r.store }
 
@@ -412,13 +422,21 @@ func (r *Replica) onCommit(tx *otp.MultiTxn) {
 	}
 }
 
+// ckptPinTimeout bounds how long a background checkpoint may wait for
+// the commit frontier — and therefore how long it may pin versions
+// against pruning. Every Replica.Checkpoint caller is expected to bound
+// its pin the same way (statex transfers carry their own deadline).
+const ckptPinTimeout = 2 * time.Minute
+
 // backgroundCheckpoint takes a consistent checkpoint at the current
 // definitive frontier and hands it to the durability layer, which bounds
 // the WAL against it. Failures are non-fatal (the log alone still
 // recovers everything); the claimed checkpoint slot is always released.
 func (r *Replica) backgroundCheckpoint() {
 	defer r.ckptWG.Done()
-	ck, err := r.Checkpoint(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), ckptPinTimeout)
+	defer cancel()
+	ck, err := r.Checkpoint(ctx)
 	if err != nil {
 		r.dur.ReleaseCheckpoint()
 		return

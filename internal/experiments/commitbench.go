@@ -107,12 +107,15 @@ type CommitBenchReport struct {
 	// Recovery is E9: recovery time vs log length and the fsync-policy
 	// throughput cost of durability.
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
+	// Rejoin is E10: live-rejoin time vs missed backlog, per state-
+	// transfer mode (schema v3).
+	Rejoin *RejoinReport `json:"rejoin,omitempty"`
 }
 
 // CommitBench runs the tracked commit-path benchmark.
 func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 	rep := CommitBenchReport{
-		Schema: "otpdb-bench-commit/v2",
+		Schema: "otpdb-bench-commit/v3",
 		Go:     runtime.Version(),
 		CPUs:   runtime.NumCPU(),
 		Quick:  quick,
@@ -148,6 +151,16 @@ func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 		return rep, fmt.Errorf("recovery: %w", err)
 	}
 	rep.Recovery = &rec
+
+	jp := DefaultRejoinParams()
+	if quick {
+		jp = QuickRejoinParams()
+	}
+	rj, err := RejoinBench(jp)
+	if err != nil {
+		return rep, fmt.Errorf("rejoin: %w", err)
+	}
+	rep.Rejoin = &rj
 	return rep, nil
 }
 
@@ -245,6 +258,12 @@ func (r CommitBenchReport) Table() Table {
 	if r.Recovery != nil {
 		for _, c := range r.Recovery.FsyncPolicy {
 			row("durable commit fsync="+c.Policy, c.LatencyStats)
+		}
+	}
+	if r.Rejoin != nil {
+		for _, c := range r.Rejoin.Cells {
+			t.AddRow(fmt.Sprintf("rejoin %s missed=%d", c.Mode, c.Missed), fmt.Sprintf("%d", c.Missed),
+				fmt.Sprintf("%.0f", c.MissedPerSec), fmt.Sprintf("%.1fms", c.RejoinMillis), "-", "-")
 		}
 	}
 	return t

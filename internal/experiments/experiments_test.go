@@ -112,6 +112,34 @@ func TestOrderingShapes(t *testing.T) {
 	}
 }
 
+func TestRejoinBenchModesAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	rep, err := RejoinBench(RejoinParams{
+		Sites:    3,
+		Backlogs: []int{120},
+		Keys:     16,
+		EvictCap: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(rep.Cells))
+	}
+	// RejoinBench verifies the negotiated mode per cell; pin the pairing
+	// here too so the report stays interpretable.
+	if rep.Cells[0].Mode != "tail-only" || rep.Cells[1].Mode != "checkpoint+tail" {
+		t.Fatalf("modes = %q/%q", rep.Cells[0].Mode, rep.Cells[1].Mode)
+	}
+	for _, c := range rep.Cells {
+		if c.RejoinMillis <= 0 || c.MissedPerSec <= 0 {
+			t.Fatalf("cell %+v has non-positive timing", c)
+		}
+	}
+}
+
 func TestQueriesSnapshotRowIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster experiment")

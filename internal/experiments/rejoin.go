@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"otpdb"
+)
+
+// This file is E10 (DESIGN.md §4): the state-transfer benchmark. One
+// quantity, two regimes: how long a crashed replica takes to rejoin a
+// running cluster as a function of how many definitive deliveries it
+// missed, under each statex transfer mode —
+//
+//   - tail-only: the survivors' retained definitive history covers the
+//     gap, so catch-up replays the missed deliveries through the
+//     scheduler (cost grows with the backlog);
+//   - checkpoint+tail: the retention ring has evicted the gap, so the
+//     donor streams a full checkpoint first (cost is dominated by state
+//     size, not backlog length).
+//
+// The cells are serialized into BENCH_commit.json (schema v3) by
+// `otpbench -json commit`; `otpbench rejoin` runs them standalone.
+
+// RejoinParams sizes E10.
+type RejoinParams struct {
+	// Sites is the cluster size (the last site is the victim).
+	Sites int
+	// Backlogs sweeps how many commits land while the victim is down.
+	Backlogs []int
+	// Keys is the keyspace width, which sets the checkpoint size.
+	Keys int
+	// EvictCap is the retained-history cap used in the checkpoint-mode
+	// cells, small enough that every Backlogs value overflows it.
+	EvictCap int
+}
+
+// DefaultRejoinParams is the tracked configuration.
+func DefaultRejoinParams() RejoinParams {
+	return RejoinParams{
+		Sites:    3,
+		Backlogs: []int{500, 2000, 8000},
+		Keys:     64,
+		EvictCap: 64,
+	}
+}
+
+// QuickRejoinParams shrinks the sweep for CI smoke runs.
+func QuickRejoinParams() RejoinParams {
+	return RejoinParams{
+		Sites:    3,
+		Backlogs: []int{100, 400},
+		Keys:     32,
+		EvictCap: 64,
+	}
+}
+
+// RejoinCell is one measured rejoin.
+type RejoinCell struct {
+	// Missed is the number of commits the victim was down for.
+	Missed int `json:"missed_commits"`
+	// Mode is the negotiated transfer shape ("tail-only" or
+	// "checkpoint+tail").
+	Mode string `json:"mode"`
+	// RejoinMillis is the wall time from RestartSite to the victim
+	// having committed every missed transaction.
+	RejoinMillis float64 `json:"rejoin_ms"`
+	// MissedPerSec is Missed / rejoin time — catch-up bandwidth.
+	MissedPerSec float64 `json:"missed_per_sec"`
+}
+
+// RejoinReport is the E10 payload inside BENCH_commit.json.
+type RejoinReport struct {
+	Cells []RejoinCell `json:"cells"`
+}
+
+// RejoinBench runs E10.
+func RejoinBench(p RejoinParams) (RejoinReport, error) {
+	var rep RejoinReport
+	for _, missed := range p.Backlogs {
+		for _, evict := range []bool{false, true} {
+			cell, err := rejoinCell(p, missed, evict)
+			if err != nil {
+				return rep, fmt.Errorf("rejoin (%d missed, evict=%v): %w", missed, evict, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// rejoinCell crashes the last site, commits `missed` transactions
+// through the survivors, and times the full rejoin. With evict set the
+// cluster's retained history is capped below `missed`, forcing the
+// checkpoint+tail fallback; the cell fails if the negotiated mode is
+// not the one the configuration was built to produce.
+func rejoinCell(p RejoinParams, missed int, evict bool) (RejoinCell, error) {
+	opts := []otpdb.Option{otpdb.WithReplicas(p.Sites)}
+	wantMode := "tail-only"
+	if evict {
+		opts = append(opts, otpdb.WithDefLogCap(p.EvictCap))
+		wantMode = "checkpoint+tail"
+	}
+	cluster, err := otpdb.NewCluster(opts...)
+	if err != nil {
+		return RejoinCell{}, err
+	}
+	defer cluster.Stop()
+	cluster.MustRegisterUpdate(otpdb.Update{
+		Name:  "bump",
+		Class: "c",
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+			key := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
+			v, _ := ctx.Read(key)
+			next := otpdb.Int64(otpdb.AsInt64(v) + 1)
+			return next, ctx.Write(key, next)
+		},
+	})
+	if err := cluster.Start(); err != nil {
+		return RejoinCell{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	victim := p.Sites - 1
+	submit := func(n, from int) error {
+		for i := 0; i < n; i++ {
+			key := otpdb.String(fmt.Sprintf("k%d", (from+i)%p.Keys))
+			if _, err := cluster.Submit(0, "bump", key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	const warm = 20
+	if err := submit(warm, 0); err != nil {
+		return RejoinCell{}, err
+	}
+	if err := cluster.WaitForCommits(ctx, warm); err != nil {
+		return RejoinCell{}, err
+	}
+	if err := cluster.CrashSite(victim); err != nil {
+		return RejoinCell{}, err
+	}
+	if err := submit(missed, warm); err != nil {
+		return RejoinCell{}, err
+	}
+	if err := cluster.WaitForCommits(ctx, warm+missed); err != nil {
+		return RejoinCell{}, err
+	}
+
+	start := time.Now()
+	if err := cluster.RestartSite(ctx, victim); err != nil {
+		return RejoinCell{}, err
+	}
+	// Rejoin is complete once the victim has committed everything it
+	// missed (WaitForCommits spans every live site again).
+	if err := cluster.WaitForCommits(ctx, warm+missed); err != nil {
+		return RejoinCell{}, err
+	}
+	elapsed := time.Since(start)
+
+	mode, err := cluster.RejoinMode(victim)
+	if err != nil {
+		return RejoinCell{}, err
+	}
+	if mode != wantMode {
+		return RejoinCell{}, fmt.Errorf("negotiated %s, cell is built for %s", mode, wantMode)
+	}
+	d0, err := cluster.DigestAt(0)
+	if err != nil {
+		return RejoinCell{}, err
+	}
+	dv, err := cluster.DigestAt(victim)
+	if err != nil {
+		return RejoinCell{}, err
+	}
+	if d0 != dv {
+		return RejoinCell{}, fmt.Errorf("victim digest diverged after rejoin")
+	}
+	return RejoinCell{
+		Missed:       missed,
+		Mode:         mode,
+		RejoinMillis: float64(elapsed.Nanoseconds()) / 1e6,
+		MissedPerSec: float64(missed) / elapsed.Seconds(),
+	}, nil
+}
+
+// Table renders E10 as the otpbench plain-text tables.
+func (r RejoinReport) Table() Table {
+	t := Table{
+		Title: "E10 — Live rejoin via state transfer (tracked in BENCH_commit.json)",
+		Columns: []string{
+			"mode", "missed", "rejoin", "catch-up rate",
+		},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Mode, fmt.Sprintf("%d", c.Missed),
+			fmt.Sprintf("%.1fms", c.RejoinMillis),
+			fmt.Sprintf("%.0f missed/s", c.MissedPerSec))
+	}
+	return t
+}

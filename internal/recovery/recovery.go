@@ -18,12 +18,14 @@
 package recovery
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -102,6 +104,16 @@ func (d *Durability) CheckpointEvery() int { return d.opts.CheckpointEvery }
 // checkpoint is installed (corrupt ones fall back to older), then the
 // log tail above it is replayed. It returns the definitive index the
 // store is recovered to — the replica resumes counting from there.
+//
+// Non-conflicting commits append slightly out of TOIndex order, so a
+// crash can leave the log holding index N+1 without N. Resuming past
+// such a hole would lose transaction N forever (replay, rejoin
+// backlogs and the commit counters all start above the resume point),
+// so recovery first finds the contiguous frontier and installs only
+// records at or below it. Orphan records above the hole are left in
+// the log and re-covered by whatever refills the gap — a statex
+// backlog on live rejoin, or the group's replay on a cold restart —
+// both idempotent against the duplicate.
 func (d *Durability) Recover(store *storage.Store) (int64, error) {
 	base := int64(0)
 	if ck, ok, err := d.latestCheckpoint(); err != nil {
@@ -110,11 +122,20 @@ func (d *Durability) Recover(store *storage.Store) (int64, error) {
 		store.InstallCheckpoint(ck)
 		base = ck.Index
 	}
+	seen := make(map[int64]bool)
+	if err := d.log.Replay(base, func(rec wal.Record) error {
+		seen[rec.TOIndex] = true
+		return nil
+	}); err != nil {
+		return 0, err
+	}
 	last := base
+	for seen[last+1] {
+		last++
+	}
 	err := d.log.Replay(base, func(rec wal.Record) error {
-		store.InstallCommit(rec.TOIndex, rec.Writes)
-		if rec.TOIndex > last {
-			last = rec.TOIndex
+		if rec.TOIndex <= last {
+			store.InstallCommit(rec.TOIndex, rec.Writes)
 		}
 		return nil
 	})
@@ -164,18 +185,13 @@ func (d *Durability) ReleaseCheckpoint() { d.checkpointing.Store(false) }
 // deleted. It releases the slot claimed by TryBeginCheckpoint.
 func (d *Durability) Checkpoint(ck *storage.Checkpoint) error {
 	defer d.checkpointing.Store(false)
-	if err := saveCheckpoint(d.dir, ck); err != nil {
-		return err
-	}
-	if err := d.log.TruncateBelow(ck.Index); err != nil {
-		return err
-	}
-	return d.pruneCheckpoints(ck.Index)
+	return d.ResetTo(ck)
 }
 
-// ResetTo reinitializes the directory to exactly ck — the rejoin path:
-// the store content came from a peer, so the local log history below it
-// is obsolete. Existing WAL segments are bounded against ck.Index and
+// ResetTo reinitializes the directory to exactly ck — the save/bound/
+// prune sequence shared with Checkpoint, and the rejoin path: the store
+// content came from a peer, so the local log history below it is
+// obsolete. Existing WAL segments are bounded against ck.Index and
 // subsequent Appends continue above it.
 func (d *Durability) ResetTo(ck *storage.Checkpoint) error {
 	if err := saveCheckpoint(d.dir, ck); err != nil {
@@ -318,8 +334,51 @@ func fromWire(w ckptWire) *storage.Checkpoint {
 	return ck
 }
 
-// saveCheckpoint writes a checkpoint durably: gob body + CRC-32C
-// trailer into a temp file, fsync, then atomic rename.
+// EncodeCheckpointTo streams a checkpoint in the durable on-disk
+// format: gob body + CRC-32C trailer. Checkpoint files and the statex
+// wire transfer share this encoding, so a checkpoint received from a
+// peer is bit-identical to one written locally.
+func EncodeCheckpointTo(w io.Writer, ck *storage.Checkpoint) error {
+	crc := crc32.New(castagnoli)
+	if err := gob.NewEncoder(io.MultiWriter(w, crc)).Encode(toWire(ck)); err != nil {
+		return fmt.Errorf("recovery: encode checkpoint: %w", err)
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	return nil
+}
+
+// EncodeCheckpoint is EncodeCheckpointTo into memory, for callers that
+// chunk the encoded form (the statex wire path).
+func EncodeCheckpoint(ck *storage.Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeCheckpointTo(&buf, ck); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint validates and decodes the EncodeCheckpoint format.
+func DecodeCheckpoint(data []byte) (*storage.Checkpoint, error) {
+	if len(data) < 4 {
+		return nil, errors.New("recovery: checkpoint too short")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(trailer) {
+		return nil, errors.New("recovery: checkpoint CRC mismatch")
+	}
+	var w ckptWire
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("recovery: decode checkpoint: %w", err)
+	}
+	return fromWire(w), nil
+}
+
+// saveCheckpoint writes a checkpoint durably: the encoded form streamed
+// into a temp file (no full in-memory copy), fsync, then atomic rename.
 func saveCheckpoint(dir string, ck *storage.Checkpoint) error {
 	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
 	if err != nil {
@@ -327,15 +386,12 @@ func saveCheckpoint(dir string, ck *storage.Checkpoint) error {
 	}
 	tmpName := tmp.Name()
 	defer func() { _ = os.Remove(tmpName) }()
-	crc := crc32.New(castagnoli)
-	enc := gob.NewEncoder(teeWriter{tmp, crc})
-	if err := enc.Encode(toWire(ck)); err != nil {
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if err := EncodeCheckpointTo(bw, ck); err != nil {
 		_ = tmp.Close()
-		return fmt.Errorf("recovery: encode checkpoint: %w", err)
+		return err
 	}
-	var trailer [4]byte
-	binary.BigEndian.PutUint32(trailer[:], crc.Sum32())
-	if _, err := tmp.Write(trailer[:]); err != nil {
+	if err := bw.Flush(); err != nil {
 		_ = tmp.Close()
 		return fmt.Errorf("recovery: %w", err)
 	}
@@ -359,31 +415,7 @@ func loadCheckpoint(path string) (*storage.Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recovery: %w", err)
 	}
-	if len(data) < 4 {
-		return nil, errors.New("recovery: checkpoint too short")
-	}
-	body, trailer := data[:len(data)-4], data[len(data)-4:]
-	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(trailer) {
-		return nil, errors.New("recovery: checkpoint CRC mismatch")
-	}
-	var w ckptWire
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&w); err != nil {
-		return nil, fmt.Errorf("recovery: decode checkpoint: %w", err)
-	}
-	return fromWire(w), nil
-}
-
-// teeWriter tees writes to the file and the running CRC.
-type teeWriter struct {
-	f   *os.File
-	crc interface{ Write([]byte) (int, error) }
-}
-
-func (w teeWriter) Write(p []byte) (int, error) {
-	if _, err := w.crc.Write(p); err != nil {
-		return 0, err
-	}
-	return w.f.Write(p)
+	return DecodeCheckpoint(data)
 }
 
 // syncDir fsyncs a directory so renames are durable.

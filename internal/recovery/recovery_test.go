@@ -58,6 +58,46 @@ func TestRecoverLogOnly(t *testing.T) {
 	}
 }
 
+// TestRecoverStopsAtLogHole: non-conflicting commits may append out of
+// TOIndex order, so a crash can persist index N+1 without N. Recovery
+// must resume at the contiguous frontier below the hole — installing
+// the orphan and resuming above it would lose transaction N forever.
+func TestRecoverStopsAtLogHole(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int64{1, 2, 3, 5, 6} { // 4 lost in the crash
+		if err := d.Append(write(idx, "k", idx)); err != nil {
+			t.Fatalf("Append %d: %v", idx, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d2.Close() }()
+	s := storage.NewStore()
+	base, err := d2.Recover(s)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if base != 3 {
+		t.Fatalf("recovered index = %d, want 3 (frontier below the hole)", base)
+	}
+	if v, _ := s.Get("p", "k"); storage.ValueInt64(v) != 3 {
+		t.Fatalf("recovered value = %d, want 3 — orphan records above the hole must not install", storage.ValueInt64(v))
+	}
+	if lc := s.LastCommitted("p"); lc != 3 {
+		t.Fatalf("partition floor = %d, want 3", lc)
+	}
+}
+
 func TestRecoverCheckpointPlusTail(t *testing.T) {
 	dir := t.TempDir()
 	d, err := Open(dir, Options{Sync: wal.SyncNever, SegmentBytes: 512})

@@ -1,0 +1,310 @@
+package statex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"otpdb/internal/abcast"
+	"otpdb/internal/recovery"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// Source is the donor-side state access a Server serves from: a
+// consistent checkpoint of the committed state and the retained
+// definitive backlog. db.Replica and abcast.Optimistic satisfy the two
+// halves; ReplicaSource binds them.
+type Source interface {
+	// Checkpoint captures a consistent snapshot at the current
+	// definitive index. The context bounds how long the capture may pin
+	// versions against pruning — implementations must honour
+	// cancellation while waiting for the commit frontier.
+	Checkpoint(ctx context.Context) (*storage.Checkpoint, error)
+	// DefinitiveLog returns the retained definitive history from
+	// position `from`, the next consensus stage a joiner should resume
+	// at, and the largest broadcast sequence number seen from `origin`,
+	// captured atomically. It returns abcast.ErrHistoryPruned when the
+	// retention ring no longer covers `from`.
+	DefinitiveLog(from uint64, origin transport.NodeID) ([]abcast.DefEntry, uint64, uint64, error)
+}
+
+// ReplicaSource adapts a replica and its broadcast engine to Source.
+// The interface fields match db.Replica and abcast.Optimistic, kept
+// structural so this package needs no dependency on internal/db.
+type ReplicaSource struct {
+	Replica interface {
+		Checkpoint(ctx context.Context) (*storage.Checkpoint, error)
+	}
+	Engine interface {
+		DefinitiveLog(from uint64, origin transport.NodeID) ([]abcast.DefEntry, uint64, uint64, error)
+	}
+}
+
+var _ Source = ReplicaSource{}
+
+// Checkpoint implements Source.
+func (s ReplicaSource) Checkpoint(ctx context.Context) (*storage.Checkpoint, error) {
+	return s.Replica.Checkpoint(ctx)
+}
+
+// DefinitiveLog implements Source.
+func (s ReplicaSource) DefinitiveLog(from uint64, origin transport.NodeID) ([]abcast.DefEntry, uint64, uint64, error) {
+	return s.Engine.DefinitiveLog(from, origin)
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithChunkBytes sets the checkpoint chunk size (default 256 KiB).
+func WithChunkBytes(n int) ServerOption {
+	return func(s *Server) { s.chunkBytes = n }
+}
+
+// WithTailBatch sets how many backlog entries ride in one TailChunk
+// (default 1024).
+func WithTailBatch(n int) ServerOption {
+	return func(s *Server) { s.tailBatch = n }
+}
+
+// WithCheckpointTimeout bounds how long one transfer may pin the donor's
+// checkpoint machinery (default 30s). A joiner that vanished mid-
+// negotiation cannot hold versions pinned past this deadline.
+func WithCheckpointTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.ckptTimeout = d }
+}
+
+// Server serves state transfers at a live site. One server per
+// endpoint; transfers run concurrently, each on its own goroutine with
+// its own cancelable context (Abort from the joiner, or Stop, cancels).
+type Server struct {
+	ep          transport.Endpoint
+	src         Source
+	chunkBytes  int
+	tailBatch   int
+	ckptTimeout time.Duration
+
+	mu      sync.Mutex
+	active  map[xferKey]context.CancelFunc
+	started bool
+	closed  bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewServer creates a donor server bound to ep serving from src. Call
+// Start to begin answering requests.
+func NewServer(ep transport.Endpoint, src Source, opts ...ServerOption) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		ep:          ep,
+		src:         src,
+		chunkBytes:  256 << 10,
+		tailBatch:   1024,
+		ckptTimeout: 30 * time.Second,
+		active:      make(map[xferKey]context.CancelFunc),
+		ctx:         ctx,
+		cancel:      cancel,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Start launches the request loop.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	go s.run()
+}
+
+// Stop cancels in-flight transfers and halts the server. Idempotent.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if s.started {
+			<-s.done
+		}
+		return
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	s.cancel()
+	close(s.stop)
+	if started {
+		<-s.done
+	}
+	s.wg.Wait()
+}
+
+// Serving reports the number of transfers currently in flight — the
+// "am I a donor right now" signal operators see in STATS.
+func (s *Server) Serving() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+func (s *Server) run() {
+	defer close(s.done)
+	in := s.ep.Subscribe(StreamReq)
+	for {
+		select {
+		case env, ok := <-in:
+			if !ok {
+				return
+			}
+			switch m := env.Msg.(type) {
+			case JoinReq:
+				s.beginServe(env.From, m)
+			case Abort:
+				s.mu.Lock()
+				if cancel, ok := s.active[xferKey{env.From, m.Xfer}]; ok {
+					cancel()
+				}
+				s.mu.Unlock()
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// xferKey identifies a transfer at the donor: transfer identifiers are
+// only unique per joiner, so two joiners must never share an entry.
+type xferKey struct {
+	joiner transport.NodeID
+	xfer   uint64
+}
+
+// beginServe registers a transfer and serves it on its own goroutine.
+func (s *Server) beginServe(from transport.NodeID, req JoinReq) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	key := xferKey{from, req.Xfer}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return
+	}
+	s.active[key] = cancel
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer func() {
+			s.mu.Lock()
+			delete(s.active, key)
+			s.mu.Unlock()
+			cancel()
+			s.wg.Done()
+		}()
+		s.serve(ctx, from, req)
+	}()
+}
+
+// serve runs one transfer: negotiate, stream, terminate.
+func (s *Server) serve(ctx context.Context, joiner transport.NodeID, req JoinReq) {
+	send := func(msg any) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return s.ep.Send(joiner, StreamXfer, msg)
+	}
+
+	// Negotiate: can the retained backlog alone close the joiner's gap?
+	entries, stage, resumeSeq, err := s.src.DefinitiveLog(uint64(req.From)+1, joiner)
+	switch {
+	case err == nil:
+		if err := send(JoinResp{Xfer: req.Xfer, Mode: TailOnly}); err != nil {
+			return
+		}
+	case errors.Is(err, abcast.ErrHistoryPruned):
+		if err := send(JoinResp{Xfer: req.Xfer, Mode: CheckpointTail}); err != nil {
+			return
+		}
+		entries, stage, resumeSeq, err = s.serveCheckpoint(ctx, joiner, req)
+		if err != nil {
+			_ = send(Done{Xfer: req.Xfer, Err: err.Error()})
+			return
+		}
+	default:
+		_ = send(JoinResp{Xfer: req.Xfer, Err: err.Error()})
+		return
+	}
+
+	for seq := 0; len(entries) > 0; seq++ {
+		n := s.tailBatch
+		if n > len(entries) {
+			n = len(entries)
+		}
+		if err := send(TailChunk{Xfer: req.Xfer, Seq: seq, Entries: entries[:n]}); err != nil {
+			return
+		}
+		entries = entries[n:]
+	}
+	_ = send(Done{Xfer: req.Xfer, StartStage: stage, ResumeSeq: resumeSeq})
+}
+
+// serveCheckpoint captures and streams a checkpoint, then returns the
+// backlog above it. The capture is deadline-bounded so an abandoned
+// transfer cannot leave donor versions pinned.
+func (s *Server) serveCheckpoint(ctx context.Context, joiner transport.NodeID, req JoinReq) ([]abcast.DefEntry, uint64, uint64, error) {
+	ckctx, cancel := context.WithTimeout(ctx, s.ckptTimeout)
+	ck, err := s.src.Checkpoint(ckctx)
+	cancel()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	data, err := recovery.EncodeCheckpoint(ck)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for seq, off := 0, 0; ; seq++ {
+		end := off + s.chunkBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := CkptChunk{
+			Xfer: req.Xfer,
+			Seq:  seq,
+			Data: data[off:end],
+			CRC:  crc32.Checksum(data[off:end], castagnoli),
+			Last: end == len(data),
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
+		if err := s.ep.Send(joiner, StreamXfer, chunk); err != nil {
+			return nil, 0, 0, err
+		}
+		if chunk.Last {
+			break
+		}
+		off = end
+	}
+	// The backlog above the checkpoint. The ring can evict between the
+	// capture and this query under extreme decision rates; one retry
+	// against a fresh checkpoint would hit the same race, so fail the
+	// transfer and let the joiner retry from negotiation.
+	entries, stage, resumeSeq, err := s.src.DefinitiveLog(uint64(ck.Index)+1, joiner)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("backlog above checkpoint %d: %w", ck.Index, err)
+	}
+	return entries, stage, resumeSeq, nil
+}

@@ -35,10 +35,27 @@ type TCPConfig struct {
 // connection initiator to the acceptor; cumulative acknowledgements flow
 // back on the same connection. Sequence numbers are per directed link and
 // let the receiver deduplicate retransmissions.
+//
+// Inc is the sender's incarnation: a clock-derived value fixed at node
+// creation. A restarted process numbers its frames from 1 again; without
+// the incarnation, peers that remember the pre-crash sequence floor
+// would silently drop everything the new process sends (while still
+// acknowledging it). A frame with a newer incarnation resets the
+// receiver's dedup floor for that sender; frames from an older
+// incarnation are stale retransmissions and are dropped.
+//
+// Known limitation: incarnations assume the host clock does not step
+// backwards across a restart. If it does (NTP correction, VM snapshot
+// restore), peers stay deaf to the restarted node until its clock
+// passes the old incarnation — a visible availability failure (its
+// state-transfer probes time out loudly), never silent divergence. A
+// persisted monotonic epoch would close this; deliberately out of
+// scope here.
 type tcpFrame struct {
 	IsAck bool
 	Seq   uint64 // data sequence number (IsAck false)
 	Ack   uint64 // cumulative acknowledged sequence (IsAck true)
+	Inc   uint64 // sender incarnation (IsAck false)
 	Env   Envelope
 }
 
@@ -53,11 +70,13 @@ type TCPNode struct {
 	ln   net.Listener
 	box  *mailbox
 	out  map[NodeID]*peerLink
+	inc  uint64 // this node's incarnation, stamped on every data frame
 	stop chan struct{}
 	wg   sync.WaitGroup
 
 	mu      sync.Mutex
-	lastSeq map[NodeID]uint64 // highest data seq delivered per sender
+	lastSeq map[NodeID]uint64 // highest data seq delivered per sender incarnation
+	lastInc map[NodeID]uint64 // newest incarnation seen per sender
 	closed  bool
 }
 
@@ -82,8 +101,10 @@ func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
 		ln:      ln,
 		box:     newMailbox(),
 		out:     make(map[NodeID]*peerLink),
+		inc:     uint64(time.Now().UnixNano()),
 		stop:    make(chan struct{}),
 		lastSeq: make(map[NodeID]uint64),
+		lastInc: make(map[NodeID]uint64),
 	}
 	for id, peerAddr := range cfg.Addrs {
 		if id == cfg.ID {
@@ -215,9 +236,17 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 			continue // acks are never expected inbound on accepted conns
 		}
 		n.mu.Lock()
-		fresh := f.Seq > n.lastSeq[f.Env.From]
-		if fresh {
+		fresh := false
+		switch {
+		case f.Inc > n.lastInc[f.Env.From]:
+			// A restarted sender: its sequence numbering begins anew, so
+			// the dedup floor must too.
+			n.lastInc[f.Env.From] = f.Inc
 			n.lastSeq[f.Env.From] = f.Seq
+			fresh = true
+		case f.Inc == n.lastInc[f.Env.From] && f.Seq > n.lastSeq[f.Env.From]:
+			n.lastSeq[f.Env.From] = f.Seq
+			fresh = true
 		}
 		n.mu.Unlock()
 		if fresh {
@@ -410,7 +439,7 @@ func (l *peerLink) writeLoop() {
 			closed := false
 			l.mu.Lock()
 			l.nextSeq++
-			batch = append(batch, tcpFrame{Seq: l.nextSeq, Env: env})
+			batch = append(batch, tcpFrame{Seq: l.nextSeq, Inc: l.node.inc, Env: env})
 		drain:
 			for len(batch) < maxWriteBatch {
 				select {
@@ -420,7 +449,7 @@ func (l *peerLink) writeLoop() {
 						break drain
 					}
 					l.nextSeq++
-					batch = append(batch, tcpFrame{Seq: l.nextSeq, Env: env2})
+					batch = append(batch, tcpFrame{Seq: l.nextSeq, Inc: l.node.inc, Env: env2})
 				default:
 					break drain
 				}

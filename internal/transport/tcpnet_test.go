@@ -175,6 +175,64 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	t.Fatal("K=2 never arrived after peer restart")
 }
 
+// TestTCPRestartedSenderIsHeard is the incarnation regression test: a
+// peer that restarts (fresh process, sequence numbering from 1) must not
+// have its new frames silently deduplicated by survivors that remember
+// its pre-crash sequence floor — exactly the situation of a killed otpd
+// rejoining a live cluster.
+func TestTCPRestartedSenderIsHeard(t *testing.T) {
+	Register(tcpTestMsg{})
+	addrs := freeAddrs(t, 2)
+	n0, err := ListenTCP(TCPConfig{ID: 0, Addrs: addrs, DialRetry: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n0.Close() }()
+	in := n0.Subscribe("s")
+
+	n1, err := ListenTCP(TCPConfig{ID: 1, Addrs: addrs, DialRetry: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push the survivor's dedup floor for node 1 well past what the
+	// restarted incarnation will use.
+	const preCrash = 50
+	for i := 0; i < preCrash; i++ {
+		if err := n1.Send(0, "s", tcpTestMsg{K: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < preCrash; i++ {
+		recvOne(t, in)
+	}
+	_ = n1.Close() // the "kill -9"
+
+	n1b, err := ListenTCP(TCPConfig{ID: 1, Addrs: addrs, DialRetry: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n1b.Close() }()
+	if err := n1b.Send(0, "s", tcpTestMsg{K: 999}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, in)
+	if got := env.Msg.(tcpTestMsg).K; got != 999 {
+		t.Fatalf("survivor delivered %d, want the restarted sender's 999", got)
+	}
+	// And FIFO still holds within the new incarnation.
+	for i := 0; i < 10; i++ {
+		if err := n1b.Send(0, "s", tcpTestMsg{K: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		env := recvOne(t, in)
+		if env.Msg.(tcpTestMsg).K != i {
+			t.Fatalf("post-restart message %d = %d, out of order", i, env.Msg.(tcpTestMsg).K)
+		}
+	}
+}
+
 func TestTCPManyStreamsConcurrently(t *testing.T) {
 	Register(tcpTestMsg{})
 	nodes := startMesh(t, 2)

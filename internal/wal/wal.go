@@ -419,22 +419,29 @@ func (l *Log) Replay(from int64, fn func(Record) error) error {
 // segment is never deleted. Because non-conflicting commits may append
 // slightly out of TOIndex order, each candidate is scanned for its
 // actual maximum index rather than trusting the next segment's name.
+//
+// The scans run outside l.mu so a large accumulated log does not stall
+// every concurrent Append for the duration of the re-read: closed
+// segments are immutable (only the active one, which is excluded, is
+// written), rotations only ever create strictly newer names, and a
+// racing TruncateBelow at worst removes a candidate first (tolerated).
 func (l *Log) TruncateBelow(index int64) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	segs, err := l.segments()
+	active := l.segName
+	l.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	for i, seg := range segs {
-		if i == len(segs)-1 {
-			break // never the active segment
+	for _, seg := range segs {
+		if seg.first >= active {
+			break // never the active segment (or anything newer)
 		}
 		maxIdx, _, err := validateSegment(seg.path)
 		if err != nil || maxIdx > index {
 			break
 		}
-		if err := os.Remove(seg.path); err != nil {
+		if err := os.Remove(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("wal: truncate below %d: %w", index, err)
 		}
 	}

@@ -68,6 +68,7 @@ import (
 	"otpdb/internal/otp"
 	"otpdb/internal/recovery"
 	"otpdb/internal/sproc"
+	"otpdb/internal/statex"
 	"otpdb/internal/storage"
 	"otpdb/internal/transport"
 	"otpdb/internal/wal"
@@ -163,6 +164,7 @@ type config struct {
 	durDir       string
 	syncPolicy   SyncPolicy
 	ckptEvery    int
+	defLogCap    int
 }
 
 // Option configures NewCluster.
@@ -248,6 +250,15 @@ func WithCheckpointEvery(n int) Option {
 	return func(c *config) { c.ckptEvery = n }
 }
 
+// WithDefLogCap bounds each broadcast engine's retained definitive
+// history (default 64Ki entries). A rejoining site whose gap reaches
+// below the retained window falls back from a tail-only state transfer
+// to a full checkpoint + tail; shrinking the cap forces that fallback in
+// tests and benchmarks.
+func WithDefLogCap(n int) Option {
+	return func(c *config) { c.defLogCap = n }
+}
+
 // Cluster is an in-process group of database replicas.
 type Cluster struct {
 	cfg      config
@@ -259,15 +270,16 @@ type Cluster struct {
 	// mu guards the per-site state below: RestartSite swaps a site's
 	// whole stack while sessions and cluster methods resolve replicas
 	// through it.
-	mu       sync.RWMutex
-	replicas []*db.Replica
-	engines  []*abcast.Optimistic // per-site OPT-ABcast engine; nil under ConservativeOrdering
-	sessions []*Session
-	stops    []func()
-	bases    []int64 // recovered definitive index per site (durability)
-	crashed  map[int]bool
-	started  bool
-	stopped  bool
+	mu        sync.RWMutex
+	replicas  []*db.Replica
+	engines   []*abcast.Optimistic // per-site OPT-ABcast engine; nil under ConservativeOrdering
+	sessions  []*Session
+	stops     []func()
+	bases     []int64 // recovered definitive index per site (durability)
+	crashed   map[int]bool
+	joinModes map[int]statex.Mode // how each site last rejoined
+	started   bool
+	stopped   bool
 }
 
 // Errors returned by the cluster.
@@ -413,6 +425,9 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 		cons := consensus.New(ccfg)
 		cons.Start()
 		aopts := []abcast.Option{abcast.WithDefBase(uint64(base))}
+		if c.cfg.defLogCap > 0 {
+			aopts = append(aopts, abcast.WithDefLogCap(c.cfg.defLogCap))
+		}
 		if join != nil {
 			aopts = append(aopts, abcast.WithJoin(*join))
 		}
@@ -443,7 +458,18 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 		return nil, nil, nil, fmt.Errorf("otpdb: replica %d: %w", i, err)
 	}
 	rep.Start()
+	// Every optimistic site doubles as a state-transfer donor: the same
+	// wire protocol serves in-process rejoin (RestartSite) and TCP
+	// clusters (cmd/otpd).
+	var xs *statex.Server
+	if opt != nil {
+		xs = statex.NewServer(ep, statex.ReplicaSource{Replica: rep, Engine: opt})
+		xs.Start()
+	}
 	return rep, opt, func() {
+		if xs != nil {
+			xs.Stop()
+		}
 		rep.Stop()
 		stopEngine()
 	}, nil
@@ -707,26 +733,26 @@ func (c *Cluster) CrashSite(site int) error {
 
 // RestartSite brings a crashed site back into the running cluster — the
 // live-rejoin half of the durability story (the paper's Section 3.2
-// defers both to "traditional recovery techniques"). The rejoin
-// protocol:
+// defers both to "traditional recovery techniques"). It runs the same
+// statex wire protocol a TCP otpd uses, over the in-process transport:
 //
-//  1. A live peer replica produces a consistent checkpoint at its
-//     current definitive index C (the same MVCC snapshot Section 5
-//     queries read, so no site pauses).
-//  2. The peer's broadcast engine serves its retained definitive
-//     history above C together with the consensus stage to resume at —
-//     captured atomically, so checkpoint + backlog + live stages cover
-//     the definitive order with no gap and no overlap.
-//  3. The site gets a fresh transport endpoint, installs the
-//     checkpoint, replays the backlog through a fresh engine primed
-//     with the join state, and re-enters consensus at the current
-//     stage; missed stage decisions and message bodies are
-//     retransmitted by peers on request.
+//  1. The site recovers whatever its local durability directory holds
+//     (nothing for in-memory sites) and advertises that index to a live
+//     donor (statex.Fetch, failing over across live peers).
+//  2. The donor answers tail-only when its retained definitive history
+//     covers the gap, or streams a consistent checkpoint of its current
+//     state first (the same MVCC snapshot Section 5 queries read, so no
+//     site pauses) — see internal/statex for the negotiation.
+//  3. The site installs the received state, replays the backlog through
+//     a fresh engine primed with the join state, and re-enters
+//     consensus at the current stage; missed stage decisions and
+//     message bodies are retransmitted by peers on request.
 //
 // The restarted site then executes and commits new transactions in
-// agreement with the survivors. With durability enabled its data
-// directory is reset to the transferred checkpoint, so a later cold
-// restart recovers from local state again.
+// agreement with the survivors. With durability enabled a transferred
+// checkpoint resets the local data directory, so a later cold restart
+// recovers from local state again; a tail-only rejoin keeps the local
+// log and continues appending above it.
 //
 // RestartSite requires OptimisticOrdering and at least one live site.
 // Sessions bound to the site transparently observe the new replica;
@@ -743,43 +769,36 @@ func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 	if c.cfg.ordering != OptimisticOrdering {
 		return errors.New("otpdb: RestartSite requires OptimisticOrdering")
 	}
-	peer := -1
+	var donors []transport.NodeID
 	for i := range c.replicas {
-		if !c.crashed[i] {
-			peer = i
-			break
+		if !c.crashed[i] && i != site {
+			donors = append(donors, transport.NodeID(i))
 		}
 	}
-	if peer < 0 {
+	if len(donors) == 0 {
 		return errors.New("otpdb: no live peer to rejoin from")
 	}
 
-	// 1. Consistent peer checkpoint at its definitive index C.
-	ck, err := c.replicas[peer].Checkpoint(ctx)
-	if err != nil {
-		return fmt.Errorf("otpdb: peer checkpoint: %w", err)
-	}
-
-	// 2. The definitive deliveries above C, the resume stage, and the
-	// crashed origin's highest used broadcast sequence number.
-	backlog, startStage, resumeSeq, err := c.engines[peer].DefinitiveLog(
-		uint64(ck.Index)+1, transport.NodeID(site))
-	if err != nil {
-		return fmt.Errorf("otpdb: peer definitive log: %w", err)
-	}
-
-	// 3. Tear down the dead stack, revive the endpoint, and build the
-	// new one primed with the join state. If any step fails the endpoint
-	// is re-crashed, so peers do not flood a mailbox nobody drains and a
-	// retry starts from a clean "crashed" state.
+	// Tear down the dead stack and revive the endpoint. If any later
+	// step fails the endpoint is re-crashed, so peers do not flood a
+	// mailbox nobody drains and a retry starts from a clean "crashed"
+	// state.
 	c.stops[site]()
 	ep := c.hub.Restart(transport.NodeID(site))
 	fail := func(err error) error {
 		c.hub.Crash(transport.NodeID(site))
 		return err
 	}
+
+	// Local recovery first: a durable site advertises the index its own
+	// checkpoint + log reach, so a short outage costs only a tail
+	// transfer. The store is seeded exactly as Start seeds fresh ones (a
+	// transferred checkpoint, when needed, replaces the content anyway).
 	store := storage.NewStore()
-	store.InstallCheckpoint(ck)
+	for _, seed := range c.seeds {
+		seed(store)
+	}
+	base := int64(0)
 	var dur *recovery.Durability
 	if c.cfg.durDir != "" {
 		d, derr := recovery.Open(c.siteDir(site), recovery.Options{
@@ -789,20 +808,37 @@ func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 		if derr != nil {
 			return fail(fmt.Errorf("otpdb: reopen durability %d: %w", site, derr))
 		}
-		// The store content now comes from the peer; reset the local
-		// directory to it so cold restarts recover from here on.
-		if rerr := d.ResetTo(ck); rerr != nil {
+		b, rerr := d.Recover(store)
+		if rerr != nil {
 			_ = d.Close()
-			return fail(fmt.Errorf("otpdb: reset durability %d: %w", site, rerr))
+			return fail(fmt.Errorf("otpdb: recover %d: %w", site, rerr))
 		}
-		dur = d
+		dur, base = d, b
 	}
-	join := &abcast.JoinState{
-		StartStage: startStage,
-		ResumeSeq:  resumeSeq,
-		Backlog:    backlog,
+
+	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{})
+	if err != nil {
+		if dur != nil {
+			_ = dur.Close()
+		}
+		return fail(fmt.Errorf("otpdb: state transfer %d: %w", site, err))
 	}
-	rep, opt, stop, err := c.buildSite(site, ep, join, store, ck.Index, dur)
+	if xfer.Mode == statex.CheckpointTail {
+		// The donor's snapshot replaces local state wholesale; with
+		// durability the directory is reset to it so cold restarts
+		// recover from here on.
+		store = storage.NewStore()
+		store.InstallCheckpoint(xfer.Checkpoint)
+		base = xfer.Base
+		if dur != nil {
+			if rerr := dur.ResetTo(xfer.Checkpoint); rerr != nil {
+				_ = dur.Close()
+				return fail(fmt.Errorf("otpdb: reset durability %d: %w", site, rerr))
+			}
+		}
+	}
+	join := xfer.Join
+	rep, opt, stop, err := c.buildSite(site, ep, &join, store, base, dur)
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
@@ -812,9 +848,28 @@ func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 	c.replicas[site] = rep
 	c.engines[site] = opt
 	c.stops[site] = stop
-	c.bases[site] = ck.Index
+	c.bases[site] = base
+	if c.joinModes == nil {
+		c.joinModes = make(map[int]statex.Mode)
+	}
+	c.joinModes[site] = xfer.Mode
 	delete(c.crashed, site)
 	return nil
+}
+
+// RejoinMode reports how a site last rejoined the cluster: "tail-only",
+// "checkpoint+tail", or "" when the site never went through RestartSite.
+func (c *Cluster) RejoinMode(site int) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, err := c.replicaLocked(site); err != nil {
+		return "", err
+	}
+	mode, ok := c.joinModes[site]
+	if !ok {
+		return "", nil
+	}
+	return mode.String(), nil
 }
 
 // DigestAt returns a hash of a site's committed state, for convergence

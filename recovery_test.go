@@ -168,6 +168,11 @@ func TestRestartSiteRejoin(t *testing.T) {
 		if err := cluster.RestartSite(ctx, victim); err != nil {
 			t.Fatalf("RestartSite(%d): %v", victim, err)
 		}
+		// The survivors' retained definitive history easily covers this
+		// short run, so the state transfer negotiates a tail.
+		if mode, err := cluster.RejoinMode(victim); err != nil || mode != "tail-only" {
+			t.Fatalf("RejoinMode(%d) = %q, %v; want tail-only", victim, mode, err)
+		}
 	}
 
 	// Every site — including the restarted ones — submits new work.
@@ -256,6 +261,61 @@ func TestRestartSiteDurable(t *testing.T) {
 	bumpN(t, again, 0, 1)
 	if got := readCounter(t, again, 0); got != 26 {
 		t.Fatalf("counter after restart commit = %d, want 26", got)
+	}
+}
+
+// TestRestartSiteCheckpointFallback forces the backlog-evicted path: a
+// tiny retained-history cap means the survivors no longer hold the
+// definitive deliveries the victim missed, so the state transfer must
+// fall back from tail-only to a full checkpoint + tail — and the
+// rejoined site still reconverges.
+func TestRestartSiteCheckpointFallback(t *testing.T) {
+	cluster := counterCluster(t,
+		otpdb.WithReplicas(3),
+		otpdb.WithConsensusRoundTimeout(50*time.Millisecond),
+		otpdb.WithDefLogCap(32), // retains ~16 entries after eviction
+	)
+	if err := cluster.Seed("counter", "seeded", otpdb.Int64(77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	bumpN(t, cluster, 0, 10)
+	if err := cluster.CrashSite(2); err != nil {
+		t.Fatal(err)
+	}
+	// Far more commits than the ring retains: the victim's gap reaches
+	// below the survivors' history.
+	bumpN(t, cluster, 0, 150)
+
+	if err := cluster.RestartSite(ctx, 2); err != nil {
+		t.Fatalf("RestartSite: %v", err)
+	}
+	if mode, err := cluster.RejoinMode(2); err != nil || mode != "checkpoint+tail" {
+		t.Fatalf("RejoinMode = %q, %v; want checkpoint+tail", mode, err)
+	}
+
+	bumpN(t, cluster, 2, 5)
+	if err := cluster.WaitForCommits(ctx, 165); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := cluster.Converged()
+	if err != nil || !ok {
+		t.Fatalf("converged = %v, %v", ok, err)
+	}
+	if got := readCounter(t, cluster, 2); got != 165 {
+		t.Fatalf("restarted site counter = %d, want 165", got)
+	}
+	// Values that predate the eviction window — including the seed, which
+	// never appears in any backlog — arrived through the checkpoint.
+	v, okv, err := cluster.Read(2, "counter", "seeded")
+	if err != nil || !okv || otpdb.AsInt64(v) != 77 {
+		t.Fatalf("seeded key at restarted site = %v/%v/%v, want 77", v, okv, err)
 	}
 }
 
