@@ -7,7 +7,7 @@
 //	otpbench [-quick] [-json] [-out file] [experiment ...]
 //
 // Experiments: figure1, abortrate, overlap, async, queries, ordering,
-// pipeline, commit, recovery, rejoin. With no arguments every
+// pipeline, commit, recovery, rejoin, reconfig. With no arguments every
 // experiment runs.
 //
 // The commit experiment is the tracked commit-path benchmark: with
@@ -34,10 +34,10 @@ func main() {
 	flag.Parse()
 	targets := flag.Args()
 	if len(targets) == 0 {
-		// "recovery" and "rejoin" are not listed: the commit benchmark
-		// already embeds the full E9 and E10 sweeps in its report, and
-		// running them twice would double the slowest cells of the
-		// suite. Both remain available as explicit targets.
+		// "recovery", "rejoin" and "reconfig" are not listed: the commit
+		// benchmark already embeds the full E9, E10 and E11 sweeps in
+		// its report, and running them twice would double the slowest
+		// cells of the suite. All remain available as explicit targets.
 		targets = []string{"figure1", "abortrate", "overlap", "async", "queries", "ordering", "pipeline", "commit"}
 	}
 	if err := run(targets, *quick, *jsonOut, *outPath); err != nil {
@@ -159,6 +159,17 @@ func run(targets []string, quick, jsonOut bool, outPath string) error {
 			rep, err := experiments.RejoinBench(p)
 			if err != nil {
 				return fmt.Errorf("rejoin: %w", err)
+			}
+			t := rep.Table()
+			t.Render(os.Stdout)
+		case "reconfig":
+			p := experiments.DefaultReconfigParams()
+			if quick {
+				p = experiments.QuickReconfigParams()
+			}
+			rep, err := experiments.ReconfigBench(p)
+			if err != nil {
+				return fmt.Errorf("reconfig: %w", err)
 			}
 			t := rep.Table()
 			t.Render(os.Stdout)

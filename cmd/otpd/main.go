@@ -10,8 +10,11 @@
 //	SUBMIT <procedure> [arg ...] -> ID <origin>.<seq> | ERR <message>
 //	WAIT <origin>.<seq>          -> OK ... (as EXEC) | ERR <message>
 //	QUERY <procedure> [arg ...]  -> VALUE <int64> | ERR <message>
-//	STATS (alias STATUS)         -> STATS commits=<n> aborts=<n> reorders=<n> pending=<n> to=<idx> recovered=<idx> role=<joining|serving|donor>
+//	STATS (alias STATUS)         -> STATS commits=<n> aborts=<n> reorders=<n> pending=<n> to=<idx> recovered=<idx> epoch=<e> members=<n> role=<joining|serving|donor>
 //	DIGEST                       -> DIGEST <hex>
+//	MEMBER ADD <id> <addr>       -> OK epoch=<e> members=<n> to=<idx> | ERR <message>
+//	MEMBER REMOVE <id>           -> OK ... (as ADD)
+//	MEMBER REPLACE <id> <addr>   -> OK ... (as ADD)
 //
 // SUBMIT handles are per-connection: WAIT resolves an ID submitted on the
 // same connection (pipeline SUBMITs first, then WAIT each ID). STATS is
@@ -43,6 +46,17 @@
 // instance, a whole-cluster restart where every process comes up at
 // once), the replica falls back to a cold start from local state alone.
 //
+// The group membership is dynamic: the configuration (an epoch plus the
+// member list) is itself replicated state, seeded from -peers at epoch 1
+// and changed through definitively-ordered MEMBER commands. Every
+// replica switches its quorum, its failure-detector targets and its TCP
+// peer links at the commit of the change. A permanently dead site is
+// replaced without a whole-cluster restart: MEMBER REPLACE <id> <addr>
+// on a survivor, then start a fresh process with that id, the updated
+// -peers list and -join — it state-transfers from a donor and activates.
+// A removed site keeps its process alive but is out of the group; stop
+// it once MEMBER REMOVE returns.
+//
 // Example 3-replica cluster on one machine:
 //
 //	otpd -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7070 -data data/0 &
@@ -51,6 +65,9 @@
 //	otpcli -addr :7070 EXEC add-p0 mykey 5
 //	otpcli -addr :7071 QUERY get p0 mykey
 //	kill -9 <pid of replica 2>; otpd -id 2 ... -data data/2 &   # rejoins live
+//	# replica 2's machine died for good: replace it at a new address
+//	otpcli -addr :7070 MEMBER REPLACE 2 127.0.0.1:9005
+//	otpd -id 2 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9005 -client :7072 -data data2b/2 -join &
 //	otpcli -addr :7072 STATUS
 package main
 
@@ -72,6 +89,7 @@ import (
 	"otpdb/internal/consensus"
 	"otpdb/internal/db"
 	"otpdb/internal/fd"
+	"otpdb/internal/member"
 	"otpdb/internal/recovery"
 	"otpdb/internal/sproc"
 	"otpdb/internal/statex"
@@ -136,6 +154,10 @@ func demoRegistry(classes int) (*sproc.Registry, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// Group membership rides the same machinery as user transactions.
+	if err := member.RegisterProc(reg); err != nil {
+		return nil, err
+	}
 	return reg, nil
 }
 
@@ -144,10 +166,21 @@ func demoRegistry(classes int) (*sproc.Registry, error) {
 // STATS answers in every phase so operators (and tests) can watch a
 // joiner catch up.
 type server struct {
-	rep   atomic.Pointer[db.Replica]
-	xs    atomic.Pointer[statex.Server]
-	base  atomic.Int64  // locally recovered definitive index
-	ready chan struct{} // closed when rep is published
+	rep     atomic.Pointer[db.Replica]
+	xs      atomic.Pointer[statex.Server]
+	tracker atomic.Pointer[member.Tracker]
+	base    atomic.Int64  // locally recovered definitive index
+	ready   chan struct{} // closed when rep is published
+}
+
+// membership renders the epoch/size STATS fields ("0 0" while joining).
+func (s *server) membership() (uint64, int) {
+	tr := s.tracker.Load()
+	if tr == nil {
+		return 0, 0
+	}
+	cfg := tr.Config()
+	return cfg.Epoch, len(cfg.Members)
 }
 
 // waitReady blocks until the replica is up (recovery and state transfer
@@ -174,14 +207,13 @@ func (s *server) role() string {
 	return "serving"
 }
 
-// donorOrder lists candidate state-transfer donors: every peer but
-// ourselves, unsuspected ones first. Right after startup the detector
-// has heard nobody, so the order degenerates to id order and Fetch's
-// per-donor timeout skims past dead peers.
-func donorOrder(d *fd.Detector, self transport.NodeID, n int) []transport.NodeID {
+// donorOrder lists candidate state-transfer donors: every group member
+// but ourselves, unsuspected ones first. Right after startup the
+// detector has heard nobody, so the order degenerates to id order and
+// Fetch's per-donor timeout skims past dead peers.
+func donorOrder(d *fd.Detector, self transport.NodeID, ids []transport.NodeID) []transport.NodeID {
 	var live, suspect []transport.NodeID
-	for i := 0; i < n; i++ {
-		id := transport.NodeID(i)
+	for _, id := range ids {
 		if id == self {
 			continue
 		}
@@ -267,12 +299,17 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	}()
 
 	// Local recovery: a durable replica replays checkpoint + WAL tail
-	// and resumes at the recovered definitive index.
+	// and resumes at the recovered definitive index. The group
+	// configuration is seeded from -peers at version 0; recovered or
+	// transferred state carrying a newer committed configuration
+	// overrides the seed, so the replica lands in the correct epoch.
 	reg, err := demoRegistry(classes)
 	if err != nil {
 		return err
 	}
+	bootstrap := member.Bootstrap(addrs)
 	store := storage.NewStore()
+	member.Seed(store, bootstrap)
 	base := int64(0)
 	var dur *recovery.Durability
 	if dataDir != "" {
@@ -294,6 +331,28 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	}
 	srv.base.Store(base)
 
+	// The membership tracker is primed from the committed configuration
+	// the store now holds — the -peers seed for a fresh start, the
+	// recovered one otherwise — and retargets the transport mesh and the
+	// failure detector on every epoch change, including right now: the
+	// recovered configuration may already disagree with -peers (peers
+	// replaced at new addresses while we were down), and both the join
+	// probe below and the consensus view must follow the committed
+	// membership, not the stale command line.
+	mcfg, err := member.CommittedConfig(store)
+	if err != nil {
+		return fmt.Errorf("membership: %w", err)
+	}
+	applyMembership := func(cfg member.Config) {
+		node.SetPeers(cfg.Addrs())
+		detector.SetMembers(cfg.IDs())
+		fmt.Printf("otpd: replica %d membership %s\n", id, cfg)
+	}
+	tracker := member.NewTracker(mcfg)
+	tracker.OnChange(applyMembership)
+	applyMembership(mcfg)
+	srv.tracker.Store(tracker)
+
 	// State transfer: a durable replica that recovered committed state
 	// assumes the cluster kept running and catches up from a live peer;
 	// -join forces the same for a replica with no local state. A cluster
@@ -307,7 +366,7 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 		var xfer *statex.Transfer
 		var jerr error
 		for attempt := 0; attempt < 2; attempt++ {
-			xfer, jerr = statex.Fetch(ctx, node, base, donorOrder(detector, transport.NodeID(id), len(parts)),
+			xfer, jerr = statex.Fetch(ctx, node, base, donorOrder(detector, transport.NodeID(id), tracker.Members()),
 				statex.Options{RespTimeout: 3 * time.Second})
 			if jerr == nil || ctx.Err() != nil {
 				break
@@ -327,6 +386,12 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 						_ = dur.Close()
 						return rerr
 					}
+				}
+				// The transferred checkpoint may carry a newer committed
+				// configuration than local recovery did; follow it before
+				// consensus starts.
+				if nc, cerr := member.CommittedConfig(store); cerr == nil {
+					tracker.Apply(nc)
 				}
 			}
 			joinState = &xfer.Join
@@ -353,6 +418,7 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 		Endpoint:     node,
 		Suspector:    detector,
 		RoundTimeout: 250 * time.Millisecond,
+		View:         tracker,
 	}
 	if joinState != nil {
 		ccfg.CatchUpFrom = joinState.StartStage
@@ -372,10 +438,16 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	defer func() { _ = bc.Stop() }()
 
 	cfg := db.Config{
-		ID:        transport.NodeID(id),
-		Broadcast: bc,
-		Registry:  reg,
-		Store:     store,
+		ID:          transport.NodeID(id),
+		Broadcast:   bc,
+		Registry:    reg,
+		Store:       store,
+		ConfigClass: member.Class,
+		OnConfigCommit: func(v storage.Value, _ int64) {
+			if next, derr := member.Decode(v); derr == nil {
+				tracker.Apply(next)
+			}
+		},
 	}
 	if dur != nil {
 		// The replica owns the handle and flushes/closes the WAL on
@@ -456,15 +528,16 @@ func (cs *clientSession) handle(fields []string) string {
 		// the replica exists.
 		srv := cs.srv
 		base := srv.base.Load()
+		epoch, members := srv.membership()
 		rep := srv.rep.Load()
 		if rep == nil {
-			return fmt.Sprintf("STATS commits=0 aborts=0 reorders=0 pending=0 to=%d recovered=%d role=%s",
-				base, base, srv.role())
+			return fmt.Sprintf("STATS commits=0 aborts=0 reorders=0 pending=0 to=%d recovered=%d epoch=%d members=%d role=%s",
+				base, base, epoch, members, srv.role())
 		}
 		st := rep.Manager().Stats()
-		return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d role=%s",
+		return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d epoch=%d members=%d role=%s",
 			st.Commits, st.Aborts, st.Reorders, rep.Manager().Pending(),
-			rep.LastTO(), base, srv.role())
+			rep.LastTO(), base, epoch, members, srv.role())
 	}
 	rep := cs.srv.waitReady(30 * time.Second)
 	if rep == nil {
@@ -529,9 +602,64 @@ func (cs *clientSession) handle(fields []string) string {
 		return fmt.Sprintf("VALUE %d", storage.ValueInt64(v))
 	case "DIGEST":
 		return fmt.Sprintf("DIGEST %016x", rep.Store().Digest())
+	case "MEMBER":
+		return cs.handleMember(rep, fields[1:])
 	default:
 		return "ERR unknown command " + fields[0]
 	}
+}
+
+// handleMember executes a membership change: the successor configuration
+// is derived from this replica's current view and committed through the
+// definitive order like any transaction. A concurrent change loses the
+// race with an epoch-conflict error; retry against the new STATUS.
+//
+//	MEMBER ADD <id> <addr>      admit a new site
+//	MEMBER REMOVE <id>          shrink the group
+//	MEMBER REPLACE <id> <addr>  re-admit a dead site's id at a new address
+func (cs *clientSession) handleMember(rep *db.Replica, args []string) string {
+	tr := cs.srv.tracker.Load()
+	if tr == nil {
+		return "ERR replica still joining"
+	}
+	if len(args) < 2 {
+		return "ERR MEMBER needs ADD <id> <addr> | REMOVE <id> | REPLACE <id> <addr>"
+	}
+	id, err := strconv.Atoi(args[1])
+	if err != nil {
+		return "ERR bad site id " + args[1]
+	}
+	cur := tr.Config()
+	var next member.Config
+	switch strings.ToUpper(args[0]) {
+	case "ADD":
+		if len(args) != 3 {
+			return "ERR MEMBER ADD needs <id> <addr>"
+		}
+		next, err = cur.WithAdd(member.Site{ID: transport.NodeID(id), Addr: args[2]})
+	case "REMOVE":
+		if len(args) != 2 {
+			return "ERR MEMBER REMOVE needs <id>"
+		}
+		next, err = cur.WithRemove(transport.NodeID(id))
+	case "REPLACE":
+		if len(args) != 3 {
+			return "ERR MEMBER REPLACE needs <id> <addr>"
+		}
+		next, err = cur.WithReplace(transport.NodeID(id), args[2])
+	default:
+		return "ERR unknown MEMBER subcommand " + args[0]
+	}
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	info, err := rep.Exec(ctx, member.Proc, member.Encode(next))
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	return fmt.Sprintf("OK epoch=%d members=%d to=%d", next.Epoch, len(next.Members), info.TOIndex)
 }
 
 // parseArgs converts protocol arguments: decimal integers become Int64

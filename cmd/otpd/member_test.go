@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestReplaceSiteTCP is the membership torture test: a 3-process TCP
+// cluster loses one replica to SIGKILL for good (its data directory is
+// gone too — a dead machine), the survivors commit a MEMBER REPLACE to a
+// new address while still serving traffic, and a fresh process at that
+// address joins through statex, converges, and serves. A subsequent
+// MEMBER REMOVE shrinks the group to two and the survivors keep
+// committing under the smaller quorum.
+func TestReplaceSiteTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "otpd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	const n = 3
+	peerAddrs := make([]string, n)
+	clientAddrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		peerAddrs[i] = freeAddr(t)
+		clientAddrs[i] = freeAddr(t)
+	}
+	start := func(i int, peers, dataDir string, join bool) *exec.Cmd {
+		args := []string{
+			"-id", fmt.Sprint(i),
+			"-peers", peers,
+			"-client", clientAddrs[i],
+			"-data", dataDir,
+			"-fsync", "commit",
+		}
+		if join {
+			args = append(args, "-join")
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start otpd %d: %v", i, err)
+		}
+		return cmd
+	}
+
+	peers := strings.Join(peerAddrs, ",")
+	procs := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		procs[i] = start(i, peers, filepath.Join(tmp, fmt.Sprintf("data-%d", i)), false)
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				_ = p.Process.Kill()
+			}
+		}
+	}()
+
+	conn0 := dialRetry(t, clientAddrs[0])
+	defer func() { _ = conn0.Close() }()
+	conn1 := dialRetry(t, clientAddrs[1])
+	defer func() { _ = conn1.Close() }()
+
+	// Phase 1: load with all three up.
+	const phase1 = 20
+	for i := 0; i < phase1; i++ {
+		execAdd(t, conn0, "k", 1)
+	}
+	if e := statField(t, roundTrip(t, conn0, "STATS"), "epoch"); e != 1 {
+		t.Fatalf("initial epoch = %d, want 1", e)
+	}
+
+	// Replica 2's machine dies permanently: kill -9, and its durable
+	// state never comes back.
+	victim := 2
+	if err := procs[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_, _ = procs[victim].Process.Wait()
+	procs[victim] = nil
+
+	// Survivors keep serving while the replacement is arranged.
+	const phase2 = 20
+	for i := 0; i < phase2; i++ {
+		execAdd(t, conn0, "k", 1)
+	}
+
+	// Commit the replacement: same id, new peer address, fresh machine.
+	newPeerAddr := freeAddr(t)
+	clientAddrs[victim] = freeAddr(t)
+	reply := roundTrip(t, conn0, fmt.Sprintf("MEMBER REPLACE %d %s", victim, newPeerAddr))
+	if !strings.HasPrefix(reply, "OK epoch=2") {
+		t.Fatalf("MEMBER REPLACE reply: %q", reply)
+	}
+	// Survivors are serving EXEC/QUERY throughout the change.
+	if got := execAdd(t, conn1, "k", 1); got != phase1+phase2+1 {
+		t.Fatalf("survivor commit during change = %d, want %d", got, phase1+phase2+1)
+	}
+
+	// Start the replacement: updated peers list, empty data dir, -join.
+	newPeers := strings.Join([]string{peerAddrs[0], peerAddrs[1], newPeerAddr}, ",")
+	procs[victim] = start(victim, newPeers, filepath.Join(tmp, "data-2-replacement"), true)
+	conn2 := dialRetry(t, clientAddrs[victim])
+	defer func() { _ = conn2.Close() }()
+	waitServing(t, conn2, 120*time.Second)
+	// role=serving can precede the backlog replay reaching the
+	// membership change; poll until the replacement applies it.
+	waitStats(t, conn2, 120*time.Second, map[string]int64{"epoch": 2, "members": 3})
+
+	// The replacement serves reads and writes in agreement.
+	want := int64(phase1 + phase2 + 2)
+	if got := execAdd(t, conn2, "k", 1); got != want {
+		t.Fatalf("post-replace commit at replacement = %d, want %d", got, want)
+	}
+	if got := queryGet(t, conn2, "p0", "k"); got != want {
+		t.Fatalf("post-replace query at replacement = %d, want %d", got, want)
+	}
+
+	// All three converge to one digest and one epoch.
+	waitDigestsEqual(t, 120*time.Second, conn0, conn1, conn2)
+	for _, c := range []net.Conn{conn0, conn1, conn2} {
+		if e := statField(t, roundTrip(t, c, "STATS"), "epoch"); e != 2 {
+			t.Fatalf("epoch after replace = %d, want 2", e)
+		}
+	}
+
+	// Shrink: vote the replacement out again; the two survivors commit
+	// under the two-member quorum.
+	reply = roundTrip(t, conn0, fmt.Sprintf("MEMBER REMOVE %d", victim))
+	if !strings.HasPrefix(reply, "OK epoch=3 members=2") {
+		t.Fatalf("MEMBER REMOVE reply: %q", reply)
+	}
+	if procs[victim].Process != nil {
+		_ = procs[victim].Process.Kill()
+		_, _ = procs[victim].Process.Wait()
+		procs[victim] = nil
+	}
+	if got := execAdd(t, conn0, "k", 1); got != want+1 {
+		t.Fatalf("commit after shrink = %d, want %d", got, want+1)
+	}
+	waitStats(t, conn1, 60*time.Second, map[string]int64{"epoch": 3, "members": 2})
+	waitDigestsEqual(t, 60*time.Second, conn0, conn1)
+}
+
+// waitStats polls STATS until every field reaches its wanted value.
+func waitStats(t *testing.T, conn net.Conn, timeout time.Duration, want map[string]int64) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		s := roundTrip(t, conn, "STATS")
+		ok := true
+		for k, v := range want {
+			if statField(t, s, k) != v {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("STATS never reached %v: %q", want, s)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitDigestsEqual polls DIGEST on every connection until they agree.
+func waitDigestsEqual(t *testing.T, timeout time.Duration, conns ...net.Conn) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		digests := make([]string, len(conns))
+		same := true
+		for i, c := range conns {
+			digests[i] = digest(t, c)
+			if digests[i] != digests[0] {
+				same = false
+			}
+		}
+		if same {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("digests never converged: %v", digests)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

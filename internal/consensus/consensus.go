@@ -34,12 +34,20 @@ const Stream = "cons"
 
 // Wire messages. Values proposed through the engine must themselves be
 // registered with transport.Register when running over TCP.
+//
+// Estimate, propose and ack messages carry the sender's membership
+// epoch: quorum sizes and coordinator rotation are properties of one
+// configuration, so a process only counts round traffic from processes
+// in the same epoch (DESIGN.md §9). Decisions are epoch-free — a
+// decision, once reached, is safe to adopt in any epoch, and the DECIDE
+// relay is how laggards straddling a reconfiguration converge.
 type (
 	// MsgEstimate is a phase 1 message carrying a process's current
 	// estimate and the round in which it was last updated.
 	MsgEstimate struct {
 		Inst  uint64
 		Round int
+		Epoch uint64
 		Est   any
 		TS    int
 	}
@@ -47,6 +55,7 @@ type (
 	MsgPropose struct {
 		Inst  uint64
 		Round int
+		Epoch uint64
 		Val   any
 	}
 	// MsgAck is the phase 3 reply: OK reports adoption, !OK is a nack
@@ -54,6 +63,7 @@ type (
 	MsgAck struct {
 		Inst  uint64
 		Round int
+		Epoch uint64
 		OK    bool
 	}
 	// MsgDecide is the reliably broadcast decision.
@@ -83,6 +93,55 @@ type Decision struct {
 	Value    any
 }
 
+// View exposes the group membership the engine runs under. Majority
+// sizes and coordinator rotation derive from the member list; the epoch
+// stamps and filters round traffic so two configurations never mix
+// their quorums. Implementations must be safe for concurrent use and
+// may change between calls (internal/member.Tracker is the standard
+// implementation). The epoch and the member list are returned by one
+// atomic call — every message handler takes exactly one snapshot and
+// filters, counts and stamps against it, so a configuration change
+// landing mid-handler cannot pair an old-epoch vote set with a
+// new-epoch majority (the snapshot is either wholly old or wholly new).
+type View interface {
+	// Snapshot returns the configuration's epoch and its member
+	// identifiers in ascending order, captured atomically. Callers must
+	// treat the returned slice as immutable.
+	Snapshot() (uint64, []transport.NodeID)
+}
+
+// epView is the default static view: the endpoint's full node range at
+// epoch 0, preserving the fixed-group behaviour for engines built
+// without membership. Only correct for groups whose size never changes
+// while the engine runs; dynamic groups must supply a real View.
+type epView struct {
+	ep  transport.Endpoint
+	mu  sync.Mutex
+	ids []transport.NodeID
+}
+
+func (v *epView) Snapshot() (uint64, []transport.NodeID) {
+	n := v.ep.N()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.ids) != n {
+		v.ids = make([]transport.NodeID, n)
+		for i := range v.ids {
+			v.ids[i] = transport.NodeID(i)
+		}
+	}
+	return 0, v.ids
+}
+
+// majorityOf and coordOf derive quorum size and coordinator rotation
+// from one view snapshot. Member identifiers need not be contiguous
+// once sites have been removed.
+func majorityOf(members []transport.NodeID) int { return len(members)/2 + 1 }
+
+func coordOf(members []transport.NodeID, round int) transport.NodeID {
+	return members[round%len(members)]
+}
+
 // Config parameterises an Engine.
 type Config struct {
 	// Endpoint is the node's transport attachment.
@@ -104,12 +163,16 @@ type Config struct {
 	// DECIDE broadcast (the endpoint is live by then), so the two
 	// channels together cover every instance >= CatchUpFrom.
 	CatchUpFrom uint64
+	// View supplies the (possibly dynamic) group membership. Defaults to
+	// the endpoint's full static node range at epoch 0.
+	View View
 }
 
 // Engine executes consensus instances. Create with New, then Start.
 type Engine struct {
 	ep        transport.Endpoint
 	susp      fd.Suspector
+	view      View
 	timeout   time.Duration
 	tickEvery time.Duration
 	catchUp   uint64
@@ -152,9 +215,28 @@ type instance struct {
 	// instance tracks these.
 	estimates map[int]map[transport.NodeID]MsgEstimate
 	acks      map[int]map[transport.NodeID]bool
+	voteEpoch map[int]uint64     // epoch whose votes a round's maps hold
 	proposals map[int]MsgPropose // buffered proposals from future rounds
 	sentVal   map[int]any        // values we proposed, by round
 	decideFor map[int]bool       // rounds for which we already decided
+}
+
+// resetStaleVotes discards a round's accumulated estimate/ack votes when
+// the configuration changed since they were collected: a quorum must be
+// counted within one epoch, never mixing votes accepted under two
+// different majorities. sentVal/decideFor are deliberately retained —
+// the value proposed for a round stays unique across the switch, so
+// fresh same-epoch votes for it are sound.
+func (st *instance) resetStaleVotes(round int, epoch uint64) {
+	if st.voteEpoch == nil {
+		st.voteEpoch = make(map[int]uint64)
+	}
+	if e, ok := st.voteEpoch[round]; ok && e == epoch {
+		return
+	}
+	st.voteEpoch[round] = epoch
+	delete(st.estimates, round)
+	delete(st.acks, round)
 }
 
 // New creates an engine. Call Start before proposing.
@@ -165,6 +247,9 @@ func New(cfg Config) *Engine {
 	if cfg.Suspector == nil {
 		cfg.Suspector = fd.StaticSuspector{}
 	}
+	if cfg.View == nil {
+		cfg.View = &epView{ep: cfg.Endpoint}
+	}
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = 100 * time.Millisecond
 	}
@@ -174,6 +259,7 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		ep:        cfg.Endpoint,
 		susp:      cfg.Suspector,
+		view:      cfg.View,
 		timeout:   cfg.RoundTimeout,
 		tickEvery: cfg.TickEvery,
 		catchUp:   cfg.CatchUpFrom,
@@ -278,11 +364,6 @@ func (e *Engine) get(inst uint64) *instance {
 	return st
 }
 
-func (e *Engine) majority() int { return e.ep.N()/2 + 1 }
-
-func (e *Engine) coord(round int) transport.NodeID {
-	return transport.NodeID(round % e.ep.N())
-}
 
 func (e *Engine) handlePropose(inst uint64, val any) {
 	st := e.get(inst)
@@ -305,6 +386,7 @@ func (e *Engine) handlePropose(inst uint64, val any) {
 // realization of the ◇S eventual-timeliness assumption that CT's
 // termination proof needs.
 func (e *Engine) startRound(st *instance, r int) {
+	epoch, members := e.view.Snapshot()
 	st.round = r
 	st.waiting = true
 	backoff := r
@@ -312,16 +394,17 @@ func (e *Engine) startRound(st *instance, r int) {
 		backoff = 6
 	}
 	st.deadline = time.Now().Add(e.timeout << uint(backoff))
-	_ = e.ep.Send(e.coord(r), Stream, MsgEstimate{
+	_ = e.ep.Send(coordOf(members, r), Stream, MsgEstimate{
 		Inst:  st.id,
 		Round: r,
+		Epoch: epoch,
 		Est:   st.estimate,
 		TS:    st.ts,
 	})
 	// A proposal for this round may have arrived before we entered it.
 	if p, ok := st.proposals[r]; ok {
 		delete(st.proposals, r)
-		e.adoptProposal(st, p)
+		e.adoptProposal(st, p, epoch, members)
 	}
 }
 
@@ -351,21 +434,30 @@ func (e *Engine) onDecideReq(from transport.NodeID, m MsgDecideReq) {
 
 // onEstimate is coordinator phase 2: with a majority of estimates for a
 // round we coordinate, propose the one with the highest timestamp.
+// Estimates from another epoch are dropped: their sender counts toward
+// that epoch's quorum, not ours. One snapshot serves the filter, the
+// majority and the stamp, so a configuration change landing mid-handler
+// cannot mix the two epochs.
 func (e *Engine) onEstimate(from transport.NodeID, m MsgEstimate) {
+	epoch, members := e.view.Snapshot()
+	if m.Epoch != epoch {
+		return
+	}
 	st := e.get(m.Inst)
-	if st.decided || e.coord(m.Round) != e.ep.ID() {
+	if st.decided || coordOf(members, m.Round) != e.ep.ID() {
 		return
 	}
 	if _, already := st.sentVal[m.Round]; already {
 		return
 	}
+	st.resetStaleVotes(m.Round, epoch)
 	byNode, ok := st.estimates[m.Round]
 	if !ok {
 		byNode = make(map[transport.NodeID]MsgEstimate)
 		st.estimates[m.Round] = byNode
 	}
 	byNode[from] = m
-	if len(byNode) < e.majority() {
+	if len(byNode) < majorityOf(members) {
 		return
 	}
 	best := MsgEstimate{TS: -1}
@@ -378,25 +470,29 @@ func (e *Engine) onEstimate(from transport.NodeID, m MsgEstimate) {
 	// value, not whatever the coordinator's own estimate happens to be
 	// (the coordinator may not even participate in the instance).
 	st.sentVal[m.Round] = best.Est
-	_ = e.ep.Broadcast(Stream, MsgPropose{Inst: m.Inst, Round: m.Round, Val: best.Est})
+	_ = e.ep.Broadcast(Stream, MsgPropose{Inst: m.Inst, Round: m.Round, Epoch: epoch, Val: best.Est})
 }
 
 // onPropose is participant phase 3: adopt the coordinator's proposal for
 // the current round; buffer proposals from rounds we have not reached.
 func (e *Engine) onPropose(m MsgPropose) {
+	epoch, members := e.view.Snapshot()
+	if m.Epoch != epoch {
+		return
+	}
 	st := e.get(m.Inst)
 	if st.decided {
 		return
 	}
 	switch {
 	case m.Round == st.round && st.waiting:
-		e.adoptProposal(st, m)
+		e.adoptProposal(st, m, epoch, members)
 	case m.Round > st.round:
 		st.proposals[m.Round] = m
 	}
 }
 
-func (e *Engine) adoptProposal(st *instance, m MsgPropose) {
+func (e *Engine) adoptProposal(st *instance, m MsgPropose, epoch uint64, members []transport.NodeID) {
 	st.estimate = m.Val
 	// The adoption timestamp must dominate the never-adopted initial
 	// estimates (ts 0) even in round 0, otherwise a later coordinator
@@ -404,18 +500,25 @@ func (e *Engine) adoptProposal(st *instance, m MsgPropose) {
 	// round-0 majority — the classic CT locking argument.
 	st.ts = m.Round + 1
 	st.waiting = false
-	_ = e.ep.Send(e.coord(m.Round), Stream, MsgAck{Inst: st.id, Round: m.Round, OK: true})
+	_ = e.ep.Send(coordOf(members, m.Round), Stream, MsgAck{Inst: st.id, Round: m.Round, Epoch: epoch, OK: true})
 	// Proceed to the next round; a DECIDE will normally arrive first and
 	// halt the instance.
 	e.startRound(st, m.Round+1)
 }
 
 // onAck is coordinator phase 4: a majority of positive acks decides.
+// Like onEstimate, the filter, the quorum count and the membership all
+// come from one snapshot.
 func (e *Engine) onAck(from transport.NodeID, m MsgAck) {
-	st := e.get(m.Inst)
-	if st.decided || e.coord(m.Round) != e.ep.ID() || st.decideFor[m.Round] {
+	epoch, members := e.view.Snapshot()
+	if m.Epoch != epoch {
 		return
 	}
+	st := e.get(m.Inst)
+	if st.decided || coordOf(members, m.Round) != e.ep.ID() || st.decideFor[m.Round] {
+		return
+	}
+	st.resetStaleVotes(m.Round, epoch)
 	byNode, ok := st.acks[m.Round]
 	if !ok {
 		byNode = make(map[transport.NodeID]bool)
@@ -428,7 +531,7 @@ func (e *Engine) onAck(from transport.NodeID, m MsgAck) {
 			positive++
 		}
 	}
-	if positive >= e.majority() {
+	if positive >= majorityOf(members) {
 		val, proposed := st.sentVal[m.Round]
 		if !proposed {
 			// Acks for a round we never proposed in: stale traffic.
@@ -459,6 +562,7 @@ func (e *Engine) onDecide(m MsgDecide) {
 	// Release per-round state; only the decision tombstone remains.
 	st.estimates = nil
 	st.acks = nil
+	st.voteEpoch = nil
 	st.proposals = nil
 	st.sentVal = nil
 }
@@ -468,16 +572,17 @@ func (e *Engine) onDecide(m MsgDecide) {
 // failure detector suspects the coordinator.
 func (e *Engine) checkDeadlines() {
 	now := time.Now()
+	epoch, members := e.view.Snapshot()
 	for _, st := range e.instances {
 		if st.decided || !st.started || !st.waiting {
 			continue
 		}
-		if now.Before(st.deadline) && !e.susp.Suspected(e.coord(st.round)) {
+		if now.Before(st.deadline) && !e.susp.Suspected(coordOf(members, st.round)) {
 			continue
 		}
 		r := st.round
 		st.waiting = false
-		_ = e.ep.Send(e.coord(r), Stream, MsgAck{Inst: st.id, Round: r, OK: false})
+		_ = e.ep.Send(coordOf(members, r), Stream, MsgAck{Inst: st.id, Round: r, Epoch: epoch, OK: false})
 		e.startRound(st, r+1)
 	}
 }

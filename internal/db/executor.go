@@ -188,10 +188,21 @@ func (e *executor) Commit(tx *otp.MultiTxn) {
 		}
 		e.r.hist.RecordUpdate(e.r.id, tx.ID, classes, tx.TOIndex(), readSet, writeSet)
 	}
+	result := att.result
+	if hook := e.r.cfgHook; hook != nil && result != nil {
+		// A committed group-configuration command: apply it before the
+		// submitter is acknowledged, so membership side effects (quorum,
+		// peer set, detector targets) are in place when Exec returns.
+		for _, c := range tx.Classes {
+			if sproc.ClassID(c) == e.r.cfgClass {
+				hook(result, tx.TOIndex())
+				break
+			}
+		}
+	}
 	// Hand the submitting client its typed outcome now that the writes
 	// are installed. (A failing procedure already resolved the waiter
 	// with its error; resolveWaiter is then a no-op.)
-	result := att.result
 	att.release()
 	e.r.resolveWaiter(tx.ID, CommitResult{Info: CommitInfo{
 		Value:     result,

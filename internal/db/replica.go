@@ -119,6 +119,16 @@ type Config struct {
 	// store must hold exactly the committed state at that index (as
 	// Durability.Recover and Cluster.RestartSite arrange).
 	InitialTOIndex int64
+	// ConfigClass, when set together with OnConfigCommit, names the
+	// reserved conflict class carrying group-configuration commands
+	// (internal/member). Whenever a transaction of that class commits
+	// with a non-nil result, OnConfigCommit receives the committed value
+	// and its definitive index — before the submitting client is
+	// acknowledged, so a successful change is applied locally by the
+	// time its Exec returns. The hook runs on the commit path and must
+	// not block.
+	ConfigClass    sproc.ClassID
+	OnConfigCommit func(value storage.Value, toIndex int64)
 }
 
 // defaultPruneInterval is the commit count between prune passes when
@@ -127,14 +137,16 @@ const defaultPruneInterval = 1024
 
 // Replica is one site of the replicated database.
 type Replica struct {
-	id    transport.NodeID
-	bcast abcast.Broadcaster
-	reg   *sproc.Registry
-	store *storage.Store
-	mode  storage.Mode
-	qmode QueryMode
-	hist  HistorySink
-	mgr   *otp.MultiManager
+	id       transport.NodeID
+	bcast    abcast.Broadcaster
+	reg      *sproc.Registry
+	store    *storage.Store
+	mode     storage.Mode
+	qmode    QueryMode
+	hist     HistorySink
+	mgr      *otp.MultiManager
+	cfgClass sproc.ClassID
+	cfgHook  func(value storage.Value, toIndex int64)
 
 	mu         sync.Mutex
 	waiters    map[abcast.MsgID]func(CommitResult)
@@ -205,6 +217,8 @@ func New(cfg Config) (*Replica, error) {
 		mode:        cfg.WriteMode,
 		qmode:       cfg.Queries,
 		hist:        cfg.History,
+		cfgClass:    cfg.ConfigClass,
+		cfgHook:     cfg.OnConfigCommit,
 		waiters:     make(map[abcast.MsgID]func(CommitResult)),
 		classLast:   make(map[sproc.ClassID]int64),
 		activeSnaps: make(map[int64]int),

@@ -110,12 +110,15 @@ type CommitBenchReport struct {
 	// Rejoin is E10: live-rejoin time vs missed backlog, per state-
 	// transfer mode (schema v3).
 	Rejoin *RejoinReport `json:"rejoin,omitempty"`
+	// Reconfig is E11: time to replace a dead site / grow the group
+	// through an ordered membership change (schema v4).
+	Reconfig *ReconfigReport `json:"reconfig,omitempty"`
 }
 
 // CommitBench runs the tracked commit-path benchmark.
 func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 	rep := CommitBenchReport{
-		Schema: "otpdb-bench-commit/v3",
+		Schema: "otpdb-bench-commit/v4",
 		Go:     runtime.Version(),
 		CPUs:   runtime.NumCPU(),
 		Quick:  quick,
@@ -161,6 +164,16 @@ func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 		return rep, fmt.Errorf("rejoin: %w", err)
 	}
 	rep.Rejoin = &rj
+
+	cp := DefaultReconfigParams()
+	if quick {
+		cp = QuickReconfigParams()
+	}
+	rc, err := ReconfigBench(cp)
+	if err != nil {
+		return rep, fmt.Errorf("reconfig: %w", err)
+	}
+	rep.Reconfig = &rc
 	return rep, nil
 }
 
@@ -264,6 +277,12 @@ func (r CommitBenchReport) Table() Table {
 		for _, c := range r.Rejoin.Cells {
 			t.AddRow(fmt.Sprintf("rejoin %s missed=%d", c.Mode, c.Missed), fmt.Sprintf("%d", c.Missed),
 				fmt.Sprintf("%.0f", c.MissedPerSec), fmt.Sprintf("%.1fms", c.RejoinMillis), "-", "-")
+		}
+	}
+	if r.Reconfig != nil {
+		for _, c := range r.Reconfig.Cells {
+			t.AddRow(fmt.Sprintf("reconfig %s missed=%d", c.Op, c.Missed), fmt.Sprintf("%d", c.Missed),
+				fmt.Sprintf("%.0f", c.MissedPerSec), fmt.Sprintf("%.1fms", c.OpMillis), "-", "-")
 		}
 	}
 	return t

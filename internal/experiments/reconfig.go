@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"otpdb"
+)
+
+// This file is E11 (DESIGN.md §4): the reconfiguration benchmark. The
+// headline quantity is replacement time — the wall clock from
+// ReplaceSite being issued against a dead site to the fresh incarnation
+// serving in agreement with the survivors (every missed commit applied,
+// digests equal). The change itself is one definitively-ordered
+// transaction, so the cost is dominated by the state transfer, exactly
+// as in E10; the extra work the epoch machinery adds (quorum switch,
+// tracker fan-out) is what this experiment bounds. A grow cell times
+// AddSite the same way.
+//
+// The cells are serialized into BENCH_commit.json (schema v4) by
+// `otpbench -json commit`; `otpbench reconfig` runs them standalone.
+
+// ReconfigParams sizes E11.
+type ReconfigParams struct {
+	// Sites is the starting cluster size (the last site is the victim).
+	Sites int
+	// Backlogs sweeps how many commits land while the victim is down.
+	Backlogs []int
+	// Keys is the keyspace width.
+	Keys int
+}
+
+// DefaultReconfigParams is the tracked configuration.
+func DefaultReconfigParams() ReconfigParams {
+	return ReconfigParams{Sites: 3, Backlogs: []int{500, 2000, 8000}, Keys: 64}
+}
+
+// QuickReconfigParams shrinks the sweep for CI smoke runs.
+func QuickReconfigParams() ReconfigParams {
+	return ReconfigParams{Sites: 3, Backlogs: []int{100, 400}, Keys: 32}
+}
+
+// ReconfigCell is one measured membership operation.
+type ReconfigCell struct {
+	// Op is "replace" or "add".
+	Op string `json:"op"`
+	// Missed is the number of commits the dead site missed ("replace")
+	// or the group had already committed ("add").
+	Missed int `json:"missed_commits"`
+	// Epoch is the membership epoch after the change.
+	Epoch uint64 `json:"epoch"`
+	// OpMillis is the wall time from the operation being issued to the
+	// new/replacement site serving in agreement (all missed commits
+	// applied at every live site).
+	OpMillis float64 `json:"op_ms"`
+	// MissedPerSec is Missed / op time — catch-up bandwidth including
+	// the reconfiguration overhead.
+	MissedPerSec float64 `json:"missed_per_sec"`
+}
+
+// ReconfigReport is the E11 payload inside BENCH_commit.json.
+type ReconfigReport struct {
+	Cells []ReconfigCell `json:"cells"`
+}
+
+// ReconfigBench runs E11.
+func ReconfigBench(p ReconfigParams) (ReconfigReport, error) {
+	var rep ReconfigReport
+	for _, missed := range p.Backlogs {
+		cell, err := reconfigCell(p, missed, "replace")
+		if err != nil {
+			return rep, fmt.Errorf("reconfig (replace, %d missed): %w", missed, err)
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	// One grow cell at the largest backlog: AddSite of a fresh site into
+	// a warm group.
+	last := p.Backlogs[len(p.Backlogs)-1]
+	cell, err := reconfigCell(p, last, "add")
+	if err != nil {
+		return rep, fmt.Errorf("reconfig (add, %d committed): %w", last, err)
+	}
+	rep.Cells = append(rep.Cells, cell)
+	return rep, nil
+}
+
+// reconfigCell measures one membership operation end to end.
+func reconfigCell(p ReconfigParams, missed int, op string) (ReconfigCell, error) {
+	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(p.Sites))
+	if err != nil {
+		return ReconfigCell{}, err
+	}
+	defer cluster.Stop()
+	cluster.MustRegisterUpdate(otpdb.Update{
+		Name:  "bump",
+		Class: "c",
+		Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+			key := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
+			v, _ := ctx.Read(key)
+			next := otpdb.Int64(otpdb.AsInt64(v) + 1)
+			return next, ctx.Write(key, next)
+		},
+	})
+	if err := cluster.Start(); err != nil {
+		return ReconfigCell{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	submit := func(n, from int) error {
+		for i := 0; i < n; i++ {
+			key := otpdb.String(fmt.Sprintf("k%d", (from+i)%p.Keys))
+			if _, err := cluster.Submit(0, "bump", key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	const warm = 20
+	if err := submit(warm, 0); err != nil {
+		return ReconfigCell{}, err
+	}
+	if err := cluster.WaitForCommits(ctx, warm); err != nil {
+		return ReconfigCell{}, err
+	}
+	victim := p.Sites - 1
+	if op == "replace" {
+		if err := cluster.CrashSite(victim); err != nil {
+			return ReconfigCell{}, err
+		}
+	}
+	if err := submit(missed, warm); err != nil {
+		return ReconfigCell{}, err
+	}
+	if err := cluster.WaitForCommits(ctx, warm+missed); err != nil {
+		return ReconfigCell{}, err
+	}
+
+	start := time.Now()
+	target := victim
+	switch op {
+	case "replace":
+		if err := cluster.ReplaceSite(ctx, victim); err != nil {
+			return ReconfigCell{}, err
+		}
+	case "add":
+		site, err := cluster.AddSite(ctx)
+		if err != nil {
+			return ReconfigCell{}, err
+		}
+		target = site
+	}
+	// The operation is complete once every live site — including the
+	// new/replacement one — has committed everything plus the change.
+	if err := cluster.WaitForCommits(ctx, warm+missed+1); err != nil {
+		return ReconfigCell{}, err
+	}
+	elapsed := time.Since(start)
+
+	d0, err := cluster.DigestAt(0)
+	if err != nil {
+		return ReconfigCell{}, err
+	}
+	dt, err := cluster.DigestAt(target)
+	if err != nil {
+		return ReconfigCell{}, err
+	}
+	if d0 != dt {
+		return ReconfigCell{}, fmt.Errorf("site %d digest diverged after %s", target, op)
+	}
+	epoch, err := cluster.Epoch(target)
+	if err != nil {
+		return ReconfigCell{}, err
+	}
+	if epoch != 2 {
+		return ReconfigCell{}, fmt.Errorf("epoch after %s = %d, want 2", op, epoch)
+	}
+	return ReconfigCell{
+		Op:           op,
+		Missed:       missed,
+		Epoch:        epoch,
+		OpMillis:     float64(elapsed.Nanoseconds()) / 1e6,
+		MissedPerSec: float64(missed) / elapsed.Seconds(),
+	}, nil
+}
+
+// Table renders E11 as the otpbench plain-text tables.
+func (r ReconfigReport) Table() Table {
+	t := Table{
+		Title: "E11 — Reconfiguration: replace/grow a live group (tracked in BENCH_commit.json)",
+		Columns: []string{
+			"op", "missed", "epoch", "time", "catch-up rate",
+		},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Op, fmt.Sprintf("%d", c.Missed), fmt.Sprintf("%d", c.Epoch),
+			fmt.Sprintf("%.1fms", c.OpMillis),
+			fmt.Sprintf("%.0f missed/s", c.MissedPerSec))
+	}
+	return t
+}

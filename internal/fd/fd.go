@@ -20,9 +20,17 @@ import (
 // Stream is the transport stream used for heartbeats.
 const Stream = "fd.hb"
 
-// Heartbeat is the wire message. It carries no payload: reception alone
-// refreshes the sender's lease.
-type Heartbeat struct{}
+// Heartbeat is the wire message. Reception alone refreshes the sender's
+// lease; Inc is the sender's incarnation (a clock-derived value fixed at
+// detector creation), which distinguishes a restarted or replaced
+// process from its dead predecessor. Suspicion is otherwise keyed by
+// NodeID only, so without the incarnation a fresh process could inherit
+// its predecessor's stale suspicion (and, worse, a survivor that
+// suspected the old incarnation would have no signal that the identity
+// now denotes a different process).
+type Heartbeat struct {
+	Inc uint64
+}
 
 // RegisterWire registers the detector's message types with the gob codec
 // used by the TCP transport. Call once per process before ListenTCP nodes
@@ -54,14 +62,20 @@ type Config struct {
 	Timeout time.Duration
 }
 
-// Detector broadcasts heartbeats and tracks peer liveness.
+// Detector broadcasts heartbeats and tracks peer liveness. The monitored
+// set follows the group membership: SetMembers retargets it on epoch
+// changes, and a heartbeat with a newer sender incarnation resets that
+// sender's lease and suspicion (a replaced or restarted site starts with
+// a clean slate instead of lingering under its predecessor's suspicion).
 type Detector struct {
 	ep       transport.Endpoint
 	interval time.Duration
 	timeout  time.Duration
+	inc      uint64 // this process's incarnation, stamped on heartbeats
 
 	mu        sync.Mutex
 	lastSeen  map[transport.NodeID]time.Time
+	lastInc   map[transport.NodeID]uint64 // newest incarnation heard per node
 	suspected map[transport.NodeID]bool
 	onChange  []func(node transport.NodeID, suspected bool)
 
@@ -83,7 +97,9 @@ func New(ep transport.Endpoint, cfg Config) *Detector {
 		ep:        ep,
 		interval:  cfg.Interval,
 		timeout:   cfg.Timeout,
+		inc:       uint64(time.Now().UnixNano()),
 		lastSeen:  make(map[transport.NodeID]time.Time),
+		lastInc:   make(map[transport.NodeID]uint64),
 		suspected: make(map[transport.NodeID]bool),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -135,21 +151,74 @@ func (d *Detector) SuspectedSet() []transport.NodeID {
 	return out
 }
 
+// SetMembers retargets the detector at a new membership: nodes outside
+// the set are dropped (survivors stop tracking the ghost — the transport
+// layer stops heartbeating it when its peer link is removed), new nodes
+// start with a fresh lease, and a retained node that was suspected is
+// given a fresh lease and unsuspected — the epoch change is a statement
+// that the group composition was re-decided, so stale suspicion must not
+// carry across it (a genuinely dead member is re-suspected one timeout
+// later). Safe to call from membership-change subscribers.
+func (d *Detector) SetMembers(ids []transport.NodeID) {
+	now := time.Now()
+	keep := make(map[transport.NodeID]bool, len(ids))
+	for _, id := range ids {
+		keep[id] = true
+	}
+	d.mu.Lock()
+	for n := range d.lastSeen {
+		if !keep[n] {
+			delete(d.lastSeen, n)
+			delete(d.suspected, n)
+		}
+	}
+	// Incarnation floors reset wholesale: the epoch change asserts the
+	// group composition was re-decided, and a replaced identity's fresh
+	// process may have a clock behind its dead predecessor's — holding
+	// the old floor would drop every heartbeat it ever sends and
+	// suspect it permanently. The floor of a retained member simply
+	// re-establishes itself at its next heartbeat.
+	d.lastInc = make(map[transport.NodeID]uint64)
+	var cleared []transport.NodeID
+	for _, id := range ids {
+		if _, tracked := d.lastSeen[id]; !tracked {
+			d.lastSeen[id] = now
+			continue
+		}
+		if d.suspected[id] {
+			d.suspected[id] = false
+			d.lastSeen[id] = now
+			cleared = append(cleared, id)
+		}
+	}
+	callbacks := d.onChange
+	d.mu.Unlock()
+	for _, n := range cleared {
+		for _, fn := range callbacks {
+			fn(n, false)
+		}
+	}
+}
+
 func (d *Detector) run() {
 	defer close(d.done)
 	in := d.ep.Subscribe(Stream)
 	ticker := time.NewTicker(d.interval)
 	defer ticker.Stop()
-	_ = d.ep.Broadcast(Stream, Heartbeat{})
+	_ = d.ep.Broadcast(Stream, Heartbeat{Inc: d.inc})
 	for {
 		select {
 		case env, ok := <-in:
 			if !ok {
 				return
 			}
-			d.refresh(env.From)
+			inc := uint64(0)
+			if hb, ok := env.Msg.(Heartbeat); ok {
+				inc = hb.Inc
+			}
+			d.refresh(env.From, inc)
 		case <-ticker.C:
-			_ = d.ep.Broadcast(Stream, Heartbeat{})
+			_ = d.ep.Broadcast(Stream, Heartbeat{Inc: d.inc})
 			d.sweep()
 		case <-d.stop:
 			return
@@ -157,8 +226,30 @@ func (d *Detector) run() {
 	}
 }
 
-func (d *Detector) refresh(n transport.NodeID) {
+func (d *Detector) refresh(n transport.NodeID, inc uint64) {
 	d.mu.Lock()
+	if _, tracked := d.lastSeen[n]; !tracked {
+		// Not a member: a removed site's process may keep heartbeating
+		// until the operator stops it. Re-admitting it here would make
+		// the detector suspect (and report) a ghost outside the group
+		// forever once that process finally dies; membership is decided
+		// by SetMembers, not by whoever still sends traffic.
+		d.mu.Unlock()
+		return
+	}
+	switch {
+	case inc > d.lastInc[n]:
+		// A newer incarnation of this identity: whatever we believed
+		// about the old process is void — lease and suspicion reset below.
+		d.lastInc[n] = inc
+	case inc < d.lastInc[n]:
+		// A heartbeat from a dead incarnation (a reconnecting transport
+		// retransmitting its backlog). It says nothing about the live
+		// identity: refreshing the lease here is exactly the staleness
+		// that would keep a ghost looking alive, so drop it.
+		d.mu.Unlock()
+		return
+	}
 	d.lastSeen[n] = time.Now()
 	flipped := d.suspected[n]
 	if flipped {

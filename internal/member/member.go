@@ -1,0 +1,312 @@
+// Package member implements dynamic group membership for the replicated
+// database. The paper (Section 2) assumes a fixed site group; this
+// package relaxes that the standard group-communication way: a
+// membership change is itself a definitively-ordered command, so every
+// site switches quorums, failure-detector targets and transport peer
+// sets at the same definitive index.
+//
+// The mechanism reuses the machinery the database already has instead of
+// inventing a side protocol:
+//
+//   - The group configuration (epoch + member list) is a row in a
+//     reserved conflict class (Class/Key). It is seeded at version 0
+//     from the static bootstrap list, carried by every checkpoint,
+//     write-ahead logged with the commit that changed it, and therefore
+//     recovered and state-transferred exactly like user data — a
+//     restarted or freshly transferred replica is in the correct epoch
+//     by construction.
+//   - A change is proposed as the *full* successor configuration with
+//     Epoch = committed epoch + 1, submitted through the reserved stored
+//     procedure (RegisterProc). The procedure validates epoch succession
+//     against the committed row and writes the successor; a concurrent
+//     proposal that lost the definitive-order race fails validation and
+//     reports ErrEpochConflict to its submitter, so at most one change
+//     per epoch commits — the single-change-at-a-time discipline the
+//     quorum-intersection argument in DESIGN.md §9 needs.
+//   - A Tracker per process observes committed configurations (via the
+//     replica's config-commit hook) and fans them out: the consensus
+//     engine reads its Members/Epoch as the view, the failure detector
+//     and the transport are reconfigured by OnChange subscribers.
+//
+// Three operations are expressed over successor configurations:
+// WithAdd (grow), WithRemove (shrink), and WithReplace (remove a dead
+// site and re-admit its identifier at a new address in one epoch).
+package member
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// Reserved names. The class prefix keeps user classes out of the way;
+// the registry treats the membership procedure like any other update, so
+// ordering, WAL, checkpoints and state transfer need no special cases.
+const (
+	// Class is the reserved conflict class holding the configuration.
+	Class = sproc.ClassID("__member")
+	// Proc is the reserved update procedure applying a change.
+	Proc = "__member.change"
+	// Key is the single key of Class carrying the encoded Config.
+	Key = storage.Key("config")
+)
+
+// Site is one member of the group: its node identifier and, for TCP
+// deployments, its listen address (empty on in-process transports).
+type Site struct {
+	ID   transport.NodeID
+	Addr string
+}
+
+// Config is one epoch of the group: the full member list. Members are
+// kept sorted by ID; Epoch increases by exactly one per committed
+// change.
+type Config struct {
+	Epoch   uint64
+	Members []Site
+}
+
+// Errors returned by configuration operations.
+var (
+	// ErrEpochConflict reports a change whose epoch does not succeed the
+	// committed one — the loser of a concurrent-change race, or a stale
+	// submitter. Safe to retry against the newly committed config.
+	ErrEpochConflict = errors.New("member: epoch conflict")
+	// ErrNotInitialized reports that the reserved class holds no
+	// configuration (the group was started without a membership seed).
+	ErrNotInitialized = errors.New("member: membership not initialized")
+)
+
+// Bootstrap builds the epoch-1 configuration from a static address map —
+// the seed every site loads at version 0. Addrs may be nil/empty-valued
+// for in-process transports.
+func Bootstrap(addrs map[transport.NodeID]string) Config {
+	cfg := Config{Epoch: 1}
+	for id, addr := range addrs {
+		cfg.Members = append(cfg.Members, Site{ID: id, Addr: addr})
+	}
+	sort.Slice(cfg.Members, func(i, j int) bool { return cfg.Members[i].ID < cfg.Members[j].ID })
+	return cfg
+}
+
+// Has reports whether id is a member.
+func (c Config) Has(id transport.NodeID) bool {
+	_, ok := c.Site(id)
+	return ok
+}
+
+// Site returns the member with the given id.
+func (c Config) Site(id transport.NodeID) (Site, bool) {
+	for _, m := range c.Members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Site{}, false
+}
+
+// IDs returns the member identifiers in ascending order.
+func (c Config) IDs() []transport.NodeID {
+	out := make([]transport.NodeID, len(c.Members))
+	for i, m := range c.Members {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// Addrs returns the id -> address map (TCP deployments).
+func (c Config) Addrs() map[transport.NodeID]string {
+	out := make(map[transport.NodeID]string, len(c.Members))
+	for _, m := range c.Members {
+		out[m.ID] = m.Addr
+	}
+	return out
+}
+
+// Quorum is the majority size of this configuration.
+func (c Config) Quorum() int { return len(c.Members)/2 + 1 }
+
+// String renders "epoch=3 members=[n0@:9000 n1 n2@:9002]".
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch=%d members=[", c.Epoch)
+	for i, m := range c.Members {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(m.ID.String())
+		if m.Addr != "" {
+			b.WriteByte('@')
+			b.WriteString(m.Addr)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// clone copies the member slice so successor configurations never alias
+// their parent.
+func (c Config) clone() Config {
+	out := Config{Epoch: c.Epoch, Members: make([]Site, len(c.Members))}
+	copy(out.Members, c.Members)
+	return out
+}
+
+// WithAdd returns the successor configuration admitting a new site.
+func (c Config) WithAdd(s Site) (Config, error) {
+	if c.Has(s.ID) {
+		return Config{}, fmt.Errorf("member: %v is already a member", s.ID)
+	}
+	next := c.clone()
+	next.Epoch++
+	next.Members = append(next.Members, s)
+	sort.Slice(next.Members, func(i, j int) bool { return next.Members[i].ID < next.Members[j].ID })
+	return next, nil
+}
+
+// WithRemove returns the successor configuration without id.
+func (c Config) WithRemove(id transport.NodeID) (Config, error) {
+	if !c.Has(id) {
+		return Config{}, fmt.Errorf("member: %v is not a member", id)
+	}
+	if len(c.Members) == 1 {
+		return Config{}, errors.New("member: cannot remove the last member")
+	}
+	next := Config{Epoch: c.Epoch + 1}
+	for _, m := range c.Members {
+		if m.ID != id {
+			next.Members = append(next.Members, m)
+		}
+	}
+	return next, nil
+}
+
+// WithReplace returns the successor configuration in which the (dead)
+// site id is re-admitted at a new address — remove + add in one epoch,
+// keeping the node identifier. Replace is intended for a site that has
+// crashed permanently: the quorum-intersection argument (DESIGN.md §9)
+// relies on the replaced incarnation no longer participating.
+func (c Config) WithReplace(id transport.NodeID, addr string) (Config, error) {
+	if !c.Has(id) {
+		return Config{}, fmt.Errorf("member: %v is not a member", id)
+	}
+	next := c.clone()
+	next.Epoch++
+	for i := range next.Members {
+		if next.Members[i].ID == id {
+			next.Members[i].Addr = addr
+		}
+	}
+	return next, nil
+}
+
+// validate checks structural well-formedness of a proposed config.
+func (c Config) validate() error {
+	if len(c.Members) == 0 {
+		return errors.New("member: empty member list")
+	}
+	for i := 1; i < len(c.Members); i++ {
+		if c.Members[i].ID <= c.Members[i-1].ID {
+			return errors.New("member: member list not sorted/unique")
+		}
+	}
+	return nil
+}
+
+// Encode serializes a Config as the committed storage value. The format
+// is deliberately textual and canonical (epoch line, then one member per
+// line in ascending ID order) so the bytes are deterministic across
+// sites — the convergence digest hashes them directly.
+func Encode(c Config) storage.Value {
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d\n", c.Epoch)
+	for _, m := range c.Members {
+		fmt.Fprintf(&b, "%d %s\n", int(m.ID), m.Addr)
+	}
+	return storage.Value(b.String())
+}
+
+// Decode parses the Encode format.
+func Decode(v storage.Value) (Config, error) {
+	lines := strings.Split(strings.TrimRight(string(v), "\n"), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "e") {
+		return Config{}, fmt.Errorf("member: malformed config %q", v)
+	}
+	epoch, err := strconv.ParseUint(lines[0][1:], 10, 64)
+	if err != nil {
+		return Config{}, fmt.Errorf("member: malformed epoch %q", lines[0])
+	}
+	cfg := Config{Epoch: epoch}
+	for _, line := range lines[1:] {
+		id, addr, _ := strings.Cut(line, " ")
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return Config{}, fmt.Errorf("member: malformed member line %q", line)
+		}
+		cfg.Members = append(cfg.Members, Site{ID: transport.NodeID(n), Addr: addr})
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// CommittedConfig reads the committed configuration out of a store —
+// used to prime a Tracker after recovery, a checkpoint install, or at a
+// fresh start from the version-0 seed.
+func CommittedConfig(s *storage.Store) (Config, error) {
+	v, ok := s.Get(storage.Partition(Class), Key)
+	if !ok {
+		return Config{}, ErrNotInitialized
+	}
+	return Decode(v)
+}
+
+// Seed loads the bootstrap configuration into a store at version 0. Call
+// before recovery: a recovered checkpoint or log tail carrying a newer
+// committed configuration overrides the seed.
+func Seed(s *storage.Store, cfg Config) {
+	s.Load(storage.Partition(Class), Key, Encode(cfg))
+}
+
+// RegisterProc registers the reserved membership procedure. The
+// procedure body runs deterministically at every site: it validates that
+// the proposed configuration succeeds the committed epoch by exactly one
+// and writes it. Its return value is the committed encoding, so the
+// submitter's Result.Value carries the new configuration.
+func RegisterProc(reg *sproc.Registry) error {
+	return reg.RegisterUpdate(sproc.Update{
+		Name:  Proc,
+		Class: Class,
+		Fn: func(ctx sproc.UpdateCtx) (storage.Value, error) {
+			args := ctx.Args()
+			if len(args) != 1 {
+				return nil, errors.New("member: change needs exactly one encoded config argument")
+			}
+			proposed, err := Decode(args[0])
+			if err != nil {
+				return nil, err
+			}
+			curVal, ok := ctx.Read(Key)
+			if !ok {
+				return nil, ErrNotInitialized
+			}
+			cur, err := Decode(curVal)
+			if err != nil {
+				return nil, fmt.Errorf("member: committed config corrupt: %w", err)
+			}
+			if proposed.Epoch != cur.Epoch+1 {
+				return nil, fmt.Errorf("%w: proposed epoch %d, committed epoch %d",
+					ErrEpochConflict, proposed.Epoch, cur.Epoch)
+			}
+			enc := Encode(proposed)
+			return enc, ctx.Write(Key, enc)
+		},
+	})
+}

@@ -1,0 +1,245 @@
+package member
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+func bootstrap3() Config {
+	return Bootstrap(map[transport.NodeID]string{0: ":9000", 1: ":9001", 2: ":9002"})
+}
+
+func TestBootstrapSortedEpoch1(t *testing.T) {
+	cfg := bootstrap3()
+	if cfg.Epoch != 1 || len(cfg.Members) != 3 {
+		t.Fatalf("bootstrap = %v", cfg)
+	}
+	for i, m := range cfg.Members {
+		if m.ID != transport.NodeID(i) {
+			t.Fatalf("members not sorted: %v", cfg.Members)
+		}
+	}
+	if cfg.Quorum() != 2 {
+		t.Fatalf("quorum = %d, want 2", cfg.Quorum())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		bootstrap3(),
+		Bootstrap(map[transport.NodeID]string{0: "", 1: "", 2: ""}), // in-process: empty addrs
+		{Epoch: 42, Members: []Site{{ID: 7, Addr: "10.0.0.1:9"}}},
+	} {
+		back, err := Decode(Encode(cfg))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", cfg, err)
+		}
+		if back.Epoch != cfg.Epoch || len(back.Members) != len(cfg.Members) {
+			t.Fatalf("round trip %v -> %v", cfg, back)
+		}
+		for i := range cfg.Members {
+			if back.Members[i] != cfg.Members[i] {
+				t.Fatalf("member %d: %v != %v", i, back.Members[i], cfg.Members[i])
+			}
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := Encode(bootstrap3())
+	b := Encode(bootstrap3())
+	if string(a) != string(b) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, v := range []string{"", "bogus", "e1\nnotanumber :9\n", "e1\n"} {
+		if _, err := Decode(storage.Value(v)); err == nil {
+			t.Fatalf("decoded garbage %q", v)
+		}
+	}
+}
+
+func TestSuccessorOperations(t *testing.T) {
+	cfg := bootstrap3()
+
+	grown, err := cfg.WithAdd(Site{ID: 3, Addr: ":9003"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Epoch != 2 || len(grown.Members) != 4 || !grown.Has(3) || grown.Quorum() != 3 {
+		t.Fatalf("add = %v", grown)
+	}
+	if _, err := cfg.WithAdd(Site{ID: 1}); err == nil {
+		t.Fatal("re-adding an existing member succeeded")
+	}
+	// The parent configuration is never mutated by a successor.
+	if len(cfg.Members) != 3 || cfg.Epoch != 1 {
+		t.Fatalf("parent mutated: %v", cfg)
+	}
+
+	shrunk, err := grown.WithRemove(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrunk.Epoch != 3 || len(shrunk.Members) != 3 || shrunk.Has(2) || shrunk.Quorum() != 2 {
+		t.Fatalf("remove = %v", shrunk)
+	}
+	if _, err := shrunk.WithRemove(9); err == nil {
+		t.Fatal("removing a non-member succeeded")
+	}
+	single := Config{Epoch: 5, Members: []Site{{ID: 0}}}
+	if _, err := single.WithRemove(0); err == nil {
+		t.Fatal("removing the last member succeeded")
+	}
+
+	replaced, err := cfg.WithReplace(2, ":9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced.Epoch != 2 || len(replaced.Members) != 3 {
+		t.Fatalf("replace = %v", replaced)
+	}
+	if s, _ := replaced.Site(2); s.Addr != ":9999" {
+		t.Fatalf("replaced addr = %q", s.Addr)
+	}
+	if s, _ := cfg.Site(2); s.Addr != ":9002" {
+		t.Fatal("replace mutated the parent config")
+	}
+	if _, err := cfg.WithReplace(9, ":1"); err == nil {
+		t.Fatal("replacing a non-member succeeded")
+	}
+}
+
+// fakeCtx backs the reserved procedure with a plain map, standing in for
+// the executor's transaction context.
+type fakeCtx struct {
+	vals map[storage.Key]storage.Value
+	args []storage.Value
+}
+
+func (c *fakeCtx) Args() []storage.Value { return c.args }
+func (c *fakeCtx) Read(k storage.Key) (storage.Value, bool) {
+	v, ok := c.vals[k]
+	return v, ok
+}
+func (c *fakeCtx) Write(k storage.Key, v storage.Value) error {
+	c.vals[k] = v
+	return nil
+}
+
+func changeProc(t *testing.T) sproc.Update {
+	t.Helper()
+	reg := sproc.NewRegistry()
+	if err := RegisterProc(reg); err != nil {
+		t.Fatal(err)
+	}
+	up, err := reg.Update(Proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return up
+}
+
+func TestChangeProcAppliesSuccessor(t *testing.T) {
+	up := changeProc(t)
+	cfg := bootstrap3()
+	next, _ := cfg.WithReplace(2, ":9999")
+	ctx := &fakeCtx{vals: map[storage.Key]storage.Value{Key: Encode(cfg)}, args: []storage.Value{Encode(next)}}
+	val, err := up.Fn(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(ctx.vals[Key])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 2 {
+		t.Fatalf("committed epoch = %d", got.Epoch)
+	}
+	if string(val) != string(Encode(next)) {
+		t.Fatal("procedure result is not the committed encoding")
+	}
+}
+
+func TestChangeProcRejectsEpochConflict(t *testing.T) {
+	up := changeProc(t)
+	cfg := bootstrap3()
+	next, _ := cfg.WithAdd(Site{ID: 3})
+	stale := next // epoch 2
+	// Another change won the race: committed config is already epoch 2.
+	committed, _ := cfg.WithRemove(2)
+	ctx := &fakeCtx{vals: map[storage.Key]storage.Value{Key: Encode(committed)}, args: []storage.Value{Encode(stale)}}
+	if _, err := up.Fn(ctx); !errors.Is(err, ErrEpochConflict) {
+		t.Fatalf("err = %v, want ErrEpochConflict", err)
+	}
+	// The committed config is untouched.
+	if got, _ := Decode(ctx.vals[Key]); got.Epoch != 2 || got.Has(3) {
+		t.Fatalf("committed config mutated: %v", got)
+	}
+}
+
+func TestChangeProcRequiresSeed(t *testing.T) {
+	up := changeProc(t)
+	next, _ := bootstrap3().WithAdd(Site{ID: 3})
+	ctx := &fakeCtx{vals: map[storage.Key]storage.Value{}, args: []storage.Value{Encode(next)}}
+	if _, err := up.Fn(ctx); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("err = %v, want ErrNotInitialized", err)
+	}
+}
+
+func TestSeedAndCommittedConfig(t *testing.T) {
+	s := storage.NewStore()
+	if _, err := CommittedConfig(s); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("err = %v, want ErrNotInitialized", err)
+	}
+	Seed(s, bootstrap3())
+	got, err := CommittedConfig(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 || len(got.Members) != 3 {
+		t.Fatalf("committed = %v", got)
+	}
+}
+
+func TestTrackerMonotonicApplyAndSubscribers(t *testing.T) {
+	cfg := bootstrap3()
+	tr := NewTracker(cfg)
+	var seen []uint64
+	tr.OnChange(func(c Config) { seen = append(seen, c.Epoch) })
+
+	if tr.Apply(cfg) {
+		t.Fatal("re-applying the current epoch installed")
+	}
+	next, _ := cfg.WithAdd(Site{ID: 3, Addr: ":9003"})
+	if !tr.Apply(next) {
+		t.Fatal("successor not installed")
+	}
+	if tr.Epoch() != 2 || len(tr.Members()) != 4 {
+		t.Fatalf("tracker = %v", tr.Config())
+	}
+	if tr.Apply(next) {
+		t.Fatal("duplicate apply installed")
+	}
+	// A stale epoch (replayed history) is ignored.
+	if tr.Apply(cfg) {
+		t.Fatal("stale epoch installed")
+	}
+	if len(seen) != 1 || seen[0] != 2 {
+		t.Fatalf("subscriber calls = %v", seen)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := bootstrap3().String()
+	if !strings.Contains(s, "epoch=1") || !strings.Contains(s, "n0@:9000") {
+		t.Fatalf("String() = %q", s)
+	}
+}

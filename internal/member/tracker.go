@@ -1,0 +1,88 @@
+package member
+
+import (
+	"sync"
+
+	"otpdb/internal/transport"
+)
+
+// Tracker owns a process's view of the group configuration. It is the
+// bridge between the ordered commit stream (Apply, driven by the
+// replica's config-commit hook) and everything that must follow the
+// epoch: the consensus engine reads Members/Epoch as its view, and
+// OnChange subscribers retarget the failure detector and the transport
+// peer set. Epochs are monotonic; stale applications (replayed history,
+// duplicate hooks) are ignored.
+type Tracker struct {
+	mu   sync.Mutex
+	cfg  Config
+	ids  []transport.NodeID // precomputed cfg.IDs(); immutable once set
+	subs []func(Config)
+}
+
+// NewTracker creates a tracker at an initial configuration (the
+// version-0 seed, or the committed config recovered from local state or
+// a transferred checkpoint).
+func NewTracker(initial Config) *Tracker {
+	return &Tracker{cfg: initial, ids: initial.IDs()}
+}
+
+// Snapshot returns the current epoch and member identifiers, captured
+// atomically — the consensus view (one snapshot per message handler
+// keeps quorum counting inside a single configuration). The returned
+// slice is immutable; no allocation per call.
+func (t *Tracker) Snapshot() (uint64, []transport.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg.Epoch, t.ids
+}
+
+// Config returns the current configuration.
+func (t *Tracker) Config() Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg
+}
+
+// Epoch returns the current epoch.
+func (t *Tracker) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg.Epoch
+}
+
+// Members returns the member identifiers in ascending order.
+func (t *Tracker) Members() []transport.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg.IDs()
+}
+
+// OnChange registers a subscriber invoked with every newly applied
+// configuration. Subscribers run synchronously on the applying
+// goroutine (the replica's commit path) and must not block; they are
+// invoked outside the tracker lock, in epoch order per subscriber.
+func (t *Tracker) OnChange(fn func(Config)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.subs = append(t.subs, fn)
+}
+
+// Apply installs a newer configuration. Configurations at or below the
+// current epoch are ignored (idempotent replay). It reports whether the
+// configuration was installed.
+func (t *Tracker) Apply(cfg Config) bool {
+	t.mu.Lock()
+	if cfg.Epoch <= t.cfg.Epoch {
+		t.mu.Unlock()
+		return false
+	}
+	t.cfg = cfg
+	t.ids = cfg.IDs()
+	subs := t.subs
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(cfg)
+	}
+	return true
+}

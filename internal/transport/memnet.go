@@ -67,15 +67,45 @@ func NewHub(n int, opts ...MemOption) *Hub {
 }
 
 // Endpoint returns node i's endpoint.
-func (h *Hub) Endpoint(i NodeID) Endpoint { return h.nodes[i] }
+func (h *Hub) Endpoint(i NodeID) Endpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nodes[i]
+}
 
 // Endpoints returns all endpoints in node order.
 func (h *Hub) Endpoints() []Endpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	out := make([]Endpoint, len(h.nodes))
 	for i, n := range h.nodes {
 		out[i] = n
 	}
 	return out
+}
+
+// Len reports the number of nodes the hub carries (crashed included).
+func (h *Hub) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.nodes)
+}
+
+// Add grows the hub by one node and returns its endpoint — the
+// in-process transport half of admitting a new site to the group. The
+// new node starts connected to every existing node.
+func (h *Hub) Add() Endpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := NodeID(len(h.nodes))
+	for i := range h.parted {
+		h.parted[i] = append(h.parted[i], false)
+	}
+	h.parted = append(h.parted, make([]bool, len(h.nodes)+1))
+	h.crashed = append(h.crashed, false)
+	ep := &memEndpoint{hub: h, id: id, box: newMailbox()}
+	h.nodes = append(h.nodes, ep)
+	return ep
 }
 
 // Partition disconnects a and b in both directions.
@@ -128,7 +158,10 @@ func (h *Hub) Close() {
 	h.closed = true
 	h.mu.Unlock()
 	h.timers.Wait()
-	for _, n := range h.nodes {
+	h.mu.Lock()
+	nodes := append([]*memEndpoint(nil), h.nodes...)
+	h.mu.Unlock()
+	for _, n := range nodes {
 		_ = n.Close()
 	}
 }
@@ -177,7 +210,11 @@ var _ Endpoint = (*memEndpoint)(nil)
 
 func (e *memEndpoint) ID() NodeID { return e.id }
 
-func (e *memEndpoint) N() int { return len(e.hub.nodes) }
+func (e *memEndpoint) N() int {
+	e.hub.mu.Lock()
+	defer e.hub.mu.Unlock()
+	return len(e.hub.nodes)
+}
 
 func (e *memEndpoint) Send(to NodeID, stream string, msg any) error {
 	e.mu.Lock()
@@ -198,7 +235,10 @@ func (e *memEndpoint) Broadcast(stream string, msg any) error {
 		return ErrClosed
 	}
 	env := Envelope{From: e.id, Stream: stream, Msg: msg}
-	for i := range e.hub.nodes {
+	e.hub.mu.Lock()
+	n := len(e.hub.nodes)
+	e.hub.mu.Unlock()
+	for i := 0; i < n; i++ {
 		e.hub.route(e.id, NodeID(i), env)
 	}
 	return nil

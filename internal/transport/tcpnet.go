@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -65,16 +66,21 @@ type tcpFrame struct {
 // peer that stays up or restarts on the same address (crash-stop peers
 // simply never acknowledge). Duplicate deliveries are filtered by
 // per-sender sequence numbers.
+//
+// The peer set is dynamic: AddPeer/RemovePeer/SetPeers reconfigure the
+// mesh at runtime (group membership changes), creating or tearing down
+// per-peer links without touching the others.
 type TCPNode struct {
 	cfg  TCPConfig
 	ln   net.Listener
-	box  *mailbox
-	out  map[NodeID]*peerLink
 	inc  uint64 // this node's incarnation, stamped on every data frame
+	box  *mailbox
 	stop chan struct{}
 	wg   sync.WaitGroup
 
 	mu      sync.Mutex
+	addrs   map[NodeID]string // current peer map, including self
+	out     map[NodeID]*peerLink
 	lastSeq map[NodeID]uint64 // highest data seq delivered per sender incarnation
 	lastInc map[NodeID]uint64 // newest incarnation seen per sender
 	closed  bool
@@ -100,6 +106,7 @@ func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
 		cfg:     cfg,
 		ln:      ln,
 		box:     newMailbox(),
+		addrs:   make(map[NodeID]string, len(cfg.Addrs)),
 		out:     make(map[NodeID]*peerLink),
 		inc:     uint64(time.Now().UnixNano()),
 		stop:    make(chan struct{}),
@@ -107,6 +114,7 @@ func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
 		lastInc: make(map[NodeID]uint64),
 	}
 	for id, peerAddr := range cfg.Addrs {
+		n.addrs[id] = peerAddr
 		if id == cfg.ID {
 			continue
 		}
@@ -117,29 +125,104 @@ func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
 	return n, nil
 }
 
+// AddPeer attaches (or re-addresses) a peer at runtime. An existing link
+// to the same address is left untouched; a changed address tears the old
+// link down — its unacknowledged frames are dropped, matching the
+// membership-change semantics (the old incarnation is gone for good) —
+// and dials the new one.
+func (n *TCPNode) AddPeer(id NodeID, addr string) {
+	if id == n.cfg.ID {
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	old := n.out[id]
+	if old != nil && n.addrs[id] == addr {
+		n.mu.Unlock()
+		return
+	}
+	n.addrs[id] = addr
+	n.out[id] = newPeerLink(n, addr)
+	n.mu.Unlock()
+	if old != nil {
+		old.close()
+	}
+}
+
+// RemovePeer detaches a peer: its link is torn down (promptly, even
+// mid-dial against a dead address) and queued frames are dropped.
+// Inbound dedup state is retained so a stale straggler from the removed
+// peer cannot be mistaken for fresh traffic.
+func (n *TCPNode) RemovePeer(id NodeID) {
+	n.mu.Lock()
+	link := n.out[id]
+	delete(n.out, id)
+	delete(n.addrs, id)
+	n.mu.Unlock()
+	if link != nil {
+		link.close()
+	}
+}
+
+// SetPeers reconciles the full peer map (including this node's own
+// entry) against the current mesh: missing peers are added, re-addressed
+// peers are redialed, absent peers are removed. This is the transport
+// half of applying a membership configuration.
+func (n *TCPNode) SetPeers(addrs map[NodeID]string) {
+	n.mu.Lock()
+	var gone []*peerLink
+	for id, link := range n.out {
+		if _, keep := addrs[id]; !keep {
+			gone = append(gone, link)
+			delete(n.out, id)
+			delete(n.addrs, id)
+		}
+	}
+	n.mu.Unlock()
+	for _, link := range gone {
+		link.close()
+	}
+	for id, addr := range addrs {
+		n.AddPeer(id, addr)
+	}
+	n.mu.Lock()
+	if _, ok := addrs[n.cfg.ID]; ok {
+		n.addrs[n.cfg.ID] = addrs[n.cfg.ID]
+	}
+	n.mu.Unlock()
+}
+
 // Addr returns the node's bound listen address (useful with ":0").
 func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
 
 // ID implements Endpoint.
 func (n *TCPNode) ID() NodeID { return n.cfg.ID }
 
-// N implements Endpoint.
-func (n *TCPNode) N() int { return len(n.cfg.Addrs) }
+// N implements Endpoint: the current group size (self included).
+func (n *TCPNode) N() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.addrs)
+}
 
 // Send implements Endpoint.
 func (n *TCPNode) Send(to NodeID, stream string, msg any) error {
+	env := Envelope{From: n.cfg.ID, Stream: stream, Msg: msg}
 	n.mu.Lock()
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
+	if n.closed {
+		n.mu.Unlock()
 		return ErrClosed
 	}
-	env := Envelope{From: n.cfg.ID, Stream: stream, Msg: msg}
 	if to == n.cfg.ID {
+		n.mu.Unlock()
 		n.box.enqueue(env)
 		return nil
 	}
 	link, ok := n.out[to]
+	n.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("tcpnet: unknown peer %v", to)
 	}
@@ -147,17 +230,23 @@ func (n *TCPNode) Send(to NodeID, stream string, msg any) error {
 	return nil
 }
 
-// Broadcast implements Endpoint.
+// Broadcast implements Endpoint. The recipient set is the peer map at
+// call time; a membership change mid-broadcast may or may not include
+// the changing peer, exactly as a racing unicast would.
 func (n *TCPNode) Broadcast(stream string, msg any) error {
 	n.mu.Lock()
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
+	if n.closed {
+		n.mu.Unlock()
 		return ErrClosed
 	}
+	links := make([]*peerLink, 0, len(n.out))
+	for _, link := range n.out {
+		links = append(links, link)
+	}
+	n.mu.Unlock()
 	env := Envelope{From: n.cfg.ID, Stream: stream, Msg: msg}
 	n.box.enqueue(env)
-	for _, link := range n.out {
+	for _, link := range links {
 		link.send(env)
 	}
 	return nil
@@ -176,10 +265,14 @@ func (n *TCPNode) Close() error {
 		return nil
 	}
 	n.closed = true
+	links := make([]*peerLink, 0, len(n.out))
+	for _, link := range n.out {
+		links = append(links, link)
+	}
 	n.mu.Unlock()
 	close(n.stop)
 	_ = n.ln.Close()
-	for _, link := range n.out {
+	for _, link := range links {
 		link.close()
 	}
 	n.wg.Wait()
@@ -293,14 +386,20 @@ func (n *TCPNode) writeAcks(conn net.Conn, ackCh <-chan uint64) {
 
 // peerLink owns the outbound traffic to one peer: an unbounded send queue
 // plus a retransmission buffer of unacknowledged frames, drained by a
-// writer goroutine that dials (and redials) the peer.
+// writer goroutine that dials (and redials) the peer. Links are torn
+// down individually when membership removes or re-addresses a peer, so
+// close must interrupt a writer parked in dial backoff against a dead
+// address, not just one reading the queue.
 type peerLink struct {
 	node *TCPNode
 	addr string
 	q    *queue.Q[Envelope]
 	done chan struct{}
+	stop chan struct{} // closed by close(); unblocks dial/backoff/encode
+	once sync.Once
 
 	mu      sync.Mutex
+	conn    net.Conn   // current outbound connection, for prompt teardown
 	pending []tcpFrame // sent but not yet acknowledged, ascending seq
 	nextSeq uint64
 
@@ -313,6 +412,7 @@ func newPeerLink(n *TCPNode, addr string) *peerLink {
 		addr:    addr,
 		q:       queue.New[Envelope](),
 		done:    make(chan struct{}),
+		stop:    make(chan struct{}),
 		connErr: make(chan struct{}, 1),
 	}
 	go l.writeLoop()
@@ -322,8 +422,23 @@ func newPeerLink(n *TCPNode, addr string) *peerLink {
 func (l *peerLink) send(env Envelope) { l.q.Push(env) }
 
 func (l *peerLink) close() {
-	l.q.Close()
+	l.once.Do(func() {
+		close(l.stop)
+		l.mu.Lock()
+		if l.conn != nil {
+			_ = l.conn.Close() // unblock a writer mid-encode
+		}
+		l.mu.Unlock()
+		l.q.Close()
+	})
 	<-l.done
+}
+
+// setConn records the live outbound connection for teardown.
+func (l *peerLink) setConn(c net.Conn) {
+	l.mu.Lock()
+	l.conn = c
+	l.mu.Unlock()
 }
 
 func (l *peerLink) ackUpTo(seq uint64) {
@@ -356,6 +471,7 @@ func (l *peerLink) writeLoop() {
 		if conn != nil {
 			_ = conn.Close()
 			conn, bw, enc = nil, nil, nil
+			l.setConn(nil)
 		}
 	}
 	defer disconnect()
@@ -371,6 +487,7 @@ func (l *peerLink) writeLoop() {
 				return false
 			}
 			conn = c
+			l.setConn(c)
 			bw = bufio.NewWriter(conn)
 			enc = gob.NewEncoder(bw)
 			// Drain any stale failure signal from the previous conn.
@@ -500,15 +617,39 @@ func (l *peerLink) backoff() bool {
 	select {
 	case <-l.node.stop:
 		return false
+	case <-l.stop:
+		return false
 	case <-time.After(l.node.cfg.DialRetry):
 		return true
 	}
 }
 
-// dial connects to the peer, retrying until success or node shutdown.
+// dial connects to the peer, retrying until success, node shutdown, or
+// link teardown (peer removed from the group). The dial itself is
+// interruptible: close() must return promptly even while a connection
+// attempt to a dead address is in flight — membership changes tear
+// links down from the replica's commit path, which must not absorb a
+// multi-second dial timeout.
 func (l *peerLink) dial() (net.Conn, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-l.stop:
+			cancel()
+		case <-l.node.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	d := net.Dialer{Timeout: 2 * time.Second}
 	for {
-		conn, err := net.DialTimeout("tcp", l.addr, 2*time.Second)
+		select {
+		case <-l.stop:
+			return nil, ErrClosed
+		default:
+		}
+		conn, err := d.DialContext(ctx, "tcp", l.addr)
 		if err == nil {
 			return conn, nil
 		}

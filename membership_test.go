@@ -1,0 +1,262 @@
+package otpdb_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"otpdb"
+)
+
+// memCtx is a generous deadline for membership operations under -race.
+func memCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// creditN runs n credit transactions through the given site and waits
+// until every live site has committed at least total transactions.
+func creditN(t *testing.T, c *otpdb.Cluster, site, n, total int) {
+	t.Helper()
+	ctx := memCtx(t)
+	for i := 0; i < n; i++ {
+		if err := c.Exec(ctx, site, "credit", otpdb.String("a"), otpdb.Int64(1)); err != nil {
+			t.Fatalf("credit: %v", err)
+		}
+	}
+	if err := c.WaitForCommits(ctx, total); err != nil {
+		t.Fatalf("WaitForCommits(%d): %v", total, err)
+	}
+}
+
+// assertConverged requires every live site to report one digest.
+func assertConverged(t *testing.T, c *otpdb.Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		ok, err := c.Converged()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("live sites never converged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// assertEpoch requires the given sites to agree on a membership epoch
+// and member count.
+func assertEpoch(t *testing.T, c *otpdb.Cluster, epoch uint64, members int, sites ...int) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for _, site := range sites {
+	retry:
+		e, err := c.Epoch(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Members(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != epoch || len(m) != members {
+			// A site applies the change at its own commit of the
+			// configuration transaction; lag briefly and re-check.
+			if time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+				goto retry
+			}
+			t.Fatalf("site %d: epoch=%d members=%v, want epoch=%d with %d members", site, e, m, epoch, members)
+		}
+	}
+}
+
+// TestAddSiteGrowsGroup: a fourth site is admitted through the ordered
+// configuration change, statex-joins mid-traffic, serves transactions,
+// and converges to the group digest.
+func TestAddSiteGrowsGroup(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := memCtx(t)
+	creditN(t, c, 0, 10, 10)
+
+	site, err := c.AddSite(ctx)
+	if err != nil {
+		t.Fatalf("AddSite: %v", err)
+	}
+	if site != 3 {
+		t.Fatalf("new site index = %d, want 3", site)
+	}
+	if c.Size() != 4 {
+		t.Fatalf("Size after add = %d", c.Size())
+	}
+	// Epoch 2 everywhere, four members.
+	assertEpoch(t, c, 2, 4, 0, 1, 2, 3)
+
+	// The new site serves updates and queries in agreement.
+	sess, err := c.Session(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Exec(ctx, "credit", otpdb.String("a"), otpdb.Int64(5))
+	if err != nil {
+		t.Fatalf("exec at added site: %v", err)
+	}
+	if otpdb.AsInt64(res.Value) != 15 {
+		t.Fatalf("added site sees balance %d, want 15", otpdb.AsInt64(res.Value))
+	}
+	// +1 for the membership change itself: it occupies a definitive
+	// commit at every site.
+	if err := c.WaitForCommits(ctx, 12); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, c)
+}
+
+// TestRemoveSiteShrinksQuorum: removing a dead site from a four-member
+// group drops the quorum from 3 to 2, which is what lets the group keep
+// committing after a second crash — under the old configuration two
+// dead sites of four would have stalled it.
+func TestRemoveSiteShrinksQuorum(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(4))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := memCtx(t)
+	creditN(t, c, 0, 5, 5)
+
+	// Site 3 dies for good; vote it out.
+	if err := c.CrashSite(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveSite(ctx, 3); err != nil {
+		t.Fatalf("RemoveSite: %v", err)
+	}
+	assertEpoch(t, c, 2, 3, 0, 1, 2)
+
+	// Now a second crash: {0, 1} is a quorum of the three-member group
+	// (it would not have been a quorum of four), so commits proceed.
+	if err := c.CrashSite(2); err != nil {
+		t.Fatal(err)
+	}
+	creditN(t, c, 0, 5, 11) // 10 credits + the membership change
+	assertConverged(t, c)
+
+	// The removed identity cannot sneak back via RestartSite.
+	if err := c.RestartSite(ctx, 3); err == nil {
+		t.Fatal("RestartSite revived a removed site")
+	}
+	// But the crashed (not removed) site can.
+	if err := c.RestartSite(ctx, 2); err != nil {
+		t.Fatalf("RestartSite(2): %v", err)
+	}
+	creditN(t, c, 2, 1, 12)
+	assertConverged(t, c)
+}
+
+// TestReplaceSiteReadmitsDeadIdentity: a crashed site is replaced — one
+// epoch change — and the fresh incarnation catches up from a donor and
+// serves traffic while the survivors never stop serving. A subsequent
+// RemoveSite shrinks the group again.
+func TestReplaceSiteReadmitsDeadIdentity(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := memCtx(t)
+	creditN(t, c, 0, 10, 10)
+
+	if err := c.CrashSite(2); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors keep committing while the site is down.
+	creditN(t, c, 0, 10, 20)
+
+	if err := c.ReplaceSite(ctx, 2); err != nil {
+		t.Fatalf("ReplaceSite: %v", err)
+	}
+	assertEpoch(t, c, 2, 3, 0, 1, 2)
+	// The replacement serves in agreement with the survivors: 20 credits
+	// of 1 plus this one.
+	sess, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Exec(ctx, "credit", otpdb.String("a"), otpdb.Int64(1))
+	if err != nil {
+		t.Fatalf("exec at replacement: %v", err)
+	}
+	if otpdb.AsInt64(res.Value) != 21 {
+		t.Fatalf("replacement sees balance %d, want 21", otpdb.AsInt64(res.Value))
+	}
+	if err := c.WaitForCommits(ctx, 22); err != nil { // 21 credits + 1 change
+		t.Fatal(err)
+	}
+	assertConverged(t, c)
+	if mode, err := c.RejoinMode(2); err != nil || mode == "" {
+		t.Fatalf("RejoinMode = %q, %v", mode, err)
+	}
+
+	// Replace is remove+add in one epoch; a later RemoveSite still works
+	// and lands on epoch 3.
+	if err := c.RemoveSite(ctx, 2); err != nil {
+		t.Fatalf("RemoveSite after replace: %v", err)
+	}
+	assertEpoch(t, c, 3, 2, 0, 1)
+	creditN(t, c, 0, 1, 24) // 22 credits + 2 changes
+}
+
+// TestReplaceSiteRequiresCrash: replacing a live site is rejected.
+func TestReplaceSiteRequiresCrash(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceSite(memCtx(t), 1); err == nil {
+		t.Fatal("ReplaceSite of a live site succeeded")
+	}
+}
+
+// TestMembershipSurvivesColdRestart: the configuration is replicated
+// state, so a durable cluster restarted from disk comes back in the
+// epoch it was stopped in.
+func TestMembershipSurvivesColdRestart(t *testing.T) {
+	dir := t.TempDir()
+	build := func() *otpdb.Cluster {
+		c := accountsCluster(t, otpdb.WithReplicas(3), otpdb.WithDurability(dir),
+			otpdb.WithSyncPolicy(otpdb.SyncEveryCommit))
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c := build()
+	ctx := memCtx(t)
+	creditN(t, c, 0, 5, 5)
+	if err := c.CrashSite(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceSite(ctx, 2); err != nil {
+		t.Fatalf("ReplaceSite: %v", err)
+	}
+	assertEpoch(t, c, 2, 3, 0, 1, 2)
+	creditN(t, c, 0, 1, 7) // 6 credits + 1 change
+	c.Stop()
+
+	c2 := build()
+	assertEpoch(t, c2, 2, 3, 0, 1, 2)
+	idx, err := c2.RecoveredIndex(0)
+	if err != nil || idx == 0 {
+		t.Fatalf("RecoveredIndex = %d, %v", idx, err)
+	}
+	creditN(t, c2, 0, 1, 8)
+	assertConverged(t, c2)
+}

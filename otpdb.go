@@ -57,6 +57,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -65,6 +66,7 @@ import (
 	"otpdb/internal/consensus"
 	"otpdb/internal/db"
 	"otpdb/internal/history"
+	"otpdb/internal/member"
 	"otpdb/internal/otp"
 	"otpdb/internal/recovery"
 	"otpdb/internal/sproc"
@@ -273,10 +275,12 @@ type Cluster struct {
 	mu        sync.RWMutex
 	replicas  []*db.Replica
 	engines   []*abcast.Optimistic // per-site OPT-ABcast engine; nil under ConservativeOrdering
+	trackers  []*member.Tracker    // per-site membership view
 	sessions  []*Session
 	stops     []func()
 	bases     []int64 // recovered definitive index per site (durability)
 	crashed   map[int]bool
+	removed   map[int]bool        // sites voted out of the group
 	joinModes map[int]statex.Mode // how each site last rejoined
 	started   bool
 	stopped   bool
@@ -402,11 +406,17 @@ func (c *Cluster) siteDir(i int) string {
 }
 
 // buildSite assembles one site's full stack — broadcast engine (with
-// optional rejoin state), replica, stop function — on the given
-// endpoint. The caller provides the store (recovered or fresh) and the
-// definitive index it is consistent at.
+// optional rejoin state), membership tracker, replica, stop function —
+// on the given endpoint. The caller provides the store (recovered or
+// fresh) and the definitive index it is consistent at; the tracker is
+// primed from the committed configuration that store carries.
 func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState,
-	store *storage.Store, base int64, dur *recovery.Durability) (*db.Replica, *abcast.Optimistic, func(), error) {
+	store *storage.Store, base int64, dur *recovery.Durability) (*db.Replica, *abcast.Optimistic, *member.Tracker, func(), error) {
+	mcfg, err := member.CommittedConfig(store)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("otpdb: site %d membership: %w", i, err)
+	}
+	tracker := member.NewTracker(mcfg)
 	var bc abcast.Broadcaster
 	var opt *abcast.Optimistic
 	var stopEngine func()
@@ -418,6 +428,7 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 		ccfg := consensus.Config{
 			Endpoint:     ep,
 			RoundTimeout: c.cfg.roundTimeout,
+			View:         tracker,
 		}
 		if join != nil {
 			ccfg.CatchUpFrom = join.StartStage
@@ -436,7 +447,7 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 		bc, stopEngine = o, func() { _ = o.Stop(); cons.Stop() }
 	}
 	if err := bc.Start(); err != nil {
-		return nil, nil, nil, fmt.Errorf("otpdb: start broadcast %d: %w", i, err)
+		return nil, nil, nil, nil, fmt.Errorf("otpdb: start broadcast %d: %w", i, err)
 	}
 	cfg := db.Config{
 		ID:             transport.NodeID(i),
@@ -448,6 +459,12 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 		PruneInterval:  c.cfg.pruneEvery,
 		Durability:     dur,
 		InitialTOIndex: base,
+		ConfigClass:    member.Class,
+		OnConfigCommit: func(v storage.Value, _ int64) {
+			if next, derr := member.Decode(v); derr == nil {
+				tracker.Apply(next)
+			}
+		},
 	}
 	if c.recorder != nil {
 		cfg.History = c.recorder
@@ -455,7 +472,7 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 	rep, err := db.New(cfg)
 	if err != nil {
 		stopEngine()
-		return nil, nil, nil, fmt.Errorf("otpdb: replica %d: %w", i, err)
+		return nil, nil, nil, nil, fmt.Errorf("otpdb: replica %d: %w", i, err)
 	}
 	rep.Start()
 	// Every optimistic site doubles as a state-transfer donor: the same
@@ -466,7 +483,7 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 		xs = statex.NewServer(ep, statex.ReplicaSource{Replica: rep, Engine: opt})
 		xs.Start()
 	}
-	return rep, opt, func() {
+	return rep, opt, tracker, func() {
 		if xs != nil {
 			xs.Stop()
 		}
@@ -484,6 +501,18 @@ func (c *Cluster) Start() error {
 		return ErrStarted
 	}
 	c.started = true
+	// The group configuration is ordinary replicated state: register the
+	// reserved change procedure and seed the epoch-1 bootstrap config at
+	// version 0 of every store (recovered state overrides the seed).
+	if err := member.RegisterProc(c.registry); err != nil {
+		return fmt.Errorf("otpdb: register membership procedure: %w", err)
+	}
+	bootstrapIDs := make(map[transport.NodeID]string, c.cfg.replicas)
+	for i := 0; i < c.cfg.replicas; i++ {
+		bootstrapIDs[transport.NodeID(i)] = ""
+	}
+	bootstrap := member.Bootstrap(bootstrapIDs)
+	c.seeds = append(c.seeds, func(s *storage.Store) { member.Seed(s, bootstrap) })
 	var hubOpts []transport.MemOption
 	hubOpts = append(hubOpts, transport.WithSeed(c.cfg.seed))
 	if c.cfg.netDelay > 0 {
@@ -527,7 +556,7 @@ func (c *Cluster) Start() error {
 			return fmt.Errorf("otpdb: durable sites recovered to different indexes (site 0: %d, site %d: %d); restart lagging sites into a running cluster with RestartSite",
 				c.bases[0], i, base)
 		}
-		rep, opt, stop, err := c.buildSite(i, ep, nil, store, base, dur)
+		rep, opt, tracker, stop, err := c.buildSite(i, ep, nil, store, base, dur)
 		if err != nil {
 			if dur != nil {
 				_ = dur.Close()
@@ -536,6 +565,7 @@ func (c *Cluster) Start() error {
 		}
 		c.replicas = append(c.replicas, rep)
 		c.engines = append(c.engines, opt)
+		c.trackers = append(c.trackers, tracker)
 		c.sessions = append(c.sessions, &Session{c: c, site: i})
 		c.stops = append(c.stops, stop)
 		c.bases = append(c.bases, base)
@@ -559,8 +589,16 @@ func (c *Cluster) Stop() {
 	c.hub.Close()
 }
 
-// Size reports the number of replicas.
-func (c *Cluster) Size() int { return c.cfg.replicas }
+// Size reports the number of site slots (including crashed and removed
+// sites; AddSite grows it).
+func (c *Cluster) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.replicas) > 0 {
+		return len(c.replicas)
+	}
+	return c.cfg.replicas
+}
 
 // RecoveredIndex reports the definitive index a durable site resumed at
 // on Start (0 for a fresh or non-durable site).
@@ -676,7 +714,7 @@ func (c *Cluster) WaitForCommits(ctx context.Context, n int) error {
 	}
 	var live []*db.Replica
 	for i, rep := range c.replicas {
-		if !c.crashed[i] {
+		if !c.crashed[i] && !c.removed[i] {
 			live = append(live, rep)
 		}
 	}
@@ -699,7 +737,7 @@ func (c *Cluster) Converged() (bool, error) {
 	}
 	first := -1
 	for i, rep := range c.replicas {
-		if c.crashed[i] {
+		if c.crashed[i] || c.removed[i] {
 			continue
 		}
 		if first < 0 {
@@ -722,6 +760,9 @@ func (c *Cluster) CrashSite(site int) error {
 	defer c.mu.Unlock()
 	if _, err := c.replicaLocked(site); err != nil {
 		return err
+	}
+	if c.removed[site] {
+		return fmt.Errorf("otpdb: site %d was removed from the group", site)
 	}
 	if c.crashed == nil {
 		c.crashed = make(map[int]bool)
@@ -763,15 +804,27 @@ func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 	if _, err := c.replicaLocked(site); err != nil {
 		return err
 	}
+	if c.removed[site] {
+		return fmt.Errorf("otpdb: site %d was removed from the group (use AddSite or ReplaceSite)", site)
+	}
 	if !c.crashed[site] {
 		return fmt.Errorf("otpdb: site %d is not crashed", site)
 	}
 	if c.cfg.ordering != OptimisticOrdering {
 		return errors.New("otpdb: RestartSite requires OptimisticOrdering")
 	}
+	return c.rejoinLocked(ctx, site, false)
+}
+
+// rejoinLocked rebuilds a crashed site's stack through a statex transfer
+// from a live donor. With wipe set the site's previous durable state is
+// discarded first — the ReplaceSite semantics, where the returning
+// identity is a fresh machine. Callers hold c.mu and have validated the
+// site.
+func (c *Cluster) rejoinLocked(ctx context.Context, site int, wipe bool) error {
 	var donors []transport.NodeID
 	for i := range c.replicas {
-		if !c.crashed[i] && i != site {
+		if !c.crashed[i] && !c.removed[i] && i != site {
 			donors = append(donors, transport.NodeID(i))
 		}
 	}
@@ -788,6 +841,14 @@ func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 	fail := func(err error) error {
 		c.hub.Crash(transport.NodeID(site))
 		return err
+	}
+
+	if wipe && c.cfg.durDir != "" {
+		// The replacement is a new machine: the dead incarnation's
+		// durable history does not come with it.
+		if err := os.RemoveAll(c.siteDir(site)); err != nil {
+			return fail(fmt.Errorf("otpdb: wipe durability %d: %w", site, err))
+		}
 	}
 
 	// Local recovery first: a durable site advertises the index its own
@@ -838,7 +899,7 @@ func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 		}
 	}
 	join := xfer.Join
-	rep, opt, stop, err := c.buildSite(site, ep, &join, store, base, dur)
+	rep, opt, tracker, stop, err := c.buildSite(site, ep, &join, store, base, dur)
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
@@ -847,6 +908,7 @@ func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 	}
 	c.replicas[site] = rep
 	c.engines[site] = opt
+	c.trackers[site] = tracker
 	c.stops[site] = stop
 	c.bases[site] = base
 	if c.joinModes == nil {
@@ -870,6 +932,309 @@ func (c *Cluster) RejoinMode(site int) (string, error) {
 		return "", nil
 	}
 	return mode.String(), nil
+}
+
+// liveSiteLocked returns the index of a live (not crashed, not removed)
+// site, preferring sites other than avoid. Callers hold c.mu (read or
+// write).
+func (c *Cluster) liveSiteLocked(avoid int) (int, error) {
+	fallback := -1
+	for i := range c.replicas {
+		if c.crashed[i] || c.removed[i] {
+			continue
+		}
+		if i != avoid {
+			return i, nil
+		}
+		fallback = i
+	}
+	if fallback >= 0 {
+		return fallback, nil
+	}
+	return 0, errors.New("otpdb: no live site")
+}
+
+// proposeChange commits a membership change through the definitive
+// order: it reads the submitting site's current configuration, derives
+// the successor via mutate, and executes the reserved change procedure
+// at that site. The commit of that transaction is the epoch switch —
+// every site applies the new quorum, and the in-process transport
+// follows automatically (the hub routes by identifier). A concurrent
+// change loses the definitive-order race and surfaces
+// member.ErrEpochConflict; retry against the new configuration.
+func (c *Cluster) proposeChange(ctx context.Context, submitter int,
+	mutate func(member.Config) (member.Config, error)) (member.Config, error) {
+	c.mu.RLock()
+	if !c.started || c.stopped {
+		c.mu.RUnlock()
+		return member.Config{}, ErrNotStarted
+	}
+	if c.cfg.ordering != OptimisticOrdering {
+		c.mu.RUnlock()
+		return member.Config{}, errors.New("otpdb: membership changes require OptimisticOrdering")
+	}
+	cfg := c.trackers[submitter].Config()
+	sess := c.sessions[submitter]
+	c.mu.RUnlock()
+	proposed, err := mutate(cfg)
+	if err != nil {
+		return member.Config{}, err
+	}
+	if _, err := sess.Exec(ctx, member.Proc, member.Encode(proposed)); err != nil {
+		return member.Config{}, err
+	}
+	return proposed, nil
+}
+
+// errAddRaced reports a concurrent AddSite; no rollback is attempted
+// (the committed addition belongs to the other caller).
+var errAddRaced = errors.New("otpdb: concurrent AddSite raced")
+
+// AddSite grows the group by one site: the addition is committed as a
+// definitively-ordered configuration change (every replica switches to
+// the bigger quorum at the same commit), then the new site is built,
+// statex-joins from a live donor at the new configuration's base index,
+// and activates. It returns the new site's index; sessions, queries and
+// all Cluster methods accept it immediately.
+//
+// If the change commits but the site fails to come up (donor gone, ctx
+// expired), AddSite rolls the committed addition back — best effort —
+// so the grown quorum never counts a site that does not exist; whether
+// or not the rollback lands, calling AddSite again detects the
+// committed-but-unbuilt member and resumes it instead of proposing a
+// duplicate.
+func (c *Cluster) AddSite(ctx context.Context) (int, error) {
+	c.mu.RLock()
+	if !c.started || c.stopped {
+		c.mu.RUnlock()
+		return 0, ErrNotStarted
+	}
+	newID := len(c.replicas)
+	submitter, err := c.liveSiteLocked(-1)
+	resuming := false
+	if err == nil {
+		resuming = c.trackers[submitter].Config().Has(transport.NodeID(newID))
+	}
+	c.mu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	if !resuming {
+		if _, err := c.proposeChange(ctx, submitter, func(cfg member.Config) (member.Config, error) {
+			return cfg.WithAdd(member.Site{ID: transport.NodeID(newID)})
+		}); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.buildAddedSite(ctx, newID); err != nil {
+		if errors.Is(err, errAddRaced) {
+			return 0, err
+		}
+		// The addition is committed but the site never came up: vote the
+		// phantom back out (detached context — ctx may be what failed).
+		rbCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if _, rerr := c.proposeChange(rbCtx, submitter, func(cfg member.Config) (member.Config, error) {
+			return cfg.WithRemove(transport.NodeID(newID))
+		}); rerr != nil {
+			return 0, fmt.Errorf("%w (rollback of the committed addition also failed: %v; retry AddSite to resume it)", err, rerr)
+		}
+		return 0, err
+	}
+	return newID, nil
+}
+
+// buildAddedSite builds and activates the site the committed addition
+// admitted: endpoint, fresh (or transferred) state, full stack.
+func (c *Cluster) buildAddedSite(ctx context.Context, newID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.replicas) != newID {
+		return fmt.Errorf("%w: site table moved past %d", errAddRaced, newID)
+	}
+	// A resumed attempt may already have grown the hub; revive that
+	// node instead of appending a second one.
+	var ep transport.Endpoint
+	if c.hub.Len() > newID {
+		ep = c.hub.Restart(transport.NodeID(newID))
+	} else {
+		ep = c.hub.Add()
+	}
+	var donors []transport.NodeID
+	for i := range c.replicas {
+		if !c.crashed[i] && !c.removed[i] {
+			donors = append(donors, transport.NodeID(i))
+		}
+	}
+	fail := func(err error) error {
+		c.hub.Crash(transport.NodeID(newID))
+		return err
+	}
+	store := storage.NewStore()
+	for _, seed := range c.seeds {
+		seed(store)
+	}
+	base := int64(0)
+	var dur *recovery.Durability
+	if c.cfg.durDir != "" {
+		d, derr := recovery.Open(c.siteDir(newID), recovery.Options{
+			Sync:            c.cfg.syncPolicy,
+			CheckpointEvery: c.cfg.ckptEvery,
+		})
+		if derr != nil {
+			return fail(fmt.Errorf("otpdb: durability %d: %w", newID, derr))
+		}
+		dur = d
+	}
+	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{})
+	if err != nil {
+		if dur != nil {
+			_ = dur.Close()
+		}
+		return fail(fmt.Errorf("otpdb: state transfer %d: %w", newID, err))
+	}
+	if xfer.Mode == statex.CheckpointTail {
+		store = storage.NewStore()
+		store.InstallCheckpoint(xfer.Checkpoint)
+		base = xfer.Base
+		if dur != nil {
+			if rerr := dur.ResetTo(xfer.Checkpoint); rerr != nil {
+				_ = dur.Close()
+				return fail(fmt.Errorf("otpdb: reset durability %d: %w", newID, rerr))
+			}
+		}
+	}
+	join := xfer.Join
+	rep, opt, tracker, stop, err := c.buildSite(newID, ep, &join, store, base, dur)
+	if err != nil {
+		if dur != nil {
+			_ = dur.Close()
+		}
+		return fail(err)
+	}
+	c.replicas = append(c.replicas, rep)
+	c.engines = append(c.engines, opt)
+	c.trackers = append(c.trackers, tracker)
+	c.sessions = append(c.sessions, &Session{c: c, site: newID})
+	c.stops = append(c.stops, stop)
+	c.bases = append(c.bases, base)
+	if c.joinModes == nil {
+		c.joinModes = make(map[int]statex.Mode)
+	}
+	c.joinModes[newID] = xfer.Mode
+	return nil
+}
+
+// RemoveSite shrinks the group: the removal is committed as a
+// definitively-ordered configuration change — survivors drop to the
+// smaller quorum and stop counting the ghost — and the removed site's
+// stack is then stopped. The site index stays allocated (sessions bound
+// to it fail with ErrStopped); the identifier can return to the group
+// only through ReplaceSite-style re-admission semantics, not
+// RestartSite.
+func (c *Cluster) RemoveSite(ctx context.Context, site int) error {
+	c.mu.RLock()
+	if _, err := c.replicaLocked(site); err != nil {
+		c.mu.RUnlock()
+		return err
+	}
+	if c.removed[site] {
+		c.mu.RUnlock()
+		return fmt.Errorf("otpdb: site %d already removed", site)
+	}
+	submitter, err := c.liveSiteLocked(site)
+	c.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if _, err := c.proposeChange(ctx, submitter, func(cfg member.Config) (member.Config, error) {
+		return cfg.WithRemove(transport.NodeID(site))
+	}); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.removed[site] {
+		return nil
+	}
+	if !c.crashed[site] {
+		c.stops[site]()
+	}
+	c.hub.Crash(transport.NodeID(site))
+	if c.removed == nil {
+		c.removed = make(map[int]bool)
+	}
+	c.removed[site] = true
+	delete(c.crashed, site)
+	return nil
+}
+
+// ReplaceSite re-admits a crashed site's identifier as a fresh process —
+// remove + add in one epoch, the "permanently dead machine replaced by a
+// new one" operation. The change is committed through the definitive
+// order first (survivors switch epochs and reset the identity's failure
+// suspicion), then the replacement is built from nothing: its previous
+// durable state, if any, is wiped, and it statex-joins from a live donor
+// exactly as AddSite's fresh site does. Requires the site to be crashed
+// (crash it first; replacing a live site is a programming error).
+func (c *Cluster) ReplaceSite(ctx context.Context, site int) error {
+	c.mu.RLock()
+	if _, err := c.replicaLocked(site); err != nil {
+		c.mu.RUnlock()
+		return err
+	}
+	switch {
+	case c.removed[site]:
+		c.mu.RUnlock()
+		return fmt.Errorf("otpdb: site %d was removed from the group", site)
+	case !c.crashed[site]:
+		c.mu.RUnlock()
+		return fmt.Errorf("otpdb: site %d is not crashed; ReplaceSite re-admits dead sites", site)
+	}
+	submitter, err := c.liveSiteLocked(site)
+	c.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if _, err := c.proposeChange(ctx, submitter, func(cfg member.Config) (member.Config, error) {
+		return cfg.WithReplace(transport.NodeID(site), "")
+	}); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.crashed[site] || c.removed[site] {
+		return fmt.Errorf("otpdb: site %d changed state during ReplaceSite", site)
+	}
+	return c.rejoinLocked(ctx, site, true)
+}
+
+// Epoch reports the membership epoch a site currently runs under.
+func (c *Cluster) Epoch(site int) (uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, err := c.replicaLocked(site); err != nil {
+		return 0, err
+	}
+	return c.trackers[site].Epoch(), nil
+}
+
+// Members reports the group membership as a site currently sees it, in
+// ascending site order.
+func (c *Cluster) Members(site int) ([]int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, err := c.replicaLocked(site); err != nil {
+		return nil, err
+	}
+	ids := c.trackers[site].Members()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out, nil
 }
 
 // DigestAt returns a hash of a site's committed state, for convergence
