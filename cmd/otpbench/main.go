@@ -7,8 +7,8 @@
 //	otpbench [-quick] [-json] [-out file] [experiment ...]
 //
 // Experiments: figure1, abortrate, overlap, async, queries, ordering,
-// pipeline, commit, recovery, rejoin, reconfig. With no arguments every
-// experiment runs.
+// pipeline, commit, recovery, rejoin, reconfig, shard. With no arguments
+// every experiment runs.
 //
 // The commit experiment is the tracked commit-path benchmark: with
 // -json it also writes its report (throughput and p50/p99 commit
@@ -34,8 +34,8 @@ func main() {
 	flag.Parse()
 	targets := flag.Args()
 	if len(targets) == 0 {
-		// "recovery", "rejoin" and "reconfig" are not listed: the commit
-		// benchmark already embeds the full E9, E10 and E11 sweeps in
+		// "recovery", "rejoin", "reconfig" and "shard" are not listed:
+		// the commit benchmark already embeds the full E9–E12 sweeps in
 		// its report, and running them twice would double the slowest
 		// cells of the suite. All remain available as explicit targets.
 		targets = []string{"figure1", "abortrate", "overlap", "async", "queries", "ordering", "pipeline", "commit"}
@@ -170,6 +170,17 @@ func run(targets []string, quick, jsonOut bool, outPath string) error {
 			rep, err := experiments.ReconfigBench(p)
 			if err != nil {
 				return fmt.Errorf("reconfig: %w", err)
+			}
+			t := rep.Table()
+			t.Render(os.Stdout)
+		case "shard":
+			p := experiments.DefaultShardBenchParams()
+			if quick {
+				p = experiments.QuickShardBenchParams()
+			}
+			rep, err := experiments.ShardBench(p)
+			if err != nil {
+				return fmt.Errorf("shard: %w", err)
 			}
 			t := rep.Table()
 			t.Render(os.Stdout)

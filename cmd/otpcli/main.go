@@ -71,20 +71,45 @@ func run(addr string, args []string) error {
 	if !sc.Scan() {
 		return fmt.Errorf("no reply: %v", sc.Err())
 	}
-	if len(args) > 0 && strings.EqualFold(args[0], "STATUS") {
-		printStatus(sc.Text())
+	if len(args) > 0 && (strings.EqualFold(args[0], "STATUS") || strings.EqualFold(args[0], "STATS")) {
+		// A sharded replica replies with a summary line announcing
+		// shards=N followed by one SHARD line per group; collect them all.
+		lines := []string{sc.Text()}
+		for i := shardCount(sc.Text()); i > 0 && sc.Scan(); i-- {
+			lines = append(lines, sc.Text())
+		}
+		if strings.EqualFold(args[0], "STATUS") {
+			printStatus(lines)
+		} else {
+			fmt.Println(strings.Join(lines, "\n"))
+		}
 		return nil
 	}
 	fmt.Println(sc.Text())
 	return nil
 }
 
-// printStatus renders a STATS reply one field per line. Anything
-// unexpected (an ERR, an older server) is printed verbatim.
-func printStatus(reply string) {
-	fields := strings.Fields(reply)
+// shardCount extracts shards=N from a STATS summary line (0 when absent,
+// i.e. a single-shard replica's one-line reply).
+func shardCount(reply string) int {
+	for _, f := range strings.Fields(reply) {
+		if v, ok := strings.CutPrefix(f, "shards="); ok {
+			var n int
+			if _, err := fmt.Sscanf(v, "%d", &n); err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// printStatus renders a STATS reply one field per line; in sharded mode
+// each shard's counters follow, indented under a "shard <id>:" header.
+// Anything unexpected (an ERR, an older server) is printed verbatim.
+func printStatus(lines []string) {
+	fields := strings.Fields(lines[0])
 	if len(fields) < 2 || fields[0] != "STATS" {
-		fmt.Println(reply)
+		fmt.Println(strings.Join(lines, "\n"))
 		return
 	}
 	for _, f := range fields[1:] {
@@ -94,6 +119,28 @@ func printStatus(reply string) {
 			continue
 		}
 		fmt.Printf("%-10s %s\n", k+":", v)
+	}
+	for _, line := range lines[1:] {
+		sf := strings.Fields(line)
+		if len(sf) < 2 || sf[0] != "SHARD" {
+			fmt.Println(line)
+			continue
+		}
+		if id, ok := strings.CutPrefix(sf[1], "id="); ok {
+			fmt.Printf("shard %s:\n", id)
+			sf = sf[2:]
+		} else {
+			fmt.Println("shard:")
+			sf = sf[1:]
+		}
+		for _, f := range sf {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				fmt.Printf("  %s\n", f)
+				continue
+			}
+			fmt.Printf("  %-10s %s\n", k+":", v)
+		}
 	}
 }
 

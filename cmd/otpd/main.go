@@ -12,6 +12,8 @@
 //	QUERY <procedure> [arg ...]  -> VALUE <int64> | ERR <message>
 //	STATS (alias STATUS)         -> STATS commits=<n> aborts=<n> reorders=<n> pending=<n> to=<idx> recovered=<idx> epoch=<e> members=<n> role=<joining|serving|donor>
 //	DIGEST                       -> DIGEST <hex>
+//	SHARD LIST                   -> SHARDS n=<s> version=<v>
+//	SHARD MAP <class>            -> SHARD class=<class> id=<g>
 //	MEMBER ADD <id> <addr>       -> OK epoch=<e> members=<n> to=<idx> | ERR <message>
 //	MEMBER REMOVE <id>           -> OK ... (as ADD)
 //	MEMBER REPLACE <id> <addr>   -> OK ... (as ADD)
@@ -26,14 +28,33 @@
 //
 // The demo schema partitions an integer keyspace into -classes conflict
 // classes with procedures add-p<i>(key, delta) — returning the key's new
-// value — and the cross-class query get(p<i>, key).
+// value — the cross-class query get(p<i>, key), and the two-class
+// transfer xfer(srckey, dstkey, amt) moving value from p0 to p1.
+//
+// # Sharding
+//
+// With -shards S the conflict classes are partitioned across S
+// independent replica groups hosted by the same processes: class p<i>
+// lives on shard i mod S, and shard g's replication mesh listens on each
+// peer's port + g (keep S consecutive ports free per replica; -peers
+// names shard 0's addresses). Transactions route transparently: EXEC and
+// SUBMIT of a procedure whose classes live in one shard run the paper's
+// protocol unchanged inside that shard's group, while a procedure
+// spanning shards (such as xfer when S > 1) is ordered definitively in
+// every touched shard by an optimistic two-phase protocol that commits
+// everywhere or nowhere. STATS then reports a shards=<S> summary line
+// followed by one SHARD id=<g> line per shard, and DIGEST prints one
+// digest per shard.
 //
 // With -data the replica is durable: definitive commits are written
 // ahead to a segmented CRC-framed log (fsync policy -fsync
-// commit|group|off) with periodic checkpoints, the WAL is flushed and
-// closed on SIGINT/SIGTERM, and a restarted process — even after kill
-// -9 — recovers its committed state and resumes at the recovered
-// definitive index.
+// commit|group|off) with periodic checkpoints (one directory per shard
+// under -data when -shards > 1), the WAL is flushed and closed on
+// SIGINT/SIGTERM, and a restarted process — even after kill -9 —
+// recovers its committed state and resumes at the recovered definitive
+// index. The process's failure-detector incarnation is persisted under
+// -data too, so a clock stepping backwards across a crash cannot make a
+// restarted replica look older than its dead self.
 //
 // A durable replica that recovered committed state automatically rejoins
 // a running cluster through the statex state-transfer service: it
@@ -45,6 +66,7 @@
 // replica with no usable local state. When no peer answers (for
 // instance, a whole-cluster restart where every process comes up at
 // once), the replica falls back to a cold start from local state alone.
+// With -shards every shard group negotiates its own transfer.
 //
 // The group membership is dynamic: the configuration (an epoch plus the
 // member list) is itself replicated state, seeded from -peers at epoch 1
@@ -55,7 +77,9 @@
 // on a survivor, then start a fresh process with that id, the updated
 // -peers list and -join — it state-transfers from a donor and activates.
 // A removed site keeps its process alive but is out of the group; stop
-// it once MEMBER REMOVE returns.
+// it once MEMBER REMOVE returns. With -shards a MEMBER command commits
+// the change in every shard group (shard g at the given address's port
+// + g).
 //
 // Example 3-replica cluster on one machine:
 //
@@ -79,6 +103,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -91,6 +116,7 @@ import (
 	"otpdb/internal/fd"
 	"otpdb/internal/member"
 	"otpdb/internal/recovery"
+	"otpdb/internal/shard"
 	"otpdb/internal/sproc"
 	"otpdb/internal/statex"
 	"otpdb/internal/storage"
@@ -101,22 +127,25 @@ import (
 func main() {
 	var (
 		id      = flag.Int("id", 0, "replica id (index into -peers)")
-		peers   = flag.String("peers", "", "comma-separated replica addresses, index = id")
+		peers   = flag.String("peers", "", "comma-separated replica addresses for shard 0, index = id")
 		client  = flag.String("client", ":7070", "client listen address")
 		classes = flag.Int("classes", 8, "number of conflict classes")
+		shards  = flag.Int("shards", 1, "number of shard groups (shard g uses peer port + g)")
 		dataDir = flag.String("data", "", "durability directory (empty = in-memory only)")
 		fsync   = flag.String("fsync", "group", "WAL fsync policy: commit|group|off (with -data)")
 		join    = flag.Bool("join", false, "force a state transfer from a live peer before serving")
 	)
 	flag.Parse()
-	if err := run(*id, *peers, *client, *classes, *dataDir, *fsync, *join); err != nil {
+	if err := run(*id, *peers, *client, *classes, *shards, *dataDir, *fsync, *join); err != nil {
 		fmt.Fprintln(os.Stderr, "otpd:", err)
 		os.Exit(1)
 	}
 }
 
 // demoRegistry builds the keyspace schema: add-p<i>(key, delta) per
-// class — returning the key's new value — plus the get(class, key) query.
+// class — returning the key's new value — plus the get(class, key) query
+// and, with at least two classes, the two-class transfer
+// xfer(srckey, dstkey, amt).
 func demoRegistry(classes int) (*sproc.Registry, error) {
 	reg := sproc.NewRegistry()
 	for c := 0; c < classes; c++ {
@@ -134,6 +163,36 @@ func demoRegistry(classes int) (*sproc.Registry, error) {
 				cur, _ := ctx.Read(key)
 				next := storage.Int64Value(storage.ValueInt64(cur) + delta)
 				return next, ctx.Write(key, next)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if classes >= 2 {
+		// xfer spans p0 and p1 — with -shards > 1 those are different
+		// groups and the transaction exercises the cross-shard protocol.
+		err := reg.RegisterMulti(sproc.MultiUpdate{
+			Name:    "xfer",
+			Classes: []sproc.ClassID{"p0", "p1"},
+			Fn: func(ctx sproc.MultiUpdateCtx) (storage.Value, error) {
+				args := ctx.Args()
+				if len(args) < 3 {
+					return nil, fmt.Errorf("xfer needs srckey, dstkey and amount")
+				}
+				src := storage.Key(storage.ValueString(args[0]))
+				dst := storage.Key(storage.ValueString(args[1]))
+				amt := storage.ValueInt64(args[2])
+				sv, _ := ctx.Read("p0", src)
+				dv, _ := ctx.Read("p1", dst)
+				next := storage.Int64Value(storage.ValueInt64(sv) - amt)
+				if err := ctx.Write("p0", src, next); err != nil {
+					return nil, err
+				}
+				if err := ctx.Write("p1", dst, storage.Int64Value(storage.ValueInt64(dv)+amt)); err != nil {
+					return nil, err
+				}
+				return next, nil
 			},
 		})
 		if err != nil {
@@ -161,20 +220,28 @@ func demoRegistry(classes int) (*sproc.Registry, error) {
 	return reg, nil
 }
 
-// server is the per-process state the client protocol serves from. The
-// replica appears only once recovery and any state transfer finish;
-// STATS answers in every phase so operators (and tests) can watch a
-// joiner catch up.
-type server struct {
+// shardStack is one shard group's per-process state. The replica appears
+// only once recovery and any state transfer finish; STATS answers in
+// every phase so operators (and tests) can watch a joiner catch up.
+type shardStack struct {
 	rep     atomic.Pointer[db.Replica]
 	xs      atomic.Pointer[statex.Server]
 	tracker atomic.Pointer[member.Tracker]
-	base    atomic.Int64  // locally recovered definitive index
-	ready   chan struct{} // closed when rep is published
+	base    atomic.Int64 // locally recovered definitive index
 }
 
-// membership renders the epoch/size STATS fields ("0 0" while joining).
-func (s *server) membership() (uint64, int) {
+// server is the process state the client protocol serves from.
+type server struct {
+	shards []*shardStack
+	reg    *sproc.Registry
+	smap   *shard.Map
+	coord  *shard.Coordinator
+	ready  chan struct{} // closed when every shard's replica is published
+}
+
+// membership renders the epoch/size STATS fields of one shard ("0 0"
+// while joining).
+func (s *shardStack) membership() (uint64, int) {
 	tr := s.tracker.Load()
 	if tr == nil {
 		return 0, 0
@@ -183,22 +250,37 @@ func (s *server) membership() (uint64, int) {
 	return cfg.Epoch, len(cfg.Members)
 }
 
-// waitReady blocks until the replica is up (recovery and state transfer
-// done) or the timeout expires.
+// waitReady blocks until every shard's replica is up (recovery and state
+// transfer done) or the timeout expires; it returns shard 0's replica or
+// nil.
 func (s *server) waitReady(d time.Duration) *db.Replica {
 	select {
 	case <-s.ready:
-		return s.rep.Load()
+		return s.shards[0].rep.Load()
 	case <-time.After(d):
 		return nil
 	}
 }
 
-// role reports the replica's current life-cycle phase.
+// role reports the process's current life-cycle phase.
 func (s *server) role() string {
 	select {
 	case <-s.ready:
 	default:
+		return "joining"
+	}
+	for _, st := range s.shards {
+		if xs := st.xs.Load(); xs != nil && xs.Serving() > 0 {
+			return "donor"
+		}
+	}
+	return "serving"
+}
+
+// shardRole is the per-shard role line ("joining" before the shard's
+// replica exists, even if other shards are already up).
+func (s *shardStack) role() string {
+	if s.rep.Load() == nil {
 		return "joining"
 	}
 	if xs := s.xs.Load(); xs != nil && xs.Serving() > 0 {
@@ -226,15 +308,28 @@ func donorOrder(d *fd.Detector, self transport.NodeID, ids []transport.NodeID) [
 	return append(live, suspect...)
 }
 
-func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string, forceJoin bool) error {
+// shiftAddr rebases a host:port address to port + delta — shard g's mesh
+// listens next to shard 0's.
+func shiftAddr(addr string, delta int) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("address %q: %w", addr, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return "", fmt.Errorf("address %q: bad port: %w", addr, err)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+delta)), nil
+}
+
+func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsync string, forceJoin bool) error {
 	if peerList == "" {
 		return fmt.Errorf("-peers is required")
 	}
-	parts := strings.Split(peerList, ",")
-	addrs := make(map[transport.NodeID]string, len(parts))
-	for i, addr := range parts {
-		addrs[transport.NodeID(i)] = strings.TrimSpace(addr)
+	if shards < 1 {
+		return fmt.Errorf("-shards must be positive, got %d", shards)
 	}
+	parts := strings.Split(peerList, ",")
 	if id < 0 || id >= len(parts) {
 		return fmt.Errorf("-id %d out of range for %d peers", id, len(parts))
 	}
@@ -249,22 +344,51 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	db.RegisterWire()
 	statex.RegisterWire()
 
-	node, err := transport.ListenTCP(transport.TCPConfig{
-		ID:    transport.NodeID(id),
-		Addrs: addrs,
-	})
+	reg, err := demoRegistry(classes)
 	if err != nil {
 		return err
 	}
-	defer func() { _ = node.Close() }()
 
-	detector := fd.New(node, fd.Config{Interval: 100 * time.Millisecond})
-	detector.Start()
-	defer detector.Stop()
+	// The shard map is pure convention — every process derives the same
+	// one from -classes and -shards: class p<i> pinned to shard i mod S.
+	smap, err := shard.NewMap(shards)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < classes; c++ {
+		if err := smap.Pin(sproc.ClassID(fmt.Sprintf("p%d", c)), c%shards); err != nil {
+			return err
+		}
+	}
 
-	// The client listener comes up before the replica so STATS can
-	// report the joining phase; commands that need the replica wait.
-	srv := &server{ready: make(chan struct{})}
+	// The failure-detector/transport incarnation must grow monotonically
+	// across restarts of a durable replica; persist it under -data so a
+	// clock stepping backwards over a crash cannot mint an older-looking
+	// incarnation (in-memory replicas fall back to the clock).
+	var inc uint64
+	if dataDir != "" {
+		inc, err = transport.PersistentIncarnation(dataDir)
+		if err != nil {
+			return fmt.Errorf("incarnation: %w", err)
+		}
+	}
+
+	srv := &server{reg: reg, smap: smap, ready: make(chan struct{})}
+	for g := 0; g < shards; g++ {
+		srv.shards = append(srv.shards, &shardStack{})
+	}
+	shub := shard.NewHub(shard.Config{Origin: transport.NodeID(id), Incarnation: inc})
+	if err := shub.Register(reg); err != nil {
+		return err
+	}
+	for g := 0; g < shards; g++ {
+		st := srv.shards[g]
+		shub.Attach(g, id, func() *db.Replica { return st.rep.Load() })
+	}
+	srv.coord = shard.NewCoordinator(shub, smap, reg, shard.CoordConfig{})
+
+	// The client listener comes up before the replicas so STATS can
+	// report the joining phase; commands that need a replica wait.
 	ln, err := net.Listen("tcp", clientAddr)
 	if err != nil {
 		return fmt.Errorf("client listen: %w", err)
@@ -298,38 +422,91 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 		}
 	}()
 
+	// Build every shard group's stack in shard order. Each is the full
+	// single-group pipeline: local recovery, membership, optional state
+	// transfer, consensus, OPT-ABcast, replica, statex donor service.
+	for g := 0; g < shards; g++ {
+		stopShard, err := buildShard(ctx, srv, g, id, parts, shards, dataDir, fsync, forceJoin, inc)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", g, err)
+		}
+		defer stopShard()
+	}
+	shub.Start()
+	defer shub.Stop()
+	close(srv.ready)
+	fmt.Printf("otpd: replica %d up — peers %s, %d shard(s), clients on %s\n", id, peerList, shards, ln.Addr())
+
+	<-ctx.Done()
+	return nil
+}
+
+// buildShard brings one shard group's replica up and publishes it in
+// srv.shards[g]. The returned function tears the stack down.
+func buildShard(ctx context.Context, srv *server, g, id int, peers []string, shards int, dataDir, fsync string, forceJoin bool, inc uint64) (func(), error) {
+	st := srv.shards[g]
+	addrs := make(map[transport.NodeID]string, len(peers))
+	for i, addr := range peers {
+		shifted, err := shiftAddr(strings.TrimSpace(addr), g)
+		if err != nil {
+			return nil, err
+		}
+		addrs[transport.NodeID(i)] = shifted
+	}
+	var cleanup []func()
+	fail := func(err error) (func(), error) {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+		return nil, err
+	}
+
+	node, err := transport.ListenTCP(transport.TCPConfig{
+		ID:          transport.NodeID(id),
+		Addrs:       addrs,
+		Incarnation: inc,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	cleanup = append(cleanup, func() { _ = node.Close() })
+
+	detector := fd.New(node, fd.Config{Interval: 100 * time.Millisecond, Incarnation: inc})
+	detector.Start()
+	cleanup = append(cleanup, detector.Stop)
+
 	// Local recovery: a durable replica replays checkpoint + WAL tail
 	// and resumes at the recovered definitive index. The group
 	// configuration is seeded from -peers at version 0; recovered or
 	// transferred state carrying a newer committed configuration
 	// overrides the seed, so the replica lands in the correct epoch.
-	reg, err := demoRegistry(classes)
-	if err != nil {
-		return err
+	shardDir := dataDir
+	if dataDir != "" && shards > 1 {
+		shardDir = filepath.Join(dataDir, fmt.Sprintf("shard-%d", g))
 	}
 	bootstrap := member.Bootstrap(addrs)
 	store := storage.NewStore()
 	member.Seed(store, bootstrap)
 	base := int64(0)
 	var dur *recovery.Durability
-	if dataDir != "" {
+	if shardDir != "" {
 		policy, perr := wal.ParseSyncPolicy(fsync)
 		if perr != nil {
-			return perr
+			return fail(perr)
 		}
-		d, derr := recovery.Open(dataDir, recovery.Options{Sync: policy})
+		d, derr := recovery.Open(shardDir, recovery.Options{Sync: policy})
 		if derr != nil {
-			return derr
+			return fail(derr)
 		}
 		b, rerr := d.Recover(store)
 		if rerr != nil {
 			_ = d.Close()
-			return rerr
+			return fail(rerr)
 		}
 		dur, base = d, b
-		fmt.Printf("otpd: replica %d recovered to commit index %d (fsync=%s)\n", id, base, policy)
+		fmt.Printf("otpd: replica %d%s recovered to commit index %d (fsync=%s)\n", id, shardTag(g, shards), base, policy)
 	}
-	srv.base.Store(base)
+	st.base.Store(base)
 
 	// The membership tracker is primed from the committed configuration
 	// the store now holds — the -peers seed for a fresh start, the
@@ -341,17 +518,17 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	// membership, not the stale command line.
 	mcfg, err := member.CommittedConfig(store)
 	if err != nil {
-		return fmt.Errorf("membership: %w", err)
+		return fail(fmt.Errorf("membership: %w", err))
 	}
 	applyMembership := func(cfg member.Config) {
 		node.SetPeers(cfg.Addrs())
 		detector.SetMembers(cfg.IDs())
-		fmt.Printf("otpd: replica %d membership %s\n", id, cfg)
+		fmt.Printf("otpd: replica %d%s membership %s\n", id, shardTag(g, shards), cfg)
 	}
 	tracker := member.NewTracker(mcfg)
 	tracker.OnChange(applyMembership)
 	applyMembership(mcfg)
-	srv.tracker.Store(tracker)
+	st.tracker.Store(tracker)
 
 	// State transfer: a durable replica that recovered committed state
 	// assumes the cluster kept running and catches up from a live peer;
@@ -359,8 +536,8 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	// where every process restarts together has no donor to answer, so
 	// the probe times out and the replica falls back to a cold start.
 	var joinState *abcast.JoinState
-	if len(parts) > 1 && (forceJoin || base > 0) {
-		fmt.Printf("otpd: replica %d joining: advertising recovered index %d to peers\n", id, base)
+	if len(peers) > 1 && (forceJoin || base > 0) {
+		fmt.Printf("otpd: replica %d%s joining: advertising recovered index %d to peers\n", id, shardTag(g, shards), base)
 		// Two probe rounds: the second catches a staggered restart where
 		// the first round raced the donors' own startup.
 		var xfer *statex.Transfer
@@ -378,13 +555,13 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 				store = storage.NewStore()
 				store.InstallCheckpoint(xfer.Checkpoint)
 				base = xfer.Base
-				srv.base.Store(base)
+				st.base.Store(base)
 				if dur != nil {
 					// Local history is obsolete below the transferred
 					// checkpoint; reset the directory to it.
 					if rerr := dur.ResetTo(xfer.Checkpoint); rerr != nil {
 						_ = dur.Close()
-						return rerr
+						return fail(rerr)
 					}
 				}
 				// The transferred checkpoint may carry a newer committed
@@ -395,20 +572,20 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 				}
 			}
 			joinState = &xfer.Join
-			fmt.Printf("otpd: replica %d state transfer from %v: %s, base %d, backlog %d, resume stage %d\n",
-				id, xfer.Donor, xfer.Mode, base, len(xfer.Join.Backlog), xfer.Join.StartStage)
+			fmt.Printf("otpd: replica %d%s state transfer from %v: %s, base %d, backlog %d, resume stage %d\n",
+				id, shardTag(g, shards), xfer.Donor, xfer.Mode, base, len(xfer.Join.Backlog), xfer.Join.StartStage)
 		case forceJoin:
 			if dur != nil {
 				_ = dur.Close()
 			}
-			return fmt.Errorf("join: %w", jerr)
+			return fail(fmt.Errorf("join: %w", jerr))
 		default:
 			// Correct for a whole-cluster restart (nobody was serving,
 			// every replica cold-starts from the same index); wrong if
 			// the cluster actually kept running — this replica would
 			// re-enter ordering misaligned with the survivors. Make the
 			// fallback loud so the operator can tell which one happened.
-			fmt.Printf("otpd: WARNING: replica %d found no live donor; cold-starting from local state.\n", id)
+			fmt.Printf("otpd: WARNING: replica %d%s found no live donor; cold-starting from local state.\n", id, shardTag(g, shards))
 			fmt.Printf("otpd: WARNING: safe only if all replicas restart together — if the cluster is still running, stop this replica and restart it with -join\n")
 			fmt.Printf("otpd: (join error: %v)\n", jerr)
 		}
@@ -425,7 +602,7 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	}
 	cons := consensus.New(ccfg)
 	cons.Start()
-	defer cons.Stop()
+	cleanup = append(cleanup, cons.Stop)
 
 	aopts := []abcast.Option{abcast.WithDefBase(uint64(base))}
 	if joinState != nil {
@@ -433,14 +610,14 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	}
 	bc := abcast.NewOptimistic(node, cons, aopts...)
 	if err := bc.Start(); err != nil {
-		return err
+		return fail(err)
 	}
-	defer func() { _ = bc.Stop() }()
+	cleanup = append(cleanup, func() { _ = bc.Stop() })
 
 	cfg := db.Config{
 		ID:          transport.NodeID(id),
 		Broadcast:   bc,
-		Registry:    reg,
+		Registry:    srv.reg,
 		Store:       store,
 		ConfigClass: member.Class,
 		OnConfigCommit: func(v storage.Value, _ int64) {
@@ -457,38 +634,47 @@ func run(id int, peerList, clientAddr string, classes int, dataDir, fsync string
 	}
 	rep, err := db.New(cfg)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	rep.Start()
-	defer rep.Stop()
+	cleanup = append(cleanup, rep.Stop)
 
 	// Serve state transfers to future joiners.
 	xs := statex.NewServer(node, statex.ReplicaSource{Replica: rep, Engine: bc})
 	xs.Start()
-	defer xs.Stop()
+	cleanup = append(cleanup, xs.Stop)
 
-	srv.rep.Store(rep)
-	srv.xs.Store(xs)
-	close(srv.ready)
-	fmt.Printf("otpd: replica %d up — peers %s, clients on %s\n", id, peerList, ln.Addr())
+	st.rep.Store(rep)
+	st.xs.Store(xs)
+	return func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}, nil
+}
 
-	<-ctx.Done()
-	return nil
+// shardTag renders " shard g" in log lines, empty in single-shard mode
+// (whose log shapes predate sharding).
+func shardTag(g, shards int) string {
+	if shards == 1 {
+		return ""
+	}
+	return fmt.Sprintf(" shard %d", g)
 }
 
 // srvHandle is one in-flight SUBMIT on a client connection: the
-// server-side analogue of an otpdb.Handle, resolved by the replica's
-// commit notification.
+// server-side analogue of an otpdb.Handle. The reply line is rendered at
+// resolution and delivered over the buffered channel exactly once.
 type srvHandle struct {
-	start time.Time
-	ch    chan db.CommitResult // buffered, resolved exactly once
+	ch chan string
 }
 
 // clientSession is the per-connection state: pending SUBMIT handles
 // awaiting WAIT.
 type clientSession struct {
-	srv     *server
-	pending map[string]*srvHandle
+	srv      *server
+	pending  map[string]*srvHandle
+	crossSeq uint64 // per-connection cross-shard handle counter
 }
 
 // serveClient speaks the line protocol on one client connection.
@@ -518,29 +704,125 @@ func fmtCommit(info db.CommitInfo, latency time.Duration) string {
 		latency.Round(time.Microsecond))
 }
 
+// fmtCross renders a committed cross-shard transaction: the usual shape
+// (to= is the home shard's position) plus the full per-shard positions.
+func fmtCross(res shard.CrossResult, latency time.Duration) string {
+	outcome := "fastpath"
+	if res.Retries > 0 {
+		outcome = "retried"
+	}
+	home := int64(0)
+	spans := make([]string, 0, len(res.ShardTO))
+	for _, st := range res.ShardTO {
+		if st.Shard == res.Home {
+			home = st.TOIndex
+		}
+		spans = append(spans, fmt.Sprintf("%d:%d", st.Shard, st.TOIndex))
+	}
+	return fmt.Sprintf("OK value=%d to=%d outcome=%s latency=%s shard=%d xto=%s",
+		storage.ValueInt64(res.Value), home, outcome,
+		latency.Round(time.Microsecond), res.Home, strings.Join(spans, ","))
+}
+
+// shardStatsLine renders one shard's counters in the STATS field shape.
+func shardStatsLine(g int, st *shardStack) string {
+	rep := st.rep.Load()
+	base := st.base.Load()
+	epoch, members := st.membership()
+	if rep == nil {
+		return fmt.Sprintf("SHARD id=%d commits=0 aborts=0 reorders=0 pending=0 to=%d recovered=%d epoch=%d members=%d role=%s",
+			g, base, base, epoch, members, st.role())
+	}
+	ms := rep.Manager().Stats()
+	return fmt.Sprintf("SHARD id=%d commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d epoch=%d members=%d role=%s",
+		g, ms.Commits, ms.Aborts, ms.Reorders, rep.Manager().Pending(),
+		rep.LastTO(), base, epoch, members, st.role())
+}
+
+// routeShard resolves which shard group an update procedure belongs to:
+// (g, false) for a single-shard procedure, (_, true) for one spanning
+// shards.
+func (cs *clientSession) routeShard(proc string) (int, bool, error) {
+	classes, err := cs.srv.reg.UpdateClasses(proc)
+	if err != nil {
+		return 0, false, err
+	}
+	split := cs.srv.smap.Split(classes)
+	if len(split) > 1 {
+		return 0, true, nil
+	}
+	for g := range split {
+		return g, false, nil
+	}
+	return 0, false, nil
+}
+
 func (cs *clientSession) handle(fields []string) string {
 	if len(fields) == 0 {
 		return "ERR empty command"
 	}
+	srv := cs.srv
 	cmd := strings.ToUpper(fields[0])
 	if cmd == "STATS" || cmd == "STATUS" {
 		// Answered in every phase: a joiner reports its progress before
-		// the replica exists.
-		srv := cs.srv
-		base := srv.base.Load()
-		epoch, members := srv.membership()
-		rep := srv.rep.Load()
-		if rep == nil {
-			return fmt.Sprintf("STATS commits=0 aborts=0 reorders=0 pending=0 to=%d recovered=%d epoch=%d members=%d role=%s",
-				base, base, epoch, members, srv.role())
+		// the replicas exist. Single-shard keeps the historic one-line
+		// shape; sharded mode prints a summary line plus one SHARD line
+		// per group.
+		if len(srv.shards) == 1 {
+			st := srv.shards[0]
+			base := st.base.Load()
+			epoch, members := st.membership()
+			rep := st.rep.Load()
+			if rep == nil {
+				return fmt.Sprintf("STATS commits=0 aborts=0 reorders=0 pending=0 to=%d recovered=%d epoch=%d members=%d role=%s",
+					base, base, epoch, members, srv.role())
+			}
+			ms := rep.Manager().Stats()
+			return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d epoch=%d members=%d role=%s",
+				ms.Commits, ms.Aborts, ms.Reorders, rep.Manager().Pending(),
+				rep.LastTO(), base, epoch, members, srv.role())
 		}
-		st := rep.Manager().Stats()
-		return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d epoch=%d members=%d role=%s",
-			st.Commits, st.Aborts, st.Reorders, rep.Manager().Pending(),
-			rep.LastTO(), base, epoch, members, srv.role())
+		var commits, aborts, reorders uint64
+		var pending int
+		var to, recovered int64
+		for _, st := range srv.shards {
+			recovered += st.base.Load()
+			if rep := st.rep.Load(); rep != nil {
+				ms := rep.Manager().Stats()
+				commits += ms.Commits
+				aborts += ms.Aborts
+				reorders += ms.Reorders
+				pending += rep.Manager().Pending()
+				to += rep.LastTO()
+			} else {
+				to += st.base.Load()
+			}
+		}
+		epoch, members := srv.shards[0].membership()
+		lines := []string{fmt.Sprintf("STATS shards=%d commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d epoch=%d members=%d role=%s",
+			len(srv.shards), commits, aborts, reorders, pending, to, recovered, epoch, members, srv.role())}
+		for g, st := range srv.shards {
+			lines = append(lines, shardStatsLine(g, st))
+		}
+		return strings.Join(lines, "\n")
 	}
-	rep := cs.srv.waitReady(30 * time.Second)
-	if rep == nil {
+	if cmd == "SHARD" {
+		if len(fields) < 2 {
+			return "ERR SHARD needs LIST or MAP <class>"
+		}
+		switch strings.ToUpper(fields[1]) {
+		case "LIST":
+			return fmt.Sprintf("SHARDS n=%d version=%d", srv.smap.Shards(), srv.smap.Version())
+		case "MAP":
+			if len(fields) != 3 {
+				return "ERR SHARD MAP needs a class"
+			}
+			return fmt.Sprintf("SHARD class=%s id=%d", fields[2], srv.smap.Locate(sproc.ClassID(fields[2])))
+		default:
+			return "ERR unknown SHARD subcommand " + fields[1]
+		}
+	}
+	if srv.waitReady(30*time.Second) == nil {
 		return "ERR replica still joining"
 	}
 	switch cmd {
@@ -551,7 +833,18 @@ func (cs *clientSession) handle(fields []string) string {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		start := time.Now()
-		info, err := rep.Exec(ctx, fields[1], parseArgs(fields[2:])...)
+		g, cross, err := cs.routeShard(fields[1])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		if cross {
+			res, err := srv.coord.Exec(ctx, fields[1], parseArgs(fields[2:])...)
+			if err != nil {
+				return "ERR " + err.Error()
+			}
+			return fmtCross(res, time.Since(start))
+		}
+		info, err := srv.shards[g].rep.Load().Exec(ctx, fields[1], parseArgs(fields[2:])...)
 		if err != nil {
 			return "ERR " + err.Error()
 		}
@@ -560,13 +853,48 @@ func (cs *clientSession) handle(fields []string) string {
 		if len(fields) < 2 {
 			return "ERR SUBMIT needs a procedure"
 		}
-		h := &srvHandle{start: time.Now(), ch: make(chan db.CommitResult, 1)}
-		id, err := rep.SubmitNotify(fields[1], parseArgs(fields[2:]),
-			func(res db.CommitResult) { h.ch <- res })
+		g, cross, err := cs.routeShard(fields[1])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		start := time.Now()
+		h := &srvHandle{ch: make(chan string, 1)}
+		if cross {
+			// Cross-shard handles are keyed x.<n>: they have no single
+			// broadcast identity, the coordinator spans groups.
+			cs.crossSeq++
+			key := fmt.Sprintf("x.%d", cs.crossSeq)
+			cs.pending[key] = h
+			args := parseArgs(fields[2:])
+			proc := fields[1]
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer cancel()
+				res, err := srv.coord.Exec(ctx, proc, args...)
+				if err != nil {
+					h.ch <- "ERR " + err.Error()
+					return
+				}
+				h.ch <- fmtCross(res, time.Since(start))
+			}()
+			return "ID " + key
+		}
+		id, err := srv.shards[g].rep.Load().SubmitNotify(fields[1], parseArgs(fields[2:]),
+			func(res db.CommitResult) {
+				if res.Err != nil {
+					h.ch <- "ERR " + res.Err.Error()
+					return
+				}
+				h.ch <- fmtCommit(res.Info, time.Since(start))
+			})
 		if err != nil {
 			return "ERR " + err.Error()
 		}
 		key := fmt.Sprintf("%d.%d", id.Origin, id.Seq)
+		if len(srv.shards) > 1 {
+			// Group-local sequence numbers collide across shards; qualify.
+			key = fmt.Sprintf("%d.%d.%d", g, id.Origin, id.Seq)
+		}
 		cs.pending[key] = h
 		return "ID " + key
 	case "WAIT":
@@ -578,14 +906,11 @@ func (cs *clientSession) handle(fields []string) string {
 			return "ERR unknown handle " + fields[1] + " (SUBMIT on this connection first)"
 		}
 		select {
-		case res := <-h.ch:
+		case reply := <-h.ch:
 			delete(cs.pending, fields[1])
-			if res.Err != nil {
-				return "ERR " + res.Err.Error()
-			}
-			return fmtCommit(res.Info, time.Since(h.start))
+			return reply
 		case <-time.After(30 * time.Second):
-			// Keep the handle: the result channel is buffered, so a
+			// Keep the handle: the reply channel is buffered, so a
 			// retried WAIT can still collect the commit when it lands.
 			return "ERR timeout waiting for " + fields[1]
 		}
@@ -595,33 +920,109 @@ func (cs *clientSession) handle(fields []string) string {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		v, err := rep.Query(ctx, fields[1], parseArgs(fields[2:])...)
+		v, err := cs.query(ctx, fields[1], parseArgs(fields[2:]))
 		if err != nil {
 			return "ERR " + err.Error()
 		}
 		return fmt.Sprintf("VALUE %d", storage.ValueInt64(v))
 	case "DIGEST":
-		return fmt.Sprintf("DIGEST %016x", rep.Store().Digest())
+		if len(srv.shards) == 1 {
+			return fmt.Sprintf("DIGEST %016x", srv.shards[0].rep.Load().Store().Digest())
+		}
+		digests := make([]string, len(srv.shards))
+		for g, st := range srv.shards {
+			digests[g] = fmt.Sprintf("%016x", st.rep.Load().Store().Digest())
+		}
+		return "DIGEST " + strings.Join(digests, " ")
 	case "MEMBER":
-		return cs.handleMember(rep, fields[1:])
+		return cs.handleMember(fields[1:])
 	default:
 		return "ERR unknown command " + fields[0]
 	}
 }
 
+// query runs a read-only procedure: directly on the single group, or —
+// in sharded mode — over one pinned snapshot per shard group touched,
+// opened lazily at first read (per-shard snapshot isolation).
+func (cs *clientSession) query(ctx context.Context, name string, args []storage.Value) (storage.Value, error) {
+	srv := cs.srv
+	if len(srv.shards) == 1 {
+		return srv.shards[0].rep.Load().Query(ctx, name, args...)
+	}
+	q, err := srv.reg.Query(name)
+	if err != nil {
+		return nil, err
+	}
+	mq := &multiQueryCtx{srv: srv, ctx: ctx, args: args, snaps: make(map[int]*db.QuerySnap)}
+	defer mq.close()
+	res, err := q.Fn(mq)
+	if err != nil {
+		return nil, err
+	}
+	if mq.err != nil {
+		return nil, mq.err
+	}
+	return res, nil
+}
+
+// multiQueryCtx adapts per-shard QuerySnaps to sproc.QueryCtx, routing
+// each read to the snapshot of the shard group owning its class.
+type multiQueryCtx struct {
+	srv   *server
+	ctx   context.Context
+	args  []storage.Value
+	snaps map[int]*db.QuerySnap
+	err   error
+}
+
+func (m *multiQueryCtx) Args() []storage.Value { return m.args }
+
+func (m *multiQueryCtx) Read(class sproc.ClassID, key storage.Key) (storage.Value, bool) {
+	if m.err != nil {
+		return nil, false
+	}
+	g := m.srv.smap.Locate(class)
+	snap := m.snaps[g]
+	if snap == nil {
+		rep := m.srv.shards[g].rep.Load()
+		if rep == nil {
+			m.err = fmt.Errorf("shard %d still joining", g)
+			return nil, false
+		}
+		var err error
+		snap, err = rep.BeginSnap(m.ctx)
+		if err != nil {
+			m.err = err
+			return nil, false
+		}
+		m.snaps[g] = snap
+	}
+	v, ok := snap.Read(class, key)
+	if e := snap.Err(); e != nil {
+		m.err = e
+		return nil, false
+	}
+	return v, ok
+}
+
+func (m *multiQueryCtx) close() {
+	for _, snap := range m.snaps {
+		snap.Close()
+	}
+}
+
 // handleMember executes a membership change: the successor configuration
 // is derived from this replica's current view and committed through the
-// definitive order like any transaction. A concurrent change loses the
-// race with an epoch-conflict error; retry against the new STATUS.
+// definitive order like any transaction — in every shard group, in shard
+// order (shard g places the new member at the given address's port + g).
+// A concurrent change loses the race with an epoch-conflict error; retry
+// against the new STATUS.
 //
 //	MEMBER ADD <id> <addr>      admit a new site
 //	MEMBER REMOVE <id>          shrink the group
 //	MEMBER REPLACE <id> <addr>  re-admit a dead site's id at a new address
-func (cs *clientSession) handleMember(rep *db.Replica, args []string) string {
-	tr := cs.srv.tracker.Load()
-	if tr == nil {
-		return "ERR replica still joining"
-	}
+func (cs *clientSession) handleMember(args []string) string {
+	srv := cs.srv
 	if len(args) < 2 {
 		return "ERR MEMBER needs ADD <id> <addr> | REMOVE <id> | REPLACE <id> <addr>"
 	}
@@ -629,37 +1030,55 @@ func (cs *clientSession) handleMember(rep *db.Replica, args []string) string {
 	if err != nil {
 		return "ERR bad site id " + args[1]
 	}
-	cur := tr.Config()
-	var next member.Config
-	switch strings.ToUpper(args[0]) {
-	case "ADD":
-		if len(args) != 3 {
-			return "ERR MEMBER ADD needs <id> <addr>"
+	verb := strings.ToUpper(args[0])
+	var reply string
+	for g, st := range srv.shards {
+		tr := st.tracker.Load()
+		rep := st.rep.Load()
+		if tr == nil || rep == nil {
+			return fmt.Sprintf("ERR shard %d still joining", g)
 		}
-		next, err = cur.WithAdd(member.Site{ID: transport.NodeID(id), Addr: args[2]})
-	case "REMOVE":
-		if len(args) != 2 {
-			return "ERR MEMBER REMOVE needs <id>"
+		addr := ""
+		if len(args) == 3 {
+			if addr, err = shiftAddr(args[2], g); err != nil {
+				return "ERR " + err.Error()
+			}
 		}
-		next, err = cur.WithRemove(transport.NodeID(id))
-	case "REPLACE":
-		if len(args) != 3 {
-			return "ERR MEMBER REPLACE needs <id> <addr>"
+		cur := tr.Config()
+		var next member.Config
+		switch verb {
+		case "ADD":
+			if len(args) != 3 {
+				return "ERR MEMBER ADD needs <id> <addr>"
+			}
+			next, err = cur.WithAdd(member.Site{ID: transport.NodeID(id), Addr: addr})
+		case "REMOVE":
+			if len(args) != 2 {
+				return "ERR MEMBER REMOVE needs <id>"
+			}
+			next, err = cur.WithRemove(transport.NodeID(id))
+		case "REPLACE":
+			if len(args) != 3 {
+				return "ERR MEMBER REPLACE needs <id> <addr>"
+			}
+			next, err = cur.WithReplace(transport.NodeID(id), addr)
+		default:
+			return "ERR unknown MEMBER subcommand " + args[0]
 		}
-		next, err = cur.WithReplace(transport.NodeID(id), args[2])
-	default:
-		return "ERR unknown MEMBER subcommand " + args[0]
+		if err != nil {
+			return fmt.Sprintf("ERR shard %d: %s", g, err.Error())
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		info, err := rep.Exec(ctx, member.Proc, member.Encode(next))
+		cancel()
+		if err != nil {
+			return fmt.Sprintf("ERR shard %d: %s", g, err.Error())
+		}
+		if g == 0 {
+			reply = fmt.Sprintf("OK epoch=%d members=%d to=%d", next.Epoch, len(next.Members), info.TOIndex)
+		}
 	}
-	if err != nil {
-		return "ERR " + err.Error()
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	info, err := rep.Exec(ctx, member.Proc, member.Encode(next))
-	if err != nil {
-		return "ERR " + err.Error()
-	}
-	return fmt.Sprintf("OK epoch=%d members=%d to=%d", next.Epoch, len(next.Members), info.TOIndex)
+	return reply
 }
 
 // parseArgs converts protocol arguments: decimal integers become Int64

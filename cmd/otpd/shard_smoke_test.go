@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestShardSmoke boots a sharded otpd (-shards 2 on one durable
+// replica), routes single-shard and cross-shard transactions through the
+// client protocol, checks the sharded STATS/DIGEST/SHARD verbs, then
+// kill -9s the process and verifies both shards recover and the
+// cross-shard transfer still runs.
+func TestShardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "otpd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Shard g's mesh listens on the peer port + g, so the replica needs
+	// two consecutive free ports.
+	peerAddr := freeAddrRun(t, 2)
+	clientAddr := freeAddr(t)
+	dataDir := filepath.Join(tmp, "data")
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-id", "0",
+			"-peers", peerAddr,
+			"-client", clientAddr,
+			"-shards", "2",
+			"-data", dataDir,
+			"-fsync", "commit",
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start otpd: %v", err)
+		}
+		return cmd
+	}
+
+	proc := start()
+	defer func() { _ = proc.Process.Kill() }()
+	pc := newProtoConn(t, clientAddr)
+
+	// Single-shard transactions land on their home groups (p0 -> shard
+	// 0, p1 -> shard 1 with the i mod S pinning).
+	if got := pc.execValue("EXEC add-p0 a 5"); got != 5 {
+		t.Fatalf("add-p0 = %d, want 5", got)
+	}
+	if got := pc.execValue("EXEC add-p1 b 3"); got != 3 {
+		t.Fatalf("add-p1 = %d, want 3", got)
+	}
+	// The two-class demo transfer spans both shards: 2 moves from p0/a
+	// to p1/b, committed in both groups or neither.
+	reply := pc.roundTrip("EXEC xfer a b 2")
+	if !strings.HasPrefix(reply, "OK ") || !strings.Contains(reply, "xto=") {
+		t.Fatalf("xfer reply: %q", reply)
+	}
+	if got := pc.queryValue("QUERY get p0 a"); got != 3 {
+		t.Fatalf("p0/a after xfer = %d, want 3", got)
+	}
+	if got := pc.queryValue("QUERY get p1 b"); got != 5 {
+		t.Fatalf("p1/b after xfer = %d, want 5", got)
+	}
+
+	// Shard-aware admin verbs.
+	if reply := pc.roundTrip("SHARD LIST"); !strings.HasPrefix(reply, "SHARDS n=2") {
+		t.Fatalf("SHARD LIST reply: %q", reply)
+	}
+	if reply := pc.roundTrip("SHARD MAP p1"); reply != "SHARD class=p1 id=1" {
+		t.Fatalf("SHARD MAP reply: %q", reply)
+	}
+	if reply := pc.roundTrip("DIGEST"); len(strings.Fields(reply)) != 3 {
+		t.Fatalf("DIGEST reply (want 2 shard digests): %q", reply)
+	}
+	stats := pc.multiLine("STATS")
+	if len(stats) != 3 || !strings.Contains(stats[0], "shards=2") {
+		t.Fatalf("sharded STATS reply: %q", stats)
+	}
+	for g, line := range stats[1:] {
+		if !strings.HasPrefix(line, fmt.Sprintf("SHARD id=%d ", g)) ||
+			!strings.Contains(line, "role=serving") {
+			t.Fatalf("SHARD stats line %d: %q", g, line)
+		}
+	}
+
+	// Kill -9 and restart on the same directory: both shard groups must
+	// recover their committed state.
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = proc.Wait()
+	pc.close()
+
+	proc2 := start()
+	defer func() { _ = proc2.Process.Kill() }()
+	pc2 := newProtoConn(t, clientAddr)
+	defer pc2.close()
+
+	if got := pc2.queryValue("QUERY get p0 a"); got != 3 {
+		t.Fatalf("recovered p0/a = %d, want 3", got)
+	}
+	if got := pc2.queryValue("QUERY get p1 b"); got != 5 {
+		t.Fatalf("recovered p1/b = %d, want 5", got)
+	}
+	// The recovered cluster keeps committing cross-shard transactions.
+	reply = pc2.roundTrip("EXEC xfer a b 1")
+	if !strings.HasPrefix(reply, "OK value=2 ") {
+		t.Fatalf("post-restart xfer reply: %q", reply)
+	}
+	if got := pc2.queryValue("QUERY get p1 b"); got != 6 {
+		t.Fatalf("p1/b after recovered xfer = %d, want 6", got)
+	}
+}
+
+// freeAddrRun grabs an ephemeral 127.0.0.1 port with n-1 consecutive
+// free ports above it (a sharded replica's meshes stack upward from the
+// peer port).
+func freeAddrRun(t *testing.T, n int) string {
+	t.Helper()
+	for attempt := 0; attempt < 50; attempt++ {
+		base, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := base.Addr().String()
+		_ = base.Close()
+		host, portStr, _ := net.SplitHostPort(addr)
+		port, _ := strconv.Atoi(portStr)
+		free := true
+		for i := 1; i < n; i++ {
+			ln, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(port+i)))
+			if err != nil {
+				free = false
+				break
+			}
+			_ = ln.Close()
+		}
+		if free {
+			return addr
+		}
+	}
+	t.Fatal("no run of consecutive free ports found")
+	return ""
+}
+
+// protoConn is a client-protocol connection with a persistent read
+// buffer, so multi-line replies (sharded STATS) are not lost between
+// round trips.
+type protoConn struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func newProtoConn(t *testing.T, addr string) *protoConn {
+	t.Helper()
+	return &protoConn{t: t, conn: dialRetry(t, addr), r: nil}
+}
+
+func (p *protoConn) close() { _ = p.conn.Close() }
+
+func (p *protoConn) readLine() string {
+	p.t.Helper()
+	if p.r == nil {
+		p.r = bufio.NewReader(p.conn)
+	}
+	line, err := p.r.ReadString('\n')
+	if err != nil {
+		p.t.Fatalf("read reply: %v", err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func (p *protoConn) send(line string) {
+	p.t.Helper()
+	_ = p.conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := fmt.Fprintf(p.conn, "%s\n", line); err != nil {
+		p.t.Fatalf("send %q: %v", line, err)
+	}
+}
+
+func (p *protoConn) roundTrip(line string) string {
+	p.t.Helper()
+	p.send(line)
+	return p.readLine()
+}
+
+// multiLine sends STATS and collects the summary line plus the SHARD
+// line per shard it announces.
+func (p *protoConn) multiLine(line string) []string {
+	p.t.Helper()
+	p.send(line)
+	head := p.readLine()
+	out := []string{head}
+	n := 0
+	for _, f := range strings.Fields(head) {
+		if v, ok := strings.CutPrefix(f, "shards="); ok {
+			n, _ = strconv.Atoi(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, p.readLine())
+	}
+	return out
+}
+
+func (p *protoConn) execValue(line string) int64 {
+	p.t.Helper()
+	reply := p.roundTrip(line)
+	if !strings.HasPrefix(reply, "OK ") {
+		p.t.Fatalf("%q reply: %q", line, reply)
+	}
+	for _, field := range strings.Fields(reply) {
+		if v, ok := strings.CutPrefix(field, "value="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				p.t.Fatalf("%q value %q: %v", line, v, err)
+			}
+			return n
+		}
+	}
+	p.t.Fatalf("%q reply without value: %q", line, reply)
+	return 0
+}
+
+func (p *protoConn) queryValue(line string) int64 {
+	p.t.Helper()
+	reply := p.roundTrip(line)
+	val, ok := strings.CutPrefix(reply, "VALUE ")
+	if !ok {
+		p.t.Fatalf("%q reply: %q", line, reply)
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		p.t.Fatalf("%q value %q: %v", line, val, err)
+	}
+	return n
+}

@@ -1,0 +1,250 @@
+// Command sharding runs the bank across two shards: branch classes are
+// pinned to alternating shards, so within-branch transfers commit through
+// their home shard's ordinary OTP path while cross-branch transfers run
+// the two-phase cross-shard protocol (definitively ordered in both
+// shards, decided by the home shard's durable record — abort anywhere is
+// abort everywhere). The run ends by checking the invariant sharding must
+// not break: money is conserved across the whole namespace, and every
+// site agrees per shard.
+//
+//	go run ./examples/sharding
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"otpdb"
+)
+
+const (
+	shards      = 2
+	branches    = 4 // branch b lives on shard b%shards
+	accountsPer = 4
+	initial     = 1000
+	sites       = 3
+	transfers   = 120 // per kind (local, cross)
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func branchClass(b int) otpdb.Class {
+	return otpdb.Class(fmt.Sprintf("branch%d", b))
+}
+
+func acct(b, a int) otpdb.Key {
+	return otpdb.Key(fmt.Sprintf("b%d/acct%d", b, a))
+}
+
+func run() error {
+	cluster, err := otpdb.NewCluster(
+		otpdb.WithReplicas(sites),
+		otpdb.WithShards(shards),
+	)
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	// Pin branch b to shard b%shards. Branches 0,2 and 1,3 commit in
+	// independent total orders; nothing below changes if the pin layout
+	// does.
+	for b := 0; b < branches; b++ {
+		if err := cluster.PinClass(branchClass(b), b%shards); err != nil {
+			return err
+		}
+	}
+
+	// Within-branch transfer: a single-shard, single-class procedure.
+	for b := 0; b < branches; b++ {
+		b := b
+		cluster.MustRegisterUpdate(otpdb.Update{
+			Name:  fmt.Sprintf("transfer-%d", b),
+			Class: branchClass(b),
+			Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+				return move(ctx.Read, func(k otpdb.Key, v otpdb.Value) error { return ctx.Write(k, v) }, ctx.Args())
+			},
+		})
+	}
+
+	// Cross-branch transfer between branch 0 (shard 0) and branch 1
+	// (shard 1): a MultiUpdate whose classes span shards, routed through
+	// the cross-shard coordinator transparently.
+	c0, c1 := branchClass(0), branchClass(1)
+	cluster.MustRegisterMultiUpdate(otpdb.MultiUpdate{
+		Name:    "transfer-x",
+		Classes: []otpdb.Class{c0, c1},
+		Fn: func(ctx otpdb.MultiUpdateCtx) (otpdb.Value, error) {
+			from := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
+			to := otpdb.Key(otpdb.AsString(ctx.Args()[1]))
+			amt := otpdb.AsInt64(ctx.Args()[2])
+			fv, _ := ctx.Read(c0, from)
+			if otpdb.AsInt64(fv) < amt {
+				return nil, fmt.Errorf("insufficient funds in %s", from)
+			}
+			tv, _ := ctx.Read(c1, to)
+			if err := ctx.Write(c0, from, otpdb.Int64(otpdb.AsInt64(fv)-amt)); err != nil {
+				return nil, err
+			}
+			next := otpdb.Int64(otpdb.AsInt64(tv) + amt)
+			return next, ctx.Write(c1, to, next)
+		},
+	})
+
+	// Seed deposits per branch.
+	for b := 0; b < branches; b++ {
+		b := b
+		cluster.MustRegisterUpdate(otpdb.Update{
+			Name:  fmt.Sprintf("seed-%d", b),
+			Class: branchClass(b),
+			Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+				k := otpdb.Key(otpdb.AsString(ctx.Args()[0]))
+				v := otpdb.Int64(otpdb.AsInt64(ctx.Args()[1]))
+				return v, ctx.Write(k, v)
+			},
+		})
+	}
+
+	// Per-branch balance sum (single-shard query).
+	for b := 0; b < branches; b++ {
+		b := b
+		cluster.MustRegisterQuery(otpdb.Query{
+			Name: fmt.Sprintf("branch-total-%d", b),
+			Fn: func(ctx otpdb.QueryCtx) (otpdb.Value, error) {
+				var sum int64
+				for a := 0; a < accountsPer; a++ {
+					v, _ := ctx.Read(branchClass(b), acct(b, a))
+					sum += otpdb.AsInt64(v)
+				}
+				return otpdb.Int64(sum), nil
+			},
+		})
+	}
+
+	if err := cluster.Start(); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sess, err := cluster.Session(0)
+	if err != nil {
+		return err
+	}
+
+	for b := 0; b < branches; b++ {
+		for a := 0; a < accountsPer; a++ {
+			if _, err := sess.Exec(ctx, fmt.Sprintf("seed-%d", b), otpdb.String(string(acct(b, a))), otpdb.Int64(initial)); err != nil {
+				return err
+			}
+		}
+	}
+	total := int64(branches * accountsPer * initial)
+	fmt.Printf("seeded %d branches × %d accounts on %d shards; total=%d\n",
+		branches, accountsPer, shards, total)
+
+	// Local transfers: round-robin over branches, each stays inside its
+	// home shard.
+	for i := 0; i < transfers; i++ {
+		b := i % branches
+		from := acct(b, i%accountsPer)
+		to := acct(b, (i+1)%accountsPer)
+		if _, err := sess.Exec(ctx, fmt.Sprintf("transfer-%d", b),
+			otpdb.String(string(from)), otpdb.String(string(to)), otpdb.Int64(5)); err != nil {
+			return err
+		}
+	}
+
+	// Cross-shard transfers branch0 → branch1, including some doomed to
+	// abort (insufficient funds) — an abort in shard 0 must leave shard 1
+	// untouched too.
+	commits, aborts := 0, 0
+	for i := 0; i < transfers; i++ {
+		amt := int64(3)
+		if i%10 == 9 {
+			amt = 1 << 40 // force an abort
+		}
+		from := acct(0, i%accountsPer)
+		to := acct(1, i%accountsPer)
+		_, err := sess.Exec(ctx, "transfer-x",
+			otpdb.String(string(from)), otpdb.String(string(to)), otpdb.Int64(amt))
+		if err != nil {
+			aborts++
+			continue
+		}
+		commits++
+	}
+	fmt.Printf("cross-shard: %d committed, %d aborted (both shards agree on every outcome)\n", commits, aborts)
+
+	// Invariant 1: money conserved across the whole sharded namespace.
+	var sum int64
+	for b := 0; b < branches; b++ {
+		v, err := sess.Query(ctx, fmt.Sprintf("branch-total-%d", b))
+		if err != nil {
+			return err
+		}
+		sum += otpdb.AsInt64(v)
+	}
+	if sum != total {
+		return fmt.Errorf("money not conserved: have %d, want %d", sum, total)
+	}
+	fmt.Printf("conservation holds: total=%d\n", sum)
+
+	// Invariant 2: every site agrees, shard by shard. Non-submitting
+	// sites may trail the last commit by a moment, so poll briefly.
+	for g := 0; g < shards; g++ {
+		first, err := converge(cluster, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shard %d: all %d sites converged (digest %016x)\n", g, sites, first)
+	}
+	return nil
+}
+
+func converge(cluster *otpdb.Cluster, g int) (uint64, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		digests := make([]uint64, sites)
+		agree := true
+		for s := 0; s < sites; s++ {
+			d, err := cluster.ShardDigest(s, g)
+			if err != nil {
+				return 0, err
+			}
+			digests[s] = d
+			agree = agree && d == digests[0]
+		}
+		if agree {
+			return digests[0], nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("shard %d digests did not converge: %v", g, digests)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// move implements the shared within-branch transfer body over the
+// single-class read/write surface.
+func move(read func(otpdb.Key) (otpdb.Value, bool), write func(otpdb.Key, otpdb.Value) error, args []otpdb.Value) (otpdb.Value, error) {
+	from := otpdb.Key(otpdb.AsString(args[0]))
+	to := otpdb.Key(otpdb.AsString(args[1]))
+	amt := otpdb.AsInt64(args[2])
+	fv, _ := read(from)
+	if otpdb.AsInt64(fv) < amt {
+		return nil, fmt.Errorf("insufficient funds in %s", from)
+	}
+	tv, _ := read(to)
+	if err := write(from, otpdb.Int64(otpdb.AsInt64(fv)-amt)); err != nil {
+		return nil, err
+	}
+	next := otpdb.Int64(otpdb.AsInt64(tv) + amt)
+	return next, write(to, next)
+}

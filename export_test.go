@@ -1,0 +1,28 @@
+package otpdb
+
+import "otpdb/internal/shard"
+
+// Test hooks on the cross-shard coordinator (crash-point injection).
+// Install after Start and before submitting cross-shard transactions.
+
+// SetCrashBeforeDecide makes the coordinator abandon an attempt after
+// collecting votes and before submitting the decide — the classic 2PC
+// in-doubt point — whenever fn returns true.
+func (c *Cluster) SetCrashBeforeDecide(fn func() bool) {
+	if fn == nil {
+		c.coord.CrashBeforeDecide = nil
+		return
+	}
+	c.coord.CrashBeforeDecide = func(shard.XID) bool { return fn() }
+}
+
+// SetCrashAfterHomeDecide makes the coordinator abandon an attempt right
+// after the home shard commits the decision record, whenever fn returns
+// true.
+func (c *Cluster) SetCrashAfterHomeDecide(fn func() bool) {
+	if fn == nil {
+		c.coord.CrashAfterHomeDecide = nil
+		return
+	}
+	c.coord.CrashAfterHomeDecide = func(shard.XID) bool { return fn() }
+}

@@ -32,7 +32,8 @@ type executor struct {
 
 	mu           sync.Mutex
 	running      map[abcast.MsgID]*attempt
-	abortedBelow map[abcast.MsgID]int // min acceptable epoch per transaction
+	abortedBelow map[abcast.MsgID]int  // min acceptable epoch per transaction
+	toDelivered  map[abcast.MsgID]bool // own TO-delivery seen, not yet committed
 }
 
 var _ otp.MultiExecutor = (*executor)(nil)
@@ -46,7 +47,13 @@ type attempt struct {
 	req     sproc.Request
 	epoch   int
 	abortCh chan struct{}
-	refs    atomic.Int32
+	// toCh is closed (under executor.mu) once the transaction's own
+	// TO-delivery reaches a running attempt: the definitive position is
+	// fixed and, because the attempt heads all its class queues, no later
+	// delivery can displace it. Exposed as sproc.TxnControl.Definitive.
+	toCh     chan struct{}
+	toClosed bool // guarded by executor.mu
+	refs     atomic.Int32
 
 	mu      sync.Mutex
 	stx     *storage.MultiTxn
@@ -66,6 +73,8 @@ func newAttempt(id abcast.MsgID, parts []storage.Partition, req sproc.Request, e
 	att.req = req
 	att.epoch = epoch
 	att.abortCh = make(chan struct{})
+	att.toCh = make(chan struct{})
+	att.toClosed = false
 	att.refs.Store(2)
 	att.stx = nil
 	att.result = nil
@@ -90,6 +99,7 @@ func newExecutor(r *Replica) *executor {
 		r:            r,
 		running:      make(map[abcast.MsgID]*attempt),
 		abortedBelow: make(map[abcast.MsgID]int),
+		toDelivered:  make(map[abcast.MsgID]bool),
 	}
 }
 
@@ -117,6 +127,12 @@ func (e *executor) Submit(tx *otp.MultiTxn, epoch int) {
 		return
 	}
 	att := newAttempt(tx.ID, parts, req, epoch)
+	if e.toDelivered[tx.ID] {
+		// The transaction was TO-delivered before reaching the head of
+		// its queues; this attempt starts out definitive.
+		att.toClosed = true
+		close(att.toCh)
+	}
 	e.running[tx.ID] = att
 	e.mu.Unlock()
 	go e.runTxn(att)
@@ -156,6 +172,7 @@ func (e *executor) Commit(tx *otp.MultiTxn) {
 	att := e.running[tx.ID]
 	delete(e.running, tx.ID)
 	delete(e.abortedBelow, tx.ID)
+	delete(e.toDelivered, tx.ID)
 	e.mu.Unlock()
 	if att == nil || att.stx == nil {
 		// Protocol invariant: commit follows a completed execution.
@@ -210,6 +227,24 @@ func (e *executor) Commit(tx *otp.MultiTxn) {
 		Retried:   tx.Aborts() > 0,
 		Reordered: tx.Reordered(),
 	}})
+}
+
+// markTO records the transaction's own TO-delivery and, if an attempt is
+// currently running, fixes it as definitive (closes its toCh). Invoked
+// from the scheduler's OnTODelivered hook (under the manager lock — keep
+// this fast, no callbacks into the manager). A running attempt heads all
+// of its class queues, so everything ahead of it has committed at lower
+// TO indexes: the transaction's own delivery cannot displace it, and any
+// later delivery orders behind it — the attempt is stable. An attempt
+// submitted after the flag is set starts out definitive (see Submit).
+func (e *executor) markTO(id abcast.MsgID) {
+	e.mu.Lock()
+	e.toDelivered[id] = true
+	if att := e.running[id]; att != nil && !att.toClosed {
+		att.toClosed = true
+		close(att.toCh)
+	}
+	e.mu.Unlock()
 }
 
 // runTxn executes one attempt of a stored procedure. It works purely
@@ -331,8 +366,15 @@ type updateCtx struct {
 }
 
 var _ sproc.UpdateCtx = (*updateCtx)(nil)
+var _ sproc.TxnControl = (*updateCtx)(nil)
 
 func (c *updateCtx) Args() []storage.Value { return c.args }
+
+// Definitive implements sproc.TxnControl.
+func (c *updateCtx) Definitive() <-chan struct{} { return c.att.toCh }
+
+// AbortSignal implements sproc.TxnControl.
+func (c *updateCtx) AbortSignal() <-chan struct{} { return c.att.abortCh }
 
 func (c *updateCtx) Read(key storage.Key) (storage.Value, bool) {
 	c.att.mu.Lock()
@@ -363,8 +405,15 @@ type multiUpdateCtx struct {
 }
 
 var _ sproc.MultiUpdateCtx = (*multiUpdateCtx)(nil)
+var _ sproc.TxnControl = (*multiUpdateCtx)(nil)
 
 func (c *multiUpdateCtx) Args() []storage.Value { return c.args }
+
+// Definitive implements sproc.TxnControl.
+func (c *multiUpdateCtx) Definitive() <-chan struct{} { return c.att.toCh }
+
+// AbortSignal implements sproc.TxnControl.
+func (c *multiUpdateCtx) AbortSignal() <-chan struct{} { return c.att.abortCh }
 
 func (c *multiUpdateCtx) Read(class sproc.ClassID, key storage.Key) (storage.Value, bool) {
 	c.att.mu.Lock()

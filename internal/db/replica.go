@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -119,6 +120,14 @@ type Config struct {
 	// store must hold exactly the committed state at that index (as
 	// Durability.Recover and Cluster.RestartSite arrange).
 	InitialTOIndex int64
+	// CommitDelay, when positive, models a serial commit-flush device in
+	// the definitive delivery path: the delivery loop dwells this long
+	// before processing each TO confirmation, the way a per-commit WAL
+	// fsync serializes a group's commit pipeline. Benchmarks use it to
+	// study shard scaling with a deterministic device instead of the
+	// host filesystem (whose shared journal serializes concurrent
+	// fsyncs); it composes with — but is independent of — Durability.
+	CommitDelay time.Duration
 	// ConfigClass, when set together with OnConfigCommit, names the
 	// reserved conflict class carrying group-configuration commands
 	// (internal/member). Whenever a transaction of that class commits
@@ -137,16 +146,17 @@ const defaultPruneInterval = 1024
 
 // Replica is one site of the replicated database.
 type Replica struct {
-	id       transport.NodeID
-	bcast    abcast.Broadcaster
-	reg      *sproc.Registry
-	store    *storage.Store
-	mode     storage.Mode
-	qmode    QueryMode
-	hist     HistorySink
-	mgr      *otp.MultiManager
-	cfgClass sproc.ClassID
-	cfgHook  func(value storage.Value, toIndex int64)
+	id          transport.NodeID
+	bcast       abcast.Broadcaster
+	reg         *sproc.Registry
+	store       *storage.Store
+	mode        storage.Mode
+	qmode       QueryMode
+	hist        HistorySink
+	mgr         *otp.MultiManager
+	cfgClass    sproc.ClassID
+	cfgHook     func(value storage.Value, toIndex int64)
+	commitDelay time.Duration
 
 	mu         sync.Mutex
 	waiters    map[abcast.MsgID]func(CommitResult)
@@ -219,6 +229,7 @@ func New(cfg Config) (*Replica, error) {
 		hist:        cfg.History,
 		cfgClass:    cfg.ConfigClass,
 		cfgHook:     cfg.OnConfigCommit,
+		commitDelay: cfg.CommitDelay,
 		waiters:     make(map[abcast.MsgID]func(CommitResult)),
 		classLast:   make(map[sproc.ClassID]int64),
 		activeSnaps: make(map[int64]int),
@@ -263,7 +274,7 @@ func New(cfg Config) (*Replica, error) {
 // the scheduler (Query reads r.lastTO instead of the scheduler's
 // LastTOIndex for the same reason: lock ordering is always mgr.mu ->
 // r.mu).
-func (r *Replica) onTODelivered(_ abcast.MsgID, classes []otp.ClassID, toIndex int64) {
+func (r *Replica) onTODelivered(id abcast.MsgID, classes []otp.ClassID, toIndex int64) {
 	r.mu.Lock()
 	for _, class := range classes {
 		if toIndex > r.classLast[sproc.ClassID(class)] {
@@ -274,6 +285,11 @@ func (r *Replica) onTODelivered(_ abcast.MsgID, classes []otp.ClassID, toIndex i
 		r.lastTO = toIndex
 	}
 	r.mu.Unlock()
+	// Fix the transaction's definitive position for its running attempt
+	// (sproc.TxnControl.Definitive) — blocking procedures vote and apply
+	// side effects only past this point. markTO takes only the executor
+	// lock, so calling it under the scheduler lock is safe.
+	r.exec.markTO(id)
 }
 
 // Start launches the delivery loop.
@@ -362,7 +378,7 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 			r.failWaiter(ev.ID, fmt.Errorf("db: malformed payload %T", ev.Payload))
 			return
 		}
-		classes, err := r.reg.UpdateClasses(req.Proc)
+		classes, err := r.reg.RequestClasses(req)
 		if err != nil {
 			r.failWaiter(ev.ID, err)
 			return
@@ -382,6 +398,20 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 		r.optCount++
 		r.mu.Unlock()
 	case abcast.TO:
+		if r.commitDelay > 0 {
+			// Modeled commit-flush device: serialize the group's
+			// definitive pipeline (see Config.CommitDelay). A yielding
+			// wall-clock wait, not time.Sleep: timer sleeps on a
+			// virtualized host are floored near a millisecond when the
+			// process is idle yet approach nominal when it is busy, so a
+			// sleep-based device would speed up exactly when more shards
+			// keep the CPU warm, inflating scaling results. The elapsed-
+			// time check is load-independent; Gosched donates the CPU to
+			// real work between checks.
+			for start := time.Now(); time.Since(start) < r.commitDelay; {
+				runtime.Gosched()
+			}
+		}
 		// Record the class's definitive index for query snapshots before
 		// the manager processes the confirmation (queries capture the
 		// pair atomically under r.mu).
@@ -547,15 +577,21 @@ func (r *Replica) Submit(proc string, args ...storage.Value) (abcast.MsgID, erro
 // The waiter is registered before the broadcast is handed to the network,
 // so the commit cannot race past it on a fast in-process transport.
 func (r *Replica) SubmitNotify(proc string, args []storage.Value, fn func(CommitResult)) (abcast.MsgID, error) {
-	if _, err := r.reg.UpdateClasses(proc); err != nil {
+	return r.SubmitRequest(sproc.Request{Proc: proc, Args: args}, fn)
+}
+
+// SubmitRequest is SubmitNotify for a fully-formed request — the entry
+// point for Dynamic procedures, whose per-invocation conflict classes
+// ride in Request.Classes.
+func (r *Replica) SubmitRequest(req sproc.Request, fn func(CommitResult)) (abcast.MsgID, error) {
+	if _, err := r.reg.RequestClasses(req); err != nil {
 		if errors.Is(err, sproc.ErrUnknownProc) {
-			if _, qerr := r.reg.Query(proc); qerr == nil {
-				return abcast.MsgID{}, fmt.Errorf("%w: %s", ErrNotUpdate, proc)
+			if _, qerr := r.reg.Query(req.Proc); qerr == nil {
+				return abcast.MsgID{}, fmt.Errorf("%w: %s", ErrNotUpdate, req.Proc)
 			}
 		}
 		return abcast.MsgID{}, err
 	}
-	req := sproc.Request{Proc: proc, Args: args}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stopped {
@@ -644,6 +680,44 @@ func (r *Replica) Query(ctx context.Context, name string, args ...storage.Value)
 	if err != nil {
 		return nil, err
 	}
+	snap, err := r.BeginSnap(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Close()
+
+	qc := &queryCtx{snap: snap, args: args}
+	res, err := q.Fn(qc)
+	if err != nil {
+		return nil, err
+	}
+	if snap.err != nil {
+		return nil, snap.err
+	}
+	if r.hist != nil {
+		r.hist.RecordQuery(r.id, snap.qIndex, snap.reads)
+	}
+	return res, nil
+}
+
+// QuerySnap is a pinned consistent read snapshot of this replica — the
+// Section 5 query discipline factored out of Query so a multi-shard
+// session can hold one snapshot per shard group and route each read to
+// the owning shard's. The pin keeps the snapshot's versions alive
+// against pruning until Close.
+type QuerySnap struct {
+	r       *Replica
+	ctx     context.Context
+	qIndex  int64
+	targets map[sproc.ClassID]int64
+	reads   []QueryRead
+	err     error
+	closed  bool
+}
+
+// BeginSnap pins a query snapshot at the replica's current definitive
+// index. The caller must Close it.
+func (r *Replica) BeginSnap(ctx context.Context) (*QuerySnap, error) {
 	r.mu.Lock()
 	if r.stopped {
 		r.mu.Unlock()
@@ -651,7 +725,7 @@ func (r *Replica) Query(ctx context.Context, name string, args ...storage.Value)
 	}
 	qIndex := r.lastTO
 	// Pin the snapshot: versions at or above qIndex survive pruning for
-	// as long as this query runs.
+	// as long as this snapshot is open.
 	r.activeSnaps[qIndex]++
 	// Per-class wait targets: the largest class index <= qIndex, captured
 	// atomically with qIndex.
@@ -660,39 +734,71 @@ func (r *Replica) Query(ctx context.Context, name string, args ...storage.Value)
 		targets[c] = idx
 	}
 	r.mu.Unlock()
-	defer func() {
-		r.mu.Lock()
-		if r.activeSnaps[qIndex] <= 1 {
-			delete(r.activeSnaps, qIndex)
-		} else {
-			r.activeSnaps[qIndex]--
-		}
-		r.mu.Unlock()
-	}()
-
-	qc := &queryCtx{r: r, ctx: ctx, qIndex: qIndex, targets: targets, args: args}
-	res, err := q.Fn(qc)
-	if err != nil {
-		return nil, err
-	}
-	if qc.err != nil {
-		return nil, qc.err
-	}
-	if r.hist != nil {
-		r.hist.RecordQuery(r.id, qIndex, qc.reads)
-	}
-	return res, nil
+	return &QuerySnap{r: r, ctx: ctx, qIndex: qIndex, targets: targets}, nil
 }
 
-// queryCtx implements sproc.QueryCtx over the replica's snapshot rules.
+// Close releases the snapshot's prune pin. Idempotent.
+func (s *QuerySnap) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.r.mu.Lock()
+	if s.r.activeSnaps[s.qIndex] <= 1 {
+		delete(s.r.activeSnaps, s.qIndex)
+	} else {
+		s.r.activeSnaps[s.qIndex]--
+	}
+	s.r.mu.Unlock()
+}
+
+// QIndex reports the definitive index the snapshot reads at.
+func (s *QuerySnap) QIndex() int64 { return s.qIndex }
+
+// Reads returns the versioned reads performed so far (history recording).
+func (s *QuerySnap) Reads() []QueryRead { return s.reads }
+
+// Err reports the first read failure (cancellation, pruned snapshot).
+func (s *QuerySnap) Err() error { return s.err }
+
+// Read returns the snapshot value of a key in a class, waiting for the
+// class's in-flight committable transactions when necessary.
+func (s *QuerySnap) Read(class sproc.ClassID, key storage.Key) (storage.Value, bool) {
+	if s.err != nil {
+		return nil, false
+	}
+	part := storage.Partition(class)
+	if s.r.qmode == DirtyQueries {
+		v, ver, ok := s.r.store.GetVersioned(part, key)
+		s.reads = append(s.reads, QueryRead{Class: class, Key: key, Version: ver})
+		return v, ok
+	}
+	// Section 5: wait until the last TO-delivered transaction of this
+	// class with index <= qIndex has committed, then read its version.
+	target := s.targets[class]
+	if target > s.qIndex {
+		target = s.qIndex
+	}
+	if err := s.r.waitCommitted(s.ctx, part, target); err != nil {
+		s.err = err
+		return nil, false
+	}
+	v, ver, ok, err := s.r.store.SnapshotReadAt(part, key, s.qIndex)
+	if err != nil {
+		// ErrSnapshotPruned: the versions this query needs were discarded
+		// (the query outlived its pin, a replica-level bug). Fail loudly
+		// rather than serve an incomplete snapshot.
+		s.err = err
+		return nil, false
+	}
+	s.reads = append(s.reads, QueryRead{Class: class, Key: key, Version: ver})
+	return v, ok
+}
+
+// queryCtx adapts a QuerySnap to sproc.QueryCtx.
 type queryCtx struct {
-	r       *Replica
-	ctx     context.Context
-	qIndex  int64
-	targets map[sproc.ClassID]int64
-	args    []storage.Value
-	reads   []QueryRead
-	err     error
+	snap *QuerySnap
+	args []storage.Value
 }
 
 var _ sproc.QueryCtx = (*queryCtx)(nil)
@@ -700,35 +806,7 @@ var _ sproc.QueryCtx = (*queryCtx)(nil)
 func (q *queryCtx) Args() []storage.Value { return q.args }
 
 func (q *queryCtx) Read(class sproc.ClassID, key storage.Key) (storage.Value, bool) {
-	if q.err != nil {
-		return nil, false
-	}
-	part := storage.Partition(class)
-	if q.r.qmode == DirtyQueries {
-		v, ver, ok := q.r.store.GetVersioned(part, key)
-		q.reads = append(q.reads, QueryRead{Class: class, Key: key, Version: ver})
-		return v, ok
-	}
-	// Section 5: wait until the last TO-delivered transaction of this
-	// class with index <= qIndex has committed, then read its version.
-	target := q.targets[class]
-	if target > q.qIndex {
-		target = q.qIndex
-	}
-	if err := q.r.waitCommitted(q.ctx, part, target); err != nil {
-		q.err = err
-		return nil, false
-	}
-	v, ver, ok, err := q.r.store.SnapshotReadAt(part, key, q.qIndex)
-	if err != nil {
-		// ErrSnapshotPruned: the versions this query needs were discarded
-		// (the query outlived its pin, a replica-level bug). Fail loudly
-		// rather than serve an incomplete snapshot.
-		q.err = err
-		return nil, false
-	}
-	q.reads = append(q.reads, QueryRead{Class: class, Key: key, Version: ver})
-	return v, ok
+	return q.snap.Read(class, key)
 }
 
 // waitCommitted blocks until the partition's last committed index reaches

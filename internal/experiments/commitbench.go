@@ -113,12 +113,15 @@ type CommitBenchReport struct {
 	// Reconfig is E11: time to replace a dead site / grow the group
 	// through an ordered membership change (schema v4).
 	Reconfig *ReconfigReport `json:"reconfig,omitempty"`
+	// Shard is E12: aggregate durable throughput at 1..S shard groups
+	// and the cross-shard transaction cost sweep (schema v5).
+	Shard *ShardReport `json:"shard,omitempty"`
 }
 
 // CommitBench runs the tracked commit-path benchmark.
 func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 	rep := CommitBenchReport{
-		Schema: "otpdb-bench-commit/v4",
+		Schema: "otpdb-bench-commit/v5",
 		Go:     runtime.Version(),
 		CPUs:   runtime.NumCPU(),
 		Quick:  quick,
@@ -174,6 +177,16 @@ func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 		return rep, fmt.Errorf("reconfig: %w", err)
 	}
 	rep.Reconfig = &rc
+
+	sp := DefaultShardBenchParams()
+	if quick {
+		sp = QuickShardBenchParams()
+	}
+	sh, err := ShardBench(sp)
+	if err != nil {
+		return rep, fmt.Errorf("shard: %w", err)
+	}
+	rep.Shard = &sh
 	return rep, nil
 }
 
@@ -283,6 +296,20 @@ func (r CommitBenchReport) Table() Table {
 		for _, c := range r.Reconfig.Cells {
 			t.AddRow(fmt.Sprintf("reconfig %s missed=%d", c.Op, c.Missed), fmt.Sprintf("%d", c.Missed),
 				fmt.Sprintf("%.0f", c.MissedPerSec), fmt.Sprintf("%.1fms", c.OpMillis), "-", "-")
+		}
+	}
+	if r.Shard != nil {
+		for _, c := range r.Shard.Scale {
+			t.AddRow(fmt.Sprintf("shard scale s=%d (%.2fx)", c.Shards, c.SpeedupVs1),
+				fmt.Sprintf("%d", c.Count), fmt.Sprintf("%.0f", c.ThroughputPerSec),
+				fmt.Sprintf("%.1fµs", c.MeanMicros), fmt.Sprintf("%.1fµs", c.P50Micros),
+				fmt.Sprintf("%.1fµs", c.P99Micros))
+		}
+		for _, c := range r.Shard.Cross {
+			t.AddRow(fmt.Sprintf("shard cross=%.0f%% s=%d", c.CrossPercent, c.Shards),
+				fmt.Sprintf("%d", c.Count), fmt.Sprintf("%.0f", c.ThroughputPerSec),
+				fmt.Sprintf("%.1fµs", c.MeanMicros), fmt.Sprintf("%.1fµs", c.P50Micros),
+				fmt.Sprintf("%.1fµs", c.P99Micros))
 		}
 	}
 	return t

@@ -153,3 +153,39 @@ func TestQueriesSnapshotRowIsClean(t *testing.T) {
 		t.Fatalf("snapshot row = %v", tab.Rows[0])
 	}
 }
+
+func TestShardBenchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	rep, err := ShardBench(ShardBenchParams{
+		Replicas:    1,
+		Shards:      []int{1, 2},
+		Txns:        60,
+		Depth:       8,
+		FlushDelay:  200 * time.Microsecond,
+		DurableTxns: 30,
+		CrossShards: 2,
+		CrossRatios: []float64{0.25},
+		CrossTxns:   40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scale) != 2 || len(rep.ScaleDurable) != 2 || len(rep.Cross) != 1 {
+		t.Fatalf("report shape: %d scale, %d durable, %d cross",
+			len(rep.Scale), len(rep.ScaleDurable), len(rep.Cross))
+	}
+	for _, c := range append(append([]ShardScaleCell{}, rep.Scale...), rep.ScaleDurable...) {
+		if c.ThroughputPerSec <= 0 {
+			t.Fatalf("cell %+v has non-positive throughput", c)
+		}
+	}
+	// 10 of 40 transactions cross two shards at ratio 0.25.
+	if rep.Cross[0].CrossTxns != 10 {
+		t.Fatalf("cross txns = %d, want 10", rep.Cross[0].CrossTxns)
+	}
+	if rep.Cross[0].ThroughputPerSec <= 0 {
+		t.Fatalf("cross cell %+v has non-positive throughput", rep.Cross[0])
+	}
+}

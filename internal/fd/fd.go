@@ -60,6 +60,11 @@ type Config struct {
 	// Timeout is the silence threshold after which a node is suspected.
 	// Defaults to 4x Interval.
 	Timeout time.Duration
+	// Incarnation, when non-zero, overrides the clock-derived process
+	// incarnation stamped on heartbeats. Durable deployments pass a
+	// transport.PersistentIncarnation so a clock stepping backwards
+	// across a restart cannot mint a stale one.
+	Incarnation uint64
 }
 
 // Detector broadcasts heartbeats and tracks peer liveness. The monitored
@@ -93,11 +98,14 @@ func New(ep transport.Endpoint, cfg Config) *Detector {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 4 * cfg.Interval
 	}
+	if cfg.Incarnation == 0 {
+		cfg.Incarnation = uint64(time.Now().UnixNano())
+	}
 	return &Detector{
 		ep:        ep,
 		interval:  cfg.Interval,
 		timeout:   cfg.Timeout,
-		inc:       uint64(time.Now().UnixNano()),
+		inc:       cfg.Incarnation,
 		lastSeen:  make(map[transport.NodeID]time.Time),
 		lastInc:   make(map[transport.NodeID]uint64),
 		suspected: make(map[transport.NodeID]bool),

@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"otpdb/internal/sproc"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// Reserved procedure and class names. CoordClass is pinned to shard 0's
+// namespace convention (the "__" prefix, see Map.Locate) but exists in
+// EVERY shard: prepares carry the cross-transaction's real classes, and
+// decides run under CoordClass at the home shard only.
+const (
+	// CoordClass is the conflict class of decide transactions. It is
+	// deliberately NOT among a prepare's classes, so a decide never
+	// queues behind the blocked prepare it must unblock.
+	CoordClass = sproc.ClassID("__xshard")
+	// PrepareProc is the dynamic multi-class prepare procedure.
+	PrepareProc = "__xshard.prepare"
+	// DecideProc is the decide procedure (single class: CoordClass).
+	DecideProc = "__xshard.decide"
+)
+
+// Verdict is the outcome of a cross-shard transaction.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictNone is the zero value (no decision yet).
+	VerdictNone Verdict = iota
+	// VerdictCommit: every shard votes yes; writes are applied.
+	VerdictCommit
+	// VerdictAbort: some shard voted no, timed out, or the resolver
+	// presumed abort; no shard applies any write.
+	VerdictAbort
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictCommit:
+		return "commit"
+	case VerdictAbort:
+		return "abort"
+	default:
+		return "none"
+	}
+}
+
+// XID identifies one cross-shard transaction attempt globally: the
+// coordinating process's node identity and incarnation plus a local
+// sequence number. A retry is a NEW XID — verdicts are per-attempt.
+type XID struct {
+	Origin transport.NodeID
+	Inc    uint64
+	Seq    uint64
+}
+
+func (x XID) String() string { return fmt.Sprintf("x%d.%d.%d", x.Origin, x.Inc, x.Seq) }
+
+// RW is one captured access of the coordinator's phase-0 execution:
+// the class-qualified key with either the value read (validation) or
+// the value to write (application).
+type RW struct {
+	Class sproc.ClassID
+	Key   storage.Key
+	// Value is the read snapshot value (nil if the key was absent) or
+	// the value to install.
+	Value storage.Value
+	// Present distinguishes a read of an absent key from a nil value.
+	Present bool
+}
+
+// prepPayload is the argument of a prepare transaction at one shard: the
+// attempt identity, this shard, the home shard, the full shard set, and
+// the phase-0 reads (to validate) and writes (to apply on commit) that
+// fall into this shard's classes.
+type prepPayload struct {
+	XID    XID
+	Shard  int
+	Home   int
+	Shards []int
+	Reads  []RW
+	Writes []RW
+}
+
+// decidePayload is the argument of a decide transaction.
+type decidePayload struct {
+	XID     XID
+	Verdict Verdict
+}
+
+// recordKey is the durable decision record's key in CoordClass at the
+// home shard. First write wins; later decides read it back instead.
+func recordKey(x XID) storage.Key { return storage.Key("txn/" + x.String()) }
+
+func encode(v any) (storage.Value, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("shard: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(b storage.Value, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("shard: decode: %w", err)
+	}
+	return nil
+}
+
+// encodeVerdict renders a verdict as the decide record value.
+func encodeVerdict(v Verdict) storage.Value { return storage.Value{byte(v)} }
+
+// decodeVerdict parses a decide record value.
+func decodeVerdict(b storage.Value) Verdict {
+	if len(b) != 1 {
+		return VerdictNone
+	}
+	switch Verdict(b[0]) {
+	case VerdictCommit:
+		return VerdictCommit
+	case VerdictAbort:
+		return VerdictAbort
+	default:
+		return VerdictNone
+	}
+}

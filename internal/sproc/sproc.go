@@ -101,11 +101,37 @@ type MultiUpdate struct {
 	// Name is the procedure's unique name.
 	Name string
 	// Classes is the set of conflict classes the procedure may touch.
+	// For a Dynamic procedure this is only the fallback set; each
+	// Request may carry its own.
 	Classes []ClassID
 	// Fn is the procedure body.
 	Fn MultiUpdateFn
 	// Cost is an optional simulated service time.
 	Cost time.Duration
+	// Dynamic marks a procedure whose conflict classes vary per
+	// invocation: the broadcast Request carries the class set the
+	// scheduler and executor use (Request.Classes), overriding Classes.
+	// The cross-shard prepare (internal/shard) is the canonical user —
+	// it holds exactly the classes of the transaction it prepares.
+	Dynamic bool
+}
+
+// TxnControl exposes two scheduler signals to running update procedures.
+// The executor's contexts implement it; procedures that must block
+// mid-body (the cross-shard prepare parks at the head of its class
+// queues until the commit decision arrives) type-assert for it.
+type TxnControl interface {
+	// Definitive is closed once this transaction's definitive
+	// total-order position is fixed: the transaction has been
+	// TO-delivered, and since it is running (at the head of all its
+	// class queues) no later delivery can displace or abort this
+	// attempt. State observed after Definitive is the state every
+	// replica observes for this transaction.
+	Definitive() <-chan struct{}
+	// AbortSignal is closed when the Correctness Check undoes this
+	// attempt; the procedure should perform one more context access
+	// (which reports the abort to the executor) and return.
+	AbortSignal() <-chan struct{}
 }
 
 // Errors returned by the registry.
@@ -281,8 +307,31 @@ func (r *Registry) Classes() []ClassID {
 
 // Request is the broadcast payload of an update transaction: the
 // procedure name plus its arguments. Stored procedures make requests tiny
-// (Section 2.2) — the whole interaction ships in one message.
+// (Section 2.2) — the whole interaction ships in one message. Classes is
+// set only for Dynamic multi-class procedures and carries the conflict
+// classes of this particular invocation.
 type Request struct {
-	Proc string
-	Args []storage.Value
+	Proc    string
+	Args    []storage.Value
+	Classes []ClassID
+}
+
+// RequestClasses resolves the conflict classes of a request: the
+// request-carried set for a Dynamic multi-class procedure, the declared
+// set otherwise. Carrying classes on a non-dynamic procedure is an
+// error — the declaration is the contract every replica schedules by.
+func (r *Registry) RequestClasses(req Request) ([]ClassID, error) {
+	if len(req.Classes) == 0 {
+		return r.UpdateClasses(req.Proc)
+	}
+	u, err := r.Multi(req.Proc)
+	if err != nil {
+		return nil, err
+	}
+	if !u.Dynamic {
+		return nil, fmt.Errorf("sproc: %s is not dynamic; request-carried classes rejected", req.Proc)
+	}
+	out := make([]ClassID, len(req.Classes))
+	copy(out, req.Classes)
+	return out, nil
 }

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// incarnationFile is the name of the persisted incarnation counter under
+// a node's durable directory.
+const incarnationFile = "incarnation"
+
+// PersistentIncarnation mints a process incarnation that is strictly
+// greater than any incarnation this directory has minted before, even if
+// the host clock stepped backwards across a restart (NTP correction, VM
+// snapshot restore). The value is the wall clock when the clock is ahead
+// of the stored floor — keeping incarnations comparable across machines —
+// and floor+1 otherwise. The new value is fsynced to dir/incarnation
+// before it is returned, so a kill -9 immediately after startup cannot
+// reuse it.
+//
+// Both the TCP transport and the failure detector stamp outgoing traffic
+// with the incarnation (TCPConfig.Incarnation, fd.Config.Incarnation);
+// peers use it to tell a restarted process from a stale retransmission.
+func PersistentIncarnation(dir string) (uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("transport: incarnation dir: %w", err)
+	}
+	path := filepath.Join(dir, incarnationFile)
+	var floor uint64
+	if b, err := os.ReadFile(path); err == nil {
+		if n, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64); perr == nil {
+			floor = n
+		}
+		// A corrupt file falls through with floor 0: the clock value is
+		// still a valid incarnation, just without the monotonic guarantee
+		// the (lost) floor carried.
+	}
+	inc := uint64(time.Now().UnixNano())
+	if inc <= floor {
+		inc = floor + 1
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("transport: incarnation: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", inc); err != nil {
+		_ = f.Close()
+		return 0, fmt.Errorf("transport: incarnation: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return 0, fmt.Errorf("transport: incarnation sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("transport: incarnation: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("transport: incarnation rename: %w", err)
+	}
+	// Fsync the directory so the rename itself survives a crash.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return inc, nil
+}

@@ -30,6 +30,11 @@ type TCPConfig struct {
 	// DialRetry is the back-off between reconnection attempts.
 	// Defaults to 250 ms.
 	DialRetry time.Duration
+	// Incarnation, when non-zero, overrides the clock-derived process
+	// incarnation stamped on data frames. Durable deployments pass a
+	// PersistentIncarnation so a clock stepping backwards across a
+	// restart cannot mint a stale one.
+	Incarnation uint64
 }
 
 // tcpFrame is the wire unit. Data frames (IsAck false) flow from the
@@ -45,13 +50,14 @@ type TCPConfig struct {
 // receiver's dedup floor for that sender; frames from an older
 // incarnation are stale retransmissions and are dropped.
 //
-// Known limitation: incarnations assume the host clock does not step
+// The clock-derived default assumes the host clock does not step
 // backwards across a restart. If it does (NTP correction, VM snapshot
 // restore), peers stay deaf to the restarted node until its clock
 // passes the old incarnation — a visible availability failure (its
-// state-transfer probes time out loudly), never silent divergence. A
-// persisted monotonic epoch would close this; deliberately out of
-// scope here.
+// state-transfer probes time out loudly), never silent divergence.
+// Durable deployments close the window by passing a persisted
+// monotonic incarnation (PersistentIncarnation) in TCPConfig; cmd/otpd
+// does so whenever -data is set.
 type tcpFrame struct {
 	IsAck bool
 	Seq   uint64 // data sequence number (IsAck false)
@@ -108,7 +114,7 @@ func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
 		box:     newMailbox(),
 		addrs:   make(map[NodeID]string, len(cfg.Addrs)),
 		out:     make(map[NodeID]*peerLink),
-		inc:     uint64(time.Now().UnixNano()),
+		inc:     cfg.Incarnation,
 		stop:    make(chan struct{}),
 		lastSeq: make(map[NodeID]uint64),
 		lastInc: make(map[NodeID]uint64),
@@ -119,6 +125,9 @@ func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
 			continue
 		}
 		n.out[id] = newPeerLink(n, peerAddr)
+	}
+	if n.inc == 0 {
+		n.inc = uint64(time.Now().UnixNano())
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()

@@ -49,6 +49,19 @@
 //	    _ = res.TOIndex
 //	}
 //
+// # Horizontal sharding
+//
+// WithShards(s) partitions the conflict-class namespace across s
+// independent OTP groups, each with its own broadcast, scheduler and
+// durability stack; every site hosts one replica of every shard. Classes
+// map to shards by consistent hashing (PinClass overrides). Sessions
+// route transparently: a transaction whose classes live in one shard
+// runs the paper's protocol unchanged inside that shard's group, and a
+// transaction spanning shards is ordered definitively in every touched
+// shard by an optimistic two-phase protocol (internal/shard) that
+// commits everywhere or nowhere. Queries combine one consistent snapshot
+// per touched shard.
+//
 // Multi-process deployments over TCP are provided by cmd/otpd; the
 // experiment harness reproducing the paper's figures by cmd/otpbench.
 package otpdb
@@ -57,6 +70,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
@@ -69,6 +83,7 @@ import (
 	"otpdb/internal/member"
 	"otpdb/internal/otp"
 	"otpdb/internal/recovery"
+	"otpdb/internal/shard"
 	"otpdb/internal/sproc"
 	"otpdb/internal/statex"
 	"otpdb/internal/storage"
@@ -154,6 +169,7 @@ const (
 // config collects the cluster options.
 type config struct {
 	replicas     int
+	shards       int
 	netDelay     time.Duration
 	netJitter    time.Duration
 	seed         int64
@@ -167,13 +183,23 @@ type config struct {
 	syncPolicy   SyncPolicy
 	ckptEvery    int
 	defLogCap    int
+	voteTimeout  time.Duration
+	resolveAfter time.Duration
+	commitDelay  time.Duration
 }
 
 // Option configures NewCluster.
 type Option func(*config)
 
-// WithReplicas sets the number of replicas (default 3).
+// WithReplicas sets the number of replicas per shard (default 3).
 func WithReplicas(n int) Option { return func(c *config) { c.replicas = n } }
+
+// WithShards partitions the conflict classes across n independent OTP
+// groups (default 1 — the paper's single-group protocol). Every site
+// hosts one replica of every shard; single-shard transactions never
+// cross groups, and cross-shard transactions are two-phase ordered (see
+// the package comment).
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 // WithNetworkDelay adds a fixed delivery delay between replicas.
 func WithNetworkDelay(d time.Duration) Option { return func(c *config) { c.netDelay = d } }
@@ -225,11 +251,12 @@ func WithPruneInterval(n int) Option {
 }
 
 // WithDurability makes every replica durable under dir (one
-// subdirectory per site): definitive commits are written ahead to a
-// segmented, CRC-framed log and periodic checkpoints bound replay. On
-// Start each replica recovers its committed state from its directory
-// and resumes at the recovered definitive index — the "traditional
-// recovery techniques" the paper assumes each site has (Section 3.2).
+// subdirectory per site, or per shard and site with WithShards):
+// definitive commits are written ahead to a segmented, CRC-framed log
+// and periodic checkpoints bound replay. On Start each replica recovers
+// its committed state from its directory and resumes at the recovered
+// definitive index — the "traditional recovery techniques" the paper
+// assumes each site has (Section 3.2).
 //
 // Restarting a whole multi-site cluster from durable state requires
 // every site to have recovered the same index (stop the cluster
@@ -261,29 +288,71 @@ func WithDefLogCap(n int) Option {
 	return func(c *config) { c.defLogCap = n }
 }
 
-// Cluster is an in-process group of database replicas.
+// WithCommitFlushDelay models a serial commit-flush device in every
+// replica's definitive delivery path: each TO confirmation dwells d
+// before it is processed, the way a per-commit WAL fsync serializes a
+// group's commit pipeline. Like WithNetworkDelay for the transport, this
+// gives benchmarks a deterministic device model — shard-scaling cells
+// use it instead of the host filesystem, whose shared journal serializes
+// concurrent fsyncs across groups.
+func WithCommitFlushDelay(d time.Duration) Option {
+	return func(c *config) { c.commitDelay = d }
+}
+
+// WithCrossShardTimeouts tunes the cross-shard protocol: vote bounds a
+// coordinator's wait for every shard's prepare vote before it proposes
+// abort, and resolve is how long an orphaned prepare may block before
+// the resolver presumes its coordinator dead (resolve must exceed vote).
+// Defaults: 3s and 5s.
+func WithCrossShardTimeouts(vote, resolve time.Duration) Option {
+	return func(c *config) {
+		c.voteTimeout = vote
+		c.resolveAfter = resolve
+	}
+}
+
+// group is one shard's replica group: its own in-memory network, OPT-
+// ABcast engines, schedulers, membership trackers and durability state —
+// structurally a pre-sharding Cluster. Site i of every group lives in
+// the same failure domain (CrashSite downs site i of all groups).
+type group struct {
+	hub       *transport.Hub
+	recorder  *history.Recorder
+	replicas  []*db.Replica
+	engines   []*abcast.Optimistic // per-site OPT-ABcast engine; nil under ConservativeOrdering
+	trackers  []*member.Tracker    // per-site membership view
+	stops     []func()
+	bases     []int64 // recovered definitive index per site (durability)
+	joinModes map[int]statex.Mode
+}
+
+// seedEntry is a deferred store seed, tagged with the class it loads so
+// Start can route it to the owning shard ("" seeds every shard).
+type seedEntry struct {
+	class Class
+	fn    func(*storage.Store)
+}
+
+// Cluster is an in-process set of replicated shard groups (one group in
+// the default single-shard configuration).
 type Cluster struct {
 	cfg      config
 	registry *sproc.Registry
-	hub      *transport.Hub
-	recorder *history.Recorder
-	seeds    []func(*storage.Store)
+	smap     *shard.Map
+	shub     *shard.Hub
+	coord    *shard.Coordinator
+	seeds    []seedEntry
 
 	// mu guards the per-site state below: RestartSite swaps a site's
 	// whole stack while sessions and cluster methods resolve replicas
 	// through it.
-	mu        sync.RWMutex
-	replicas  []*db.Replica
-	engines   []*abcast.Optimistic // per-site OPT-ABcast engine; nil under ConservativeOrdering
-	trackers  []*member.Tracker    // per-site membership view
-	sessions  []*Session
-	stops     []func()
-	bases     []int64 // recovered definitive index per site (durability)
-	crashed   map[int]bool
-	removed   map[int]bool        // sites voted out of the group
-	joinModes map[int]statex.Mode // how each site last rejoined
-	started   bool
-	stopped   bool
+	mu       sync.RWMutex
+	groups   []*group
+	sessions []*Session
+	crashed  map[int]bool
+	removed  map[int]bool // sites voted out of the group
+	started  bool
+	stopped  bool
 }
 
 // Errors returned by the cluster.
@@ -294,6 +363,8 @@ var (
 	ErrNotStarted = errors.New("otpdb: cluster not started")
 	// ErrBadSite is returned for an out-of-range site index.
 	ErrBadSite = errors.New("otpdb: no such site")
+	// ErrBadShard is returned for an out-of-range shard index.
+	ErrBadShard = errors.New("otpdb: no such shard")
 )
 
 // Open creates an unstarted single-replica durable database rooted at
@@ -316,6 +387,7 @@ func Open(dir string, opts ...Option) (*Cluster, error) {
 func NewCluster(opts ...Option) (*Cluster, error) {
 	cfg := config{
 		replicas:     3,
+		shards:       1,
 		seed:         1,
 		ordering:     OptimisticOrdering,
 		writeMode:    storage.Buffered,
@@ -328,10 +400,14 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	if cfg.replicas <= 0 {
 		return nil, fmt.Errorf("otpdb: replicas must be positive, got %d", cfg.replicas)
 	}
-	c := &Cluster{cfg: cfg, registry: sproc.NewRegistry()}
-	if cfg.recordHist {
-		c.recorder = history.NewRecorder()
+	if cfg.shards <= 0 {
+		return nil, fmt.Errorf("otpdb: shards must be positive, got %d", cfg.shards)
 	}
+	m, err := shard.NewMap(cfg.shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, registry: sproc.NewRegistry(), smap: m}
 	return c, nil
 }
 
@@ -356,7 +432,10 @@ func (c *Cluster) MustRegisterUpdate(u Update) {
 // RegisterMultiUpdate adds a multi-class update procedure. The
 // transaction conflicts with every transaction sharing any of its classes
 // and runs only when it heads all of their queues. Must be called before
-// Start.
+// Start. With WithShards, a procedure whose classes span several shards
+// is executed as a cross-shard transaction (atomic across shards, at
+// two-phase cost); keep hot procedures single-shard by pinning their
+// classes together.
 func (c *Cluster) RegisterMultiUpdate(u MultiUpdate) error {
 	if c.started {
 		return ErrStarted
@@ -388,29 +467,51 @@ func (c *Cluster) MustRegisterQuery(q Query) {
 }
 
 // Seed loads an initial value into every replica's copy of a class before
-// the cluster starts (version index 0).
+// the cluster starts (version index 0). The seed lands only in the
+// shard owning the class.
 func (c *Cluster) Seed(class Class, key Key, value Value) error {
 	if c.started {
 		return ErrStarted
 	}
 	v := value
-	c.seeds = append(c.seeds, func(s *storage.Store) {
+	c.seeds = append(c.seeds, seedEntry{class: class, fn: func(s *storage.Store) {
 		s.Load(storage.Partition(class), key, v)
-	})
+	}})
 	return nil
 }
 
-// siteDir is one site's durability directory under the cluster's.
-func (c *Cluster) siteDir(i int) string {
-	return filepath.Join(c.cfg.durDir, fmt.Sprintf("site-%d", i))
+// Shards reports the number of shard groups.
+func (c *Cluster) Shards() int { return c.cfg.shards }
+
+// ShardOf reports the shard owning a conflict class.
+func (c *Cluster) ShardOf(class Class) int { return c.smap.Locate(class) }
+
+// PinClass forces a class onto a shard, overriding the consistent-hash
+// assignment. Must be called before Start; every process of a deployment
+// must apply identical pins in identical order.
+func (c *Cluster) PinClass(class Class, shardID int) error {
+	if c.started {
+		return ErrStarted
+	}
+	return c.smap.Pin(class, shardID)
 }
 
-// buildSite assembles one site's full stack — broadcast engine (with
-// optional rejoin state), membership tracker, replica, stop function —
-// on the given endpoint. The caller provides the store (recovered or
-// fresh) and the definitive index it is consistent at; the tracker is
-// primed from the committed configuration that store carries.
-func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState,
+// siteDir is one replica's durability directory. The single-shard layout
+// (site-N directly under the root) predates sharding and is preserved so
+// existing data directories keep recovering.
+func (c *Cluster) siteDir(g, i int) string {
+	if c.cfg.shards == 1 {
+		return filepath.Join(c.cfg.durDir, fmt.Sprintf("site-%d", i))
+	}
+	return filepath.Join(c.cfg.durDir, fmt.Sprintf("shard-%d", g), fmt.Sprintf("site-%d", i))
+}
+
+// buildSite assembles one site's full stack in one group — broadcast
+// engine (with optional rejoin state), membership tracker, replica, stop
+// function — on the given endpoint. The caller provides the store
+// (recovered or fresh) and the definitive index it is consistent at; the
+// tracker is primed from the committed configuration that store carries.
+func (c *Cluster) buildSite(grp *group, i int, ep transport.Endpoint, join *abcast.JoinState,
 	store *storage.Store, base int64, dur *recovery.Durability) (*db.Replica, *abcast.Optimistic, *member.Tracker, func(), error) {
 	mcfg, err := member.CommittedConfig(store)
 	if err != nil {
@@ -457,6 +558,7 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 		WriteMode:      c.cfg.writeMode,
 		Queries:        c.cfg.queryMode,
 		PruneInterval:  c.cfg.pruneEvery,
+		CommitDelay:    c.cfg.commitDelay,
 		Durability:     dur,
 		InitialTOIndex: base,
 		ConfigClass:    member.Class,
@@ -466,8 +568,8 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 			}
 		},
 	}
-	if c.recorder != nil {
-		cfg.History = c.recorder
+	if grp.recorder != nil {
+		cfg.History = grp.recorder
 	}
 	rep, err := db.New(cfg)
 	if err != nil {
@@ -492,10 +594,19 @@ func (c *Cluster) buildSite(i int, ep transport.Endpoint, join *abcast.JoinState
 	}, nil
 }
 
-// Start builds the network, broadcast engines and replicas, and begins
-// processing. With durability enabled, every replica first recovers its
-// committed state from its data directory and resumes at the recovered
-// definitive index.
+// seedStore loads a fresh store with every seed owned by shard g.
+func (c *Cluster) seedStore(g int, store *storage.Store) {
+	for _, se := range c.seeds {
+		if se.class == "" || c.smap.Locate(se.class) == g {
+			se.fn(store)
+		}
+	}
+}
+
+// Start builds the networks, broadcast engines and replicas of every
+// shard group, and begins processing. With durability enabled, every
+// replica first recovers its committed state from its data directory and
+// resumes at the recovered definitive index.
 func (c *Cluster) Start() error {
 	if c.started {
 		return ErrStarted
@@ -504,73 +615,114 @@ func (c *Cluster) Start() error {
 	// The group configuration is ordinary replicated state: register the
 	// reserved change procedure and seed the epoch-1 bootstrap config at
 	// version 0 of every store (recovered state overrides the seed).
+	// Each shard group carries its own copy — membership changes are
+	// committed through every group's definitive order.
 	if err := member.RegisterProc(c.registry); err != nil {
 		return fmt.Errorf("otpdb: register membership procedure: %w", err)
 	}
+	// Cross-shard machinery: the prepare/decide procedures exist in
+	// every configuration (inert at one shard), the hub connects their
+	// local executions, the coordinator drives multi-shard commits.
+	c.shub = shard.NewHub(shard.Config{ResolveAfter: c.cfg.resolveAfter})
+	if err := c.shub.Register(c.registry); err != nil {
+		return fmt.Errorf("otpdb: register cross-shard procedures: %w", err)
+	}
+	c.coord = shard.NewCoordinator(c.shub, c.smap, c.registry, shard.CoordConfig{VoteTimeout: c.cfg.voteTimeout})
 	bootstrapIDs := make(map[transport.NodeID]string, c.cfg.replicas)
 	for i := 0; i < c.cfg.replicas; i++ {
 		bootstrapIDs[transport.NodeID(i)] = ""
 	}
 	bootstrap := member.Bootstrap(bootstrapIDs)
-	c.seeds = append(c.seeds, func(s *storage.Store) { member.Seed(s, bootstrap) })
-	var hubOpts []transport.MemOption
-	hubOpts = append(hubOpts, transport.WithSeed(c.cfg.seed))
-	if c.cfg.netDelay > 0 {
-		hubOpts = append(hubOpts, transport.WithDelay(c.cfg.netDelay))
-	}
-	if c.cfg.netJitter > 0 {
-		hubOpts = append(hubOpts, transport.WithJitter(c.cfg.netJitter))
-	}
-	c.hub = transport.NewHub(c.cfg.replicas, hubOpts...)
-	for i := 0; i < c.cfg.replicas; i++ {
-		ep := c.hub.Endpoint(transport.NodeID(i))
-		store := storage.NewStore()
-		for _, seed := range c.seeds {
-			seed(store)
+	c.seeds = append(c.seeds, seedEntry{class: "", fn: func(s *storage.Store) { member.Seed(s, bootstrap) }})
+
+	for g := 0; g < c.cfg.shards; g++ {
+		grp := &group{joinModes: make(map[int]statex.Mode)}
+		if c.cfg.recordHist {
+			grp.recorder = history.NewRecorder()
 		}
-		var dur *recovery.Durability
-		base := int64(0)
-		if c.cfg.durDir != "" {
-			d, err := recovery.Open(c.siteDir(i), recovery.Options{
-				Sync:            c.cfg.syncPolicy,
-				CheckpointEvery: c.cfg.ckptEvery,
-			})
-			if err != nil {
-				return fmt.Errorf("otpdb: durability %d: %w", i, err)
+		var hubOpts []transport.MemOption
+		// Distinct seeds decorrelate the groups' network randomness.
+		hubOpts = append(hubOpts, transport.WithSeed(c.cfg.seed+int64(g)))
+		if c.cfg.netDelay > 0 {
+			hubOpts = append(hubOpts, transport.WithDelay(c.cfg.netDelay))
+		}
+		if c.cfg.netJitter > 0 {
+			hubOpts = append(hubOpts, transport.WithJitter(c.cfg.netJitter))
+		}
+		grp.hub = transport.NewHub(c.cfg.replicas, hubOpts...)
+		for i := 0; i < c.cfg.replicas; i++ {
+			ep := grp.hub.Endpoint(transport.NodeID(i))
+			store := storage.NewStore()
+			c.seedStore(g, store)
+			var dur *recovery.Durability
+			base := int64(0)
+			if c.cfg.durDir != "" {
+				d, err := recovery.Open(c.siteDir(g, i), recovery.Options{
+					Sync:            c.cfg.syncPolicy,
+					CheckpointEvery: c.cfg.ckptEvery,
+				})
+				if err != nil {
+					return fmt.Errorf("otpdb: durability %d/%d: %w", g, i, err)
+				}
+				b, err := d.Recover(store)
+				if err != nil {
+					_ = d.Close()
+					return fmt.Errorf("otpdb: recover %d/%d: %w", g, i, err)
+				}
+				dur, base = d, b
 			}
-			b, err := d.Recover(store)
-			if err != nil {
-				_ = d.Close()
-				return fmt.Errorf("otpdb: recover %d: %w", i, err)
-			}
-			dur, base = d, b
-		}
-		if i > 0 && c.cfg.durDir != "" && base != c.bases[0] {
-			// Sites that recovered different definitive indexes would
-			// assign different TOIndexes to the same decisions and diverge
-			// silently. This happens after an unclean multi-site shutdown
-			// under the grouped/off sync policies; the crashed-site path
-			// is RestartSite against a running majority, not a cold
-			// restart. Fail loudly instead.
-			_ = dur.Close()
-			return fmt.Errorf("otpdb: durable sites recovered to different indexes (site 0: %d, site %d: %d); restart lagging sites into a running cluster with RestartSite",
-				c.bases[0], i, base)
-		}
-		rep, opt, tracker, stop, err := c.buildSite(i, ep, nil, store, base, dur)
-		if err != nil {
-			if dur != nil {
+			if i > 0 && c.cfg.durDir != "" && base != grp.bases[0] {
+				// Sites that recovered different definitive indexes would
+				// assign different TOIndexes to the same decisions and diverge
+				// silently. This happens after an unclean multi-site shutdown
+				// under the grouped/off sync policies; the crashed-site path
+				// is RestartSite against a running majority, not a cold
+				// restart. Fail loudly instead.
 				_ = dur.Close()
+				return fmt.Errorf("otpdb: durable sites of shard %d recovered to different indexes (site 0: %d, site %d: %d); restart lagging sites into a running cluster with RestartSite",
+					g, grp.bases[0], i, base)
 			}
-			return err
+			rep, opt, tracker, stop, err := c.buildSite(grp, i, ep, nil, store, base, dur)
+			if err != nil {
+				if dur != nil {
+					_ = dur.Close()
+				}
+				return err
+			}
+			grp.replicas = append(grp.replicas, rep)
+			grp.engines = append(grp.engines, opt)
+			grp.trackers = append(grp.trackers, tracker)
+			grp.stops = append(grp.stops, stop)
+			grp.bases = append(grp.bases, base)
 		}
-		c.replicas = append(c.replicas, rep)
-		c.engines = append(c.engines, opt)
-		c.trackers = append(c.trackers, tracker)
-		c.sessions = append(c.sessions, &Session{c: c, site: i})
-		c.stops = append(c.stops, stop)
-		c.bases = append(c.bases, base)
+		c.groups = append(c.groups, grp)
 	}
+	for i := 0; i < c.cfg.replicas; i++ {
+		c.sessions = append(c.sessions, &Session{c: c, site: i})
+		c.attachSite(i)
+	}
+	c.shub.Start()
 	return nil
+}
+
+// attachSite wires one site's replicas (one per shard) into the
+// cross-shard hub. The getters re-resolve through the cluster on every
+// use, so crash, restart and replacement need no re-attachment.
+func (c *Cluster) attachSite(site int) {
+	for g := 0; g < c.cfg.shards; g++ {
+		g := g
+		c.shub.Attach(g, site, func() *db.Replica {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			if !c.started || c.stopped || c.crashed[site] || c.removed[site] {
+				return nil
+			}
+			if g >= len(c.groups) || site >= len(c.groups[g].replicas) {
+				return nil
+			}
+			return c.groups[g].replicas[site]
+		})
+	}
 }
 
 // Stop shuts the cluster down, flushing durable state. It is idempotent.
@@ -581,12 +733,17 @@ func (c *Cluster) Stop() {
 		return
 	}
 	c.stopped = true
-	stops := append([]func(){}, c.stops...)
+	groups := append([]*group{}, c.groups...)
 	c.mu.Unlock()
-	for _, stop := range stops {
-		stop()
+	if c.shub != nil {
+		c.shub.Stop()
 	}
-	c.hub.Close()
+	for _, grp := range groups {
+		for _, stop := range grp.stops {
+			stop()
+		}
+		grp.hub.Close()
+	}
 }
 
 // Size reports the number of site slots (including crashed and removed
@@ -594,37 +751,59 @@ func (c *Cluster) Stop() {
 func (c *Cluster) Size() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if len(c.replicas) > 0 {
-		return len(c.replicas)
+	if len(c.sessions) > 0 {
+		return len(c.sessions)
 	}
 	return c.cfg.replicas
 }
 
 // RecoveredIndex reports the definitive index a durable site resumed at
-// on Start (0 for a fresh or non-durable site).
+// on Start (0 for a fresh or non-durable site). With WithShards this is
+// shard 0's index; see ShardRecoveredIndex.
 func (c *Cluster) RecoveredIndex(site int) (int64, error) {
+	return c.ShardRecoveredIndex(site, 0)
+}
+
+// ShardRecoveredIndex reports the definitive index one shard of a
+// durable site resumed at on Start.
+func (c *Cluster) ShardRecoveredIndex(site, shardID int) (int64, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if _, err := c.replicaLocked(site); err != nil {
+	grp, err := c.groupLocked(shardID)
+	if err != nil {
 		return 0, err
 	}
-	return c.bases[site], nil
+	if _, err := c.replicaLocked(shardID, site); err != nil {
+		return 0, err
+	}
+	return grp.bases[site], nil
 }
 
-func (c *Cluster) replica(site int) (*db.Replica, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.replicaLocked(site)
-}
-
-func (c *Cluster) replicaLocked(site int) (*db.Replica, error) {
+func (c *Cluster) groupLocked(g int) (*group, error) {
 	if !c.started {
 		return nil, ErrNotStarted
 	}
-	if site < 0 || site >= len(c.replicas) {
+	if g < 0 || g >= len(c.groups) {
+		return nil, fmt.Errorf("%w: %d", ErrBadShard, g)
+	}
+	return c.groups[g], nil
+}
+
+func (c *Cluster) replica(g, site int) (*db.Replica, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.replicaLocked(g, site)
+}
+
+func (c *Cluster) replicaLocked(g, site int) (*db.Replica, error) {
+	grp, err := c.groupLocked(g)
+	if err != nil {
+		return nil, err
+	}
+	if site < 0 || site >= len(grp.replicas) {
 		return nil, fmt.Errorf("%w: %d", ErrBadSite, site)
 	}
-	return c.replicas[site], nil
+	return grp.replicas[site], nil
 }
 
 // Exec submits an update transaction at the given site and waits until it
@@ -665,10 +844,11 @@ func (c *Cluster) QueryAt(ctx context.Context, site int, proc string, args ...Va
 }
 
 // Read returns the latest committed value of a key at a site, outside any
-// snapshot (a debugging convenience, not a transaction). The returned
-// Value aliases the committed version and must not be modified.
+// snapshot (a debugging convenience, not a transaction). The read is
+// served by the shard owning the class. The returned Value aliases the
+// committed version and must not be modified.
 func (c *Cluster) Read(site int, class Class, key Key) (Value, bool, error) {
-	rep, err := c.replica(site)
+	rep, err := c.replica(c.smap.Locate(class), site)
 	if err != nil {
 		return nil, false, err
 	}
@@ -680,15 +860,35 @@ func (c *Cluster) Read(site int, class Class, key Key) (Value, bool, error) {
 type Stats struct {
 	// Site is the replica index.
 	Site int
-	// Commits, Aborts, Reorders mirror the OTP manager counters.
+	// Commits, Aborts, Reorders mirror the OTP manager counters,
+	// summed over the site's shard replicas.
 	Commits, Aborts, Reorders uint64
 	// Pending is the number of delivered but uncommitted transactions.
 	Pending int
 }
 
-// SiteStats returns one site's counters.
+// SiteStats returns one site's counters, aggregated over its shards.
 func (c *Cluster) SiteStats(site int) (Stats, error) {
-	rep, err := c.replica(site)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := Stats{Site: site}
+	for g := range c.groups {
+		rep, err := c.replicaLocked(g, site)
+		if err != nil {
+			return Stats{}, err
+		}
+		st := rep.Manager().Stats()
+		out.Commits += st.Commits
+		out.Aborts += st.Aborts
+		out.Reorders += st.Reorders
+		out.Pending += rep.Manager().Pending()
+	}
+	return out, nil
+}
+
+// ShardStats returns the counters of one shard replica at one site.
+func (c *Cluster) ShardStats(site, shardID int) (Stats, error) {
+	rep, err := c.replica(shardID, site)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -704,61 +904,100 @@ func (c *Cluster) SiteStats(site int) (Stats, error) {
 
 // WaitForCommits blocks until every live replica has committed at least n
 // update transactions and has none pending, or the context is cancelled.
-// Crashed sites are skipped. The wait is driven by the replicas' commit
-// notifications — no polling.
+// Crashed sites are skipped. With WithShards the threshold applies to
+// each site's commits summed across shards.
 func (c *Cluster) WaitForCommits(ctx context.Context, n int) error {
 	c.mu.RLock()
 	if !c.started {
 		c.mu.RUnlock()
 		return ErrNotStarted
 	}
-	var live []*db.Replica
-	for i, rep := range c.replicas {
-		if !c.crashed[i] && !c.removed[i] {
-			live = append(live, rep)
+	if len(c.groups) == 1 {
+		var live []*db.Replica
+		for i, rep := range c.groups[0].replicas {
+			if !c.crashed[i] && !c.removed[i] {
+				live = append(live, rep)
+			}
 		}
+		c.mu.RUnlock()
+		for _, rep := range live {
+			if err := rep.WaitCommits(ctx, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Sharded: poll each live site's definitive indexes summed across
+	// groups (at quiescence every TO delivery has committed exactly
+	// once, so sum(LastTO) counts commits including recovered bases).
+	type siteReps struct{ reps []*db.Replica }
+	var sites []siteReps
+	for i := range c.groups[0].replicas {
+		if c.crashed[i] || c.removed[i] {
+			continue
+		}
+		var sr siteReps
+		for g := range c.groups {
+			sr.reps = append(sr.reps, c.groups[g].replicas[i])
+		}
+		sites = append(sites, sr)
 	}
 	c.mu.RUnlock()
-	for _, rep := range live {
-		if err := rep.WaitCommits(ctx, n); err != nil {
-			return err
+	for _, sr := range sites {
+		for {
+			var total int64
+			pending := 0
+			for _, rep := range sr.reps {
+				total += rep.LastTO()
+				pending += rep.Manager().Pending()
+			}
+			if total >= int64(n) && pending == 0 {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
 		}
 	}
 	return nil
 }
 
 // Converged reports whether all live replicas currently hold identical
-// committed state. Crashed sites are skipped.
+// committed state, shard by shard. Crashed sites are skipped.
 func (c *Cluster) Converged() (bool, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if !c.started {
 		return false, ErrNotStarted
 	}
-	first := -1
-	for i, rep := range c.replicas {
-		if c.crashed[i] || c.removed[i] {
-			continue
-		}
-		if first < 0 {
-			first = i
-			continue
-		}
-		if rep.Store().Digest() != c.replicas[first].Store().Digest() {
-			return false, nil
+	for _, grp := range c.groups {
+		first := -1
+		for i, rep := range grp.replicas {
+			if c.crashed[i] || c.removed[i] {
+				continue
+			}
+			if first < 0 {
+				first = i
+				continue
+			}
+			if rep.Store().Digest() != grp.replicas[first].Store().Digest() {
+				return false, nil
+			}
 		}
 	}
 	return true, nil
 }
 
-// CrashSite silences a replica at the network level, modelling a
-// crash-stop failure (Section 2: sites fail by crashing). With the
-// optimistic ordering the cluster keeps committing as long as a majority
-// of sites remains alive.
+// CrashSite silences a site at the network level — every shard replica
+// it hosts — modelling a crash-stop failure (Section 2: sites fail by
+// crashing). With the optimistic ordering the cluster keeps committing
+// as long as a majority of sites remains alive.
 func (c *Cluster) CrashSite(site int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.replicaLocked(site); err != nil {
+	if _, err := c.replicaLocked(0, site); err != nil {
 		return err
 	}
 	if c.removed[site] {
@@ -768,14 +1007,17 @@ func (c *Cluster) CrashSite(site int) error {
 		c.crashed = make(map[int]bool)
 	}
 	c.crashed[site] = true
-	c.hub.Crash(transport.NodeID(site))
+	for _, grp := range c.groups {
+		grp.hub.Crash(transport.NodeID(site))
+	}
 	return nil
 }
 
 // RestartSite brings a crashed site back into the running cluster — the
 // live-rejoin half of the durability story (the paper's Section 3.2
-// defers both to "traditional recovery techniques"). It runs the same
-// statex wire protocol a TCP otpd uses, over the in-process transport:
+// defers both to "traditional recovery techniques"). Every shard replica
+// the site hosts runs the same statex wire protocol a TCP otpd uses,
+// over the in-process transport:
 //
 //  1. The site recovers whatever its local durability directory holds
 //     (nothing for in-memory sites) and advertises that index to a live
@@ -796,12 +1038,12 @@ func (c *Cluster) CrashSite(site int) error {
 // log and continues appending above it.
 //
 // RestartSite requires OptimisticOrdering and at least one live site.
-// Sessions bound to the site transparently observe the new replica;
+// Sessions bound to the site transparently observe the new replicas;
 // waiters pending from before the crash fail with ErrStopped.
 func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.replicaLocked(site); err != nil {
+	if _, err := c.replicaLocked(0, site); err != nil {
 		return err
 	}
 	if c.removed[site] {
@@ -816,14 +1058,30 @@ func (c *Cluster) RestartSite(ctx context.Context, site int) error {
 	return c.rejoinLocked(ctx, site, false)
 }
 
-// rejoinLocked rebuilds a crashed site's stack through a statex transfer
-// from a live donor. With wipe set the site's previous durable state is
-// discarded first — the ReplaceSite semantics, where the returning
-// identity is a fresh machine. Callers hold c.mu and have validated the
-// site.
+// rejoinLocked rebuilds a crashed site's stack — one rejoin per shard
+// group — through statex transfers from live donors. With wipe set the
+// site's previous durable state is discarded first (the ReplaceSite
+// semantics, where the returning identity is a fresh machine). A partial
+// failure leaves the site crashed: every group's endpoint is re-downed,
+// so a retry starts from a clean state. Callers hold c.mu and have
+// validated the site.
 func (c *Cluster) rejoinLocked(ctx context.Context, site int, wipe bool) error {
+	for g := range c.groups {
+		if err := c.rejoinGroupLocked(ctx, g, site, wipe); err != nil {
+			for _, grp := range c.groups {
+				grp.hub.Crash(transport.NodeID(site))
+			}
+			return fmt.Errorf("otpdb: shard %d: %w", g, err)
+		}
+	}
+	delete(c.crashed, site)
+	return nil
+}
+
+func (c *Cluster) rejoinGroupLocked(ctx context.Context, g, site int, wipe bool) error {
+	grp := c.groups[g]
 	var donors []transport.NodeID
-	for i := range c.replicas {
+	for i := range grp.replicas {
 		if !c.crashed[i] && !c.removed[i] && i != site {
 			donors = append(donors, transport.NodeID(i))
 		}
@@ -833,21 +1091,17 @@ func (c *Cluster) rejoinLocked(ctx context.Context, site int, wipe bool) error {
 	}
 
 	// Tear down the dead stack and revive the endpoint. If any later
-	// step fails the endpoint is re-crashed, so peers do not flood a
-	// mailbox nobody drains and a retry starts from a clean "crashed"
-	// state.
-	c.stops[site]()
-	ep := c.hub.Restart(transport.NodeID(site))
-	fail := func(err error) error {
-		c.hub.Crash(transport.NodeID(site))
-		return err
-	}
+	// step fails the caller re-crashes the endpoint, so peers do not
+	// flood a mailbox nobody drains and a retry starts from a clean
+	// "crashed" state.
+	grp.stops[site]()
+	ep := grp.hub.Restart(transport.NodeID(site))
 
 	if wipe && c.cfg.durDir != "" {
 		// The replacement is a new machine: the dead incarnation's
 		// durable history does not come with it.
-		if err := os.RemoveAll(c.siteDir(site)); err != nil {
-			return fail(fmt.Errorf("otpdb: wipe durability %d: %w", site, err))
+		if err := os.RemoveAll(c.siteDir(g, site)); err != nil {
+			return fmt.Errorf("otpdb: wipe durability %d: %w", site, err)
 		}
 	}
 
@@ -856,23 +1110,21 @@ func (c *Cluster) rejoinLocked(ctx context.Context, site int, wipe bool) error {
 	// transfer. The store is seeded exactly as Start seeds fresh ones (a
 	// transferred checkpoint, when needed, replaces the content anyway).
 	store := storage.NewStore()
-	for _, seed := range c.seeds {
-		seed(store)
-	}
+	c.seedStore(g, store)
 	base := int64(0)
 	var dur *recovery.Durability
 	if c.cfg.durDir != "" {
-		d, derr := recovery.Open(c.siteDir(site), recovery.Options{
+		d, derr := recovery.Open(c.siteDir(g, site), recovery.Options{
 			Sync:            c.cfg.syncPolicy,
 			CheckpointEvery: c.cfg.ckptEvery,
 		})
 		if derr != nil {
-			return fail(fmt.Errorf("otpdb: reopen durability %d: %w", site, derr))
+			return fmt.Errorf("otpdb: reopen durability %d: %w", site, derr)
 		}
 		b, rerr := d.Recover(store)
 		if rerr != nil {
 			_ = d.Close()
-			return fail(fmt.Errorf("otpdb: recover %d: %w", site, rerr))
+			return fmt.Errorf("otpdb: recover %d: %w", site, rerr)
 		}
 		dur, base = d, b
 	}
@@ -882,7 +1134,7 @@ func (c *Cluster) rejoinLocked(ctx context.Context, site int, wipe bool) error {
 		if dur != nil {
 			_ = dur.Close()
 		}
-		return fail(fmt.Errorf("otpdb: state transfer %d: %w", site, err))
+		return fmt.Errorf("otpdb: state transfer %d: %w", site, err)
 	}
 	if xfer.Mode == statex.CheckpointTail {
 		// The donor's snapshot replaces local state wholesale; with
@@ -894,40 +1146,38 @@ func (c *Cluster) rejoinLocked(ctx context.Context, site int, wipe bool) error {
 		if dur != nil {
 			if rerr := dur.ResetTo(xfer.Checkpoint); rerr != nil {
 				_ = dur.Close()
-				return fail(fmt.Errorf("otpdb: reset durability %d: %w", site, rerr))
+				return fmt.Errorf("otpdb: reset durability %d: %w", site, rerr)
 			}
 		}
 	}
 	join := xfer.Join
-	rep, opt, tracker, stop, err := c.buildSite(site, ep, &join, store, base, dur)
+	rep, opt, tracker, stop, err := c.buildSite(grp, site, ep, &join, store, base, dur)
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
 		}
-		return fail(err)
+		return err
 	}
-	c.replicas[site] = rep
-	c.engines[site] = opt
-	c.trackers[site] = tracker
-	c.stops[site] = stop
-	c.bases[site] = base
-	if c.joinModes == nil {
-		c.joinModes = make(map[int]statex.Mode)
-	}
-	c.joinModes[site] = xfer.Mode
-	delete(c.crashed, site)
+	grp.replicas[site] = rep
+	grp.engines[site] = opt
+	grp.trackers[site] = tracker
+	grp.stops[site] = stop
+	grp.bases[site] = base
+	grp.joinModes[site] = xfer.Mode
 	return nil
 }
 
 // RejoinMode reports how a site last rejoined the cluster: "tail-only",
 // "checkpoint+tail", or "" when the site never went through RestartSite.
+// With WithShards this is shard 0's mode (shards negotiate
+// independently).
 func (c *Cluster) RejoinMode(site int) (string, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if _, err := c.replicaLocked(site); err != nil {
+	if _, err := c.replicaLocked(0, site); err != nil {
 		return "", err
 	}
-	mode, ok := c.joinModes[site]
+	mode, ok := c.groups[0].joinModes[site]
 	if !ok {
 		return "", nil
 	}
@@ -939,7 +1189,7 @@ func (c *Cluster) RejoinMode(site int) (string, error) {
 // write).
 func (c *Cluster) liveSiteLocked(avoid int) (int, error) {
 	fallback := -1
-	for i := range c.replicas {
+	for i := range c.groups[0].replicas {
 		if c.crashed[i] || c.removed[i] {
 			continue
 		}
@@ -954,15 +1204,17 @@ func (c *Cluster) liveSiteLocked(avoid int) (int, error) {
 	return 0, errors.New("otpdb: no live site")
 }
 
-// proposeChange commits a membership change through the definitive
-// order: it reads the submitting site's current configuration, derives
-// the successor via mutate, and executes the reserved change procedure
-// at that site. The commit of that transaction is the epoch switch —
-// every site applies the new quorum, and the in-process transport
-// follows automatically (the hub routes by identifier). A concurrent
-// change loses the definitive-order race and surfaces
-// member.ErrEpochConflict; retry against the new configuration.
-func (c *Cluster) proposeChange(ctx context.Context, submitter int,
+// proposeChange commits a membership change through one shard group's
+// definitive order: it reads the submitting site's current configuration
+// in that group, derives the successor via mutate, and executes the
+// reserved change procedure at that site's group replica. The commit of
+// that transaction is the epoch switch — every site applies the new
+// quorum, and the in-process transport follows automatically (the hub
+// routes by identifier). A concurrent change loses the definitive-order
+// race and surfaces member.ErrEpochConflict; retry against the new
+// configuration. Site-level membership operations apply the change to
+// every group in turn.
+func (c *Cluster) proposeChange(ctx context.Context, g, submitter int,
 	mutate func(member.Config) (member.Config, error)) (member.Config, error) {
 	c.mu.RLock()
 	if !c.started || c.stopped {
@@ -973,14 +1225,15 @@ func (c *Cluster) proposeChange(ctx context.Context, submitter int,
 		c.mu.RUnlock()
 		return member.Config{}, errors.New("otpdb: membership changes require OptimisticOrdering")
 	}
-	cfg := c.trackers[submitter].Config()
-	sess := c.sessions[submitter]
+	grp := c.groups[g]
+	cfg := grp.trackers[submitter].Config()
+	rep := grp.replicas[submitter]
 	c.mu.RUnlock()
 	proposed, err := mutate(cfg)
 	if err != nil {
 		return member.Config{}, err
 	}
-	if _, err := sess.Exec(ctx, member.Proc, member.Encode(proposed)); err != nil {
+	if _, err := rep.Exec(ctx, member.Proc, member.Encode(proposed)); err != nil {
 		return member.Config{}, err
 	}
 	return proposed, nil
@@ -990,94 +1243,133 @@ func (c *Cluster) proposeChange(ctx context.Context, submitter int,
 // (the committed addition belongs to the other caller).
 var errAddRaced = errors.New("otpdb: concurrent AddSite raced")
 
-// AddSite grows the group by one site: the addition is committed as a
-// definitively-ordered configuration change (every replica switches to
-// the bigger quorum at the same commit), then the new site is built,
-// statex-joins from a live donor at the new configuration's base index,
-// and activates. It returns the new site's index; sessions, queries and
-// all Cluster methods accept it immediately.
+// AddSite grows the group by one site: in each shard group in turn, the
+// addition is committed as a definitively-ordered configuration change
+// (every replica switches to the bigger quorum at the same commit), then
+// the new site's replica is built, statex-joins from a live donor at the
+// new configuration's base index, and activates. It returns the new
+// site's index; sessions, queries and all Cluster methods accept it
+// immediately.
 //
-// If the change commits but the site fails to come up (donor gone, ctx
-// expired), AddSite rolls the committed addition back — best effort —
-// so the grown quorum never counts a site that does not exist; whether
-// or not the rollback lands, calling AddSite again detects the
-// committed-but-unbuilt member and resumes it instead of proposing a
-// duplicate.
+// If a change commits but the site fails to come up (donor gone, ctx
+// expired), AddSite rolls the committed additions back — best effort —
+// so no grown quorum counts a site that does not exist; whether or not
+// the rollback lands, calling AddSite again detects committed-but-
+// unbuilt members and resumes them instead of proposing duplicates.
 func (c *Cluster) AddSite(ctx context.Context) (int, error) {
 	c.mu.RLock()
 	if !c.started || c.stopped {
 		c.mu.RUnlock()
 		return 0, ErrNotStarted
 	}
-	newID := len(c.replicas)
+	newID := len(c.sessions)
 	submitter, err := c.liveSiteLocked(-1)
-	resuming := false
-	if err == nil {
-		resuming = c.trackers[submitter].Config().Has(transport.NodeID(newID))
-	}
 	c.mu.RUnlock()
 	if err != nil {
 		return 0, err
 	}
-	if !resuming {
-		if _, err := c.proposeChange(ctx, submitter, func(cfg member.Config) (member.Config, error) {
-			return cfg.WithAdd(member.Site{ID: transport.NodeID(newID)})
-		}); err != nil {
-			return 0, err
+	built := 0
+	for g := 0; g < c.cfg.shards; g++ {
+		c.mu.RLock()
+		resuming := c.groups[g].trackers[submitter].Config().Has(transport.NodeID(newID))
+		c.mu.RUnlock()
+		if !resuming {
+			if _, err = c.proposeChange(ctx, g, submitter, func(cfg member.Config) (member.Config, error) {
+				return cfg.WithAdd(member.Site{ID: transport.NodeID(newID)})
+			}); err != nil {
+				break
+			}
 		}
+		if err = c.buildAddedSite(ctx, g, newID); err != nil {
+			if errors.Is(err, errAddRaced) {
+				return 0, err
+			}
+			// This group's addition is committed but the replica never
+			// came up: vote the phantom back out (detached context — ctx
+			// may be what failed). The rollback below also covers the
+			// groups already built.
+			break
+		}
+		built++
 	}
-	if err := c.buildAddedSite(ctx, newID); err != nil {
-		if errors.Is(err, errAddRaced) {
-			return 0, err
-		}
-		// The addition is committed but the site never came up: vote the
-		// phantom back out (detached context — ctx may be what failed).
+	if err != nil {
 		rbCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		if _, rerr := c.proposeChange(rbCtx, submitter, func(cfg member.Config) (member.Config, error) {
-			return cfg.WithRemove(transport.NodeID(newID))
-		}); rerr != nil {
-			return 0, fmt.Errorf("%w (rollback of the committed addition also failed: %v; retry AddSite to resume it)", err, rerr)
+		var rbErrs []error
+		for g := 0; g < c.cfg.shards; g++ {
+			c.mu.RLock()
+			committed := g < len(c.groups) && c.groups[g].trackers[submitter].Config().Has(transport.NodeID(newID))
+			c.mu.RUnlock()
+			if !committed {
+				continue
+			}
+			if g < built {
+				// Tear the already-built replica down before removing it.
+				c.mu.Lock()
+				grp := c.groups[g]
+				if len(grp.replicas) == newID+1 {
+					grp.stops[newID]()
+					grp.hub.Crash(transport.NodeID(newID))
+					grp.replicas = grp.replicas[:newID]
+					grp.engines = grp.engines[:newID]
+					grp.trackers = grp.trackers[:newID]
+					grp.stops = grp.stops[:newID]
+					grp.bases = grp.bases[:newID]
+				}
+				c.mu.Unlock()
+			}
+			if _, rerr := c.proposeChange(rbCtx, g, submitter, func(cfg member.Config) (member.Config, error) {
+				return cfg.WithRemove(transport.NodeID(newID))
+			}); rerr != nil {
+				rbErrs = append(rbErrs, fmt.Errorf("shard %d: %w", g, rerr))
+			}
+		}
+		if len(rbErrs) > 0 {
+			return 0, fmt.Errorf("%w (rollback of committed additions also failed: %v; retry AddSite to resume)", err, rbErrs)
 		}
 		return 0, err
 	}
+	c.mu.Lock()
+	c.sessions = append(c.sessions, &Session{c: c, site: newID})
+	c.mu.Unlock()
+	c.attachSite(newID)
 	return newID, nil
 }
 
-// buildAddedSite builds and activates the site the committed addition
-// admitted: endpoint, fresh (or transferred) state, full stack.
-func (c *Cluster) buildAddedSite(ctx context.Context, newID int) error {
+// buildAddedSite builds and activates the replica the committed addition
+// admitted to one shard group: endpoint, fresh (or transferred) state,
+// full stack.
+func (c *Cluster) buildAddedSite(ctx context.Context, g, newID int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.replicas) != newID {
+	grp := c.groups[g]
+	if len(grp.replicas) != newID {
 		return fmt.Errorf("%w: site table moved past %d", errAddRaced, newID)
 	}
 	// A resumed attempt may already have grown the hub; revive that
 	// node instead of appending a second one.
 	var ep transport.Endpoint
-	if c.hub.Len() > newID {
-		ep = c.hub.Restart(transport.NodeID(newID))
+	if grp.hub.Len() > newID {
+		ep = grp.hub.Restart(transport.NodeID(newID))
 	} else {
-		ep = c.hub.Add()
+		ep = grp.hub.Add()
 	}
 	var donors []transport.NodeID
-	for i := range c.replicas {
+	for i := range grp.replicas {
 		if !c.crashed[i] && !c.removed[i] {
 			donors = append(donors, transport.NodeID(i))
 		}
 	}
 	fail := func(err error) error {
-		c.hub.Crash(transport.NodeID(newID))
+		grp.hub.Crash(transport.NodeID(newID))
 		return err
 	}
 	store := storage.NewStore()
-	for _, seed := range c.seeds {
-		seed(store)
-	}
+	c.seedStore(g, store)
 	base := int64(0)
 	var dur *recovery.Durability
 	if c.cfg.durDir != "" {
-		d, derr := recovery.Open(c.siteDir(newID), recovery.Options{
+		d, derr := recovery.Open(c.siteDir(g, newID), recovery.Options{
 			Sync:            c.cfg.syncPolicy,
 			CheckpointEvery: c.cfg.ckptEvery,
 		})
@@ -1105,36 +1397,32 @@ func (c *Cluster) buildAddedSite(ctx context.Context, newID int) error {
 		}
 	}
 	join := xfer.Join
-	rep, opt, tracker, stop, err := c.buildSite(newID, ep, &join, store, base, dur)
+	rep, opt, tracker, stop, err := c.buildSite(grp, newID, ep, &join, store, base, dur)
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
 		}
 		return fail(err)
 	}
-	c.replicas = append(c.replicas, rep)
-	c.engines = append(c.engines, opt)
-	c.trackers = append(c.trackers, tracker)
-	c.sessions = append(c.sessions, &Session{c: c, site: newID})
-	c.stops = append(c.stops, stop)
-	c.bases = append(c.bases, base)
-	if c.joinModes == nil {
-		c.joinModes = make(map[int]statex.Mode)
-	}
-	c.joinModes[newID] = xfer.Mode
+	grp.replicas = append(grp.replicas, rep)
+	grp.engines = append(grp.engines, opt)
+	grp.trackers = append(grp.trackers, tracker)
+	grp.stops = append(grp.stops, stop)
+	grp.bases = append(grp.bases, base)
+	grp.joinModes[newID] = xfer.Mode
 	return nil
 }
 
 // RemoveSite shrinks the group: the removal is committed as a
-// definitively-ordered configuration change — survivors drop to the
-// smaller quorum and stop counting the ghost — and the removed site's
-// stack is then stopped. The site index stays allocated (sessions bound
-// to it fail with ErrStopped); the identifier can return to the group
-// only through ReplaceSite-style re-admission semantics, not
-// RestartSite.
+// definitively-ordered configuration change in every shard group —
+// survivors drop to the smaller quorum and stop counting the ghost —
+// and the removed site's stacks are then stopped. The site index stays
+// allocated (sessions bound to it fail with ErrStopped); the identifier
+// can return to the group only through ReplaceSite-style re-admission
+// semantics, not RestartSite.
 func (c *Cluster) RemoveSite(ctx context.Context, site int) error {
 	c.mu.RLock()
-	if _, err := c.replicaLocked(site); err != nil {
+	if _, err := c.replicaLocked(0, site); err != nil {
 		c.mu.RUnlock()
 		return err
 	}
@@ -1147,10 +1435,12 @@ func (c *Cluster) RemoveSite(ctx context.Context, site int) error {
 	if err != nil {
 		return err
 	}
-	if _, err := c.proposeChange(ctx, submitter, func(cfg member.Config) (member.Config, error) {
-		return cfg.WithRemove(transport.NodeID(site))
-	}); err != nil {
-		return err
+	for g := 0; g < c.cfg.shards; g++ {
+		if _, err := c.proposeChange(ctx, g, submitter, func(cfg member.Config) (member.Config, error) {
+			return cfg.WithRemove(transport.NodeID(site))
+		}); err != nil {
+			return fmt.Errorf("otpdb: shard %d removal: %w", g, err)
+		}
 	}
 
 	c.mu.Lock()
@@ -1158,10 +1448,12 @@ func (c *Cluster) RemoveSite(ctx context.Context, site int) error {
 	if c.removed[site] {
 		return nil
 	}
-	if !c.crashed[site] {
-		c.stops[site]()
+	for _, grp := range c.groups {
+		if !c.crashed[site] {
+			grp.stops[site]()
+		}
+		grp.hub.Crash(transport.NodeID(site))
 	}
-	c.hub.Crash(transport.NodeID(site))
 	if c.removed == nil {
 		c.removed = make(map[int]bool)
 	}
@@ -1172,15 +1464,16 @@ func (c *Cluster) RemoveSite(ctx context.Context, site int) error {
 
 // ReplaceSite re-admits a crashed site's identifier as a fresh process —
 // remove + add in one epoch, the "permanently dead machine replaced by a
-// new one" operation. The change is committed through the definitive
-// order first (survivors switch epochs and reset the identity's failure
-// suspicion), then the replacement is built from nothing: its previous
-// durable state, if any, is wiped, and it statex-joins from a live donor
-// exactly as AddSite's fresh site does. Requires the site to be crashed
-// (crash it first; replacing a live site is a programming error).
+// new one" operation. The change is committed through every shard
+// group's definitive order first (survivors switch epochs and reset the
+// identity's failure suspicion), then the replacement is built from
+// nothing: its previous durable state, if any, is wiped, and it
+// statex-joins from live donors exactly as AddSite's fresh site does.
+// Requires the site to be crashed (crash it first; replacing a live site
+// is a programming error).
 func (c *Cluster) ReplaceSite(ctx context.Context, site int) error {
 	c.mu.RLock()
-	if _, err := c.replicaLocked(site); err != nil {
+	if _, err := c.replicaLocked(0, site); err != nil {
 		c.mu.RUnlock()
 		return err
 	}
@@ -1197,10 +1490,12 @@ func (c *Cluster) ReplaceSite(ctx context.Context, site int) error {
 	if err != nil {
 		return err
 	}
-	if _, err := c.proposeChange(ctx, submitter, func(cfg member.Config) (member.Config, error) {
-		return cfg.WithReplace(transport.NodeID(site), "")
-	}); err != nil {
-		return err
+	for g := 0; g < c.cfg.shards; g++ {
+		if _, err := c.proposeChange(ctx, g, submitter, func(cfg member.Config) (member.Config, error) {
+			return cfg.WithReplace(transport.NodeID(site), "")
+		}); err != nil {
+			return fmt.Errorf("otpdb: shard %d replacement: %w", g, err)
+		}
 	}
 
 	c.mu.Lock()
@@ -1211,25 +1506,32 @@ func (c *Cluster) ReplaceSite(ctx context.Context, site int) error {
 	return c.rejoinLocked(ctx, site, true)
 }
 
-// Epoch reports the membership epoch a site currently runs under.
+// Epoch reports the membership epoch a site currently runs under (shard
+// 0's; site-level membership operations move all shards together, but a
+// concurrent change is visible in some shards first).
 func (c *Cluster) Epoch(site int) (uint64, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if _, err := c.replicaLocked(site); err != nil {
-		return 0, err
-	}
-	return c.trackers[site].Epoch(), nil
+	return c.ShardEpoch(site, 0)
 }
 
-// Members reports the group membership as a site currently sees it, in
-// ascending site order.
+// ShardEpoch reports the membership epoch of one shard at one site.
+func (c *Cluster) ShardEpoch(site, shardID int) (uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, err := c.replicaLocked(shardID, site); err != nil {
+		return 0, err
+	}
+	return c.groups[shardID].trackers[site].Epoch(), nil
+}
+
+// Members reports the group membership as a site currently sees it
+// (shard 0's view), in ascending site order.
 func (c *Cluster) Members(site int) ([]int, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if _, err := c.replicaLocked(site); err != nil {
+	if _, err := c.replicaLocked(0, site); err != nil {
 		return nil, err
 	}
-	ids := c.trackers[site].Members()
+	ids := c.groups[0].trackers[site].Members()
 	out := make([]int, len(ids))
 	for i, id := range ids {
 		out[i] = int(id)
@@ -1237,10 +1539,30 @@ func (c *Cluster) Members(site int) ([]int, error) {
 	return out, nil
 }
 
-// DigestAt returns a hash of a site's committed state, for convergence
-// comparisons across sites.
+// DigestAt returns a hash of a site's committed state — all shards
+// combined in shard order — for convergence comparisons across sites.
 func (c *Cluster) DigestAt(site int) (uint64, error) {
-	rep, err := c.replica(site)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h := fnv.New64a()
+	var buf [8]byte
+	for g := range c.groups {
+		rep, err := c.replicaLocked(g, site)
+		if err != nil {
+			return 0, err
+		}
+		d := rep.Store().Digest()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(d >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64(), nil
+}
+
+// ShardDigest returns a hash of one shard's committed state at a site.
+func (c *Cluster) ShardDigest(site, shardID int) (uint64, error) {
+	rep, err := c.replica(shardID, site)
 	if err != nil {
 		return 0, err
 	}
@@ -1248,24 +1570,37 @@ func (c *Cluster) DigestAt(site int) (uint64, error) {
 }
 
 // CheckHistory verifies 1-copy-serializability of everything executed so
-// far. It requires WithHistoryRecording.
+// far, shard by shard (cross-shard atomicity is enforced by the
+// two-phase protocol; each shard's history checker sees the cross
+// transaction as that shard's prepare). It requires
+// WithHistoryRecording.
 func (c *Cluster) CheckHistory() error {
-	if c.recorder == nil {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.cfg.recordHist {
 		return errors.New("otpdb: history recording not enabled (use WithHistoryRecording)")
 	}
-	return c.recorder.Check()
+	for g, grp := range c.groups {
+		if err := grp.recorder.Check(); err != nil {
+			return fmt.Errorf("shard %d: %w", g, err)
+		}
+	}
+	return nil
 }
 
-// CheckInvariants validates the OTP scheduler invariants at every site.
+// CheckInvariants validates the OTP scheduler invariants at every shard
+// replica of every site.
 func (c *Cluster) CheckInvariants() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if !c.started {
 		return ErrNotStarted
 	}
-	for i, rep := range c.replicas {
-		if err := rep.Manager().CheckInvariants(); err != nil {
-			return fmt.Errorf("site %d: %w", i, err)
+	for g, grp := range c.groups {
+		for i, rep := range grp.replicas {
+			if err := rep.Manager().CheckInvariants(); err != nil {
+				return fmt.Errorf("shard %d site %d: %w", g, i, err)
+			}
 		}
 	}
 	return nil

@@ -8,11 +8,18 @@ import (
 
 	"otpdb/internal/abcast"
 	"otpdb/internal/db"
+	"otpdb/internal/shard"
+	"otpdb/internal/transport"
 )
 
-// TxnID identifies a submitted update transaction network-wide: the
-// originating site plus a per-origin sequence number.
+// TxnID identifies a submitted update transaction network-wide within its
+// shard group: the originating site plus a per-origin sequence number.
 type TxnID = abcast.MsgID
+
+// ShardTO locates a cross-shard transaction in one shard's definitive
+// order: the TO index of its prepare transaction there (re-exported from
+// internal/shard).
+type ShardTO = shard.ShardTO
 
 // Outcome classifies how the optimistic protocol handled a committed
 // transaction at the submitting site.
@@ -23,14 +30,17 @@ const (
 	// FastPath means the tentative order was confirmed as-is: the
 	// transaction executed once, in the position it was Opt-delivered,
 	// and committed the moment the definitive order arrived. This is the
-	// common case the paper's throughput argument rests on.
+	// common case the paper's throughput argument rests on. A cross-shard
+	// transaction is FastPath when its first attempt committed.
 	FastPath Outcome = iota + 1
 	// Reordered means TO-delivery moved the transaction ahead of pending
 	// transactions in one of its class queues — its definitive position
 	// contradicted the tentative one (Correctness Check, CC10).
 	Reordered
 	// Retried means the transaction's optimistic execution was undone by
-	// the Correctness Check and redone in the definitive order (CC8).
+	// the Correctness Check and redone in the definitive order (CC8), or
+	// — for a cross-shard transaction — earlier attempts aborted on
+	// validation before one committed.
 	Retried
 )
 
@@ -52,12 +62,21 @@ type Result struct {
 	// Value is the stored procedure's return value (may be nil).
 	Value Value
 	// TOIndex is the transaction's definitive total-order index; every
-	// site commits conflicting transactions in ascending TOIndex order.
+	// site commits conflicting transactions in ascending TOIndex order
+	// within a shard group. For a cross-shard transaction it is the
+	// prepare's index at the home shard; ShardTO lists every shard's.
 	TOIndex int64
 	// Outcome reports which protocol path the transaction took.
 	Outcome Outcome
 	// Latency is the submit-to-local-commit time observed by the session.
 	Latency time.Duration
+	// Shard is the shard group that ordered the transaction (the home
+	// shard for a cross-shard transaction). Always 0 without WithShards.
+	Shard int
+	// ShardTO lists a cross-shard transaction's definitive position in
+	// every shard it touched, ascending by shard; nil for single-shard
+	// transactions.
+	ShardTO []ShardTO
 }
 
 // Handle is the future of an in-flight update transaction submitted with
@@ -65,8 +84,9 @@ type Result struct {
 // submitting site (which fixes its definitive order everywhere) or when
 // it terminally fails. Handles are safe for concurrent use.
 type Handle struct {
-	id   TxnID
-	site int
+	id    TxnID
+	site  int
+	shard int // owning shard group, or -1 for cross-shard
 
 	done     chan struct{}
 	res      Result
@@ -74,12 +94,18 @@ type Handle struct {
 	resolved atomic.Bool
 }
 
-// ID returns the transaction's broadcast identifier, usable to correlate
-// the transaction across sites (e.g. in commit logs and histories).
+// ID returns the transaction's broadcast identifier within its shard
+// group, usable to correlate the transaction across sites (e.g. in
+// commit logs and histories). Cross-shard transactions span groups and
+// return the zero TxnID.
 func (h *Handle) ID() TxnID { return h.id }
 
 // Site returns the submitting site.
 func (h *Handle) Site() int { return h.site }
+
+// Shard returns the shard group the transaction was routed to, or -1 for
+// a cross-shard transaction.
+func (h *Handle) Shard() int { return h.shard }
 
 // Done returns a channel closed when the handle is resolved. After Done
 // is closed, Result returns immediately.
@@ -124,7 +150,35 @@ func (h *Handle) resolve(start time.Time, cr db.CommitResult) {
 			TOIndex: cr.Info.TOIndex,
 			Outcome: outcome,
 			Latency: time.Since(start),
+			Shard:   h.shard,
 		}
+	}
+	h.resolved.Store(true)
+	close(h.done)
+}
+
+// resolveCross is the cross-shard coordinator callback; invoked exactly
+// once per handle.
+func (h *Handle) resolveCross(start time.Time, res shard.CrossResult, err error) {
+	h.err = err
+	if err == nil {
+		outcome := FastPath
+		if res.Retries > 0 {
+			outcome = Retried
+		}
+		r := Result{
+			Value:   res.Value,
+			Outcome: outcome,
+			Latency: time.Since(start),
+			Shard:   res.Home,
+			ShardTO: res.ShardTO,
+		}
+		for _, st := range res.ShardTO {
+			if st.Shard == res.Home {
+				r.TOIndex = st.TOIndex
+			}
+		}
+		h.res = r
 	}
 	h.resolved.Store(true)
 	close(h.done)
@@ -142,10 +196,12 @@ type Call struct {
 // primary data interface: synchronous Exec with typed results, pipelined
 // SubmitAsync returning transaction handles, amortized ExecBatch, and
 // local snapshot queries. Sessions are safe for concurrent use and cheap
-// to share; all sessions of a site observe the same replica. A session
+// to share; all sessions of a site observe the same replicas. A session
 // is bound to the site, not to one incarnation of it: after
 // Cluster.RestartSite the same session transparently talks to the
-// site's new replica.
+// site's new replicas. With WithShards the session routes each
+// transaction to the shard group owning its classes; a transaction
+// spanning shards runs the two-phase cross-shard protocol.
 type Session struct {
 	c    *Cluster
 	site int
@@ -156,17 +212,15 @@ type Session struct {
 func (c *Cluster) Session(site int) (*Session, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if _, err := c.replicaLocked(site); err != nil {
+	if _, err := c.replicaLocked(0, site); err != nil {
 		return nil, err
 	}
 	return c.sessions[site], nil
 }
 
-// rep resolves the site's current replica.
-func (s *Session) rep() *db.Replica {
-	s.c.mu.RLock()
-	defer s.c.mu.RUnlock()
-	return s.c.replicas[s.site]
+// rep resolves the site's current replica in one shard group.
+func (s *Session) rep(g int) (*db.Replica, error) {
+	return s.c.replica(g, s.site)
 }
 
 // Site returns the session's site index.
@@ -176,10 +230,39 @@ func (s *Session) Site() int { return s.site }
 // without waiting for the commit. Clients pipeline by keeping many
 // handles in flight and resolving them later; the broadcast layer orders
 // all of them regardless of when (or whether) the handles are awaited.
+// A transaction whose classes span shard groups is driven by the
+// cross-shard coordinator instead; its handle resolves when the decision
+// is committed in every shard it touched.
 func (s *Session) SubmitAsync(proc string, args ...Value) (*Handle, error) {
-	h := &Handle{site: s.site, done: make(chan struct{})}
+	c := s.c
+	classes, err := c.registry.UpdateClasses(proc)
+	if err != nil {
+		return nil, err
+	}
+	split := c.smap.Split(classes)
+	if len(split) > 1 {
+		h := &Handle{site: s.site, shard: -1, done: make(chan struct{})}
+		start := time.Now()
+		// The coordinator runs in the background so cross-shard
+		// transactions pipeline like single-shard ones; its own vote and
+		// resolve timeouts bound the run.
+		go func() {
+			res, cerr := c.coord.Exec(context.Background(), proc, args...)
+			h.resolveCross(start, res, cerr)
+		}()
+		return h, nil
+	}
+	g := 0
+	for owner := range split {
+		g = owner
+	}
+	rep, err := s.rep(g)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{site: s.site, shard: g, done: make(chan struct{})}
 	start := time.Now()
-	id, err := s.rep().SubmitNotify(proc, args, func(cr db.CommitResult) { h.resolve(start, cr) })
+	id, err := rep.SubmitNotify(proc, args, func(cr db.CommitResult) { h.resolve(start, cr) })
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +310,84 @@ func (s *Session) ExecBatch(ctx context.Context, calls []Call) ([]Result, error)
 
 // Query runs a read-only stored procedure locally at the session's site,
 // against a consistent multi-version snapshot (Section 5). Queries never
-// block updates.
+// block updates. With WithShards the query holds one pinned snapshot per
+// shard group it touches, opened lazily at first read: reads within a
+// shard see a consistent committed prefix, while the per-shard snapshots
+// are pinned independently (per-shard snapshot isolation — there is no
+// global cross-shard snapshot index).
 func (s *Session) Query(ctx context.Context, proc string, args ...Value) (Value, error) {
-	return s.rep().Query(ctx, proc, args...)
+	c := s.c
+	if c.cfg.shards == 1 {
+		rep, err := s.rep(0)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Query(ctx, proc, args...)
+	}
+	q, err := c.registry.Query(proc)
+	if err != nil {
+		return nil, err
+	}
+	mq := &multiQueryCtx{s: s, ctx: ctx, args: args, snaps: make(map[int]*db.QuerySnap)}
+	defer mq.close()
+	res, err := q.Fn(mq)
+	if err != nil {
+		return nil, err
+	}
+	if mq.err != nil {
+		return nil, mq.err
+	}
+	c.mu.RLock()
+	for g, snap := range mq.snaps {
+		if rec := c.groups[g].recorder; rec != nil {
+			rec.RecordQuery(transport.NodeID(s.site), snap.QIndex(), snap.Reads())
+		}
+	}
+	c.mu.RUnlock()
+	return res, nil
+}
+
+// multiQueryCtx adapts per-shard QuerySnaps to sproc.QueryCtx, routing
+// each read to the snapshot of the shard group owning its class.
+type multiQueryCtx struct {
+	s     *Session
+	ctx   context.Context
+	args  []Value
+	snaps map[int]*db.QuerySnap
+	err   error
+}
+
+func (m *multiQueryCtx) Args() []Value { return m.args }
+
+func (m *multiQueryCtx) Read(class Class, key Key) (Value, bool) {
+	if m.err != nil {
+		return nil, false
+	}
+	g := m.s.c.smap.Locate(class)
+	snap := m.snaps[g]
+	if snap == nil {
+		rep, err := m.s.rep(g)
+		if err != nil {
+			m.err = err
+			return nil, false
+		}
+		snap, err = rep.BeginSnap(m.ctx)
+		if err != nil {
+			m.err = err
+			return nil, false
+		}
+		m.snaps[g] = snap
+	}
+	v, ok := snap.Read(class, key)
+	if e := snap.Err(); e != nil {
+		m.err = e
+		return nil, false
+	}
+	return v, ok
+}
+
+func (m *multiQueryCtx) close() {
+	for _, snap := range m.snaps {
+		snap.Close()
+	}
 }
