@@ -1,0 +1,143 @@
+package otpdb
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"otpdb/internal/fd"
+	"otpdb/internal/member"
+	"otpdb/internal/transport"
+)
+
+// autoReplaceTimeout bounds one replacement round end to end: the
+// membership proposals through every shard group plus the state
+// transfer that rebuilds the replacement.
+const autoReplaceTimeout = 30 * time.Second
+
+// autoReplaceLoop is the per-site half of WithAutoReplace: it watches the
+// site's failure detector and, when a peer has been continuously
+// suspected for the configured window, runs one replacement round. Every
+// live site runs this loop independently — there is no elected repairer
+// to be the next single point of failure — and the membership protocol's
+// epoch-succession check arbitrates the resulting race (see
+// tryAutoReplace).
+//
+// The loop exits on stop without being joined; Cluster.Stop and site
+// teardown only signal it, so a round blocked inside a proposal drains
+// on its own timeout.
+func (c *Cluster) autoReplaceLoop(self int, det *fd.Detector, stop <-chan struct{}) {
+	window := c.cfg.suspectWin
+	poll := window / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	// Suspicion must be *sustained*: a node that flaps (suspected,
+	// refreshed, suspected again) restarts its window every time it
+	// drops out of the suspected set. since records when the current
+	// unbroken stretch of suspicion began.
+	since := make(map[transport.NodeID]time.Time)
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		cur := make(map[transport.NodeID]bool)
+		for _, n := range det.SuspectedSet() {
+			cur[n] = true
+		}
+		for n := range since {
+			if !cur[n] {
+				delete(since, n)
+			}
+		}
+		for n := range cur {
+			start, ok := since[n]
+			if !ok {
+				since[n] = now
+				continue
+			}
+			if now.Sub(start) < window {
+				continue
+			}
+			c.tryAutoReplace(self, int(n))
+			// Back off a full further window whether we won or lost:
+			// a winner's rebuild clears the suspicion via the epoch
+			// change; a loser must not re-propose while the winner's
+			// round is still in flight. If the round failed outright
+			// (no donors yet), the victim stays suspected and the
+			// next window retries — the loop is the retry.
+			since[n] = now
+		}
+	}
+}
+
+// tryAutoReplace runs one replacement round for victim as seen from
+// site self. Exactly-once across racing survivors is the membership
+// protocol's epoch-succession check doing its job: every proposer
+// derives WithReplace from the configuration it captured at window
+// expiry, so for a given epoch exactly one proposal commits and every
+// other proposer observes member.ErrEpochConflict and backs off.
+//
+// Group 0 is the gate: a proposer only continues to the remaining shard
+// groups after winning group 0, so concurrent rounds serialize there. A
+// conflict in a later group can then only be an unrelated membership
+// change interleaving; the winner retries that group once against the
+// live configuration (the victim still needs replacing — nobody else
+// could be replacing it without having won group 0 first).
+//
+// Only transport-level crashes are repaired: a partitioned-but-alive
+// site is suspected but keeps its seat, because replacing it would wipe
+// a healthy replica to fix a network problem. This is also what keeps
+// the detector's inevitable false suspicions (◇S is unreliable by
+// nature) from ever destroying state.
+func (c *Cluster) tryAutoReplace(self, victim int) {
+	c.mu.RLock()
+	ok := c.started && !c.stopped &&
+		c.crashed[victim] && !c.removed[victim] &&
+		!c.crashed[self] && !c.removed[self]
+	var captured []member.Config
+	if ok {
+		captured = make([]member.Config, len(c.groups))
+		for g := range c.groups {
+			captured[g] = c.groups[g].trackers[self].Config()
+		}
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), autoReplaceTimeout)
+	defer cancel()
+	for g := range captured {
+		snap := captured[g]
+		_, err := c.proposeChange(ctx, g, self, func(member.Config) (member.Config, error) {
+			return snap.WithReplace(transport.NodeID(victim), "")
+		})
+		if err == nil {
+			continue
+		}
+		if g == 0 || !errors.Is(err, member.ErrEpochConflict) {
+			return
+		}
+		if _, rerr := c.proposeChange(ctx, g, self, func(cfg member.Config) (member.Config, error) {
+			return cfg.WithReplace(transport.NodeID(victim), "")
+		}); rerr != nil {
+			return
+		}
+	}
+	// Every group committed the replacement; rebuild the identity as a
+	// fresh replica (wipe semantics — the dead incarnation's durable
+	// state does not come with it). Re-validate under the write lock:
+	// Stop, RemoveSite or an operator's ReplaceSite may have moved first.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped || !c.crashed[victim] || c.removed[victim] || c.crashed[self] {
+		return
+	}
+	_ = c.rejoinLocked(ctx, victim, true)
+}

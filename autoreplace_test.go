@@ -1,0 +1,214 @@
+package otpdb_test
+
+import (
+	"testing"
+	"time"
+
+	"otpdb"
+	"otpdb/internal/transport"
+)
+
+// waitEpoch polls until every listed site reports at least the given
+// epoch, or fails at the deadline.
+func waitEpoch(t *testing.T, c *otpdb.Cluster, epoch uint64, deadline time.Duration, sites ...int) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		ok := true
+		for _, s := range sites {
+			e, err := c.Epoch(s)
+			if err != nil || e < epoch {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(end) {
+			for _, s := range sites {
+				e, _ := c.Epoch(s)
+				t.Logf("site %d epoch %d", s, e)
+			}
+			t.Fatalf("epoch %d never reached", epoch)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAutoReplaceHealsCrashedSite: with WithAutoReplace armed, a crashed
+// site is replaced and rebuilt with no operator action — the acceptance
+// scenario of the self-healing loop. The replacement then serves
+// transactions in agreement with the survivors.
+func TestAutoReplaceHealsCrashedSite(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3), otpdb.WithAutoReplace(150*time.Millisecond))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	creditN(t, c, 0, 10, 10)
+
+	if err := c.CrashSite(2); err != nil {
+		t.Fatal(err)
+	}
+	// No RestartSite, no ReplaceSite: the detectors and replacers do it.
+	waitEpoch(t, c, 2, time.Minute, 0, 1)
+
+	// The rebuild follows the epoch commit; wait for the site to be live
+	// again before using it.
+	end := time.Now().Add(time.Minute)
+	for len(c.CrashedSites()) != 0 {
+		if time.Now().After(end) {
+			t.Fatalf("site 2 never rebuilt; still crashed: %v", c.CrashedSites())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	creditN(t, c, 2, 1, 12) // 11 credits + 1 membership change
+	assertConverged(t, c)
+	if mode, err := c.RejoinMode(2); err != nil || mode == "" {
+		t.Fatalf("RejoinMode = %q, %v (replacement did not rejoin through statex)", mode, err)
+	}
+}
+
+// TestAutoReplaceExactlyOnce: four racing survivors notice the crash
+// together; exactly one ReplaceSite commits (the epoch advances by one)
+// and the losers back off on ErrEpochConflict instead of stacking
+// further epochs.
+func TestAutoReplaceExactlyOnce(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(5), otpdb.WithAutoReplace(150*time.Millisecond))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	creditN(t, c, 0, 5, 5)
+
+	if err := c.CrashSite(4); err != nil {
+		t.Fatal(err)
+	}
+	waitEpoch(t, c, 2, time.Minute, 0, 1, 2, 3)
+	end := time.Now().Add(time.Minute)
+	for len(c.CrashedSites()) != 0 {
+		if time.Now().After(end) {
+			t.Fatalf("site 4 never rebuilt; still crashed: %v", c.CrashedSites())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Let any straggler replacer round drain, then require the epoch to
+	// have settled at exactly 2: one replacement, not one per survivor.
+	time.Sleep(500 * time.Millisecond)
+	for _, s := range []int{0, 1, 2, 3, 4} {
+		e, err := c.Epoch(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != 2 {
+			t.Fatalf("site %d epoch = %d, want exactly 2 (racing replacers stacked epochs)", s, e)
+		}
+	}
+	creditN(t, c, 4, 1, 7) // 6 credits + 1 membership change
+	assertConverged(t, c)
+}
+
+// TestAutoReplaceSparesPartitionedSite: a partitioned-but-alive site is
+// suspected (its heartbeats stop arriving) but never replaced — only a
+// transport-level crash qualifies. After the heal the site is simply a
+// member again, state intact.
+func TestAutoReplaceSparesPartitionedSite(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3), otpdb.WithAutoReplace(100*time.Millisecond))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	creditN(t, c, 0, 5, 5)
+
+	f := c.Fault()
+	if err := f.Partition(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Partition(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Several full suspicion windows pass; the replacers see the
+	// suspicion but must hold fire.
+	time.Sleep(600 * time.Millisecond)
+	for _, s := range []int{0, 1} {
+		e, err := c.Epoch(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != 1 {
+			t.Fatalf("site %d epoch = %d: a live site was replaced over a partition", s, e)
+		}
+	}
+	if err := f.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	creditN(t, c, 0, 1, 6)
+	assertConverged(t, c)
+}
+
+// TestAutoReplaceIgnoresGhostHeartbeats: replayed heartbeats from the
+// dead incarnation must not refresh its lease and stall the
+// replacement. The ghosts carry a stale incarnation, so detectors drop
+// them and the replacement proceeds.
+func TestAutoReplaceIgnoresGhostHeartbeats(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3), otpdb.WithAutoReplace(150*time.Millisecond))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	creditN(t, c, 0, 5, 5)
+	if err := c.CrashSite(2); err != nil {
+		t.Fatal(err)
+	}
+	// A reconnecting transport replaying the dead process's backlog:
+	// periodic stale heartbeats at every survivor.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				_ = c.Fault().GhostHeartbeat(2, 0)
+				_ = c.Fault().GhostHeartbeat(2, 1)
+			}
+		}
+	}()
+	waitEpoch(t, c, 2, time.Minute, 0, 1)
+	close(stop)
+	<-done
+	end := time.Now().Add(time.Minute)
+	for len(c.CrashedSites()) != 0 {
+		if time.Now().After(end) {
+			t.Fatalf("ghost heartbeats stalled the rebuild; still crashed: %v", c.CrashedSites())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	assertConverged(t, c)
+}
+
+// TestFaultInjectorValidation: the injector rejects out-of-range sites
+// and an unstarted cluster rather than panicking mid-scenario.
+func TestFaultInjectorValidation(t *testing.T) {
+	c := accountsCluster(t, otpdb.WithReplicas(3))
+	f := c.Fault()
+	if err := f.Partition(0, 1); err == nil {
+		t.Fatal("Partition before Start succeeded")
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Partition(0, 7); err == nil {
+		t.Fatal("Partition with out-of-range site succeeded")
+	}
+	if err := f.StallCommits(-1, time.Millisecond); err == nil {
+		t.Fatal("StallCommits with negative site succeeded")
+	}
+	if err := f.SetLink(0, 1, transport.LinkProfile{Delay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ClearLinks(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,10 +5,19 @@
 // Usage:
 //
 //	otpbench [-quick] [-json] [-out file] [experiment ...]
+//	otpbench [-quick] chaos [-seed S] [-v] [scenario ...]
 //
 // Experiments: figure1, abortrate, overlap, async, queries, ordering,
-// pipeline, commit, recovery, rejoin, reconfig, shard. With no arguments
-// every experiment runs.
+// pipeline, commit, recovery, rejoin, reconfig, shard, chaos. With no
+// arguments every experiment runs.
+//
+// The chaos experiment is the E13 fault-injection matrix: every shipped
+// scenario of internal/chaos runs at -seed (identical seeds replay
+// identical fault schedules), reporting pass/fail per scenario against
+// the invariants (digest convergence, no lost acked commit, effect-once,
+// epoch monotonicity). A failing scenario makes otpbench exit nonzero.
+// Arguments after "chaos" belong to it: -seed, -v (stream the fault
+// schedule as it executes) and an optional list of scenario names.
 //
 // The commit experiment is the tracked commit-path benchmark: with
 // -json it also writes its report (throughput and p50/p99 commit
@@ -23,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"otpdb/internal/chaos"
 	"otpdb/internal/experiments"
 	"otpdb/internal/netsim"
 )
@@ -47,8 +57,11 @@ func main() {
 }
 
 func run(targets []string, quick, jsonOut bool, outPath string) error {
-	for _, target := range targets {
+	for i, target := range targets {
 		switch target {
+		case "chaos":
+			// Everything after "chaos" is its own argument list.
+			return runChaos(targets[i+1:], quick)
 		case "figure1":
 			p := experiments.DefaultFigure1Params()
 			if quick {
@@ -193,6 +206,58 @@ func run(targets []string, quick, jsonOut bool, outPath string) error {
 		default:
 			return fmt.Errorf("unknown experiment %q", target)
 		}
+	}
+	return nil
+}
+
+// runChaos is the E13 matrix as a standalone target: pass/fail per
+// scenario, nonzero exit on any violation.
+func runChaos(args []string, quick bool) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "fault-schedule seed (identical seeds replay identical schedules)")
+	verbose := fs.Bool("v", false, "stream scenario progress and print each fault schedule")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := experiments.ChaosBenchParams{Seed: *seed, Quick: quick}
+	if *verbose {
+		p.Out = os.Stdout
+	}
+	names := fs.Args()
+	if len(names) > 0 {
+		// A named subset: run exactly these, full-mode definitions.
+		var rep experiments.ChaosReport
+		rep.Seed = *seed
+		rep.ByClass = make(map[string]experiments.ChaosClassStat)
+		for _, name := range names {
+			sc, ok := chaos.Find(name)
+			if !ok {
+				return fmt.Errorf("chaos: unknown scenario %q", name)
+			}
+			res, err := chaos.Run(sc, *seed, chaos.Options{Out: p.Out})
+			if err != nil {
+				return fmt.Errorf("chaos %s: %w", name, err)
+			}
+			if *verbose {
+				fmt.Printf("schedule for %s seed=%d:\n%s", name, *seed, res.ScheduleText)
+			}
+			rep.Scenarios = append(rep.Scenarios, *res)
+		}
+		t := rep.Table()
+		t.Render(os.Stdout)
+		if n := rep.Failures(); n > 0 {
+			return fmt.Errorf("chaos: %d scenario(s) failed their invariants", n)
+		}
+		return nil
+	}
+	rep, err := experiments.ChaosBench(p)
+	if err != nil {
+		return err
+	}
+	t := rep.Table()
+	t.Render(os.Stdout)
+	if n := rep.Failures(); n > 0 {
+		return fmt.Errorf("chaos: %d scenario(s) failed their invariants", n)
 	}
 	return nil
 }

@@ -544,7 +544,7 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 		var jerr error
 		for attempt := 0; attempt < 2; attempt++ {
 			xfer, jerr = statex.Fetch(ctx, node, base, donorOrder(detector, transport.NodeID(id), tracker.Members()),
-				statex.Options{RespTimeout: 3 * time.Second})
+				statex.Options{RespTimeout: 3 * time.Second, Parallel: true})
 			if jerr == nil || ctx.Err() != nil {
 				break
 			}

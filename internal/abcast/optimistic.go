@@ -3,6 +3,7 @@ package abcast
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"otpdb/internal/consensus"
 	"otpdb/internal/queue"
@@ -54,6 +55,9 @@ type Optimistic struct {
 	inFlight    bool
 	nextProcess uint64 // next stage decision to process
 	decisionBuf map[uint64][]MsgID
+	// lastDecideReq rate-limits gap-triggered decision catch-up
+	// broadcasts (see onDecision).
+	lastDecideReq time.Time
 	lastProp    []MsgID // this site's proposal for the in-flight stage
 
 	// Definitive-history retention (recovery/rejoin support): every
@@ -270,14 +274,13 @@ func (o *Optimistic) applyJoin() {
 }
 
 // requestMissingBodies asks the group to retransmit bodies the pending
-// definitive queue is blocked on. Only meaningful on rejoined sites (a
-// site that never crashed receives every body through the original
-// reliable dissemination); re-invoked at every processed stage, so a
-// peer that itself lacked the body at request time is asked again.
+// definitive queue is blocked on. Rejoined sites hit this for backlog
+// entries served without bodies, but a site that never crashed needs it
+// too: a partition can swallow the original dissemination of a body
+// whose decision this site later catches up on. Re-invoked at every
+// processed stage, so a peer that itself lacked the body at request
+// time is asked again.
 func (o *Optimistic) requestMissingBodies() {
-	if o.join == nil {
-		return
-	}
 	var missing []MsgID
 	for _, id := range o.pendingTO {
 		if !o.optDone[id] {
@@ -345,8 +348,15 @@ func (o *Optimistic) onData(m DataMsg) {
 	o.maybePropose()
 }
 
+// decideReqInterval rate-limits gap-triggered decision catch-up
+// requests: while the gap persists, at most one broadcast per interval.
+const decideReqInterval = 200 * time.Millisecond
+
 // onDecision buffers out-of-order stage decisions and processes them in
-// stage order.
+// stage order. A buffered decision above a hole means this site missed
+// earlier DECIDE broadcasts (a partition swallowed them); the hole
+// never fills on its own, so the missing range is re-requested from
+// the group.
 func (o *Optimistic) onDecision(d consensus.Decision) {
 	ids, ok := d.Value.([]MsgID)
 	if !ok {
@@ -356,15 +366,22 @@ func (o *Optimistic) onDecision(d consensus.Decision) {
 		// every later stage.
 		panic(fmt.Sprintf("abcast: stage %d decided non-proposal value %T", d.Instance, d.Value))
 	}
+	if d.Instance < o.nextProcess {
+		return // retransmission of an already-processed stage
+	}
 	o.decisionBuf[d.Instance] = ids
 	for {
 		ids, ok := o.decisionBuf[o.nextProcess]
 		if !ok {
-			return
+			break
 		}
 		delete(o.decisionBuf, o.nextProcess)
 		o.processStage(o.nextProcess, ids)
 		o.nextProcess++
+	}
+	if len(o.decisionBuf) > 0 && time.Since(o.lastDecideReq) >= decideReqInterval {
+		o.lastDecideReq = time.Now()
+		o.cons.RequestDecisions(o.nextProcess)
 	}
 }
 

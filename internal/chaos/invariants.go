@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The invariant checkers are pure functions over observations collected
+// by a run, so they unit-test directly against fabricated violations.
+// Each returns human-readable violation strings (empty = invariant
+// holds).
+
+// CheckDigestConvergence requires every surviving site of each shard to
+// report the same state digest. digests is shard → site → digest.
+func CheckDigestConvergence(digests map[int]map[int]uint64) []string {
+	var out []string
+	for _, g := range sortedKeys(digests) {
+		sites := digests[g]
+		var ref uint64
+		refSite := -1
+		for _, s := range sortedKeys(sites) {
+			if refSite < 0 {
+				ref, refSite = sites[s], s
+				continue
+			}
+			if sites[s] != ref {
+				out = append(out, fmt.Sprintf(
+					"digest divergence: shard %d site %d digest %016x != site %d digest %016x",
+					g, s, sites[s], refSite, ref))
+			}
+		}
+	}
+	return out
+}
+
+// Committed names one (submission, class) effect an acknowledgement
+// promised: a multi-class submission contributes one entry per class.
+type Committed struct {
+	ID    string
+	Class string
+}
+
+// CheckAckedDurability requires every acknowledged submission to be
+// present in the final state: present reports whether the id's marker
+// row survives in the class. An acknowledgement the cluster later
+// forgot is a lost commit.
+func CheckAckedDurability(acked []Committed, present func(class, id string) bool) []string {
+	sorted := append([]Committed(nil), acked...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Class != sorted[j].Class {
+			return sorted[i].Class < sorted[j].Class
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	var out []string
+	for _, a := range sorted {
+		if !present(a.Class, a.ID) {
+			out = append(out, fmt.Sprintf("lost acked commit: id %s (class %s) has no marker in the final state", a.ID, a.Class))
+		}
+	}
+	return out
+}
+
+// CheckEffectOnce requires each class's commutative counter to equal the
+// number of distinct committed submissions of the class: sums maps
+// class → final counter, markers maps class → count of marker rows
+// found. The workload increments the counter only on first application
+// of an id, so sum > markers means some submission's effect was applied
+// more than once (a retried submission double-committed), and
+// sum < markers means an applied marker skipped its increment.
+func CheckEffectOnce(sums, markers map[string]int64) []string {
+	var out []string
+	for _, class := range sortedKeys(sums) {
+		if sums[class] != markers[class] {
+			out = append(out, fmt.Sprintf(
+				"effect-once violation: class %s counter=%d but %d distinct committed submissions",
+				class, sums[class], markers[class]))
+		}
+	}
+	for _, class := range sortedKeys(markers) {
+		if _, ok := sums[class]; !ok && markers[class] != 0 {
+			out = append(out, fmt.Sprintf(
+				"effect-once violation: class %s has %d markers but no counter", class, markers[class]))
+		}
+	}
+	return out
+}
+
+// CheckEpochMonotonic requires every observed per-site, per-shard epoch
+// sequence to be non-decreasing, and all sites of a shard to end at the
+// same epoch. samples maps "site/shard" label → the polled epoch
+// sequence in observation order.
+func CheckEpochMonotonic(samples map[string][]uint64) []string {
+	var out []string
+	final := make(map[string]map[string]uint64) // shard part → label → last
+	for _, label := range sortedKeys(samples) {
+		seq := samples[label]
+		for i := 1; i < len(seq); i++ {
+			if seq[i] < seq[i-1] {
+				out = append(out, fmt.Sprintf(
+					"epoch regression: %s observed %d then %d", label, seq[i-1], seq[i]))
+				break
+			}
+		}
+		if len(seq) == 0 {
+			continue
+		}
+		shard := shardOfLabel(label)
+		if final[shard] == nil {
+			final[shard] = make(map[string]uint64)
+		}
+		final[shard][label] = seq[len(seq)-1]
+	}
+	for _, shard := range sortedKeys(final) {
+		labels := final[shard]
+		var ref uint64
+		refLabel := ""
+		for _, l := range sortedKeys(labels) {
+			if refLabel == "" {
+				ref, refLabel = labels[l], l
+				continue
+			}
+			if labels[l] != ref {
+				out = append(out, fmt.Sprintf(
+					"epoch divergence: %s ended at %d but %s at %d", l, labels[l], refLabel, ref))
+			}
+		}
+	}
+	return out
+}
+
+// EpochLabel builds the sample key CheckEpochMonotonic groups by.
+func EpochLabel(site, shard int) string { return fmt.Sprintf("site%d/shard%d", site, shard) }
+
+func shardOfLabel(label string) string {
+	for i := 0; i < len(label); i++ {
+		if label[i] == '/' {
+			return label[i+1:]
+		}
+	}
+	return label
+}
+
+func sortedKeys[K int | string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import "time"
+
+// Scenarios is the shipped scenario matrix. quick selects the smoke
+// subset (small clusters, short phases) used by -quick runs and CI; the
+// full set adds the wide WAN and large-cluster scenarios.
+func Scenarios(quick bool) []Scenario {
+	all := []Scenario{
+		{
+			Name:     "crash-rejoin",
+			Sites:    5,
+			Duration: 4 * time.Second,
+			Events:   6,
+			Faults:   []FaultClass{Crash},
+			Quick:    true,
+		},
+		{
+			Name:     "partition-heal",
+			Sites:    5,
+			Duration: 4 * time.Second,
+			Events:   8,
+			Faults:   []FaultClass{Partition},
+			Quick:    true,
+		},
+		{
+			Name:     "slow-disk",
+			Sites:    3,
+			Duration: 4 * time.Second,
+			Events:   6,
+			Faults:   []FaultClass{SlowDisk},
+			Quick:    true,
+		},
+		{
+			Name:         "wan-jitter",
+			Sites:        9,
+			Regions:      3,
+			RegionRTT:    30 * time.Millisecond,
+			RegionJitter: 5 * time.Millisecond,
+			Loss:         0.02,
+			Duration:     5 * time.Second,
+			Events:       8,
+			Faults:       []FaultClass{DelaySpike},
+		},
+		{
+			Name:        "auto-replace",
+			Sites:       5,
+			Duration:    5 * time.Second,
+			Events:      3,
+			Faults:      []FaultClass{Crash},
+			AutoReplace: 300 * time.Millisecond,
+		},
+		{
+			Name:     "ghost-replay",
+			Sites:    5,
+			Duration: 4 * time.Second,
+			Events:   10,
+			Faults:   []FaultClass{Crash, Ghost},
+		},
+		{
+			Name:       "everything",
+			Sites:      10,
+			Shards:     2,
+			Regions:    2,
+			RegionRTT:  10 * time.Millisecond,
+			Loss:       0.01,
+			Duration:   6 * time.Second,
+			Events:     14,
+			Faults:     []FaultClass{Crash, Partition, SlowDisk, DelaySpike, Ghost},
+			CrossShard: 0.2,
+		},
+		{
+			Name:         "wan-wide",
+			Sites:        24,
+			Shards:       2,
+			Regions:      3,
+			RegionRTT:    40 * time.Millisecond,
+			RegionJitter: 8 * time.Millisecond,
+			Loss:         0.02,
+			Duration:     8 * time.Second,
+			Events:       20,
+			Faults:       []FaultClass{Crash, Partition, DelaySpike},
+			CrossShard:   0.1,
+		},
+	}
+	if !quick {
+		return all
+	}
+	var out []Scenario
+	for _, sc := range all {
+		if sc.Quick {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// Find returns the shipped scenario with the given name.
+func Find(name string) (Scenario, bool) {
+	for _, sc := range Scenarios(false) {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// DeterminismScenario is the closed-plan scenario the same-seed
+// determinism check replays: a fixed transaction budget retried to
+// completion, so two runs of one seed end in byte-identical fault
+// schedules and identical state digests.
+func DeterminismScenario() Scenario {
+	return Scenario{
+		Name:      "determinism",
+		Sites:     5,
+		Duration:  3 * time.Second,
+		Events:    6,
+		Faults:    []FaultClass{Crash, Partition, SlowDisk},
+		FixedTxns: 30,
+		Quick:     true,
+	}
+}

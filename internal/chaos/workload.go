@@ -1,0 +1,262 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"otpdb"
+)
+
+// The chaos workload is engineered so that invariants are checkable and
+// the final state is seed-stable regardless of commit interleaving:
+//
+//   - Each submission carries a unique id and writes an idempotent
+//     marker row ("id/<id>" = 1). A resubmission of the same id — the
+//     client retry after an ack timeout — sees the marker and no-ops,
+//     which is what "no double-commit of a retried submission" means at
+//     the application layer.
+//   - Each class keeps a commutative counter ("sum") incremented only on
+//     first application of an id. The counter equals the number of
+//     marker rows if and only if every effect applied exactly once —
+//     a replication bug that re-applies an entry inflates the counter
+//     past the marker count and is caught by CheckEffectOnce.
+//
+// Both pieces are order-independent, so two runs that commit the same
+// id set in different orders produce identical digests.
+
+// workload owns the class layout and procedure registration for a
+// scenario's cluster.
+type workload struct {
+	classes []string // single-class procs: apply-<class>
+	pairs   [][2]int // two-class procs over classes[p[0]], classes[p[1]]
+}
+
+func newWorkload(sc Scenario, shards int) *workload {
+	n := 2 * shards
+	if n < 4 {
+		n = 4
+	}
+	w := &workload{}
+	for i := 0; i < n; i++ {
+		w.classes = append(w.classes, fmt.Sprintf("c%d", i))
+	}
+	for i := 0; i+1 < n; i += 2 {
+		w.pairs = append(w.pairs, [2]int{i, i + 1})
+	}
+	return w
+}
+
+// markerKey is the idempotence row of one submission in one class.
+func markerKey(id string) otpdb.Key { return otpdb.Key("id/" + id) }
+
+// register installs the procedures on an unstarted cluster.
+func (w *workload) register(c *otpdb.Cluster) {
+	for _, class := range w.classes {
+		class := class
+		c.MustRegisterUpdate(otpdb.Update{
+			Name:  "apply-" + class,
+			Class: otpdb.Class(class),
+			Fn: func(ctx otpdb.UpdateCtx) (otpdb.Value, error) {
+				id := otpdb.AsString(ctx.Args()[0])
+				if _, dup := ctx.Read(markerKey(id)); dup {
+					return otpdb.Int64(0), nil
+				}
+				if err := ctx.Write(markerKey(id), otpdb.Int64(1)); err != nil {
+					return nil, err
+				}
+				sum, _ := ctx.Read("sum")
+				next := otpdb.Int64(otpdb.AsInt64(sum) + 1)
+				return next, ctx.Write("sum", next)
+			},
+		})
+	}
+	for _, p := range w.pairs {
+		a, b := w.classes[p[0]], w.classes[p[1]]
+		c.MustRegisterMultiUpdate(otpdb.MultiUpdate{
+			Name:    fmt.Sprintf("applyboth-%s-%s", a, b),
+			Classes: []otpdb.Class{otpdb.Class(a), otpdb.Class(b)},
+			Fn: func(ctx otpdb.MultiUpdateCtx) (otpdb.Value, error) {
+				id := otpdb.AsString(ctx.Args()[0])
+				applied := int64(0)
+				for _, class := range []otpdb.Class{otpdb.Class(a), otpdb.Class(b)} {
+					if _, dup := ctx.Read(class, markerKey(id)); dup {
+						continue
+					}
+					if err := ctx.Write(class, markerKey(id), otpdb.Int64(1)); err != nil {
+						return nil, err
+					}
+					sum, _ := ctx.Read(class, "sum")
+					if err := ctx.Write(class, "sum", otpdb.Int64(otpdb.AsInt64(sum)+1)); err != nil {
+						return nil, err
+					}
+					applied++
+				}
+				return otpdb.Int64(applied), nil
+			},
+		})
+	}
+}
+
+// pick chooses the next submission's procedure and the classes it
+// touches.
+func (w *workload) pick(rng *rand.Rand, sc Scenario) (proc string, classes []string) {
+	if sc.CrossShard > 0 && rng.Float64() < sc.CrossShard {
+		p := w.pairs[rng.Intn(len(w.pairs))]
+		a, b := w.classes[p[0]], w.classes[p[1]]
+		return fmt.Sprintf("applyboth-%s-%s", a, b), []string{a, b}
+	}
+	class := w.classes[rng.Intn(len(w.classes))]
+	return "apply-" + class, []string{class}
+}
+
+// ackPoint is one acknowledged commit, attributed to the submitter's
+// home site (the availability and recovery metrics are per home site —
+// "could a client of this site commit?").
+type ackPoint struct {
+	site int
+	at   time.Time
+}
+
+// recorder collects workload observations under one lock; submitters
+// are concurrent.
+type recorder struct {
+	mu        sync.Mutex
+	ids       map[string][]string // every submitted id → classes touched
+	acked     map[string][]string // acked subset
+	acks      []ackPoint
+	resubmits int
+}
+
+func newRecorder() *recorder {
+	return &recorder{ids: make(map[string][]string), acked: make(map[string][]string)}
+}
+
+func (r *recorder) submitted(id string, classes []string) {
+	r.mu.Lock()
+	r.ids[id] = classes
+	r.mu.Unlock()
+}
+
+func (r *recorder) ack(id string, site int, classes []string, at time.Time) {
+	r.mu.Lock()
+	r.acked[id] = classes
+	r.acks = append(r.acks, ackPoint{site: site, at: at})
+	r.mu.Unlock()
+}
+
+func (r *recorder) resubmit() {
+	r.mu.Lock()
+	r.resubmits++
+	r.mu.Unlock()
+}
+
+// ackedCommitted flattens the acked set for CheckAckedDurability.
+func (r *recorder) ackedCommitted() []Committed {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Committed
+	for id, classes := range r.acked {
+		for _, class := range classes {
+			out = append(out, Committed{ID: id, Class: class})
+		}
+	}
+	return out
+}
+
+// submitter drives one site's client load until stop (open plan) or
+// until its fixed budget is acknowledged (closed plan). A submission
+// that cannot be acknowledged within ackTimeout is retried — same id —
+// at another live site, exercising the retried-submission dedup the
+// invariants then audit.
+func submitter(c *otpdb.Cluster, w *workload, sc Scenario, site int, seed int64, rec *recorder, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(seed<<16 ^ int64(site)))
+	const ackTimeout = 3 * time.Second
+	for seq := 0; ; seq++ {
+		select {
+		case <-stop:
+			if sc.FixedTxns == 0 {
+				return
+			}
+		default:
+		}
+		if sc.FixedTxns > 0 && seq >= sc.FixedTxns {
+			return
+		}
+		proc, classes := w.pick(rng, sc)
+		id := fmt.Sprintf("s%d-n%d", site, seq)
+		rec.submitted(id, classes)
+		submitOne(c, sc, site, proc, id, classes, rec, stop, rng, ackTimeout)
+	}
+}
+
+// submitOne pushes one submission to acknowledgement, retrying across
+// live sites. In the open plan it abandons after a few attempts (the
+// transaction may still commit — the invariants only audit
+// acknowledged ones for durability); in the closed plan it retries
+// until acknowledged so every id eventually commits.
+func submitOne(c *otpdb.Cluster, sc Scenario, home int, proc, id string, classes []string,
+	rec *recorder, stop <-chan struct{}, rng *rand.Rand, ackTimeout time.Duration) {
+	site := home
+	for attempt := 0; ; attempt++ {
+		if sc.FixedTxns == 0 && attempt >= 3 {
+			return
+		}
+		sess, err := c.Session(site)
+		if err != nil {
+			return
+		}
+		h, err := sess.SubmitAsync(proc, otpdb.String(id))
+		if err == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), ackTimeout)
+			_, err = h.Wait(ctx)
+			cancel()
+			if err == nil {
+				rec.ack(id, home, classes, time.Now())
+				return
+			}
+		}
+		// The site is down or the commit is stuck behind a fault: hand
+		// the same id to another live site after a beat. The closed plan
+		// only gives up when the run is being torn down.
+		if sc.FixedTxns > 0 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		rec.resubmit()
+		select {
+		case <-stop:
+			if sc.FixedTxns == 0 {
+				return
+			}
+		case <-time.After(25 * time.Millisecond):
+		}
+		site = otherLive(c, rng, site)
+	}
+}
+
+// otherLive picks a random live site, preferring one different from
+// cur; falls back to cur when everything is down.
+func otherLive(c *otpdb.Cluster, rng *rand.Rand, cur int) int {
+	down := make(map[int]bool)
+	for _, s := range c.CrashedSites() {
+		down[s] = true
+	}
+	n := c.Size()
+	var live []int
+	for i := 0; i < n; i++ {
+		if !down[i] && i != cur {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return cur
+	}
+	return live[rng.Intn(len(live))]
+}

@@ -423,6 +423,14 @@ func (e *Engine) handleEnvelope(env transport.Envelope) {
 	}
 }
 
+// RequestDecisions broadcasts a retransmission request for the
+// decisions of every instance at or above from. The ordering layer
+// calls it when it detects a decision gap — typically after a healed
+// partition swallowed DECIDE broadcasts. Safe from any goroutine.
+func (e *Engine) RequestDecisions(from uint64) {
+	_ = e.ep.Broadcast(Stream, MsgDecideReq{From: from})
+}
+
 // onDecideReq retransmits known decisions to a catching-up peer.
 func (e *Engine) onDecideReq(from transport.NodeID, m MsgDecideReq) {
 	for inst, st := range e.instances {
@@ -444,7 +452,16 @@ func (e *Engine) onEstimate(from transport.NodeID, m MsgEstimate) {
 		return
 	}
 	st := e.get(m.Inst)
-	if st.decided || coordOf(members, m.Round) != e.ep.ID() {
+	if st.decided {
+		// The sender missed this instance's DECIDE broadcast (it was
+		// partitioned away when the decision fired) and is still spinning
+		// rounds for it. Nobody will re-run the round protocol for a
+		// decided instance, so answering with the decision here is the
+		// only way the sender ever converges.
+		_ = e.ep.Send(from, Stream, MsgDecide{Inst: m.Inst, Val: st.decision})
+		return
+	}
+	if coordOf(members, m.Round) != e.ep.ID() {
 		return
 	}
 	if _, already := st.sentVal[m.Round]; already {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"otpdb/internal/abcast"
@@ -157,6 +158,15 @@ type Replica struct {
 	cfgClass    sproc.ClassID
 	cfgHook     func(value storage.Value, toIndex int64)
 	commitDelay time.Duration
+
+	// stallNanos, when nonzero, adds a sleep before each definitive
+	// delivery — the slow-disk fault of the chaos harness (a WAL device
+	// that has gone out to lunch). Unlike CommitDelay's load-independent
+	// spin (a calibrated benchmark device), the stall is a plain sleep:
+	// it models a device that is genuinely blocked, and chaos runs
+	// dozens of sites in one process, where spinning would starve the
+	// survivors the harness is trying to observe.
+	stallNanos atomic.Int64
 
 	mu         sync.Mutex
 	waiters    map[abcast.MsgID]func(CommitResult)
@@ -344,6 +354,17 @@ func (r *Replica) LastTO() int64 {
 	return r.lastTO
 }
 
+// SetCommitStall adds an extra dwell before every subsequent definitive
+// delivery at this replica, modelling a stalled WAL fsync (slow-disk
+// fault injection). It composes with Config.CommitDelay; zero clears
+// the stall. Safe to call concurrently with delivery.
+func (r *Replica) SetCommitStall(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.stallNanos.Store(int64(d))
+}
+
 // Store returns the local storage engine (for inspection and seeding).
 func (r *Replica) Store() *storage.Store { return r.store }
 
@@ -398,6 +419,9 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 		r.optCount++
 		r.mu.Unlock()
 	case abcast.TO:
+		if stall := time.Duration(r.stallNanos.Load()); stall > 0 {
+			time.Sleep(stall)
+		}
 		if r.commitDelay > 0 {
 			// Modeled commit-flush device: serialize the group's
 			// definitive pipeline (see Config.CommitDelay). A yielding
@@ -418,7 +442,7 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 		if err := r.mgr.OnTODeliver(ev.ID); err != nil {
 			// Unknown transaction: the payload was malformed at Opt time
 			// and never entered a queue. Already reported.
-			return
+				return
 		}
 	}
 }

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"otpdb/internal/chaos"
+)
+
+// This file is E13 (DESIGN.md §4): the chaos matrix. It is not a
+// throughput benchmark but an adversity one — every shipped scenario of
+// internal/chaos runs at one seed, and the report records whether the
+// invariants held (digest convergence, no lost acked commit, effect-
+// exactly-once, epoch monotonicity) together with the two operational
+// quantities the ROADMAP asks for: commit availability during the fault
+// phase and recovery time per fault class.
+//
+// The rows are serialized into BENCH_commit.json (schema v6) by
+// `otpbench -json commit`; `otpbench chaos [-seed S]` runs the matrix
+// standalone with pass/fail per scenario.
+
+// ChaosBenchParams sizes E13.
+type ChaosBenchParams struct {
+	// Seed drives every scenario's fault schedule; the same seed replays
+	// the same schedules.
+	Seed int64
+	// Quick restricts the matrix to the smoke scenarios.
+	Quick bool
+	// Out, when non-nil, streams per-scenario progress.
+	Out io.Writer
+}
+
+// DefaultChaosBenchParams is the tracked configuration.
+func DefaultChaosBenchParams() ChaosBenchParams { return ChaosBenchParams{Seed: 1} }
+
+// QuickChaosBenchParams shrinks the matrix for CI smoke runs.
+func QuickChaosBenchParams() ChaosBenchParams { return ChaosBenchParams{Seed: 1, Quick: true} }
+
+// ChaosClassStat aggregates recovery across every scenario that injected
+// one fault class.
+type ChaosClassStat struct {
+	// Events is how many faults of the class were injected; Recovered how
+	// many of the affected sites acknowledged a commit after repair.
+	Events    int `json:"events"`
+	Recovered int `json:"recovered"`
+	// MeanMillis/MaxMillis are the recovery times: fault injection to the
+	// affected site's first acknowledged commit after repair began.
+	MeanMillis float64 `json:"mean_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+	// MinAvailability is the worst commit availability of any scenario
+	// injecting the class (fraction of 100 ms fault-phase buckets with at
+	// least one acknowledged commit somewhere).
+	MinAvailability float64 `json:"min_availability"`
+}
+
+// ChaosReport is E13's section of BENCH_commit.json (schema v6).
+type ChaosReport struct {
+	Seed int64 `json:"seed"`
+	// Scenarios is the per-scenario outcome, in matrix order.
+	Scenarios []chaos.Result `json:"scenarios"`
+	// ByClass is the aggregated recovery/availability view per fault
+	// class, keyed by chaos.FaultClass.
+	ByClass map[string]ChaosClassStat `json:"by_class"`
+}
+
+// Failures counts scenarios whose invariants did not hold.
+func (r ChaosReport) Failures() int {
+	n := 0
+	for _, res := range r.Scenarios {
+		if !res.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// ChaosBench runs E13: the shipped scenario matrix at one seed. An
+// invariant violation is a failed row, not an error; err is reserved for
+// harness failures.
+func ChaosBench(p ChaosBenchParams) (ChaosReport, error) {
+	rep := ChaosReport{Seed: p.Seed, ByClass: make(map[string]ChaosClassStat)}
+	for _, sc := range chaos.Scenarios(p.Quick) {
+		res, err := chaos.Run(sc, p.Seed, chaos.Options{Out: p.Out})
+		if err != nil {
+			return rep, fmt.Errorf("chaos %s: %w", sc.Name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, *res)
+		for class, st := range res.Recovery {
+			agg := rep.ByClass[class]
+			// st.MeanMs is a mean over st.Recovered sites; re-weight into
+			// the running aggregate before normalizing below.
+			agg.MeanMillis += st.MeanMs * float64(st.Recovered)
+			agg.Events += st.Events
+			agg.Recovered += st.Recovered
+			if st.MaxMs > agg.MaxMillis {
+				agg.MaxMillis = st.MaxMs
+			}
+			if agg.MinAvailability == 0 || res.Availability < agg.MinAvailability {
+				agg.MinAvailability = res.Availability
+			}
+			rep.ByClass[class] = agg
+		}
+	}
+	for class, agg := range rep.ByClass {
+		if agg.Recovered > 0 {
+			agg.MeanMillis /= float64(agg.Recovered)
+		}
+		rep.ByClass[class] = agg
+	}
+	return rep, nil
+}
+
+// Table renders E13 as the otpbench plain-text tables.
+func (r ChaosReport) Table() Table {
+	t := Table{
+		Title: "E13 — Chaos matrix: invariants under injected faults (tracked in BENCH_commit.json)",
+		Columns: []string{
+			"scenario", "sites", "shards", "events", "acked", "avail", "result",
+		},
+	}
+	for _, res := range r.Scenarios {
+		verdict := "pass"
+		if !res.Pass {
+			verdict = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+		}
+		t.AddRow(res.Scenario,
+			fmt.Sprintf("%d", res.Sites), fmt.Sprintf("%d", res.Shards),
+			fmt.Sprintf("%d", res.Events),
+			fmt.Sprintf("%d/%d", res.Acked, res.Submitted),
+			fmt.Sprintf("%.3f", res.Availability), verdict)
+	}
+	classes := make([]string, 0, len(r.ByClass))
+	for class := range r.ByClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		st := r.ByClass[class]
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: %d/%d recovered, recovery mean %.0fms max %.0fms, worst availability %.3f",
+			class, st.Recovered, st.Events, st.MeanMillis, st.MaxMillis, st.MinAvailability))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"seed %d; invariants: digest convergence, no lost acked commit, effect-once, epoch monotonicity", r.Seed))
+	return t
+}

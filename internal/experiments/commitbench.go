@@ -116,12 +116,16 @@ type CommitBenchReport struct {
 	// Shard is E12: aggregate durable throughput at 1..S shard groups
 	// and the cross-shard transaction cost sweep (schema v5).
 	Shard *ShardReport `json:"shard,omitempty"`
+	// Chaos is E13: the seeded fault-injection matrix — invariant
+	// pass/fail plus recovery time and commit availability per fault
+	// class (schema v6).
+	Chaos *ChaosReport `json:"chaos,omitempty"`
 }
 
 // CommitBench runs the tracked commit-path benchmark.
 func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 	rep := CommitBenchReport{
-		Schema: "otpdb-bench-commit/v5",
+		Schema: "otpdb-bench-commit/v6",
 		Go:     runtime.Version(),
 		CPUs:   runtime.NumCPU(),
 		Quick:  quick,
@@ -187,6 +191,16 @@ func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 		return rep, fmt.Errorf("shard: %w", err)
 	}
 	rep.Shard = &sh
+
+	xp := DefaultChaosBenchParams()
+	if quick {
+		xp = QuickChaosBenchParams()
+	}
+	ch, err := ChaosBench(xp)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: %w", err)
+	}
+	rep.Chaos = &ch
 	return rep, nil
 }
 
@@ -310,6 +324,17 @@ func (r CommitBenchReport) Table() Table {
 				fmt.Sprintf("%d", c.Count), fmt.Sprintf("%.0f", c.ThroughputPerSec),
 				fmt.Sprintf("%.1fµs", c.MeanMicros), fmt.Sprintf("%.1fµs", c.P50Micros),
 				fmt.Sprintf("%.1fµs", c.P99Micros))
+		}
+	}
+	if r.Chaos != nil {
+		for _, c := range r.Chaos.Scenarios {
+			verdict := "pass"
+			if !c.Pass {
+				verdict = "FAIL"
+			}
+			t.AddRow(fmt.Sprintf("chaos %s (%s)", c.Scenario, verdict),
+				fmt.Sprintf("%d", c.Acked), "-",
+				fmt.Sprintf("avail=%.3f", c.Availability), "-", "-")
 		}
 	}
 	return t

@@ -1,0 +1,260 @@
+package statex
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"otpdb/internal/recovery"
+	"otpdb/internal/storage"
+	"otpdb/internal/transport"
+)
+
+// frontierFake adds the optional Frontier hook to a fakeSource, the way
+// ReplicaSource reports the replica's LastTO.
+type frontierFake struct {
+	*fakeSource
+	frontier int64
+}
+
+func (f frontierFake) Frontier() int64 { return f.frontier }
+
+// recordDonor runs a scripted donor that records every JoinReq it sees.
+func recordDonor(ep transport.Endpoint, reqs chan<- JoinReq, script func(joiner transport.NodeID, req JoinReq)) {
+	in := ep.Subscribe(StreamReq)
+	go func() {
+		for env := range in {
+			if m, ok := env.Msg.(JoinReq); ok {
+				reqs <- m
+				if script != nil {
+					script(env.From, m)
+				}
+			}
+		}
+	}()
+}
+
+// TestFetchParallelSplit: the checkpoint streams from donor 1 while the
+// tail above donor 1's frontier streams from donor 2; the stitched
+// transfer is complete and the tail donor demonstrably served it.
+func TestFetchParallelSplit(t *testing.T) {
+	hub := transport.NewHub(3)
+	defer hub.Close()
+	ck := mkCheckpoint(7)
+	src := &fakeSource{ck: ck, entries: mkEntries(8, 12), oldest: 8, stage: 13, resume: 4}
+	donorA := NewServer(hub.Endpoint(1), frontierFake{src, 7}, WithChunkBytes(64))
+	donorA.Start()
+	defer donorA.Stop()
+
+	reqs := make(chan JoinReq, 4)
+	recordDonor(hub.Endpoint(2), reqs, func(joiner transport.NodeID, req JoinReq) {
+		ep := hub.Endpoint(2)
+		_ = ep.Send(joiner, StreamXfer, JoinResp{Xfer: req.Xfer, Mode: TailOnly, Frontier: 12})
+		_ = ep.Send(joiner, StreamXfer, TailChunk{Xfer: req.Xfer, Seq: 0, Entries: mkEntries(8, 12)})
+		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 13, ResumeSeq: 4, Chunks: 1, Frontier: 12})
+	})
+
+	xfer, err := Fetch(context.Background(), hub.Endpoint(0), 2, []transport.NodeID{1, 2},
+		Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xfer.Mode != CheckpointTail || xfer.Base != 7 || xfer.Checkpoint == nil || xfer.Checkpoint.Index != 7 {
+		t.Fatalf("transfer = %+v", xfer)
+	}
+	if len(xfer.Join.Backlog) != 5 || xfer.Join.Backlog[0].Seq != 8 || xfer.Join.Backlog[4].Seq != 12 {
+		t.Fatalf("backlog = %+v", xfer.Join.Backlog)
+	}
+	if xfer.Join.StartStage != 13 {
+		t.Fatalf("StartStage = %d, want 13", xfer.Join.StartStage)
+	}
+	// The tail donor was asked for exactly the range above the
+	// checkpoint donor's frontier, tail-only.
+	select {
+	case req := <-reqs:
+		if !req.TailOnly || req.From != 7 {
+			t.Fatalf("tail donor request = %+v, want TailOnly from 7", req)
+		}
+	default:
+		t.Fatal("tail donor was never contacted — the fetch did not parallelize")
+	}
+	want, got := storage.NewStore(), storage.NewStore()
+	want.InstallCheckpoint(ck)
+	got.InstallCheckpoint(xfer.Checkpoint)
+	if want.Digest() != got.Digest() {
+		t.Fatal("streamed checkpoint digest != donor checkpoint digest")
+	}
+}
+
+// TestFetchParallelTailDonorSilent: the tail donor never answers; the
+// banked checkpoint survives the timeout and the sequential loop
+// fetches the tail from the checkpoint donor — parallel never makes a
+// fetch less likely to succeed.
+func TestFetchParallelTailDonorSilent(t *testing.T) {
+	hub := transport.NewHub(3)
+	defer hub.Close()
+	ck := mkCheckpoint(7)
+	src := &fakeSource{ck: ck, entries: mkEntries(8, 12), oldest: 8, stage: 13, resume: 0}
+	donorA := NewServer(hub.Endpoint(1), frontierFake{src, 7})
+	donorA.Start()
+	defer donorA.Stop()
+	reqs := make(chan JoinReq, 4)
+	recordDonor(hub.Endpoint(2), reqs, nil) // records, never answers
+
+	xfer, err := Fetch(context.Background(), hub.Endpoint(0), 2, []transport.NodeID{1, 2},
+		Options{Parallel: true, RespTimeout: time.Second, ChunkTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xfer.Base != 7 || len(xfer.Join.Backlog) != 5 || xfer.Join.Backlog[0].Seq != 8 {
+		t.Fatalf("transfer = %+v backlog = %+v", xfer, xfer.Join.Backlog)
+	}
+	select {
+	case <-reqs:
+	default:
+		t.Fatal("tail donor was never contacted")
+	}
+}
+
+// TestFetchParallelTailDeclined: the tail donor's ring cannot serve the
+// frontier (it declines the TailOnly request); the checkpoint half
+// completes and the sequential loop closes the gap — no timeout burned.
+func TestFetchParallelTailDeclined(t *testing.T) {
+	hub := transport.NewHub(3)
+	defer hub.Close()
+	ck := mkCheckpoint(7)
+	src := &fakeSource{ck: ck, entries: mkEntries(8, 12), oldest: 8, stage: 13, resume: 0}
+	donorA := NewServer(hub.Endpoint(1), frontierFake{src, 7})
+	donorA.Start()
+	defer donorA.Stop()
+	// Donor 2 retains nothing useful: a TailOnly request is declined.
+	donorB := NewServer(hub.Endpoint(2), &fakeSource{oldest: 100})
+	donorB.Start()
+	defer donorB.Stop()
+
+	start := time.Now()
+	xfer, err := Fetch(context.Background(), hub.Endpoint(0), 2, []transport.NodeID{1, 2},
+		Options{Parallel: true, RespTimeout: 5 * time.Second, ChunkTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xfer.Base != 7 || len(xfer.Join.Backlog) != 5 {
+		t.Fatalf("transfer = %+v", xfer)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("declined tail took the timeout path instead of failing fast")
+	}
+}
+
+// TestFetchParallelDegeneratesToTailOnly: when the first donor's ring
+// covers the advertised index there is no checkpoint to split; the
+// parallel fetch completes as a plain tail-only transfer and the second
+// donor is never contacted.
+func TestFetchParallelDegeneratesToTailOnly(t *testing.T) {
+	hub := transport.NewHub(3)
+	defer hub.Close()
+	src := &fakeSource{entries: mkEntries(1, 10), oldest: 1, stage: 6, resume: 3}
+	donor := NewServer(hub.Endpoint(1), src)
+	donor.Start()
+	defer donor.Stop()
+	reqs := make(chan JoinReq, 4)
+	recordDonor(hub.Endpoint(2), reqs, nil)
+
+	xfer, err := Fetch(context.Background(), hub.Endpoint(0), 4, []transport.NodeID{1, 2},
+		Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xfer.Mode != TailOnly || xfer.Base != 4 || len(xfer.Join.Backlog) != 6 {
+		t.Fatalf("transfer = %+v", xfer)
+	}
+	select {
+	case req := <-reqs:
+		t.Fatalf("tail donor contacted with %+v during a tail-only transfer", req)
+	default:
+	}
+}
+
+// TestServeNoTail pins the donor half of the split: a NoTail checkpoint
+// request streams the checkpoint and terminates without TailChunks.
+func TestServeNoTail(t *testing.T) {
+	hub := transport.NewHub(2)
+	defer hub.Close()
+	ck := mkCheckpoint(5)
+	src := &fakeSource{ck: ck, entries: mkEntries(6, 9), oldest: 6, stage: 10, resume: 2}
+	donor := NewServer(hub.Endpoint(1), frontierFake{src, 5}, WithChunkBytes(64))
+	donor.Start()
+	defer donor.Stop()
+
+	joiner := hub.Endpoint(0)
+	sub := joiner.Subscribe(StreamXfer)
+	if err := joiner.Send(1, StreamReq, JoinReq{Xfer: 77, From: 1, NoTail: true}); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	sawResp := false
+	deadline := time.After(5 * time.Second)
+	for {
+		var env transport.Envelope
+		select {
+		case env = <-sub:
+		case <-deadline:
+			t.Fatal("transfer never terminated")
+		}
+		switch m := env.Msg.(type) {
+		case JoinResp:
+			if m.Mode != CheckpointTail || m.Frontier != 5 {
+				t.Fatalf("JoinResp = %+v, want checkpoint+tail with frontier 5", m)
+			}
+			sawResp = true
+		case CkptChunk:
+			buf = append(buf, m.Data...)
+		case TailChunk:
+			t.Fatalf("NoTail transfer carried a TailChunk: %+v", m)
+		case Done:
+			if !sawResp {
+				t.Fatal("Done before JoinResp")
+			}
+			if m.Err != "" {
+				t.Fatalf("donor aborted: %s", m.Err)
+			}
+			back, err := recovery.DecodeCheckpoint(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Index != 5 {
+				t.Fatalf("checkpoint index = %d, want 5", back.Index)
+			}
+			return
+		}
+	}
+}
+
+// TestServeTailOnlyDeclinedWhenPruned pins the other donor half: a
+// TailOnly request outside the ring is declined, never answered with a
+// checkpoint the joiner did not ask for.
+func TestServeTailOnlyDeclinedWhenPruned(t *testing.T) {
+	hub := transport.NewHub(2)
+	defer hub.Close()
+	donor := NewServer(hub.Endpoint(1), &fakeSource{ck: mkCheckpoint(5), oldest: 100})
+	donor.Start()
+	defer donor.Stop()
+
+	joiner := hub.Endpoint(0)
+	sub := joiner.Subscribe(StreamXfer)
+	if err := joiner.Send(1, StreamReq, JoinReq{Xfer: 78, From: 1, TailOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-sub:
+		m, ok := env.Msg.(JoinResp)
+		if !ok {
+			t.Fatalf("first message = %T, want JoinResp", env.Msg)
+		}
+		if m.Err == "" {
+			t.Fatalf("pruned TailOnly request was not declined: %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("donor never answered")
+	}
+}

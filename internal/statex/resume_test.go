@@ -38,7 +38,7 @@ func TestFetchResumesTailAcrossFailover(t *testing.T) {
 		ep := hub.Endpoint(2)
 		_ = ep.Send(joiner, StreamXfer, JoinResp{Xfer: req.Xfer, Mode: TailOnly})
 		_ = ep.Send(joiner, StreamXfer, TailChunk{Xfer: req.Xfer, Seq: 0, Entries: all[req.From:]})
-		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 8, ResumeSeq: 2})
+		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 8, ResumeSeq: 2, Chunks: 1, Frontier: 10})
 	}, make(chan uint64, 1))
 
 	xfer, err := Fetch(context.Background(), hub.Endpoint(0), 0, []transport.NodeID{1, 2}, resumeOpts)
@@ -121,7 +121,7 @@ func TestFetchRetainsCheckpointAcrossFailover(t *testing.T) {
 		ep := hub.Endpoint(2)
 		_ = ep.Send(joiner, StreamXfer, JoinResp{Xfer: req.Xfer, Mode: TailOnly})
 		_ = ep.Send(joiner, StreamXfer, TailChunk{Xfer: req.Xfer, Seq: 0, Entries: tail[req.From-7:]})
-		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 13})
+		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 13, Chunks: 1, Frontier: 12})
 	}, make(chan uint64, 1))
 
 	xfer, err := Fetch(context.Background(), hub.Endpoint(0), 0, []transport.NodeID{1, 2}, resumeOpts)
@@ -208,7 +208,7 @@ func TestFetchResumeConsistencyWithJoinState(t *testing.T) {
 		ep := hub.Endpoint(2)
 		_ = ep.Send(joiner, StreamXfer, JoinResp{Xfer: req.Xfer, Mode: TailOnly})
 		_ = ep.Send(joiner, StreamXfer, TailChunk{Xfer: req.Xfer, Seq: 0, Entries: all[req.From-4:]})
-		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 21, ResumeSeq: 11})
+		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 21, ResumeSeq: 11, Chunks: 1, Frontier: 20})
 	}, make(chan uint64, 1))
 
 	xfer, err := Fetch(context.Background(), hub.Endpoint(0), 4, []transport.NodeID{1, 2}, resumeOpts)

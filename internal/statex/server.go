@@ -38,6 +38,7 @@ type Source interface {
 type ReplicaSource struct {
 	Replica interface {
 		Checkpoint(ctx context.Context) (*storage.Checkpoint, error)
+		LastTO() int64
 	}
 	Engine interface {
 		DefinitiveLog(from uint64, origin transport.NodeID) ([]abcast.DefEntry, uint64, uint64, error)
@@ -49,6 +50,13 @@ var _ Source = ReplicaSource{}
 // Checkpoint implements Source.
 func (s ReplicaSource) Checkpoint(ctx context.Context) (*storage.Checkpoint, error) {
 	return s.Replica.Checkpoint(ctx)
+}
+
+// Frontier reports the replica's current definitive index — the
+// optional negotiation hint a parallel joiner tails from (see
+// JoinResp.Frontier).
+func (s ReplicaSource) Frontier() int64 {
+	return s.Replica.LastTO()
 }
 
 // DefinitiveLog implements Source.
@@ -229,25 +237,51 @@ func (s *Server) serve(ctx context.Context, joiner transport.NodeID, req JoinReq
 
 	// Negotiate: can the retained backlog alone close the joiner's gap?
 	entries, stage, resumeSeq, err := s.src.DefinitiveLog(uint64(req.From)+1, joiner)
+	base := req.From
 	switch {
 	case err == nil:
-		if err := send(JoinResp{Xfer: req.Xfer, Mode: TailOnly}); err != nil {
+		frontier := req.From + int64(len(entries))
+		if err := send(JoinResp{Xfer: req.Xfer, Mode: TailOnly, Frontier: frontier}); err != nil {
 			return
 		}
 	case errors.Is(err, abcast.ErrHistoryPruned):
-		if err := send(JoinResp{Xfer: req.Xfer, Mode: CheckpointTail}); err != nil {
+		if req.TailOnly {
+			// The joiner wants only a tail (it is streaming a checkpoint
+			// from another donor); a checkpoint from here would be a
+			// duplicate, so decline instead.
+			_ = send(JoinResp{Xfer: req.Xfer, Err: err.Error()})
 			return
 		}
-		entries, stage, resumeSeq, err = s.serveCheckpoint(ctx, joiner, req)
+		// Frontier lets a parallel joiner start a tail elsewhere before
+		// this checkpoint lands (the capture can only move the index
+		// upward, so a tail from here overlaps rather than gaps). Zero
+		// when the source cannot report one; the joiner then completes
+		// sequentially.
+		var frontier int64
+		if f, ok := s.src.(interface{ Frontier() int64 }); ok {
+			frontier = f.Frontier()
+		}
+		if err := send(JoinResp{Xfer: req.Xfer, Mode: CheckpointTail, Frontier: frontier}); err != nil {
+			return
+		}
+		entries, stage, resumeSeq, base, err = s.serveCheckpoint(ctx, joiner, req)
 		if err != nil {
 			_ = send(Done{Xfer: req.Xfer, Err: err.Error()})
 			return
+		}
+		if req.NoTail {
+			// Checkpoint-only transfer: the joiner tails from another
+			// donor. Done still carries the stage/sequence pair, though a
+			// parallel joiner takes those from its final tail donor.
+			entries = nil
 		}
 	default:
 		_ = send(JoinResp{Xfer: req.Xfer, Err: err.Error()})
 		return
 	}
 
+	chunks := (len(entries) + s.tailBatch - 1) / s.tailBatch
+	frontier := base + int64(len(entries))
 	for seq := 0; len(entries) > 0; seq++ {
 		n := s.tailBatch
 		if n > len(entries) {
@@ -258,22 +292,23 @@ func (s *Server) serve(ctx context.Context, joiner transport.NodeID, req JoinReq
 		}
 		entries = entries[n:]
 	}
-	_ = send(Done{Xfer: req.Xfer, StartStage: stage, ResumeSeq: resumeSeq})
+	_ = send(Done{Xfer: req.Xfer, StartStage: stage, ResumeSeq: resumeSeq, Chunks: chunks, Frontier: frontier})
 }
 
 // serveCheckpoint captures and streams a checkpoint, then returns the
-// backlog above it. The capture is deadline-bounded so an abandoned
-// transfer cannot leave donor versions pinned.
-func (s *Server) serveCheckpoint(ctx context.Context, joiner transport.NodeID, req JoinReq) ([]abcast.DefEntry, uint64, uint64, error) {
+// backlog above it and the checkpoint's definitive index. The capture
+// is deadline-bounded so an abandoned transfer cannot leave donor
+// versions pinned.
+func (s *Server) serveCheckpoint(ctx context.Context, joiner transport.NodeID, req JoinReq) ([]abcast.DefEntry, uint64, uint64, int64, error) {
 	ckctx, cancel := context.WithTimeout(ctx, s.ckptTimeout)
 	ck, err := s.src.Checkpoint(ckctx)
 	cancel()
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("checkpoint: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	data, err := recovery.EncodeCheckpoint(ck)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	for seq, off := 0, 0; ; seq++ {
 		end := off + s.chunkBytes
@@ -288,10 +323,10 @@ func (s *Server) serveCheckpoint(ctx context.Context, joiner transport.NodeID, r
 			Last: end == len(data),
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, 0, err
 		}
 		if err := s.ep.Send(joiner, StreamXfer, chunk); err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, 0, err
 		}
 		if chunk.Last {
 			break
@@ -304,7 +339,7 @@ func (s *Server) serveCheckpoint(ctx context.Context, joiner transport.NodeID, r
 	// transfer and let the joiner retry from negotiation.
 	entries, stage, resumeSeq, err := s.src.DefinitiveLog(uint64(ck.Index)+1, joiner)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("backlog above checkpoint %d: %w", ck.Index, err)
+		return nil, 0, 0, 0, fmt.Errorf("backlog above checkpoint %d: %w", ck.Index, err)
 	}
-	return entries, stage, resumeSeq, nil
+	return entries, stage, resumeSeq, ck.Index, nil
 }

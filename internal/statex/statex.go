@@ -108,12 +108,32 @@ type (
 		Xfer uint64
 		// From is the joiner's recovered definitive index (0 = nothing).
 		From int64
+		// TailOnly, when set, forbids checkpoint mode: the donor serves
+		// the backlog above From or declines outright. A parallel fetch
+		// uses it for the tail half — a checkpoint from this donor would
+		// duplicate the one already streaming from the other donor.
+		TailOnly bool
+		// NoTail, when set, trims checkpoint mode to the checkpoint
+		// alone: the donor streams its snapshot and terminates without
+		// TailChunks, because the joiner is tailing from another donor in
+		// parallel. Ignored in tail-only mode (when the donor's ring
+		// covers From there is no checkpoint to split off, and the tail
+		// is the whole transfer).
+		NoTail bool
 	}
 	// JoinResp is the donor's negotiation answer.
 	JoinResp struct {
 		Xfer uint64
 		// Mode is the transfer shape the donor chose.
 		Mode Mode
+		// Frontier is the donor's definitive index at negotiation time.
+		// A parallel fetch uses it as the tail donor's start: the
+		// checkpoint about to be captured lands at or above it, so a
+		// tail from Frontier overlaps the checkpoint rather than leaving
+		// a gap below it. Zero when the donor cannot report one (older
+		// donors, sources without a frontier) — the joiner then skips
+		// the parallel tail and completes sequentially.
+		Frontier int64
 		// Err, when non-empty, declines the transfer (the joiner fails
 		// over to another donor).
 		Err string
@@ -144,11 +164,24 @@ type (
 	// seen from the joiner's origin, captured atomically with the last
 	// backlog entry. A non-empty Err aborts the transfer instead (e.g.
 	// the donor's checkpoint failed mid-stream).
+	//
+	// The transport between joiner and donor may reorder messages (the
+	// chaos network models per-packet jitter), so Done can overtake the
+	// chunks it terminates. Chunks and Frontier let the joiner tell a
+	// complete stream from a truncated one: it holds the Done until all
+	// Chunks tail chunks arrived, and the assembled backlog must reach
+	// exactly Frontier.
 	Done struct {
 		Xfer       uint64
 		StartStage uint64
 		ResumeSeq  uint64
-		Err        string
+		// Chunks is the number of TailChunks the donor sent before this
+		// Done.
+		Chunks int
+		// Frontier is the definitive index the stream covers: checkpoint
+		// index (if any) plus every tail entry sent.
+		Frontier int64
+		Err      string
 	}
 	// Abort tells the donor the joiner gave up on a transfer, so the
 	// donor stops streaming (and unpins) promptly.
@@ -202,6 +235,15 @@ type Options struct {
 	// capture that overruns then fails donor-side first (a terminal
 	// Done{Err}, immediate failover) instead of burning this timeout.
 	ChunkTimeout time.Duration
+	// Parallel, with two or more donors, splits a checkpoint transfer
+	// across them: the checkpoint streams from the first donor
+	// (NoTail) while the backlog above its frontier tails from the
+	// second (TailOnly) — the two biggest transfer components ride
+	// different donors' uplinks concurrently, cutting rejoin time for
+	// large states. Any failure on the parallel path falls back to the
+	// sequential protocol with whatever progress was verified, so
+	// Parallel never makes a fetch less likely to succeed.
+	Parallel bool
 }
 
 func (o Options) withDefaults() Options {
@@ -274,6 +316,19 @@ func Fetch(ctx context.Context, ep transport.Endpoint, from int64, donors []tran
 	opts = opts.withDefaults()
 	sub := ep.Subscribe(StreamXfer)
 	prog := &progress{}
+	if opts.Parallel && len(donors) >= 2 {
+		t, err := fetchParallel(ctx, ep, sub, prog, from, donors, opts)
+		if err != nil {
+			return nil, err
+		}
+		if t != nil {
+			return t, nil
+		}
+		// The parallel phase did not finish the transfer (it may have
+		// banked a checkpoint and a backlog prefix into prog); the
+		// sequential loop below completes — or, after a total parallel
+		// failure, restarts — the fetch.
+	}
 	var errs []error
 	for _, donor := range donors {
 		if err := ctx.Err(); err != nil {
@@ -287,6 +342,160 @@ func Fetch(ctx context.Context, ep transport.Endpoint, from int64, donors []tran
 		errs = append(errs, fmt.Errorf("donor %v: %w", donor, err))
 	}
 	return nil, fmt.Errorf("statex: no donor could serve: %w", errors.Join(errs...))
+}
+
+// fetchParallel runs the split phase of a parallel fetch: donors[0]
+// streams its checkpoint (JoinReq.NoTail) while donors[1] tails the
+// backlog above donors[0]'s advertised frontier (JoinReq.TailOnly),
+// the two streams demultiplexed by sender on the shared subscription.
+// The phase ends without a terminal Done of its own — it banks the
+// checkpoint and the contiguous backlog prefix above it into prog and
+// returns (nil, nil), leaving the sequential loop to fetch the (small)
+// remainder under an atomically consistent Done. Two exceptions return
+// a complete Transfer directly: the checkpoint donor's ring covered
+// the advertised index (TailOnly answer — the "checkpoint" transfer
+// was the whole thing), or nothing was salvageable (also (nil, nil):
+// the sequential loop simply restarts from scratch). A non-nil error
+// is returned only for terminal conditions (context cancelled,
+// endpoint closed).
+func fetchParallel(ctx context.Context, ep transport.Endpoint, sub <-chan transport.Envelope,
+	prog *progress, from int64, donors []transport.NodeID, opts Options) (*Transfer, error) {
+	ckDonor, tailDonor := donors[0], donors[1]
+	if ckDonor == tailDonor {
+		return nil, nil
+	}
+	advFrom := prog.advertise(from)
+	ckXfer := nextXferID()
+	if err := ep.Send(ckDonor, StreamReq, JoinReq{Xfer: ckXfer, From: advFrom, NoTail: true}); err != nil {
+		return nil, nil
+	}
+	ckSt := &attempt{donor: ckDonor, prog: prog, from: from, advFrom: advFrom}
+	var (
+		tailSt   *attempt
+		tailXfer uint64
+		frontier int64
+		ckFin    bool
+		tailFin  bool
+		tailDead bool
+	)
+	abortCk := func() { _ = ep.Send(ckDonor, StreamReq, Abort{Xfer: ckXfer}) }
+	abortTail := func() {
+		if tailSt != nil && !tailFin && !tailDead {
+			_ = ep.Send(tailDonor, StreamReq, Abort{Xfer: tailXfer})
+		}
+	}
+
+	wait := opts.RespTimeout
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for !ckFin || (tailSt != nil && !tailFin && !tailDead) {
+		var env transport.Envelope
+		select {
+		case <-ctx.Done():
+			abortCk()
+			abortTail()
+			return nil, ctx.Err()
+		case <-timer.C:
+			abortCk()
+			abortTail()
+			ckSt.salvage()
+			return nil, nil
+		case e, ok := <-sub:
+			if !ok {
+				return nil, transport.ErrClosed
+			}
+			env = e
+		}
+		switch env.From {
+		case ckDonor:
+			if jr, ok := env.Msg.(JoinResp); ok && jr.Xfer == ckXfer {
+				frontier = jr.Frontier
+			}
+			done, final, err := ckSt.onMessage(env.Msg, ckXfer)
+			if err != nil {
+				// The checkpoint half is the foundation; without it the
+				// speculative tail has nothing to attach to. Fold what
+				// completed into prog and let the sequential loop retry.
+				abortCk()
+				abortTail()
+				ckSt.salvage()
+				return nil, nil
+			}
+			if final {
+				ckFin = true
+				if ckSt.mode == TailOnly {
+					abortTail()
+					t, aerr := ckSt.assemble(done)
+					if aerr != nil {
+						ckSt.salvage()
+						return nil, nil
+					}
+					ckSt.succeeded = true
+					return t, nil
+				}
+			}
+			if !ckFin && ckSt.gotResp && ckSt.mode == CheckpointTail && tailSt == nil && !tailDead && frontier > advFrom {
+				// The donor confirmed a checkpoint is coming and told us
+				// its frontier: start tailing from there in parallel. The
+				// checkpoint will land at or above the frontier, so the
+				// tail overlaps it — overlap is trimmed at stitch time,
+				// a gap could not be.
+				tailXfer = nextXferID()
+				if ep.Send(tailDonor, StreamReq, JoinReq{Xfer: tailXfer, From: frontier, TailOnly: true}) == nil {
+					tailSt = &attempt{donor: tailDonor, prog: &progress{}, from: frontier, advFrom: frontier}
+				} else {
+					tailDead = true
+				}
+			}
+		case tailDonor:
+			if tailSt == nil {
+				continue
+			}
+			_, final, err := tailSt.onMessage(env.Msg, tailXfer)
+			if err != nil {
+				// The tail half is pure speculation; losing it only costs
+				// the overlap. Drop it and keep the checkpoint streaming.
+				_ = ep.Send(tailDonor, StreamReq, Abort{Xfer: tailXfer})
+				tailDead = true
+			} else if final {
+				tailFin = true
+			}
+		default:
+			continue
+		}
+		if ckSt.gotResp {
+			wait = opts.ChunkTimeout
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+	}
+
+	// Bank the split transfer: the decoded checkpoint becomes the base,
+	// and the tail entries above its index become the verified prefix
+	// (tail entries start at frontier+1 ≤ ck.Index+1, verified
+	// contiguous on receipt, so trimming the overlap leaves exactly
+	// ck.Index+1...). The sequential loop completes the fetch from
+	// advertise() = ck.Index + len(prefix) under a terminal Done.
+	if !ckSt.ckptDone {
+		return nil, nil
+	}
+	ck, err := recovery.DecodeCheckpoint(ckSt.ckptBuf.Bytes())
+	if err != nil {
+		return nil, nil
+	}
+	prog.ck = ck
+	prog.entries = nil
+	if tailSt != nil && tailFin && len(tailSt.entries) > 0 {
+		if skip := ck.Index - frontier; skip >= 0 && int64(len(tailSt.entries)) > skip {
+			prog.entries = append([]abcast.DefEntry(nil), tailSt.entries[skip:]...)
+		}
+	}
+	return nil, nil
 }
 
 // attempt is the receive-side state machine of one transfer attempt.
@@ -309,6 +518,14 @@ type attempt struct {
 	// (0 = not yet known: checkpoint mode before the first entry).
 	expectSeq uint64
 	entries   []abcast.DefEntry
+	// pendCk/pendTail hold chunks that arrived ahead of their turn and
+	// fin a Done that overtook the stream it terminates: the transport
+	// under a chaotic network reorders messages, so the state machine
+	// applies chunks in Seq order from these buffers and only finalizes
+	// once every chunk the Done accounts for has been applied.
+	pendCk   map[int]CkptChunk
+	pendTail map[int]TailChunk
+	fin      *Done
 	// succeeded marks an attempt whose Transfer assembled: its progress
 	// went into the result, so the deferred salvage has nothing to do
 	// (and must not re-decode a large checkpoint for nothing).
@@ -375,16 +592,17 @@ func fetchFrom(ctx context.Context, ep transport.Endpoint, sub <-chan transport.
 	}
 }
 
-// onMessage advances the state machine by one wire message. It returns
-// the terminal Done when the stream is complete.
+// onMessage advances the state machine by one wire message. The
+// transport may reorder messages arbitrarily (chaos jitter models
+// per-packet delay), so chunks that arrive ahead of their turn are
+// buffered and applied in Seq order, and a Done that overtakes the
+// stream is held until every chunk it accounts for has been applied.
+// It returns the terminal Done only once the stream is complete.
 func (st *attempt) onMessage(msg any, xfer uint64) (Done, bool, error) {
 	switch m := msg.(type) {
 	case JoinResp:
-		if m.Xfer != xfer {
-			return Done{}, false, nil
-		}
-		if st.gotResp {
-			return Done{}, false, errors.New("statex: duplicate JoinResp")
+		if m.Xfer != xfer || st.gotResp {
+			return Done{}, false, nil // stale or duplicate: ignore
 		}
 		if m.Err != "" {
 			return Done{}, false, fmt.Errorf("statex: donor declined: %s", m.Err)
@@ -402,36 +620,78 @@ func (st *attempt) onMessage(msg any, xfer uint64) (Done, bool, error) {
 			st.expectSeq = uint64(st.advFrom) + 1
 		}
 	case CkptChunk:
-		if m.Xfer != xfer {
-			return Done{}, false, nil
+		if m.Xfer != xfer || m.Seq < st.ckptSeq {
+			return Done{}, false, nil // stale or already applied
 		}
-		if !st.gotResp || st.mode != CheckpointTail {
-			return Done{}, false, errors.New("statex: unexpected checkpoint chunk")
-		}
-		if st.ckptDone || st.tailSeq > 0 {
-			return Done{}, false, errors.New("statex: checkpoint chunk after checkpoint end")
-		}
-		if m.Seq != st.ckptSeq {
-			return Done{}, false, fmt.Errorf("statex: checkpoint chunk %d out of order (want %d)", m.Seq, st.ckptSeq)
+		if st.gotResp && st.mode != CheckpointTail {
+			return Done{}, false, errors.New("statex: checkpoint chunk in tail-only transfer")
 		}
 		if crc32.Checksum(m.Data, castagnoli) != m.CRC {
 			return Done{}, false, fmt.Errorf("statex: checkpoint chunk %d CRC mismatch", m.Seq)
 		}
-		st.ckptSeq++
-		st.ckptBuf.Write(m.Data)
-		if m.Last {
-			st.ckptDone = true
+		if st.pendCk == nil {
+			st.pendCk = make(map[int]CkptChunk)
 		}
+		st.pendCk[m.Seq] = m
 	case TailChunk:
+		if m.Xfer != xfer || m.Seq < st.tailSeq {
+			return Done{}, false, nil // stale or already applied
+		}
+		if st.pendTail == nil {
+			st.pendTail = make(map[int]TailChunk)
+		}
+		st.pendTail[m.Seq] = m
+	case Done:
 		if m.Xfer != xfer {
 			return Done{}, false, nil
 		}
-		if !st.gotResp || (st.mode == CheckpointTail && !st.ckptDone) {
-			return Done{}, false, errors.New("statex: unexpected tail chunk")
+		if m.Err != "" {
+			return Done{}, false, fmt.Errorf("statex: donor aborted: %s", m.Err)
 		}
-		if m.Seq != st.tailSeq {
-			return Done{}, false, fmt.Errorf("statex: tail chunk %d out of order (want %d)", m.Seq, st.tailSeq)
+		d := m
+		st.fin = &d
+	}
+	if err := st.drain(); err != nil {
+		return Done{}, false, err
+	}
+	if st.fin != nil && st.gotResp &&
+		(st.mode == TailOnly || st.ckptDone) && st.tailSeq == st.fin.Chunks {
+		return *st.fin, true, nil
+	}
+	return Done{}, false, nil
+}
+
+// drain applies buffered chunks in order as far as contiguity allows.
+// Checkpoint bytes first (their Last flag gates the tail), then tail
+// entries, each verified on apply so salvaged progress is trustworthy.
+func (st *attempt) drain() error {
+	if !st.gotResp {
+		return nil
+	}
+	if st.mode == CheckpointTail && !st.ckptDone {
+		for {
+			m, ok := st.pendCk[st.ckptSeq]
+			if !ok {
+				break
+			}
+			delete(st.pendCk, st.ckptSeq)
+			st.ckptSeq++
+			st.ckptBuf.Write(m.Data)
+			if m.Last {
+				st.ckptDone = true
+				break
+			}
 		}
+	}
+	if st.mode == CheckpointTail && !st.ckptDone {
+		return nil // the tail attaches above the checkpoint; wait for it
+	}
+	for {
+		m, ok := st.pendTail[st.tailSeq]
+		if !ok {
+			return nil
+		}
+		delete(st.pendTail, st.tailSeq)
 		st.tailSeq++
 		// Verify contiguity as entries arrive, not at assembly: entries
 		// verified here are salvageable progress if the stream dies.
@@ -440,25 +700,13 @@ func (st *attempt) onMessage(msg any, xfer uint64) (Done, bool, error) {
 				st.expectSeq = ent.Seq
 			}
 			if ent.Seq != st.expectSeq {
-				return Done{}, false, fmt.Errorf("statex: backlog gap: entry has position %d, want %d",
+				return fmt.Errorf("statex: backlog gap: entry has position %d, want %d",
 					ent.Seq, st.expectSeq)
 			}
 			st.expectSeq++
 			st.entries = append(st.entries, ent)
 		}
-	case Done:
-		if m.Xfer != xfer {
-			return Done{}, false, nil
-		}
-		if m.Err != "" {
-			return Done{}, false, fmt.Errorf("statex: donor aborted: %s", m.Err)
-		}
-		if !st.gotResp {
-			return Done{}, false, errors.New("statex: Done before JoinResp")
-		}
-		return m, true, nil
 	}
-	return Done{}, false, nil
 }
 
 // salvage folds this attempt's verified progress into the cross-attempt
@@ -530,6 +778,13 @@ func (st *attempt) assemble(d Done) (*Transfer, error) {
 			return nil, fmt.Errorf("statex: backlog gap: entry %d has position %d, want %d",
 				i, ent.Seq, uint64(t.Base)+1+uint64(i))
 		}
+	}
+	// End-to-end truncation guard: the assembled backlog must reach
+	// exactly the frontier the donor's Done accounts for. A reordering
+	// or loss that swallowed trailing chunks fails here instead of
+	// silently joining the group with missing history.
+	if got := t.Base + int64(len(entries)); got != d.Frontier {
+		return nil, fmt.Errorf("statex: backlog truncated: assembled through %d, donor frontier %d", got, d.Frontier)
 	}
 	t.Join = abcast.JoinState{
 		StartStage: d.StartStage,

@@ -253,7 +253,7 @@ func TestFetchBacklogGapRejected(t *testing.T) {
 		_ = ep.Send(joiner, StreamXfer, JoinResp{Xfer: req.Xfer, Mode: TailOnly})
 		gappy := []abcast.DefEntry{{Seq: 1}, {Seq: 3}} // 2 is missing
 		_ = ep.Send(joiner, StreamXfer, TailChunk{Xfer: req.Xfer, Seq: 0, Entries: gappy})
-		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 2})
+		_ = ep.Send(joiner, StreamXfer, Done{Xfer: req.Xfer, StartStage: 2, Chunks: 1, Frontier: 3})
 	}, make(chan uint64, 1))
 	_, err := Fetch(context.Background(), hub.Endpoint(0), 0, []transport.NodeID{1},
 		Options{RespTimeout: 2 * time.Second, ChunkTimeout: 2 * time.Second})

@@ -27,6 +27,31 @@ func WithSeed(seed int64) MemOption {
 	return func(h *Hub) { h.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// LinkProfile shapes one directed link of a Hub — the WAN model the
+// chaos harness drives. Delay/Jitter override the hub-wide settings for
+// the link. Loss is the per-message probability of a modeled packet
+// loss; because the in-process transport promises reliable channels
+// (the protocols above assume TCP-like links), a "lost" message is not
+// dropped but charged RetransmitDelay and re-rolled — the latency shape
+// of a retransmission timeout, with reliability intact. Profiles are
+// directional: SetLink(a, b, p) shapes only a→b traffic, so asymmetric
+// routes (and asymmetric congestion) are expressible.
+type LinkProfile struct {
+	// Delay is the fixed one-way delay for the link.
+	Delay time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the per-message probability of a modeled loss in [0, 1).
+	Loss float64
+	// RetransmitDelay is charged per modeled loss (default 200 ms, the
+	// shape of a retransmission timeout). Losses re-roll, so the charge
+	// is geometric: a 30%-loss link occasionally pays several RTOs.
+	RetransmitDelay time.Duration
+}
+
+// link identifies a directed hub link.
+type link struct{ from, to NodeID }
+
 // Hub is an in-process transport connecting n endpoints. It provides
 // reliable FIFO channels by default; delay and jitter options can weaken
 // timing (never reliability) and Partition/Crash inject failures.
@@ -38,6 +63,7 @@ type Hub struct {
 	rng       *rand.Rand
 	parted    [][]bool
 	crashed   []bool
+	links     map[link]LinkProfile
 	timers    sync.WaitGroup
 	closed    bool
 }
@@ -124,6 +150,37 @@ func (h *Hub) Heal(a, b NodeID) {
 	h.parted[b][a] = false
 }
 
+// SetLink installs a fault profile on the directed link from → to,
+// replacing any previous profile (and, for that link, the hub-wide
+// delay/jitter). Safe to call while traffic flows; messages already
+// scheduled keep their old delay.
+func (h *Hub) SetLink(from, to NodeID, p LinkProfile) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.links == nil {
+		h.links = make(map[link]LinkProfile)
+	}
+	if p.Loss > 0 && p.RetransmitDelay <= 0 {
+		p.RetransmitDelay = 200 * time.Millisecond
+	}
+	h.links[link{from, to}] = p
+}
+
+// ClearLink removes the fault profile of the directed link from → to,
+// restoring the hub-wide delay/jitter.
+func (h *Hub) ClearLink(from, to NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.links, link{from, to})
+}
+
+// ClearLinks removes every per-link fault profile.
+func (h *Hub) ClearLinks() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.links = nil
+}
+
 // Crash makes a node silently drop all traffic, modelling a crash-stop
 // failure.
 func (h *Hub) Crash(n NodeID) {
@@ -166,16 +223,32 @@ func (h *Hub) Close() {
 	}
 }
 
+// Inject routes an envelope as if sent by `from`, even when that node
+// is crashed — the ghost-incarnation replay primitive: a survivor's
+// transport retransmitting a dead process's backlog looks exactly like
+// this. Partitions and the destination's crash state still apply.
+func (h *Hub) Inject(from, to NodeID, stream string, msg any) {
+	h.route(from, to, Envelope{From: from, Stream: stream, Msg: msg}, true)
+}
+
 // route delivers an envelope from -> to, applying failures and delay.
-func (h *Hub) route(from, to NodeID, env Envelope) {
+// ghost bypasses the sender's crash state (see Inject).
+func (h *Hub) route(from, to NodeID, env Envelope, ghost bool) {
 	h.mu.Lock()
-	if h.closed || h.crashed[from] || h.crashed[to] || h.parted[from][to] {
+	if h.closed || (h.crashed[from] && !ghost) || h.crashed[to] || h.parted[from][to] {
 		h.mu.Unlock()
 		return
 	}
 	delay := h.baseDelay
-	if h.jitter > 0 {
-		delay += time.Duration(h.rng.Int63n(int64(h.jitter)))
+	jitter := h.jitter
+	if p, ok := h.links[link{from, to}]; ok {
+		delay, jitter = p.Delay, p.Jitter
+		for p.Loss > 0 && h.rng.Float64() < p.Loss {
+			delay += p.RetransmitDelay
+		}
+	}
+	if jitter > 0 {
+		delay += time.Duration(h.rng.Int63n(int64(jitter)))
 	}
 	dst := h.nodes[to]
 	if delay == 0 {
@@ -223,7 +296,7 @@ func (e *memEndpoint) Send(to NodeID, stream string, msg any) error {
 	if closed {
 		return ErrClosed
 	}
-	e.hub.route(e.id, to, Envelope{From: e.id, Stream: stream, Msg: msg})
+	e.hub.route(e.id, to, Envelope{From: e.id, Stream: stream, Msg: msg}, false)
 	return nil
 }
 
@@ -239,7 +312,7 @@ func (e *memEndpoint) Broadcast(stream string, msg any) error {
 	n := len(e.hub.nodes)
 	e.hub.mu.Unlock()
 	for i := 0; i < n; i++ {
-		e.hub.route(e.id, NodeID(i), env)
+		e.hub.route(e.id, NodeID(i), env, false)
 	}
 	return nil
 }

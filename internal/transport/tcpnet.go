@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -413,6 +414,12 @@ type peerLink struct {
 	nextSeq uint64
 
 	connErr chan struct{} // signalled by the ack reader on conn failure
+
+	// tries and rng drive the reconnect backoff schedule. Both are
+	// touched only from the writeLoop goroutine (dial and backoff run
+	// there), so they need no lock.
+	tries int
+	rng   *rand.Rand
 }
 
 func newPeerLink(n *TCPNode, addr string) *peerLink {
@@ -423,6 +430,7 @@ func newPeerLink(n *TCPNode, addr string) *peerLink {
 		done:    make(chan struct{}),
 		stop:    make(chan struct{}),
 		connErr: make(chan struct{}, 1),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(n.cfg.ID)<<32)),
 	}
 	go l.writeLoop()
 	return l
@@ -622,13 +630,30 @@ func (l *peerLink) readAcks(conn net.Conn) {
 	}
 }
 
+// backoff waits before the next reconnection attempt. Consecutive
+// failures back off exponentially from the configured DialRetry floor
+// up to a 16× cap, with up to +50% random jitter so that after a
+// partition heals the reconnect attempts of many peers do not arrive
+// in lockstep at a still-recovering node. A successful dial resets the
+// schedule to the floor (see dial).
 func (l *peerLink) backoff() bool {
+	d := l.node.cfg.DialRetry
+	if shift := l.tries; shift > 0 {
+		if shift > 4 {
+			shift = 4
+		}
+		d <<= shift
+	}
+	if l.tries < 4 {
+		l.tries++
+	}
+	d += time.Duration(l.rng.Int63n(int64(d)/2 + 1))
 	select {
 	case <-l.node.stop:
 		return false
 	case <-l.stop:
 		return false
-	case <-time.After(l.node.cfg.DialRetry):
+	case <-time.After(d):
 		return true
 	}
 }
@@ -660,6 +685,7 @@ func (l *peerLink) dial() (net.Conn, error) {
 		}
 		conn, err := d.DialContext(ctx, "tcp", l.addr)
 		if err == nil {
+			l.tries = 0
 			return conn, nil
 		}
 		if !l.backoff() {

@@ -73,12 +73,14 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"otpdb/internal/abcast"
 	"otpdb/internal/consensus"
 	"otpdb/internal/db"
+	"otpdb/internal/fd"
 	"otpdb/internal/history"
 	"otpdb/internal/member"
 	"otpdb/internal/otp"
@@ -186,6 +188,8 @@ type config struct {
 	voteTimeout  time.Duration
 	resolveAfter time.Duration
 	commitDelay  time.Duration
+	autoReplace  bool
+	suspectWin   time.Duration
 }
 
 // Option configures NewCluster.
@@ -299,6 +303,28 @@ func WithCommitFlushDelay(d time.Duration) Option {
 	return func(c *config) { c.commitDelay = d }
 }
 
+// WithAutoReplace closes the self-healing loop: every live site runs a
+// heartbeat failure detector (internal/fd), and when a site has been
+// continuously suspected for the given window, survivors automatically
+// propose the ReplaceSite configuration change and rebuild the identity
+// as a fresh replica — a crashed site heals with no operator action.
+//
+// The race between survivors is resolved by the membership protocol
+// itself: each proposer derives its change from the configuration it
+// captured when the window expired, so exactly one proposal commits per
+// epoch and every loser observes member.ErrEpochConflict and backs off
+// for a full further window. Replacement only fires for sites downed at
+// the transport level (CrashSite); a partitioned-but-alive site is
+// suspected but never replaced — heal the partition instead.
+//
+// window <= 0 selects the 500 ms default. Requires OptimisticOrdering.
+func WithAutoReplace(window time.Duration) Option {
+	return func(c *config) {
+		c.autoReplace = true
+		c.suspectWin = window
+	}
+}
+
 // WithCrossShardTimeouts tunes the cross-shard protocol: vote bounds a
 // coordinator's wait for every shard's prepare vote before it proposes
 // abort, and resolve is how long an orphaned prepare may block before
@@ -402,6 +428,14 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	if cfg.shards <= 0 {
 		return nil, fmt.Errorf("otpdb: shards must be positive, got %d", cfg.shards)
+	}
+	if cfg.autoReplace {
+		if cfg.ordering != OptimisticOrdering {
+			return nil, errors.New("otpdb: WithAutoReplace requires OptimisticOrdering")
+		}
+		if cfg.suspectWin <= 0 {
+			cfg.suspectWin = 500 * time.Millisecond
+		}
 	}
 	m, err := shard.NewMap(cfg.shards)
 	if err != nil {
@@ -511,7 +545,7 @@ func (c *Cluster) siteDir(g, i int) string {
 // function — on the given endpoint. The caller provides the store
 // (recovered or fresh) and the definitive index it is consistent at; the
 // tracker is primed from the committed configuration that store carries.
-func (c *Cluster) buildSite(grp *group, i int, ep transport.Endpoint, join *abcast.JoinState,
+func (c *Cluster) buildSite(grp *group, g, i int, ep transport.Endpoint, join *abcast.JoinState,
 	store *storage.Store, base int64, dur *recovery.Durability) (*db.Replica, *abcast.Optimistic, *member.Tracker, func(), error) {
 	mcfg, err := member.CommittedConfig(store)
 	if err != nil {
@@ -520,6 +554,7 @@ func (c *Cluster) buildSite(grp *group, i int, ep transport.Endpoint, join *abca
 	tracker := member.NewTracker(mcfg)
 	var bc abcast.Broadcaster
 	var opt *abcast.Optimistic
+	var det *fd.Detector
 	var stopEngine func()
 	switch c.cfg.ordering {
 	case ConservativeOrdering:
@@ -533,6 +568,21 @@ func (c *Cluster) buildSite(grp *group, i int, ep transport.Endpoint, join *abca
 		}
 		if join != nil {
 			ccfg.CatchUpFrom = join.StartStage
+		}
+		if c.cfg.autoReplace && g == 0 {
+			// One detector per site, on the first group's endpoint: site i
+			// of every group shares a failure domain, so one verdict covers
+			// all shards. It doubles as the consensus suspector — rotation
+			// and replacement then act on the same evidence. The default
+			// clock-derived incarnation makes a rebuilt site supersede its
+			// dead predecessor's retransmitted heartbeats.
+			interval := c.cfg.suspectWin / 8
+			if interval > 25*time.Millisecond {
+				interval = 25 * time.Millisecond
+			}
+			det = fd.New(ep, fd.Config{Interval: interval})
+			tracker.OnChange(func(next member.Config) { det.SetMembers(next.IDs()) })
+			ccfg.Suspector = det
 		}
 		cons := consensus.New(ccfg)
 		cons.Start()
@@ -585,13 +635,31 @@ func (c *Cluster) buildSite(grp *group, i int, ep transport.Endpoint, join *abca
 		xs = statex.NewServer(ep, statex.ReplicaSource{Replica: rep, Engine: opt})
 		xs.Start()
 	}
-	return rep, opt, tracker, func() {
+	stop := func() {
 		if xs != nil {
 			xs.Stop()
 		}
 		rep.Stop()
 		stopEngine()
-	}, nil
+	}
+	if det != nil {
+		det.Start()
+		det.SetMembers(tracker.Config().IDs())
+		stopReplace := make(chan struct{})
+		go c.autoReplaceLoop(i, det, stopReplace)
+		inner := stop
+		stop = func() {
+			// The replacer is signalled, not joined: the winner of a
+			// replacement holds c.mu while stopping the victim's stack,
+			// and the victim's own replacer may itself be blocked on c.mu.
+			// Joining the detector is safe — its goroutine never takes
+			// cluster locks.
+			close(stopReplace)
+			det.Stop()
+			inner()
+		}
+	}
+	return rep, opt, tracker, stop, nil
 }
 
 // seedStore loads a fresh store with every seed owned by shard g.
@@ -682,7 +750,7 @@ func (c *Cluster) Start() error {
 				return fmt.Errorf("otpdb: durable sites of shard %d recovered to different indexes (site 0: %d, site %d: %d); restart lagging sites into a running cluster with RestartSite",
 					g, grp.bases[0], i, base)
 			}
-			rep, opt, tracker, stop, err := c.buildSite(grp, i, ep, nil, store, base, dur)
+			rep, opt, tracker, stop, err := c.buildSite(grp, g, i, ep, nil, store, base, dur)
 			if err != nil {
 				if dur != nil {
 					_ = dur.Close()
@@ -1129,7 +1197,7 @@ func (c *Cluster) rejoinGroupLocked(ctx context.Context, g, site int, wipe bool)
 		dur, base = d, b
 	}
 
-	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{})
+	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{Parallel: true})
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
@@ -1151,7 +1219,7 @@ func (c *Cluster) rejoinGroupLocked(ctx context.Context, g, site int, wipe bool)
 		}
 	}
 	join := xfer.Join
-	rep, opt, tracker, stop, err := c.buildSite(grp, site, ep, &join, store, base, dur)
+	rep, opt, tracker, stop, err := c.buildSite(grp, g, site, ep, &join, store, base, dur)
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
@@ -1378,7 +1446,7 @@ func (c *Cluster) buildAddedSite(ctx context.Context, g, newID int) error {
 		}
 		dur = d
 	}
-	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{})
+	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{Parallel: true})
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
@@ -1397,7 +1465,7 @@ func (c *Cluster) buildAddedSite(ctx context.Context, g, newID int) error {
 		}
 	}
 	join := xfer.Join
-	rep, opt, tracker, stop, err := c.buildSite(grp, newID, ep, &join, store, base, dur)
+	rep, opt, tracker, stop, err := c.buildSite(grp, g, newID, ep, &join, store, base, dur)
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
@@ -1558,6 +1626,35 @@ func (c *Cluster) DigestAt(site int) (uint64, error) {
 		_, _ = h.Write(buf[:])
 	}
 	return h.Sum64(), nil
+}
+
+// DumpEngine returns a debug snapshot of a site's OPT-ABcast ordering
+// state (one line per shard): current stage, next decision to process,
+// and any wedged definitive queue. Diagnostics only — the format is not
+// stable.
+func (c *Cluster) DumpEngine(site int) (string, error) {
+	c.mu.RLock()
+	engines := make([]*abcast.Optimistic, 0, len(c.groups))
+	for g := range c.groups {
+		if _, err := c.replicaLocked(g, site); err != nil {
+			c.mu.RUnlock()
+			return "", err
+		}
+		engines = append(engines, c.groups[g].engines[site])
+	}
+	c.mu.RUnlock()
+	var b strings.Builder
+	for g, eng := range engines {
+		if g > 0 {
+			b.WriteByte('\n')
+		}
+		if eng == nil {
+			fmt.Fprintf(&b, "shard %d: no optimistic engine", g)
+			continue
+		}
+		fmt.Fprintf(&b, "shard %d: %s", g, eng.Dump())
+	}
+	return b.String(), nil
 }
 
 // ShardDigest returns a hash of one shard's committed state at a site.
