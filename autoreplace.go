@@ -64,7 +64,7 @@ func (c *Cluster) autoReplaceLoop(self int, det *fd.Detector, stop <-chan struct
 			if now.Sub(start) < window {
 				continue
 			}
-			c.tryAutoReplace(self, int(n))
+			c.tryAutoReplace(self, int(n), start)
 			// Back off a full further window whether we won or lost:
 			// a winner's rebuild clears the suspicion via the epoch
 			// change; a loser must not re-propose while the winner's
@@ -95,7 +95,11 @@ func (c *Cluster) autoReplaceLoop(self int, det *fd.Detector, stop <-chan struct
 // a healthy replica to fix a network problem. This is also what keeps
 // the detector's inevitable false suspicions (◇S is unreliable by
 // nature) from ever destroying state.
-func (c *Cluster) tryAutoReplace(self, victim int) {
+// suspectedAt is when the winner's unbroken stretch of suspicion began;
+// the winner records the round's full timeline (see Replacements), which
+// separates the detection hysteresis from the repair cost.
+func (c *Cluster) tryAutoReplace(self, victim int, suspectedAt time.Time) {
+	detectedAt := time.Now()
 	c.mu.RLock()
 	ok := c.started && !c.stopped &&
 		c.crashed[victim] && !c.removed[victim] &&
@@ -134,10 +138,21 @@ func (c *Cluster) tryAutoReplace(self, victim int) {
 	// fresh replica (wipe semantics — the dead incarnation's durable
 	// state does not come with it). Re-validate under the write lock:
 	// Stop, RemoveSite or an operator's ReplaceSite may have moved first.
+	rec := Replacement{
+		Victim:      victim,
+		SuspectedAt: suspectedAt,
+		DetectedAt:  detectedAt,
+		CommittedAt: time.Now(),
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.stopped || !c.crashed[victim] || c.removed[victim] || c.crashed[self] {
 		return
 	}
-	_ = c.rejoinLocked(ctx, victim, true)
+	if err := c.rejoinLocked(ctx, victim, true); err == nil {
+		rec.RebuiltAt = time.Now()
+	}
+	c.replMu.Lock()
+	c.repls = append(c.repls, rec)
+	c.replMu.Unlock()
 }

@@ -18,6 +18,16 @@
 //	...
 //	role:      serving
 //
+// METRICS pretty-prints the replica's metrics registry grouped by family
+// (use the raw protocol via -stdin for machine consumption), and
+// TRACE <id> prints a transaction's recorded lifecycle spans as JSON,
+// one per line:
+//
+//	$ otpcli -addr :7070 METRICS
+//	otp_commits_total
+//	  {shard=0,site=0}             1042
+//	...
+//
 // Pipelined mode (-stdin) keeps one connection open and sends every line
 // read from standard input, printing one reply per line. Because SUBMIT
 // handles are per-connection, this is how WAIT is used — and how many
@@ -85,8 +95,63 @@ func run(addr string, args []string) error {
 		}
 		return nil
 	}
+	if len(args) > 0 && (strings.EqualFold(args[0], "METRICS") || strings.EqualFold(args[0], "TRACE")) {
+		// Multi-line replies: the first line announces n=<count>
+		// continuation lines (series or JSON spans); collect them all.
+		lines := []string{sc.Text()}
+		for i := lineCount(sc.Text()); i > 0 && sc.Scan(); i-- {
+			lines = append(lines, sc.Text())
+		}
+		if strings.EqualFold(args[0], "METRICS") {
+			printMetrics(lines)
+		} else {
+			fmt.Println(strings.Join(lines, "\n"))
+		}
+		return nil
+	}
 	fmt.Println(sc.Text())
 	return nil
+}
+
+// lineCount extracts n=N from a METRICS/TRACE header line (0 when the
+// reply is an ERR or an older server's).
+func lineCount(reply string) int {
+	for _, f := range strings.Fields(reply) {
+		if v, ok := strings.CutPrefix(f, "n="); ok {
+			var n int
+			if _, err := fmt.Sscanf(v, "%d", &n); err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// printMetrics pretty-prints a METRICS reply: series grouped by family
+// name, label sets and readings aligned under each. Anything unexpected
+// is printed verbatim.
+func printMetrics(lines []string) {
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "METRICS") {
+		fmt.Println(strings.Join(lines, "\n"))
+		return
+	}
+	lastFamily := ""
+	for _, line := range lines[1:] {
+		name, rest, _ := strings.Cut(line, " ")
+		family := name
+		labels := ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			family, labels = name[:i], name[i:]
+		}
+		if family != lastFamily {
+			lastFamily = family
+			fmt.Println(family)
+		}
+		if labels == "" {
+			labels = "{}"
+		}
+		fmt.Printf("  %-28s %s\n", labels, rest)
+	}
 }
 
 // shardCount extracts shards=N from a STATS summary line (0 when absent,

@@ -17,6 +17,8 @@
 //	MEMBER ADD <id> <addr>       -> OK epoch=<e> members=<n> to=<idx> | ERR <message>
 //	MEMBER REMOVE <id>           -> OK ... (as ADD)
 //	MEMBER REPLACE <id> <addr>   -> OK ... (as ADD)
+//	METRICS                      -> METRICS n=<count>, then one series per line
+//	TRACE <id>                   -> TRACE n=<count>, then one JSON span per line
 //
 // SUBMIT handles are per-connection: WAIT resolves an ID submitted on the
 // same connection (pipeline SUBMITs first, then WAIT each ID). STATS is
@@ -81,6 +83,22 @@
 // the change in every shard group (shard g at the given address's port
 // + g).
 //
+// # Observability
+//
+// Every layer of the replica registers runtime telemetry — reorder rate,
+// opt→definitive latency, consensus rounds and decision latency, WAL
+// fsync latency, state-transfer volume, failure-detector suspicions,
+// cross-shard vote latency — in an in-process metrics registry (see
+// internal/metrics and DESIGN.md §12). -http serves it at /metrics in
+// the Prometheus text format, alongside net/http/pprof under
+// /debug/pprof. The METRICS verb dumps the same registry over the client
+// protocol (one series per line; histograms as count/p50/p95/p99), and
+// TRACE <id> dumps a transaction's recorded lifecycle spans
+// (submit/opt-deliver/to-deliver/commit/abort) as JSON, one per line,
+// from a fixed-size ring of the most recent spans. STATS reads its
+// scheduler counters out of the same registry, so the two surfaces
+// cannot drift.
+//
 // Example 3-replica cluster on one machine:
 //
 //	otpd -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 -client :7070 -data data/0 &
@@ -98,9 +116,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -115,6 +136,7 @@ import (
 	"otpdb/internal/db"
 	"otpdb/internal/fd"
 	"otpdb/internal/member"
+	"otpdb/internal/metrics"
 	"otpdb/internal/recovery"
 	"otpdb/internal/shard"
 	"otpdb/internal/sproc"
@@ -134,9 +156,10 @@ func main() {
 		dataDir = flag.String("data", "", "durability directory (empty = in-memory only)")
 		fsync   = flag.String("fsync", "group", "WAL fsync policy: commit|group|off (with -data)")
 		join    = flag.Bool("join", false, "force a state transfer from a live peer before serving")
+		httpOn  = flag.String("http", "", "observability listen address serving /metrics and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*id, *peers, *client, *classes, *shards, *dataDir, *fsync, *join); err != nil {
+	if err := run(*id, *peers, *client, *classes, *shards, *dataDir, *fsync, *join, *httpOn); err != nil {
 		fmt.Fprintln(os.Stderr, "otpd:", err)
 		os.Exit(1)
 	}
@@ -232,11 +255,13 @@ type shardStack struct {
 
 // server is the process state the client protocol serves from.
 type server struct {
-	shards []*shardStack
-	reg    *sproc.Registry
-	smap   *shard.Map
-	coord  *shard.Coordinator
-	ready  chan struct{} // closed when every shard's replica is published
+	shards  []*shardStack
+	reg     *sproc.Registry
+	smap    *shard.Map
+	coord   *shard.Coordinator
+	metrics *metrics.Registry
+	trace   *metrics.TraceRing
+	ready   chan struct{} // closed when every shard's replica is published
 }
 
 // membership renders the epoch/size STATS fields of one shard ("0 0"
@@ -322,7 +347,7 @@ func shiftAddr(addr string, delta int) (string, error) {
 	return net.JoinHostPort(host, strconv.Itoa(p+delta)), nil
 }
 
-func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsync string, forceJoin bool) error {
+func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsync string, forceJoin bool, httpAddr string) error {
 	if peerList == "" {
 		return fmt.Errorf("-peers is required")
 	}
@@ -373,11 +398,16 @@ func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsyn
 		}
 	}
 
-	srv := &server{reg: reg, smap: smap, ready: make(chan struct{})}
+	srv := &server{
+		reg: reg, smap: smap, ready: make(chan struct{}),
+		metrics: metrics.NewRegistry(),
+		trace:   metrics.NewTraceRing(4096),
+	}
 	for g := 0; g < shards; g++ {
 		srv.shards = append(srv.shards, &shardStack{})
 	}
-	shub := shard.NewHub(shard.Config{Origin: transport.NodeID(id), Incarnation: inc})
+	siteScope := srv.metrics.Scope("site", strconv.Itoa(id))
+	shub := shard.NewHub(shard.Config{Origin: transport.NodeID(id), Incarnation: inc, Metrics: siteScope})
 	if err := shub.Register(reg); err != nil {
 		return err
 	}
@@ -385,7 +415,27 @@ func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsyn
 		st := srv.shards[g]
 		shub.Attach(g, id, func() *db.Replica { return st.rep.Load() })
 	}
-	srv.coord = shard.NewCoordinator(shub, smap, reg, shard.CoordConfig{})
+	srv.coord = shard.NewCoordinator(shub, smap, reg, shard.CoordConfig{Metrics: siteScope})
+
+	// The observability endpoint comes up first: /metrics (Prometheus
+	// text format) and /debug/pprof answer through recovery, join and
+	// serving alike. pprof registers on the default mux at import.
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = metrics.WriteProm(w, srv.metrics)
+		})
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listen: %w", err)
+		}
+		hsrv := &http.Server{Handler: mux}
+		go func() { _ = hsrv.Serve(hln) }()
+		defer func() { _ = hsrv.Close() }()
+		fmt.Printf("otpd: replica %d observability on http://%s/metrics\n", id, hln.Addr())
+	}
 
 	// The client listener comes up before the replicas so STATS can
 	// report the joining phase; commands that need a replica wait.
@@ -461,17 +511,19 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 		return nil, err
 	}
 
+	scope := srv.metrics.Scope("shard", strconv.Itoa(g), "site", strconv.Itoa(id))
 	node, err := transport.ListenTCP(transport.TCPConfig{
 		ID:          transport.NodeID(id),
 		Addrs:       addrs,
 		Incarnation: inc,
+		Metrics:     scope,
 	})
 	if err != nil {
 		return fail(err)
 	}
 	cleanup = append(cleanup, func() { _ = node.Close() })
 
-	detector := fd.New(node, fd.Config{Interval: 100 * time.Millisecond, Incarnation: inc})
+	detector := fd.New(node, fd.Config{Interval: 100 * time.Millisecond, Incarnation: inc, Metrics: scope})
 	detector.Start()
 	cleanup = append(cleanup, detector.Stop)
 
@@ -494,7 +546,7 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 		if perr != nil {
 			return fail(perr)
 		}
-		d, derr := recovery.Open(shardDir, recovery.Options{Sync: policy})
+		d, derr := recovery.Open(shardDir, recovery.Options{Sync: policy, Metrics: scope})
 		if derr != nil {
 			return fail(derr)
 		}
@@ -544,7 +596,7 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 		var jerr error
 		for attempt := 0; attempt < 2; attempt++ {
 			xfer, jerr = statex.Fetch(ctx, node, base, donorOrder(detector, transport.NodeID(id), tracker.Members()),
-				statex.Options{RespTimeout: 3 * time.Second, Parallel: true})
+				statex.Options{RespTimeout: 3 * time.Second, Parallel: true, Metrics: scope})
 			if jerr == nil || ctx.Err() != nil {
 				break
 			}
@@ -596,6 +648,7 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 		Suspector:    detector,
 		RoundTimeout: 250 * time.Millisecond,
 		View:         tracker,
+		Metrics:      scope,
 	}
 	if joinState != nil {
 		ccfg.CatchUpFrom = joinState.StartStage
@@ -604,7 +657,7 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 	cons.Start()
 	cleanup = append(cleanup, cons.Stop)
 
-	aopts := []abcast.Option{abcast.WithDefBase(uint64(base))}
+	aopts := []abcast.Option{abcast.WithDefBase(uint64(base)), abcast.WithMetrics(scope)}
 	if joinState != nil {
 		aopts = append(aopts, abcast.WithJoin(*joinState))
 	}
@@ -619,6 +672,9 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 		Broadcast:   bc,
 		Registry:    srv.reg,
 		Store:       store,
+		Metrics:     scope,
+		Trace:       srv.trace,
+		Shard:       g,
 		ConfigClass: member.Class,
 		OnConfigCommit: func(v storage.Value, _ int64) {
 			if next, derr := member.Decode(v); derr == nil {
@@ -724,8 +780,51 @@ func fmtCross(res shard.CrossResult, latency time.Duration) string {
 		latency.Round(time.Microsecond), res.Home, strings.Join(spans, ","))
 }
 
+// schedStats is one shard's scheduler counters as STATS reports them,
+// read from the metrics registry — the same Func collectors /metrics
+// scrapes — so the two surfaces cannot drift.
+type schedStats struct {
+	commits, aborts, reorders uint64
+	pending                   int
+	to                        int64
+}
+
+// schedFromSnapshot extracts shard g's scheduler series from one
+// registry snapshot.
+func schedFromSnapshot(snap []metrics.Sample, g int) schedStats {
+	want := strconv.Itoa(g)
+	var out schedStats
+	for _, s := range snap {
+		if !hasLabel(s.Labels, "shard", want) {
+			continue
+		}
+		switch s.Name {
+		case "otp_commits_total":
+			out.commits = uint64(s.Value)
+		case "otp_rollback_total":
+			out.aborts = uint64(s.Value)
+		case "otp_reposition_total":
+			out.reorders = uint64(s.Value)
+		case "otp_pending":
+			out.pending = int(s.Value)
+		case "otp_last_to_index":
+			out.to = int64(s.Value)
+		}
+	}
+	return out
+}
+
+func hasLabel(labels []metrics.Label, key, value string) bool {
+	for _, l := range labels {
+		if l.Key == key && l.Value == value {
+			return true
+		}
+	}
+	return false
+}
+
 // shardStatsLine renders one shard's counters in the STATS field shape.
-func shardStatsLine(g int, st *shardStack) string {
+func shardStatsLine(snap []metrics.Sample, g int, st *shardStack) string {
 	rep := st.rep.Load()
 	base := st.base.Load()
 	epoch, members := st.membership()
@@ -733,10 +832,10 @@ func shardStatsLine(g int, st *shardStack) string {
 		return fmt.Sprintf("SHARD id=%d commits=0 aborts=0 reorders=0 pending=0 to=%d recovered=%d epoch=%d members=%d role=%s",
 			g, base, base, epoch, members, st.role())
 	}
-	ms := rep.Manager().Stats()
+	ss := schedFromSnapshot(snap, g)
 	return fmt.Sprintf("SHARD id=%d commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d epoch=%d members=%d role=%s",
-		g, ms.Commits, ms.Aborts, ms.Reorders, rep.Manager().Pending(),
-		rep.LastTO(), base, epoch, members, st.role())
+		g, ss.commits, ss.aborts, ss.reorders, ss.pending,
+		ss.to, base, epoch, members, st.role())
 }
 
 // routeShard resolves which shard group an update procedure belongs to:
@@ -768,32 +867,32 @@ func (cs *clientSession) handle(fields []string) string {
 		// the replicas exist. Single-shard keeps the historic one-line
 		// shape; sharded mode prints a summary line plus one SHARD line
 		// per group.
+		snap := srv.metrics.Snapshot()
 		if len(srv.shards) == 1 {
 			st := srv.shards[0]
 			base := st.base.Load()
 			epoch, members := st.membership()
-			rep := st.rep.Load()
-			if rep == nil {
+			if st.rep.Load() == nil {
 				return fmt.Sprintf("STATS commits=0 aborts=0 reorders=0 pending=0 to=%d recovered=%d epoch=%d members=%d role=%s",
 					base, base, epoch, members, srv.role())
 			}
-			ms := rep.Manager().Stats()
+			ss := schedFromSnapshot(snap, 0)
 			return fmt.Sprintf("STATS commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d epoch=%d members=%d role=%s",
-				ms.Commits, ms.Aborts, ms.Reorders, rep.Manager().Pending(),
-				rep.LastTO(), base, epoch, members, srv.role())
+				ss.commits, ss.aborts, ss.reorders, ss.pending,
+				ss.to, base, epoch, members, srv.role())
 		}
 		var commits, aborts, reorders uint64
 		var pending int
 		var to, recovered int64
-		for _, st := range srv.shards {
+		for g, st := range srv.shards {
 			recovered += st.base.Load()
-			if rep := st.rep.Load(); rep != nil {
-				ms := rep.Manager().Stats()
-				commits += ms.Commits
-				aborts += ms.Aborts
-				reorders += ms.Reorders
-				pending += rep.Manager().Pending()
-				to += rep.LastTO()
+			if st.rep.Load() != nil {
+				ss := schedFromSnapshot(snap, g)
+				commits += ss.commits
+				aborts += ss.aborts
+				reorders += ss.reorders
+				pending += ss.pending
+				to += ss.to
 			} else {
 				to += st.base.Load()
 			}
@@ -802,7 +901,39 @@ func (cs *clientSession) handle(fields []string) string {
 		lines := []string{fmt.Sprintf("STATS shards=%d commits=%d aborts=%d reorders=%d pending=%d to=%d recovered=%d epoch=%d members=%d role=%s",
 			len(srv.shards), commits, aborts, reorders, pending, to, recovered, epoch, members, srv.role())}
 		for g, st := range srv.shards {
-			lines = append(lines, shardStatsLine(g, st))
+			lines = append(lines, shardStatsLine(snap, g, st))
+		}
+		return strings.Join(lines, "\n")
+	}
+	if cmd == "METRICS" {
+		// Answered in every phase, like STATS: the registry exists from
+		// process start. One series per line, histograms as summaries.
+		snap := srv.metrics.Snapshot()
+		lines := make([]string, 0, len(snap)+1)
+		lines = append(lines, fmt.Sprintf("METRICS n=%d", len(snap)))
+		for _, s := range snap {
+			lines = append(lines, metricLine(s))
+		}
+		return strings.Join(lines, "\n")
+	}
+	if cmd == "TRACE" {
+		if len(fields) != 2 {
+			return "ERR TRACE needs a transaction id"
+		}
+		var evs []metrics.TraceEvent
+		for _, key := range traceTxnKeys(fields[1]) {
+			if evs = srv.trace.Find(key); len(evs) > 0 {
+				break
+			}
+		}
+		lines := make([]string, 0, len(evs)+1)
+		lines = append(lines, fmt.Sprintf("TRACE n=%d", len(evs)))
+		for _, ev := range evs {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return "ERR " + err.Error()
+			}
+			lines = append(lines, string(b))
 		}
 		return strings.Join(lines, "\n")
 	}
@@ -1079,6 +1210,53 @@ func (cs *clientSession) handleMember(args []string) string {
 		}
 	}
 	return reply
+}
+
+// metricLine renders one registry series for the METRICS verb: scalars
+// as `name{labels} value`, histograms as a count/quantile summary —
+// durations via time.Duration strings, size histograms as raw integers.
+func metricLine(s metrics.Sample) string {
+	var labels string
+	if len(s.Labels) > 0 {
+		parts := make([]string, len(s.Labels))
+		for i, l := range s.Labels {
+			parts[i] = l.Key + "=" + l.Value
+		}
+		labels = "{" + strings.Join(parts, ",") + "}"
+	}
+	switch s.Kind {
+	case metrics.KindHistogram:
+		sum := s.Hist.Summarize()
+		return fmt.Sprintf("%s%s count=%d p50=%s p95=%s p99=%s",
+			s.Name, labels, sum.Count, sum.P50, sum.P95, sum.P99)
+	case metrics.KindSizeHistogram:
+		sum := s.Hist.Summarize()
+		return fmt.Sprintf("%s%s count=%d p50=%d p95=%d p99=%d",
+			s.Name, labels, sum.Count, int64(sum.P50), int64(sum.P95), int64(sum.P99))
+	default:
+		if s.Value == float64(int64(s.Value)) {
+			return fmt.Sprintf("%s%s %d", s.Name, labels, int64(s.Value))
+		}
+		return fmt.Sprintf("%s%s %g", s.Name, labels, s.Value)
+	}
+}
+
+// traceTxnKeys maps a client-facing transaction id — SUBMIT's
+// "<origin>.<seq>" (or "<shard>.<origin>.<seq>" in sharded mode) — to
+// the engine's MsgID string ("m<origin>.<seq>"); an engine-form id
+// passes through verbatim.
+func traceTxnKeys(arg string) []string {
+	if strings.HasPrefix(arg, "m") {
+		return []string{arg}
+	}
+	parts := strings.Split(arg, ".")
+	switch len(parts) {
+	case 2:
+		return []string{"m" + arg}
+	case 3:
+		return []string{"m" + parts[1] + "." + parts[2]}
+	}
+	return []string{arg}
 }
 
 // parseArgs converts protocol arguments: decimal integers become Int64

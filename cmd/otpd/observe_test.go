@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestObservability drives a real durable otpd process and checks its
+// three telemetry surfaces agree:
+//
+//   - STATS stays byte-identical to its historic shape (golden) while
+//     being rendered from the metrics registry,
+//   - -http serves the registry at /metrics in the Prometheus text
+//     format with the headline families present,
+//   - the METRICS and TRACE verbs dump the registry and a
+//     transaction's lifecycle spans over the client protocol.
+func TestObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "otpd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	peerAddr := freeAddr(t)
+	clientAddr := freeAddr(t)
+	httpAddr := freeAddr(t)
+	cmd := exec.Command(bin,
+		"-id", "0",
+		"-peers", peerAddr,
+		"-client", clientAddr,
+		"-data", filepath.Join(tmp, "data"),
+		"-fsync", "commit",
+		"-http", httpAddr,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start otpd: %v", err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	pc := newProtoConn(t, clientAddr)
+	defer pc.close()
+
+	const commits = 5
+	for i := 0; i < commits; i++ {
+		if reply := pc.roundTrip("EXEC add-p0 k 1"); !strings.HasPrefix(reply, "OK ") {
+			t.Fatalf("EXEC reply: %q", reply)
+		}
+	}
+
+	// STATS golden: the exact single-shard line shape every prior
+	// release printed, now sourced from the registry's Func collectors.
+	want := fmt.Sprintf("STATS commits=%d aborts=0 reorders=0 pending=0 to=%d recovered=0 epoch=1 members=1 role=serving",
+		commits, commits)
+	if got := pc.roundTrip("STATS"); got != want {
+		t.Fatalf("STATS golden mismatch:\n got %q\nwant %q", got, want)
+	}
+
+	// TRACE: a SUBMITted transaction's lifecycle spans come back as one
+	// JSON event per line, covering submit through commit.
+	reply := pc.roundTrip("SUBMIT add-p0 k 1")
+	id, ok := strings.CutPrefix(reply, "ID ")
+	if !ok {
+		t.Fatalf("SUBMIT reply: %q", reply)
+	}
+	if reply := pc.roundTrip("WAIT " + id); !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("WAIT reply: %q", reply)
+	}
+	spans := pc.multiLine("TRACE " + id)
+	if len(spans) < 2 {
+		t.Fatalf("TRACE %s returned no spans: %v", id, spans)
+	}
+	seen := make(map[string]bool)
+	for _, line := range spans[1:] {
+		var ev struct {
+			Txn  string `json:"txn"`
+			Span string `json:"span"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("TRACE line %q: %v", line, err)
+		}
+		seen[ev.Span] = true
+	}
+	for _, span := range []string{"submit", "opt-deliver", "to-deliver", "commit"} {
+		if !seen[span] {
+			t.Fatalf("TRACE %s missing span %q in %v", id, span, spans)
+		}
+	}
+
+	// METRICS verb: the registry dump carries the scheduler counters
+	// STATS is rendered from.
+	series := pc.multiLine("METRICS")
+	if len(series) < 2 {
+		t.Fatalf("METRICS returned no series: %v", series)
+	}
+	dump := strings.Join(series[1:], "\n")
+	for _, name := range []string{"otp_commits_total", "otp_reorder_total", "wal_fsync_seconds"} {
+		if !strings.Contains(dump, name) {
+			t.Fatalf("METRICS dump missing %s:\n%s", name, dump)
+		}
+	}
+
+	// /metrics scrape: Prometheus text format with the headline
+	// families of the optimism telemetry and the WAL.
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	page := string(body)
+	for _, family := range []string{
+		"# TYPE otp_reorder_total counter",
+		"# TYPE otp_opt_def_latency_seconds summary",
+		"# TYPE wal_fsync_seconds summary",
+		`otp_commits_total{shard="0",site="0"}`,
+	} {
+		if !strings.Contains(page, family) {
+			t.Fatalf("/metrics missing %q:\n%s", family, page)
+		}
+	}
+}

@@ -201,8 +201,9 @@ func (p *protoConn) roundTrip(line string) string {
 	return p.readLine()
 }
 
-// multiLine sends STATS and collects the summary line plus the SHARD
-// line per shard it announces.
+// multiLine sends a command whose reply announces its continuation
+// lines — STATS (shards=N, one SHARD line per group) or METRICS/TRACE
+// (n=N) — and collects them all.
 func (p *protoConn) multiLine(line string) []string {
 	p.t.Helper()
 	p.send(line)
@@ -211,6 +212,9 @@ func (p *protoConn) multiLine(line string) []string {
 	n := 0
 	for _, f := range strings.Fields(head) {
 		if v, ok := strings.CutPrefix(f, "shards="); ok {
+			n, _ = strconv.Atoi(v)
+		}
+		if v, ok := strings.CutPrefix(f, "n="); ok {
 			n, _ = strconv.Atoi(v)
 		}
 	}

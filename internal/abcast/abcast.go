@@ -147,4 +147,7 @@ type Stats struct {
 	// FastStages counts stages whose decision equalled this site's own
 	// proposal — the spontaneous-order fast path.
 	FastStages uint64
+	// Reorders counts TO deliveries whose definitive position inverted
+	// the local optimistic delivery order (Optimistic engine only).
+	Reorders uint64
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"otpdb/internal/consensus"
+	"otpdb/internal/metrics"
 	"otpdb/internal/queue"
 	"otpdb/internal/transport"
 )
@@ -58,7 +59,7 @@ type Optimistic struct {
 	// lastDecideReq rate-limits gap-triggered decision catch-up
 	// broadcasts (see onDecision).
 	lastDecideReq time.Time
-	lastProp    []MsgID // this site's proposal for the in-flight stage
+	lastProp      []MsgID // this site's proposal for the in-flight stage
 
 	// Definitive-history retention (recovery/rejoin support): every
 	// decided message is assigned the next global definitive position and
@@ -71,6 +72,21 @@ type Optimistic struct {
 	defByID   map[MsgID]*DefEntry
 	defLogCap int
 	join      *JoinState
+
+	// Optimism telemetry (engine goroutine). Each Opt delivery is
+	// assigned a local optimistic index and timestamped; at TO release
+	// the index order is compared against the definitive order (an
+	// inversion is a reorder — the optimistic prediction was wrong) and
+	// the opt→def window is observed. Instruments are inert without
+	// WithMetrics.
+	scope     *metrics.Scope
+	optSeq    uint64 // next optimistic delivery index
+	optIdxOf  map[MsgID]uint64
+	optAtOf   map[MsgID]time.Time
+	maxTOOpt  uint64 // highest optimistic index already TO-released
+	anyTO     bool
+	reorders  *metrics.Counter
+	optDefLat *metrics.Histogram
 }
 
 // JoinState primes a fresh engine to rejoin a running group (see
@@ -117,6 +133,13 @@ func WithDefBase(base uint64) Option {
 	}
 }
 
+// WithMetrics registers the engine's optimism telemetry under the
+// scope's labels: reorder count, opt→def latency, stage counters and
+// the spontaneous-order agreement ratio.
+func WithMetrics(s *metrics.Scope) Option {
+	return func(o *Optimistic) { o.scope = s }
+}
+
 var _ Broadcaster = (*Optimistic)(nil)
 
 // defaultDefLogCap bounds the retained definitive history.
@@ -143,10 +166,29 @@ func NewOptimistic(ep transport.Endpoint, cons *consensus.Engine, opts ...Option
 		decisionBuf: make(map[uint64][]MsgID),
 		defByID:     make(map[MsgID]*DefEntry),
 		defLogCap:   defaultDefLogCap,
+		optIdxOf:    make(map[MsgID]uint64),
+		optAtOf:     make(map[MsgID]time.Time),
 	}
 	for _, opt := range opts {
 		opt(o)
 	}
+	o.reorders = o.scope.Counter("otp_reorder_total")
+	o.optDefLat = o.scope.Histogram("otp_opt_def_latency_seconds")
+	// Stage counters and the agreement ratio pull from Stats() at
+	// snapshot time: the hot path already maintains them under o.mu.
+	o.scope.Func("abcast_stage_total", func() float64 {
+		return float64(o.Stats().Stages)
+	})
+	o.scope.Func("abcast_fast_stage_total", func() float64 {
+		return float64(o.Stats().FastStages)
+	})
+	o.scope.Func("abcast_agreement_ratio", func() float64 {
+		st := o.Stats()
+		if st.Stages == 0 {
+			return 1
+		}
+		return float64(st.FastStages) / float64(st.Stages)
+	})
 	return o
 }
 
@@ -264,6 +306,7 @@ func (o *Optimistic) applyJoin() {
 		o.retain(ent)
 		if ent.HasBody {
 			o.optDone[ent.ID] = true
+			o.noteOpt(ent.ID)
 			o.payloads[ent.ID] = ent.Payload
 			o.emit(Event{Kind: Opt, ID: ent.ID, Payload: ent.Payload})
 		}
@@ -328,6 +371,7 @@ func (o *Optimistic) onData(m DataMsg) {
 		return // duplicate (transport retransmission)
 	}
 	o.optDone[m.ID] = true
+	o.noteOpt(m.ID)
 	o.payloads[m.ID] = m.Payload
 	if ent, ok := o.defByID[m.ID]; ok && !ent.HasBody {
 		// A retransmitted body for an already-decided entry: complete the
@@ -433,14 +477,45 @@ func (o *Optimistic) processStage(stage uint64, ids []MsgID) {
 	o.maybePropose()
 }
 
+// noteOpt stamps an Opt delivery with its local optimistic index and
+// arrival time, the raw material of the reorder and opt→def metrics.
+func (o *Optimistic) noteOpt(id MsgID) {
+	o.optSeq++
+	o.optIdxOf[id] = o.optSeq
+	o.optAtOf[id] = time.Now()
+}
+
 // flushPendingTO emits TO events for the decided prefix whose bodies have
 // arrived. Definitive order is never violated: a missing body blocks the
 // tail (Global Order), and bodies are Opt-delivered first (Local Order).
+//
+// This is also where the optimistic prediction is graded: a message
+// TO-released with an optimistic index below one already released means
+// the definitive order inverted the optimistic order — a reorder, the
+// event the paper's OPT layer bets against. The opt→def window (Opt
+// delivery to TO release) is observed alongside.
 func (o *Optimistic) flushPendingTO() {
 	for len(o.pendingTO) > 0 && o.optDone[o.pendingTO[0]] {
 		id := o.pendingTO[0]
 		o.pendingTO = o.pendingTO[1:]
 		delete(o.payloads, id)
+		if idx, ok := o.optIdxOf[id]; ok {
+			if o.anyTO && idx < o.maxTOOpt {
+				o.reorders.Inc()
+				o.mu.Lock()
+				o.stats.Reorders++
+				o.mu.Unlock()
+			}
+			if idx > o.maxTOOpt {
+				o.maxTOOpt = idx
+			}
+			o.anyTO = true
+			delete(o.optIdxOf, id)
+		}
+		if at, ok := o.optAtOf[id]; ok {
+			o.optDefLat.Observe(time.Since(at))
+			delete(o.optAtOf, id)
+		}
 		o.emit(Event{Kind: TO, ID: id})
 	}
 }

@@ -46,8 +46,25 @@ type Result struct {
 	Recovery     map[string]RecoveryStat `json:"recovery,omitempty"`
 	// Digests is the converged per-shard state digest — the cross-run
 	// comparison point of the determinism check.
-	Digests    map[int]uint64 `json:"digests,omitempty"`
-	ElapsedSec float64        `json:"elapsed_sec"`
+	Digests map[int]uint64 `json:"digests,omitempty"`
+	// Replacements reports the auto-replacement rounds the cluster won
+	// during the run, splitting detection hysteresis from repair cost.
+	Replacements []ReplacementMs `json:"replacements,omitempty"`
+	ElapsedSec   float64         `json:"elapsed_sec"`
+}
+
+// msBetween is the span from a to b in milliseconds.
+func msBetween(a, b time.Time) float64 { return float64(b.Sub(a)) / float64(time.Millisecond) }
+
+// ReplacementMs is one auto-replacement's phase timing: Detect is the
+// sustained-suspicion window the winning survivor waited before acting
+// (the WithAutoReplace hysteresis), Rebuild is everything after —
+// membership commits through every shard group plus the state transfer
+// that rebuilt the replacement (zero when the rebuild failed).
+type ReplacementMs struct {
+	Site      int     `json:"site"`
+	DetectMs  float64 `json:"detect_ms"`
+	RebuildMs float64 `json:"rebuild_ms"`
 }
 
 // anchor tracks one disruptive event for the recovery metric.
@@ -181,6 +198,13 @@ func RunKeep(sc Scenario, seed int64, opt Options) (*Result, *otpdb.Cluster, err
 	rec.mu.Unlock()
 	res.Availability = availability(acks, phaseStart, phaseEnd)
 	res.Recovery = recoveryStats(anchors, acks)
+	for _, r := range c.Replacements() {
+		rm := ReplacementMs{Site: r.Victim, DetectMs: msBetween(r.SuspectedAt, r.DetectedAt)}
+		if !r.RebuiltAt.IsZero() {
+			rm.RebuildMs = msBetween(r.DetectedAt, r.RebuiltAt)
+		}
+		res.Replacements = append(res.Replacements, rm)
+	}
 	res.ElapsedSec = time.Since(start).Seconds()
 	logf("chaos %s: pass=%v acked=%d/%d resubmits=%d availability=%.3f elapsed=%.1fs",
 		sc.Name, res.Pass, res.Acked, res.Submitted, res.Resubmits, res.Availability, res.ElapsedSec)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"otpdb/internal/fd"
+	"otpdb/internal/metrics"
 	"otpdb/internal/queue"
 	"otpdb/internal/transport"
 )
@@ -166,6 +167,10 @@ type Config struct {
 	// View supplies the (possibly dynamic) group membership. Defaults to
 	// the endpoint's full static node range at epoch 0.
 	View View
+	// Metrics, when non-nil, registers engine telemetry (decision
+	// latency, rounds per instance, decision re-requests) under the
+	// scope's labels.
+	Metrics *metrics.Scope
 }
 
 // Engine executes consensus instances. Create with New, then Start.
@@ -182,6 +187,15 @@ type Engine struct {
 	decisions *queue.Q[Decision]
 
 	instances map[uint64]*instance
+
+	// Telemetry (inert unregistered instruments without cfg.Metrics).
+	// decLatency covers locally proposed instances only: Propose to
+	// DECIDE. rounds counts rounds entered before the decision landed —
+	// 1 means the fast path (round 0 decided).
+	decLatency *metrics.Histogram
+	rounds     *metrics.Histogram
+	reReqs     *metrics.Counter
+	decCount   *metrics.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -202,8 +216,9 @@ type instance struct {
 	round     int
 	estimate  any
 	ts        int
-	started   bool // local Propose seen
-	waiting   bool // in phase 3, waiting for the coordinator's proposal
+	startedAt time.Time // local Propose time (zero when never proposed here)
+	started   bool      // local Propose seen
+	waiting   bool      // in phase 3, waiting for the coordinator's proposal
 	deadline  time.Time
 	decided   bool
 	decision  any
@@ -257,18 +272,22 @@ func New(cfg Config) *Engine {
 		cfg.TickEvery = cfg.RoundTimeout / 4
 	}
 	return &Engine{
-		ep:        cfg.Endpoint,
-		susp:      cfg.Suspector,
-		view:      cfg.View,
-		timeout:   cfg.RoundTimeout,
-		tickEvery: cfg.TickEvery,
-		catchUp:   cfg.CatchUpFrom,
-		proposeCh: make(chan proposeReq),
-		dumpCh:    make(chan chan string),
-		decisions: queue.New[Decision](),
-		instances: make(map[uint64]*instance),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		ep:         cfg.Endpoint,
+		susp:       cfg.Suspector,
+		view:       cfg.View,
+		timeout:    cfg.RoundTimeout,
+		tickEvery:  cfg.TickEvery,
+		catchUp:    cfg.CatchUpFrom,
+		proposeCh:  make(chan proposeReq),
+		dumpCh:     make(chan chan string),
+		decisions:  queue.New[Decision](),
+		instances:  make(map[uint64]*instance),
+		decLatency: cfg.Metrics.Histogram("consensus_decision_seconds"),
+		rounds:     cfg.Metrics.SizeHistogram("consensus_rounds_per_instance"),
+		reReqs:     cfg.Metrics.Counter("consensus_decide_rerequest_total"),
+		decCount:   cfg.Metrics.Counter("consensus_decided_total"),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 }
 
@@ -324,6 +343,7 @@ func (e *Engine) run() {
 		// serving the request reaches us through its normal DECIDE
 		// broadcast (the transport buffers messages from subscription
 		// time), so the reply and the live stream overlap with no gap.
+		e.reReqs.Inc()
 		_ = e.ep.Broadcast(Stream, MsgDecideReq{From: e.catchUp})
 	}
 	ticker := time.NewTicker(e.tickEvery)
@@ -364,13 +384,13 @@ func (e *Engine) get(inst uint64) *instance {
 	return st
 }
 
-
 func (e *Engine) handlePropose(inst uint64, val any) {
 	st := e.get(inst)
 	if st.decided || st.started {
 		return
 	}
 	st.started = true
+	st.startedAt = time.Now()
 	if st.estimate == nil {
 		st.estimate = val
 		st.ts = 0
@@ -428,6 +448,7 @@ func (e *Engine) handleEnvelope(env transport.Envelope) {
 // calls it when it detects a decision gap — typically after a healed
 // partition swallowed DECIDE broadcasts. Safe from any goroutine.
 func (e *Engine) RequestDecisions(from uint64) {
+	e.reReqs.Inc()
 	_ = e.ep.Broadcast(Stream, MsgDecideReq{From: from})
 }
 
@@ -572,6 +593,11 @@ func (e *Engine) onDecide(m MsgDecide) {
 	st.decided = true
 	st.decision = m.Val
 	st.waiting = false
+	e.decCount.Inc()
+	if st.started {
+		e.decLatency.Observe(time.Since(st.startedAt))
+		e.rounds.ObserveInt(int64(st.round) + 1)
+	}
 	if !st.announced {
 		st.announced = true
 		e.decisions.Push(Decision{Instance: m.Inst, Value: m.Val})

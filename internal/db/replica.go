@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"otpdb/internal/abcast"
+	"otpdb/internal/metrics"
 	"otpdb/internal/otp"
 	"otpdb/internal/recovery"
 	"otpdb/internal/sproc"
@@ -139,6 +140,18 @@ type Config struct {
 	// not block.
 	ConfigClass    sproc.ClassID
 	OnConfigCommit func(value storage.Value, toIndex int64)
+	// Metrics, when non-nil, registers the replica's scheduler telemetry
+	// (commits, CC8 rollbacks, CC10 repositionings, pending depth) under
+	// the scope's labels. Collectors pull from the scheduler's existing
+	// Stats() snapshot at scrape time — zero cost on the commit path.
+	Metrics *metrics.Scope
+	// Trace, when non-nil, receives one lifecycle span per transaction
+	// event at this site (submit, opt-deliver, to-deliver, commit,
+	// abort).
+	Trace *metrics.TraceRing
+	// Shard stamps trace events with this replica's shard index (purely
+	// informational; 0 for unsharded deployments).
+	Shard int
 }
 
 // defaultPruneInterval is the commit count between prune passes when
@@ -158,6 +171,9 @@ type Replica struct {
 	cfgClass    sproc.ClassID
 	cfgHook     func(value storage.Value, toIndex int64)
 	commitDelay time.Duration
+	trace       *metrics.TraceRing
+	shard       int
+	txnFails    *metrics.Counter
 
 	// stallNanos, when nonzero, adds a sleep before each definitive
 	// delivery — the slow-disk fault of the chaos harness (a WAL device
@@ -240,6 +256,9 @@ func New(cfg Config) (*Replica, error) {
 		cfgClass:    cfg.ConfigClass,
 		cfgHook:     cfg.OnConfigCommit,
 		commitDelay: cfg.CommitDelay,
+		trace:       cfg.Trace,
+		shard:       cfg.Shard,
+		txnFails:    cfg.Metrics.Counter("otp_txn_fail_total"),
 		waiters:     make(map[abcast.MsgID]func(CommitResult)),
 		classLast:   make(map[sproc.ClassID]int64),
 		activeSnaps: make(map[int64]int),
@@ -257,6 +276,26 @@ func New(cfg Config) (*Replica, error) {
 		r.dur = cfg.Durability
 		r.ckptEvery = cfg.Durability.CheckpointEvery()
 	}
+	// Scheduler telemetry pulls the manager's Stats() snapshot at scrape
+	// time; only the registration happens here, nothing on the hot path.
+	cfg.Metrics.Func("otp_commits_total", func() float64 {
+		return float64(r.mgr.Stats().Commits)
+	})
+	cfg.Metrics.Func("otp_rollback_total", func() float64 {
+		return float64(r.mgr.Stats().Aborts)
+	})
+	cfg.Metrics.Func("otp_reposition_total", func() float64 {
+		return float64(r.mgr.Stats().Reorders)
+	})
+	cfg.Metrics.Func("otp_submit_total", func() float64 {
+		return float64(r.mgr.Stats().Submits)
+	})
+	cfg.Metrics.Func("otp_pending", func() float64 {
+		return float64(r.mgr.Pending())
+	})
+	cfg.Metrics.Func("otp_last_to_index", func() float64 {
+		return float64(r.LastTO())
+	})
 	if cfg.InitialTOIndex > 0 {
 		// Resume after recovery: the definitive counter continues past
 		// the recovered index, and the per-class snapshot targets reflect
@@ -276,6 +315,17 @@ func New(cfg Config) (*Replica, error) {
 		}
 	}
 	return r, nil
+}
+
+// span records one lifecycle trace event. The nil guard keeps the
+// untraced path allocation-free (id.String() would otherwise format).
+func (r *Replica) span(id abcast.MsgID, span, note string) {
+	if r.trace == nil {
+		return
+	}
+	r.trace.Record(metrics.TraceEvent{
+		Txn: id.String(), Span: span, Site: int(r.id), Shard: r.shard, Note: note,
+	})
 }
 
 // onTODelivered tracks the largest definitive index, globally and per
@@ -412,6 +462,7 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 			r.failWaiter(ev.ID, err)
 			return
 		}
+		r.span(ev.ID, metrics.SpanOptDeliver, "")
 		// Count scheduler admissions for WaitCommits: optCount - commits
 		// equals the manager's pending set, and both counters live under
 		// r.mu so the commit condition can be re-checked race-free.
@@ -439,10 +490,11 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 		// Record the class's definitive index for query snapshots before
 		// the manager processes the confirmation (queries capture the
 		// pair atomically under r.mu).
+		r.span(ev.ID, metrics.SpanTODeliver, "")
 		if err := r.mgr.OnTODeliver(ev.ID); err != nil {
 			// Unknown transaction: the payload was malformed at Opt time
 			// and never entered a queue. Already reported.
-				return
+			return
 		}
 	}
 }
@@ -453,6 +505,7 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 // Every pruneEvery commits the version store is pruned up to the oldest
 // snapshot any active query can still read.
 func (r *Replica) onCommit(tx *otp.MultiTxn) {
+	r.span(tx.ID, metrics.SpanCommit, "")
 	r.mu.Lock()
 	r.commits++
 	r.commitCond.Broadcast()
@@ -583,6 +636,8 @@ func (r *Replica) resolveWaiter(id abcast.MsgID, res CommitResult) {
 }
 
 func (r *Replica) failWaiter(id abcast.MsgID, err error) {
+	r.txnFails.Inc()
+	r.span(id, metrics.SpanAbort, err.Error())
 	r.resolveWaiter(id, CommitResult{Err: err})
 }
 
@@ -628,6 +683,7 @@ func (r *Replica) SubmitRequest(req sproc.Request, fn func(CommitResult)) (abcas
 	if fn != nil {
 		r.waiters[id] = fn
 	}
+	r.span(id, metrics.SpanSubmit, req.Proc)
 	return id, nil
 }
 

@@ -54,7 +54,7 @@ type ChaosClassStat struct {
 	MinAvailability float64 `json:"min_availability"`
 }
 
-// ChaosReport is E13's section of BENCH_commit.json (schema v6).
+// ChaosReport is E13's section of BENCH_commit.json (schema v7).
 type ChaosReport struct {
 	Seed int64 `json:"seed"`
 	// Scenarios is the per-scenario outcome, in matrix order.
@@ -62,6 +62,25 @@ type ChaosReport struct {
 	// ByClass is the aggregated recovery/availability view per fault
 	// class, keyed by chaos.FaultClass.
 	ByClass map[string]ChaosClassStat `json:"by_class"`
+	// Replace aggregates the auto-replacement hysteresis across every
+	// scenario that won a replacement round: how long the survivors
+	// deliberately waited before acting (detect) versus how long the
+	// repair itself took (rebuild).
+	Replace ReplaceStat `json:"replace"`
+}
+
+// ReplaceStat aggregates auto-replacement phase timings across the
+// matrix (see chaos.ReplacementMs).
+type ReplaceStat struct {
+	// Rounds is how many replacement rounds were won; Rebuilt how many
+	// completed their state transfer.
+	Rounds  int `json:"rounds"`
+	Rebuilt int `json:"rebuilt"`
+	// MeanDetectMillis is the mean sustained-suspicion window before a
+	// survivor acted; MeanRebuildMillis the mean membership-commit plus
+	// state-transfer time that followed.
+	MeanDetectMillis  float64 `json:"mean_detect_ms"`
+	MeanRebuildMillis float64 `json:"mean_rebuild_ms"`
 }
 
 // Failures counts scenarios whose invariants did not hold.
@@ -101,12 +120,26 @@ func ChaosBench(p ChaosBenchParams) (ChaosReport, error) {
 			}
 			rep.ByClass[class] = agg
 		}
+		for _, rm := range res.Replacements {
+			rep.Replace.Rounds++
+			rep.Replace.MeanDetectMillis += rm.DetectMs
+			if rm.RebuildMs > 0 {
+				rep.Replace.Rebuilt++
+				rep.Replace.MeanRebuildMillis += rm.RebuildMs
+			}
+		}
 	}
 	for class, agg := range rep.ByClass {
 		if agg.Recovered > 0 {
 			agg.MeanMillis /= float64(agg.Recovered)
 		}
 		rep.ByClass[class] = agg
+	}
+	if rep.Replace.Rounds > 0 {
+		rep.Replace.MeanDetectMillis /= float64(rep.Replace.Rounds)
+	}
+	if rep.Replace.Rebuilt > 0 {
+		rep.Replace.MeanRebuildMillis /= float64(rep.Replace.Rebuilt)
 	}
 	return rep, nil
 }
@@ -140,6 +173,11 @@ func (r ChaosReport) Table() Table {
 		t.Notes = append(t.Notes, fmt.Sprintf(
 			"%s: %d/%d recovered, recovery mean %.0fms max %.0fms, worst availability %.3f",
 			class, st.Recovered, st.Events, st.MeanMillis, st.MaxMillis, st.MinAvailability))
+	}
+	if r.Replace.Rounds > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"auto-replace: %d rounds (%d rebuilt), detect mean %.0fms, rebuild mean %.0fms",
+			r.Replace.Rounds, r.Replace.Rebuilt, r.Replace.MeanDetectMillis, r.Replace.MeanRebuildMillis))
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"seed %d; invariants: digest convergence, no lost acked commit, effect-once, epoch monotonicity", r.Seed))

@@ -118,14 +118,14 @@ type CommitBenchReport struct {
 	Shard *ShardReport `json:"shard,omitempty"`
 	// Chaos is E13: the seeded fault-injection matrix — invariant
 	// pass/fail plus recovery time and commit availability per fault
-	// class (schema v6).
+	// class, and the auto-replacement detect/rebuild split (schema v7).
 	Chaos *ChaosReport `json:"chaos,omitempty"`
 }
 
 // CommitBench runs the tracked commit-path benchmark.
 func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 	rep := CommitBenchReport{
-		Schema: "otpdb-bench-commit/v6",
+		Schema: "otpdb-bench-commit/v7",
 		Go:     runtime.Version(),
 		CPUs:   runtime.NumCPU(),
 		Quick:  quick,
@@ -207,7 +207,10 @@ func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 // endToEndCommitCell measures synchronous full-stack commits: broadcast,
 // optimistic execution, consensus confirmation, local commit.
 func endToEndCommitCell(p CommitBenchParams) (LatencyStats, error) {
-	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(p.Sites))
+	// The metrics registry stays enabled here, so the tracked E7 numbers
+	// carry the instrumentation cost — what a monitored deployment pays
+	// (DESIGN.md §12 bounds it against an unregistered run).
+	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(p.Sites), otpdb.WithMetrics(metrics.NewRegistry()))
 	if err != nil {
 		return LatencyStats{}, err
 	}

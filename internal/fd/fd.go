@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"otpdb/internal/metrics"
 	"otpdb/internal/transport"
 )
 
@@ -65,6 +66,10 @@ type Config struct {
 	// transport.PersistentIncarnation so a clock stepping backwards
 	// across a restart cannot mint a stale one.
 	Incarnation uint64
+	// Metrics, when non-nil, registers suspicion telemetry (suspect
+	// events, false-suspect count, suspicion durations) under the
+	// scope's labels.
+	Metrics *metrics.Scope
 }
 
 // Detector broadcasts heartbeats and tracks peer liveness. The monitored
@@ -78,11 +83,19 @@ type Detector struct {
 	timeout  time.Duration
 	inc      uint64 // this process's incarnation, stamped on heartbeats
 
-	mu        sync.Mutex
-	lastSeen  map[transport.NodeID]time.Time
-	lastInc   map[transport.NodeID]uint64 // newest incarnation heard per node
-	suspected map[transport.NodeID]bool
-	onChange  []func(node transport.NodeID, suspected bool)
+	mu          sync.Mutex
+	lastSeen    map[transport.NodeID]time.Time
+	lastInc     map[transport.NodeID]uint64 // newest incarnation heard per node
+	suspected   map[transport.NodeID]bool
+	suspectedAt map[transport.NodeID]time.Time // start of the current suspicion stretch
+	onChange    []func(node transport.NodeID, suspected bool)
+
+	// Telemetry: every suspicion flip counts; an un-suspect (the node
+	// proved alive) is by definition a false suspicion, and its
+	// duration is how long the detector was wrong.
+	suspects     *metrics.Counter
+	falseSusp    *metrics.Counter
+	suspDuration *metrics.Histogram
 
 	stop chan struct{}
 	done chan struct{}
@@ -102,15 +115,19 @@ func New(ep transport.Endpoint, cfg Config) *Detector {
 		cfg.Incarnation = uint64(time.Now().UnixNano())
 	}
 	return &Detector{
-		ep:        ep,
-		interval:  cfg.Interval,
-		timeout:   cfg.Timeout,
-		inc:       cfg.Incarnation,
-		lastSeen:  make(map[transport.NodeID]time.Time),
-		lastInc:   make(map[transport.NodeID]uint64),
-		suspected: make(map[transport.NodeID]bool),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		ep:           ep,
+		interval:     cfg.Interval,
+		timeout:      cfg.Timeout,
+		inc:          cfg.Incarnation,
+		lastSeen:     make(map[transport.NodeID]time.Time),
+		lastInc:      make(map[transport.NodeID]uint64),
+		suspected:    make(map[transport.NodeID]bool),
+		suspectedAt:  make(map[transport.NodeID]time.Time),
+		suspects:     cfg.Metrics.Counter("fd_suspect_total"),
+		falseSusp:    cfg.Metrics.Counter("fd_false_suspect_total"),
+		suspDuration: cfg.Metrics.Histogram("fd_suspicion_seconds"),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 }
 
@@ -178,6 +195,7 @@ func (d *Detector) SetMembers(ids []transport.NodeID) {
 		if !keep[n] {
 			delete(d.lastSeen, n)
 			delete(d.suspected, n)
+			delete(d.suspectedAt, n)
 		}
 	}
 	// Incarnation floors reset wholesale: the epoch change asserts the
@@ -195,6 +213,12 @@ func (d *Detector) SetMembers(ids []transport.NodeID) {
 		}
 		if d.suspected[id] {
 			d.suspected[id] = false
+			// Cleared by the epoch change, not by a heartbeat — record
+			// the stretch's duration but don't count it false.
+			if at, ok := d.suspectedAt[id]; ok {
+				d.suspDuration.Observe(now.Sub(at))
+				delete(d.suspectedAt, id)
+			}
 			d.lastSeen[id] = now
 			cleared = append(cleared, id)
 		}
@@ -262,6 +286,14 @@ func (d *Detector) refresh(n transport.NodeID, inc uint64) {
 	flipped := d.suspected[n]
 	if flipped {
 		d.suspected[n] = false
+		// The node proved alive: the whole suspicion stretch was a
+		// detector mistake (◇S is unreliable by design) — count it and
+		// record how long the mistake lasted.
+		d.falseSusp.Inc()
+		if at, ok := d.suspectedAt[n]; ok {
+			d.suspDuration.Observe(time.Since(at))
+			delete(d.suspectedAt, n)
+		}
 	}
 	callbacks := d.onChange
 	d.mu.Unlock()
@@ -282,6 +314,8 @@ func (d *Detector) sweep() {
 		}
 		if !d.suspected[n] && now.Sub(seen) > d.timeout {
 			d.suspected[n] = true
+			d.suspectedAt[n] = now
+			d.suspects.Inc()
 			newly = append(newly, n)
 		}
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -13,6 +14,22 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+// closeTo asserts got is within rel relative error of want.
+func closeTo(t *testing.T, name string, got, want time.Duration, rel float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Fatalf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	err := math.Abs(float64(got-want)) / float64(want)
+	if err > rel {
+		t.Fatalf("%s = %v, want %v within %.1f%% (off by %.2f%%)",
+			name, got, want, rel*100, err*100)
+	}
+}
+
 func TestHistogramStatistics(t *testing.T) {
 	h := NewHistogram()
 	for i := 1; i <= 100; i++ {
@@ -21,15 +38,14 @@ func TestHistogramStatistics(t *testing.T) {
 	if h.Count() != 100 {
 		t.Fatalf("count = %d", h.Count())
 	}
+	// Mean, min and max are exact; percentiles are bucket-approximate
+	// within 1/subBuckets relative error.
 	if got := h.Mean(); got != 50500*time.Microsecond {
 		t.Fatalf("mean = %v", got)
 	}
-	if got := h.Percentile(50); got != 50*time.Millisecond {
-		t.Fatalf("p50 = %v", got)
-	}
-	if got := h.Percentile(99); got != 99*time.Millisecond {
-		t.Fatalf("p99 = %v", got)
-	}
+	closeTo(t, "p50", h.Percentile(50), 50*time.Millisecond, 1.0/subBuckets)
+	closeTo(t, "p99", h.Percentile(99), 99*time.Millisecond, 1.0/subBuckets)
+	// p100 is clamped to the exact max.
 	if got := h.Percentile(100); got != 100*time.Millisecond {
 		t.Fatalf("p100 = %v", got)
 	}
@@ -43,6 +59,75 @@ func TestHistogramPercentileBounds(t *testing.T) {
 	h.Observe(5 * time.Millisecond)
 	if got := h.Percentile(0.0001); got != 5*time.Millisecond {
 		t.Fatalf("tiny percentile = %v", got)
+	}
+}
+
+// TestHistogramBucketBoundaries walks every bucket edge across the full
+// range and checks round-trip consistency: a value must land in a
+// bucket whose representative is within one bucket width.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	values := []int64{0, 1, 63, 64, 65, 127, 128, 1023, 1024, 4095, 4096}
+	// Powers of two and their neighbours across the whole range.
+	for e := 6; e <= 40; e++ {
+		p := int64(1) << uint(e)
+		values = append(values, p-1, p, p+1, p+p/3)
+	}
+	for _, v := range values {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histNumBucket {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		rep := bucketValue(idx)
+		var width int64 = 1
+		if v >= smallExact {
+			e := 63 - leadingZeros(v)
+			width = int64(1) << (uint(e) - subBits)
+		}
+		if diff := rep - v; diff > width || diff < -width {
+			t.Fatalf("value %d: representative %d off by %d (width %d)", v, rep, diff, width)
+		}
+		// Monotonicity across the boundary.
+		if v > 0 && bucketIndex(v-1) > idx {
+			t.Fatalf("value %d: bucket index not monotone", v)
+		}
+	}
+}
+
+func leadingZeros(v int64) int {
+	n := 0
+	for m := int64(1) << 62; m > 0 && v&(m|m<<1) == 0; m >>= 1 {
+		n++
+	}
+	return n
+}
+
+// TestHistogramPercentileAccuracy checks the headline quantiles of a
+// large spread-out distribution stay within the documented relative
+// error.
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		// 1µs .. 100ms uniform.
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	rel := 1.0 / subBuckets
+	closeTo(t, "p50", h.Percentile(50), n/2*time.Microsecond, rel)
+	closeTo(t, "p95", h.Percentile(95), n*95/100*time.Microsecond, rel)
+	closeTo(t, "p99", h.Percentile(99), n*99/100*time.Microsecond, rel)
+	if got := h.Max(); got != n*time.Microsecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Min(); got != time.Microsecond {
+		t.Fatalf("min = %v", got)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5 * time.Second)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample not clamped: %+v", h.Summarize())
 	}
 }
 
@@ -92,6 +177,15 @@ func TestCounter(t *testing.T) {
 	c.Add(5)
 	if c.Value() != 4005 {
 		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d", g.Value())
 	}
 }
 

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteProm renders the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges render as
+// their kind; Func collectors render as gauges; histograms render as
+// summaries (quantile series plus _sum and _count) — duration
+// histograms in seconds, size histograms as raw values. Families are
+// emitted in sorted order with one # TYPE header each.
+func WriteProm(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	lastFamily := ""
+	for _, s := range snap {
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, promType(s.Kind)); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promType(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram, KindSizeHistogram:
+		return "summary"
+	default:
+		return "gauge"
+	}
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	switch s.Kind {
+	case KindHistogram, KindSizeHistogram:
+		conv := func(d time.Duration) float64 {
+			if s.Kind == KindHistogram {
+				return d.Seconds()
+			}
+			return float64(d)
+		}
+		sum := s.Hist.Summarize()
+		for _, q := range []struct {
+			q string
+			v time.Duration
+		}{{"0.5", sum.P50}, {"0.95", sum.P95}, {"0.99", sum.P99}} {
+			labels := promLabels(s.Labels, "quantile", q.q)
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labels, promFloat(conv(q.v))); err != nil {
+				return err
+			}
+		}
+		labels := promLabels(s.Labels)
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labels, promFloat(conv(s.Hist.Sum()))); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labels, sum.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Value))
+		return err
+	}
+}
+
+// promLabels renders {k="v",...} (empty string when no labels). extra
+// is alternating key/value pairs appended after the series labels.
+func promLabels(labels []Label, extra ...string) string {
+	all := append(append([]Label{}, labels...), pairs(extra)...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promFloat renders a float the way Prometheus clients do: integers
+// without an exponent, everything else in shortest round-trip form.
+func promFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a registered family member.
+type Kind int
+
+// Registered kinds.
+const (
+	// KindCounter is a monotonic count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value.
+	KindGauge
+	// KindFunc is a pull gauge: its value is computed by a callback at
+	// snapshot time, so existing Stats() accessors can be exposed with
+	// zero hot-path cost.
+	KindFunc
+	// KindHistogram is a duration histogram (rendered in seconds).
+	KindHistogram
+	// KindSizeHistogram is a unitless histogram (batch sizes, bytes).
+	KindSizeHistogram
+)
+
+// Label is one name=value dimension (site, shard, class, ...).
+type Label struct {
+	Key, Value string
+}
+
+// Sample is one registered series in a snapshot. Exactly one of
+// Counter/Gauge/Func/Hist backs it, per Kind; Value carries the
+// scalar kinds' reading at snapshot time.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	Value  float64
+	Hist   *Histogram
+}
+
+// entry is one registered series.
+type entry struct {
+	name    string
+	labels  []Label
+	kind    Kind
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// Registry holds named metric families. Registration (Counter,
+// Histogram, ...) takes a lock and deduplicates by name+labels;
+// the returned instruments are then updated lock-free. A nil
+// *Registry is inert: scopes derived from it hand out unregistered
+// instruments that work but are never exported.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// seriesKey canonicalizes name+labels (labels pre-sorted).
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup returns the series, creating it via make on first sight.
+func (r *Registry) lookup(name string, labels []Label, kind Kind, make func() *entry) *entry {
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok && e.kind == kind {
+		return e
+	}
+	e := make()
+	e.name, e.labels, e.kind = name, labels, kind
+	r.entries[key] = e
+	return e
+}
+
+// Snapshot returns every registered series, sorted by name then label
+// string, with scalar kinds read at call time. Histogram samples share
+// the live histogram (readers only call its query methods).
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	out := make([]Sample, 0, len(entries))
+	for _, e := range entries {
+		s := Sample{Name: e.name, Labels: e.labels, Kind: e.kind, Hist: e.hist}
+		switch e.kind {
+		case KindCounter:
+			s.Value = float64(e.counter.Value())
+		case KindGauge:
+			s.Value = float64(e.gauge.Value())
+		case KindFunc:
+			s.Value = e.fn()
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return seriesKey("", out[i].Labels) < seriesKey("", out[j].Labels)
+	})
+	return out
+}
+
+// Scope derives a labelling scope rooted at this registry. kv is
+// alternating key, value pairs ("site", "2", "shard", "0").
+func (r *Registry) Scope(kv ...string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{r: r, base: pairs(kv)}
+}
+
+// pairs converts alternating key/value strings to labels (a trailing
+// odd key is dropped).
+func pairs(kv []string) []Label {
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// Scope is a registry plus base labels, threaded through component
+// configs so each site/shard stack registers distinctly-labelled
+// series under shared family names. A nil *Scope is fully usable:
+// every constructor returns a live but unregistered instrument, so
+// instrumented code never branches on whether metrics are enabled.
+type Scope struct {
+	r    *Registry
+	base []Label
+}
+
+// With derives a sub-scope with extra base labels.
+func (s *Scope) With(kv ...string) *Scope {
+	if s == nil || s.r == nil {
+		return nil
+	}
+	return &Scope{r: s.r, base: append(append([]Label{}, s.base...), pairs(kv)...)}
+}
+
+// merged combines base and extra labels (extra wins on duplicate keys
+// by appearing later; seriesKey sorting keeps the set canonical).
+func (s *Scope) merged(kv []string) []Label {
+	return append(append([]Label{}, s.base...), pairs(kv)...)
+}
+
+// Counter registers (or finds) a counter series.
+func (s *Scope) Counter(name string, kv ...string) *Counter {
+	if s == nil || s.r == nil {
+		return &Counter{}
+	}
+	e := s.r.lookup(name, s.merged(kv), KindCounter, func() *entry {
+		return &entry{counter: &Counter{}}
+	})
+	return e.counter
+}
+
+// Gauge registers (or finds) a gauge series.
+func (s *Scope) Gauge(name string, kv ...string) *Gauge {
+	if s == nil || s.r == nil {
+		return &Gauge{}
+	}
+	e := s.r.lookup(name, s.merged(kv), KindGauge, func() *entry {
+		return &entry{gauge: &Gauge{}}
+	})
+	return e.gauge
+}
+
+// Func registers a pull gauge whose value is computed at snapshot
+// time. fn must be safe to call from any goroutine.
+func (s *Scope) Func(name string, fn func() float64, kv ...string) {
+	if s == nil || s.r == nil {
+		return
+	}
+	s.r.lookup(name, s.merged(kv), KindFunc, func() *entry {
+		return &entry{fn: fn}
+	})
+}
+
+// Histogram registers (or finds) a duration histogram series; the
+// exporter renders it in seconds.
+func (s *Scope) Histogram(name string, kv ...string) *Histogram {
+	if s == nil || s.r == nil {
+		return NewHistogram()
+	}
+	e := s.r.lookup(name, s.merged(kv), KindHistogram, func() *entry {
+		return &entry{hist: NewHistogram()}
+	})
+	return e.hist
+}
+
+// SizeHistogram registers (or finds) a unitless histogram series
+// (batch sizes, byte counts — fed via ObserveInt); the exporter
+// renders raw values.
+func (s *Scope) SizeHistogram(name string, kv ...string) *Histogram {
+	if s == nil || s.r == nil {
+		return NewHistogram()
+	}
+	e := s.r.lookup(name, s.merged(kv), KindSizeHistogram, func() *entry {
+		return &entry{hist: NewHistogram()}
+	})
+	return e.hist
+}

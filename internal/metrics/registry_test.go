@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("site", "0")
+	a := s.Counter("x_total")
+	b := s.Counter("x_total")
+	if a != b {
+		t.Fatal("same series resolved to different counters")
+	}
+	other := s.Counter("x_total", "shard", "1")
+	if other == a {
+		t.Fatal("distinct labels resolved to one counter")
+	}
+	// Label order must not matter.
+	h1 := s.Histogram("h_seconds", "a", "1", "b", "2")
+	h2 := s.Histogram("h_seconds", "b", "2", "a", "1")
+	if h1 != h2 {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestNilScopeUsable(t *testing.T) {
+	var s *Scope
+	s.Counter("x_total").Inc()
+	s.Gauge("g").Set(1)
+	s.Histogram("h_seconds").Observe(time.Millisecond)
+	s.SizeHistogram("b").ObserveInt(10)
+	s.Func("f", func() float64 { return 1 })
+	if s.With("k", "v") != nil {
+		t.Fatal("nil scope With should stay nil")
+	}
+	var r *Registry
+	if r.Scope("a", "b") != nil {
+		t.Fatal("nil registry scope should be nil")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("site", "2")
+	s.Counter("otp_commits_total").Add(42)
+	s.Gauge("otp_pending").Set(7)
+	s.Func("otp_ratio", func() float64 { return 0.5 })
+	s.Histogram("otp_opt_def_latency").Observe(2 * time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d series, want 4", len(snap))
+	}
+	byName := map[string]Sample{}
+	for _, smp := range snap {
+		byName[smp.Name] = smp
+	}
+	if got := byName["otp_commits_total"]; got.Kind != KindCounter || got.Value != 42 {
+		t.Fatalf("counter sample = %+v", got)
+	}
+	if got := byName["otp_pending"]; got.Kind != KindGauge || got.Value != 7 {
+		t.Fatalf("gauge sample = %+v", got)
+	}
+	if got := byName["otp_ratio"]; got.Kind != KindFunc || got.Value != 0.5 {
+		t.Fatalf("func sample = %+v", got)
+	}
+	hs := byName["otp_opt_def_latency"]
+	if hs.Kind != KindHistogram || hs.Hist.Count() != 1 {
+		t.Fatalf("hist sample = %+v", hs)
+	}
+	if len(hs.Labels) != 1 || hs.Labels[0] != (Label{"site", "2"}) {
+		t.Fatalf("labels = %+v", hs.Labels)
+	}
+}
+
+// TestRegistryObserveSnapshotRace hammers registration, hot-path
+// updates and snapshots concurrently; run under -race.
+func TestRegistryObserveSnapshotRace(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := r.Scope("site", string(rune('0'+w)))
+			c := s.Counter("race_total")
+			h := s.Histogram("race_seconds")
+			g := s.Gauge("race_gauge")
+			for i := 0; i < 5000; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i))
+				g.Set(int64(i))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, smp := range r.Snapshot() {
+				if smp.Hist != nil {
+					_ = smp.Hist.Summarize()
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sb strings.Builder
+		for i := 0; i < 50; i++ {
+			sb.Reset()
+			_ = WriteProm(&sb, r)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	var total uint64
+	for _, smp := range r.Snapshot() {
+		if smp.Name == "race_total" {
+			total += uint64(smp.Value)
+		}
+	}
+	if total != 4*5000 {
+		t.Fatalf("race_total sum = %d, want %d", total, 4*5000)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("site", "0")
+	s.Counter("otp_reorder_total").Add(3)
+	s.Gauge("otp_pending", "shard", "1").Set(9)
+	s.Histogram("wal_fsync_seconds").Observe(1500 * time.Microsecond)
+	s.SizeHistogram("transport_coalesce_batch").ObserveInt(16)
+	var sb strings.Builder
+	if err := WriteProm(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE otp_reorder_total counter\n",
+		`otp_reorder_total{site="0"} 3` + "\n",
+		"# TYPE otp_pending gauge\n",
+		`otp_pending{shard="1",site="0"} 9` + "\n",
+		"# TYPE wal_fsync_seconds summary\n",
+		`wal_fsync_seconds{site="0",quantile="0.5"} 0.0015`,
+		`wal_fsync_seconds_count{site="0"} 1` + "\n",
+		"# TYPE transport_coalesce_batch summary\n",
+		`transport_coalesce_batch_sum{site="0"} 16` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTraceRing(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(TraceEvent{Txn: "t" + string(rune('0'+i)), Span: SpanSubmit, Site: i})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if evs[0].Txn != "t2" || evs[3].Txn != "t5" {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+	tr.Record(TraceEvent{Txn: "t5", Span: SpanCommit})
+	spans := tr.Find("t5")
+	if len(spans) != 2 || spans[0].Span != SpanSubmit || spans[1].Span != SpanCommit {
+		t.Fatalf("find = %+v", spans)
+	}
+	if spans[0].At.IsZero() {
+		t.Fatal("At not stamped")
+	}
+	// JSON round-trip (the TRACE verb dumps these).
+	if _, err := json.Marshal(spans); err != nil {
+		t.Fatal(err)
+	}
+	// Nil ring is inert.
+	var nilRing *TraceRing
+	nilRing.Record(TraceEvent{})
+	if nilRing.Events() != nil || nilRing.Find("x") != nil {
+		t.Fatal("nil ring should return nothing")
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	tr := NewTraceRing(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(TraceEvent{Txn: "x", Span: SpanOptDeliver})
+				_ = tr.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Events()) != 128 {
+		t.Fatalf("ring size = %d", len(tr.Events()))
+	}
+}

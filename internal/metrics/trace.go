@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Span names used by the transaction lifecycle trace. Components
+// record whichever apply; a reordered transaction records OptDeliver
+// more than once.
+const (
+	SpanSubmit     = "submit"
+	SpanOptDeliver = "opt-deliver"
+	SpanTODeliver  = "to-deliver"
+	SpanCommit     = "commit"
+	SpanAbort      = "abort"
+)
+
+// TraceEvent is one lifecycle span of one transaction at one site.
+type TraceEvent struct {
+	Txn   string    `json:"txn"`
+	Span  string    `json:"span"`
+	Site  int       `json:"site"`
+	Shard int       `json:"shard"`
+	At    time.Time `json:"at"`
+	Note  string    `json:"note,omitempty"`
+}
+
+// TraceRing is a fixed-capacity ring buffer of lifecycle spans: the
+// most recent Cap events are retained, older ones are overwritten.
+// Record is a mutex-guarded slot write (no allocation); a nil
+// *TraceRing discards events, so components thread it unconditionally.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// NewTraceRing creates a ring retaining the last capacity events
+// (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]TraceEvent, capacity)}
+}
+
+// Record appends one span, stamping At when zero.
+func (t *TraceRing) Record(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	t.mu.Lock()
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained spans in record order.
+func (t *TraceRing) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]TraceEvent{}, t.buf[:t.next]...)
+	}
+	out := make([]TraceEvent, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// Find returns the retained spans of one transaction, in record order.
+func (t *TraceRing) Find(txn string) []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range t.Events() {
+		if ev.Txn == txn {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

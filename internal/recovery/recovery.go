@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"otpdb/internal/metrics"
 	"otpdb/internal/storage"
 	"otpdb/internal/wal"
 )
@@ -56,6 +57,9 @@ type Options struct {
 	// CheckpointEvery is the number of commits between checkpoints
 	// (default 4096; negative disables periodic checkpoints).
 	CheckpointEvery int
+	// Metrics, when non-nil, registers WAL and checkpoint telemetry
+	// under the scope's labels.
+	Metrics *metrics.Scope
 }
 
 // DefaultCheckpointEvery is the commit count between checkpoints when
@@ -72,6 +76,7 @@ type Durability struct {
 	// checkpointing serializes background checkpoints (at most one in
 	// flight; extra triggers are dropped, not queued).
 	checkpointing atomic.Bool
+	ckpts         *metrics.Counter
 
 	mu     sync.Mutex
 	closed bool
@@ -89,11 +94,14 @@ func Open(dir string, opts Options) (*Durability, error) {
 		SegmentBytes:  opts.SegmentBytes,
 		Sync:          opts.Sync,
 		GroupInterval: opts.GroupInterval,
+		Metrics:       opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Durability{dir: dir, opts: opts, log: log}, nil
+	d := &Durability{dir: dir, opts: opts, log: log}
+	d.ckpts = opts.Metrics.Counter("wal_checkpoint_total")
+	return d, nil
 }
 
 // CheckpointEvery reports the configured commit count between
@@ -185,6 +193,7 @@ func (d *Durability) ReleaseCheckpoint() { d.checkpointing.Store(false) }
 // deleted. It releases the slot claimed by TryBeginCheckpoint.
 func (d *Durability) Checkpoint(ck *storage.Checkpoint) error {
 	defer d.checkpointing.Store(false)
+	d.ckpts.Inc()
 	return d.ResetTo(ck)
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"otpdb/internal/db"
+	"otpdb/internal/metrics"
 	"otpdb/internal/sproc"
 	"otpdb/internal/storage"
 )
@@ -33,6 +34,10 @@ type CoordConfig struct {
 	// re-executed phase 0) before giving up with ErrAborted. Defaults
 	// to 8.
 	MaxRetries int
+	// Metrics, when non-nil, registers coordinator telemetry (vote
+	// latency, cross-shard commits/aborts/retries) under the scope's
+	// labels.
+	Metrics *metrics.Scope
 }
 
 // ShardTO locates a cross-shard transaction in one shard's definitive
@@ -68,6 +73,12 @@ type Coordinator struct {
 	reg *sproc.Registry
 	cfg CoordConfig
 
+	// Telemetry (inert unregistered instruments without cfg.Metrics).
+	voteLat      *metrics.Histogram
+	crossCommits *metrics.Counter
+	crossAborts  *metrics.Counter
+	crossRetries *metrics.Counter
+
 	// CrashBeforeDecide, when set, is consulted after votes are
 	// collected and before the decide is submitted; returning true
 	// abandons the attempt (simulating a coordinator crash at the
@@ -86,7 +97,13 @@ func NewCoordinator(h *Hub, m *Map, reg *sproc.Registry, cfg CoordConfig) *Coord
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 8
 	}
-	return &Coordinator{hub: h, m: m, reg: reg, cfg: cfg}
+	return &Coordinator{
+		hub: h, m: m, reg: reg, cfg: cfg,
+		voteLat:      cfg.Metrics.Histogram("shard_vote_seconds"),
+		crossCommits: cfg.Metrics.Counter("shard_cross_commit_total"),
+		crossAborts:  cfg.Metrics.Counter("shard_cross_abort_total"),
+		crossRetries: cfg.Metrics.Counter("shard_cross_retry_total"),
+	}
 }
 
 // Exec runs a multi-class procedure whose classes span several shards,
@@ -106,13 +123,16 @@ func (c *Coordinator) Exec(ctx context.Context, proc string, args ...storage.Val
 		res, err := c.tryOnce(ctx, mu, split, args)
 		if err == nil {
 			res.Retries = attempt
+			c.crossCommits.Inc()
 			return res, nil
 		}
 		if errors.Is(err, errCrashed) || ctx.Err() != nil {
 			return CrossResult{}, err
 		}
+		c.crossRetries.Inc()
 		lastErr = err
 	}
+	c.crossAborts.Inc()
 	return CrossResult{}, lastErr
 }
 
@@ -178,9 +198,11 @@ func (c *Coordinator) tryOnce(ctx context.Context, mu sproc.MultiUpdate, split m
 	// that never votes (partition, dead replica) must not hold every
 	// other shard's classes hostage.
 	verdict := VerdictAbort
+	voteStart := time.Now()
 	if c.hub.waitVotes(ctx.Done(), xid, shards, c.cfg.VoteTimeout) {
 		verdict = VerdictCommit
 	}
+	c.voteLat.Observe(time.Since(voteStart))
 
 	if hook := c.CrashBeforeDecide; hook != nil && hook(xid) {
 		return CrossResult{}, errCrashed

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"otpdb/internal/db"
+	"otpdb/internal/metrics"
 	"otpdb/internal/sproc"
 	"otpdb/internal/storage"
 	"otpdb/internal/transport"
@@ -30,6 +31,9 @@ type Config struct {
 	ResolveAfter time.Duration
 	// ResolveTick is the resolver's scan period. Defaults to 200ms.
 	ResolveTick time.Duration
+	// Metrics, when non-nil, registers hub telemetry (presumed-abort
+	// resolutions) under the scope's labels.
+	Metrics *metrics.Scope
 }
 
 // attachment is one local replica of one shard, by getter so the hub
@@ -68,6 +72,10 @@ type Hub struct {
 	resolveAfter time.Duration
 	resolveTick  time.Duration
 
+	// presumedAborts counts resolver-initiated abort proposals for
+	// prepares whose coordinator was presumed crashed.
+	presumedAborts *metrics.Counter
+
 	mu        sync.Mutex
 	seq       uint64
 	attached  map[int][]attachment
@@ -97,19 +105,20 @@ func NewHub(cfg Config) *Hub {
 		cfg.Incarnation = uint64(time.Now().UnixNano())
 	}
 	return &Hub{
-		origin:       cfg.Origin,
-		inc:          cfg.Incarnation,
-		resolveAfter: cfg.ResolveAfter,
-		resolveTick:  cfg.ResolveTick,
-		attached:     make(map[int][]attachment),
-		votes:        make(map[XID]map[int]bool),
-		decisions:    make(map[XID]Verdict),
-		blocked:      make(map[*blockedPrepare]bool),
-		active:       make(map[XID]bool),
-		resolving:    make(map[XID]time.Time),
-		gen:          make(chan struct{}),
-		stop:         make(chan struct{}),
-		done:         make(chan struct{}),
+		origin:         cfg.Origin,
+		inc:            cfg.Incarnation,
+		resolveAfter:   cfg.ResolveAfter,
+		resolveTick:    cfg.ResolveTick,
+		presumedAborts: cfg.Metrics.Counter("shard_presumed_abort_total"),
+		attached:       make(map[int][]attachment),
+		votes:          make(map[XID]map[int]bool),
+		decisions:      make(map[XID]Verdict),
+		blocked:        make(map[*blockedPrepare]bool),
+		active:         make(map[XID]bool),
+		resolving:      make(map[XID]time.Time),
+		gen:            make(chan struct{}),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
 	}
 }
 
@@ -517,6 +526,7 @@ func (h *Hub) resolver() {
 				h.applyDecision(t.xid, v)
 				continue
 			}
+			h.presumedAborts.Inc()
 			h.submitDecide(t.xid, t.home, VerdictAbort)
 		}
 	}

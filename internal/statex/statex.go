@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"otpdb/internal/abcast"
+	"otpdb/internal/metrics"
 	"otpdb/internal/recovery"
 	"otpdb/internal/storage"
 	"otpdb/internal/transport"
@@ -244,6 +245,26 @@ type Options struct {
 	// sequential protocol with whatever progress was verified, so
 	// Parallel never makes a fetch less likely to succeed.
 	Parallel bool
+	// Metrics, when non-nil, registers transfer telemetry (bytes and
+	// chunks received, catch-up entries, donor failovers) under the
+	// scope's labels.
+	Metrics *metrics.Scope
+}
+
+// xferMetrics is the per-fetch instrument set, threaded into every
+// attempt so chunks verified on receipt are counted where they are
+// verified. Instruments from a nil scope are inert, so the zero cost
+// of the uninstrumented path is one atomic add per chunk.
+type xferMetrics struct {
+	bytes, chunks, entries *metrics.Counter
+}
+
+func newXferMetrics(s *metrics.Scope) xferMetrics {
+	return xferMetrics{
+		bytes:   s.Counter("statex_transfer_bytes_total"),
+		chunks:  s.Counter("statex_transfer_chunks_total"),
+		entries: s.Counter("statex_catchup_entries_total"),
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -316,8 +337,10 @@ func Fetch(ctx context.Context, ep transport.Endpoint, from int64, donors []tran
 	opts = opts.withDefaults()
 	sub := ep.Subscribe(StreamXfer)
 	prog := &progress{}
+	xm := newXferMetrics(opts.Metrics)
+	failovers := opts.Metrics.Counter("statex_donor_failover_total")
 	if opts.Parallel && len(donors) >= 2 {
-		t, err := fetchParallel(ctx, ep, sub, prog, from, donors, opts)
+		t, err := fetchParallel(ctx, ep, sub, prog, from, donors, opts, xm)
 		if err != nil {
 			return nil, err
 		}
@@ -335,10 +358,11 @@ func Fetch(ctx context.Context, ep transport.Endpoint, from int64, donors []tran
 			errs = append(errs, err)
 			break
 		}
-		t, err := fetchFrom(ctx, ep, sub, prog, from, donor, opts)
+		t, err := fetchFrom(ctx, ep, sub, prog, from, donor, opts, xm)
 		if err == nil {
 			return t, nil
 		}
+		failovers.Inc()
 		errs = append(errs, fmt.Errorf("donor %v: %w", donor, err))
 	}
 	return nil, fmt.Errorf("statex: no donor could serve: %w", errors.Join(errs...))
@@ -359,7 +383,7 @@ func Fetch(ctx context.Context, ep transport.Endpoint, from int64, donors []tran
 // is returned only for terminal conditions (context cancelled,
 // endpoint closed).
 func fetchParallel(ctx context.Context, ep transport.Endpoint, sub <-chan transport.Envelope,
-	prog *progress, from int64, donors []transport.NodeID, opts Options) (*Transfer, error) {
+	prog *progress, from int64, donors []transport.NodeID, opts Options, xm xferMetrics) (*Transfer, error) {
 	ckDonor, tailDonor := donors[0], donors[1]
 	if ckDonor == tailDonor {
 		return nil, nil
@@ -369,7 +393,7 @@ func fetchParallel(ctx context.Context, ep transport.Endpoint, sub <-chan transp
 	if err := ep.Send(ckDonor, StreamReq, JoinReq{Xfer: ckXfer, From: advFrom, NoTail: true}); err != nil {
 		return nil, nil
 	}
-	ckSt := &attempt{donor: ckDonor, prog: prog, from: from, advFrom: advFrom}
+	ckSt := &attempt{donor: ckDonor, prog: prog, from: from, advFrom: advFrom, m: xm}
 	var (
 		tailSt   *attempt
 		tailXfer uint64
@@ -442,7 +466,7 @@ func fetchParallel(ctx context.Context, ep transport.Endpoint, sub <-chan transp
 				// a gap could not be.
 				tailXfer = nextXferID()
 				if ep.Send(tailDonor, StreamReq, JoinReq{Xfer: tailXfer, From: frontier, TailOnly: true}) == nil {
-					tailSt = &attempt{donor: tailDonor, prog: &progress{}, from: frontier, advFrom: frontier}
+					tailSt = &attempt{donor: tailDonor, prog: &progress{}, from: frontier, advFrom: frontier, m: xm}
 				} else {
 					tailDead = true
 				}
@@ -508,6 +532,10 @@ type attempt struct {
 	from    int64
 	advFrom int64
 
+	// m counts verified receive-side progress. Always populated via
+	// newXferMetrics (unregistered instruments without a scope).
+	m xferMetrics
+
 	mode     Mode
 	gotResp  bool
 	ckptBuf  bytes.Buffer
@@ -536,7 +564,7 @@ type attempt struct {
 // retained progress. On failure, newly verified progress is salvaged
 // into prog before returning.
 func fetchFrom(ctx context.Context, ep transport.Endpoint, sub <-chan transport.Envelope,
-	prog *progress, from int64, donor transport.NodeID, opts Options) (*Transfer, error) {
+	prog *progress, from int64, donor transport.NodeID, opts Options, xm xferMetrics) (*Transfer, error) {
 	xfer := nextXferID()
 	advFrom := prog.advertise(from)
 	if err := ep.Send(donor, StreamReq, JoinReq{Xfer: xfer, From: advFrom}); err != nil {
@@ -544,7 +572,7 @@ func fetchFrom(ctx context.Context, ep transport.Endpoint, sub <-chan transport.
 	}
 	abort := func() { _ = ep.Send(donor, StreamReq, Abort{Xfer: xfer}) }
 
-	st := &attempt{donor: donor, prog: prog, from: from, advFrom: advFrom}
+	st := &attempt{donor: donor, prog: prog, from: from, advFrom: advFrom, m: xm}
 	defer st.salvage()
 	wait := opts.RespTimeout
 	timer := time.NewTimer(wait)
@@ -629,6 +657,8 @@ func (st *attempt) onMessage(msg any, xfer uint64) (Done, bool, error) {
 		if crc32.Checksum(m.Data, castagnoli) != m.CRC {
 			return Done{}, false, fmt.Errorf("statex: checkpoint chunk %d CRC mismatch", m.Seq)
 		}
+		st.m.chunks.Inc()
+		st.m.bytes.Add(uint64(len(m.Data)))
 		if st.pendCk == nil {
 			st.pendCk = make(map[int]CkptChunk)
 		}
@@ -637,6 +667,7 @@ func (st *attempt) onMessage(msg any, xfer uint64) (Done, bool, error) {
 		if m.Xfer != xfer || m.Seq < st.tailSeq {
 			return Done{}, false, nil // stale or already applied
 		}
+		st.m.chunks.Inc()
 		if st.pendTail == nil {
 			st.pendTail = make(map[int]TailChunk)
 		}
@@ -705,6 +736,7 @@ func (st *attempt) drain() error {
 			}
 			st.expectSeq++
 			st.entries = append(st.entries, ent)
+			st.m.entries.Inc()
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"otpdb/internal/metrics"
 	"otpdb/internal/queue"
 )
 
@@ -36,6 +37,10 @@ type TCPConfig struct {
 	// PersistentIncarnation so a clock stepping backwards across a
 	// restart cannot mint a stale one.
 	Incarnation uint64
+	// Metrics, when non-nil, registers transport telemetry (inbound
+	// frames, coalesce batch sizes, dial retries) under the scope's
+	// labels.
+	Metrics *metrics.Scope
 }
 
 // tcpFrame is the wire unit. Data frames (IsAck false) flow from the
@@ -85,6 +90,12 @@ type TCPNode struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	// Telemetry (inert unregistered instruments without cfg.Metrics).
+	framesIn    *metrics.Counter
+	dupFrames   *metrics.Counter
+	dialRetries *metrics.Counter
+	batchSizes  *metrics.Histogram
+
 	mu      sync.Mutex
 	addrs   map[NodeID]string // current peer map, including self
 	out     map[NodeID]*peerLink
@@ -110,15 +121,19 @@ func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
 	n := &TCPNode{
-		cfg:     cfg,
-		ln:      ln,
-		box:     newMailbox(),
-		addrs:   make(map[NodeID]string, len(cfg.Addrs)),
-		out:     make(map[NodeID]*peerLink),
-		inc:     cfg.Incarnation,
-		stop:    make(chan struct{}),
-		lastSeq: make(map[NodeID]uint64),
-		lastInc: make(map[NodeID]uint64),
+		cfg:         cfg,
+		ln:          ln,
+		box:         newMailbox(),
+		addrs:       make(map[NodeID]string, len(cfg.Addrs)),
+		out:         make(map[NodeID]*peerLink),
+		inc:         cfg.Incarnation,
+		stop:        make(chan struct{}),
+		lastSeq:     make(map[NodeID]uint64),
+		lastInc:     make(map[NodeID]uint64),
+		framesIn:    cfg.Metrics.Counter("transport_frames_in_total"),
+		dupFrames:   cfg.Metrics.Counter("transport_dup_frames_total"),
+		dialRetries: cfg.Metrics.Counter("transport_dial_retry_total"),
+		batchSizes:  cfg.Metrics.SizeHistogram("transport_coalesce_batch"),
 	}
 	for id, peerAddr := range cfg.Addrs {
 		n.addrs[id] = peerAddr
@@ -352,8 +367,11 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 			fresh = true
 		}
 		n.mu.Unlock()
+		n.framesIn.Inc()
 		if fresh {
 			n.box.enqueue(f.Env)
+		} else {
+			n.dupFrames.Inc()
 		}
 		// Acknowledge regardless: duplicates mean the ack was lost.
 		// Replace any unsent older ack — the newest covers it.
@@ -590,6 +608,7 @@ func (l *peerLink) writeLoop() {
 			}
 			l.pending = append(l.pending, batch...)
 			l.mu.Unlock()
+			l.node.batchSizes.ObserveInt(int64(len(batch)))
 			if !sendBatch(batch) {
 				return
 			}
@@ -637,6 +656,7 @@ func (l *peerLink) readAcks(conn net.Conn) {
 // in lockstep at a still-recovering node. A successful dial resets the
 // schedule to the floor (see dial).
 func (l *peerLink) backoff() bool {
+	l.node.dialRetries.Inc()
 	d := l.node.cfg.DialRetry
 	if shift := l.tries; shift > 0 {
 		if shift > 4 {

@@ -53,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"otpdb/internal/metrics"
 	"otpdb/internal/storage"
 )
 
@@ -116,6 +117,10 @@ type Options struct {
 	Sync SyncPolicy
 	// GroupInterval is the SyncGrouped flush period (default 2 ms).
 	GroupInterval time.Duration
+	// Metrics, when non-nil, registers the log's runtime telemetry
+	// (fsync latency, appends, segment rotations) under the scope's
+	// labels.
+	Metrics *metrics.Scope
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +160,11 @@ type Log struct {
 	dir  string
 	opts Options
 
+	// Telemetry (inert unregistered instruments without Options.Metrics).
+	fsyncHist *metrics.Histogram
+	appends   *metrics.Counter
+	rotations *metrics.Counter
+
 	mu        sync.Mutex
 	f         *os.File // active segment
 	size      int64    // bytes written to the active segment
@@ -175,6 +185,9 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts}
+	l.fsyncHist = opts.Metrics.Histogram("wal_fsync_seconds", "policy", opts.Sync.String())
+	l.appends = opts.Metrics.Counter("wal_append_total")
+	l.rotations = opts.Metrics.Counter("wal_segment_rotate_total")
 	segs, err := l.segments()
 	if err != nil {
 		return nil, err
@@ -298,7 +311,16 @@ func (l *Log) rotateLocked() error {
 	}
 	l.f, l.size, l.segName = f, headerSize, name
 	l.dirty = true
+	l.rotations.Inc()
 	return nil
+}
+
+// timedSync fsyncs the active segment, feeding the latency histogram.
+func (l *Log) timedSync() error {
+	t0 := time.Now()
+	err := l.f.Sync()
+	l.fsyncHist.Observe(time.Since(t0))
+	return err
 }
 
 // Append writes one record and applies the sync policy. Appends are
@@ -320,11 +342,12 @@ func (l *Log) Append(rec Record) error {
 	}
 	l.size += int64(len(buf))
 	l.dirty = true
+	l.appends.Inc()
 	if rec.TOIndex > l.lastIndex {
 		l.lastIndex = rec.TOIndex
 	}
 	if l.opts.Sync == SyncEveryCommit {
-		if err := l.f.Sync(); err != nil {
+		if err := l.timedSync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 		l.dirty = false
@@ -343,7 +366,7 @@ func (l *Log) syncLocked() error {
 	if l.closed || l.f == nil || !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.timedSync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.dirty = false

@@ -73,6 +73,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -83,6 +84,7 @@ import (
 	"otpdb/internal/fd"
 	"otpdb/internal/history"
 	"otpdb/internal/member"
+	"otpdb/internal/metrics"
 	"otpdb/internal/otp"
 	"otpdb/internal/recovery"
 	"otpdb/internal/shard"
@@ -190,6 +192,8 @@ type config struct {
 	commitDelay  time.Duration
 	autoReplace  bool
 	suspectWin   time.Duration
+	metrics      *metrics.Registry
+	trace        *metrics.TraceRing
 }
 
 // Option configures NewCluster.
@@ -325,6 +329,25 @@ func WithAutoReplace(window time.Duration) Option {
 	}
 }
 
+// WithMetrics attaches a runtime metrics registry: every layer of every
+// site stack — broadcast engine, consensus, scheduler, WAL, failure
+// detector, state transfer, cross-shard coordinator — registers its
+// telemetry there, labelled by shard and site. Snapshot the registry
+// directly, or serve it as a Prometheus scrape surface with
+// metrics.WriteProm. Instruments are lock-free atomics with fixed-bucket
+// histograms; the registry adds no allocation to the hot path.
+func WithMetrics(r *metrics.Registry) Option {
+	return func(c *config) { c.metrics = r }
+}
+
+// WithTraceRing attaches a per-transaction trace ring: every replica
+// records submit/opt-deliver/to-deliver/commit/abort span events for the
+// transactions it processes, tagged with site and shard. The ring is
+// fixed-size and lock-cheap; inspect it with TraceRing.Find(txnid).
+func WithTraceRing(t *metrics.TraceRing) Option {
+	return func(c *config) { c.trace = t }
+}
+
 // WithCrossShardTimeouts tunes the cross-shard protocol: vote bounds a
 // coordinator's wait for every shard's prepare vote before it proposes
 // abort, and resolve is how long an orphaned prepare may block before
@@ -379,6 +402,50 @@ type Cluster struct {
 	removed  map[int]bool // sites voted out of the group
 	started  bool
 	stopped  bool
+
+	// replMu guards the auto-replacement audit trail (its writers hold
+	// c.mu in mixed modes, so it needs its own lock).
+	replMu sync.Mutex
+	repls  []Replacement
+}
+
+// Replacement is one auto-replacement's timeline, recorded by the
+// survivor that won the round (see WithAutoReplace). The phases separate
+// detection cost (SuspectedAt→DetectedAt: the sustained-suspicion
+// hysteresis window) from repair cost (DetectedAt→CommittedAt: the
+// membership rounds; CommittedAt→RebuiltAt: the state transfer).
+type Replacement struct {
+	// Victim is the replaced site's index.
+	Victim int
+	// SuspectedAt is when the winner's detector first suspected the
+	// victim in the unbroken stretch that expired the window.
+	SuspectedAt time.Time
+	// DetectedAt is when the suspicion window expired and the winner
+	// began proposing the replacement.
+	DetectedAt time.Time
+	// CommittedAt is when every shard group had committed the
+	// ReplaceSite configuration change.
+	CommittedAt time.Time
+	// RebuiltAt is when the replacement replica finished its state
+	// transfer and rejoined; zero if the rebuild failed (the next
+	// window retries and appends its own record).
+	RebuiltAt time.Time
+}
+
+// Replacements returns the auto-replacement rounds won by this process,
+// oldest first (a copy; safe to retain).
+func (c *Cluster) Replacements() []Replacement {
+	c.replMu.Lock()
+	defer c.replMu.Unlock()
+	out := make([]Replacement, len(c.repls))
+	copy(out, c.repls)
+	return out
+}
+
+// siteScope labels one site's metric series within one shard group; with
+// no registry configured it returns the nil (inert) scope.
+func (c *Cluster) siteScope(g, i int) *metrics.Scope {
+	return c.cfg.metrics.Scope("shard", strconv.Itoa(g), "site", strconv.Itoa(i))
 }
 
 // Errors returned by the cluster.
@@ -552,6 +619,7 @@ func (c *Cluster) buildSite(grp *group, g, i int, ep transport.Endpoint, join *a
 		return nil, nil, nil, nil, fmt.Errorf("otpdb: site %d membership: %w", i, err)
 	}
 	tracker := member.NewTracker(mcfg)
+	scope := c.siteScope(g, i)
 	var bc abcast.Broadcaster
 	var opt *abcast.Optimistic
 	var det *fd.Detector
@@ -565,6 +633,7 @@ func (c *Cluster) buildSite(grp *group, g, i int, ep transport.Endpoint, join *a
 			Endpoint:     ep,
 			RoundTimeout: c.cfg.roundTimeout,
 			View:         tracker,
+			Metrics:      scope,
 		}
 		if join != nil {
 			ccfg.CatchUpFrom = join.StartStage
@@ -580,13 +649,13 @@ func (c *Cluster) buildSite(grp *group, g, i int, ep transport.Endpoint, join *a
 			if interval > 25*time.Millisecond {
 				interval = 25 * time.Millisecond
 			}
-			det = fd.New(ep, fd.Config{Interval: interval})
+			det = fd.New(ep, fd.Config{Interval: interval, Metrics: scope})
 			tracker.OnChange(func(next member.Config) { det.SetMembers(next.IDs()) })
 			ccfg.Suspector = det
 		}
 		cons := consensus.New(ccfg)
 		cons.Start()
-		aopts := []abcast.Option{abcast.WithDefBase(uint64(base))}
+		aopts := []abcast.Option{abcast.WithDefBase(uint64(base)), abcast.WithMetrics(scope)}
 		if c.cfg.defLogCap > 0 {
 			aopts = append(aopts, abcast.WithDefLogCap(c.cfg.defLogCap))
 		}
@@ -611,6 +680,9 @@ func (c *Cluster) buildSite(grp *group, g, i int, ep transport.Endpoint, join *a
 		CommitDelay:    c.cfg.commitDelay,
 		Durability:     dur,
 		InitialTOIndex: base,
+		Metrics:        scope,
+		Trace:          c.cfg.trace,
+		Shard:          g,
 		ConfigClass:    member.Class,
 		OnConfigCommit: func(v storage.Value, _ int64) {
 			if next, derr := member.Decode(v); derr == nil {
@@ -691,11 +763,11 @@ func (c *Cluster) Start() error {
 	// Cross-shard machinery: the prepare/decide procedures exist in
 	// every configuration (inert at one shard), the hub connects their
 	// local executions, the coordinator drives multi-shard commits.
-	c.shub = shard.NewHub(shard.Config{ResolveAfter: c.cfg.resolveAfter})
+	c.shub = shard.NewHub(shard.Config{ResolveAfter: c.cfg.resolveAfter, Metrics: c.cfg.metrics.Scope()})
 	if err := c.shub.Register(c.registry); err != nil {
 		return fmt.Errorf("otpdb: register cross-shard procedures: %w", err)
 	}
-	c.coord = shard.NewCoordinator(c.shub, c.smap, c.registry, shard.CoordConfig{VoteTimeout: c.cfg.voteTimeout})
+	c.coord = shard.NewCoordinator(c.shub, c.smap, c.registry, shard.CoordConfig{VoteTimeout: c.cfg.voteTimeout, Metrics: c.cfg.metrics.Scope()})
 	bootstrapIDs := make(map[transport.NodeID]string, c.cfg.replicas)
 	for i := 0; i < c.cfg.replicas; i++ {
 		bootstrapIDs[transport.NodeID(i)] = ""
@@ -728,6 +800,7 @@ func (c *Cluster) Start() error {
 				d, err := recovery.Open(c.siteDir(g, i), recovery.Options{
 					Sync:            c.cfg.syncPolicy,
 					CheckpointEvery: c.cfg.ckptEvery,
+					Metrics:         c.siteScope(g, i),
 				})
 				if err != nil {
 					return fmt.Errorf("otpdb: durability %d/%d: %w", g, i, err)
@@ -1185,6 +1258,7 @@ func (c *Cluster) rejoinGroupLocked(ctx context.Context, g, site int, wipe bool)
 		d, derr := recovery.Open(c.siteDir(g, site), recovery.Options{
 			Sync:            c.cfg.syncPolicy,
 			CheckpointEvery: c.cfg.ckptEvery,
+			Metrics:         c.siteScope(g, site),
 		})
 		if derr != nil {
 			return fmt.Errorf("otpdb: reopen durability %d: %w", site, derr)
@@ -1197,7 +1271,7 @@ func (c *Cluster) rejoinGroupLocked(ctx context.Context, g, site int, wipe bool)
 		dur, base = d, b
 	}
 
-	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{Parallel: true})
+	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{Parallel: true, Metrics: c.siteScope(g, site)})
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
@@ -1440,13 +1514,14 @@ func (c *Cluster) buildAddedSite(ctx context.Context, g, newID int) error {
 		d, derr := recovery.Open(c.siteDir(g, newID), recovery.Options{
 			Sync:            c.cfg.syncPolicy,
 			CheckpointEvery: c.cfg.ckptEvery,
+			Metrics:         c.siteScope(g, newID),
 		})
 		if derr != nil {
 			return fail(fmt.Errorf("otpdb: durability %d: %w", newID, derr))
 		}
 		dur = d
 	}
-	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{Parallel: true})
+	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{Parallel: true, Metrics: c.siteScope(g, newID)})
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
