@@ -3,8 +3,10 @@ package otpdb
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
 
+	"otpdb/internal/events"
 	"otpdb/internal/fd"
 	"otpdb/internal/member"
 	"otpdb/internal/transport"
@@ -115,6 +117,8 @@ func (c *Cluster) tryAutoReplace(self, victim int, suspectedAt time.Time) {
 	if !ok {
 		return
 	}
+	c.cfg.events.Record(self, events.KindReplace,
+		"phase", "propose", "victim", strconv.Itoa(victim))
 	ctx, cancel := context.WithTimeout(context.Background(), autoReplaceTimeout)
 	defer cancel()
 	for g := range captured {
@@ -151,6 +155,11 @@ func (c *Cluster) tryAutoReplace(self, victim int, suspectedAt time.Time) {
 	}
 	if err := c.rejoinLocked(ctx, victim, true); err == nil {
 		rec.RebuiltAt = time.Now()
+		c.cfg.events.Record(self, events.KindReplace,
+			"phase", "rebuilt", "victim", strconv.Itoa(victim))
+	} else {
+		c.cfg.events.Record(self, events.KindReplace,
+			"phase", "rebuild-failed", "victim", strconv.Itoa(victim), "err", err.Error())
 	}
 	c.replMu.Lock()
 	c.repls = append(c.repls, rec)

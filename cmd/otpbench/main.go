@@ -5,7 +5,7 @@
 // Usage:
 //
 //	otpbench [-quick] [-json] [-out file] [experiment ...]
-//	otpbench [-quick] chaos [-seed S] [-v] [scenario ...]
+//	otpbench [-quick] chaos [-seed S] [-v] [-dump dir] [scenario ...]
 //
 // Experiments: figure1, abortrate, overlap, async, queries, ordering,
 // pipeline, commit, recovery, rejoin, reconfig, shard, chaos. With no
@@ -17,7 +17,10 @@
 // the invariants (digest convergence, no lost acked commit, effect-once,
 // epoch monotonicity). A failing scenario makes otpbench exit nonzero.
 // Arguments after "chaos" belong to it: -seed, -v (stream the fault
-// schedule as it executes) and an optional list of scenario names.
+// schedule as it executes), -dump (directory receiving a
+// flight-recorder dump per failed scenario — what the nightly chaos
+// job uploads as its failure artifact) and an optional list of
+// scenario names.
 //
 // The commit experiment is the tracked commit-path benchmark: with
 // -json it also writes its report (throughput and p50/p99 commit
@@ -216,10 +219,11 @@ func runChaos(args []string, quick bool) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "fault-schedule seed (identical seeds replay identical schedules)")
 	verbose := fs.Bool("v", false, "stream scenario progress and print each fault schedule")
+	dumpDir := fs.String("dump", "", "directory receiving a flight-recorder dump per failed scenario")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := experiments.ChaosBenchParams{Seed: *seed, Quick: quick}
+	p := experiments.ChaosBenchParams{Seed: *seed, Quick: quick, DumpDir: *dumpDir}
 	if *verbose {
 		p.Out = os.Stdout
 	}
@@ -234,7 +238,7 @@ func runChaos(args []string, quick bool) error {
 			if !ok {
 				return fmt.Errorf("chaos: unknown scenario %q", name)
 			}
-			res, err := chaos.Run(sc, *seed, chaos.Options{Out: p.Out})
+			res, err := chaos.Run(sc, *seed, chaos.Options{Out: p.Out, DumpDir: *dumpDir})
 			if err != nil {
 				return fmt.Errorf("chaos %s: %w", name, err)
 			}

@@ -20,13 +20,24 @@
 //
 // METRICS pretty-prints the replica's metrics registry grouped by family
 // (use the raw protocol via -stdin for machine consumption), and
-// TRACE <id> prints a transaction's recorded lifecycle spans as JSON,
-// one per line:
+// TRACE <id> renders a transaction's lifecycle spans — stitched
+// cluster-wide by the server when given a trace ID like tx0.1.7 — as a
+// waterfall, with the optimistic window (opt-deliver → to-deliver gap)
+// called out per shard:
 //
 //	$ otpcli -addr :7070 METRICS
 //	otp_commits_total
 //	  {shard=0,site=0}             1042
 //	...
+//
+//	$ otpcli -addr :7070 TRACE tx0.1.7
+//	TRACE tx0.1.7 n=7 — 7 spans, 3 site(s), 4.312ms total
+//	   0.000ms  █···  site 0 shard -1  x-submit     x0.1.7
+//	   0.412ms  ··█·  site 1 shard 1   opt-deliver  m1.0.9
+//	   3.907ms  ···█  site 1 shard 1   to-deliver   m1.0.9  (opt→def 3.495ms)
+//	...
+//
+// Use -stdin to get the raw JSON span lines instead of the waterfall.
 //
 // Pipelined mode (-stdin) keeps one connection open and sends every line
 // read from standard input, printing one reply per line. Because SUBMIT
@@ -39,6 +50,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -105,7 +117,7 @@ func run(addr string, args []string) error {
 		if strings.EqualFold(args[0], "METRICS") {
 			printMetrics(lines)
 		} else {
-			fmt.Println(strings.Join(lines, "\n"))
+			printTrace(lines)
 		}
 		return nil
 	}
@@ -152,6 +164,104 @@ func printMetrics(lines []string) {
 		}
 		fmt.Printf("  %-28s %s\n", labels, rest)
 	}
+}
+
+// traceSpan mirrors the span JSON otpd emits on TRACE continuation
+// lines (internal/metrics.TraceEvent).
+type traceSpan struct {
+	Txn   string    `json:"txn"`
+	Trace string    `json:"trace"`
+	Span  string    `json:"span"`
+	Site  int       `json:"site"`
+	Shard int       `json:"shard"`
+	At    time.Time `json:"at"`
+	Note  string    `json:"note"`
+}
+
+// printTrace renders a TRACE reply as a waterfall: one line per span in
+// causal order, offset from the first span, with a proportional-position
+// marker column so the shape of the transaction (where the time went) is
+// visible at a glance. The optimistic window — the gap between a shard's
+// first opt-deliver and its to-deliver — is called out inline, because
+// that gap is the whole point of OPT-ABcast: work done inside it is free
+// when the orders agree and wasted when they do not. Anything unexpected
+// (an ERR, an older server) is printed verbatim; use -stdin for the raw
+// JSON lines.
+func printTrace(lines []string) {
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "TRACE") {
+		fmt.Println(strings.Join(lines, "\n"))
+		return
+	}
+	spans := make([]traceSpan, 0, len(lines)-1)
+	for _, line := range lines[1:] {
+		var s traceSpan
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			fmt.Println(strings.Join(lines, "\n"))
+			return
+		}
+		spans = append(spans, s)
+	}
+	t0, tN := spans[0].At, spans[0].At
+	sites := map[int]bool{}
+	title := spans[0].Txn
+	for _, s := range spans {
+		if s.At.Before(t0) {
+			t0 = s.At
+		}
+		if s.At.After(tN) {
+			tN = s.At
+		}
+		sites[s.Site] = true
+		if s.Trace != "" {
+			title = s.Trace
+		}
+	}
+	fmt.Printf("%s — %d spans, %d site(s), %s total\n",
+		title, len(spans), len(sites), fmtDur(tN.Sub(t0)))
+
+	// The optimistic window per shard: first opt-deliver to the
+	// definitive to-deliver that settled it.
+	optAt := map[int]time.Time{}
+	for _, s := range spans {
+		if s.Span == "opt-deliver" {
+			if at, ok := optAt[s.Shard]; !ok || s.At.Before(at) {
+				optAt[s.Shard] = s.At
+			}
+		}
+	}
+	const width = 24
+	span := tN.Sub(t0)
+	for _, s := range spans {
+		off := s.At.Sub(t0)
+		pos := 0
+		if span > 0 {
+			pos = int(off * (width - 1) / span)
+		}
+		bar := strings.Repeat("·", pos) + "█" + strings.Repeat(" ", width-1-pos)
+		note := s.Note
+		if s.Span == "to-deliver" {
+			if at, ok := optAt[s.Shard]; ok && s.At.After(at) {
+				gap := fmt.Sprintf("opt→def %s", fmtDur(s.At.Sub(at)))
+				if note != "" {
+					note += "  " + gap
+				} else {
+					note = gap
+				}
+			}
+		}
+		line := fmt.Sprintf("%10s  %s  site %d shard %d  %-12s %s",
+			fmtDur(off), bar, s.Site, s.Shard, s.Span, s.Txn)
+		if note != "" {
+			line += "  (" + note + ")"
+		}
+		fmt.Println(strings.TrimRight(line, " "))
+	}
+}
+
+// fmtDur renders a duration in fixed sub-millisecond precision, the
+// scale opt→def gaps live at.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
 }
 
 // shardCount extracts shards=N from a STATS summary line (0 when absent,

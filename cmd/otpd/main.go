@@ -19,6 +19,7 @@
 //	MEMBER REPLACE <id> <addr>   -> OK ... (as ADD)
 //	METRICS                      -> METRICS n=<count>, then one series per line
 //	TRACE <id>                   -> TRACE n=<count>, then one JSON span per line
+//	WATCH                        -> WATCH streaming, then one EVENT {json} line per flight-recorder event (push; ends at disconnect)
 //
 // SUBMIT handles are per-connection: WAIT resolves an ID submitted on the
 // same connection (pipeline SUBMITs first, then WAIT each ID). STATS is
@@ -91,13 +92,22 @@
 // cross-shard vote latency — in an in-process metrics registry (see
 // internal/metrics and DESIGN.md §12). -http serves it at /metrics in
 // the Prometheus text format, alongside net/http/pprof under
-// /debug/pprof. The METRICS verb dumps the same registry over the client
-// protocol (one series per line; histograms as count/p50/p95/p99), and
-// TRACE <id> dumps a transaction's recorded lifecycle spans
-// (submit/opt-deliver/to-deliver/commit/abort) as JSON, one per line,
-// from a fixed-size ring of the most recent spans. STATS reads its
-// scheduler counters out of the same registry, so the two surfaces
-// cannot drift.
+// /debug/pprof, and at /cluster/metrics as a federated scrape: every
+// live member's series site-labelled plus agg=sum/max/merge rollups,
+// membership-aware and epoch-fenced (an evicted member's series
+// disappear within one scrape). The METRICS verb dumps the local
+// registry over the client protocol (one series per line; histograms as
+// count/p50/p95/p99). TRACE <id> returns a transaction's lifecycle
+// spans (submit/opt-deliver/to-deliver/commit/abort, plus
+// prepare/vote/decide for cross-shard transactions) as JSON, one per
+// line — stitched cluster-wide from every member's span ring through
+// the obs fan-out, falling back to the local ring; a cross-shard EXEC
+// reply carries trace=<id> to feed back in. WATCH streams the flight
+// recorder (internal/events): epoch changes, suspicions, replacement
+// rounds and state-transfer negotiations as EVENT {json} lines, ring
+// replay then live tail. STATS reads its scheduler counters out of the
+// same registry, so the two surfaces cannot drift (see DESIGN.md §13
+// for the trace wire format and fencing rules).
 //
 // Example 3-replica cluster on one machine:
 //
@@ -134,9 +144,11 @@ import (
 	"otpdb/internal/abcast"
 	"otpdb/internal/consensus"
 	"otpdb/internal/db"
+	"otpdb/internal/events"
 	"otpdb/internal/fd"
 	"otpdb/internal/member"
 	"otpdb/internal/metrics"
+	"otpdb/internal/obs"
 	"otpdb/internal/recovery"
 	"otpdb/internal/shard"
 	"otpdb/internal/sproc"
@@ -261,7 +273,9 @@ type server struct {
 	coord   *shard.Coordinator
 	metrics *metrics.Registry
 	trace   *metrics.TraceRing
-	ready   chan struct{} // closed when every shard's replica is published
+	events  *events.Recorder
+	station atomic.Pointer[obs.Station] // cluster-wide trace/metrics fan-out; published by shard 0's build
+	ready   chan struct{}               // closed when every shard's replica is published
 }
 
 // membership renders the epoch/size STATS fields of one shard ("0 0"
@@ -368,6 +382,7 @@ func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsyn
 	abcast.RegisterWire()
 	db.RegisterWire()
 	statex.RegisterWire()
+	obs.RegisterWire()
 
 	reg, err := demoRegistry(classes)
 	if err != nil {
@@ -402,6 +417,7 @@ func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsyn
 		reg: reg, smap: smap, ready: make(chan struct{}),
 		metrics: metrics.NewRegistry(),
 		trace:   metrics.NewTraceRing(4096),
+		events:  events.NewRecorder(4096),
 	}
 	for g := 0; g < shards; g++ {
 		srv.shards = append(srv.shards, &shardStack{})
@@ -415,7 +431,7 @@ func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsyn
 		st := srv.shards[g]
 		shub.Attach(g, id, func() *db.Replica { return st.rep.Load() })
 	}
-	srv.coord = shard.NewCoordinator(shub, smap, reg, shard.CoordConfig{Metrics: siteScope})
+	srv.coord = shard.NewCoordinator(shub, smap, reg, shard.CoordConfig{Metrics: siteScope, Trace: srv.trace})
 
 	// The observability endpoint comes up first: /metrics (Prometheus
 	// text format) and /debug/pprof answer through recovery, join and
@@ -425,6 +441,24 @@ func run(id int, peerList, clientAddr string, classes, shards int, dataDir, fsyn
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = metrics.WriteProm(w, srv.metrics)
+		})
+		// /cluster/metrics federates every live member's registry into one
+		// scrape: each member's series site-labelled plus agg rollups. The
+		// scrape is membership-aware (only current members are queried) and
+		// epoch-fenced (replies from an older membership epoch are dropped),
+		// so an evicted member's series disappear within one scrape.
+		mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, req *http.Request) {
+			station := srv.station.Load()
+			tr := srv.shards[0].tracker.Load()
+			if station == nil || tr == nil {
+				http.Error(w, "replica still joining", http.StatusServiceUnavailable)
+				return
+			}
+			ctx, cancel := context.WithTimeout(req.Context(), 5*time.Second)
+			defer cancel()
+			samples := station.Metrics(ctx, tr.Members())
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = metrics.WritePromSamples(w, samples)
 		})
 		mux.Handle("/debug/pprof/", http.DefaultServeMux)
 		hln, err := net.Listen("tcp", httpAddr)
@@ -523,7 +557,14 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 	}
 	cleanup = append(cleanup, func() { _ = node.Close() })
 
-	detector := fd.New(node, fd.Config{Interval: 100 * time.Millisecond, Incarnation: inc, Metrics: scope})
+	fdcfg := fd.Config{Interval: 100 * time.Millisecond, Incarnation: inc, Metrics: scope}
+	if g == 0 {
+		// Flight-recorder events come from the first group only: site i of
+		// every group shares a failure domain, so one causal log per
+		// process suffices and per-shard duplicates would only be noise.
+		fdcfg.Events = srv.events
+	}
+	detector := fd.New(node, fdcfg)
 	detector.Start()
 	cleanup = append(cleanup, detector.Stop)
 
@@ -578,9 +619,35 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 		fmt.Printf("otpd: replica %d%s membership %s\n", id, shardTag(g, shards), cfg)
 	}
 	tracker := member.NewTracker(mcfg)
+	if g == 0 {
+		tracker.SetEvents(srv.events, id)
+		// The tracker only records configurations it *applies*; the
+		// bootstrap install happens in NewTracker, so log it here —
+		// a fresh replica's flight recorder is never empty and WATCH
+		// always has a first event to replay.
+		srv.events.Record(id, events.KindEpochChange,
+			"epoch", strconv.FormatUint(mcfg.Epoch, 10),
+			"members", fmt.Sprint(mcfg.IDs()))
+	}
 	tracker.OnChange(applyMembership)
 	applyMembership(mcfg)
 	st.tracker.Store(tracker)
+
+	if g == 0 {
+		// The observability station rides the first group's mesh (every
+		// process has one): it answers peers' TRACE and /cluster/metrics
+		// fan-outs from the local ring and registry, and stamps replies
+		// with the membership epoch so the caller can fence stale members.
+		station := obs.New(node, obs.Config{
+			Site:    id,
+			Epoch:   tracker.Epoch,
+			Trace:   srv.trace,
+			Metrics: srv.metrics,
+		})
+		station.Start()
+		cleanup = append(cleanup, station.Stop)
+		srv.station.Store(station)
+	}
 
 	// State transfer: a durable replica that recovered committed state
 	// assumes the cluster kept running and catches up from a live peer;
@@ -596,7 +663,7 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 		var jerr error
 		for attempt := 0; attempt < 2; attempt++ {
 			xfer, jerr = statex.Fetch(ctx, node, base, donorOrder(detector, transport.NodeID(id), tracker.Members()),
-				statex.Options{RespTimeout: 3 * time.Second, Parallel: true, Metrics: scope})
+				statex.Options{RespTimeout: 3 * time.Second, Parallel: true, Metrics: scope, Events: srv.events})
 			if jerr == nil || ctx.Err() != nil {
 				break
 			}
@@ -696,7 +763,7 @@ func buildShard(ctx context.Context, srv *server, g, id int, peers []string, sha
 	cleanup = append(cleanup, rep.Stop)
 
 	// Serve state transfers to future joiners.
-	xs := statex.NewServer(node, statex.ReplicaSource{Replica: rep, Engine: bc})
+	xs := statex.NewServer(node, statex.ReplicaSource{Replica: rep, Engine: bc}, statex.WithEvents(srv.events))
 	xs.Start()
 	cleanup = append(cleanup, xs.Stop)
 
@@ -740,9 +807,72 @@ func serveClient(conn net.Conn, srv *server) {
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		reply := cs.handle(strings.Fields(sc.Text()))
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 && strings.ToUpper(fields[0]) == "WATCH" {
+			// WATCH switches the connection to push mode: the flight
+			// recorder's retained ring replays first, then every new event
+			// streams as it is recorded, until the client disconnects.
+			streamWatch(conn, w, srv)
+			return
+		}
+		reply := cs.handle(fields)
 		_, _ = w.WriteString(reply + "\n")
 		_ = w.Flush()
+	}
+}
+
+// streamWatch serves the WATCH verb: `EVENT {json}` lines, ring replay
+// then live tail. It returns when the client goes away (write error, or
+// the read side seeing EOF) — the subscription is cancelled so a dead
+// watcher costs the recorder nothing.
+func streamWatch(conn net.Conn, w *bufio.Writer, srv *server) {
+	ch, cancel := srv.events.Watch(256)
+	defer cancel()
+	writeEvent := func(ev events.Event) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := w.WriteString("EVENT " + string(b) + "\n"); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	if _, err := w.WriteString("WATCH streaming\n"); err != nil {
+		return
+	}
+	if w.Flush() != nil {
+		return
+	}
+	for _, ev := range srv.events.Events() {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	// A watcher that just hangs up produces no write error until the
+	// next event; poll the read side so an idle WATCH still ends.
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-closed:
+			return
+		}
 	}
 }
 
@@ -775,9 +905,15 @@ func fmtCross(res shard.CrossResult, latency time.Duration) string {
 		}
 		spans = append(spans, fmt.Sprintf("%d:%d", st.Shard, st.TOIndex))
 	}
-	return fmt.Sprintf("OK value=%d to=%d outcome=%s latency=%s shard=%d xto=%s",
+	out := fmt.Sprintf("OK value=%d to=%d outcome=%s latency=%s shard=%d xto=%s",
 		storage.ValueInt64(res.Value), home, outcome,
 		latency.Round(time.Microsecond), res.Home, strings.Join(spans, ","))
+	if res.Trace != "" {
+		// The cluster-wide trace id: feed it back to TRACE to stitch the
+		// transaction's spans from every member.
+		out += " trace=" + res.Trace
+	}
+	return out
 }
 
 // schedStats is one shard's scheduler counters as STATS reports them,
@@ -920,10 +1056,28 @@ func (cs *clientSession) handle(fields []string) string {
 		if len(fields) != 2 {
 			return "ERR TRACE needs a transaction id"
 		}
+		// Cluster-wide first: fan the query out through the obs station to
+		// every current member and stitch their rings into one causally
+		// ordered span set. Fall back to the local ring when the station
+		// is not up yet (joining) or no peer had the trace.
 		var evs []metrics.TraceEvent
-		for _, key := range traceTxnKeys(fields[1]) {
-			if evs = srv.trace.Find(key); len(evs) > 0 {
-				break
+		keys := traceTxnKeys(fields[1])
+		if station := srv.station.Load(); station != nil {
+			if tr := srv.shards[0].tracker.Load(); tr != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				for _, key := range keys {
+					if evs = station.Trace(ctx, key, tr.Members()); len(evs) > 0 {
+						break
+					}
+				}
+				cancel()
+			}
+		}
+		if len(evs) == 0 {
+			for _, key := range keys {
+				if evs = srv.trace.Find(key); len(evs) > 0 {
+					break
+				}
 			}
 		}
 		lines := make([]string, 0, len(evs)+1)
@@ -1244,9 +1398,9 @@ func metricLine(s metrics.Sample) string {
 // traceTxnKeys maps a client-facing transaction id — SUBMIT's
 // "<origin>.<seq>" (or "<shard>.<origin>.<seq>" in sharded mode) — to
 // the engine's MsgID string ("m<origin>.<seq>"); an engine-form id
-// passes through verbatim.
+// ("m...") or a cross-shard trace id ("tx...") passes through verbatim.
 func traceTxnKeys(arg string) []string {
-	if strings.HasPrefix(arg, "m") {
+	if strings.HasPrefix(arg, "m") || strings.HasPrefix(arg, "t") {
 		return []string{arg}
 	}
 	parts := strings.Split(arg, ".")

@@ -130,12 +130,49 @@ func TestObservability(t *testing.T) {
 	page := string(body)
 	for _, family := range []string{
 		"# TYPE otp_reorder_total counter",
-		"# TYPE otp_opt_def_latency_seconds summary",
-		"# TYPE wal_fsync_seconds summary",
+		"# TYPE otp_opt_def_latency_seconds histogram",
+		"# TYPE wal_fsync_seconds histogram",
 		`otp_commits_total{shard="0",site="0"}`,
+		`otp_opt_def_latency_seconds_bucket{shard="0",site="0",le="+Inf"}`,
 	} {
 		if !strings.Contains(page, family) {
 			t.Fatalf("/metrics missing %q:\n%s", family, page)
 		}
+	}
+
+	// /cluster/metrics: the federated scrape of this one-member cluster
+	// carries the member's series site-labelled plus the agg rollups.
+	resp, err = http.Get("http://" + httpAddr + "/cluster/metrics")
+	if err != nil {
+		t.Fatalf("scrape /cluster/metrics: %v", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /cluster/metrics: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/cluster/metrics status %d", resp.StatusCode)
+	}
+	fed := string(body)
+	for _, line := range []string{
+		`otp_commits_total{shard="0",site="0"}`,
+		`otp_commits_total{agg="sum",shard="0"}`,
+	} {
+		if !strings.Contains(fed, line) {
+			t.Fatalf("/cluster/metrics missing %q:\n%s", line, fed)
+		}
+	}
+
+	// WATCH: the flight recorder streams at least the epoch-1 bootstrap
+	// configuration install as an EVENT line.
+	wc := newProtoConn(t, clientAddr)
+	defer wc.close()
+	if reply := wc.roundTrip("WATCH"); reply != "WATCH streaming" {
+		t.Fatalf("WATCH header: %q", reply)
+	}
+	ev := wc.readLine()
+	if !strings.HasPrefix(ev, "EVENT {") || !strings.Contains(ev, "epoch-change") {
+		t.Fatalf("WATCH first event: %q", ev)
 	}
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceSmokeCluster is the multi-process half of the distributed
+// tracing acceptance check (the in-process half is the root package's
+// TestCrossShardTraceStitch): a 3-process, 2-shard TCP cluster runs a
+// cross-shard transfer, the EXEC reply feeds back the cluster-wide
+// trace ID, and TRACE <id> at the origin fans out through the obs
+// stations and returns one stitched span set covering submit through
+// commit with spans recorded at all three sites. CI runs this same
+// test as its trace-propagation smoke step.
+func TestTraceSmokeCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "otpd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Each sharded process owns two consecutive peer ports (mesh g on
+	// base+g).
+	const n = 3
+	peerAddrs := make([]string, n)
+	clientAddrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		peerAddrs[i] = freeAddrRun(t, 2)
+		clientAddrs[i] = freeAddr(t)
+	}
+	peers := strings.Join(peerAddrs, ",")
+	procs := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin,
+			"-id", fmt.Sprint(i),
+			"-peers", peers,
+			"-client", clientAddrs[i],
+			"-shards", "2",
+			"-data", filepath.Join(tmp, fmt.Sprintf("data-%d", i)),
+			"-fsync", "commit",
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start otpd %d: %v", i, err)
+		}
+		procs[i] = cmd
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				_ = p.Process.Kill()
+			}
+		}
+	}()
+
+	pc := newProtoConn(t, clientAddrs[0])
+	defer pc.close()
+
+	// Seed both shards, then run the canonical cross-shard transfer; its
+	// reply feeds the cluster-wide trace ID back.
+	if got := pc.execValue("EXEC add-p0 a 5"); got != 5 {
+		t.Fatalf("add-p0 = %d, want 5", got)
+	}
+	if got := pc.execValue("EXEC add-p1 b 3"); got != 3 {
+		t.Fatalf("add-p1 = %d, want 3", got)
+	}
+	reply := pc.roundTrip("EXEC xfer a b 2")
+	if !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("xfer reply: %q", reply)
+	}
+	var trace string
+	for _, f := range strings.Fields(reply) {
+		if v, ok := strings.CutPrefix(f, "trace="); ok {
+			trace = v
+		}
+	}
+	if trace == "" {
+		t.Fatalf("xfer reply carries no trace=: %q", reply)
+	}
+
+	// The remote sites record their spans as the decision reaches them;
+	// re-stitch until all three sites appear (or the deadline says the
+	// fan-out is broken).
+	deadline := time.Now().Add(10 * time.Second)
+	var sites map[int]bool
+	var spans map[string]bool
+	var lines []string
+	for {
+		lines = pc.multiLine("TRACE " + trace)
+		sites, spans = map[int]bool{}, map[string]bool{}
+		for _, line := range lines[1:] {
+			var ev struct {
+				Trace string `json:"trace"`
+				Span  string `json:"span"`
+				Site  int    `json:"site"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("TRACE line %q: %v", line, err)
+			}
+			if ev.Trace != trace {
+				t.Fatalf("stitched span with foreign trace %q in %q", ev.Trace, line)
+			}
+			sites[ev.Site] = true
+			spans[ev.Span] = true
+		}
+		if len(sites) >= 3 && spans["commit"] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stitched trace never covered 3 sites; last reply:\n%s",
+				strings.Join(lines, "\n"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"x-submit", "submit", "opt-deliver", "to-deliver",
+		"prepare", "vote", "decide", "x-commit", "commit",
+	} {
+		if !spans[want] {
+			t.Fatalf("stitched trace missing span %q; have %v in\n%s",
+				want, spans, strings.Join(lines, "\n"))
+		}
+	}
+}

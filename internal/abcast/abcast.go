@@ -26,7 +26,7 @@
 package abcast
 
 import (
-	"fmt"
+	"strconv"
 
 	"otpdb/internal/transport"
 )
@@ -46,7 +46,17 @@ type MsgID struct {
 	Seq    uint64
 }
 
-func (m MsgID) String() string { return fmt.Sprintf("m%d.%d", m.Origin, m.Seq) }
+// String renders "m<origin>.<seq>". Built with strconv rather than
+// fmt: the trace ring formats an ID per recorded span, which puts this
+// on the traced commit path.
+func (m MsgID) String() string {
+	b := make([]byte, 1, 16)
+	b[0] = 'm'
+	b = strconv.AppendInt(b, int64(m.Origin), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, m.Seq, 10)
+	return string(b)
+}
 
 // EventKind distinguishes the two delivery primitives.
 type EventKind int
@@ -68,7 +78,7 @@ func (k EventKind) String() string {
 	case TO:
 		return "TO"
 	default:
-		return fmt.Sprintf("EventKind(%d)", int(k))
+		return "EventKind(" + strconv.Itoa(int(k)) + ")"
 	}
 }
 
@@ -98,6 +108,11 @@ type DataMsg struct {
 	ID      MsgID
 	Payload any
 }
+
+// TraceID surfaces the payload's trace ID (empty when the payload is
+// untraced), so TCP frames carrying broadcast bodies expose the trace
+// in their headers.
+func (d DataMsg) TraceID() string { return transport.TraceOf(d.Payload) }
 
 // OrderMsg is the sequencer's ordering announcement: global sequence
 // number Seq is assigned to message ID.

@@ -5,11 +5,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"otpdb"
+	"otpdb/internal/events"
 	"otpdb/internal/transport"
 )
 
@@ -17,6 +21,16 @@ import (
 type Options struct {
 	// Out receives progress lines (nil = silent).
 	Out io.Writer
+	// Events, when non-nil, is the flight recorder the run feeds: the
+	// cluster's causal transitions (epoch changes, suspicions,
+	// replacements, transfers) plus the harness's own fault injections
+	// and repairs. When nil the run creates a private one, so dump-on-
+	// violation works either way.
+	Events *events.Recorder
+	// DumpDir, when non-empty, receives a flight-recorder dump
+	// (flight-<scenario>-<seed>.json) whenever the run ends with
+	// invariant violations — the post-mortem artifact CI uploads.
+	DumpDir string
 }
 
 // RecoveryStat aggregates recovery times for one fault class: the time
@@ -50,7 +64,10 @@ type Result struct {
 	// Replacements reports the auto-replacement rounds the cluster won
 	// during the run, splitting detection hysteresis from repair cost.
 	Replacements []ReplacementMs `json:"replacements,omitempty"`
-	ElapsedSec   float64         `json:"elapsed_sec"`
+	// FlightDump is the path of the flight-recorder dump written when
+	// the run ended with violations (empty otherwise).
+	FlightDump string  `json:"flight_dump,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec"`
 }
 
 // msBetween is the span from a to b in milliseconds.
@@ -112,6 +129,11 @@ func RunKeep(sc Scenario, seed int64, opt Options) (*Result, *otpdb.Cluster, err
 	}
 	logf("chaos %s: seed=%d sites=%d shards=%d events=%d", sc.Name, seed, sc.Sites, shards, len(sched))
 
+	flight := opt.Events
+	if flight == nil {
+		flight = events.NewRecorder(4096)
+	}
+
 	w := newWorkload(sc, shards)
 	copts := []otpdb.Option{
 		otpdb.WithReplicas(sc.Sites),
@@ -119,6 +141,7 @@ func RunKeep(sc Scenario, seed int64, opt Options) (*Result, *otpdb.Cluster, err
 		otpdb.WithSeed(seed),
 		otpdb.WithNetworkDelay(200 * time.Microsecond),
 		otpdb.WithNetworkJitter(300 * time.Microsecond),
+		otpdb.WithEvents(flight),
 	}
 	if sc.AutoReplace > 0 {
 		copts = append(copts, otpdb.WithAutoReplace(sc.AutoReplace))
@@ -158,11 +181,11 @@ func RunKeep(sc Scenario, seed int64, opt Options) (*Result, *otpdb.Cluster, err
 	}
 	mon := startEpochMonitor(c, sc.Sites, shards)
 	phaseStart := time.Now()
-	anchors := runSchedule(c, sc, seed, sched, logf)
+	anchors := runSchedule(c, sc, seed, sched, flight, logf)
 	phaseEnd := time.Now()
 
 	// Repair everything the schedule left open, then drain the workload.
-	repairViolations := repairAll(c, sc, seed, anchors, logf)
+	repairViolations := repairAll(c, sc, seed, anchors, flight, logf)
 	close(stop)
 	if !waitGroupWithin(&wg, 90*time.Second) {
 		repairViolations = append(repairViolations, "workload did not drain within 90s of repairs")
@@ -190,6 +213,23 @@ func RunKeep(sc Scenario, seed int64, opt Options) (*Result, *otpdb.Cluster, err
 
 	res.Violations = violations
 	res.Pass = len(violations) == 0
+	if !res.Pass {
+		// The run failed an invariant: seal the causal log. Violations go
+		// in first so the dump is self-describing, then the whole ring is
+		// written as the post-mortem artifact.
+		for _, v := range violations {
+			flight.Record(-1, events.KindViolation, "check", v)
+		}
+		if opt.DumpDir != "" {
+			path := filepath.Join(opt.DumpDir, fmt.Sprintf("flight-%s-%d.json", sc.Name, seed))
+			if werr := os.WriteFile(path, flight.DumpJSON(), 0o644); werr == nil {
+				res.FlightDump = path
+				logf("chaos %s: flight recorder dumped to %s", sc.Name, path)
+			} else {
+				logf("chaos %s: flight dump failed: %v", sc.Name, werr)
+			}
+		}
+	}
 	rec.mu.Lock()
 	res.Submitted = len(rec.ids)
 	res.Acked = len(rec.acked)
@@ -268,7 +308,7 @@ func baseProfile(sc Scenario, seed int64, from, to int) (transport.LinkProfile, 
 // the recovery anchors of the disruptive events. Restarts run async so
 // a slow rejoin cannot skew later event times; their completions are
 // joined before returning.
-func runSchedule(c *otpdb.Cluster, sc Scenario, seed int64, sched Schedule, logf func(string, ...any)) []*anchor {
+func runSchedule(c *otpdb.Cluster, sc Scenario, seed int64, sched Schedule, flight *events.Recorder, logf func(string, ...any)) []*anchor {
 	f := c.Fault()
 	start := time.Now()
 	var anchors []*anchor
@@ -280,6 +320,15 @@ func runSchedule(c *otpdb.Cluster, sc Scenario, seed int64, sched Schedule, logf
 		if wait := e.At - time.Since(start); wait > 0 {
 			time.Sleep(wait)
 		}
+		// Heals and un-stalls are repairs; everything else the schedule
+		// injects is a fault. Both sides land in the causal log so a
+		// post-mortem can line cluster transitions up against what the
+		// harness was doing to it.
+		kind := events.KindFault
+		if e.Kind == "restart" || e.Kind == "heal" || e.Kind == "unstall" || e.Kind == "calm" {
+			kind = events.KindRepair
+		}
+		flight.Record(e.A, kind, "what", e.Kind, "b", strconv.Itoa(e.B))
 		now := time.Now()
 		switch e.Kind {
 		case "crash":
@@ -360,9 +409,10 @@ func runSchedule(c *otpdb.Cluster, sc Scenario, seed int64, sched Schedule, logf
 // partitions, clear links and stalls, and bring every crashed site
 // back — by waiting for auto-replace when the scenario armed it (its
 // acceptance criterion), by RestartSite otherwise. Returns violations.
-func repairAll(c *otpdb.Cluster, sc Scenario, seed int64, anchors []*anchor, logf func(string, ...any)) []string {
+func repairAll(c *otpdb.Cluster, sc Scenario, seed int64, anchors []*anchor, flight *events.Recorder, logf func(string, ...any)) []string {
 	var out []string
 	f := c.Fault()
+	flight.Record(-1, events.KindRepair, "what", "heal-all")
 	_ = f.HealAll()
 	_ = f.ClearLinks()
 	if sc.Regions > 1 {

@@ -175,6 +175,19 @@ type Replica struct {
 	shard       int
 	txnFails    *metrics.Counter
 
+	// traceIDs maps an in-flight message to the cluster-wide trace ID
+	// its request carried, so every span this replica records for it can
+	// be stitched with spans from other sites; txnKeys interns the
+	// formatted message ID so the several spans of one transaction share
+	// one string (the traced arm's E7 overhead is almost entirely GC
+	// amplification of per-span allocations against a large live heap —
+	// the ≤3% budget of DESIGN.md §12 holds only with the interning).
+	// Entries are removed at commit/abort; their own mutex keeps span()
+	// callable under r.mu.
+	traceMu  sync.Mutex
+	traceIDs map[abcast.MsgID]string
+	txnKeys  map[abcast.MsgID]string
+
 	// stallNanos, when nonzero, adds a sleep before each definitive
 	// delivery — the slow-disk fault of the chaos harness (a WAL device
 	// that has gone out to lunch). Unlike CommitDelay's load-independent
@@ -259,6 +272,8 @@ func New(cfg Config) (*Replica, error) {
 		trace:       cfg.Trace,
 		shard:       cfg.Shard,
 		txnFails:    cfg.Metrics.Counter("otp_txn_fail_total"),
+		traceIDs:    make(map[abcast.MsgID]string),
+		txnKeys:     make(map[abcast.MsgID]string),
 		waiters:     make(map[abcast.MsgID]func(CommitResult)),
 		classLast:   make(map[sproc.ClassID]int64),
 		activeSnaps: make(map[int64]int),
@@ -317,15 +332,47 @@ func New(cfg Config) (*Replica, error) {
 	return r, nil
 }
 
-// span records one lifecycle trace event. The nil guard keeps the
-// untraced path allocation-free (id.String() would otherwise format).
+// span records one lifecycle trace event, stamped with the message's
+// cluster-wide trace ID when its request carried one. The nil guard
+// keeps the untraced path allocation-free (id.String() would otherwise
+// format).
 func (r *Replica) span(id abcast.MsgID, span, note string) {
 	if r.trace == nil {
 		return
 	}
+	r.traceMu.Lock()
+	key, ok := r.txnKeys[id]
+	if !ok {
+		key = id.String()
+		r.txnKeys[id] = key
+	}
+	tid := r.traceIDs[id]
+	r.traceMu.Unlock()
 	r.trace.Record(metrics.TraceEvent{
-		Txn: id.String(), Span: span, Site: int(r.id), Shard: r.shard, Note: note,
+		Txn: key, Trace: tid, Span: span, Site: int(r.id), Shard: r.shard, Note: note,
 	})
+}
+
+// noteTrace associates a message with the trace ID its request
+// carried; forgetTrace drops the association (and the interned key) at
+// commit/abort.
+func (r *Replica) noteTrace(id abcast.MsgID, tid string) {
+	if r.trace == nil || tid == "" {
+		return
+	}
+	r.traceMu.Lock()
+	r.traceIDs[id] = tid
+	r.traceMu.Unlock()
+}
+
+func (r *Replica) forgetTrace(id abcast.MsgID) {
+	if r.trace == nil {
+		return
+	}
+	r.traceMu.Lock()
+	delete(r.traceIDs, id)
+	delete(r.txnKeys, id)
+	r.traceMu.Unlock()
 }
 
 // onTODelivered tracks the largest definitive index, globally and per
@@ -462,6 +509,7 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 			r.failWaiter(ev.ID, err)
 			return
 		}
+		r.noteTrace(ev.ID, req.Trace)
 		r.span(ev.ID, metrics.SpanOptDeliver, "")
 		// Count scheduler admissions for WaitCommits: optCount - commits
 		// equals the manager's pending set, and both counters live under
@@ -506,6 +554,7 @@ func (r *Replica) onDelivery(ev abcast.Event) {
 // snapshot any active query can still read.
 func (r *Replica) onCommit(tx *otp.MultiTxn) {
 	r.span(tx.ID, metrics.SpanCommit, "")
+	r.forgetTrace(tx.ID)
 	r.mu.Lock()
 	r.commits++
 	r.commitCond.Broadcast()
@@ -638,6 +687,7 @@ func (r *Replica) resolveWaiter(id abcast.MsgID, res CommitResult) {
 func (r *Replica) failWaiter(id abcast.MsgID, err error) {
 	r.txnFails.Inc()
 	r.span(id, metrics.SpanAbort, err.Error())
+	r.forgetTrace(id)
 	r.resolveWaiter(id, CommitResult{Err: err})
 }
 
@@ -683,6 +733,7 @@ func (r *Replica) SubmitRequest(req sproc.Request, fn func(CommitResult)) (abcas
 	if fn != nil {
 		r.waiters[id] = fn
 	}
+	r.noteTrace(id, req.Trace)
 	r.span(id, metrics.SpanSubmit, req.Proc)
 	return id, nil
 }

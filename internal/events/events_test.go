@@ -1,0 +1,101 @@
+package events
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(i, KindSuspect, "peer", "n1")
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d events, want 4", len(evs))
+	}
+	if evs[0].Site != 2 || evs[3].Site != 5 {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+	if evs[0].At.IsZero() {
+		t.Fatal("At not stamped")
+	}
+	if evs[0].Fields["peer"] != "n1" {
+		t.Fatalf("fields = %+v", evs[0].Fields)
+	}
+	if got := evs[0].String(); got != "suspect peer=n1" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRecorderWatch(t *testing.T) {
+	r := NewRecorder(16)
+	ch, cancel := r.Watch(8)
+	r.Record(0, KindEpochChange, "epoch", "2")
+	ev := <-ch
+	if ev.Kind != KindEpochChange || ev.Fields["epoch"] != "2" {
+		t.Fatalf("watched event = %+v", ev)
+	}
+	cancel()
+	if _, open := <-ch; open {
+		t.Fatal("channel not closed after cancel")
+	}
+	// Recording after cancel must not panic or block.
+	r.Record(0, KindClear)
+	cancel() // double-cancel is safe
+}
+
+func TestRecorderDumpJSON(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(1, KindViolation, "check", "digest")
+	var evs []Event
+	if err := json.Unmarshal(r.DumpJSON(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != KindViolation {
+		t.Fatalf("dump = %+v", evs)
+	}
+	// Empty recorder dumps a valid empty array.
+	if err := json.Unmarshal(NewRecorder(1).DumpJSON(), &evs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, KindFault)
+	if r.Events() != nil {
+		t.Fatal("nil recorder should return no events")
+	}
+	ch, cancel := r.Watch(1)
+	if _, open := <-ch; open {
+		t.Fatal("nil recorder watch should be closed")
+	}
+	cancel()
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ch, cancel := r.Watch(4)
+			defer cancel()
+			for i := 0; i < 500; i++ {
+				r.Record(w, KindStatex, "chunk", "1")
+				_ = r.Events()
+				select {
+				case <-ch:
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(r.Events()) != 128 {
+		t.Fatalf("ring size = %d", len(r.Events()))
+	}
+}

@@ -29,6 +29,9 @@ type ChaosBenchParams struct {
 	Quick bool
 	// Out, when non-nil, streams per-scenario progress.
 	Out io.Writer
+	// DumpDir, when non-empty, receives a flight-recorder dump for
+	// every scenario that fails an invariant (chaos.Options.DumpDir).
+	DumpDir string
 }
 
 // DefaultChaosBenchParams is the tracked configuration.
@@ -100,7 +103,7 @@ func (r ChaosReport) Failures() int {
 func ChaosBench(p ChaosBenchParams) (ChaosReport, error) {
 	rep := ChaosReport{Seed: p.Seed, ByClass: make(map[string]ChaosClassStat)}
 	for _, sc := range chaos.Scenarios(p.Quick) {
-		res, err := chaos.Run(sc, p.Seed, chaos.Options{Out: p.Out})
+		res, err := chaos.Run(sc, p.Seed, chaos.Options{Out: p.Out, DumpDir: p.DumpDir})
 		if err != nil {
 			return rep, fmt.Errorf("chaos %s: %w", sc.Name, err)
 		}

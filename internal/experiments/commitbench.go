@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"time"
 
 	"otpdb"
@@ -120,12 +122,38 @@ type CommitBenchReport struct {
 	// pass/fail plus recovery time and commit availability per fault
 	// class, and the auto-replacement detect/rebuild split (schema v7).
 	Chaos *ChaosReport `json:"chaos,omitempty"`
+	// TraceOverhead is the tracing-cost A/B: the E7 end-to-end cell run
+	// with and without a trace ring, interleaved, medians over runs
+	// (schema v8). The ≤3% budget is asserted in CI's bench-smoke.
+	TraceOverhead *TraceOverheadStats `json:"trace_overhead,omitempty"`
+}
+
+// TraceOverheadStats is the traced-vs-untraced E7 A/B (DESIGN.md §12):
+// both arms run with the metrics registry enabled — the question is
+// what the per-span trace ring adds on top of a monitored deployment.
+// OverheadPercent is the median paired p50-latency delta (see
+// TraceOverheadBench for why p50, not throughput, is the budgeted
+// figure); throughput medians ride along for context.
+type TraceOverheadStats struct {
+	Runs              int     `json:"runs"`
+	Txns              int     `json:"txns"`
+	UntracedPerSec    float64 `json:"untraced_per_sec"`
+	TracedPerSec      float64 `json:"traced_per_sec"`
+	UntracedP50Micros float64 `json:"untraced_p50_us"`
+	TracedP50Micros   float64 `json:"traced_p50_us"`
+	OverheadPercent   float64 `json:"overhead_percent"`
+	// NoisePercent is the null calibration: the median |p50 delta| of
+	// untraced-vs-untraced pairs on the same box, i.e. what this
+	// environment reports when the true difference is zero. An
+	// OverheadPercent at or below the noise floor is indistinguishable
+	// from zero; CI's budget assert allows it on top of the 3%.
+	NoisePercent float64 `json:"noise_percent"`
 }
 
 // CommitBench runs the tracked commit-path benchmark.
 func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 	rep := CommitBenchReport{
-		Schema: "otpdb-bench-commit/v7",
+		Schema: "otpdb-bench-commit/v8",
 		Go:     runtime.Version(),
 		CPUs:   runtime.NumCPU(),
 		Quick:  quick,
@@ -201,16 +229,128 @@ func CommitBench(p CommitBenchParams, quick bool) (CommitBenchReport, error) {
 		return rep, fmt.Errorf("chaos: %w", err)
 	}
 	rep.Chaos = &ch
+
+	to, err := TraceOverheadBench(p)
+	if err != nil {
+		return rep, fmt.Errorf("trace overhead: %w", err)
+	}
+	rep.TraceOverhead = &to
 	return rep, nil
+}
+
+// TraceOverheadBench measures what span recording adds to the E7
+// commit path: the end-to-end cell runs in two arms — registry only,
+// and registry plus a 4096-span trace ring — using the same 8000×7
+// protocol as the §12 registry A/B.
+//
+// The budgeted figure is the paired p50-latency delta, not the
+// throughput delta. A shared runner's throughput swings ±10% between
+// back-to-back cells (scheduler interference hits wall-clock
+// directly), which buries a 2% effect; the commit latency *median*
+// over 8000 observations is immune to interference spikes — they
+// land in the tail — and its histogram-bucket resolution (~2%) is
+// right at the scale being measured. Arms alternate order between
+// pairs so drift biases neither direction, the median over pairs
+// shrugs off whole-pair outliers, a discarded warmup pair absorbs
+// first-run effects, and negative deltas (the traced arm measuring
+// faster — pure noise) clamp to zero.
+//
+// Even so, a loaded box can push the paired medians apart by more
+// than the effect under measurement. The run therefore calibrates its
+// own null: three untraced-vs-untraced pairs whose median |delta| is
+// what this environment reports for a true difference of zero.
+// NoisePercent carries that floor; the CI budget assert is
+// overhead ≤ 3% + noise, so a quiet box enforces the budget tightly
+// and a box that cannot resolve 3% does not fail the build on its own
+// scheduling jitter.
+func TraceOverheadBench(p CommitBenchParams) (TraceOverheadStats, error) {
+	runs, txns, nullRuns := 7, 8000, 3
+	cell := p
+	cell.Txns = txns
+	arm := func(traced bool) (LatencyStats, error) {
+		return endToEndRun(cell, traced)
+	}
+	for _, traced := range []bool{false, true} { // warmup, discarded
+		if _, err := arm(traced); err != nil {
+			return TraceOverheadStats{}, err
+		}
+	}
+	untraced := make([]float64, 0, runs)
+	traced := make([]float64, 0, runs)
+	untracedP50 := make([]float64, 0, runs)
+	tracedP50 := make([]float64, 0, runs)
+	deltas := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		var u, tr LatencyStats
+		for _, arm2 := range []bool{i%2 == 1, i%2 == 0} {
+			got, err := arm(arm2)
+			if err != nil {
+				return TraceOverheadStats{}, err
+			}
+			if arm2 {
+				tr = got
+			} else {
+				u = got
+			}
+		}
+		untraced = append(untraced, u.ThroughputPerSec)
+		traced = append(traced, tr.ThroughputPerSec)
+		untracedP50 = append(untracedP50, u.P50Micros)
+		tracedP50 = append(tracedP50, tr.P50Micros)
+		deltas = append(deltas, (tr.P50Micros-u.P50Micros)/u.P50Micros*100)
+	}
+	overhead := median(deltas)
+	if overhead < 0 {
+		overhead = 0
+	}
+	nullDeltas := make([]float64, 0, nullRuns)
+	for i := 0; i < nullRuns; i++ {
+		a, err := arm(false)
+		if err != nil {
+			return TraceOverheadStats{}, err
+		}
+		b, err := arm(false)
+		if err != nil {
+			return TraceOverheadStats{}, err
+		}
+		nullDeltas = append(nullDeltas, math.Abs((b.P50Micros-a.P50Micros)/a.P50Micros*100))
+	}
+	return TraceOverheadStats{
+		Runs:              runs,
+		Txns:              txns,
+		UntracedPerSec:    median(untraced),
+		TracedPerSec:      median(traced),
+		UntracedP50Micros: median(untracedP50),
+		TracedP50Micros:   median(tracedP50),
+		OverheadPercent:   overhead,
+		NoisePercent:      median(nullDeltas),
+	}, nil
+}
+
+// median of a non-empty slice (sorted copy, lower middle for even n).
+func median(xs []float64) float64 {
+	s := append([]float64{}, xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
 }
 
 // endToEndCommitCell measures synchronous full-stack commits: broadcast,
 // optimistic execution, consensus confirmation, local commit.
 func endToEndCommitCell(p CommitBenchParams) (LatencyStats, error) {
+	return endToEndRun(p, false)
+}
+
+// endToEndRun is the E7 cell body, parameterized by whether a trace
+// ring records spans (the traced arm of TraceOverheadBench).
+func endToEndRun(p CommitBenchParams, traced bool) (LatencyStats, error) {
 	// The metrics registry stays enabled here, so the tracked E7 numbers
 	// carry the instrumentation cost — what a monitored deployment pays
 	// (DESIGN.md §12 bounds it against an unregistered run).
-	cluster, err := otpdb.NewCluster(otpdb.WithReplicas(p.Sites), otpdb.WithMetrics(metrics.NewRegistry()))
+	opts := []otpdb.Option{otpdb.WithReplicas(p.Sites), otpdb.WithMetrics(metrics.NewRegistry())}
+	if traced {
+		opts = append(opts, otpdb.WithTraceRing(metrics.NewTraceRing(4096)))
+	}
+	cluster, err := otpdb.NewCluster(opts...)
 	if err != nil {
 		return LatencyStats{}, err
 	}
@@ -339,6 +479,13 @@ func (r CommitBenchReport) Table() Table {
 				fmt.Sprintf("%d", c.Acked), "-",
 				fmt.Sprintf("avail=%.3f", c.Availability), "-", "-")
 		}
+	}
+	if r.TraceOverhead != nil {
+		o := r.TraceOverhead
+		t.AddRow(fmt.Sprintf("trace overhead (%d×%d A/B)", o.Txns, o.Runs),
+			fmt.Sprintf("%d", o.Runs*o.Txns*2), fmt.Sprintf("%.0f", o.TracedPerSec),
+			fmt.Sprintf("+%.2f%%", o.OverheadPercent),
+			fmt.Sprintf("noise %.2f%%", o.NoisePercent), "-")
 	}
 	return t
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"otpdb/internal/events"
 	"otpdb/internal/metrics"
 	"otpdb/internal/transport"
 )
@@ -70,6 +71,9 @@ type Config struct {
 	// events, false-suspect count, suspicion durations) under the
 	// scope's labels.
 	Metrics *metrics.Scope
+	// Events, when non-nil, receives suspect/clear flight-recorder
+	// entries so the rare transitions survive in the causal log.
+	Events *events.Recorder
 }
 
 // Detector broadcasts heartbeats and tracks peer liveness. The monitored
@@ -82,6 +86,7 @@ type Detector struct {
 	interval time.Duration
 	timeout  time.Duration
 	inc      uint64 // this process's incarnation, stamped on heartbeats
+	events   *events.Recorder
 
 	mu          sync.Mutex
 	lastSeen    map[transport.NodeID]time.Time
@@ -119,6 +124,7 @@ func New(ep transport.Endpoint, cfg Config) *Detector {
 		interval:     cfg.Interval,
 		timeout:      cfg.Timeout,
 		inc:          cfg.Incarnation,
+		events:       cfg.Events,
 		lastSeen:     make(map[transport.NodeID]time.Time),
 		lastInc:      make(map[transport.NodeID]uint64),
 		suspected:    make(map[transport.NodeID]bool),
@@ -226,6 +232,7 @@ func (d *Detector) SetMembers(ids []transport.NodeID) {
 	callbacks := d.onChange
 	d.mu.Unlock()
 	for _, n := range cleared {
+		d.events.Record(int(d.ep.ID()), events.KindClear, "peer", n.String(), "reason", "epoch-change")
 		for _, fn := range callbacks {
 			fn(n, false)
 		}
@@ -298,6 +305,7 @@ func (d *Detector) refresh(n transport.NodeID, inc uint64) {
 	callbacks := d.onChange
 	d.mu.Unlock()
 	if flipped {
+		d.events.Record(int(d.ep.ID()), events.KindClear, "peer", n.String(), "reason", "heartbeat")
 		for _, fn := range callbacks {
 			fn(n, false)
 		}
@@ -322,6 +330,7 @@ func (d *Detector) sweep() {
 	callbacks := d.onChange
 	d.mu.Unlock()
 	for _, n := range newly {
+		d.events.Record(int(d.ep.ID()), events.KindSuspect, "peer", n.String())
 		for _, fn := range callbacks {
 			fn(n, true)
 		}

@@ -1,8 +1,11 @@
 package member
 
 import (
+	"fmt"
+	"strconv"
 	"sync"
 
+	"otpdb/internal/events"
 	"otpdb/internal/transport"
 )
 
@@ -18,6 +21,8 @@ type Tracker struct {
 	cfg  Config
 	ids  []transport.NodeID // precomputed cfg.IDs(); immutable once set
 	subs []func(Config)
+	rec  *events.Recorder
+	site int
 }
 
 // NewTracker creates a tracker at an initial configuration (the
@@ -58,6 +63,16 @@ func (t *Tracker) Members() []transport.NodeID {
 	return t.cfg.IDs()
 }
 
+// SetEvents arms the flight recorder: every installed configuration is
+// logged as an epoch-change event at the given site. Call before the
+// commit stream starts applying changes.
+func (t *Tracker) SetEvents(rec *events.Recorder, site int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rec = rec
+	t.site = site
+}
+
 // OnChange registers a subscriber invoked with every newly applied
 // configuration. Subscribers run synchronously on the applying
 // goroutine (the replica's commit path) and must not block; they are
@@ -80,7 +95,11 @@ func (t *Tracker) Apply(cfg Config) bool {
 	t.cfg = cfg
 	t.ids = cfg.IDs()
 	subs := t.subs
+	rec, site := t.rec, t.site
 	t.mu.Unlock()
+	rec.Record(site, events.KindEpochChange,
+		"epoch", strconv.FormatUint(cfg.Epoch, 10),
+		"members", fmt.Sprint(cfg.IDs()))
 	for _, fn := range subs {
 		fn(cfg)
 	}

@@ -163,6 +163,70 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return time.Duration(v)
 }
 
+// CumulativeLE reports how many samples fell in buckets whose
+// representative value is at most n nanoseconds — the cumulative count
+// behind a Prometheus le bucket. Monotonic in n because bucketValue is
+// monotonic in the bucket index.
+func (h *Histogram) CumulativeLE(n int64) int64 {
+	var total int64
+	for i := 0; i < histNumBucket; i++ {
+		if bucketValue(i) > n {
+			break
+		}
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// Export snapshots the histogram into its wire form: exact count, sum,
+// min and max plus the sparse list of occupied buckets. The snapshot
+// is not atomic across fields (concurrent Observe calls may land
+// between loads); federation tolerates the skew.
+func (h *Histogram) Export() HistExport {
+	ex := HistExport{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if mn := h.min.Load(); mn != math.MaxInt64 {
+		ex.Min = mn
+	}
+	for i := 0; i < histNumBucket; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			ex.Buckets = append(ex.Buckets, BucketCount{Idx: i, N: c})
+		}
+	}
+	return ex
+}
+
+// Merge folds an exported histogram into this one: bucket-wise adds
+// plus count/sum accumulation and min/max widening. Used by the
+// federation rollup; idx values outside the layout are dropped.
+func (h *Histogram) Merge(ex HistExport) {
+	if ex.Count == 0 {
+		return
+	}
+	h.count.Add(ex.Count)
+	h.sum.Add(ex.Sum)
+	for {
+		cur := h.min.Load()
+		if ex.Min >= cur || h.min.CompareAndSwap(cur, ex.Min) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ex.Max <= cur || h.max.CompareAndSwap(cur, ex.Max) {
+			break
+		}
+	}
+	for _, b := range ex.Buckets {
+		if b.Idx >= 0 && b.Idx < histNumBucket {
+			h.buckets[b.Idx].Add(b.N)
+		}
+	}
+}
+
 // Summary is a formatted snapshot of a histogram.
 type Summary struct {
 	Count          int

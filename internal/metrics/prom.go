@@ -3,20 +3,49 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
+// latencyLadder is the le bucket ladder (seconds) used when rendering
+// duration histograms in the Prometheus text format. It spans 100µs to
+// 120s so WAN round-trips (E13 region RTTs run into the hundreds of
+// milliseconds, convergence waits into tens of seconds) land in finite
+// buckets instead of clamping silently; anything beyond the top rung
+// is counted by the otp_hist_overflow_total companion family.
+var latencyLadder = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// overflowFamily counts samples above the top finite le rung, one
+// series per histogram family (label hist=<family name>).
+const overflowFamily = "otp_hist_overflow_total"
+
 // WriteProm renders the registry snapshot in the Prometheus text
 // exposition format (version 0.0.4). Counters and gauges render as
-// their kind; Func collectors render as gauges; histograms render as
-// summaries (quantile series plus _sum and _count) — duration
-// histograms in seconds, size histograms as raw values. Families are
-// emitted in sorted order with one # TYPE header each.
+// their kind; Func collectors render as gauges; duration histograms
+// render as native histograms (cumulative le buckets up to 120s, +Inf,
+// _sum and _count, all in seconds); size histograms render as
+// summaries over raw values. Families are emitted in sorted order with
+// one # TYPE header each, except otp_hist_overflow_total — the
+// per-histogram count of samples above the top finite bucket — which
+// is derived during the walk and appended last.
 func WriteProm(w io.Writer, r *Registry) error {
-	snap := r.Snapshot()
+	return WritePromSamples(w, r.Snapshot())
+}
+
+// WritePromSamples renders an explicit sample list (pre-sorted by name
+// then label set, as Registry.Snapshot and Federate produce) in the
+// same format as WriteProm.
+func WritePromSamples(w io.Writer, snap []Sample) error {
 	lastFamily := ""
+	var overflow []Sample
 	for _, s := range snap {
 		if s.Name != lastFamily {
 			lastFamily = s.Name
@@ -27,6 +56,27 @@ func WriteProm(w io.Writer, r *Registry) error {
 		if err := writeSample(w, s); err != nil {
 			return err
 		}
+		if s.Kind == KindHistogram {
+			top := int64(latencyLadder[len(latencyLadder)-1] * float64(time.Second))
+			if over := int64(s.Hist.Count()) - s.Hist.CumulativeLE(top); over > 0 {
+				labels := append(append([]Label{}, s.Labels...), Label{Key: "hist", Value: s.Name})
+				sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+				overflow = append(overflow, Sample{
+					Name: overflowFamily, Labels: labels,
+					Kind: KindCounter, Value: float64(over),
+				})
+			}
+		}
+	}
+	if len(overflow) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", overflowFamily); err != nil {
+			return err
+		}
+		for _, s := range overflow {
+			if err := writeSample(w, s); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -35,7 +85,9 @@ func promType(k Kind) string {
 	switch k {
 	case KindCounter:
 		return "counter"
-	case KindHistogram, KindSizeHistogram:
+	case KindHistogram:
+		return "histogram"
+	case KindSizeHistogram:
 		return "summary"
 	default:
 		return "gauge"
@@ -44,25 +96,38 @@ func promType(k Kind) string {
 
 func writeSample(w io.Writer, s Sample) error {
 	switch s.Kind {
-	case KindHistogram, KindSizeHistogram:
-		conv := func(d time.Duration) float64 {
-			if s.Kind == KindHistogram {
-				return d.Seconds()
+	case KindHistogram:
+		count := int64(s.Hist.Count())
+		for _, le := range latencyLadder {
+			labels := promLabels(s.Labels, "le", promFloat(le))
+			n := s.Hist.CumulativeLE(int64(le * float64(time.Second)))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labels, n); err != nil {
+				return err
 			}
-			return float64(d)
 		}
+		labels := promLabels(s.Labels, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labels, count); err != nil {
+			return err
+		}
+		labels = promLabels(s.Labels)
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labels, promFloat(s.Hist.Sum().Seconds())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labels, count)
+		return err
+	case KindSizeHistogram:
 		sum := s.Hist.Summarize()
 		for _, q := range []struct {
 			q string
 			v time.Duration
 		}{{"0.5", sum.P50}, {"0.95", sum.P95}, {"0.99", sum.P99}} {
 			labels := promLabels(s.Labels, "quantile", q.q)
-			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labels, promFloat(conv(q.v))); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labels, promFloat(float64(q.v))); err != nil {
 				return err
 			}
 		}
 		labels := promLabels(s.Labels)
-		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labels, promFloat(conv(s.Hist.Sum()))); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labels, promFloat(float64(s.Hist.Sum()))); err != nil {
 			return err
 		}
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labels, sum.Count)

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromLabelEscaping checks backslash, quote and newline survive in
+// valid escaped form.
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("path", `C:\data`, "q", `say "hi"`, "nl", "a\nb").Counter("esc_total").Inc()
+	var sb strings.Builder
+	if err := WriteProm(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`path="C:\\data"`,
+		`q="say \"hi\""`,
+		`nl="a\nb"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 2 { // TYPE header + one sample line
+		t.Fatalf("raw newline leaked into exposition:\n%q", out)
+	}
+}
+
+// TestPromDeterministicOrder renders the same registry repeatedly and
+// a differently-populated registry with the same series set, expecting
+// byte-identical output: snapshot order is a contract.
+func TestPromDeterministicOrder(t *testing.T) {
+	build := func(order []int) *Registry {
+		r := NewRegistry()
+		for _, i := range order {
+			s := r.Scope("site", strconv.Itoa(i))
+			s.Counter("a_total").Add(uint64(7))
+			s.Gauge("b_gauge").Set(3)
+			s.Histogram("c_seconds").Observe(time.Millisecond)
+		}
+		return r
+	}
+	var want string
+	for trial, order := range [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		var sb strings.Builder
+		if err := WriteProm(&sb, build(order)); err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			want = sb.String()
+			continue
+		}
+		if sb.String() != want {
+			t.Fatalf("registration order changed exposition:\n%s\nvs\n%s", want, sb.String())
+		}
+	}
+	// One TYPE header per family, before any of its samples.
+	lines := strings.Split(strings.TrimSpace(want), "\n")
+	seenType := make(map[string]bool)
+	for _, line := range lines {
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fam := strings.Fields(name)[0]
+			if seenType[fam] {
+				t.Fatalf("duplicate TYPE header for %s", fam)
+			}
+			seenType[fam] = true
+		}
+	}
+}
+
+// TestPromHistogramConsistency is the property test: for random sample
+// sets, the rendered histogram must have monotonically non-decreasing
+// le buckets, +Inf equal to _count, _count equal to the sample count,
+// and _sum within quantization error of the true sum.
+func TestPromHistogramConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		h := NewHistogram()
+		n := 1 + rng.Intn(400)
+		var trueSum float64
+		for i := 0; i < n; i++ {
+			// Log-uniform from 1 ns to ~316 s: spans the whole ladder and
+			// beyond the 120 s top rung.
+			d := time.Duration(math.Pow(10, rng.Float64()*11.5))
+			h.Observe(d)
+			trueSum += d.Seconds()
+		}
+		s := Sample{Name: "prop_seconds", Kind: KindHistogram, Hist: h}
+		var sb strings.Builder
+		if err := WritePromSamples(&sb, []Sample{s}); err != nil {
+			t.Fatal(err)
+		}
+		var prev int64 = -1
+		var inf, count int64 = -1, -1
+		var sum float64
+		for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+			switch {
+			case strings.HasPrefix(line, "prop_seconds_bucket"):
+				v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v < prev {
+					t.Fatalf("trial %d: bucket counts not monotonic at %q:\n%s", trial, line, sb.String())
+				}
+				prev = v
+				if strings.Contains(line, `le="+Inf"`) {
+					inf = v
+				}
+			case strings.HasPrefix(line, "prop_seconds_count"):
+				count, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			case strings.HasPrefix(line, "prop_seconds_sum"):
+				sum, _ = strconv.ParseFloat(strings.Fields(line)[1], 64)
+			}
+		}
+		if inf != int64(n) || count != int64(n) {
+			t.Fatalf("trial %d: +Inf=%d count=%d want %d", trial, inf, count, n)
+		}
+		if diff := sum - trueSum; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: sum=%v true=%v", trial, sum, trueSum)
+		}
+	}
+}
+
+// TestPromOverflowCounter: samples beyond the 120s ladder top must be
+// counted in otp_hist_overflow_total instead of clamping silently.
+func TestPromOverflowCounter(t *testing.T) {
+	r := NewRegistry()
+	h := r.Scope("site", "3").Histogram("e13_rtt_seconds")
+	h.Observe(50 * time.Millisecond)
+	h.Observe(200 * time.Second) // beyond the top rung
+	h.Observe(400 * time.Second)
+	var sb strings.Builder
+	if err := WriteProm(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE otp_hist_overflow_total counter\n") {
+		t.Fatalf("missing overflow TYPE header:\n%s", out)
+	}
+	want := `otp_hist_overflow_total{hist="e13_rtt_seconds",site="3"} 2`
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing %q:\n%s", want, out)
+	}
+	// The finite buckets still account for the in-range sample.
+	if !strings.Contains(out, `e13_rtt_seconds_bucket{site="3",le="120"} 1`) {
+		t.Fatalf("top finite bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `e13_rtt_seconds_bucket{site="3",le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket wrong:\n%s", out)
+	}
+}

@@ -157,8 +157,11 @@ func TestWriteProm(t *testing.T) {
 		`otp_reorder_total{site="0"} 3` + "\n",
 		"# TYPE otp_pending gauge\n",
 		`otp_pending{shard="1",site="0"} 9` + "\n",
-		"# TYPE wal_fsync_seconds summary\n",
-		`wal_fsync_seconds{site="0",quantile="0.5"} 0.0015`,
+		"# TYPE wal_fsync_seconds histogram\n",
+		`wal_fsync_seconds_bucket{site="0",le="0.001"} 0` + "\n",
+		`wal_fsync_seconds_bucket{site="0",le="0.0025"} 1` + "\n",
+		`wal_fsync_seconds_bucket{site="0",le="+Inf"} 1` + "\n",
+		`wal_fsync_seconds_sum{site="0"} 0.0015`,
 		`wal_fsync_seconds_count{site="0"} 1` + "\n",
 		"# TYPE transport_coalesce_batch summary\n",
 		`transport_coalesce_batch_sum{site="0"} 16` + "\n",

@@ -1,24 +1,39 @@
 package metrics
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
 
 // Span names used by the transaction lifecycle trace. Components
 // record whichever apply; a reordered transaction records OptDeliver
-// more than once.
+// more than once. The x-* spans are the cross-shard coordinator's 2PC
+// phases; net-recv marks a traced payload arriving over the TCP
+// transport at a remote site.
 const (
 	SpanSubmit     = "submit"
 	SpanOptDeliver = "opt-deliver"
 	SpanTODeliver  = "to-deliver"
 	SpanCommit     = "commit"
 	SpanAbort      = "abort"
+	SpanXSubmit    = "x-submit"
+	SpanPrepare    = "prepare"
+	SpanVote       = "vote"
+	SpanDecide     = "decide"
+	SpanXCommit    = "x-commit"
+	SpanXAbort     = "x-abort"
+	SpanNetRecv    = "net-recv"
 )
 
 // TraceEvent is one lifecycle span of one transaction at one site.
+// Txn is the local message or cross-shard transaction identifier;
+// Trace, when set, is the cluster-wide trace ID that stitches the
+// spans of one logical transaction across sites and shards.
 type TraceEvent struct {
 	Txn   string    `json:"txn"`
+	Trace string    `json:"trace,omitempty"`
 	Span  string    `json:"span"`
 	Site  int       `json:"site"`
 	Shard int       `json:"shard"`
@@ -26,13 +41,69 @@ type TraceEvent struct {
 	Note  string    `json:"note,omitempty"`
 }
 
+// Slot string capacities. Fields longer than their cap are truncated
+// at record time. The identifier caps are sized for the worst case,
+// not the common one: a cross-shard trace ID is
+// "t" + "x<origin>.<inc>.<seq>" where Inc is a persisted unix-nano
+// incarnation (19–20 digits) and both uint64s can reach 20 digits —
+// 46 bytes. A truncated identifier is not cosmetic: Find matches by
+// exact string, so a clipped ID makes the span unfindable (TRACE
+// returns n=0). Only free-form notes (error text) may clip.
+const (
+	slotTxnCap   = 48
+	slotTraceCap = 48
+	slotSpanCap  = 16
+	slotNoteCap  = 64
+)
+
+// traceSlot is one retained span in fixed, pointer-free storage. The
+// ring's backing array holds no pointers at all, so the garbage
+// collector never scans it — with a 4096-slot ring live on every
+// replica, per-cycle scan cost (paid as GC assist inside the commit
+// path) is what the traced-arm E7 budget of DESIGN.md §12 is spent
+// on, not the record itself.
+type traceSlot struct {
+	at                                 int64 // unix nanoseconds
+	site, shard                        int32
+	txnLen, traceLen, spanLen, noteLen uint8
+	txn                                [slotTxnCap]byte
+	trace                              [slotTraceCap]byte
+	span                               [slotSpanCap]byte
+	note                               [slotNoteCap]byte
+}
+
+func (s *traceSlot) set(ev TraceEvent) {
+	s.at = ev.At.UnixNano()
+	s.site, s.shard = int32(ev.Site), int32(ev.Shard)
+	s.txnLen = uint8(copy(s.txn[:], ev.Txn))
+	s.traceLen = uint8(copy(s.trace[:], ev.Trace))
+	s.spanLen = uint8(copy(s.span[:], ev.Span))
+	s.noteLen = uint8(copy(s.note[:], ev.Note))
+}
+
+func (s *traceSlot) event() TraceEvent {
+	return TraceEvent{
+		Txn:   string(s.txn[:s.txnLen]),
+		Trace: string(s.trace[:s.traceLen]),
+		Span:  string(s.span[:s.spanLen]),
+		Site:  int(s.site),
+		Shard: int(s.shard),
+		At:    time.Unix(0, s.at),
+		Note:  string(s.note[:s.noteLen]),
+	}
+}
+
 // TraceRing is a fixed-capacity ring buffer of lifecycle spans: the
 // most recent Cap events are retained, older ones are overwritten.
-// Record is a mutex-guarded slot write (no allocation); a nil
-// *TraceRing discards events, so components thread it unconditionally.
+// Record is a mutex-guarded slot write (no allocation — string
+// contents are copied into pointer-free slots, so the ring adds
+// nothing to GC scan work); a nil *TraceRing discards events, so
+// components thread it unconditionally. Reads (Events, Find)
+// materialize fresh TraceEvents and are the expensive side — they are
+// operator-frequency, Record is commit-frequency.
 type TraceRing struct {
 	mu   sync.Mutex
-	buf  []TraceEvent
+	buf  []traceSlot
 	next int
 	full bool
 }
@@ -43,7 +114,7 @@ func NewTraceRing(capacity int) *TraceRing {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &TraceRing{buf: make([]TraceEvent, capacity)}
+	return &TraceRing{buf: make([]traceSlot, capacity)}
 }
 
 // Record appends one span, stamping At when zero.
@@ -55,7 +126,7 @@ func (t *TraceRing) Record(ev TraceEvent) {
 		ev.At = time.Now()
 	}
 	t.mu.Lock()
-	t.buf[t.next] = ev
+	t.buf[t.next].set(ev)
 	t.next++
 	if t.next == len(t.buf) {
 		t.next = 0
@@ -72,20 +143,59 @@ func (t *TraceRing) Events() []TraceEvent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !t.full {
-		return append([]TraceEvent{}, t.buf[:t.next]...)
+		out := make([]TraceEvent, 0, t.next)
+		for i := 0; i < t.next; i++ {
+			out = append(out, t.buf[i].event())
+		}
+		return out
 	}
 	out := make([]TraceEvent, 0, len(t.buf))
-	out = append(out, t.buf[t.next:]...)
-	return append(out, t.buf[:t.next]...)
+	for i := t.next; i < len(t.buf); i++ {
+		out = append(out, t.buf[i].event())
+	}
+	for i := 0; i < t.next; i++ {
+		out = append(out, t.buf[i].event())
+	}
+	return out
 }
 
-// Find returns the retained spans of one transaction, in record order.
-func (t *TraceRing) Find(txn string) []TraceEvent {
+// Find returns the retained spans matching key — by local transaction
+// identifier or by cluster-wide trace ID — in record order.
+func (t *TraceRing) Find(key string) []TraceEvent {
 	var out []TraceEvent
 	for _, ev := range t.Events() {
-		if ev.Txn == txn {
+		if ev.Txn == key || (ev.Trace != "" && ev.Trace == key) {
 			out = append(out, ev)
 		}
 	}
 	return out
+}
+
+// StitchTraces merges span sets gathered from several sites into one
+// causally ordered timeline: sorted by At, ties broken by site then
+// span name so the order is deterministic. Duplicate events (the same
+// site reporting through two paths) collapse.
+func StitchTraces(sets ...[]TraceEvent) []TraceEvent {
+	var all []TraceEvent
+	seen := make(map[string]bool)
+	for _, set := range sets {
+		for _, ev := range set {
+			k := fmt.Sprintf("%s|%s|%s|%d|%d|%d", ev.Txn, ev.Trace, ev.Span, ev.Site, ev.Shard, ev.At.UnixNano())
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			all = append(all, ev)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].At.Equal(all[j].At) {
+			return all[i].At.Before(all[j].At)
+		}
+		if all[i].Site != all[j].Site {
+			return all[i].Site < all[j].Site
+		}
+		return all[i].Span < all[j].Span
+	})
+	return all
 }

@@ -38,6 +38,12 @@ type CoordConfig struct {
 	// latency, cross-shard commits/aborts/retries) under the scope's
 	// labels.
 	Metrics *metrics.Scope
+	// Trace, when non-nil, receives the coordinator's 2PC spans
+	// (x-submit, prepare, vote, decide, x-commit/x-abort) and arms
+	// cluster-wide trace IDs: every Exec mints one ID that rides the
+	// prepare and decide requests into every touched shard, so each
+	// site's local spans stitch into one tree.
+	Trace *metrics.TraceRing
 }
 
 // ShardTO locates a cross-shard transaction in one shard's definitive
@@ -58,6 +64,10 @@ type CrossResult struct {
 	ShardTO []ShardTO
 	// Retries counts abandoned attempts before the committing one.
 	Retries int
+	// Trace is the cluster-wide trace ID of this transaction (empty
+	// when the coordinator runs untraced); TRACE <id> stitches the
+	// spans every touched site recorded under it.
+	Trace string
 }
 
 // Coordinator drives cross-shard transactions from this process: execute
@@ -118,12 +128,21 @@ func (c *Coordinator) Exec(ctx context.Context, proc string, args ...storage.Val
 	if len(split) < 2 {
 		return CrossResult{}, fmt.Errorf("shard: %s is single-shard; submit it to its home group", proc)
 	}
+	// One trace ID per logical transaction, stable across retries; the
+	// XID counter guarantees uniqueness per coordinating process.
+	trace := ""
+	if c.cfg.Trace != nil {
+		trace = "t" + c.hub.NewXID().String()
+	}
+	c.cspan(trace, metrics.SpanXSubmit, proc)
 	var lastErr error = ErrAborted
 	for attempt := 0; attempt < c.cfg.MaxRetries; attempt++ {
-		res, err := c.tryOnce(ctx, mu, split, args)
+		res, err := c.tryOnce(ctx, mu, split, args, trace)
 		if err == nil {
 			res.Retries = attempt
+			res.Trace = trace
 			c.crossCommits.Inc()
+			c.cspan(trace, metrics.SpanXCommit, "")
 			return res, nil
 		}
 		if errors.Is(err, errCrashed) || ctx.Err() != nil {
@@ -133,11 +152,25 @@ func (c *Coordinator) Exec(ctx context.Context, proc string, args ...storage.Val
 		lastErr = err
 	}
 	c.crossAborts.Inc()
+	c.cspan(trace, metrics.SpanXAbort, lastErr.Error())
 	return CrossResult{}, lastErr
 }
 
+// cspan records one coordinator-side span under the transaction's
+// cluster-wide trace ID. Shard -1 marks the coordinator itself (it
+// acts across shards, from this site).
+func (c *Coordinator) cspan(trace, span, note string) {
+	if c.cfg.Trace == nil || trace == "" {
+		return
+	}
+	c.cfg.Trace.Record(metrics.TraceEvent{
+		Txn: trace, Trace: trace, Span: span,
+		Site: int(c.hub.origin), Shard: -1, Note: note,
+	})
+}
+
 // tryOnce runs one attempt: phase 0, prepares, votes, decide, collect.
-func (c *Coordinator) tryOnce(ctx context.Context, mu sproc.MultiUpdate, split map[int][]sproc.ClassID, args []storage.Value) (CrossResult, error) {
+func (c *Coordinator) tryOnce(ctx context.Context, mu sproc.MultiUpdate, split map[int][]sproc.ClassID, args []storage.Value, trace string) (CrossResult, error) {
 	xid := c.hub.NewXID()
 	c.hub.markActive(xid)
 	defer c.hub.unmarkActive(xid)
@@ -181,7 +214,7 @@ func (c *Coordinator) tryOnce(ctx context.Context, mu sproc.MultiUpdate, split m
 		if err != nil {
 			return CrossResult{}, err
 		}
-		req := sproc.Request{Proc: PrepareProc, Args: []storage.Value{enc}, Classes: split[s]}
+		req := sproc.Request{Proc: PrepareProc, Args: []storage.Value{enc}, Classes: split[s], Trace: trace}
 		r := c.hub.localReplica(s)
 		if r == nil {
 			return CrossResult{}, fmt.Errorf("shard: no live local replica of shard %d", s)
@@ -192,6 +225,7 @@ func (c *Coordinator) tryOnce(ctx context.Context, mu sproc.MultiUpdate, split m
 		}); err != nil {
 			return CrossResult{}, err
 		}
+		c.cspan(trace, metrics.SpanPrepare, fmt.Sprintf("shard=%d xid=%v", s, xid))
 	}
 
 	// Collect votes; silence past the timeout proposes abort — a shard
@@ -203,6 +237,7 @@ func (c *Coordinator) tryOnce(ctx context.Context, mu sproc.MultiUpdate, split m
 		verdict = VerdictCommit
 	}
 	c.voteLat.Observe(time.Since(voteStart))
+	c.cspan(trace, metrics.SpanVote, verdict.String())
 
 	if hook := c.CrashBeforeDecide; hook != nil && hook(xid) {
 		return CrossResult{}, errCrashed
@@ -211,10 +246,11 @@ func (c *Coordinator) tryOnce(ctx context.Context, mu sproc.MultiUpdate, split m
 	// Decide at the home shard. First-wins ordering there arbitrates
 	// against a racing resolver; whatever the record says is the
 	// verdict everywhere.
-	winner, err := c.decide(ctx, xid, home, verdict)
+	winner, err := c.decide(ctx, xid, home, verdict, trace)
 	if err != nil {
 		return CrossResult{}, err
 	}
+	c.cspan(trace, metrics.SpanDecide, winner.String())
 
 	if hook := c.CrashAfterHomeDecide; hook != nil && hook(xid) {
 		return CrossResult{}, errCrashed
@@ -248,8 +284,10 @@ func (c *Coordinator) tryOnce(ctx context.Context, mu sproc.MultiUpdate, split m
 }
 
 // decide submits the verdict proposal to the home shard and returns the
-// first-wins winner from the committed record.
-func (c *Coordinator) decide(ctx context.Context, xid XID, home int, v Verdict) (Verdict, error) {
+// first-wins winner from the committed record. The decide request
+// carries the transaction's trace ID so the home shard's replicas span
+// it like any traced transaction.
+func (c *Coordinator) decide(ctx context.Context, xid XID, home int, v Verdict, trace string) (Verdict, error) {
 	enc, err := encode(decidePayload{XID: xid, Verdict: v})
 	if err != nil {
 		return VerdictNone, err
@@ -258,11 +296,22 @@ func (c *Coordinator) decide(ctx context.Context, xid XID, home int, v Verdict) 
 	if r == nil {
 		return VerdictNone, fmt.Errorf("shard: no live local replica of home shard %d", home)
 	}
-	info, err := r.Exec(ctx, DecideProc, enc)
+	req := sproc.Request{Proc: DecideProc, Args: []storage.Value{enc}, Trace: trace}
+	ch := make(chan db.CommitResult, 1)
+	id, err := r.SubmitRequest(req, func(res db.CommitResult) { ch <- res })
 	if err != nil {
 		return VerdictNone, err
 	}
-	return decodeVerdict(info.Value), nil
+	select {
+	case res := <-ch:
+		if res.Err != nil {
+			return VerdictNone, res.Err
+		}
+		return decodeVerdict(res.Info.Value), nil
+	case <-ctx.Done():
+		r.Forget(id)
+		return VerdictNone, ctx.Err()
+	}
 }
 
 func classSet(cs []sproc.ClassID) map[sproc.ClassID]bool {

@@ -309,12 +309,21 @@ func (r *Registry) Classes() []ClassID {
 // procedure name plus its arguments. Stored procedures make requests tiny
 // (Section 2.2) — the whole interaction ships in one message. Classes is
 // set only for Dynamic multi-class procedures and carries the conflict
-// classes of this particular invocation.
+// classes of this particular invocation. Trace, when set, is the
+// cluster-wide trace ID of the logical transaction this request
+// belongs to; it rides the payload so every replica's span records can
+// be stitched across sites and shards.
 type Request struct {
 	Proc    string
 	Args    []storage.Value
 	Classes []ClassID
+	Trace   string
 }
+
+// TraceID reports the request's cluster-wide trace ID; it satisfies
+// the transport layer's TraceCarrier so TCP frames can surface the ID
+// in their headers without decoding the payload.
+func (r Request) TraceID() string { return r.Trace }
 
 // RequestClasses resolves the conflict classes of a request: the
 // request-carried set for a Dynamic multi-class procedure, the declared

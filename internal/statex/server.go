@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"strconv"
 	"sync"
 	"time"
 
 	"otpdb/internal/abcast"
+	"otpdb/internal/events"
 	"otpdb/internal/recovery"
 	"otpdb/internal/storage"
 	"otpdb/internal/transport"
@@ -85,6 +87,12 @@ func WithCheckpointTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.ckptTimeout = d }
 }
 
+// WithEvents arms the flight recorder: every transfer served is logged
+// (start and completion) so donor activity survives in the causal log.
+func WithEvents(rec *events.Recorder) ServerOption {
+	return func(s *Server) { s.events = rec }
+}
+
 // Server serves state transfers at a live site. One server per
 // endpoint; transfers run concurrently, each on its own goroutine with
 // its own cancelable context (Abort from the joiner, or Stop, cancels).
@@ -94,6 +102,7 @@ type Server struct {
 	chunkBytes  int
 	tailBatch   int
 	ckptTimeout time.Duration
+	events      *events.Recorder
 
 	mu      sync.Mutex
 	active  map[xferKey]context.CancelFunc
@@ -214,6 +223,9 @@ func (s *Server) beginServe(from transport.NodeID, req JoinReq) {
 	s.active[key] = cancel
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.events.Record(int(s.ep.ID()), events.KindStatex,
+		"phase", "serve", "joiner", from.String(),
+		"from", strconv.FormatInt(req.From, 10))
 	go func() {
 		defer func() {
 			s.mu.Lock()
@@ -221,6 +233,8 @@ func (s *Server) beginServe(from transport.NodeID, req JoinReq) {
 			s.mu.Unlock()
 			cancel()
 			s.wg.Done()
+			s.events.Record(int(s.ep.ID()), events.KindStatex,
+				"phase", "served", "joiner", from.String())
 		}()
 		s.serve(ctx, from, req)
 	}()

@@ -50,10 +50,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"otpdb/internal/abcast"
+	"otpdb/internal/events"
 	"otpdb/internal/metrics"
 	"otpdb/internal/recovery"
 	"otpdb/internal/storage"
@@ -249,6 +251,9 @@ type Options struct {
 	// chunks received, catch-up entries, donor failovers) under the
 	// scope's labels.
 	Metrics *metrics.Scope
+	// Events, when non-nil, receives flight-recorder entries for the
+	// transfer negotiation: start, per-donor failover, and outcome.
+	Events *events.Recorder
 }
 
 // xferMetrics is the per-fetch instrument set, threaded into every
@@ -339,6 +344,10 @@ func Fetch(ctx context.Context, ep transport.Endpoint, from int64, donors []tran
 	prog := &progress{}
 	xm := newXferMetrics(opts.Metrics)
 	failovers := opts.Metrics.Counter("statex_donor_failover_total")
+	site := int(ep.ID())
+	opts.Events.Record(site, events.KindStatex,
+		"phase", "fetch", "from", strconv.FormatInt(from, 10),
+		"donors", fmt.Sprint(donors))
 	if opts.Parallel && len(donors) >= 2 {
 		t, err := fetchParallel(ctx, ep, sub, prog, from, donors, opts, xm)
 		if err != nil {
@@ -360,11 +369,17 @@ func Fetch(ctx context.Context, ep transport.Endpoint, from int64, donors []tran
 		}
 		t, err := fetchFrom(ctx, ep, sub, prog, from, donor, opts, xm)
 		if err == nil {
+			opts.Events.Record(site, events.KindStatex,
+				"phase", "fetched", "donor", donor.String(),
+				"base", strconv.FormatInt(t.Base, 10))
 			return t, nil
 		}
 		failovers.Inc()
+		opts.Events.Record(site, events.KindStatex,
+			"phase", "failover", "donor", donor.String(), "err", err.Error())
 		errs = append(errs, fmt.Errorf("donor %v: %w", donor, err))
 	}
+	opts.Events.Record(site, events.KindStatex, "phase", "exhausted")
 	return nil, fmt.Errorf("statex: no donor could serve: %w", errors.Join(errs...))
 }
 

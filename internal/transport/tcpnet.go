@@ -41,6 +41,10 @@ type TCPConfig struct {
 	// frames, coalesce batch sizes, dial retries) under the scope's
 	// labels.
 	Metrics *metrics.Scope
+	// Trace, when non-nil, receives a net-recv span for every fresh
+	// inbound data frame whose payload carries a trace ID (see
+	// TraceCarrier) — the network-hop edges of a distributed trace.
+	Trace *metrics.TraceRing
 }
 
 // tcpFrame is the wire unit. Data frames (IsAck false) flow from the
@@ -69,6 +73,7 @@ type tcpFrame struct {
 	Seq   uint64 // data sequence number (IsAck false)
 	Ack   uint64 // cumulative acknowledged sequence (IsAck true)
 	Inc   uint64 // sender incarnation (IsAck false)
+	Trace string // trace ID of the payload's transaction ("" untraced)
 	Env   Envelope
 }
 
@@ -369,6 +374,12 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 		n.mu.Unlock()
 		n.framesIn.Inc()
 		if fresh {
+			if f.Trace != "" {
+				n.cfg.Trace.Record(metrics.TraceEvent{
+					Trace: f.Trace, Span: metrics.SpanNetRecv,
+					Site: int(n.cfg.ID), Note: f.Env.Stream,
+				})
+			}
 			n.box.enqueue(f.Env)
 		} else {
 			n.dupFrames.Inc()
@@ -591,7 +602,7 @@ func (l *peerLink) writeLoop() {
 			closed := false
 			l.mu.Lock()
 			l.nextSeq++
-			batch = append(batch, tcpFrame{Seq: l.nextSeq, Inc: l.node.inc, Env: env})
+			batch = append(batch, tcpFrame{Seq: l.nextSeq, Inc: l.node.inc, Trace: TraceOf(env.Msg), Env: env})
 		drain:
 			for len(batch) < maxWriteBatch {
 				select {
@@ -601,7 +612,7 @@ func (l *peerLink) writeLoop() {
 						break drain
 					}
 					l.nextSeq++
-					batch = append(batch, tcpFrame{Seq: l.nextSeq, Inc: l.node.inc, Env: env2})
+					batch = append(batch, tcpFrame{Seq: l.nextSeq, Inc: l.node.inc, Trace: TraceOf(env2.Msg), Env: env2})
 				default:
 					break drain
 				}

@@ -54,3 +54,19 @@ type Endpoint interface {
 
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
+
+// TraceCarrier is implemented by messages that belong to a traced
+// transaction. Transports surface the ID in their frame headers so a
+// receiving site can record the network hop into its trace ring
+// without decoding (or even understanding) the payload.
+type TraceCarrier interface {
+	TraceID() string
+}
+
+// TraceOf extracts the trace ID a message carries, if any.
+func TraceOf(msg any) string {
+	if tc, ok := msg.(TraceCarrier); ok {
+		return tc.TraceID()
+	}
+	return ""
+}

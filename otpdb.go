@@ -81,6 +81,7 @@ import (
 	"otpdb/internal/abcast"
 	"otpdb/internal/consensus"
 	"otpdb/internal/db"
+	"otpdb/internal/events"
 	"otpdb/internal/fd"
 	"otpdb/internal/history"
 	"otpdb/internal/member"
@@ -194,6 +195,7 @@ type config struct {
 	suspectWin   time.Duration
 	metrics      *metrics.Registry
 	trace        *metrics.TraceRing
+	events       *events.Recorder
 }
 
 // Option configures NewCluster.
@@ -346,6 +348,16 @@ func WithMetrics(r *metrics.Registry) Option {
 // fixed-size and lock-cheap; inspect it with TraceRing.Find(txnid).
 func WithTraceRing(t *metrics.TraceRing) Option {
 	return func(c *config) { c.trace = t }
+}
+
+// WithEvents attaches a flight recorder: the rare, causally significant
+// transitions — epoch changes, failure-detector suspicions and clears,
+// auto-replacement rounds, state-transfer negotiations — are appended to
+// its bounded ring as structured events. Dump it after an incident
+// (events.Recorder.DumpJSON) or stream it live (Watch); the chaos
+// harness dumps it automatically when an invariant trips.
+func WithEvents(rec *events.Recorder) Option {
+	return func(c *config) { c.events = rec }
 }
 
 // WithCrossShardTimeouts tunes the cross-shard protocol: vote bounds a
@@ -619,6 +631,11 @@ func (c *Cluster) buildSite(grp *group, g, i int, ep transport.Endpoint, join *a
 		return nil, nil, nil, nil, fmt.Errorf("otpdb: site %d membership: %w", i, err)
 	}
 	tracker := member.NewTracker(mcfg)
+	if g == 0 {
+		// One epoch-change event per site, not per shard replica: group 0
+		// is where membership is gated (see tryAutoReplace).
+		tracker.SetEvents(c.cfg.events, i)
+	}
 	scope := c.siteScope(g, i)
 	var bc abcast.Broadcaster
 	var opt *abcast.Optimistic
@@ -649,7 +666,7 @@ func (c *Cluster) buildSite(grp *group, g, i int, ep transport.Endpoint, join *a
 			if interval > 25*time.Millisecond {
 				interval = 25 * time.Millisecond
 			}
-			det = fd.New(ep, fd.Config{Interval: interval, Metrics: scope})
+			det = fd.New(ep, fd.Config{Interval: interval, Metrics: scope, Events: c.cfg.events})
 			tracker.OnChange(func(next member.Config) { det.SetMembers(next.IDs()) })
 			ccfg.Suspector = det
 		}
@@ -704,7 +721,8 @@ func (c *Cluster) buildSite(grp *group, g, i int, ep transport.Endpoint, join *a
 	// clusters (cmd/otpd).
 	var xs *statex.Server
 	if opt != nil {
-		xs = statex.NewServer(ep, statex.ReplicaSource{Replica: rep, Engine: opt})
+		xs = statex.NewServer(ep, statex.ReplicaSource{Replica: rep, Engine: opt},
+			statex.WithEvents(c.cfg.events))
 		xs.Start()
 	}
 	stop := func() {
@@ -767,7 +785,11 @@ func (c *Cluster) Start() error {
 	if err := c.shub.Register(c.registry); err != nil {
 		return fmt.Errorf("otpdb: register cross-shard procedures: %w", err)
 	}
-	c.coord = shard.NewCoordinator(c.shub, c.smap, c.registry, shard.CoordConfig{VoteTimeout: c.cfg.voteTimeout, Metrics: c.cfg.metrics.Scope()})
+	c.coord = shard.NewCoordinator(c.shub, c.smap, c.registry, shard.CoordConfig{
+		VoteTimeout: c.cfg.voteTimeout,
+		Metrics:     c.cfg.metrics.Scope(),
+		Trace:       c.cfg.trace,
+	})
 	bootstrapIDs := make(map[transport.NodeID]string, c.cfg.replicas)
 	for i := 0; i < c.cfg.replicas; i++ {
 		bootstrapIDs[transport.NodeID(i)] = ""
@@ -1271,7 +1293,11 @@ func (c *Cluster) rejoinGroupLocked(ctx context.Context, g, site int, wipe bool)
 		dur, base = d, b
 	}
 
-	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{Parallel: true, Metrics: c.siteScope(g, site)})
+	xfer, err := statex.Fetch(ctx, ep, base, donors, statex.Options{
+		Parallel: true,
+		Metrics:  c.siteScope(g, site),
+		Events:   c.cfg.events,
+	})
 	if err != nil {
 		if dur != nil {
 			_ = dur.Close()
