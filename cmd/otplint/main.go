@@ -1,0 +1,84 @@
+// Command otplint runs the repo's invariant analyzers (internal/lint)
+// over the packages matching its arguments and exits non-zero if any
+// diagnostic survives suppression. It is the CI lint gate:
+//
+//	go run ./cmd/otplint ./...
+//
+// Flags:
+//
+//	-only a,b   run only the named analyzers
+//	-list       print the analyzer catalog and exit
+//
+// Suppress a finding with a justified allow comment on the flagged
+// line or the line above:
+//
+//	//otplint:allow <analyzer> <justification>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"otpdb/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "otplint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otplint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otplint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "otplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCOW enforces all-or-nothing atomicity of field access
+// (DESIGN.md §14): once any code path touches a struct field through
+// sync/atomic, every other access to that field — read, write, or
+// whole-struct overwrite — must be atomic too. Mixed access is a data
+// race the race detector only catches when both paths happen to fire
+// in one run.
+//
+// The incident: the transaction pool reset wrote `*tx = Txn{...}`
+// over fields that in-flight work-stealing accessed with
+// atomic.AddInt32/LoadInt32, racing pool recycling against late
+// decrefs (internal/otp). The durable fix is migrating such fields to
+// the typed atomics (atomic.Int32 et al.), whose noCopy member also
+// lets `go vet`'s copylocks check catch the struct-copy half of the
+// bug.
+//
+// Two patterns are flagged in any non-test file:
+//
+//   - a plain mention (read, write, address-taken escape) of a field
+//     that some other site in the package passes to a sync/atomic
+//     function;
+//   - a whole-struct assignment (`*p = T{...}`, `v = T{...}`) to a
+//     struct type owning such a field — it stores the field
+//     non-atomically no matter how the literal spells it.
+var AtomicCOW = &Analyzer{
+	Name: "atomiccow",
+	Doc:  "fields accessed via sync/atomic must never be read or written non-atomically",
+	Run:  runAtomicCOW,
+}
+
+func runAtomicCOW(pass *Pass) error {
+	// Pass 1: fields used atomically anywhere in the package, and the
+	// exact &x.f selector nodes inside those sync/atomic calls (those
+	// mentions are the sanctioned ones).
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := funcOf(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok {
+						atomicFields[v] = true
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// owners: struct types declaring at least one atomic field, for the
+	// whole-struct-overwrite check.
+	owners := make(map[*types.Named]*types.Var)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named := namedOf(obj.Type())
+				if named == nil {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if atomicFields[st.Field(i)] {
+						owners[named] = st.Field(i)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: flag unsanctioned mentions and whole-struct overwrites.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n] || isTestFile(pass.Fset, n.Pos()) {
+					return true
+				}
+				s, ok := pass.TypesInfo.Selections[n]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok || !atomicFields[v] {
+					return true
+				}
+				pass.Reportf(n.Pos(), "field %s.%s is accessed with sync/atomic elsewhere in this package; this plain access races with those (migrate the field to a typed atomic, e.g. atomic.Int32)",
+					ownerName(s.Recv()), v.Name())
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN || isTestFile(pass.Fset, n.Pos()) {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					t := pass.TypesInfo.TypeOf(lhs)
+					if t == nil {
+						continue
+					}
+					// The struct type itself, not a pointer to it:
+					// assigning a *T moves a reference, stores nothing.
+					named, ok := types.Unalias(t).(*types.Named)
+					if !ok {
+						continue
+					}
+					if v, owns := owners[named]; owns {
+						pass.Reportf(lhs.Pos(), "whole-struct write to %s overwrites field %s non-atomically while other code accesses it with sync/atomic; reset fields individually with atomic stores",
+							named.Obj().Name(), v.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func ownerName(recv types.Type) string {
+	if n := namedOf(recv); n != nil {
+		return n.Obj().Name()
+	}
+	return recv.String()
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ChaosDet enforces the chaos harness's replayability contract
+// (DESIGN.md §11): everything observable about a fault plan must be a
+// pure function of (Scenario, seed). It analyzes packages named
+// "chaos" and walks the call graph of the schedule-expansion roots —
+// Expand plus any function whose doc carries `//otp:deterministic` —
+// flagging, anywhere in that graph:
+//
+//   - wall-clock reads (time.Now, time.Since): a schedule derived from
+//     the clock replays differently on every run;
+//   - the global math/rand functions (rand.Intn, rand.Float64, ...):
+//     they draw from process-global state any goroutine can perturb,
+//     so the draw sequence is not a function of the seed — expansion
+//     must thread an explicit *rand.Rand;
+//   - range over a map: Go randomizes map iteration order, so events
+//     appended or rng draws consumed under such a loop reorder between
+//     runs of the same seed.
+//
+// The incident: PR 7's first schedule expander consumed jitter draws
+// under map iteration, making "same seed" schedules differ run to run
+// and the determinism scenario unreproducible.
+var ChaosDet = &Analyzer{
+	Name: "chaosdet",
+	Doc:  "chaos schedule expansion must be a pure function of (scenario, seed)",
+	Run:  runChaosDet,
+}
+
+func runChaosDet(pass *Pass) error {
+	if pass.Pkg.Name() != "chaos" {
+		return nil
+	}
+	decls := funcDecls(pass)
+
+	// Roots: Expand plus //otp:deterministic-annotated functions.
+	var roots []*types.Func
+	for fn, decl := range decls {
+		if fn.Name() == "Expand" {
+			roots = append(roots, fn)
+			continue
+		}
+		if _, ok := docHasDirective(decl.Doc, "//otp:deterministic"); ok {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	graph := callGraph(pass, decls)
+	for fn, root := range reachable(roots, graph) {
+		rootLabel := root.Name()
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil || isTestFile(pass.Fset, decl.Pos()) {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				callee := funcOf(pass.TypesInfo, n)
+				switch {
+				case isPkgFunc(callee, "time", "Now"), isPkgFunc(callee, "time", "Since"):
+					pass.Reportf(n.Pos(), "wall-clock read (time.%s) in schedule expansion reachable from %s: the fault plan must be a pure function of the seed", callee.Name(), rootLabel)
+				case callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "math/rand" && isTopLevel(callee) && !isRandConstructor(callee.Name()):
+					pass.Reportf(n.Pos(), "global math/rand.%s in schedule expansion reachable from %s: thread the scenario's seeded *rand.Rand instead", callee.Name(), rootLabel)
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := types.Unalias(t.Underlying()).(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "map iteration in schedule expansion reachable from %s: iteration order is randomized, so anything it feeds reorders between runs of one seed", rootLabel)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isTopLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isRandConstructor exempts math/rand's pure constructors: rand.New
+// and rand.NewSource build explicitly seeded generators — exactly the
+// sanctioned pattern — and touch no global state.
+func isRandConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf":
+		return true
+	}
+	return false
+}
+
+// funcDecls maps each declared function/method object to its decl.
+func funcDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// callGraph builds the intra-package static call graph over declared
+// functions. Calls through function literals defined inside a body are
+// covered implicitly: the literal's statements belong to the enclosing
+// declaration's AST, so walking the caller walks them too.
+func callGraph(pass *Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]*types.Func {
+	graph := make(map[*types.Func][]*types.Func)
+	for fn, decl := range decls {
+		if decl.Body == nil {
+			continue
+		}
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := funcOf(pass.TypesInfo, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, local := decls[callee]; local {
+				seen[callee] = true
+				graph[fn] = append(graph[fn], callee)
+			}
+			return true
+		})
+	}
+	return graph
+}
+
+// reachable maps every function reachable from roots (roots included)
+// to the first root that reaches it.
+func reachable(roots []*types.Func, graph map[*types.Func][]*types.Func) map[*types.Func]*types.Func {
+	out := make(map[*types.Func]*types.Func)
+	var visit func(fn, root *types.Func)
+	visit = func(fn, root *types.Func) {
+		if _, seen := out[fn]; seen {
+			return
+		}
+		out[fn] = root
+		for _, c := range graph[fn] {
+			visit(c, root)
+		}
+	}
+	for _, r := range roots {
+		visit(r, r)
+	}
+	return out
+}

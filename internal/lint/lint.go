@@ -1,0 +1,285 @@
+// Package lint is otpdb's static-analysis toolkit: a small analyzer
+// framework in the shape of golang.org/x/tools/go/analysis (which this
+// module cannot depend on — the build is hermetic), a package loader
+// built on `go list -export` plus the standard library's gc importer,
+// and the five analyzers that machine-check the repo's distributed-
+// systems invariants (DESIGN.md §14):
+//
+//	chaosdet    — chaos schedule expansion is a pure function of its seed
+//	epochfence  — fenced wire messages are compared against their fence
+//	              field (epoch / incarnation / transfer id) before use
+//	atomiccow   — fields accessed via sync/atomic are never touched
+//	              non-atomically
+//	metricnames — metric registration follows the naming and label
+//	              cardinality discipline
+//	testpoll    — tests wait on events, not sleep-poll loops
+//
+// The analyzers are invariant regression guards: each encodes a rule
+// that was violated at least once before being fixed by hand (the
+// incident catalog lives in DESIGN.md §14). `cmd/otplint ./...` runs
+// them as a CI gate.
+//
+// # Suppressions
+//
+// A diagnostic is suppressed by a comment on the flagged line or the
+// line directly above it:
+//
+//	//otplint:allow <analyzer> <justification>
+//
+// The justification is mandatory: an allow comment without one is
+// itself reported. Analyzer-specific contracts (`//otp:fence`,
+// `//otp:fenced`, `//otp:deterministic`) are documented on their
+// analyzers.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the checks can be ported
+// to a stock vettool verbatim if that dependency ever becomes
+// available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is the one-paragraph invariant statement.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed sources (with comments).
+	Files []*ast.File
+	// Pkg and TypesInfo are the go/types results.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path as reported by go list; test variants
+	// carry their "pkg [pkg.test]" decoration in ForTest instead.
+	PkgPath string
+	// ForTest is non-empty for test-augmented package variants.
+	ForTest string
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers is the full suite, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{ChaosDet, EpochFence, AtomicCOW, MetricNames, TestPoll}
+}
+
+// Run applies the analyzers to the loaded packages and returns the
+// surviving diagnostics: suppressed findings are dropped, malformed
+// suppressions are reported, and duplicates (the same finding surfacing
+// in both a package and its test variant) are folded. The result is
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				PkgPath:   pkg.PkgPath,
+				ForTest:   pkg.ForTest,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		diags = applyAllows(pkg, diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return dedup(diags), nil
+}
+
+func dedup(diags []Diagnostic) []Diagnostic {
+	seen := make(map[string]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// allowRe matches "//otplint:allow <analyzer> <justification>".
+var allowRe = regexp.MustCompile(`^//otplint:allow\s+([a-z]+)\b[ \t]*(.*)$`)
+
+// allow is one parsed suppression comment.
+type allow struct {
+	analyzer      string
+	justification string
+	pos           token.Position
+}
+
+// applyAllows filters this package's fresh diagnostics through its
+// allow comments. A finding is suppressed when an allow comment naming
+// its analyzer sits on the same line or the line directly above. An
+// allow with an empty justification suppresses nothing and is reported
+// itself — the invariant catalog requires every waiver to say why.
+func applyAllows(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file -> line -> allows live on that line.
+	allows := make(map[string]map[int][]allow)
+	var all []*allow
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				a := allow{analyzer: m[1], justification: strings.TrimSpace(m[2]), pos: pos}
+				if allows[pos.Filename] == nil {
+					allows[pos.Filename] = make(map[int][]allow)
+				}
+				allows[pos.Filename][pos.Line] = append(allows[pos.Filename][pos.Line], a)
+				last := &allows[pos.Filename][pos.Line][len(allows[pos.Filename][pos.Line])-1]
+				all = append(all, last)
+			}
+		}
+	}
+	if len(all) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for i := range allows[d.Pos.Filename][line] {
+				a := &allows[d.Pos.Filename][line][i]
+				if a.analyzer != d.Analyzer || a.justification == "" {
+					continue
+				}
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, a := range all {
+		if a.justification == "" {
+			out = append(out, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: a.analyzer,
+				Message:  "otplint:allow requires a justification (//otplint:allow " + a.analyzer + " <why>)",
+			})
+		}
+	}
+	return out
+}
+
+// --- shared AST/type helpers used by several analyzers ---
+
+// funcOf resolves a call expression to the package-level or method
+// *types.Func it invokes, or nil (builtin, func value, interface
+// method through a non-Func object).
+func funcOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named top-level function of the
+// package with the given path ("time", "math/rand").
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// namedOf unwraps pointers and aliases down to the *types.Named type,
+// or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// docHasDirective scans a doc comment group for a "//prefix" directive
+// line and returns its trailing argument text ("" when absent; found
+// reports presence).
+func docHasDirective(doc *ast.CommentGroup, prefix string) (arg string, found bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if c.Text == prefix || strings.HasPrefix(c.Text, prefix+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(c.Text, prefix)), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the plain import path; ForTest marks test variants
+	// ("pkg [pkg.test]" recompilations and external _test packages).
+	PkgPath string
+	ForTest string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath      string
+	Name            string
+	Dir             string
+	Export          string
+	GoFiles         []string
+	CompiledGoFiles []string
+	Standard        bool
+	DepOnly         bool
+	ForTest         string
+	ImportMap       map[string]string
+}
+
+// Load type-checks the packages matching patterns (test variants
+// included), rooted at dir. It shells out to `go list -test -export
+// -deps -json`, so the go command resolves build constraints, computes
+// export data for every dependency, and hands back exact file lists —
+// the same division of labor a go/packages driver uses, built from the
+// standard library alone.
+//
+// Packages outside the target module (dependencies, std) are imported
+// from export data, never re-analyzed. For a base package with a test
+// variant, only the variant is returned: its file set is a strict
+// superset, so analyzing both would duplicate every finding.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-test", "-export", "-deps", "-json=ImportPath,Name,Dir,Export,GoFiles,CompiledGoFiles,Standard,DepOnly,ForTest,ImportMap"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, errBuf.String())
+	}
+
+	byPath := make(map[string]*listPkg)
+	var order []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		q := p
+		byPath[q.ImportPath] = &q
+		order = append(order, &q)
+	}
+
+	// Test variants shadow their base package in the analysis set.
+	hasVariant := make(map[string]bool)
+	for _, p := range order {
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" ") {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, p := range order {
+		if p.Standard || p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
+			continue // imported via export data, or a synthesized test main
+		}
+		if p.ForTest == "" && hasVariant[p.ImportPath] {
+			continue // the "pkg [pkg.test]" variant covers these files
+		}
+		pkg, err := check(fset, p, byPath)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one package against its dependencies'
+// export data.
+func check(fset *token.FileSet, p *listPkg, byPath map[string]*listPkg) (*Package, error) {
+	files := p.CompiledGoFiles
+	if len(files) == 0 {
+		files = p.GoFiles
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		if !strings.HasSuffix(f, ".go") {
+			return nil, nil // cgo or assembly artifacts: out of scope
+		}
+		path := f
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, f)
+		}
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	if len(asts) == 0 {
+		return nil, nil
+	}
+
+	// The gc importer reads dependencies' export data through a lookup
+	// that first canonicalizes the source-level import path via this
+	// package's ImportMap — how "pkg" resolves to "pkg [other.test]"
+	// inside test variants.
+	lookup := func(ipath string) (io.ReadCloser, error) {
+		if m, ok := p.ImportMap[ipath]; ok {
+			ipath = m
+		}
+		dep, ok := byPath[ipath]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", ipath)
+		}
+		return os.Open(dep.Export)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	// Type-check under the plain path so diagnostics and type identity
+	// are stable across base packages and their test variants.
+	path := p.ImportPath
+	forTest := ""
+	if p.ForTest != "" {
+		forTest = p.ImportPath
+		if i := strings.IndexByte(path, ' '); i > 0 {
+			path = path[:i]
+		}
+	}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath: path,
+		ForTest: forTest,
+		Fset:    fset,
+		Files:   asts,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

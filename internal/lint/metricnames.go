@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricNames enforces the metric registration discipline
+// (DESIGN.md §12): names are snake_case with the unit spelled in the
+// suffix, one name maps to one instrument kind, and label values stay
+// bounded — a per-transaction value in a label turns a fixed-size
+// registry into an unbounded one and makes federation rollups
+// meaningless.
+//
+// On every call to a metrics Registry/Scope method in non-test files:
+//
+//   - the metric name must be a compile-time constant matching
+//     ^[a-z][a-z0-9_]*$;
+//   - counters end in _total and duration histograms in _seconds
+//     (SizeHistogram is unitless by convention); gauges and gauge
+//     funcs must not claim _total;
+//   - the same name must not be registered under two different
+//     instrument kinds in one package — Registry.lookup silently
+//     replaces on kind mismatch, so the second registration eats the
+//     first's data;
+//   - label keys must be constant snake_case strings, and keys that
+//     name per-transaction identity (txn, txn_id, tx_id, op_id, seq,
+//     nonce, trace_id) are rejected outright;
+//   - label values built with fmt.Sprintf/Sprint are rejected: every
+//     bounded label in this repo is a small-int site/shard id via
+//     strconv.Itoa, and format-built values are how unbounded ones
+//     sneak in.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "metric names are snake_case with unit suffixes, one kind per name, and labels stay bounded",
+	Run:  runMetricNames,
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricKinds maps the registry's instrument constructors to the
+// index of their name argument.
+var metricKinds = map[string]bool{
+	"Counter":       true,
+	"Gauge":         true,
+	"Func":          true,
+	"Histogram":     true,
+	"SizeHistogram": true,
+}
+
+var perTxnLabelKeys = map[string]bool{
+	"txn": true, "txn_id": true, "tx_id": true, "op_id": true,
+	"seq": true, "nonce": true, "trace_id": true,
+}
+
+func runMetricNames(pass *Pass) error {
+	byName := make(map[string]string) // metric name -> first-seen instrument kind
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := funcOf(pass.TypesInfo, call)
+			if !isMetricsMethod(callee) || isTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			name := callee.Name()
+			switch {
+			case metricKinds[name]:
+				if len(call.Args) == 0 {
+					return true
+				}
+				metric, ok := constString(pass, call.Args[0])
+				if !ok {
+					pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant string: dynamic names defeat grep, dashboards, and the one-kind-per-name rule")
+					return true
+				}
+				checkMetricName(pass, call.Args[0], name, metric)
+				if prev, seen := byName[metric]; seen && prev != name {
+					pass.Reportf(call.Args[0].Pos(), "metric %q registered as %s here but as %s elsewhere in this package: Registry.lookup silently replaces on kind mismatch, losing the earlier instrument's data", metric, name, prev)
+				} else if !seen {
+					byName[metric] = name
+				}
+				// Label kv pairs follow the name (and, for Func, the
+				// callback).
+				kvStart := 1
+				if name == "Func" {
+					kvStart = 2
+				}
+				if len(call.Args) > kvStart {
+					checkLabels(pass, call.Args[kvStart:])
+				}
+			case name == "Scope" || name == "With":
+				checkLabels(pass, call.Args)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMetricsMethod reports whether fn is a method on the metrics
+// package's Registry or Scope. Matching is by package and receiver
+// name, not import path, so the analyzer works against both the real
+// registry and test fixtures.
+func isMetricsMethod(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "metrics" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil {
+		return false
+	}
+	switch recv.Obj().Name() {
+	case "Registry", "Scope":
+		return true
+	}
+	return false
+}
+
+func checkMetricName(pass *Pass, arg ast.Expr, kind, metric string) {
+	if !metricNameRe.MatchString(metric) {
+		pass.Reportf(arg.Pos(), "metric name %q is not snake_case (want ^[a-z][a-z0-9_]*$)", metric)
+		return
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(metric, "_total") {
+			pass.Reportf(arg.Pos(), "counter %q must end in _total: the suffix is how scrapes tell monotonic totals from point-in-time gauges", metric)
+		}
+	case "Histogram":
+		if !strings.HasSuffix(metric, "_seconds") {
+			pass.Reportf(arg.Pos(), "duration histogram %q must end in _seconds (use SizeHistogram for unitless distributions)", metric)
+		}
+	case "Gauge", "Func":
+		if strings.HasSuffix(metric, "_total") {
+			pass.Reportf(arg.Pos(), "gauge %q must not end in _total: that suffix promises a monotonic counter", metric)
+		}
+	}
+}
+
+// checkLabels vets alternating key/value label arguments.
+func checkLabels(pass *Pass, kvs []ast.Expr) {
+	for i, kv := range kvs {
+		if i%2 == 0 { // key
+			key, ok := constString(pass, kv)
+			if !ok {
+				pass.Reportf(kv.Pos(), "label key must be a compile-time constant string")
+				continue
+			}
+			if perTxnLabelKeys[key] {
+				pass.Reportf(kv.Pos(), "label key %q names per-transaction identity: labels must stay bounded, so per-txn values belong in traces, not metrics", key)
+				continue
+			}
+			if !metricNameRe.MatchString(key) {
+				pass.Reportf(kv.Pos(), "label key %q is not snake_case", key)
+			}
+			continue
+		}
+		// value: reject format-built strings.
+		if call, ok := ast.Unparen(kv).(*ast.CallExpr); ok {
+			callee := funcOf(pass.TypesInfo, call)
+			if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" &&
+				strings.HasPrefix(callee.Name(), "Sprint") {
+				pass.Reportf(kv.Pos(), "label value built with fmt.%s: format-built labels are how unbounded cardinality sneaks in (bounded ids use strconv.Itoa)", callee.Name())
+			}
+		}
+	}
+}
+
+// constString evaluates e as a compile-time constant string.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,35 @@
+// Package allow is the suppression-mechanism corpus, exercised with
+// direct assertions (TestAllowContract) rather than want comments:
+// a malformed allow is reported at its own comment line, where no
+// want comment can sit.
+package allow
+
+import "sync/atomic"
+
+type box struct {
+	n int32
+}
+
+func bump(b *box) {
+	atomic.AddInt32(&b.n, 1)
+}
+
+// justified is suppressed: no diagnostic.
+func justified(b *box) int32 {
+	//otplint:allow atomiccow read happens after the worker pool is joined
+	return b.n
+}
+
+// unjustified suppresses nothing and the bare allow is itself
+// reported.
+func unjustified(b *box) int32 {
+	//otplint:allow atomiccow
+	return b.n
+}
+
+// wrongAnalyzer names an analyzer that did not fire here, so the
+// finding survives.
+func wrongAnalyzer(b *box) int32 {
+	//otplint:allow testpoll this comment names the wrong analyzer
+	return b.n
+}

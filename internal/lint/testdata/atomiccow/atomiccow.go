@@ -1,0 +1,56 @@
+// Package atomiccow is the atomiccow corpus.
+package atomiccow
+
+import "sync/atomic"
+
+type txn struct {
+	id   uint64
+	refs int32
+	done int32
+}
+
+func retain(t *txn) {
+	atomic.AddInt32(&t.refs, 1) // sanctioned: this is what marks refs atomic
+}
+
+func release(t *txn) int32 {
+	return atomic.AddInt32(&t.refs, -1)
+}
+
+func finish(t *txn) {
+	atomic.StoreInt32(&t.done, 1)
+}
+
+func plainRead(t *txn) bool {
+	return t.refs == 0 // want `field txn.refs is accessed with sync/atomic elsewhere in this package`
+}
+
+func plainWrite(t *txn) {
+	t.done = 0 // want `field txn.done is accessed with sync/atomic elsewhere in this package`
+}
+
+func reset(t *txn, id uint64) {
+	*t = txn{id: id} // want `whole-struct write to txn overwrites field refs non-atomically`
+}
+
+func id(t *txn) uint64 {
+	return t.id // id is never touched atomically: plain access is fine
+}
+
+// typed uses atomic.Int32: no address-of escapes, nothing to flag, and
+// go vet's copylocks catches struct copies via the noCopy member.
+type typed struct {
+	refs atomic.Int32
+}
+
+func (t *typed) retain() { t.refs.Add(1) }
+func (t *typed) zero() bool {
+	return t.refs.Load() == 0
+}
+
+// suppressed shows the allow contract (the malformed-allow corpus
+// lives in ../allow).
+func suppressed(t *txn) int32 {
+	//otplint:allow atomiccow single-goroutine teardown path, no concurrent holders remain
+	return t.refs
+}

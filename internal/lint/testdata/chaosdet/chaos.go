@@ -1,0 +1,52 @@
+// Package chaos is the chaosdet corpus: the analyzer only fires in
+// packages named "chaos".
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Scenario struct {
+	Sites  int
+	Phases map[string]int
+}
+
+type Event struct {
+	At   time.Duration
+	Site int
+}
+
+// Expand is the analyzer's default root.
+func Expand(sc Scenario, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed)) // constructors are sanctioned
+	now := time.Now()                     // want `wall-clock read \(time.Now\) in schedule expansion reachable from Expand`
+	_ = now
+	var evs []Event
+	for name, n := range sc.Phases { // want `map iteration in schedule expansion reachable from Expand`
+		_ = name
+		evs = append(evs, Event{Site: n})
+	}
+	evs = append(evs, helper(rng, sc.Sites)...)
+	return evs
+}
+
+// helper is reached from Expand through the call graph.
+func helper(rng *rand.Rand, sites int) []Event {
+	jitter := rand.Intn(sites) // want `global math/rand.Intn in schedule expansion reachable from Expand`
+	_ = rng.Intn(sites)        // threading the seeded rng is the sanctioned form
+	return []Event{{Site: jitter}}
+}
+
+// profile opts into the contract explicitly.
+//
+//otp:deterministic
+func profile(seed int64) time.Duration {
+	return time.Since(time.Unix(seed, 0)) // want `wall-clock read \(time.Since\) in schedule expansion reachable from profile`
+}
+
+// observe is outside every root's call graph: real-time execution may
+// read the clock freely.
+func observe() time.Time {
+	return time.Now()
+}

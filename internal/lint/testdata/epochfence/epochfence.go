@@ -1,0 +1,100 @@
+// Package epochfence is the epochfence corpus.
+package epochfence
+
+// JoinResp is explicitly fenced: the transfer id is the fence.
+//
+//otp:fence Xfer
+type JoinResp struct {
+	Xfer    uint64
+	Payload []byte
+}
+
+// MsgEstimate is implicitly fenced: Msg* naming plus an Epoch field.
+type MsgEstimate struct {
+	Epoch uint64
+	Val   int
+}
+
+// StatusReply is implicitly fenced: *Reply naming plus an Inc field.
+type StatusReply struct {
+	Inc  uint64
+	Load int
+}
+
+// Note carries no fence field and no directive: not in the contract.
+type Note struct {
+	Text string
+}
+
+// Broken has a directive naming a field it does not declare.
+//
+//otp:fence Epoch
+type Broken struct { // want `//otp:fence must name a field of Broken`
+	Seq uint64
+}
+
+type node struct {
+	xfer  uint64
+	epoch uint64
+}
+
+// goodDirect fences inline before consuming.
+func (n *node) goodDirect(r JoinResp) []byte {
+	if r.Xfer != n.xfer {
+		return nil
+	}
+	return r.Payload
+}
+
+// goodViaCallee consumes here, but a callee holds the fence compare.
+func (n *node) goodViaCallee(m MsgEstimate) int {
+	if !n.current(m) {
+		return 0
+	}
+	return m.Val
+}
+
+func (n *node) current(m MsgEstimate) bool {
+	return m.Epoch == n.epoch
+}
+
+// badConsume reads the payload with no fence anywhere in its graph.
+func (n *node) badConsume(r JoinResp) []byte { // want `badConsume consumes JoinResp without comparing its Xfer fence`
+	return r.Payload
+}
+
+// badReply acts on a reply without checking the incarnation.
+func badReply(r StatusReply) int { // want `badReply consumes StatusReply without comparing its Inc fence`
+	return r.Load
+}
+
+// construct only builds and assigns fenced values: not consumption.
+func construct(v int) MsgEstimate {
+	m := MsgEstimate{Epoch: 1, Val: v}
+	m.Val = v
+	return m
+}
+
+// fenceOnly inspects nothing but the fence field: also not consumption.
+func fenceOnly(r JoinResp) uint64 {
+	return r.Xfer
+}
+
+// annotated discharges the obligation with a justification.
+//
+//otp:fenced callers fence Xfer before delegating
+func annotated(r JoinResp) []byte {
+	return r.Payload
+}
+
+// unjustified carries the annotation but no reason.
+//
+//otp:fenced
+func unjustified(r JoinResp) []byte { // want `//otp:fenced requires a justification`
+	return r.Payload
+}
+
+// notes reads an unfenced type freely.
+func notes(n Note) string {
+	return n.Text
+}

@@ -1,0 +1,3 @@
+module lint.test/corpus
+
+go 1.24

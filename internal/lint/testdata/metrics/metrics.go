@@ -1,0 +1,35 @@
+// Package metrics is a registry stub for the metricnames corpus: the
+// analyzer matches methods by package name ("metrics") and receiver
+// type (Registry, Scope), so this stub exercises it exactly like the
+// real otpdb/internal/metrics.
+package metrics
+
+type Registry struct{}
+
+type Scope struct{}
+
+type Counter struct{}
+
+func (c *Counter) Add(float64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(float64) {}
+
+func (r *Registry) Scope(kv ...string) *Scope { return &Scope{} }
+
+func (s *Scope) With(kv ...string) *Scope { return s }
+
+func (s *Scope) Counter(name string, kv ...string) *Counter { return &Counter{} }
+
+func (s *Scope) Gauge(name string, kv ...string) *Gauge { return &Gauge{} }
+
+func (s *Scope) Func(name string, fn func() float64, kv ...string) {}
+
+func (s *Scope) Histogram(name string, kv ...string) *Histogram { return &Histogram{} }
+
+func (s *Scope) SizeHistogram(name string, kv ...string) *Histogram { return &Histogram{} }

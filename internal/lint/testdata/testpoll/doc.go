@@ -1,0 +1,3 @@
+// Package testpoll is the testpoll corpus; the analyzer only looks at
+// its _test.go files.
+package testpoll

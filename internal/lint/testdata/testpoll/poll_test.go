@@ -1,0 +1,44 @@
+package testpoll
+
+import (
+	"testing"
+	"time"
+)
+
+func ready() bool { return true }
+
+func TestSleepPoll(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if ready() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond) // want `time.Sleep inside a loop is a poll`
+	}
+}
+
+func TestRangePoll(t *testing.T) {
+	for range [5]int{} {
+		time.Sleep(time.Millisecond) // want `time.Sleep inside a loop is a poll`
+	}
+}
+
+func TestBareSleep(t *testing.T) {
+	time.Sleep(time.Millisecond) // one beat for the scheduler: legal
+}
+
+func TestClosureResets(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		t.Run("sub", func(t *testing.T) {
+			time.Sleep(time.Millisecond) // bare sleep inside the subtest body: legal
+		})
+	}
+}
+
+func TestClosurePolls(t *testing.T) {
+	wait := func() {
+		for !ready() {
+			time.Sleep(time.Millisecond) // want `time.Sleep inside a loop is a poll`
+		}
+	}
+	wait()
+}

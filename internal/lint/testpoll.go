@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// TestPoll forbids sleep-poll loops in tests: a `time.Sleep` inside a
+// `for` loop in a _test.go file. Sleep-polling picks one duration for
+// every machine — too short flakes under race-detector load or CI
+// contention, too long pads every run — and the repo's history of
+// deflaking commits is mostly sleep-tuning. Tests wait on events
+// instead: testutil.Eventually for condition polling with deadline
+// and backoff owned in one place, or a channel/Sync call when the
+// code under test exposes one.
+//
+// Only sleeps lexically inside a loop are flagged. A bare sleep (give
+// the scheduler one beat, let a timer fire) is sometimes the honest
+// tool and stays legal.
+var TestPoll = &Analyzer{
+	Name: "testpoll",
+	Doc:  "tests must wait on events (testutil.Eventually, channels), not sleep-poll in a loop",
+	Run:  runTestPoll,
+}
+
+func runTestPoll(pass *Pass) error {
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			flagSleepsInLoops(pass, fd.Body, 0)
+		}
+	}
+	return nil
+}
+
+// flagSleepsInLoops walks stmts tracking loop nesting depth; a
+// time.Sleep call at depth > 0 is a poll.
+func flagSleepsInLoops(pass *Pass, n ast.Node, depth int) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		flagSleepsInLoops(pass, n.Body, depth+1)
+		return
+	case *ast.RangeStmt:
+		flagSleepsInLoops(pass, n.Body, depth+1)
+		return
+	case *ast.FuncLit:
+		// A closure resets the count: its body runs when called, not
+		// where it is written — but a closure *defined* in a loop and
+		// sleep-polling internally still gets caught when its own loops
+		// nest the sleep.
+		flagSleepsInLoops(pass, n.Body, 0)
+		return
+	case *ast.CallExpr:
+		if depth > 0 && isPkgFunc(funcOf(pass.TypesInfo, n), "time", "Sleep") {
+			pass.Reportf(n.Pos(), "time.Sleep inside a loop is a poll: wait on the event instead (testutil.Eventually, or a channel from the code under test)")
+		}
+	}
+	// Generic descent preserving depth.
+	var children []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return true
+		}
+		children = append(children, c)
+		return false // one level only; recursion handles the rest
+	})
+	for _, c := range children {
+		flagSleepsInLoops(pass, c, depth)
+	}
+}
