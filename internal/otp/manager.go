@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"otpdb/internal/abcast"
 )
@@ -125,13 +124,19 @@ func (m *Manager) OnOptDeliver(id abcast.MsgID, class ClassID, payload any) erro
 		return fmt.Errorf("%w: %v Opt-delivered twice", ErrDuplicate, id)
 	}
 	tx := txnPool.Get().(*Txn)
-	*tx = Txn{
-		ID:      id,
-		Class:   class,
-		Payload: payload,
-		exec:    Active,  // S2
-		deliv:   Pending, // S2
-	}
+	// Field-by-field reset: a whole-struct write would store refs and
+	// committed non-atomically, racing a late decref from the previous
+	// incarnation's perform() drain.
+	tx.ID = id
+	tx.Class = class
+	tx.Payload = payload
+	tx.exec = Active   // S2
+	tx.deliv = Pending // S2
+	tx.running = false
+	tx.epoch = 0
+	tx.toIndex = 0
+	tx.refs.Store(0)
+	tx.committed.Store(0)
 	m.index[id] = tx
 	q := append(m.queues[class], tx) // S1
 	m.queues[class] = q
@@ -217,7 +222,7 @@ func (m *Manager) OnTODeliver(id abcast.MsgID) error {
 func (m *Manager) submitLocked(tx *Txn, acts []action) []action {
 	tx.running = true
 	m.stats.Submits++
-	atomic.AddInt32(&tx.refs, 1)
+	tx.refs.Add(1)
 	return append(acts, action{kind: actSubmit, tx: tx, epoch: tx.epoch})
 }
 
@@ -233,8 +238,8 @@ func (m *Manager) commitLocked(tx *Txn, acts []action) []action {
 	delete(m.index, tx.ID)
 	m.committed.add(CommitRecord{ID: tx.ID, Class: tx.Class, TOIndex: tx.toIndex})
 	m.stats.Commits++
-	atomic.AddInt32(&tx.refs, 1)
-	atomic.StoreInt32(&tx.committed, 1)
+	tx.refs.Add(1)
+	tx.committed.Store(1)
 	acts = append(acts, action{kind: actCommit, tx: tx})
 	if next := m.queues[tx.Class]; len(next) > 0 { // E3/CC4
 		if next[0].exec == Executed {
@@ -253,7 +258,7 @@ func (m *Manager) abortLocked(tx *Txn, acts []action) []action {
 	tx.running = false
 	tx.exec = Active
 	m.stats.Aborts++
-	atomic.AddInt32(&tx.refs, 1)
+	tx.refs.Add(1)
 	return append(acts, action{kind: actAbort, tx: tx})
 }
 
@@ -320,8 +325,8 @@ func (m *Manager) perform(acts []action) {
 		// it would race with the pool reuse's reset. If this drainer
 		// observes a stale 0 here the struct is simply left to the GC
 		// (missed reuse, not a leak).
-		committed := atomic.LoadInt32(&a.tx.committed) == 1
-		if atomic.AddInt32(&a.tx.refs, -1) == 0 && committed {
+		committed := a.tx.committed.Load() == 1
+		if a.tx.refs.Add(-1) == 0 && committed {
 			txnPool.Put(a.tx)
 		}
 	}

@@ -45,9 +45,9 @@ type MultiTxn struct {
 
 	// refs/committed gate pool recycling exactly as on Txn: the struct
 	// is reused only when committed and every deferred action has
-	// drained. Accessed atomically.
-	refs      int32
-	committed int32
+	// drained. Typed atomics, same contract as Txn.
+	refs      atomic.Int32
+	committed atomic.Int32
 }
 
 // TOIndex returns the definitive index (0 before TO-delivery).
@@ -148,13 +148,19 @@ func (m *MultiManager) OnOptDeliver(id abcast.MsgID, classes []ClassID, payload 
 		return fmt.Errorf("%w: %v Opt-delivered twice", ErrDuplicate, id)
 	}
 	tx := multiTxnPool.Get().(*MultiTxn)
-	*tx = MultiTxn{
-		ID:      id,
-		Classes: sorted,
-		Payload: payload,
-		exec:    Active,
-		deliv:   Pending,
-	}
+	// Field-by-field reset, as in Manager.OnOptDeliver: a whole-struct
+	// write would store refs and committed non-atomically.
+	tx.ID = id
+	tx.Classes = sorted
+	tx.Payload = payload
+	tx.exec = Active
+	tx.deliv = Pending
+	tx.running = false
+	tx.epoch = 0
+	tx.toIndex = 0
+	tx.reordered = false
+	tx.refs.Store(0)
+	tx.committed.Store(0)
 	m.index[id] = tx
 	for _, class := range sorted {
 		m.queues[class] = append(m.queues[class], tx)
@@ -253,7 +259,7 @@ func (m *MultiManager) trySubmitLocked(tx *MultiTxn, acts []multiAction) []multi
 	}
 	tx.running = true
 	m.stats.Submits++
-	atomic.AddInt32(&tx.refs, 1)
+	tx.refs.Add(1)
 	return append(acts, multiAction{kind: actSubmit, tx: tx, epoch: tx.epoch})
 }
 
@@ -269,8 +275,8 @@ func (m *MultiManager) commitLocked(tx *MultiTxn, acts []multiAction) []multiAct
 	delete(m.index, tx.ID)
 	m.committed.add(CommitRecord{ID: tx.ID, Class: tx.Classes[0], TOIndex: tx.toIndex})
 	m.stats.Commits++
-	atomic.AddInt32(&tx.refs, 1)
-	atomic.StoreInt32(&tx.committed, 1)
+	tx.refs.Add(1)
+	tx.committed.Store(1)
 	acts = append(acts, multiAction{kind: actCommit, tx: tx})
 	// New heads of the vacated queues may now be runnable.
 	tried := make(map[*MultiTxn]bool)
@@ -290,7 +296,7 @@ func (m *MultiManager) abortLocked(tx *MultiTxn, acts []multiAction) []multiActi
 	tx.running = false
 	tx.exec = Active
 	m.stats.Aborts++
-	atomic.AddInt32(&tx.refs, 1)
+	tx.refs.Add(1)
 	return append(acts, multiAction{kind: actAbort, tx: tx})
 }
 
@@ -346,8 +352,8 @@ func (m *MultiManager) perform(acts []multiAction) {
 		}
 		// Flag load BEFORE the decrement — see Manager.perform for the
 		// ordering argument.
-		committed := atomic.LoadInt32(&a.tx.committed) == 1
-		if atomic.AddInt32(&a.tx.refs, -1) == 0 && committed {
+		committed := a.tx.committed.Load() == 1
+		if a.tx.refs.Add(-1) == 0 && committed {
 			multiTxnPool.Put(a.tx)
 		}
 	}

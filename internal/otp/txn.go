@@ -21,6 +21,7 @@ package otp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"otpdb/internal/abcast"
 )
@@ -101,9 +102,12 @@ type Txn struct {
 	// manager recycles the struct only when it is committed AND every
 	// action (including stale submits superseded by an abort) has
 	// drained — a stale action must keep observing the original ID so
-	// the executor's epoch fence rejects it. Accessed atomically.
-	refs      int32
-	committed int32
+	// the executor's epoch fence rejects it. Typed atomics so every
+	// access — the pool reset included — goes through Load/Store/Add,
+	// and the embedded noCopy lets vet's copylocks reject struct
+	// copies (the atomiccow analyzer enforces the access side).
+	refs      atomic.Int32
+	committed atomic.Int32
 }
 
 // TOIndex returns the definitive (TO-delivery) index of the transaction,
