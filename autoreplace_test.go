@@ -1,39 +1,42 @@
 package otpdb_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"otpdb"
+	"otpdb/internal/testutil"
 	"otpdb/internal/transport"
 )
 
-// waitEpoch polls until every listed site reports at least the given
+// waitEpoch waits until every listed site reports at least the given
 // epoch, or fails at the deadline.
 func waitEpoch(t *testing.T, c *otpdb.Cluster, epoch uint64, deadline time.Duration, sites ...int) {
 	t.Helper()
-	end := time.Now().Add(deadline)
-	for {
-		ok := true
+	testutil.EventuallyOr(t, deadline, fmt.Sprintf("epoch %d on sites %v", epoch, sites), func() bool {
 		for _, s := range sites {
-			e, err := c.Epoch(s)
-			if err != nil || e < epoch {
-				ok = false
-				break
+			if e, err := c.Epoch(s); err != nil || e < epoch {
+				return false
 			}
 		}
-		if ok {
-			return
+		return true
+	}, func() {
+		for _, s := range sites {
+			e, _ := c.Epoch(s)
+			t.Logf("site %d epoch %d", s, e)
 		}
-		if time.Now().After(end) {
-			for _, s := range sites {
-				e, _ := c.Epoch(s)
-				t.Logf("site %d epoch %d", s, e)
-			}
-			t.Fatalf("epoch %d never reached", epoch)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	})
+}
+
+// waitRebuilt waits until no site is in the crashed set.
+func waitRebuilt(t *testing.T, c *otpdb.Cluster, deadline time.Duration) {
+	t.Helper()
+	testutil.EventuallyOr(t, deadline, "crashed sites to be rebuilt", func() bool {
+		return len(c.CrashedSites()) == 0
+	}, func() {
+		t.Logf("still crashed: %v", c.CrashedSites())
+	})
 }
 
 // TestAutoReplaceHealsCrashedSite: with WithAutoReplace armed, a crashed
@@ -55,13 +58,7 @@ func TestAutoReplaceHealsCrashedSite(t *testing.T) {
 
 	// The rebuild follows the epoch commit; wait for the site to be live
 	// again before using it.
-	end := time.Now().Add(time.Minute)
-	for len(c.CrashedSites()) != 0 {
-		if time.Now().After(end) {
-			t.Fatalf("site 2 never rebuilt; still crashed: %v", c.CrashedSites())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	waitRebuilt(t, c, time.Minute)
 	creditN(t, c, 2, 1, 12) // 11 credits + 1 membership change
 	assertConverged(t, c)
 	if mode, err := c.RejoinMode(2); err != nil || mode == "" {
@@ -84,13 +81,7 @@ func TestAutoReplaceExactlyOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitEpoch(t, c, 2, time.Minute, 0, 1, 2, 3)
-	end := time.Now().Add(time.Minute)
-	for len(c.CrashedSites()) != 0 {
-		if time.Now().After(end) {
-			t.Fatalf("site 4 never rebuilt; still crashed: %v", c.CrashedSites())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	waitRebuilt(t, c, time.Minute)
 	// Let any straggler replacer round drain, then require the epoch to
 	// have settled at exactly 2: one replacement, not one per survivor.
 	time.Sleep(500 * time.Millisecond)
@@ -178,13 +169,7 @@ func TestAutoReplaceIgnoresGhostHeartbeats(t *testing.T) {
 	waitEpoch(t, c, 2, time.Minute, 0, 1)
 	close(stop)
 	<-done
-	end := time.Now().Add(time.Minute)
-	for len(c.CrashedSites()) != 0 {
-		if time.Now().After(end) {
-			t.Fatalf("ghost heartbeats stalled the rebuild; still crashed: %v", c.CrashedSites())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	waitRebuilt(t, c, time.Minute)
 	assertConverged(t, c)
 }
 

@@ -12,6 +12,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"otpdb/internal/testutil"
 )
 
 // TestKill9Recovery is the acceptance test for process-crash durability:
@@ -108,17 +110,15 @@ func freeAddr(t *testing.T) string {
 // process boots (and, after a restart, recovers).
 func dialRetry(t *testing.T, addr string) net.Conn {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
-		if err == nil {
-			return conn
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("dial %s: %v", addr, err)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	var conn net.Conn
+	var err error
+	testutil.EventuallyOr(t, 30*time.Second, "otpd to accept on "+addr, func() bool {
+		conn, err = net.DialTimeout("tcp", addr, time.Second)
+		return err == nil
+	}, func() {
+		t.Logf("dial %s: %v", addr, err)
+	})
+	return conn
 }
 
 // execAdd runs EXEC add-p0 <key> <delta> and returns the new value.

@@ -10,6 +10,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"otpdb/internal/testutil"
 )
 
 // TestReplaceSiteTCP is the membership torture test: a 3-process TCP
@@ -157,47 +159,38 @@ func TestReplaceSiteTCP(t *testing.T) {
 	waitDigestsEqual(t, 60*time.Second, conn0, conn1)
 }
 
-// waitStats polls STATS until every field reaches its wanted value.
+// waitStats waits until STATS reports every wanted field value.
 func waitStats(t *testing.T, conn net.Conn, timeout time.Duration, want map[string]int64) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		s := roundTrip(t, conn, "STATS")
-		ok := true
+	var s string
+	testutil.EventuallyOr(t, timeout, fmt.Sprintf("STATS to reach %v", want), func() bool {
+		s = roundTrip(t, conn, "STATS")
 		for k, v := range want {
 			if statField(t, s, k) != v {
-				ok = false
+				return false
 			}
 		}
-		if ok {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("STATS never reached %v: %q", want, s)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+		return true
+	}, func() {
+		t.Logf("last STATS: %q", s)
+	})
 }
 
-// waitDigestsEqual polls DIGEST on every connection until they agree.
+// waitDigestsEqual waits until DIGEST agrees across the connections.
 func waitDigestsEqual(t *testing.T, timeout time.Duration, conns ...net.Conn) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		digests := make([]string, len(conns))
-		same := true
+	digests := make([]string, len(conns))
+	testutil.EventuallyOr(t, timeout, "digests to converge", func() bool {
 		for i, c := range conns {
 			digests[i] = digest(t, c)
-			if digests[i] != digests[0] {
-				same = false
+		}
+		for _, d := range digests {
+			if d != digests[0] {
+				return false
 			}
 		}
-		if same {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("digests never converged: %v", digests)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
+		return true
+	}, func() {
+		t.Logf("last digests: %v", digests)
+	})
 }

@@ -10,6 +10,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"otpdb/internal/testutil"
 )
 
 // TestKill9Rejoin is the acceptance test for transport-native state
@@ -81,16 +83,9 @@ func TestKill9Rejoin(t *testing.T) {
 	victim := 2
 	{
 		vc := dialRetry(t, clientAddrs[victim])
-		deadline := time.Now().Add(60 * time.Second)
-		for {
-			if statField(t, roundTrip(t, vc, "STATS"), "commits") >= phase1 {
-				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatal("victim never caught up before the crash")
-			}
-			time.Sleep(50 * time.Millisecond)
-		}
+		testutil.Eventually(t, 60*time.Second, "victim to catch up before the crash", func() bool {
+			return statField(t, roundTrip(t, vc, "STATS"), "commits") >= phase1
+		})
 		_ = vc.Close()
 	}
 
@@ -130,19 +125,15 @@ func TestKill9Rejoin(t *testing.T) {
 	// keeps running.
 	conn1 := dialRetry(t, clientAddrs[1])
 	defer func() { _ = conn1.Close() }()
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		d0 := digest(t, conn0)
-		d1 := digest(t, conn1)
-		d2 := digest(t, conn2)
-		if d0 == d1 && d1 == d2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("digests never converged: %s / %s / %s", d0, d1, d2)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
+	var d0, d1, d2 string
+	testutil.EventuallyOr(t, 60*time.Second, "digests to converge", func() bool {
+		d0 = digest(t, conn0)
+		d1 = digest(t, conn1)
+		d2 = digest(t, conn2)
+		return d0 == d1 && d1 == d2
+	}, func() {
+		t.Logf("last digests: %s / %s / %s", d0, d1, d2)
+	})
 
 	// And the survivors were never restarted: they still answer on the
 	// connections opened before the crash.
@@ -151,21 +142,18 @@ func TestKill9Rejoin(t *testing.T) {
 	}
 }
 
-// waitServing polls STATS until the replica reports role=serving (or
-// donor, which implies serving) and returns the final STATS line.
+// waitServing waits until the replica reports role=serving (or donor,
+// which implies serving) and returns the final STATS line.
 func waitServing(t *testing.T, conn net.Conn, timeout time.Duration) string {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		reply := roundTrip(t, conn, "STATS")
-		if strings.Contains(reply, "role=serving") || strings.Contains(reply, "role=donor") {
-			return reply
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("replica never reached role=serving; last STATS %q", reply)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	var reply string
+	testutil.EventuallyOr(t, timeout, "replica to reach role=serving", func() bool {
+		reply = roundTrip(t, conn, "STATS")
+		return strings.Contains(reply, "role=serving") || strings.Contains(reply, "role=donor")
+	}, func() {
+		t.Logf("last STATS: %q", reply)
+	})
+	return reply
 }
 
 // statField extracts an integer key=value field from a STATS reply.

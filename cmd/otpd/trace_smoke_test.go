@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"otpdb/internal/testutil"
 )
 
 // TestTraceSmokeCluster is the multi-process half of the distributed
@@ -94,11 +96,10 @@ func TestTraceSmokeCluster(t *testing.T) {
 	// The remote sites record their spans as the decision reaches them;
 	// re-stitch until all three sites appear (or the deadline says the
 	// fan-out is broken).
-	deadline := time.Now().Add(10 * time.Second)
 	var sites map[int]bool
 	var spans map[string]bool
 	var lines []string
-	for {
+	testutil.EventuallyOr(t, 10*time.Second, "stitched trace to cover 3 sites", func() bool {
 		lines = pc.multiLine("TRACE " + trace)
 		sites, spans = map[int]bool{}, map[string]bool{}
 		for _, line := range lines[1:] {
@@ -116,15 +117,10 @@ func TestTraceSmokeCluster(t *testing.T) {
 			sites[ev.Site] = true
 			spans[ev.Span] = true
 		}
-		if len(sites) >= 3 && spans["commit"] {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("stitched trace never covered 3 sites; last reply:\n%s",
-				strings.Join(lines, "\n"))
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+		return len(sites) >= 3 && spans["commit"]
+	}, func() {
+		t.Logf("last reply:\n%s", strings.Join(lines, "\n"))
+	})
 	for _, want := range []string{
 		"x-submit", "submit", "opt-deliver", "to-deliver",
 		"prepare", "vote", "decide", "x-commit", "commit",

@@ -191,6 +191,7 @@ func TestOptimisticFastPathCountsStages(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Pace the sends so tentative orders trivially agree.
+		//otplint:allow testpoll fixed-rate pacing of the workload, not a wait for a condition
 		time.Sleep(5 * time.Millisecond)
 	}
 	siteEvents(t, group[0], 5, 10*time.Second)

@@ -6,6 +6,7 @@ import (
 
 	"otpdb/internal/sproc"
 	"otpdb/internal/storage"
+	"otpdb/internal/testutil"
 	"otpdb/internal/transport"
 )
 
@@ -50,13 +51,11 @@ func startAsyncPair(t *testing.T, delay time.Duration) (*transport.Hub, []*Async
 
 func waitApplies(t *testing.T, rep *AsyncReplica, want uint64) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for rep.Stats().RemoteApplies < want {
-		if time.Now().After(deadline) {
-			t.Fatalf("applies = %d, want %d", rep.Stats().RemoteApplies, want)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.EventuallyOr(t, 10*time.Second, "remote applies", func() bool {
+		return rep.Stats().RemoteApplies >= want
+	}, func() {
+		t.Logf("applies = %d, want %d", rep.Stats().RemoteApplies, want)
+	})
 }
 
 func TestAsyncLocalCommitThenPropagation(t *testing.T) {

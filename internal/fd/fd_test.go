@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"otpdb/internal/testutil"
 	"otpdb/internal/transport"
 )
 
@@ -25,14 +26,7 @@ func startDetectors(t *testing.T, h *transport.Hub, n int, cfg Config) []*Detect
 
 func eventually(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatal(msg)
+	testutil.Eventually(t, timeout, msg, cond)
 }
 
 // TestNoFalseSuspicionWhenAllAlive asserts the negative over many
@@ -44,8 +38,7 @@ func TestNoFalseSuspicionWhenAllAlive(t *testing.T) {
 	h := transport.NewHub(3)
 	defer h.Close()
 	ds := startDetectors(t, h, 3, Config{Interval: 5 * time.Millisecond, Timeout: time.Minute})
-	deadline := time.Now().Add(250 * time.Millisecond)
-	for time.Now().Before(deadline) {
+	testutil.Consistently(t, 250*time.Millisecond, func() {
 		for i, d := range ds {
 			for j := 0; j < 3; j++ {
 				if d.Suspected(transport.NodeID(j)) {
@@ -53,8 +46,7 @@ func TestNoFalseSuspicionWhenAllAlive(t *testing.T) {
 				}
 			}
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	})
 }
 
 func TestCrashedNodeEventuallySuspected(t *testing.T) {
@@ -165,17 +157,13 @@ func TestStaleIncarnationHeartbeatIgnored(t *testing.T) {
 	if err := peer.Send(0, Stream, Heartbeat{Inc: 100}); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for !d.Suspected(1) {
-		if time.Now().After(deadline) {
-			t.Fatal("node kept alive by stale-incarnation heartbeats")
-		}
-		// Chatter from the dead incarnation.
+	testutil.Eventually(t, 10*time.Second, "suspicion despite stale-incarnation chatter", func() bool {
+		// Chatter from the dead incarnation, every beat.
 		if err := peer.Send(0, Stream, Heartbeat{Inc: 99}); err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return d.Suspected(1)
+	})
 	// A newer incarnation rehabilitates the identity immediately.
 	if err := peer.Send(0, Stream, Heartbeat{Inc: 101}); err != nil {
 		t.Fatal(err)
@@ -197,17 +185,13 @@ func TestNonMemberHeartbeatIgnored(t *testing.T) {
 	d.SetMembers([]transport.NodeID{0, 1}) // node 2 voted out
 	peer2 := h.Endpoint(2)
 	h.Crash(1)
-	deadline := time.Now().Add(10 * time.Second)
-	for !d.Suspected(1) {
-		if time.Now().After(deadline) {
-			t.Fatal("member 1 never suspected")
-		}
+	testutil.Eventually(t, 10*time.Second, "member 1 to be suspected", func() bool {
 		// The removed node keeps chattering the whole time.
 		if err := peer2.Send(0, Stream, Heartbeat{Inc: 7}); err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return d.Suspected(1)
+	})
 	if d.Suspected(2) {
 		t.Fatal("non-member suspected")
 	}
@@ -240,16 +224,14 @@ func TestSetMembersResetsIncarnationFloor(t *testing.T) {
 	}
 	// The replacement (slower clock: lower incarnation) heartbeats; it
 	// must keep the lease alive, never re-suspected.
-	deadline := time.Now().Add(300 * time.Millisecond)
-	for time.Now().Before(deadline) {
+	testutil.Consistently(t, 300*time.Millisecond, func() {
 		if err := peer.Send(0, Stream, Heartbeat{Inc: 500}); err != nil {
 			t.Fatal(err)
 		}
 		if d.Suspected(1) {
 			t.Fatal("replacement with lower incarnation suspected despite heartbeating")
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	})
 }
 
 func TestStaticSuspector(t *testing.T) {

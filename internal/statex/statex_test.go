@@ -12,6 +12,7 @@ import (
 	"otpdb/internal/abcast"
 	"otpdb/internal/recovery"
 	"otpdb/internal/storage"
+	"otpdb/internal/testutil"
 	"otpdb/internal/transport"
 )
 
@@ -291,13 +292,9 @@ func TestServerBoundsCheckpointPin(t *testing.T) {
 	}
 	// Generous deadline: under -race on a loaded runner the server
 	// goroutine can take a while to unwind after cancellation.
-	deadline := time.Now().Add(10 * time.Second)
-	for donor.Serving() != 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("transfer still registered as active")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, 10*time.Second, "donor to deregister the transfer", func() bool {
+		return donor.Serving() == 0
+	})
 }
 
 // TestAbortCancelsDonorCheckpoint: a joiner that gives up mid-transfer

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"otpdb/internal/testutil"
 )
 
 // TestParallelReadsRacingCommitters drives the lock-free read path
@@ -69,11 +71,9 @@ func TestParallelReadsRacingCommitters(t *testing.T) {
 		}
 	}
 	// On a single-CPU box the readers may not have been scheduled yet;
-	// give them time to observe the final state before stopping.
-	deadline := time.Now().Add(5 * time.Second)
-	for reads.Load() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	// give them time to observe the final state before stopping. A
+	// timeout is not failure here — the assertion below reports it.
+	testutil.Await(5*time.Second, func() bool { return reads.Load() != 0 })
 	close(stop)
 	wg.Wait()
 	if reads.Load() == 0 {

@@ -1,0 +1,84 @@
+// Package testutil holds event-wait helpers shared by the repo's
+// tests. Its reason to exist is the testpoll analyzer: bare
+// sleep-in-a-loop polling is banned from _test.go files, so the
+// polling loop lives here — once, in a plain .go file, with the
+// deadline and backoff policy owned in one place — and tests say what
+// they wait for instead of how long to nap.
+package testutil
+
+import (
+	"time"
+)
+
+// pollInterval is the single backoff knob. 5ms is short enough that a
+// condition becoming true adds negligible latency to a test, and long
+// enough that a busy-wait under `-race` does not starve the goroutines
+// it is waiting on.
+const pollInterval = 5 * time.Millisecond
+
+// failer is the slice of testing.TB these helpers need; taking the
+// narrow interface keeps the package free of test-only imports in its
+// callers' non-test builds.
+type failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Logf(format string, args ...any)
+}
+
+// Eventually polls cond until it returns true or timeout lapses, then
+// fails the test naming what never happened. The final cond result is
+// re-checked after the deadline so a condition that becomes true on
+// the last beat still passes.
+func Eventually(t failer, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	if !eventually(timeout, cond) {
+		t.Fatalf("timed out after %v waiting for %s", timeout, what)
+	}
+}
+
+// EventuallyOr is Eventually with a diagnostic callback: on timeout,
+// dump runs first (log the epochs, the queue depths, whatever explains
+// the hang) and then the test fails.
+func EventuallyOr(t failer, timeout time.Duration, what string, cond func() bool, dump func()) {
+	t.Helper()
+	if !eventually(timeout, cond) {
+		dump()
+		t.Fatalf("timed out after %v waiting for %s", timeout, what)
+	}
+}
+
+// Consistently is Eventually's dual: it asserts cond holds at every
+// poll for the whole window — for negative properties ("no false
+// suspicion while everyone heartbeats"). check runs once per beat and
+// fails the test itself on violation, so the failure carries the
+// caller's own diagnostics.
+func Consistently(t failer, window time.Duration, check func()) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		check()
+		time.Sleep(pollInterval)
+	}
+	check()
+}
+
+// Await polls cond until it holds or timeout lapses and reports the
+// final result without failing the test — for waits where a timeout is
+// survivable (the test asserts and reports on its own terms later).
+func Await(timeout time.Duration, cond func() bool) bool {
+	return eventually(timeout, cond)
+}
+
+// eventually is the one sanctioned poll loop.
+func eventually(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		time.Sleep(pollInterval)
+	}
+}

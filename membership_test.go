@@ -2,10 +2,12 @@ package otpdb_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
 	"otpdb"
+	"otpdb/internal/testutil"
 )
 
 // memCtx is a generous deadline for membership operations under -race.
@@ -34,46 +36,37 @@ func creditN(t *testing.T, c *otpdb.Cluster, site, n, total int) {
 // assertConverged requires every live site to report one digest.
 func assertConverged(t *testing.T, c *otpdb.Cluster) {
 	t.Helper()
-	deadline := time.Now().Add(time.Minute)
-	for {
+	testutil.Eventually(t, time.Minute, "live sites to converge on one digest", func() bool {
 		ok, err := c.Converged()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ok {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("live sites never converged")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+		return ok
+	})
 }
 
 // assertEpoch requires the given sites to agree on a membership epoch
-// and member count.
+// and member count. A site applies the change at its own commit of the
+// configuration transaction, so each may lag briefly.
 func assertEpoch(t *testing.T, c *otpdb.Cluster, epoch uint64, members int, sites ...int) {
 	t.Helper()
-	deadline := time.Now().Add(time.Minute)
 	for _, site := range sites {
-	retry:
-		e, err := c.Epoch(site)
-		if err != nil {
-			t.Fatal(err)
-		}
-		m, err := c.Members(site)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if e != epoch || len(m) != members {
-			// A site applies the change at its own commit of the
-			// configuration transaction; lag briefly and re-check.
-			if time.Now().Before(deadline) {
-				time.Sleep(10 * time.Millisecond)
-				goto retry
-			}
-			t.Fatalf("site %d: epoch=%d members=%v, want epoch=%d with %d members", site, e, m, epoch, members)
-		}
+		var e uint64
+		var m []int
+		testutil.EventuallyOr(t, time.Minute,
+			fmt.Sprintf("site %d to reach epoch %d with %d members", site, epoch, members),
+			func() bool {
+				var err error
+				if e, err = c.Epoch(site); err != nil {
+					t.Fatal(err)
+				}
+				if m, err = c.Members(site); err != nil {
+					t.Fatal(err)
+				}
+				return e == epoch && len(m) == members
+			}, func() {
+				t.Logf("site %d: epoch=%d members=%v", site, e, m)
+			})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"otpdb"
+	"otpdb/internal/testutil"
 )
 
 // newShardedCluster builds a started 2-shard cluster with classes
@@ -93,19 +94,10 @@ func newShardedClusterWith(t *testing.T, register func(*otpdb.Cluster), opts ...
 	return c
 }
 
-// waitUntil polls cond until it holds or the deadline lapses.
+// waitUntil waits until cond holds or the deadline lapses.
 func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for {
-		if cond() {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, d, what, cond)
 }
 
 // readInt64 reads a committed value at a site, failing the test on error.

@@ -8,6 +8,7 @@ import (
 
 	"otpdb"
 	"otpdb/internal/metrics"
+	"otpdb/internal/testutil"
 )
 
 // TestCrossShardTraceStitch is the in-process half of the distributed
@@ -43,9 +44,8 @@ func TestCrossShardTraceStitch(t *testing.T) {
 
 	// Every site applies the decision asynchronously; wait until all
 	// three have recorded their commit span for this trace.
-	deadline := time.Now().Add(5 * time.Second)
 	var stitched []metrics.TraceEvent
-	for {
+	testutil.EventuallyOr(t, 5*time.Second, "commit spans at 3 sites", func() bool {
 		stitched = metrics.StitchTraces(ring.Find(trace))
 		committed := map[int]bool{}
 		for _, ev := range stitched {
@@ -53,14 +53,10 @@ func TestCrossShardTraceStitch(t *testing.T) {
 				committed[ev.Site] = true
 			}
 		}
-		if len(committed) >= 3 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for commit spans at 3 sites; stitched: %+v", stitched)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return len(committed) >= 3
+	}, func() {
+		t.Logf("stitched: %+v", stitched)
+	})
 
 	sites := map[int]bool{}
 	spans := map[string]bool{}
