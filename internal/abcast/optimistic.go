@@ -176,9 +176,11 @@ func NewOptimistic(ep transport.Endpoint, cons *consensus.Engine, opts ...Option
 	o.optDefLat = o.scope.Histogram("otp_opt_def_latency_seconds")
 	// Stage counters and the agreement ratio pull from Stats() at
 	// snapshot time: the hot path already maintains them under o.mu.
+	//otplint:allow metricnames pull-style counter: the Func surfaces the monotonic Stats().Stages total, so _total states its semantics
 	o.scope.Func("abcast_stage_total", func() float64 {
 		return float64(o.Stats().Stages)
 	})
+	//otplint:allow metricnames pull-style counter over monotonic Stats().FastStages
 	o.scope.Func("abcast_fast_stage_total", func() float64 {
 		return float64(o.Stats().FastStages)
 	})

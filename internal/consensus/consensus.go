@@ -530,6 +530,7 @@ func (e *Engine) onPropose(m MsgPropose) {
 	}
 }
 
+//otp:fenced both callers fence: onPropose compares m.Epoch against the view snapshot before adopting or buffering, and startRound only replays proposals that passed that check
 func (e *Engine) adoptProposal(st *instance, m MsgPropose, epoch uint64, members []transport.NodeID) {
 	st.estimate = m.Val
 	// The adoption timestamp must dominate the never-adopted initial

@@ -293,15 +293,19 @@ func New(cfg Config) (*Replica, error) {
 	}
 	// Scheduler telemetry pulls the manager's Stats() snapshot at scrape
 	// time; only the registration happens here, nothing on the hot path.
+	//otplint:allow metricnames pull-style counter: the Func surfaces the monotonic Stats().Commits total, so _total states its semantics
 	cfg.Metrics.Func("otp_commits_total", func() float64 {
 		return float64(r.mgr.Stats().Commits)
 	})
+	//otplint:allow metricnames pull-style counter over monotonic Stats().Aborts
 	cfg.Metrics.Func("otp_rollback_total", func() float64 {
 		return float64(r.mgr.Stats().Aborts)
 	})
+	//otplint:allow metricnames pull-style counter over monotonic Stats().Reorders
 	cfg.Metrics.Func("otp_reposition_total", func() float64 {
 		return float64(r.mgr.Stats().Reorders)
 	})
+	//otplint:allow metricnames pull-style counter over monotonic Stats().Submits
 	cfg.Metrics.Func("otp_submit_total", func() float64 {
 		return float64(r.mgr.Stats().Submits)
 	})

@@ -30,6 +30,8 @@ const Stream = "fd.hb"
 // its predecessor's stale suspicion (and, worse, a survivor that
 // suspected the old incarnation would have no signal that the identity
 // now denotes a different process).
+//
+//otp:fence Inc
 type Heartbeat struct {
 	Inc uint64
 }

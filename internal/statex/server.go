@@ -313,6 +313,8 @@ func (s *Server) serve(ctx context.Context, joiner transport.NodeID, req JoinReq
 // backlog above it and the checkpoint's definitive index. The capture
 // is deadline-bounded so an abandoned transfer cannot leave donor
 // versions pinned.
+//
+//otp:fenced donor side: only reads Last off chunks it built itself; Xfer fencing is the joiner's job (attempt.onMessage)
 func (s *Server) serveCheckpoint(ctx context.Context, joiner transport.NodeID, req JoinReq) ([]abcast.DefEntry, uint64, uint64, int64, error) {
 	ckctx, cancel := context.WithTimeout(ctx, s.ckptTimeout)
 	ck, err := s.src.Checkpoint(ckctx)

@@ -125,6 +125,8 @@ type (
 		NoTail bool
 	}
 	// JoinResp is the donor's negotiation answer.
+	//
+	//otp:fence Xfer
 	JoinResp struct {
 		Xfer uint64
 		// Mode is the transfer shape the donor chose.
@@ -146,6 +148,8 @@ type (
 	// assembled bytes are the recovery checkpoint encoding (gob body +
 	// CRC-32C trailer), which the joiner validates a second time as a
 	// whole on decode.
+	//
+	//otp:fence Xfer
 	CkptChunk struct {
 		Xfer uint64
 		Seq  int
@@ -157,6 +161,8 @@ type (
 	}
 	// TailChunk is one batch of the definitive backlog, in ascending
 	// contiguous Seq order across chunks.
+	//
+	//otp:fence Xfer
 	TailChunk struct {
 		Xfer    uint64
 		Seq     int
@@ -174,6 +180,8 @@ type (
 	// complete stream from a truncated one: it holds the Done until all
 	// Chunks tail chunks arrived, and the assembled backlog must reach
 	// exactly Frontier.
+	//
+	//otp:fence Xfer
 	Done struct {
 		Xfer       uint64
 		StartStage uint64
@@ -710,6 +718,8 @@ func (st *attempt) onMessage(msg any, xfer uint64) (Done, bool, error) {
 // drain applies buffered chunks in order as far as contiguity allows.
 // Checkpoint bytes first (their Last flag gates the tail), then tail
 // entries, each verified on apply so salvaged progress is trustworthy.
+//
+//otp:fenced pendCk/pendTail only hold chunks onMessage admitted after comparing m.Xfer against this attempt's id
 func (st *attempt) drain() error {
 	if !st.gotResp {
 		return nil
@@ -793,6 +803,8 @@ func (st *attempt) salvage() {
 // assemble validates the completed stream and builds the Transfer,
 // stitching retained progress from earlier attempts under this donor's
 // terminal Done.
+//
+//otp:fenced the Done passed in is st.fin, stored by onMessage only after comparing m.Xfer against this attempt's id
 func (st *attempt) assemble(d Done) (*Transfer, error) {
 	t := &Transfer{Mode: st.mode, Donor: st.donor}
 	var entries []abcast.DefEntry

@@ -68,6 +68,8 @@ type TCPConfig struct {
 // Durable deployments close the window by passing a persisted
 // monotonic incarnation (PersistentIncarnation) in TCPConfig; cmd/otpd
 // does so whenever -data is set.
+//
+//otp:fence Inc
 type tcpFrame struct {
 	IsAck bool
 	Seq   uint64 // data sequence number (IsAck false)
@@ -487,6 +489,9 @@ func (l *peerLink) setConn(c net.Conn) {
 	l.mu.Unlock()
 }
 
+// ackUpTo drops acknowledged frames from the retransmission buffer.
+//
+//otp:fenced sender side: pending holds frames this link built under its own incarnation; Inc fencing happens on the inbound path (handleConn)
 func (l *peerLink) ackUpTo(seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -646,6 +651,8 @@ func (l *peerLink) writeLoop() {
 
 // readAcks consumes acknowledgement frames from an outbound connection and
 // releases the retransmission buffer.
+//
+//otp:fenced acks arrive on the connection this link dialed itself, so they answer its own incarnation; inbound data frames are fenced in handleConn
 func (l *peerLink) readAcks(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	for {
